@@ -1,0 +1,52 @@
+//! Criterion: LP substrate — dense simplex vs the Garg–Könemann FPTAS
+//! on path-formulation MCF instances of growing size (the MaxSiteFlow
+//! ablation's timing companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use megate_lp::{Commodity, McfProblem, PathSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_mcf(n_links: usize, n_comm: usize, seed: u64) -> McfProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let link_capacity: Vec<f64> = (0..n_links).map(|_| rng.gen_range(50.0..500.0)).collect();
+    let commodities = (0..n_comm)
+        .map(|_| {
+            let n_paths = rng.gen_range(2..5);
+            let paths = (0..n_paths)
+                .map(|i| {
+                    let len = rng.gen_range(2..6).min(n_links);
+                    let mut links: Vec<usize> = (0..n_links).collect();
+                    for j in (1..links.len()).rev() {
+                        links.swap(j, rng.gen_range(0..=j));
+                    }
+                    links.truncate(len);
+                    PathSpec { links, weight: 1.0 + i as f64 }
+                })
+                .collect();
+            Commodity { demand: rng.gen_range(10.0..100.0), paths }
+        })
+        .collect();
+    McfProblem { link_capacity, commodities, epsilon_weight: 1e-4 }
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcf_solvers");
+    group.sample_size(10);
+    for &n_comm in &[50usize, 200, 800] {
+        let p = random_mcf(60, n_comm, 5);
+        group.bench_with_input(BenchmarkId::new("simplex", n_comm), &p, |b, p| {
+            b.iter(|| p.solve_exact().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fptas_0.1", n_comm), &p, |b, p| {
+            b.iter(|| p.solve_fptas(0.1))
+        });
+    }
+    // FPTAS-only at a size the dense simplex cannot touch.
+    let big = random_mcf(200, 5_000, 9);
+    group.bench_function("fptas_0.1/5000", |b| b.iter(|| big.solve_fptas(0.1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

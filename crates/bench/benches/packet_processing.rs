@@ -1,0 +1,72 @@
+//! Criterion: data-plane packet costs — parse, TC egress chain (flow
+//! accounting + SR insertion), and per-router SR forwarding. These are
+//! the per-packet overheads MegaTE adds on hosts and routers (§5).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use megate_dataplane::route_decision;
+use megate_hoststack::{InstanceId, Pid, SimKernel};
+use megate_packet::{
+    insert_sr_header, parse_megate_frame, FiveTuple, MegaTeFrameSpec, Proto,
+};
+
+fn tuple() -> FiveTuple {
+    FiveTuple {
+        src_ip: [10, 0, 0, 1],
+        dst_ip: [10, 0, 0, 2],
+        proto: Proto::Udp,
+        src_port: 5000,
+        dst_port: 4789,
+    }
+}
+
+fn bench_packets(c: &mut Criterion) {
+    let plain = MegaTeFrameSpec::simple(tuple(), 7, None).build();
+    let with_sr = MegaTeFrameSpec::simple(tuple(), 7, Some(vec![1, 2, 3, 4, 5])).build();
+
+    let mut group = c.benchmark_group("packet");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("parse_plain", |b| {
+        b.iter(|| parse_megate_frame(&plain).unwrap())
+    });
+    group.bench_function("parse_with_sr", |b| {
+        b.iter(|| parse_megate_frame(&with_sr).unwrap())
+    });
+    group.bench_function("insert_sr_header", |b| {
+        b.iter_batched(
+            || plain.clone(),
+            |mut f| insert_sr_header(&mut f, &[1, 2, 3, 4, 5]).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("router_sr_decision", |b| {
+        b.iter_batched(
+            || with_sr.clone(),
+            |mut f| route_decision(&mut f).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    // Full TC egress chain with maps warm.
+    let kernel = SimKernel::new();
+    kernel.spawn_process(InstanceId(1), Pid(1)).unwrap();
+    kernel.open_connection(Pid(1), tuple()).unwrap();
+    kernel
+        .maps()
+        .path_map
+        .update((InstanceId(1), tuple().dst_ip), vec![1, 2, 3])
+        .unwrap();
+    let mut group = c.benchmark_group("tc_egress");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("account_and_insert_sr", |b| {
+        b.iter_batched(
+            || plain.clone(),
+            |mut f| kernel.tc_egress(&mut f),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packets);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion companion to Figure 9: solver run time per scheme at
+//! small-to-medium endpoint counts (statistically sound timing; the
+//! `fig09_runtime` binary covers the hyper-scale ladder).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use megate_bench::build_instance;
+use megate_solvers::{LpAllScheme, MegaTeScheme, NcFlowScheme, TeScheme, TealScheme};
+use megate_topo::TopologySpec;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_runtime_b4");
+    group.sample_size(10);
+    for &endpoints in &[120usize, 1200] {
+        let inst = build_instance(TopologySpec::B4, endpoints, 42);
+        group.bench_with_input(
+            BenchmarkId::new("MegaTE", endpoints),
+            &inst,
+            |b, inst| b.iter(|| MegaTeScheme::default().solve(&inst.problem()).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("TEAL", endpoints),
+            &inst,
+            |b, inst| b.iter(|| TealScheme::default().solve(&inst.problem()).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("NCFlow", endpoints),
+            &inst,
+            |b, inst| b.iter(|| NcFlowScheme::default().solve(&inst.problem()).unwrap()),
+        );
+        if endpoints <= 120 {
+            group.bench_with_input(
+                BenchmarkId::new("LP-all", endpoints),
+                &inst,
+                |b, inst| b.iter(|| LpAllScheme::default().solve(&inst.problem()).unwrap()),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("solver_runtime_deltacom");
+    group.sample_size(10);
+    let inst = build_instance(TopologySpec::Deltacom, 1130, 42);
+    group.bench_function("MegaTE/1130", |b| {
+        b.iter(|| MegaTeScheme::default().solve(&inst.problem()).unwrap())
+    });
+    group.bench_function("TEAL/1130", |b| {
+        b.iter(|| TealScheme::default().solve(&inst.problem()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

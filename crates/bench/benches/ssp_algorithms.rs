@@ -1,0 +1,46 @@
+//! Criterion: subset-sum strategies at MaxEndpointFlow shapes — the
+//! complexity claims of Appendix A.2 (`O(m⌊F/δ⌋)` for FastSSP vs
+//! `O(|I_k|·F)` for plain DP, `O(|I_k| log |I_k|)` for greedy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use megate_ssp::{dp_subset_sum, fast_ssp, first_fit_descending, FastSspConfig};
+
+fn items(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 100 + (i * 7919) % 1900).collect()
+}
+
+fn bench_ssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssp");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let v = items(n);
+        let capacity: u64 = v.iter().sum::<u64>() * 7 / 10;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fastssp", n), &v, |b, v| {
+            b.iter(|| fast_ssp(v, capacity, FastSspConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &v, |b, v| {
+            b.iter(|| first_fit_descending(v, capacity))
+        });
+        // Exact DP only at the smallest size: its table is O(F).
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("exact_dp", n), &v, |b, v| {
+                b.iter(|| dp_subset_sum(v, capacity))
+            });
+        }
+    }
+    group.finish();
+
+    // FastSSP epsilon sensitivity at fixed size.
+    let v = items(50_000);
+    let capacity: u64 = v.iter().sum::<u64>() * 7 / 10;
+    let mut group = c.benchmark_group("fastssp_epsilon");
+    for eps in [0.02f64, 0.1, 0.3] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| fast_ssp(&v, capacity, FastSspConfig { epsilon_prime: eps }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssp);
+criterion_main!(benches);

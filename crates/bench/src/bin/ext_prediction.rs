@@ -1,0 +1,92 @@
+//! Extension (§8) — TE with application-level statistics.
+//!
+//! "Recent studies have suggested considering TE with strong
+//! application coupling, where the flow sizes for a significant portion
+//! of the traffic are known in advance. These flow sizes can also be
+//! predicted through various methods."
+//!
+//! Compare demand predictors over a day of 5-minute intervals: the
+//! weak-coupling default (provision with last interval's observation),
+//! EWMA smoothing, and recent-peak provisioning. Under-prediction is
+//! traffic that exceeds its reservation (rides best-effort or drops);
+//! over-prediction is reserved capacity sitting idle.
+
+use megate_bench::{print_table, write_json};
+use megate_traffic::diurnal::INTERVALS_PER_DAY;
+use megate_traffic::{diurnal_series, evaluate_predictor, Predictor};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PredictorRow {
+    predictor: String,
+    mape_pct: f64,
+    under_pct: f64,
+    over_pct: f64,
+}
+
+fn main() {
+    // A fleet of per-pair demand series with diverse base rates and
+    // noise levels (the controller sees hundreds of these).
+    let series: Vec<Vec<f64>> = (0..200u64)
+        .map(|i| {
+            diurnal_series(
+                5.0 + (i % 40) as f64 * 5.0,
+                0.05 + 0.3 * ((i % 7) as f64 / 7.0),
+                i,
+                INTERVALS_PER_DAY,
+            )
+        })
+        .collect();
+
+    let predictors = [
+        ("last interval (MegaTE default)", Predictor::LastInterval),
+        ("EWMA α=0.3", Predictor::Ewma { alpha: 0.3 }),
+        ("EWMA α=0.7", Predictor::Ewma { alpha: 0.7 }),
+        ("recent peak w=3", Predictor::RecentPeak { window: 3 }),
+        ("recent peak w=12", Predictor::RecentPeak { window: 12 }),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (name, p) in predictors {
+        let mut mape = 0.0;
+        let mut under = 0.0;
+        let mut over = 0.0;
+        for s in &series {
+            let e = evaluate_predictor(p, s, 12);
+            mape += e.mape;
+            under += e.under_fraction;
+            over += e.over_fraction;
+        }
+        let n = series.len() as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", 100.0 * mape / n),
+            format!("{:.1}%", 100.0 * under / n),
+            format!("{:.1}%", 100.0 * over / n),
+        ]);
+        json.push(PredictorRow {
+            predictor: name.to_string(),
+            mape_pct: 100.0 * mape / n,
+            under_pct: 100.0 * under / n,
+            over_pct: 100.0 * over / n,
+        });
+    }
+    print_table(
+        "Extension (§8): demand predictors over a day of 5-minute intervals \
+         (200 pairs, diurnal + noise)",
+        &["predictor", "MAPE", "under-provisioned", "over-provisioned"],
+        &rows,
+    );
+
+    let last = &json[0];
+    let peak = json.iter().find(|r| r.predictor.contains("w=12")).unwrap();
+    println!(
+        "\nPeak provisioning cuts under-provisioned traffic {:.1}% -> {:.1}% \
+         at the price of {:.1}% idle reservation — the informed-TE trade §8 \
+         anticipates.",
+        last.under_pct, peak.under_pct, peak.over_pct
+    );
+    assert!(peak.under_pct < last.under_pct);
+    write_json("ext_prediction", &json);
+}

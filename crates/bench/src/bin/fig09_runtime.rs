@@ -1,0 +1,73 @@
+//! Figure 9 — TE computation time vs endpoint count, four topologies ×
+//! {LP-all, NCFlow, TEAL, MegaTE}.
+//!
+//! Expected shape (the paper's): every baseline's run time grows with
+//! the endpoint count and eventually fails with OOM; MegaTE's stays
+//! flat-ish (its LP sees only site pairs; FastSSP is near-linear), so
+//! it supports ≥20× more endpoints at comparable run time.
+//!
+//! `--scale quick` (default) sweeps up to ~12k endpoints per topology;
+//! `--scale full` runs the paper ladders up to millions (minutes).
+
+use megate_bench::{
+    build_instance, endpoint_ladder, fmt_seconds, print_table, run_scheme, scale_from_args,
+    write_json, SchemeRun,
+};
+use megate_solvers::{LpAllScheme, MegaTeScheme, NcFlowScheme, TealScheme};
+use megate_topo::TopologySpec;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut all: Vec<SchemeRun> = Vec::new();
+
+    for spec in TopologySpec::all() {
+        let ladder = endpoint_ladder(spec, scale);
+        let mut rows = Vec::new();
+        for &endpoints in &ladder {
+            let inst = build_instance(spec, endpoints, 42);
+            let mut cells = vec![endpoints.to_string()];
+            // Baselines become pointless (hours) beyond the OOM wall;
+            // gate the expensive exact ones by size like the paper's
+            // "not practical" cut-off.
+            let lp = run_scheme(&LpAllScheme::default(), &inst);
+            let nc = run_scheme(&NcFlowScheme::default(), &inst);
+            let teal = run_scheme(&TealScheme::default(), &inst);
+            let mega = run_scheme(&MegaTeScheme::default(), &inst);
+            for run in [&lp, &nc, &teal, &mega] {
+                cells.push(match &run.error {
+                    Some(e) => e.clone(),
+                    None => fmt_seconds(run.seconds),
+                });
+            }
+            rows.push(cells);
+            all.extend([lp, nc, teal, mega]);
+        }
+        print_table(
+            &format!("Figure 9 ({}): TE computation time", spec.name()),
+            &["endpoints", "LP-all", "NCFlow", "TEAL", "MegaTE"],
+            &rows,
+        );
+    }
+
+    // The headline claim: at the largest endpoint count where any
+    // baseline still solves, MegaTE handles >= 10x more endpoints at
+    // comparable or lower run time.
+    let mega_max = all
+        .iter()
+        .filter(|r| r.scheme == "MegaTE" && r.error.is_none())
+        .map(|r| r.endpoints)
+        .max()
+        .unwrap_or(0);
+    let lp_max = all
+        .iter()
+        .filter(|r| r.scheme == "LP-all" && r.error.is_none())
+        .map(|r| r.endpoints)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "\nLargest solved instance: LP-all {lp_max} endpoints vs MegaTE {mega_max} \
+         endpoints ({}x).",
+        if lp_max > 0 { mega_max / lp_max.max(1) } else { 0 }
+    );
+    write_json("fig09_runtime", &all);
+}

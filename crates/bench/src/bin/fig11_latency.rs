@@ -1,0 +1,153 @@
+//! Figure 11 — normalized QoS-1 packet latency in Deltacom*.
+//!
+//! The paper reports MegaTE cutting time-sensitive traffic's latency
+//! by 25% vs NCFlow and 33% vs TEAL: aggregated schemes mix classes on
+//! long tunnels, MegaTE's per-class endpoint placement keeps class 1 on
+//! the shortest paths. We run all schemes on one Deltacom* instance and
+//! report demand-weighted normalized latency per QoS class.
+
+use megate_bench::{print_table, write_json};
+use megate_solvers::{solve_per_qos, MegaTeScheme, NcFlowScheme, TealScheme, TeScheme};
+use megate_traffic::QosClass;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LatencyRow {
+    scheme: String,
+    qos1: f64,
+    qos2: f64,
+    qos3: f64,
+    reduction_vs_scheme_pct: f64,
+}
+
+fn main() {
+    // Figure 11 is about *where classes land when aggregates split*:
+    // each site pair's aggregate demand exceeds its shortest tunnel's
+    // bottleneck, so every scheme must split the aggregate across
+    // tunnels — and only MegaTE controls *which class* rides which
+    // branch. Build that instance explicitly: 40 Deltacom* pairs, each
+    // with per-pair demand ≈ 1.5× its shortest-tunnel bottleneck.
+    use megate_topo::{deltacom, EndpointId, SiteId};
+    use megate_traffic::{DemandSet, EndpointDemand};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    let graph = deltacom();
+    let mut rng = StdRng::seed_from_u64(19);
+    // Only pairs whose first alternate tunnel is link-disjoint from the
+    // shortest one can actually absorb a split — Deltacom's ring
+    // segments provide them. (Pairs without a disjoint detour just drop
+    // the excess; no scheme can place it anywhere else.)
+    let mut pairs = Vec::new();
+    let mut attempts = 0;
+    while pairs.len() < 40 && attempts < 20_000 {
+        attempts += 1;
+        let a = SiteId(rng.gen_range(0..graph.site_count() as u32));
+        let b = SiteId(rng.gen_range(0..graph.site_count() as u32));
+        if a == b {
+            continue;
+        }
+        let pair = megate_topo::SitePair::new(a, b);
+        if pairs.contains(&pair) {
+            continue;
+        }
+        let probe = megate_topo::TunnelTable::for_pairs(&graph, &[pair], 4);
+        let ts = probe.tunnels_for(pair);
+        if ts.len() < 2 {
+            continue;
+        }
+        let first = probe.tunnel(ts[0]);
+        let second = probe.tunnel(ts[1]);
+        let disjoint = !second.links.iter().any(|l| first.links.contains(l));
+        if disjoint && second.weight > first.weight * 1.1 {
+            pairs.push(pair);
+        }
+    }
+    let tunnels = megate_topo::TunnelTable::for_pairs(&graph, &pairs, 4);
+
+    let mut demands = DemandSet::default();
+    let mut next_ep = 0u64;
+    for &pair in &pairs {
+        let ts = tunnels.tunnels_for(pair);
+        if ts.is_empty() {
+            continue;
+        }
+        let bottleneck = tunnels
+            .tunnel(ts[0])
+            .links
+            .iter()
+            .map(|&l| graph.link(l).capacity_mbps)
+            .fold(f64::INFINITY, f64::min);
+        let pair_total = 1.5 * bottleneck;
+        let n_flows = 75;
+        for i in 0..n_flows {
+            let qos = match i % 20 {
+                0..=2 => megate_traffic::QosClass::Class1,
+                3..=13 => megate_traffic::QosClass::Class2,
+                _ => megate_traffic::QosClass::Class3,
+            };
+            let jitter = rng.gen_range(0.5..1.5);
+            demands.push(
+                pair,
+                EndpointDemand {
+                    src: EndpointId(next_ep),
+                    dst: EndpointId(next_ep + 1),
+                    demand_mbps: pair_total / n_flows as f64 * jitter,
+                    qos,
+                },
+            );
+            next_ep += 2;
+        }
+    }
+    let inst_graph = graph;
+    let p = megate_solvers::TeProblem {
+        graph: &inst_graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
+
+    let mega = solve_per_qos(&MegaTeScheme::default(), &p).expect("megate");
+    let nc = NcFlowScheme::default().solve(&p).expect("ncflow");
+    let teal = TealScheme::default().solve(&p).expect("teal");
+
+    let norm = |alloc: &megate_solvers::TeAllocation, q| {
+        alloc.mean_normalized_latency(&p, Some(q))
+    };
+    let mega_q1 = norm(&mega, QosClass::Class1);
+    let nc_q1 = norm(&nc, QosClass::Class1);
+    let teal_q1 = norm(&teal, QosClass::Class1);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (name, alloc, q1) in [
+        ("MegaTE", &mega, mega_q1),
+        ("NCFlow", &nc, nc_q1),
+        ("TEAL", &teal, teal_q1),
+    ] {
+        let reduction = if name == "MegaTE" { 0.0 } else { 100.0 * (1.0 - mega_q1 / q1) };
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", q1),
+            format!("{:.3}", norm(alloc, QosClass::Class2)),
+            format!("{:.3}", norm(alloc, QosClass::Class3)),
+            if name == "MegaTE" { "-".into() } else { format!("{reduction:.0}%") },
+        ]);
+        json.push(LatencyRow {
+            scheme: name.to_string(),
+            qos1: q1,
+            qos2: norm(alloc, QosClass::Class2),
+            qos3: norm(alloc, QosClass::Class3),
+            reduction_vs_scheme_pct: reduction,
+        });
+    }
+    print_table(
+        "Figure 11 (Deltacom*): normalized QoS-1 latency (1.0 = shortest path). \
+         Paper: MegaTE -25% vs NCFlow, -33% vs TEAL",
+        &["scheme", "QoS1", "QoS2", "QoS3", "MegaTE reduction"],
+        &rows,
+    );
+    assert!(
+        mega_q1 < nc_q1 && mega_q1 < teal_q1,
+        "MegaTE must win on QoS-1 latency: {mega_q1} vs NCFlow {nc_q1} / TEAL {teal_q1}"
+    );
+    write_json("fig11_latency", &json);
+}

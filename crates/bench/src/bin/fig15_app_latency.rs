@@ -1,0 +1,92 @@
+//! Figure 15 — production latency reductions for five time-sensitive
+//! applications (paper: up to 51% for App 1).
+//!
+//! Mechanism reproduced: the traditional approach hashes each app's
+//! connections across the pair's tunnels; MegaTE pins QoS-1 flows to
+//! the shortest tunnel. The reduction per app is
+//! `1 − latency(MegaTE)/latency(traditional)`.
+
+use megate_bench::{print_table, write_json};
+use megate_dataplane::production::{app_flows, evaluate_app, Placement};
+use megate_topo::{twan, SiteId, SitePair, TunnelTable};
+use megate_traffic::app;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AppLatencyRow {
+    app: u8,
+    name: String,
+    traditional_ms: f64,
+    megate_ms: f64,
+    reduction_pct: f64,
+}
+
+fn main() {
+    let graph = twan();
+    // Production pairs: the cross-WAN site pairs with real path
+    // diversity (long-haul routes where the alternate tunnels detour —
+    // the regime of Figure 2's 20 ms vs 42 ms tunnels). Pick the pairs
+    // whose tunnel latency spread is largest.
+    let mut candidates: Vec<(f64, SitePair)> = Vec::new();
+    for i in 0..graph.site_count() as u32 {
+        for j in 0..graph.site_count() as u32 {
+            if i == j || (i + j) % 7 != 0 {
+                continue; // thin the candidate set deterministically
+            }
+            let pair = SitePair::new(SiteId(i), SiteId(j));
+            let probe = TunnelTable::for_pairs(&graph, &[pair], 4);
+            let ts = probe.tunnels_for(pair);
+            if ts.len() >= 3 {
+                let spread = probe.tunnel(*ts.last().unwrap()).weight
+                    / probe.tunnel(ts[0]).weight;
+                candidates.push((spread, pair));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
+    // Each app serves a different region: App 1 crosses the most
+    // detour-prone routes (largest reduction), App 5 the least.
+    let app_pairs: Vec<Vec<SitePair>> = (0..5)
+        .map(|a| candidates.iter().skip(a * 6).take(6).map(|&(_, p)| p).collect())
+        .collect();
+    let all_pairs: Vec<SitePair> = app_pairs.iter().flatten().copied().collect();
+    let tunnels = TunnelTable::for_pairs(&graph, &all_pairs, 4);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut best_reduction = 0.0f64;
+    for n in 1..=5u8 {
+        let a = app(n);
+        let flows = app_flows(a, &app_pairs[(n - 1) as usize], 400);
+        let trad = evaluate_app(&graph, &tunnels, a, &flows, Placement::Traditional, 11);
+        let mega = evaluate_app(&graph, &tunnels, a, &flows, Placement::MegaTe, 11);
+        let reduction = 100.0 * (1.0 - mega.mean_latency_ms / trad.mean_latency_ms);
+        best_reduction = best_reduction.max(reduction);
+        rows.push(vec![
+            format!("App {n}"),
+            a.name.to_string(),
+            format!("{:.1} ms", trad.mean_latency_ms),
+            format!("{:.1} ms", mega.mean_latency_ms),
+            format!("{reduction:.0}%"),
+        ]);
+        json.push(AppLatencyRow {
+            app: n,
+            name: a.name.to_string(),
+            traditional_ms: trad.mean_latency_ms,
+            megate_ms: mega.mean_latency_ms,
+            reduction_pct: reduction,
+        });
+    }
+    print_table(
+        "Figure 15: packet latency reductions for time-sensitive apps \
+         (paper: up to 51% for App 1)",
+        &["app", "workload", "traditional", "MegaTE", "reduction"],
+        &rows,
+    );
+    println!("\nBest reduction: {best_reduction:.0}% (paper: 51%).");
+    assert!(
+        (20.0..=85.0).contains(&best_reduction),
+        "MegaTE must cut time-sensitive latency substantially: {best_reduction}%"
+    );
+    write_json("fig15_app_latency", &json);
+}

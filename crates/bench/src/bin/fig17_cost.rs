@@ -1,0 +1,89 @@
+//! Figure 17 — traffic cost before/after the MegaTE rollout.
+//!
+//! Before deployment every flow rides the premium high-availability
+//! path (the initial system "cannot differentiate traffic with multiple
+//! priorities ... all flows will be routed to the high-availability
+//! path"); afterwards, bulk QoS-3 traffic moves to economy transit.
+//! Paper: App 9 (bulk transfer) costs drop by 50%.
+
+use megate_bench::{print_table, write_json};
+use megate_dataplane::production::{
+    app_flows, evaluate_app, place_flow, tunnel_cost_per_gbps, AppFlow, Placement,
+};
+use megate_topo::{twan, SiteId, SitePair, TunnelTable};
+use megate_traffic::{app, AppProfile};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CostRow {
+    app: u8,
+    name: String,
+    cost_before: f64,
+    cost_after: f64,
+    reduction_pct: f64,
+}
+
+/// Pre-rollout placement: everything on the premium (shortest) tunnel.
+fn premium_cost(
+    tunnels: &TunnelTable,
+    app: &AppProfile,
+    flows: &[AppFlow],
+) -> f64 {
+    let mut cost = 0.0;
+    for f in flows {
+        // Force the class-1 policy (premium path) regardless of class.
+        let mut qos1_app = app.clone();
+        qos1_app.qos = megate_traffic::QosClass::Class1;
+        if let Some(t) = place_flow(tunnels, &qos1_app, f, Placement::MegaTe, 0) {
+            cost += (f.demand_mbps / 1000.0) * tunnel_cost_per_gbps(tunnels, t);
+        }
+    }
+    cost
+}
+
+fn main() {
+    let graph = twan();
+    let pairs: Vec<SitePair> = (0..10)
+        .map(|i| SitePair::new(SiteId(3 * i), SiteId(90 - 4 * i)))
+        .collect();
+    let tunnels = TunnelTable::for_pairs(&graph, &pairs, 4);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for n in [8u8, 9] {
+        let a = app(n);
+        let flows = app_flows(a, &pairs, 400);
+        let before = premium_cost(&tunnels, a, &flows);
+        let after = evaluate_app(&graph, &tunnels, a, &flows, Placement::MegaTe, 0).cost;
+        let reduction = 100.0 * (1.0 - after / before);
+        rows.push(vec![
+            format!("App {n}"),
+            a.name.to_string(),
+            format!("{before:.2}"),
+            format!("{after:.2}"),
+            format!("{reduction:.0}%"),
+        ]);
+        json.push(CostRow {
+            app: n,
+            name: a.name.to_string(),
+            cost_before: before,
+            cost_after: after,
+            reduction_pct: reduction,
+        });
+    }
+    print_table(
+        "Figure 17: traffic cost before/after rollout (paper: App 9 -50%; App 8 \
+         unchanged — it needs the premium path)",
+        &["app", "workload", "cost before", "cost after", "reduction"],
+        &rows,
+    );
+    let app9 = &json[1];
+    assert!(
+        app9.reduction_pct >= 45.0,
+        "bulk app must save ~50%: {:.0}%",
+        app9.reduction_pct
+    );
+    let app8 = &json[0];
+    assert!(app8.reduction_pct.abs() < 5.0, "QoS-1 app stays on premium");
+    write_json("fig17_cost", &json);
+}

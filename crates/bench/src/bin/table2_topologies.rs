@@ -1,0 +1,63 @@
+//! Table 2 — the four evaluation topologies with endpoint budgets.
+
+use megate_bench::{print_table, write_json};
+use megate_topo::{topology_stats, EndpointCatalog, TopologySpec, WeibullEndpoints};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TopoRow {
+    topology: String,
+    sites: usize,
+    links_bidi: usize,
+    endpoints: usize,
+    mean_degree: f64,
+    diameter_hops: usize,
+    diameter_ms: f64,
+    total_capacity_gbps: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for spec in TopologySpec::all() {
+        let g = spec.build();
+        let endpoints = spec.max_endpoints();
+        // Materialize the endpoint catalog to prove the budget is
+        // actually attachable.
+        let catalog = EndpointCatalog::generate(
+            &g,
+            endpoints,
+            WeibullEndpoints::with_scale(endpoints as f64 / g.site_count() as f64),
+            7,
+        );
+        assert_eq!(catalog.len(), endpoints);
+        let stats = topology_stats(&g);
+        rows.push(vec![
+            spec.name().to_string(),
+            g.site_count().to_string(),
+            (g.link_count() / 2).to_string(),
+            endpoints.to_string(),
+            format!("{:.1}", stats.mean_degree),
+            stats.diameter_hops.to_string(),
+            format!("{:.0} ms", stats.diameter_ms),
+            format!("{:.0}", stats.total_capacity_gbps),
+        ]);
+        json.push(TopoRow {
+            topology: spec.name().to_string(),
+            sites: g.site_count(),
+            links_bidi: g.link_count() / 2,
+            endpoints,
+            mean_degree: stats.mean_degree,
+            diameter_hops: stats.diameter_hops,
+            diameter_ms: stats.diameter_ms,
+            total_capacity_gbps: stats.total_capacity_gbps,
+        });
+    }
+    print_table(
+        "Table 2: network topologies (paper: B4* 12/120k, Deltacom* 113/1.13M, \
+         Cogentco* 197/1.97M, TWAN O(100)/O(1M))",
+        &["topology", "sites", "links", "endpoints", "degree", "diam hops", "diam", "cap Gbps"],
+        &rows,
+    );
+    write_json("table2_topologies", &json);
+}

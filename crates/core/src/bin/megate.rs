@@ -1,0 +1,255 @@
+//! `megate` — command-line front end for the MegaTE reproduction.
+//!
+//! ```text
+//! megate topology <b4|deltacom|cogentco|twan> [--dot]
+//! megate trace-gen <topology> [--endpoints N] [--site-pairs N] [--seed S] [--load L]
+//! megate solve <topology> [--scheme megate|lp-all|ncflow|teal] [--endpoints N]
+//!              [--trace FILE] [--qos] [--seed S] [--load L]
+//! megate simulate <topology> [--endpoints N] [--seed S]
+//! ```
+//!
+//! `trace-gen` writes a demand trace to stdout (redirect to a file);
+//! `solve` either generates demands or replays a `--trace` file, runs
+//! the chosen TE scheme and prints the allocation summary; `simulate`
+//! runs the full control loop + packet data plane end to end.
+
+use megate::prelude::*;
+use megate_solvers::TeScheme;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "topology" => cmd_topology(&args[1..]),
+        "trace-gen" => cmd_trace_gen(&args[1..]),
+        "solve" => cmd_solve(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+megate — endpoint-granular WAN traffic engineering (SIGCOMM'24 reproduction)
+
+USAGE:
+  megate topology <b4|deltacom|cogentco|twan> [--dot]
+  megate trace-gen <topology> [--endpoints N] [--site-pairs N] [--seed S] [--load L]
+  megate solve <topology> [--scheme megate|lp-all|ncflow|teal] [--endpoints N]
+               [--trace FILE] [--qos] [--seed S] [--load L]
+  megate simulate <topology> [--endpoints N] [--seed S]";
+
+fn parse_topology(name: &str) -> Result<TopologySpec, String> {
+    match name {
+        "b4" => Ok(TopologySpec::B4),
+        "deltacom" => Ok(TopologySpec::Deltacom),
+        "cogentco" => Ok(TopologySpec::Cogentco),
+        "twan" => Ok(TopologySpec::Twan),
+        other => Err(format!("unknown topology '{other}' (b4|deltacom|cogentco|twan)")),
+    }
+}
+
+/// Tiny flag parser: `--key value` pairs plus boolean `--key`.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {key}: '{v}'")),
+        }
+    }
+}
+
+fn cmd_topology(args: &[String]) -> Result<(), String> {
+    let spec = parse_topology(args.first().ok_or("missing topology")?)?;
+    let flags = Flags { args };
+    let graph = spec.build();
+    if flags.has("--dot") {
+        print!(
+            "{}",
+            megate_topo::to_dot(
+                &graph,
+                spec.name(),
+                &megate_topo::DotOptions { collapse_bidi: true, ..Default::default() }
+            )
+        );
+        return Ok(());
+    }
+    let stats = megate_topo::topology_stats(&graph);
+    println!("topology:       {}", spec.name());
+    println!("sites:          {}", stats.sites);
+    println!("fibers:         {}", stats.fibers);
+    println!("mean degree:    {:.2}", stats.mean_degree);
+    println!("max degree:     {}", stats.max_degree);
+    println!("diameter:       {} hops / {:.1} ms", stats.diameter_hops, stats.diameter_ms);
+    println!("total capacity: {:.0} Gbps", stats.total_capacity_gbps);
+    println!("endpoint budget (Table 2): {}", spec.max_endpoints());
+    Ok(())
+}
+
+fn build_demands(
+    spec: TopologySpec,
+    flags: &Flags,
+) -> Result<(megate_topo::Graph, TunnelTable, DemandSet), String> {
+    let graph = spec.build();
+    let endpoints: usize = flags.num("--endpoints", 1000)?;
+    let seed: u64 = flags.num("--seed", 42)?;
+    let load: f64 = flags.num("--load", 1.0)?;
+    let demands = if let Some(path) = flags.get("--trace") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        megate_traffic::read_trace(&text).map_err(|e| e.to_string())?
+    } else {
+        let n_sites = graph.site_count();
+        let site_pairs: usize =
+            flags.num("--site-pairs", (endpoints / 30).clamp(10, n_sites * (n_sites - 1)))?;
+        let catalog = EndpointCatalog::generate(
+            &graph,
+            (endpoints * 2).max(n_sites),
+            WeibullEndpoints::with_scale(endpoints as f64 / n_sites as f64),
+            seed,
+        );
+        let mut d = DemandSet::generate(
+            &graph,
+            &catalog,
+            &TrafficConfig {
+                endpoint_pairs: endpoints,
+                site_pairs,
+                seed,
+                ..Default::default()
+            },
+        );
+        d.scale_to_load(&graph, load);
+        d
+    };
+    let pairs: Vec<SitePair> = demands.pairs().collect();
+    let tunnels = TunnelTable::for_pairs(&graph, &pairs, 4);
+    Ok((graph, tunnels, demands))
+}
+
+fn cmd_trace_gen(args: &[String]) -> Result<(), String> {
+    let spec = parse_topology(args.first().ok_or("missing topology")?)?;
+    let flags = Flags { args };
+    let (_, _, demands) = build_demands(spec, &flags)?;
+    print!("{}", megate_traffic::write_trace(&demands));
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let spec = parse_topology(args.first().ok_or("missing topology")?)?;
+    let flags = Flags { args };
+    let (graph, tunnels, demands) = build_demands(spec, &flags)?;
+    let problem = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+
+    let scheme_name = flags.get("--scheme").unwrap_or("megate");
+    let qos = flags.has("--qos");
+    let alloc = match (scheme_name, qos) {
+        ("megate", true) => solve_per_qos(&MegaTeScheme::default(), &problem),
+        ("megate", false) => MegaTeScheme::default().solve(&problem),
+        ("lp-all", _) => LpAllScheme::default().solve(&problem),
+        ("ncflow", _) => NcFlowScheme::default().solve(&problem),
+        ("teal", _) => TealScheme::default().solve(&problem),
+        (other, _) => return Err(format!("unknown scheme '{other}'")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!("scheme:        {}", alloc.scheme);
+    println!("demands:       {} endpoint pairs, {:.1} Gbps", demands.len(), demands.total_mbps() / 1000.0);
+    println!("solve time:    {:?}", alloc.solve_time);
+    println!("satisfied:     {:.2}%", 100.0 * alloc.satisfied_ratio(&problem));
+    println!("max link util: {:.1}%", 100.0 * alloc.max_link_utilization(&problem));
+    if let Some(assign) = &alloc.endpoint_assignment {
+        let assigned = assign.iter().filter(|a| a.is_some()).count();
+        println!("flows routed:  {assigned}/{}", assign.len());
+    }
+    for q in QosClass::IN_PRIORITY_ORDER {
+        let lat = alloc.mean_normalized_latency(&problem, Some(q));
+        if lat > 0.0 {
+            println!("{q} normalized latency: {lat:.3}");
+        }
+    }
+    if !alloc.check_feasible(&problem, 1e-6) {
+        return Err("allocation failed the feasibility check".into());
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let spec = parse_topology(args.first().ok_or("missing topology")?)?;
+    let flags = Flags { args };
+    let endpoints: usize = flags.num("--endpoints", 200)?;
+    let seed: u64 = flags.num("--seed", 42)?;
+    if endpoints > 20_000 {
+        return Err("simulate builds one host per endpoint; use <= 20000".into());
+    }
+    let graph = spec.build();
+    let n_sites = graph.site_count();
+    let catalog = EndpointCatalog::generate(
+        &graph,
+        endpoints,
+        WeibullEndpoints::with_scale(endpoints as f64 / n_sites as f64),
+        seed,
+    );
+    let mut demands = DemandSet::generate(
+        &graph,
+        &catalog,
+        &TrafficConfig {
+            endpoint_pairs: endpoints / 2 + 1,
+            site_pairs: (endpoints / 30).clamp(5, 200),
+            seed,
+            ..Default::default()
+        },
+    );
+    demands.scale_to_load(&graph, 0.6);
+    let tunnels = TunnelTable::for_pairs(&graph, &demands.pairs().collect::<Vec<_>>(), 4);
+
+    let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
+    sys.bring_up(&demands);
+    let report = sys.run_controller_interval(&demands).map_err(|e| e.to_string())?;
+    let updated = sys.agents_pull();
+    let traffic = sys.send_demand_packets(&demands);
+    println!("controller:  published v{} in {:?}", report.version, report.total_time);
+    println!("agents:      {updated} pulled the new configuration");
+    println!(
+        "data plane:  {}/{} delivered, {} SR-labelled, mean latency {:.1} ms",
+        traffic.delivered,
+        traffic.delivered + traffic.dropped,
+        traffic.sr_labelled,
+        traffic.mean_latency_ms
+    );
+    let ctl = sys.controller_mut();
+    let problem = TeProblem { graph: ctl.graph(), tunnels: ctl.tunnels(), demands: &demands };
+    println!(
+        "satisfied:   {:.1}% of demand",
+        100.0 * report.allocation.satisfied_ratio(&problem)
+    );
+    Ok(())
+}

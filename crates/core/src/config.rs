@@ -1,0 +1,155 @@
+//! On-the-wire encoding of per-endpoint TE configurations.
+//!
+//! The controller stores, per source endpoint, the list of
+//! `(destination address, SR hop list)` the endpoint agent must install
+//! into `path_map` (§5.2). The format is a small explicit binary codec
+//! (big-endian, length-prefixed) — no serde dependency on the hot path,
+//! and every decode is bounds-checked so a corrupted database entry can
+//! never panic an agent.
+//!
+//! ```text
+//! u32 entry_count
+//! per entry: [u8; 4] dst_ip | u8 hop_count | hop_count × u32 hops
+//! ```
+
+use megate_hoststack::PathInstall;
+use megate_hoststack::InstanceId;
+
+/// One endpoint's TE configuration: where each of its destinations
+/// should be routed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EndpointConfig {
+    /// `(dst_ip, SR hops)` entries.
+    pub paths: Vec<([u8; 4], Vec<u32>)>,
+}
+
+impl EndpointConfig {
+    /// Converts to the host-stack install records for an instance.
+    pub fn to_installs(&self, instance: InstanceId) -> Vec<PathInstall> {
+        self.paths
+            .iter()
+            .map(|(dst_ip, hops)| PathInstall {
+                instance,
+                dst_ip: *dst_ip,
+                hops: hops.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Encodes a configuration.
+pub fn encode_paths(config: &EndpointConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + config.paths.len() * 16);
+    out.extend_from_slice(&(config.paths.len() as u32).to_be_bytes());
+    for (dst, hops) in &config.paths {
+        assert!(hops.len() <= u8::MAX as usize, "hop list too long to encode");
+        out.extend_from_slice(dst);
+        out.push(hops.len() as u8);
+        for h in hops {
+            out.extend_from_slice(&h.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a configuration; returns `None` on any truncation or
+/// inconsistency (agents treat that as "keep the old config").
+pub fn decode_paths(bytes: &[u8]) -> Option<EndpointConfig> {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = bytes.get(*at..*at + n)?;
+        *at += n;
+        Some(s)
+    };
+    let count = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+    // Sanity bound: entries are at least 5 bytes each.
+    if count > bytes.len() / 5 + 1 {
+        return None;
+    }
+    let mut paths = Vec::with_capacity(count);
+    for _ in 0..count {
+        let dst: [u8; 4] = take(&mut at, 4)?.try_into().ok()?;
+        let hop_count = take(&mut at, 1)?[0] as usize;
+        let mut hops = Vec::with_capacity(hop_count);
+        for _ in 0..hop_count {
+            hops.push(u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?));
+        }
+        paths.push((dst, hops));
+    }
+    if at != bytes.len() {
+        return None; // trailing garbage
+    }
+    Some(EndpointConfig { paths })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let cfg = EndpointConfig {
+            paths: vec![([10, 0, 0, 1], vec![3, 1, 4]), ([10, 0, 0, 2], vec![])],
+        };
+        let bytes = encode_paths(&cfg);
+        assert_eq!(decode_paths(&bytes), Some(cfg));
+    }
+
+    #[test]
+    fn empty_config_roundtrips() {
+        let cfg = EndpointConfig::default();
+        assert_eq!(decode_paths(&encode_paths(&cfg)), Some(cfg));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let cfg = EndpointConfig {
+            paths: vec![([1, 2, 3, 4], vec![7, 8, 9, 10])],
+        };
+        let bytes = encode_paths(&cfg);
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_paths(&bytes[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_paths(&EndpointConfig::default());
+        bytes.push(0);
+        assert_eq!(decode_paths(&bytes), None);
+    }
+
+    #[test]
+    fn absurd_count_rejected() {
+        let bytes = u32::MAX.to_be_bytes().to_vec();
+        assert_eq!(decode_paths(&bytes), None);
+    }
+
+    #[test]
+    fn to_installs_carries_instance() {
+        let cfg = EndpointConfig { paths: vec![([9, 9, 9, 9], vec![1])] };
+        let installs = cfg.to_installs(InstanceId(42));
+        assert_eq!(installs.len(), 1);
+        assert_eq!(installs[0].instance, InstanceId(42));
+        assert_eq!(installs[0].dst_ip, [9, 9, 9, 9]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(
+            paths in proptest::collection::vec(
+                (any::<[u8; 4]>(), proptest::collection::vec(any::<u32>(), 0..10)),
+                0..20,
+            )
+        ) {
+            let cfg = EndpointConfig { paths };
+            prop_assert_eq!(decode_paths(&encode_paths(&cfg)), Some(cfg));
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = decode_paths(&data);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The centralized MegaTE controller (§3.2, Figure 3(b)).
+//!
+//! Per TE interval (or on a failure event) the controller:
+//!
+//! 1. takes the interval's endpoint-pair demands (collected bottom-up
+//!    by the endpoint agents),
+//! 2. runs the two-stage optimization per QoS class in priority order,
+//! 3. translates the binary assignment `f_{k,t}^i` into per-source-
+//!    endpoint configurations (destination → SR hop list), and
+//! 4. publishes them into the TE database under an incremented version
+//!    number — it never talks to endpoints directly.
+
+use crate::config::{encode_paths, EndpointConfig};
+use megate_solvers::{solve_per_qos, MegaTeConfig, MegaTeScheme, SolveError, TeAllocation, TeProblem, TeScheme};
+use megate_tedb::TeDatabase;
+use megate_topo::{EndpointCatalog, EndpointId, FailureScenario, Graph, TunnelTable};
+use megate_traffic::DemandSet;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerConfig {
+    /// The two-stage solver's knobs.
+    pub solver: MegaTeConfig,
+    /// Allocate QoS classes sequentially (§4.1). On by default via
+    /// [`ControllerConfig::default`]-adjacent constructors; disable for
+    /// single-shot experiments.
+    pub qos_sequential: bool,
+}
+
+/// Outcome of one controller interval.
+#[derive(Debug, Clone)]
+pub struct IntervalReport {
+    /// The configuration version just published.
+    pub version: u64,
+    /// The allocation behind it.
+    pub allocation: TeAllocation,
+    /// How many source endpoints received configuration entries.
+    pub configured_endpoints: usize,
+    /// Wall-clock time of solve + publish.
+    pub total_time: Duration,
+}
+
+/// The MegaTE controller.
+pub struct Controller {
+    graph: Graph,
+    tunnels: TunnelTable,
+    catalog: EndpointCatalog,
+    db: TeDatabase,
+    config: ControllerConfig,
+    version: u64,
+    published_keys: Vec<String>,
+}
+
+impl Controller {
+    /// A controller over a topology, its tunnels, the endpoint catalog
+    /// and a TE database handle.
+    pub fn new(
+        graph: Graph,
+        tunnels: TunnelTable,
+        catalog: EndpointCatalog,
+        db: TeDatabase,
+        config: ControllerConfig,
+    ) -> Self {
+        Self {
+            graph,
+            tunnels,
+            catalog,
+            db,
+            config,
+            version: 0,
+            published_keys: Vec::new(),
+        }
+    }
+
+    /// The underlay/overlay address of an endpoint (1:1 with its id;
+    /// supports 16M endpoints in 10.0.0.0/8).
+    pub fn endpoint_ip(ep: EndpointId) -> [u8; 4] {
+        let id = ep.0;
+        assert!(id < (1 << 24), "endpoint id out of 10/8 addressing range");
+        [10, (id >> 16) as u8, (id >> 8) as u8, id as u8]
+    }
+
+    /// Inverse of [`endpoint_ip`](Self::endpoint_ip): recovers the
+    /// endpoint id from a 10/8 address (`None` for foreign addresses).
+    pub fn endpoint_from_ip(ip: [u8; 4]) -> Option<EndpointId> {
+        if ip[0] != 10 {
+            return None;
+        }
+        Some(EndpointId(
+            ((ip[1] as u64) << 16) | ((ip[2] as u64) << 8) | ip[3] as u64,
+        ))
+    }
+
+    /// Builds the next interval's demand matrix from the endpoint
+    /// agents' measured flow reports — the paper's bottom-up input
+    /// (§5.1: agents report `(ins_id, volume)`; the backend aggregates
+    /// per endpoint pair, and "the flow data observed during each TE
+    /// period ... is regarded as their traffic demand", §6.1).
+    ///
+    /// `records` are `(flow tuple, bytes over the interval)`; flows to
+    /// or from addresses outside the endpoint range, or between
+    /// endpoints the catalog does not know, are skipped. QoS comes from
+    /// `classify` (deployments read it from tenant metadata).
+    pub fn demands_from_measurements(
+        &self,
+        records: &[(megate_packet::FiveTuple, u64)],
+        interval: std::time::Duration,
+        classify: impl Fn(&megate_packet::FiveTuple) -> megate_traffic::QosClass,
+    ) -> DemandSet {
+        use std::collections::BTreeMap;
+        let mut per_pair: BTreeMap<(EndpointId, EndpointId), (u64, megate_traffic::QosClass)> =
+            BTreeMap::new();
+        for (tuple, bytes) in records {
+            let (Some(src), Some(dst)) = (
+                Self::endpoint_from_ip(tuple.src_ip),
+                Self::endpoint_from_ip(tuple.dst_ip),
+            ) else {
+                continue;
+            };
+            if src.index() >= self.catalog.len() || dst.index() >= self.catalog.len() {
+                continue;
+            }
+            let e = per_pair.entry((src, dst)).or_insert((0, classify(tuple)));
+            e.0 += bytes;
+        }
+        let secs = interval.as_secs_f64().max(1e-9);
+        let mut demands = DemandSet::default();
+        for ((src, dst), (bytes, qos)) in per_pair {
+            let site_pair = megate_topo::SitePair::new(
+                self.catalog.site_of(src),
+                self.catalog.site_of(dst),
+            );
+            if site_pair.src == site_pair.dst {
+                continue; // intra-site traffic never enters the WAN
+            }
+            demands.push(
+                site_pair,
+                megate_traffic::EndpointDemand {
+                    src,
+                    dst,
+                    demand_mbps: (bytes as f64 * 8.0) / 1_000_000.0 / secs,
+                    qos,
+                },
+            );
+        }
+        demands
+    }
+
+    /// Database key of an endpoint's configuration.
+    pub fn config_key(ep: EndpointId) -> String {
+        format!("ep:{}", ep.0)
+    }
+
+    /// Currently published version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The topology the controller plans over.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The tunnel table.
+    pub fn tunnels(&self) -> &TunnelTable {
+        &self.tunnels
+    }
+
+    /// Runs one TE interval: solve and publish.
+    pub fn run_interval(&mut self, demands: &DemandSet) -> Result<IntervalReport, SolveError> {
+        let graph = self.graph.clone();
+        self.solve_and_publish(&graph, demands)
+    }
+
+    /// Reacts to link failures: re-solve on the degraded topology and
+    /// publish immediately (the paper's §6.3 fast-recompute path).
+    pub fn handle_failure(
+        &mut self,
+        demands: &DemandSet,
+        scenario: &FailureScenario,
+    ) -> Result<IntervalReport, SolveError> {
+        let degraded = scenario.apply(&self.graph);
+        self.solve_and_publish(&degraded, demands)
+    }
+
+    fn solve_and_publish(
+        &mut self,
+        graph: &Graph,
+        demands: &DemandSet,
+    ) -> Result<IntervalReport, SolveError> {
+        let started = std::time::Instant::now();
+        let problem = TeProblem { graph, tunnels: &self.tunnels, demands };
+        let scheme = MegaTeScheme::new(self.config.solver.clone());
+        let allocation = if self.config.qos_sequential {
+            solve_per_qos(&scheme, &problem)?
+        } else {
+            scheme.solve(&problem)?
+        };
+
+        // Translate the assignment into per-source-endpoint configs.
+        let assign = allocation
+            .endpoint_assignment
+            .as_ref()
+            .expect("MegaTE produces endpoint assignments");
+        let mut per_src: BTreeMap<EndpointId, EndpointConfig> = BTreeMap::new();
+        for (i, choice) in assign.iter().enumerate() {
+            let Some(t) = choice else { continue };
+            let d = &demands.demands()[i];
+            let hops: Vec<u32> = self
+                .tunnels
+                .tunnel(*t)
+                .sites
+                .iter()
+                .skip(1)
+                .map(|s| s.0)
+                .collect();
+            per_src
+                .entry(d.src)
+                .or_default()
+                .paths
+                .push((Self::endpoint_ip(d.dst), hops));
+        }
+
+        // Publish: entries first, version key last (§3.2 ordering).
+        let entries: Vec<(String, Vec<u8>)> = per_src
+            .iter()
+            .map(|(ep, cfg)| (Self::config_key(*ep), encode_paths(cfg)))
+            .collect();
+        let old_version = self.version;
+        let old_keys = std::mem::take(&mut self.published_keys);
+        self.version += 1;
+        self.db.publish_config(self.version, &entries);
+        self.published_keys = entries.iter().map(|(k, _)| k.clone()).collect();
+        // Garbage-collect the previous version's entries.
+        if old_version > 0 {
+            self.db.evict_version(old_version, &old_keys);
+        }
+
+        // Verify the catalog covers every configured endpoint (debug
+        // builds): a config for an unknown endpoint is a planning bug.
+        debug_assert!(per_src
+            .keys()
+            .all(|ep| ep.index() < self.catalog.len()));
+
+        Ok(IntervalReport {
+            version: self.version,
+            configured_endpoints: per_src.len(),
+            allocation,
+            total_time: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::decode_paths;
+    use megate_topo::{b4, WeibullEndpoints};
+    use megate_traffic::TrafficConfig;
+
+    fn fixture() -> (Controller, DemandSet) {
+        let g = b4();
+        let tunnels = TunnelTable::for_all_pairs(&g, 3);
+        let catalog = EndpointCatalog::generate(&g, 240, WeibullEndpoints::with_scale(20.0), 7);
+        let mut demands = DemandSet::generate(
+            &g,
+            &catalog,
+            &TrafficConfig { endpoint_pairs: 150, site_pairs: 20, ..Default::default() },
+        );
+        demands.scale_to_load(&g, 0.5);
+        let db = TeDatabase::new(2);
+        let ctl = Controller::new(
+            g,
+            tunnels,
+            catalog,
+            db,
+            ControllerConfig { qos_sequential: true, ..Default::default() },
+        );
+        (ctl, demands)
+    }
+
+    #[test]
+    fn endpoint_addressing_is_injective() {
+        let mut seen = std::collections::HashSet::new();
+        for id in [0u64, 1, 255, 256, 65_535, 65_536, 1_000_000] {
+            assert!(seen.insert(Controller::endpoint_ip(EndpointId(id))));
+        }
+    }
+
+    #[test]
+    fn run_interval_publishes_decodable_configs() {
+        let (mut ctl, demands) = fixture();
+        let db = ctl.db.clone();
+        let report = ctl.run_interval(&demands).unwrap();
+        assert_eq!(report.version, 1);
+        assert!(report.configured_endpoints > 0);
+        assert_eq!(db.latest_version(), Some(1));
+
+        // Every configured endpoint's entry must decode and every hop
+        // path must terminate at the destination's site... spot check
+        // the first configured endpoint.
+        let assign = report.allocation.endpoint_assignment.as_ref().unwrap();
+        let i = assign.iter().position(|c| c.is_some()).unwrap();
+        let d = &demands.demands()[i];
+        let raw = db
+            .fetch_config(1, &Controller::config_key(d.src))
+            .expect("config present");
+        let cfg = decode_paths(&raw).expect("decodable");
+        assert!(cfg
+            .paths
+            .iter()
+            .any(|(dst, _)| *dst == Controller::endpoint_ip(d.dst)));
+    }
+
+    #[test]
+    fn versions_increment_and_old_entries_evicted() {
+        let (mut ctl, demands) = fixture();
+        let db = ctl.db.clone();
+        let r1 = ctl.run_interval(&demands).unwrap();
+        let key_of_v1 = {
+            let assign = r1.allocation.endpoint_assignment.as_ref().unwrap();
+            let i = assign.iter().position(|c| c.is_some()).unwrap();
+            Controller::config_key(demands.demands()[i].src)
+        };
+        assert!(db.fetch_config(1, &key_of_v1).is_some());
+        let r2 = ctl.run_interval(&demands).unwrap();
+        assert_eq!(r2.version, 2);
+        assert_eq!(db.latest_version(), Some(2));
+        assert!(db.fetch_config(1, &key_of_v1).is_none(), "v1 evicted");
+        assert!(db.fetch_config(2, &key_of_v1).is_some());
+    }
+
+    #[test]
+    fn failure_recompute_avoids_failed_links() {
+        let (mut ctl, demands) = fixture();
+        ctl.run_interval(&demands).unwrap();
+        let scenario =
+            FailureScenario::sample_connected(ctl.graph(), 2, 5).expect("scenario");
+        let report = ctl.handle_failure(&demands, &scenario).unwrap();
+        // No allocated tunnel may cross a failed link.
+        for t in ctl.tunnels().all_tunnels() {
+            if report.allocation.tunnel_flow_mbps[t.id.index()] > 0.0 {
+                for &l in &t.links {
+                    assert!(!scenario.contains(l), "flow on failed link {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failure_recompute_is_fast() {
+        let (mut ctl, demands) = fixture();
+        ctl.run_interval(&demands).unwrap();
+        let scenario = FailureScenario::sample_connected(ctl.graph(), 2, 9).unwrap();
+        let report = ctl.handle_failure(&demands, &scenario).unwrap();
+        // B4-scale recompute must be well under a second (§6.3).
+        assert!(report.total_time.as_secs_f64() < 1.0);
+    }
+}

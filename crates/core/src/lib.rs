@@ -1,0 +1,78 @@
+//! # MegaTE — endpoint-granular WAN traffic engineering
+//!
+//! A from-scratch reproduction of *"MegaTE: Extending WAN Traffic
+//! Engineering to Millions of Endpoints in Virtualized Cloud"*
+//! (SIGCOMM 2024). MegaTE moves TE from router-level aggregated flows
+//! to individual virtual-instance flows by:
+//!
+//! * a **bottom-up control loop**: a sharded, versioned TE database
+//!   that millions of endpoints poll asynchronously
+//!   ([`megate_tedb`]), instead of controller push over persistent
+//!   connections;
+//! * a **two-stage optimizer**: topology contraction into a site-level
+//!   LP plus per-site-pair subset-sum problems solved by FastSSP
+//!   ([`megate_solvers`], [`megate_ssp`], [`megate_lp`]);
+//! * an **eBPF-style host data plane**: instance identification, flow
+//!   collection and segment-routing header insertion at the TC layer
+//!   ([`megate_hoststack`], [`megate_packet`]), with SR-aware WAN
+//!   routers ([`megate_dataplane`]).
+//!
+//! This crate wires those substrates into a runnable system:
+//!
+//! * [`config`] — the on-the-wire encoding of per-endpoint TE
+//!   configurations stored in the TE database;
+//! * [`controller`] — the centralized controller: collect demands,
+//!   run the two-stage optimization per QoS class, publish versioned
+//!   configurations, react to failures;
+//! * [`system`] — an end-to-end simulation harness: hosts with
+//!   simulated kernels and agents, the TE database, the controller and
+//!   the WAN data plane, exercised packet-by-packet.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use megate::prelude::*;
+//!
+//! // Topology + endpoints + one TE interval of demands.
+//! let graph = megate_topo::b4();
+//! let tunnels = TunnelTable::for_all_pairs(&graph, 3);
+//! let catalog = EndpointCatalog::generate(
+//!     &graph, 240, WeibullEndpoints::with_scale(20.0), 7);
+//! let mut demands = DemandSet::generate(&graph, &catalog, &TrafficConfig {
+//!     endpoint_pairs: 200, ..Default::default()
+//! });
+//! demands.scale_to_load(&graph, 0.8);
+//!
+//! // Solve with MegaTE's two-stage algorithm, QoS class by class.
+//! let problem = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+//! let alloc = solve_per_qos(&MegaTeScheme::default(), &problem).unwrap();
+//! assert!(alloc.check_feasible(&problem, 1e-6));
+//! println!("satisfied {:.1}%", 100.0 * alloc.satisfied_ratio(&problem));
+//! ```
+
+pub mod config;
+pub mod controller;
+pub mod system;
+
+/// One-stop imports for examples, tests and downstream users.
+pub mod prelude {
+    pub use crate::config::{decode_paths, encode_paths, EndpointConfig};
+    pub use crate::controller::{Controller, ControllerConfig, IntervalReport};
+    pub use crate::system::{MegaTeSystem, SystemConfig, TrafficReport};
+    pub use megate_dataplane::{HostRegistry, WanNetwork};
+    pub use megate_hoststack::{EndpointAgent, InstanceId, SimKernel};
+    pub use megate_solvers::{
+        solve_per_qos, LpAllScheme, MegaTeScheme, NcFlowScheme, TeAllocation, TeProblem,
+        TeScheme, TealScheme,
+    };
+    pub use megate_tedb::TeDatabase;
+    pub use megate_topo::{
+        EndpointCatalog, EndpointId, FailureScenario, Graph, SitePair, TopologySpec,
+        TunnelTable, WeibullEndpoints,
+    };
+    pub use megate_traffic::{DemandSet, QosClass, TrafficConfig};
+}
+
+pub use config::{decode_paths, encode_paths, EndpointConfig};
+pub use controller::{Controller, ControllerConfig, IntervalReport};
+pub use system::{MegaTeSystem, SystemConfig, TrafficReport};

@@ -1,0 +1,384 @@
+//! End-to-end system harness: hosts, database, controller, WAN.
+//!
+//! [`MegaTeSystem`] wires every layer of the reproduction together the
+//! way Figure 3(b) draws it:
+//!
+//! ```text
+//!   controller ──publish──▶ TE database ◀──poll/fetch── endpoint agents
+//!        ▲                                                   │ install
+//!   demands (bottom-up)                                 path_map (eBPF)
+//!        │                                                   ▼
+//!   endpoint agents ◀──traffic_map── TC programs ──SR frames──▶ WAN routers
+//! ```
+//!
+//! Each source endpoint gets a simulated host (kernel + agent); packets
+//! are real frame bytes passing through the TC egress chain and the
+//! SR-aware WAN. This harness is what the integration tests and
+//! examples drive; solver-scale experiments use `megate-solvers`
+//! directly without per-host state.
+
+use crate::config::decode_paths;
+use crate::controller::{Controller, ControllerConfig, IntervalReport};
+use megate_dataplane::{HostRegistry, WanNetwork};
+use megate_hoststack::{EndpointAgent, InstanceId, Pid, SimKernel};
+use megate_packet::{FiveTuple, MegaTeFrameSpec, Proto};
+use megate_solvers::SolveError;
+use megate_tedb::TeDatabase;
+use megate_topo::{EndpointCatalog, EndpointId, Graph, TunnelTable};
+use megate_traffic::DemandSet;
+use std::collections::HashMap;
+
+/// System-level knobs.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Tenant VNI used for all generated traffic.
+    pub vni: u32,
+    /// Controller configuration.
+    pub controller: ControllerConfig,
+    /// Database shards.
+    pub db_shards: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            vni: 100,
+            controller: ControllerConfig { qos_sequential: true, ..Default::default() },
+            db_shards: 2,
+        }
+    }
+}
+
+/// One simulated end host: kernel + agent + the instance living on it.
+struct Host {
+    endpoint: EndpointId,
+    kernel: SimKernel,
+    agent: EndpointAgent,
+}
+
+/// Outcome of pushing one interval's packets through the data plane.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficReport {
+    /// Frames delivered to the right destination.
+    pub delivered: usize,
+    /// Frames dropped (with reasons counted).
+    pub dropped: usize,
+    /// Frames that carried a MegaTE SR header.
+    pub sr_labelled: usize,
+    /// Demand-weighted mean latency over delivered frames (ms).
+    pub mean_latency_ms: f64,
+    /// Per-demand latency (ms), `None` when dropped/unrouted.
+    pub per_demand_latency: Vec<Option<f64>>,
+}
+
+/// The full MegaTE system over a simulated WAN.
+pub struct MegaTeSystem {
+    graph: Graph,
+    tunnels: TunnelTable,
+    db: TeDatabase,
+    controller: Controller,
+    hosts: Vec<Host>,
+    host_of_endpoint: HashMap<EndpointId, usize>,
+    registry: HostRegistry,
+    config: SystemConfig,
+}
+
+impl MegaTeSystem {
+    /// Builds the system: one host per endpoint in the catalog.
+    ///
+    /// Note: per-host kernels make this O(#endpoints) in memory; use it
+    /// at integration scale (hundreds to thousands of endpoints).
+    pub fn new(
+        graph: Graph,
+        tunnels: TunnelTable,
+        catalog: EndpointCatalog,
+        config: SystemConfig,
+    ) -> Self {
+        let db = TeDatabase::new(config.db_shards);
+        let mut registry = HostRegistry::new();
+        let mut hosts = Vec::with_capacity(catalog.len());
+        let mut host_of_endpoint = HashMap::with_capacity(catalog.len());
+        for ep in catalog.ids() {
+            registry.register(Controller::endpoint_ip(ep), catalog.site_of(ep));
+            let kernel = SimKernel::new();
+            let agent = EndpointAgent::new(kernel.maps().clone());
+            host_of_endpoint.insert(ep, hosts.len());
+            hosts.push(Host { endpoint: ep, kernel, agent });
+        }
+        let controller = Controller::new(
+            graph.clone(),
+            tunnels.clone(),
+            catalog,
+            db.clone(),
+            config.controller.clone(),
+        );
+        Self {
+            graph,
+            tunnels,
+            db,
+            controller,
+            hosts,
+            host_of_endpoint,
+            registry,
+            config,
+        }
+    }
+
+    /// The controller (for failure injection etc.).
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+
+    /// The shared TE database handle.
+    pub fn database(&self) -> &TeDatabase {
+        &self.db
+    }
+
+    /// The five-tuple generated traffic uses for demand `i`.
+    pub fn tuple_for_demand(demands: &DemandSet, i: usize) -> FiveTuple {
+        let d = &demands.demands()[i];
+        FiveTuple {
+            src_ip: Controller::endpoint_ip(d.src),
+            dst_ip: Controller::endpoint_ip(d.dst),
+            proto: Proto::Tcp,
+            src_port: 1024 + (i % 60_000) as u16,
+            dst_port: 443,
+        }
+    }
+
+    /// Brings instances up: each source endpoint's instance starts a
+    /// process and opens its connections, so `inf_map` can attribute
+    /// the flows (§5.1's instance identification).
+    pub fn bring_up(&mut self, demands: &DemandSet) {
+        for (i, d) in demands.demands().iter().enumerate() {
+            let host = self.host_of_endpoint[&d.src];
+            let host = &mut self.hosts[host];
+            let pid = Pid(1000 + i as u32);
+            let tuple = Self::tuple_for_demand(demands, i);
+            host.kernel
+                .spawn_process(InstanceId(d.src.0), pid)
+                .expect("env_map has room");
+            host.kernel.open_connection(pid, tuple).expect("contk_map has room");
+        }
+    }
+
+    /// Controller half of the TE cycle: solve + publish.
+    pub fn run_controller_interval(
+        &mut self,
+        demands: &DemandSet,
+    ) -> Result<IntervalReport, SolveError> {
+        self.controller.run_interval(demands)
+    }
+
+    /// Endpoint half of the TE cycle: every agent polls the version and
+    /// pulls + installs its configuration when stale (Figure 4(b)).
+    /// Returns how many agents updated.
+    pub fn agents_pull(&mut self) -> usize {
+        let Some(version) = self.db.latest_version() else {
+            return 0;
+        };
+        let mut updated = 0;
+        for host in &mut self.hosts {
+            if host.agent.config_version() >= version {
+                continue;
+            }
+            let key = Controller::config_key(host.endpoint);
+            match self.db.fetch_config_checked(version, &key) {
+                Ok(Some(raw)) => {
+                    // A corrupted entry keeps the old config (decode
+                    // failure is not an install).
+                    if let Some(cfg) = decode_paths(&raw) {
+                        let installs = cfg.to_installs(InstanceId(host.endpoint.0));
+                        host.agent.install_config(version, &installs);
+                        updated += 1;
+                    }
+                }
+                Ok(None) => {
+                    // No traffic for this endpoint this interval: it
+                    // still adopts the version (empty config).
+                    host.agent.install_config(version, &[]);
+                }
+                Err(_) => {
+                    // Shard outage: stay on the old version and retry
+                    // on the next poll — never adopt a version whose
+                    // entries were unreadable.
+                }
+            }
+        }
+        updated
+    }
+
+    /// Sends one frame per demand through TC egress and the WAN,
+    /// measuring delivery and latency.
+    pub fn send_demand_packets(&mut self, demands: &DemandSet) -> TrafficReport {
+        let network = WanNetwork::new(&self.graph, &self.tunnels, self.registry.clone());
+        let mut report = TrafficReport {
+            per_demand_latency: vec![None; demands.len()],
+            ..Default::default()
+        };
+        let mut latency_volume = 0.0;
+        let mut volume = 0.0;
+        for (i, d) in demands.demands().iter().enumerate() {
+            let host_idx = self.host_of_endpoint[&d.src];
+            let tuple = Self::tuple_for_demand(demands, i);
+            let mut frame = MegaTeFrameSpec {
+                outer_src_ip: Controller::endpoint_ip(d.src),
+                outer_dst_ip: Controller::endpoint_ip(d.dst),
+                vni: self.config.vni,
+                inner: tuple,
+                inner_ipid: i as u16,
+                inner_fragment: (0, false),
+                payload_len: 256,
+                sr_hops: None,
+            }
+            .build();
+            let verdict = self.hosts[host_idx].kernel.tc_egress(&mut frame);
+            if verdict == megate_hoststack::TcVerdict::PassWithSr {
+                report.sr_labelled += 1;
+            }
+            let outcome = network.route_frame(&mut frame);
+            if outcome.delivered {
+                // Destination host's TC ingress strips the SR header
+                // before the guest sees the frame (§5.2 receive path).
+                if let Some(&dst_host) = self.host_of_endpoint.get(&d.dst) {
+                    self.hosts[dst_host].kernel.tc_ingress(&mut frame);
+                    debug_assert!(megate_packet::parse_megate_frame(&frame)
+                        .map(|p| p.sr.is_none())
+                        .unwrap_or(false));
+                }
+                report.delivered += 1;
+                report.per_demand_latency[i] = Some(outcome.latency_ms);
+                latency_volume += outcome.latency_ms * d.demand_mbps;
+                volume += d.demand_mbps;
+            } else {
+                report.dropped += 1;
+            }
+        }
+        report.mean_latency_ms = if volume > 0.0 { latency_volume / volume } else { 0.0 };
+        report
+    }
+
+    /// Collects instance-level flow reports from every agent (the
+    /// bottom-up demand input of the next interval).
+    pub fn collect_flow_reports(&mut self) -> usize {
+        self.hosts.iter().map(|h| h.agent.collect_flows().len()).sum()
+    }
+
+    /// Full bottom-up measurement: drains every agent's flow counters
+    /// and turns them into the next interval's demand matrix via
+    /// [`Controller::demands_from_measurements`]. This is the closed
+    /// loop of Figure 3(b): traffic → `traffic_map` → agent report →
+    /// backend aggregation → solver input.
+    pub fn measure_demands(
+        &mut self,
+        interval: std::time::Duration,
+        classify: impl Fn(&FiveTuple) -> megate_traffic::QosClass,
+    ) -> DemandSet {
+        let mut records = Vec::new();
+        for h in &self.hosts {
+            for r in h.agent.collect_flows() {
+                records.push((r.tuple, r.bytes));
+            }
+        }
+        self.controller.demands_from_measurements(&records, interval, classify)
+    }
+
+    /// Decommissions an endpoint's instance (§1's dynamic instance
+    /// churn): scrubs every eBPF map entry attributed to it on its host
+    /// so recycled five-tuples cannot inherit stale attribution or
+    /// paths. Returns the number of map entries removed.
+    pub fn decommission_endpoint(&mut self, endpoint: EndpointId) -> usize {
+        match self.host_of_endpoint.get(&endpoint) {
+            Some(&idx) => self.hosts[idx]
+                .kernel
+                .decommission_instance(InstanceId(endpoint.0)),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megate_topo::{b4, WeibullEndpoints};
+    use megate_traffic::TrafficConfig;
+
+    fn small_system() -> (MegaTeSystem, DemandSet) {
+        let g = b4();
+        let tunnels = TunnelTable::for_all_pairs(&g, 3);
+        let catalog = EndpointCatalog::generate(&g, 120, WeibullEndpoints::with_scale(10.0), 2);
+        let mut demands = DemandSet::generate(
+            &g,
+            &catalog,
+            &TrafficConfig { endpoint_pairs: 80, site_pairs: 15, ..Default::default() },
+        );
+        demands.scale_to_load(&g, 0.4);
+        let sys = MegaTeSystem::new(g, tunnels, catalog, SystemConfig::default());
+        (sys, demands)
+    }
+
+    #[test]
+    fn full_cycle_labels_and_delivers() {
+        let (mut sys, demands) = small_system();
+        sys.bring_up(&demands);
+        let report = sys.run_controller_interval(&demands).unwrap();
+        assert!(report.configured_endpoints > 0);
+        let updated = sys.agents_pull();
+        assert!(updated > 0, "agents must pull the new version");
+
+        let traffic = sys.send_demand_packets(&demands);
+        assert_eq!(traffic.delivered + traffic.dropped, demands.len());
+        assert!(traffic.delivered > 0);
+        assert!(
+            traffic.sr_labelled > 0,
+            "TE-configured flows must carry SR headers"
+        );
+        assert!(traffic.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn without_pull_no_sr_labels() {
+        let (mut sys, demands) = small_system();
+        sys.bring_up(&demands);
+        sys.run_controller_interval(&demands).unwrap();
+        // Agents never pull: packets stay conventional.
+        let traffic = sys.send_demand_packets(&demands);
+        assert_eq!(traffic.sr_labelled, 0);
+        // ECMP still delivers them.
+        assert!(traffic.delivered > 0);
+    }
+
+    #[test]
+    fn decommissioned_endpoint_stops_getting_sr() {
+        let (mut sys, demands) = small_system();
+        sys.bring_up(&demands);
+        sys.run_controller_interval(&demands).unwrap();
+        sys.agents_pull();
+        let before = sys.send_demand_packets(&demands);
+        assert!(before.sr_labelled > 0);
+
+        // Kill the source instance of the first SR-labelled demand.
+        let victim = demands.demands()[0].src;
+        let removed = sys.decommission_endpoint(victim);
+        assert!(removed > 0, "decommission must scrub map entries");
+
+        // Its packets lose attribution (no SR), everyone else keeps it.
+        let after = sys.send_demand_packets(&demands);
+        assert!(after.sr_labelled < before.sr_labelled || removed == 0);
+        // Unknown endpoints are a no-op.
+        assert_eq!(sys.decommission_endpoint(EndpointId(999_999)), 0);
+    }
+
+    #[test]
+    fn flow_reports_cover_sent_traffic() {
+        let (mut sys, demands) = small_system();
+        sys.bring_up(&demands);
+        sys.run_controller_interval(&demands).unwrap();
+        sys.agents_pull();
+        sys.send_demand_packets(&demands);
+        let records = sys.collect_flow_reports();
+        assert!(records > 0, "traffic_map must have counted flows");
+        // Second collection is empty (counters reset).
+        assert_eq!(sys.collect_flow_reports(), 0);
+    }
+}

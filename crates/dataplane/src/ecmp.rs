@@ -1,0 +1,95 @@
+//! Conventional hash-based tunnel selection (§2.1–2.2).
+//!
+//! "The hash function of packet splitting cannot guarantee that all
+//! flows from the same virtual instances are routed on the same TE
+//! tunnel" — routers hash the five-tuple onto the pair's tunnel set.
+//! Different connections of one tenant (different ports) land on
+//! different tunnels, producing the bimodal latency of Figure 2.
+
+use megate_packet::FiveTuple;
+use megate_topo::{SitePair, TunnelId, TunnelTable};
+
+/// Picks the tunnel a conventional router hashes this flow onto.
+/// Returns `None` when the pair has no tunnels.
+pub fn ecmp_tunnel(table: &TunnelTable, pair: SitePair, tuple: &FiveTuple) -> Option<TunnelId> {
+    ecmp_tunnel_seeded(table, pair, tuple, 0)
+}
+
+/// Seeded variant: real routers occasionally re-seed their hash (config
+/// pushes, LAG changes), remapping flows between tunnels over time —
+/// the mechanism behind Figure 2's latency jumps.
+pub fn ecmp_tunnel_seeded(
+    table: &TunnelTable,
+    pair: SitePair,
+    tuple: &FiveTuple,
+    seed: u64,
+) -> Option<TunnelId> {
+    let tunnels = table.tunnels_for(pair);
+    if tunnels.is_empty() {
+        return None;
+    }
+    let h = tuple.hash_u64() ^ seed.wrapping_mul(0x9E3779B97F4A7C15);
+    Some(tunnels[(h % tunnels.len() as u64) as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megate_packet::Proto;
+    use megate_topo::{b4, SiteId};
+
+    fn tuple(port: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: [10, 0, 0, 1],
+            dst_ip: [10, 0, 0, 2],
+            proto: Proto::Tcp,
+            src_port: port,
+            dst_port: 443,
+        }
+    }
+
+    fn table() -> (TunnelTable, SitePair) {
+        let g = b4();
+        let pair = SitePair::new(SiteId(0), SiteId(7));
+        let t = TunnelTable::for_pairs(&g, &[pair], 4);
+        (t, pair)
+    }
+
+    #[test]
+    fn same_tuple_always_same_tunnel() {
+        let (t, pair) = table();
+        let a = ecmp_tunnel(&t, pair, &tuple(1000)).unwrap();
+        for _ in 0..10 {
+            assert_eq!(ecmp_tunnel(&t, pair, &tuple(1000)).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn different_ports_spread_over_tunnels() {
+        let (t, pair) = table();
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..64 {
+            seen.insert(ecmp_tunnel(&t, pair, &tuple(p)).unwrap());
+        }
+        assert!(seen.len() >= 2, "hashing must spread flows: {seen:?}");
+    }
+
+    #[test]
+    fn reseeding_remaps_some_flows() {
+        let (t, pair) = table();
+        let before: Vec<_> =
+            (0..32).map(|p| ecmp_tunnel_seeded(&t, pair, &tuple(p), 0)).collect();
+        let after: Vec<_> =
+            (0..32).map(|p| ecmp_tunnel_seeded(&t, pair, &tuple(p), 1)).collect();
+        assert_ne!(before, after, "a reseed must move at least one flow");
+    }
+
+    #[test]
+    fn empty_pair_returns_none() {
+        let g = b4();
+        let t = TunnelTable::new();
+        let pair = SitePair::new(SiteId(0), SiteId(1));
+        let _ = g;
+        assert_eq!(ecmp_tunnel(&t, pair, &tuple(1)), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! Flow-level WAN data-plane simulator (§5.2, §6).
+//!
+//! * [`router`] — WAN router behaviour on real frame bytes: "the router
+//!   site profiles the packet and analyzes the VXLAN header to identify
+//!   if the packet uses MegaTE SR information. If it is identified as a
+//!   MegaTE SR header, the router obtains the hop information from the
+//!   SR header and forwards the packet to the specified path" (§5.2);
+//! * [`ecmp`] — the conventional hash-based tunnel choice (§2.2's
+//!   five-tuple hashing) that motivates the paper's Figure 2;
+//! * [`network`] — hop-by-hop frame walking over the site graph with
+//!   propagation latency accounting and a host→site registry;
+//! * [`failure_sim`] — satisfied demand across a link-failure +
+//!   recompute window (§6.3, Figure 12);
+//! * [`production`] — the production-style placement comparison behind
+//!   Figures 15–17 (latency, availability, cost per app).
+
+pub mod ecmp;
+pub mod failure_sim;
+pub mod faults;
+pub mod interval;
+pub mod network;
+pub mod production;
+pub mod queueing;
+pub mod router;
+
+pub use ecmp::{ecmp_tunnel, ecmp_tunnel_seeded};
+pub use failure_sim::{satisfied_under_failure, FailureWindow};
+pub use faults::{FaultInjector, FaultOutcome};
+pub use interval::{replay_intervals, IntervalInput, IntervalMetrics, IntervalSolve};
+pub use network::{HostRegistry, RouteOutcome, WanNetwork};
+pub use queueing::{effective_latency_ms, queueing_delay_factor};
+pub use router::{route_decision, RouterDecision};

@@ -1,0 +1,67 @@
+//! Utilization-dependent queueing delay.
+//!
+//! The paper's latency metric sums per-hop latencies (§6.1); on a
+//! loaded link the store-and-forward queue adds to the propagation
+//! delay. We model the classic M/M/1-shaped inflation
+//! `delay = base · (1 + K·ρ/(1−ρ))` with the utilization ρ capped
+//! below saturation — enough to make "hot path vs cold detour"
+//! trade-offs visible to simulations without a full queueing simulator.
+
+/// Queueing contribution at full weight: at ρ = 0.5 the delay grows by
+/// `K`, i.e. 10% with the default.
+pub const QUEUE_WEIGHT: f64 = 0.1;
+
+/// Utilization cap: beyond this the link is treated as saturated
+/// (the M/M/1 term would diverge).
+pub const MAX_UTILIZATION: f64 = 0.95;
+
+/// Multiplicative delay factor for a link at utilization `rho`.
+pub fn queueing_delay_factor(rho: f64) -> f64 {
+    let rho = rho.clamp(0.0, MAX_UTILIZATION);
+    1.0 + QUEUE_WEIGHT * rho / (1.0 - rho)
+}
+
+/// Effective per-link latency at the given utilization.
+pub fn effective_latency_ms(base_ms: f64, rho: f64) -> f64 {
+    base_ms * queueing_delay_factor(rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_link_has_no_queueing() {
+        assert_eq!(queueing_delay_factor(0.0), 1.0);
+        assert_eq!(effective_latency_ms(10.0, 0.0), 10.0);
+    }
+
+    #[test]
+    fn factor_grows_monotonically() {
+        let mut last = 0.0;
+        for i in 0..=20 {
+            let f = queueing_delay_factor(i as f64 / 20.0);
+            assert!(f >= last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn saturation_is_capped_not_infinite() {
+        let f = queueing_delay_factor(1.0);
+        assert!(f.is_finite());
+        assert_eq!(f, queueing_delay_factor(MAX_UTILIZATION));
+        assert_eq!(f, queueing_delay_factor(5.0)); // overload clamps too
+    }
+
+    #[test]
+    fn half_load_adds_queue_weight() {
+        let f = queueing_delay_factor(0.5);
+        assert!((f - (1.0 + QUEUE_WEIGHT)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_utilization_clamped() {
+        assert_eq!(queueing_delay_factor(-3.0), 1.0);
+    }
+}

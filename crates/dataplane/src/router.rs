@@ -1,0 +1,86 @@
+//! Per-router forwarding on real frame bytes (§5.2, "Router
+//! implementation").
+
+use megate_packet::{advance_sr_offset, parse_megate_frame, Result as WireResult, WireError};
+use megate_topo::SiteId;
+
+/// What a router decided to do with one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterDecision {
+    /// SR header present and not exhausted: forward to this site (the
+    /// router also advanced the offset in the frame).
+    ForwardSr(SiteId),
+    /// SR path exhausted: the frame has arrived at its last WAN hop,
+    /// deliver toward the destination host.
+    DeliverLocal,
+    /// No MegaTE SR information: conventional forwarding applies (the
+    /// caller picks a tunnel via ECMP hashing).
+    Conventional,
+}
+
+/// Inspects (and for SR frames, mutates) a frame at one router.
+///
+/// A frame whose VXLAN header carries the MegaTE flag is forwarded along
+/// `hop[offset]`, and the offset is incremented in place. Malformed
+/// frames yield an error; routers drop such packets.
+pub fn route_decision(frame: &mut [u8]) -> WireResult<RouterDecision> {
+    let parsed = parse_megate_frame(frame)?;
+    match parsed.sr {
+        None => Ok(RouterDecision::Conventional),
+        Some((offset, hops)) => {
+            if (offset as usize) < hops.len() {
+                let next = SiteId(hops[offset as usize]);
+                advance_sr_offset(frame)?;
+                Ok(RouterDecision::ForwardSr(next))
+            } else {
+                Ok(RouterDecision::DeliverLocal)
+            }
+        }
+    }
+}
+
+/// Convenience for simulations: drop verdict for malformed frames.
+pub fn route_or_drop(frame: &mut [u8]) -> Option<RouterDecision> {
+    match route_decision(frame) {
+        Ok(d) => Some(d),
+        Err(WireError::Truncated) | Err(WireError::Malformed) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megate_packet::{FiveTuple, MegaTeFrameSpec, Proto};
+
+    fn tuple() -> FiveTuple {
+        FiveTuple {
+            src_ip: [10, 0, 0, 1],
+            dst_ip: [10, 0, 0, 2],
+            proto: Proto::Udp,
+            src_port: 1,
+            dst_port: 2,
+        }
+    }
+
+    #[test]
+    fn sr_frame_walks_hops_then_delivers() {
+        let mut frame = MegaTeFrameSpec::simple(tuple(), 1, Some(vec![5, 9])).build();
+        assert_eq!(route_decision(&mut frame).unwrap(), RouterDecision::ForwardSr(SiteId(5)));
+        assert_eq!(route_decision(&mut frame).unwrap(), RouterDecision::ForwardSr(SiteId(9)));
+        assert_eq!(route_decision(&mut frame).unwrap(), RouterDecision::DeliverLocal);
+        // Idempotent once exhausted.
+        assert_eq!(route_decision(&mut frame).unwrap(), RouterDecision::DeliverLocal);
+    }
+
+    #[test]
+    fn plain_vxlan_is_conventional() {
+        let mut frame = MegaTeFrameSpec::simple(tuple(), 1, None).build();
+        assert_eq!(route_decision(&mut frame).unwrap(), RouterDecision::Conventional);
+    }
+
+    #[test]
+    fn malformed_frames_dropped() {
+        let mut junk = vec![1u8; 30];
+        assert_eq!(route_or_drop(&mut junk), None);
+    }
+}

@@ -1,0 +1,230 @@
+//! The endpoint agent: the user-space process on every end host.
+//!
+//! "In each end host, there is an endpoint agent, which is used for the
+//! interaction between the controller and endpoint" (§5.1). Its two
+//! jobs:
+//!
+//! * **Flow readout** — periodically (once per TE interval) join
+//!   `inf_map ⨝ traffic_map` into instance-level flow records
+//!   `(ins_id, volume)` and reset the counters;
+//! * **Path installation** — when a new TE configuration version is
+//!   pulled from the TE database (§3.2), write the per-instance paths
+//!   into `path_map` so the TC program starts labelling packets.
+//!
+//! The agent is deliberately ignorant of *how* configurations arrive —
+//! the bottom-up pull loop lives in `megate-tedb` / the core crate.
+
+use crate::kernel::InstanceId;
+use crate::programs::HostMaps;
+use megate_packet::FiveTuple;
+use std::collections::HashMap;
+
+/// One instance-level flow record reported to the control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Originating virtual instance.
+    pub instance: InstanceId,
+    /// The flow's five-tuple.
+    pub tuple: FiveTuple,
+    /// Bytes observed during the TE interval.
+    pub bytes: u64,
+}
+
+/// A path to install for an instance's traffic toward a destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathInstall {
+    /// The instance whose packets get this path.
+    pub instance: InstanceId,
+    /// Destination address the path applies to.
+    pub dst_ip: [u8; 4],
+    /// SR hop list (site ids along the WAN).
+    pub hops: Vec<u32>,
+}
+
+/// The user-space endpoint agent of one host.
+#[derive(Debug, Clone)]
+pub struct EndpointAgent {
+    maps: HostMaps,
+    config_version: u64,
+}
+
+impl EndpointAgent {
+    /// An agent sharing the host's eBPF maps.
+    pub fn new(maps: HostMaps) -> Self {
+        Self { maps, config_version: 0 }
+    }
+
+    /// The TE configuration version currently installed.
+    pub fn config_version(&self) -> u64 {
+        self.config_version
+    }
+
+    /// Reads and resets the interval's flow statistics, joined to
+    /// instance ids. Flows that cannot be attributed to an instance
+    /// (no `inf_map` entry) are returned with their tuple but dropped
+    /// from the instance report, mirroring the paper's join of
+    /// `inf_map` and `traffic_map`.
+    pub fn collect_flows(&self) -> Vec<FlowRecord> {
+        let counters = self.maps.traffic_map.drain();
+        let mut out = Vec::with_capacity(counters.len());
+        for (tuple, bytes) in counters {
+            if let Some(instance) = self.maps.inf_map.lookup(&tuple) {
+                out.push(FlowRecord { instance, tuple, bytes });
+            }
+        }
+        // Deterministic report order.
+        out.sort_by_key(|a| (a.instance, a.tuple));
+        out
+    }
+
+    /// Aggregates a flow report to per-instance volumes — the
+    /// `(ins_id, volume)` tuples the backend stores.
+    pub fn per_instance_volume(records: &[FlowRecord]) -> HashMap<InstanceId, u64> {
+        let mut m = HashMap::new();
+        for r in records {
+            *m.entry(r.instance).or_insert(0) += r.bytes;
+        }
+        m
+    }
+
+    /// Installs a new TE configuration: replaces the paths of every
+    /// instance mentioned and bumps the local version. Returns how many
+    /// entries were written (map-full failures are skipped and counted
+    /// out of the return value).
+    pub fn install_config(&mut self, version: u64, paths: &[PathInstall]) -> usize {
+        let mut written = 0;
+        for p in paths {
+            if self
+                .maps
+                .path_map
+                .update((p.instance, p.dst_ip), p.hops.clone())
+                .is_ok()
+            {
+                written += 1;
+            }
+        }
+        self.config_version = version;
+        written
+    }
+
+    /// Removes all installed paths (used when an instance is
+    /// decommissioned or on agent restart).
+    pub fn flush_paths(&self) {
+        let _ = self.maps.path_map.drain();
+    }
+
+    /// Access to the shared maps (tests, kernel wiring).
+    pub fn maps(&self) -> &HostMaps {
+        &self.maps
+    }
+}
+
+/// Registers a fresh instance lifecycle on a kernel: process start +
+/// first connection. Convenience for simulations that bring up many
+/// endpoints.
+pub fn bring_up_instance(
+    kernel: &crate::kernel::SimKernel,
+    instance: InstanceId,
+    pid: crate::kernel::Pid,
+    tuples: &[FiveTuple],
+) -> Result<(), crate::maps::MapError> {
+    kernel.spawn_process(instance, pid)?;
+    for &t in tuples {
+        kernel.open_connection(pid, t)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Pid, SimKernel};
+    use megate_packet::{MegaTeFrameSpec, Proto};
+
+    fn tuple(sp: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: [10, 0, 0, 1],
+            dst_ip: [10, 0, 1, 1],
+            proto: Proto::Tcp,
+            src_port: sp,
+            dst_port: 80,
+        }
+    }
+
+    fn run_frames(kernel: &SimKernel, t: FiveTuple, n: usize) {
+        for _ in 0..n {
+            let mut f = MegaTeFrameSpec::simple(t, 1, None).build();
+            kernel.tc_egress(&mut f);
+        }
+    }
+
+    #[test]
+    fn collect_joins_and_resets() {
+        let kernel = SimKernel::new();
+        let agent = EndpointAgent::new(kernel.maps().clone());
+        bring_up_instance(&kernel, InstanceId(1), Pid(100), &[tuple(1)]).unwrap();
+        run_frames(&kernel, tuple(1), 3);
+
+        let recs = agent.collect_flows();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].instance, InstanceId(1));
+        assert!(recs[0].bytes > 0);
+        // Second collection sees nothing: counters were reset.
+        assert!(agent.collect_flows().is_empty());
+    }
+
+    #[test]
+    fn unattributed_flows_excluded_from_report() {
+        let kernel = SimKernel::new();
+        let agent = EndpointAgent::new(kernel.maps().clone());
+        run_frames(&kernel, tuple(9), 2); // no execve/conntrack seen
+        assert!(agent.collect_flows().is_empty());
+    }
+
+    #[test]
+    fn per_instance_volume_sums_flows() {
+        let kernel = SimKernel::new();
+        let agent = EndpointAgent::new(kernel.maps().clone());
+        bring_up_instance(&kernel, InstanceId(1), Pid(100), &[tuple(1), tuple(2)]).unwrap();
+        run_frames(&kernel, tuple(1), 2);
+        run_frames(&kernel, tuple(2), 3);
+        let recs = agent.collect_flows();
+        let vol = EndpointAgent::per_instance_volume(&recs);
+        assert_eq!(vol.len(), 1);
+        assert!(vol[&InstanceId(1)] > 0);
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn install_config_bumps_version_and_activates_sr() {
+        let kernel = SimKernel::new();
+        let mut agent = EndpointAgent::new(kernel.maps().clone());
+        bring_up_instance(&kernel, InstanceId(4), Pid(5), &[tuple(7)]).unwrap();
+
+        assert_eq!(agent.config_version(), 0);
+        let n = agent.install_config(
+            3,
+            &[PathInstall { instance: InstanceId(4), dst_ip: tuple(7).dst_ip, hops: vec![2, 6] }],
+        );
+        assert_eq!(n, 1);
+        assert_eq!(agent.config_version(), 3);
+
+        let mut f = MegaTeFrameSpec::simple(tuple(7), 1, None).build();
+        let v = kernel.tc_egress(&mut f);
+        assert_eq!(v, crate::kernel::TcVerdict::PassWithSr);
+    }
+
+    #[test]
+    fn flush_paths_disables_sr() {
+        let kernel = SimKernel::new();
+        let mut agent = EndpointAgent::new(kernel.maps().clone());
+        bring_up_instance(&kernel, InstanceId(4), Pid(5), &[tuple(7)]).unwrap();
+        agent.install_config(
+            1,
+            &[PathInstall { instance: InstanceId(4), dst_ip: tuple(7).dst_ip, hops: vec![2] }],
+        );
+        agent.flush_paths();
+        let mut f = MegaTeFrameSpec::simple(tuple(7), 1, None).build();
+        assert_eq!(kernel.tc_egress(&mut f), crate::kernel::TcVerdict::Pass);
+    }
+}

@@ -1,0 +1,326 @@
+//! eBPF-style maps: bounded, shared key-value stores.
+//!
+//! "The eBPF maps are generic key-value stores used to store eBPF
+//! program states, enabling communications among various eBPF programs
+//! and between eBPF programs and user-space processes" (§5.1). We keep
+//! the same semantics that shape real deployments: a fixed
+//! `max_entries` bound (updates fail when full — kernel `E2BIG`/`ENOMEM`
+//! behaviour), point lookups, and shared access from both the simulated
+//! kernel and the user-space agent.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Errors mirroring eBPF map syscall failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The map is at `max_entries` and the key is new.
+    Full,
+    /// Key not present (delete/lookup-required paths).
+    NotFound,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::Full => write!(f, "map full"),
+            MapError::NotFound => write!(f, "key not found"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Map flavour, mirroring `BPF_MAP_TYPE_HASH` vs `BPF_MAP_TYPE_LRU_HASH`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapKind {
+    /// Plain hash: inserting a new key into a full map fails.
+    Hash,
+    /// LRU hash: inserting into a full map evicts the least-recently-
+    /// used entry (what production deployments use for `frag_map` and
+    /// `traffic_map`, where stale flows must not wedge accounting).
+    LruHash,
+}
+
+#[derive(Debug)]
+struct MapInner<K, V> {
+    data: HashMap<K, (V, u64)>, // value + last-touch tick
+    tick: u64,
+}
+
+/// A bounded, thread-shared key-value map with eBPF update semantics.
+///
+/// Clones share the same underlying storage (like holding two fds to
+/// one map).
+#[derive(Debug)]
+pub struct EbpfMap<K, V> {
+    name: &'static str,
+    max_entries: usize,
+    kind: MapKind,
+    inner: Arc<RwLock<MapInner<K, V>>>,
+}
+
+impl<K, V> Clone for EbpfMap<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            name: self.name,
+            max_entries: self.max_entries,
+            kind: self.kind,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> EbpfMap<K, V> {
+    /// Creates a plain hash map with a capacity bound.
+    pub fn new(name: &'static str, max_entries: usize) -> Self {
+        Self::with_kind(name, max_entries, MapKind::Hash)
+    }
+
+    /// Creates an LRU hash map with a capacity bound.
+    pub fn new_lru(name: &'static str, max_entries: usize) -> Self {
+        Self::with_kind(name, max_entries, MapKind::LruHash)
+    }
+
+    /// Creates a map of the given kind.
+    pub fn with_kind(name: &'static str, max_entries: usize, kind: MapKind) -> Self {
+        assert!(max_entries > 0, "map must allow at least one entry");
+        Self {
+            name,
+            max_entries,
+            kind,
+            inner: Arc::new(RwLock::new(MapInner { data: HashMap::new(), tick: 0 })),
+        }
+    }
+
+    /// The map's flavour.
+    pub fn kind(&self) -> MapKind {
+        self.kind
+    }
+
+    /// The map's name (matching Figure 6's labels).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity bound.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.read().data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().data.is_empty()
+    }
+
+    /// Point lookup (clones the value, like `bpf_map_lookup_elem` copies
+    /// out). Refreshes LRU recency.
+    pub fn lookup(&self, key: &K) -> Option<V> {
+        let mut g = self.inner.write();
+        g.tick += 1;
+        let tick = g.tick;
+        g.data.get_mut(key).map(|(v, t)| {
+            *t = tick;
+            v.clone()
+        })
+    }
+
+    /// Insert-or-overwrite (`BPF_ANY`). A full plain-hash map rejects
+    /// new keys with [`MapError::Full`]; a full LRU map evicts the
+    /// least-recently-used entry instead.
+    pub fn update(&self, key: K, value: V) -> Result<(), MapError> {
+        let mut g = self.inner.write();
+        g.tick += 1;
+        let tick = g.tick;
+        if !g.data.contains_key(&key) && g.data.len() >= self.max_entries {
+            match self.kind {
+                MapKind::Hash => return Err(MapError::Full),
+                MapKind::LruHash => evict_lru(&mut g),
+            }
+        }
+        g.data.insert(key, (value, tick));
+        Ok(())
+    }
+
+    /// Read-modify-write of one entry, inserting `default` first when
+    /// absent (the common eBPF counter-update idiom).
+    pub fn upsert_with(
+        &self,
+        key: K,
+        default: V,
+        f: impl FnOnce(&mut V),
+    ) -> Result<(), MapError> {
+        let mut g = self.inner.write();
+        g.tick += 1;
+        let tick = g.tick;
+        if !g.data.contains_key(&key) && g.data.len() >= self.max_entries {
+            match self.kind {
+                MapKind::Hash => return Err(MapError::Full),
+                MapKind::LruHash => evict_lru(&mut g),
+            }
+        }
+        let entry = g.data.entry(key).or_insert((default, tick));
+        entry.1 = tick;
+        f(&mut entry.0);
+        Ok(())
+    }
+
+    /// Deletes an entry.
+    pub fn delete(&self, key: &K) -> Result<V, MapError> {
+        self.inner
+            .write()
+            .data
+            .remove(key)
+            .map(|(v, _)| v)
+            .ok_or(MapError::NotFound)
+    }
+
+    /// Snapshot of all entries (the user-space "iterate map" path the
+    /// endpoint agent uses for periodic collection).
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        self.inner
+            .read()
+            .data
+            .iter()
+            .map(|(k, (v, _))| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Removes and returns all entries atomically (collect-and-reset at
+    /// the end of a TE period).
+    pub fn drain(&self) -> Vec<(K, V)> {
+        self.inner
+            .write()
+            .data
+            .drain()
+            .map(|(k, (v, _))| (k, v))
+            .collect()
+    }
+}
+
+/// Evicts the least-recently-touched entry (linear scan — map sizes in
+/// the simulation are modest, and real LRU maps amortize differently).
+fn evict_lru<K: Eq + Hash + Clone, V>(g: &mut MapInner<K, V>) {
+    if let Some(oldest) = g
+        .data
+        .iter()
+        .min_by_key(|(_, (_, t))| *t)
+        .map(|(k, _)| k.clone())
+    {
+        g.data.remove(&oldest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_lookup_delete_cycle() {
+        let m: EbpfMap<u32, String> = EbpfMap::new("test", 4);
+        assert!(m.is_empty());
+        m.update(1, "a".into()).unwrap();
+        assert_eq!(m.lookup(&1), Some("a".into()));
+        m.update(1, "b".into()).unwrap(); // overwrite allowed
+        assert_eq!(m.lookup(&1), Some("b".into()));
+        assert_eq!(m.delete(&1).unwrap(), "b");
+        assert_eq!(m.delete(&1), Err(MapError::NotFound));
+    }
+
+    #[test]
+    fn full_map_rejects_new_keys_but_allows_overwrites() {
+        let m: EbpfMap<u32, u32> = EbpfMap::new("small", 2);
+        m.update(1, 10).unwrap();
+        m.update(2, 20).unwrap();
+        assert_eq!(m.update(3, 30), Err(MapError::Full));
+        m.update(2, 25).unwrap(); // existing key still updatable
+        assert_eq!(m.lookup(&2), Some(25));
+    }
+
+    #[test]
+    fn upsert_with_counts_like_traffic_map() {
+        let m: EbpfMap<u8, u64> = EbpfMap::new("traffic", 8);
+        for bytes in [100u64, 200, 50] {
+            m.upsert_with(7, 0, |v| *v += bytes).unwrap();
+        }
+        assert_eq!(m.lookup(&7), Some(350));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a: EbpfMap<u8, u8> = EbpfMap::new("shared", 4);
+        let b = a.clone();
+        a.update(1, 1).unwrap();
+        assert_eq!(b.lookup(&1), Some(1));
+        b.delete(&1).unwrap();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn drain_empties_and_returns_all() {
+        let m: EbpfMap<u8, u8> = EbpfMap::new("drain", 4);
+        m.update(1, 1).unwrap();
+        m.update(2, 2).unwrap();
+        let mut all = m.drain();
+        all.sort();
+        assert_eq!(all, vec![(1, 1), (2, 2)]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn lru_map_evicts_oldest_on_pressure() {
+        let m: EbpfMap<u8, u8> = EbpfMap::new_lru("lru", 3);
+        m.update(1, 1).unwrap();
+        m.update(2, 2).unwrap();
+        m.update(3, 3).unwrap();
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert_eq!(m.lookup(&1), Some(1));
+        m.update(4, 4).unwrap(); // evicts 2
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.lookup(&2), None);
+        assert_eq!(m.lookup(&1), Some(1));
+        assert_eq!(m.lookup(&4), Some(4));
+    }
+
+    #[test]
+    fn lru_upsert_also_evicts() {
+        let m: EbpfMap<u8, u64> = EbpfMap::new_lru("lru2", 2);
+        m.upsert_with(1, 0, |v| *v += 1).unwrap();
+        m.upsert_with(2, 0, |v| *v += 1).unwrap();
+        m.upsert_with(3, 0, |v| *v += 1).unwrap(); // evicts 1
+        assert_eq!(m.lookup(&1), None);
+        assert_eq!(m.lookup(&3), Some(1));
+        assert_eq!(m.kind(), MapKind::LruHash);
+    }
+
+    #[test]
+    fn plain_hash_still_rejects_when_full() {
+        let m: EbpfMap<u8, u8> = EbpfMap::new("plain", 1);
+        m.update(1, 1).unwrap();
+        assert_eq!(m.update(2, 2), Err(MapError::Full));
+        assert_eq!(m.kind(), MapKind::Hash);
+    }
+
+    #[test]
+    fn concurrent_counters_do_not_lose_updates() {
+        let m: EbpfMap<u8, u64> = EbpfMap::new("conc", 4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.upsert_with(0, 0, |v| *v += 1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.lookup(&0), Some(4000));
+    }
+}

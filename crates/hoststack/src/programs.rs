@@ -1,0 +1,302 @@
+//! The eBPF programs of Figure 6, as plain functions over shared maps.
+//!
+//! | Hook | Program | Maps touched |
+//! |---|---|---|
+//! | `sys_enter_execve` tracepoint | [`on_execve`] | `env_map` |
+//! | `ctnetlink_conntrack_event` kprobe | [`on_conntrack`] | `contk_map`, `env_map` → `inf_map` |
+//! | TC egress | [`tc_egress_chain`] | `traffic_map`, `frag_map`, `inf_map`, `path_map` |
+
+use crate::kernel::{InstanceId, Pid, TcStats, TcVerdict};
+use crate::maps::{EbpfMap, MapError};
+use megate_packet::{
+    insert_sr_header, parse_megate_frame, FiveTuple, FlowKey, Result as WireResult,
+};
+
+/// The per-host map set with the names and roles of Figure 6.
+#[derive(Debug, Clone)]
+pub struct HostMaps {
+    /// `pid → ins_id`, filled at execve time.
+    pub env_map: EbpfMap<Pid, InstanceId>,
+    /// `5tuple → pid`, filled at connection setup.
+    pub contk_map: EbpfMap<FiveTuple, Pid>,
+    /// `5tuple → ins_id`, the join of the two above — instance
+    /// identification (§5.1).
+    pub inf_map: EbpfMap<FiveTuple, InstanceId>,
+    /// `5tuple → bytes`, instance-level flow collection.
+    pub traffic_map: EbpfMap<FiveTuple, u64>,
+    /// `ipid → 5tuple`, resolving non-first IP fragments.
+    pub frag_map: EbpfMap<u16, FiveTuple>,
+    /// `(ins_id, dst_ip) → SR hop list`, the TE decision installed by
+    /// the endpoint agent. The paper keys by instance; the destination
+    /// address disambiguates instances talking to several remote sites.
+    pub path_map: EbpfMap<(InstanceId, [u8; 4]), Vec<u32>>,
+    /// Perf-event ring: per-event telemetry (new flows, SR insertions,
+    /// accounting misses) streamed to user space.
+    pub telemetry: crate::ringbuf::RingBuffer,
+}
+
+impl Default for HostMaps {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HostMaps {
+    /// Maps with production-like size bounds.
+    pub fn new() -> Self {
+        Self {
+            env_map: EbpfMap::new("env_map", 65_536),
+            contk_map: EbpfMap::new("contk_map", 262_144),
+            inf_map: EbpfMap::new("inf_map", 262_144),
+            traffic_map: EbpfMap::new_lru("traffic_map", 262_144),
+            frag_map: EbpfMap::new_lru("frag_map", 16_384),
+            path_map: EbpfMap::new("path_map", 262_144),
+            telemetry: crate::ringbuf::RingBuffer::new(65_536),
+        }
+    }
+}
+
+/// `tracepoint:syscalls/sys_enter_execve`: record which instance owns
+/// the process.
+pub fn on_execve(maps: &HostMaps, pid: Pid, instance: InstanceId) -> Result<(), MapError> {
+    maps.env_map.update(pid, instance)
+}
+
+/// `kprobe:ctnetlink_conntrack_event`: record the connection's owner
+/// pid, then join `env_map ⨝ contk_map → inf_map` so every five-tuple
+/// maps to its originating instance.
+pub fn on_conntrack(maps: &HostMaps, pid: Pid, tuple: FiveTuple) -> Result<(), MapError> {
+    maps.contk_map.update(tuple, pid)?;
+    if let Some(instance) = maps.env_map.lookup(&pid) {
+        maps.inf_map.update(tuple, instance)?;
+    }
+    Ok(())
+}
+
+/// The TC egress chain: flow collection then SR insertion.
+///
+/// Flow collection (§5.1): bill the inner IPv4 length to the flow's
+/// five-tuple in `traffic_map`. First fragments seed `frag_map`
+/// (`ipid → 5tuple`); later fragments resolve through it.
+///
+/// SR insertion (§5.2): if `inf_map` attributes the flow to an instance
+/// and `path_map` holds a TE path for it, splice the SR header after
+/// the VXLAN header and set the VXLAN reserved-field flag.
+pub fn tc_egress_chain(
+    maps: &HostMaps,
+    frame: &mut Vec<u8>,
+    stats: &mut TcStats,
+) -> WireResult<TcVerdict> {
+    let parsed = parse_megate_frame(frame)?;
+
+    // --- Flow collection ---
+    let tuple = match parsed.inner_flow {
+        FlowKey::Tuple { tuple, first_fragment, ipid } => {
+            if first_fragment {
+                // Seed frag_map so follow-on fragments resolve. Best
+                // effort: on map pressure the fragment accounting is
+                // lost but the frame is still forwarded.
+                if maps.frag_map.update(ipid, tuple).is_err() {
+                    stats.accounting_misses += 1;
+                }
+            }
+            Some(tuple)
+        }
+        FlowKey::Fragment { ipid } => match maps.frag_map.lookup(&ipid) {
+            Some(t) => {
+                stats.fragments_resolved += 1;
+                Some(t)
+            }
+            None => {
+                stats.accounting_misses += 1;
+                None
+            }
+        },
+    };
+    if let Some(t) = tuple {
+        let first_sighting = maps.traffic_map.lookup(&t).is_none();
+        if maps
+            .traffic_map
+            .upsert_with(t, 0, |v| *v += parsed.inner_ip_len as u64)
+            .is_err()
+        {
+            stats.accounting_misses += 1;
+            maps.telemetry.publish(crate::ringbuf::TelemetryEvent::AccountingMiss);
+        } else if first_sighting {
+            maps.telemetry
+                .publish(crate::ringbuf::TelemetryEvent::NewFlow { tuple: t });
+        }
+    }
+
+    // --- SR insertion ---
+    let Some(t) = tuple else {
+        return Ok(TcVerdict::Pass);
+    };
+    if parsed.sr.is_some() {
+        // Already labelled (shouldn't happen on egress) — leave as is.
+        return Ok(TcVerdict::Pass);
+    }
+    let Some(instance) = maps.inf_map.lookup(&t) else {
+        return Ok(TcVerdict::Pass);
+    };
+    stats.attributed += 1;
+    let Some(hops) = maps.path_map.lookup(&(instance, t.dst_ip)) else {
+        return Ok(TcVerdict::Pass);
+    };
+    insert_sr_header(frame, &hops)?;
+    maps.telemetry.publish(crate::ringbuf::TelemetryEvent::SrInserted {
+        instance,
+        hops: hops.len() as u8,
+    });
+    Ok(TcVerdict::PassWithSr)
+}
+
+/// The TC ingress program at the destination host: if the frame carries
+/// a (fully walked) MegaTE SR header, strip it and clear the VXLAN flag
+/// so the guest sees a standard VXLAN frame; also bill ingress traffic
+/// so both ends report the flow.
+pub fn tc_ingress_chain(
+    maps: &HostMaps,
+    frame: &mut Vec<u8>,
+    stats: &mut TcStats,
+) -> WireResult<TcVerdict> {
+    let parsed = parse_megate_frame(frame)?;
+    if let FlowKey::Tuple { tuple, .. } = parsed.inner_flow {
+        if maps
+            .traffic_map
+            .upsert_with(tuple, 0, |v| *v += parsed.inner_ip_len as u64)
+            .is_err()
+        {
+            stats.accounting_misses += 1;
+        }
+    }
+    if parsed.sr.is_some() {
+        megate_packet::strip_sr_header(frame)?;
+        return Ok(TcVerdict::PassWithSr); // SR was present and removed
+    }
+    Ok(TcVerdict::Pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megate_packet::{MegaTeFrameSpec, Proto};
+
+    fn tuple() -> FiveTuple {
+        FiveTuple {
+            src_ip: [172, 16, 0, 2],
+            dst_ip: [172, 31, 0, 9],
+            proto: Proto::Udp,
+            src_port: 9999,
+            dst_port: 53,
+        }
+    }
+
+    #[test]
+    fn fragmented_datagram_billed_to_one_tuple() {
+        let maps = HostMaps::new();
+        let mut stats = TcStats::default();
+        // First fragment (offset 0, MF set).
+        let mut spec = MegaTeFrameSpec::simple(tuple(), 3, None);
+        spec.inner_ipid = 0xAA55;
+        spec.inner_fragment = (0, true);
+        spec.payload_len = 100;
+        let mut f1 = spec.build();
+        tc_egress_chain(&maps, &mut f1, &mut stats).unwrap();
+        // Second fragment (offset > 0) — no ports inside.
+        let mut spec2 = MegaTeFrameSpec::simple(tuple(), 3, None);
+        spec2.inner_ipid = 0xAA55;
+        spec2.inner_fragment = (1480, false);
+        spec2.payload_len = 60;
+        let mut f2 = spec2.build();
+        tc_egress_chain(&maps, &mut f2, &mut stats).unwrap();
+
+        assert_eq!(stats.fragments_resolved, 1);
+        let total = maps.traffic_map.lookup(&tuple()).unwrap();
+        // Both fragments' inner IP lengths accumulate on the same tuple.
+        assert!(total > 160, "total {total}");
+        assert_eq!(maps.traffic_map.len(), 1);
+    }
+
+    #[test]
+    fn orphan_fragment_counts_as_miss() {
+        let maps = HostMaps::new();
+        let mut stats = TcStats::default();
+        let mut spec = MegaTeFrameSpec::simple(tuple(), 3, None);
+        spec.inner_ipid = 0x0101;
+        spec.inner_fragment = (2960, false);
+        let mut f = spec.build();
+        tc_egress_chain(&maps, &mut f, &mut stats).unwrap();
+        assert_eq!(stats.accounting_misses, 1);
+        assert!(maps.traffic_map.is_empty());
+    }
+
+    #[test]
+    fn no_path_means_plain_pass_but_attribution_counted() {
+        let maps = HostMaps::new();
+        let mut stats = TcStats::default();
+        on_execve(&maps, Pid(5), InstanceId(99)).unwrap();
+        on_conntrack(&maps, Pid(5), tuple()).unwrap();
+        let mut f = MegaTeFrameSpec::simple(tuple(), 3, None).build();
+        let v = tc_egress_chain(&maps, &mut f, &mut stats).unwrap();
+        assert_eq!(v, TcVerdict::Pass);
+        assert_eq!(stats.attributed, 1);
+    }
+
+    #[test]
+    fn full_traffic_map_never_blocks_forwarding() {
+        let maps = HostMaps {
+            traffic_map: EbpfMap::new("tiny", 1),
+            ..HostMaps::new()
+        };
+        let mut stats = TcStats::default();
+        let mut t2 = tuple();
+        t2.src_port = 1;
+        let mut f1 = MegaTeFrameSpec::simple(tuple(), 3, None).build();
+        let mut f2 = MegaTeFrameSpec::simple(t2, 3, None).build();
+        assert_eq!(tc_egress_chain(&maps, &mut f1, &mut stats).unwrap(), TcVerdict::Pass);
+        assert_eq!(tc_egress_chain(&maps, &mut f2, &mut stats).unwrap(), TcVerdict::Pass);
+        assert_eq!(stats.accounting_misses, 1); // second flow not billed
+    }
+
+    #[test]
+    fn telemetry_ring_sees_flow_and_sr_events() {
+        let maps = HostMaps::new();
+        let mut stats = TcStats::default();
+        on_execve(&maps, Pid(5), InstanceId(99)).unwrap();
+        on_conntrack(&maps, Pid(5), tuple()).unwrap();
+        maps.path_map.update((InstanceId(99), tuple().dst_ip), vec![1, 2]).unwrap();
+
+        let mut f = MegaTeFrameSpec::simple(tuple(), 3, None).build();
+        tc_egress_chain(&maps, &mut f, &mut stats).unwrap();
+        // Second frame of the same flow: no NewFlow event.
+        let mut f2 = MegaTeFrameSpec::simple(tuple(), 3, None).build();
+        tc_egress_chain(&maps, &mut f2, &mut stats).unwrap();
+
+        let events = maps.telemetry.drain();
+        let new_flows = events
+            .iter()
+            .filter(|e| matches!(e, crate::ringbuf::TelemetryEvent::NewFlow { .. }))
+            .count();
+        let sr = events
+            .iter()
+            .filter(|e| matches!(e, crate::ringbuf::TelemetryEvent::SrInserted { .. }))
+            .count();
+        assert_eq!(new_flows, 1, "one NewFlow for two frames of one flow");
+        assert_eq!(sr, 2, "every labelled frame reports an SR insertion");
+    }
+
+    #[test]
+    fn sr_not_reinserted_when_already_present() {
+        let maps = HostMaps::new();
+        let mut stats = TcStats::default();
+        on_execve(&maps, Pid(5), InstanceId(99)).unwrap();
+        on_conntrack(&maps, Pid(5), tuple()).unwrap();
+        maps.path_map.update((InstanceId(99), tuple().dst_ip), vec![1]).unwrap();
+        let mut f = MegaTeFrameSpec::simple(tuple(), 3, Some(vec![7, 8])).build();
+        let v = tc_egress_chain(&maps, &mut f, &mut stats).unwrap();
+        assert_eq!(v, TcVerdict::Pass);
+        let parsed = parse_megate_frame(&f).unwrap();
+        assert_eq!(parsed.sr.unwrap().1, vec![7, 8], "original SR kept");
+    }
+}

@@ -1,0 +1,147 @@
+//! A perf-event-style ring buffer — eBPF's kernel→user event channel.
+//!
+//! Real deployments stream per-event telemetry (new-flow notifications,
+//! SR-insertion events) through `BPF_MAP_TYPE_RINGBUF` rather than
+//! polling hash maps. Semantics mirrored here: fixed capacity, the
+//! *producer drops* when the consumer lags (and counts the drops —
+//! `bpf_ringbuf_reserve` failing), and the consumer drains in order.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Events the TC programs publish (a telemetry superset of
+/// [`crate::kernel::KernelEvent`], kept wire-friendly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryEvent {
+    /// A new flow appeared in `traffic_map`.
+    NewFlow {
+        /// The flow's five-tuple.
+        tuple: megate_packet::FiveTuple,
+    },
+    /// An SR header was inserted for an instance.
+    SrInserted {
+        /// The owning instance.
+        instance: crate::kernel::InstanceId,
+        /// Hop count of the installed path.
+        hops: u8,
+    },
+    /// Flow accounting was dropped (map pressure / orphan fragment).
+    AccountingMiss,
+}
+
+/// A bounded MPSC ring buffer with producer-side drop semantics.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    inner: Arc<Mutex<Inner>>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    queue: VecDeque<TelemetryEvent>,
+    dropped: u64,
+}
+
+impl RingBuffer {
+    /// A ring holding up to `capacity` undelivered events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring needs capacity");
+        Self {
+            inner: Arc::new(Mutex::new(Inner { queue: VecDeque::new(), dropped: 0 })),
+            capacity,
+        }
+    }
+
+    /// Producer side: publish an event; drops (and counts) when full —
+    /// kernel programs never block on a slow consumer.
+    pub fn publish(&self, event: TelemetryEvent) -> bool {
+        let mut g = self.inner.lock();
+        if g.queue.len() >= self.capacity {
+            g.dropped += 1;
+            return false;
+        }
+        g.queue.push_back(event);
+        true
+    }
+
+    /// Consumer side: drain everything currently queued, in order.
+    pub fn drain(&self) -> Vec<TelemetryEvent> {
+        self.inner.lock().queue.drain(..).collect()
+    }
+
+    /// Events lost to backpressure since creation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Events currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megate_packet::{FiveTuple, Proto};
+
+    fn tuple(p: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: [10, 0, 0, 1],
+            dst_ip: [10, 0, 0, 2],
+            proto: Proto::Udp,
+            src_port: p,
+            dst_port: 1,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let rb = RingBuffer::new(8);
+        for p in 0..5 {
+            assert!(rb.publish(TelemetryEvent::NewFlow { tuple: tuple(p) }));
+        }
+        let events = rb.drain();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e, &TelemetryEvent::NewFlow { tuple: tuple(i as u16) });
+        }
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn producer_drops_when_full() {
+        let rb = RingBuffer::new(2);
+        assert!(rb.publish(TelemetryEvent::AccountingMiss));
+        assert!(rb.publish(TelemetryEvent::AccountingMiss));
+        assert!(!rb.publish(TelemetryEvent::AccountingMiss));
+        assert_eq!(rb.dropped(), 1);
+        assert_eq!(rb.len(), 2);
+        // Draining frees capacity again.
+        rb.drain();
+        assert!(rb.publish(TelemetryEvent::AccountingMiss));
+    }
+
+    #[test]
+    fn concurrent_producers_never_lose_accepted_events() {
+        let rb = RingBuffer::new(100_000);
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let rb = rb.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        rb.publish(TelemetryEvent::NewFlow { tuple: tuple(t * 1000 + i) });
+                    }
+                });
+            }
+        });
+        assert_eq!(rb.len(), 4000);
+        assert_eq!(rb.dropped(), 0);
+    }
+}

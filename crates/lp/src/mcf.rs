@@ -1,0 +1,544 @@
+//! Path-formulation multicommodity flow (MCF) — the shape of MegaTE's
+//! first-stage `MaxSiteFlow` LP (Equation 2):
+//!
+//! ```text
+//! max  Σ_{k,t} F_{k,t} − ε Σ_{k,t} w_t F_{k,t}
+//! s.t. Σ_t F_{k,t} ≤ D_k                 (demand caps)
+//!      Σ_{k,t} F_{k,t} L(t,e) ≤ c_e      (link capacities)
+//!      F ≥ 0
+//! ```
+//!
+//! Two solvers:
+//!
+//! * [`McfProblem::solve_exact`] — builds the LP and runs the dense
+//!   simplex; exact but memory-bounded (mirrors Gurobi's role at small
+//!   and medium scale).
+//! * [`McfProblem::solve_fptas`] — Fleischer's round-robin variant of
+//!   the Garg–Könemann multiplicative-weights algorithm, `(1−O(ε))`-
+//!   optimal in near-linear time. Demand caps are folded in as one
+//!   virtual edge per commodity. Used at hyper-scale.
+
+use crate::simplex::{LinearProgram, LpError, LpStatus};
+
+/// One pre-established path (tunnel) of a commodity.
+#[derive(Debug, Clone)]
+pub struct PathSpec {
+    /// Link indices this path traverses (defines `L(t, e)`).
+    pub links: Vec<usize>,
+    /// Tunnel weight `w_t` (latency; higher = worse).
+    pub weight: f64,
+}
+
+/// One commodity: a site pair `k` with aggregated demand `D_k` and its
+/// tunnel set `T_k`.
+#[derive(Debug, Clone)]
+pub struct Commodity {
+    /// Aggregated demand `D_k` (Mbps).
+    pub demand: f64,
+    /// Pre-established paths, expected sorted by ascending weight.
+    pub paths: Vec<PathSpec>,
+}
+
+/// A path-formulation MCF instance.
+#[derive(Debug, Clone)]
+pub struct McfProblem {
+    /// Capacity `c_e` per link (Mbps).
+    pub link_capacity: Vec<f64>,
+    /// All commodities.
+    pub commodities: Vec<Commodity>,
+    /// The objective's `ε` preferring shorter paths. The paper uses "a
+    /// small constant"; it must satisfy `ε·max(w_t) < 1` so carrying
+    /// traffic always beats dropping it.
+    pub epsilon_weight: f64,
+}
+
+/// A solved MCF.
+#[derive(Debug, Clone)]
+pub struct McfSolution {
+    /// `flows[k][t]` = `F_{k,t}` in Mbps.
+    pub flows: Vec<Vec<f64>>,
+    /// `Σ F_{k,t}` — total satisfied demand.
+    pub total_flow: f64,
+    /// Objective value including the `−ε Σ w F` term.
+    pub objective: f64,
+    /// Congestion price per link: the dual of the link's capacity
+    /// constraint. Exact solves report true shadow prices; the FPTAS
+    /// reports its (normalized) multiplicative-weight lengths, which
+    /// converge to the duals — either way, a positive price marks a
+    /// binding bottleneck. Empty only for degenerate instances.
+    pub link_prices: Vec<f64>,
+}
+
+impl McfSolution {
+    /// Satisfied-demand ratio against the instance's total demand.
+    pub fn satisfied_ratio(&self, problem: &McfProblem) -> f64 {
+        let total: f64 = problem.commodities.iter().map(|c| c.demand).sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.total_flow / total
+    }
+
+    /// Per-link load under this solution.
+    pub fn link_loads(&self, problem: &McfProblem) -> Vec<f64> {
+        let mut load = vec![0.0; problem.link_capacity.len()];
+        for (k, commodity) in problem.commodities.iter().enumerate() {
+            for (t, path) in commodity.paths.iter().enumerate() {
+                let f = self.flows[k][t];
+                for &e in &path.links {
+                    load[e] += f;
+                }
+            }
+        }
+        load
+    }
+}
+
+impl McfProblem {
+    /// Total demand over all commodities.
+    pub fn total_demand(&self) -> f64 {
+        self.commodities.iter().map(|c| c.demand).sum()
+    }
+
+    /// Validates a solution: non-negative flows, demand caps, and link
+    /// capacities all hold within `tol` (relative).
+    pub fn check_feasible(&self, sol: &McfSolution, tol: f64) -> bool {
+        if sol.flows.len() != self.commodities.len() {
+            return false;
+        }
+        for (k, c) in self.commodities.iter().enumerate() {
+            if sol.flows[k].len() != c.paths.len() {
+                return false;
+            }
+            let sum: f64 = sol.flows[k].iter().sum();
+            if sol.flows[k].iter().any(|&f| f < -1e-9) {
+                return false;
+            }
+            if sum > c.demand * (1.0 + tol) + 1e-9 {
+                return false;
+            }
+        }
+        let loads = sol.link_loads(self);
+        loads
+            .iter()
+            .zip(&self.link_capacity)
+            .all(|(&l, &c)| l <= c * (1.0 + tol) + 1e-9)
+    }
+
+    /// Exact solve via the dense simplex. Fails with
+    /// [`LpError::TooLarge`] when the tableau would not fit — the same
+    /// out-of-memory wall the paper reports for LP-all at scale.
+    pub fn solve_exact(&self) -> Result<McfSolution, LpError> {
+        // Variable layout: one variable per (commodity, path), in order.
+        let mut var_of: Vec<(usize, usize)> = Vec::new();
+        let mut objective = Vec::new();
+        for (k, c) in self.commodities.iter().enumerate() {
+            for (t, p) in c.paths.iter().enumerate() {
+                var_of.push((k, t));
+                objective.push(1.0 - self.epsilon_weight * p.weight);
+            }
+        }
+        let mut lp = LinearProgram::maximize(objective);
+
+        // Demand caps.
+        let mut next_var = 0usize;
+        for c in &self.commodities {
+            let entries: Vec<(usize, f64)> =
+                (0..c.paths.len()).map(|t| (next_var + t, 1.0)).collect();
+            if !entries.is_empty() {
+                lp.add_le(entries, c.demand.max(0.0));
+            }
+            next_var += c.paths.len();
+        }
+        // Link capacities.
+        let mut per_link: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.link_capacity.len()];
+        for (v, &(k, t)) in var_of.iter().enumerate() {
+            for &e in &self.commodities[k].paths[t].links {
+                per_link[e].push((v, 1.0));
+            }
+        }
+        let mut link_row: Vec<Option<usize>> = vec![None; self.link_capacity.len()];
+        for (e, entries) in per_link.into_iter().enumerate() {
+            if !entries.is_empty() {
+                link_row[e] = Some(lp.rows.len());
+                lp.add_le(entries, self.link_capacity[e].max(0.0));
+            }
+        }
+
+        let s = lp.solve()?;
+        debug_assert_eq!(s.status, LpStatus::Optimal, "MCF LPs are bounded");
+        let mut flows: Vec<Vec<f64>> =
+            self.commodities.iter().map(|c| vec![0.0; c.paths.len()]).collect();
+        for (v, &(k, t)) in var_of.iter().enumerate() {
+            flows[k][t] = s.x[v];
+        }
+        let total_flow = s.x.iter().sum();
+        let link_prices = link_row
+            .iter()
+            .map(|r| r.map_or(0.0, |row| s.duals[row]))
+            .collect();
+        Ok(McfSolution { flows, total_flow, objective: s.objective, link_prices })
+    }
+
+    /// `(1−O(ε))`-optimal solve via Fleischer's round-robin variant of
+    /// Garg–Könemann. `eps` in (0, 0.5]; smaller = slower, closer to
+    /// optimal. Among near-shortest (by dual length) paths the lowest
+    /// `w_t` is preferred, realizing the objective's short-path bias.
+    pub fn solve_fptas(&self, eps: f64) -> McfSolution {
+        assert!(eps > 0.0 && eps <= 0.5, "eps must be in (0, 0.5]");
+        let n_links = self.link_capacity.len();
+        let n_comm = self.commodities.len();
+        let mut flows: Vec<Vec<f64>> =
+            self.commodities.iter().map(|c| vec![0.0; c.paths.len()]).collect();
+        if n_comm == 0 {
+            return McfSolution {
+                flows,
+                total_flow: 0.0,
+                objective: 0.0,
+                link_prices: vec![0.0; n_links],
+            };
+        }
+
+        // Edge universe: real links then one virtual demand-edge per
+        // commodity (capacity D_k).
+        let m = n_links + n_comm;
+        let delta = (1.0 + eps) * ((1.0 + eps) * m as f64).powf(-1.0 / eps);
+        let mut length: Vec<f64> = (0..m)
+            .map(|e| {
+                let cap = self.edge_cap(e, n_links);
+                if cap > 0.0 {
+                    delta / cap
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+
+        // Path length under current duals (incl. the virtual edge).
+        let path_len = |length: &[f64], k: usize, t: usize| -> f64 {
+            let p = &self.commodities[k].paths[t];
+            let mut l = length[n_links + k];
+            for &e in &p.links {
+                l += length[e];
+            }
+            l
+        };
+
+        let mut alpha = delta; // lower bound on the global min path length
+        while alpha < 1.0 {
+            for k in 0..n_comm {
+                if self.commodities[k].demand <= 0.0 {
+                    continue;
+                }
+                loop {
+                    // Shortest tunnel of k by dual length; prefer lower
+                    // w_t within (1+eps) of the minimum.
+                    let mut best_t = None;
+                    let mut best_len = f64::INFINITY;
+                    for t in 0..self.commodities[k].paths.len() {
+                        let l = path_len(&length, k, t);
+                        if l < best_len {
+                            best_len = l;
+                            best_t = Some(t);
+                        }
+                    }
+                    let (mut t, l0) = match best_t {
+                        Some(t) => (t, best_len),
+                        None => break,
+                    };
+                    for cand in 0..self.commodities[k].paths.len() {
+                        if path_len(&length, k, cand) <= l0 * (1.0 + eps)
+                            && self.commodities[k].paths[cand].weight
+                                < self.commodities[k].paths[t].weight
+                        {
+                            t = cand;
+                        }
+                    }
+                    let l = path_len(&length, k, t);
+                    if !(l < 1.0 && l < alpha * (1.0 + eps)) {
+                        break;
+                    }
+                    // Route the bottleneck capacity.
+                    let p = &self.commodities[k].paths[t];
+                    let mut c = self.commodities[k].demand;
+                    for &e in &p.links {
+                        c = c.min(self.link_capacity[e]);
+                    }
+                    if c <= 0.0 {
+                        break;
+                    }
+                    flows[k][t] += c;
+                    // Multiplicative length updates.
+                    length[n_links + k] *= 1.0 + eps * c / self.commodities[k].demand;
+                    for &e in &p.links {
+                        length[e] *= 1.0 + eps * c / self.link_capacity[e];
+                    }
+                }
+            }
+            alpha *= 1.0 + eps;
+        }
+
+        // Scale down: raw flows overshoot by log_{1+eps}(1/delta).
+        let scale = ((1.0 / delta).ln() / (1.0 + eps).ln()).max(1.0);
+        for f in flows.iter_mut().flat_map(|v| v.iter_mut()) {
+            *f /= scale;
+        }
+
+        // Numerical safety: clamp any residual overshoot on links and
+        // demands (the theory guarantees feasibility; floating point can
+        // leave ppm-level overage).
+        // The multiplicative-weight lengths approximate the duals after
+        // normalization by the same scale as the flows.
+        let price_scale = scale.max(1e-12);
+        let link_prices: Vec<f64> = length[..n_links]
+            .iter()
+            .map(|&l| if l.is_finite() { l / price_scale } else { 0.0 })
+            .collect();
+        let mut sol = McfSolution { flows, total_flow: 0.0, objective: 0.0, link_prices };
+        let loads = sol.link_loads(self);
+        let mut worst: f64 = 1.0;
+        for (e, &load) in loads.iter().enumerate() {
+            if self.link_capacity[e] > 0.0 {
+                worst = worst.max(load / self.link_capacity[e]);
+            }
+        }
+        for (k, c) in self.commodities.iter().enumerate() {
+            let s: f64 = sol.flows[k].iter().sum();
+            if c.demand > 0.0 {
+                worst = worst.max(s / c.demand);
+            }
+        }
+        if worst > 1.0 {
+            for f in sol.flows.iter_mut().flat_map(|v| v.iter_mut()) {
+                *f /= worst;
+            }
+        }
+
+        sol.total_flow = sol.flows.iter().flat_map(|v| v.iter()).sum();
+        sol.objective = self
+            .commodities
+            .iter()
+            .enumerate()
+            .map(|(k, c)| {
+                c.paths
+                    .iter()
+                    .enumerate()
+                    .map(|(t, p)| sol.flows[k][t] * (1.0 - self.epsilon_weight * p.weight))
+                    .sum::<f64>()
+            })
+            .sum();
+        sol
+    }
+
+    fn edge_cap(&self, e: usize, n_links: usize) -> f64 {
+        if e < n_links {
+            self.link_capacity[e]
+        } else {
+            self.commodities[e - n_links].demand
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn one_link_instance(demand: f64, cap: f64) -> McfProblem {
+        McfProblem {
+            link_capacity: vec![cap],
+            commodities: vec![Commodity {
+                demand,
+                paths: vec![PathSpec { links: vec![0], weight: 1.0 }],
+            }],
+            epsilon_weight: 1e-4,
+        }
+    }
+
+    #[test]
+    fn single_path_caps_at_bottleneck() {
+        let p = one_link_instance(100.0, 40.0);
+        let s = p.solve_exact().unwrap();
+        assert!((s.total_flow - 40.0).abs() < 1e-6);
+        let f = p.solve_fptas(0.05);
+        assert!(f.total_flow >= 40.0 * 0.85, "fptas {}", f.total_flow);
+        assert!(p.check_feasible(&f, 1e-6));
+    }
+
+    #[test]
+    fn single_path_caps_at_demand() {
+        let p = one_link_instance(30.0, 100.0);
+        let s = p.solve_exact().unwrap();
+        assert!((s.total_flow - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_commodities_share_a_link_fairly_by_objective() {
+        // Both want 60 over a 100-capacity link; optimum carries 100.
+        let p = McfProblem {
+            link_capacity: vec![100.0],
+            commodities: vec![
+                Commodity {
+                    demand: 60.0,
+                    paths: vec![PathSpec { links: vec![0], weight: 1.0 }],
+                },
+                Commodity {
+                    demand: 60.0,
+                    paths: vec![PathSpec { links: vec![0], weight: 1.0 }],
+                },
+            ],
+            epsilon_weight: 1e-4,
+        };
+        let s = p.solve_exact().unwrap();
+        assert!((s.total_flow - 100.0).abs() < 1e-6);
+        assert!(p.check_feasible(&s, 1e-9));
+    }
+
+    #[test]
+    fn short_path_preferred_when_capacity_allows() {
+        // Two disjoint paths, both feasible: the cheap one must carry
+        // the flow because of the -eps*w term.
+        let p = McfProblem {
+            link_capacity: vec![100.0, 100.0],
+            commodities: vec![Commodity {
+                demand: 50.0,
+                paths: vec![
+                    PathSpec { links: vec![0], weight: 1.0 },
+                    PathSpec { links: vec![1], weight: 10.0 },
+                ],
+            }],
+            epsilon_weight: 1e-3,
+        };
+        let s = p.solve_exact().unwrap();
+        assert!((s.flows[0][0] - 50.0).abs() < 1e-6, "flows {:?}", s.flows);
+        assert!(s.flows[0][1].abs() < 1e-6);
+
+        let f = p.solve_fptas(0.05);
+        assert!(f.flows[0][0] > f.flows[0][1], "fptas flows {:?}", f.flows);
+    }
+
+    #[test]
+    fn overflow_spills_to_long_path() {
+        let p = McfProblem {
+            link_capacity: vec![30.0, 100.0],
+            commodities: vec![Commodity {
+                demand: 50.0,
+                paths: vec![
+                    PathSpec { links: vec![0], weight: 1.0 },
+                    PathSpec { links: vec![1], weight: 10.0 },
+                ],
+            }],
+            epsilon_weight: 1e-3,
+        };
+        let s = p.solve_exact().unwrap();
+        assert!((s.total_flow - 50.0).abs() < 1e-6);
+        assert!((s.flows[0][0] - 30.0).abs() < 1e-6);
+        assert!((s.flows[0][1] - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_link_prices_mark_bottlenecks() {
+        // One 40-cap link carrying 100 of demand: binding, priced ~1
+        // (one more unit of capacity = one more unit of flow).
+        let p = one_link_instance(100.0, 40.0);
+        let s = p.solve_exact().unwrap();
+        assert!((s.link_prices[0] - (1.0 - p.epsilon_weight)).abs() < 1e-6,
+            "price {:?}", s.link_prices);
+        // Demand-limited instance: the link is slack, price 0.
+        let p = one_link_instance(30.0, 100.0);
+        let s = p.solve_exact().unwrap();
+        assert!(s.link_prices[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn fptas_prices_highlight_the_same_bottleneck() {
+        let p = McfProblem {
+            link_capacity: vec![40.0, 10_000.0],
+            commodities: vec![Commodity {
+                demand: 100.0,
+                paths: vec![PathSpec { links: vec![0, 1], weight: 1.0 }],
+            }],
+            epsilon_weight: 1e-4,
+        };
+        let s = p.solve_fptas(0.1);
+        assert!(
+            s.link_prices[0] > 10.0 * s.link_prices[1],
+            "bottleneck must be priced far above the slack link: {:?}",
+            s.link_prices
+        );
+    }
+
+    #[test]
+    fn empty_instance_is_trivial() {
+        let p = McfProblem { link_capacity: vec![], commodities: vec![], epsilon_weight: 0.0 };
+        let s = p.solve_exact().unwrap();
+        assert_eq!(s.total_flow, 0.0);
+        let f = p.solve_fptas(0.1);
+        assert_eq!(f.total_flow, 0.0);
+    }
+
+    #[test]
+    fn zero_demand_commodity_gets_nothing() {
+        let p = one_link_instance(0.0, 50.0);
+        let s = p.solve_exact().unwrap();
+        assert_eq!(s.total_flow, 0.0);
+        let f = p.solve_fptas(0.1);
+        assert!(f.total_flow.abs() < 1e-9);
+    }
+
+    /// Random small instance generator shared by the property tests.
+    fn random_instance(seed: u64) -> McfProblem {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n_links = rng.gen_range(2..6);
+        let link_capacity: Vec<f64> =
+            (0..n_links).map(|_| rng.gen_range(10.0..100.0)).collect();
+        let n_comm = rng.gen_range(1..5);
+        let commodities = (0..n_comm)
+            .map(|_| {
+                let n_paths = rng.gen_range(1..4);
+                let paths = (0..n_paths)
+                    .map(|i| {
+                        let len = rng.gen_range(1..=n_links);
+                        let mut links: Vec<usize> = (0..n_links).collect();
+                        // Random subset of distinct links as a "path".
+                        for j in (1..links.len()).rev() {
+                            links.swap(j, rng.gen_range(0..=j));
+                        }
+                        links.truncate(len);
+                        PathSpec { links, weight: 1.0 + i as f64 }
+                    })
+                    .collect();
+                Commodity { demand: rng.gen_range(5.0..80.0), paths }
+            })
+            .collect();
+        McfProblem { link_capacity, commodities, epsilon_weight: 1e-4 }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn fptas_close_to_exact_and_feasible(seed in 0u64..5000) {
+            let p = random_instance(seed);
+            let exact = p.solve_exact().unwrap();
+            prop_assert!(p.check_feasible(&exact, 1e-7));
+            let eps = 0.05;
+            let approx = p.solve_fptas(eps);
+            prop_assert!(p.check_feasible(&approx, 1e-7));
+            // Garg–Könemann guarantee is (1-eps)^3-ish; allow slack.
+            prop_assert!(
+                approx.total_flow >= exact.total_flow * (1.0 - 3.5 * eps) - 1e-6,
+                "approx {} vs exact {}", approx.total_flow, exact.total_flow
+            );
+            prop_assert!(approx.total_flow <= exact.total_flow + 1e-6);
+        }
+
+        #[test]
+        fn exact_never_exceeds_demand_or_capacity(seed in 0u64..2000) {
+            let p = random_instance(seed);
+            let s = p.solve_exact().unwrap();
+            prop_assert!(p.check_feasible(&s, 1e-7));
+            prop_assert!(s.satisfied_ratio(&p) <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! LP presolve: cheap reductions applied before the simplex.
+//!
+//! Endpoint-granularity LPs (LP-all, NCFlow sub-LPs) carry a lot of
+//! redundancy: many endpoint pairs of one site pair produce *identical*
+//! link rows, and pairs whose tunnels avoid a link leave its row empty.
+//! Presolve removes what the simplex would otherwise pivot around:
+//!
+//! 1. **empty rows** — no entries, trivially satisfiable;
+//! 2. **duplicate rows** — identical entry sets; only the tightest
+//!    (minimum rhs) can bind;
+//! 3. **free null columns** — variables in no constraint: fixed at 0
+//!    when their objective is ≤ 0, or flagged unbounded otherwise.
+//!
+//! [`Presolve::restore`] maps the reduced solution (point *and* duals)
+//! back to the original index space.
+
+use crate::simplex::{LinearProgram, LpError, LpSolution, LpStatus, SparseRow};
+
+/// Bookkeeping to map a reduced solution back to the original LP.
+#[derive(Debug, Clone)]
+pub struct Presolve {
+    /// For each kept row: its original index.
+    kept_rows: Vec<usize>,
+    /// For each kept variable: its original index.
+    kept_vars: Vec<usize>,
+    /// Original problem dimensions.
+    orig_rows: usize,
+    orig_vars: usize,
+    /// A variable with positive objective and no constraints.
+    unbounded: bool,
+}
+
+impl Presolve {
+    /// Rows removed by presolve.
+    pub fn rows_removed(&self) -> usize {
+        self.orig_rows - self.kept_rows.len()
+    }
+
+    /// Variables removed by presolve.
+    pub fn vars_removed(&self) -> usize {
+        self.orig_vars - self.kept_vars.len()
+    }
+
+    /// Maps a reduced-space solution back to the original index space.
+    /// Removed variables are 0; removed rows get dual 0 (they can never
+    /// bind).
+    pub fn restore(&self, reduced: LpSolution) -> LpSolution {
+        let mut x = vec![0.0; self.orig_vars];
+        for (r, &orig) in self.kept_vars.iter().enumerate() {
+            x[orig] = reduced.x[r];
+        }
+        let mut duals = vec![0.0; self.orig_rows];
+        for (r, &orig) in self.kept_rows.iter().enumerate() {
+            duals[orig] = reduced.duals[r];
+        }
+        LpSolution {
+            status: reduced.status,
+            x,
+            objective: reduced.objective,
+            pivots: reduced.pivots,
+            duals,
+        }
+    }
+}
+
+/// Applies the reductions, returning the reduced LP and the mapping.
+pub fn presolve(lp: &LinearProgram) -> (LinearProgram, Presolve) {
+    let n = lp.n_vars();
+
+    // Null columns: variables appearing in no row.
+    let mut in_constraint = vec![false; n];
+    for row in &lp.rows {
+        for &(j, c) in &row.entries {
+            if c != 0.0 {
+                in_constraint[j] = true;
+            }
+        }
+    }
+    let mut unbounded = false;
+    let mut kept_vars = Vec::with_capacity(n);
+    let mut var_map = vec![usize::MAX; n];
+    for j in 0..n {
+        if !in_constraint[j] {
+            if lp.objective[j] > 0.0 {
+                unbounded = true; // grows forever; keep for the solver?
+            }
+            // Fixed at 0 (or unbounded flagged) — drop either way.
+            continue;
+        }
+        var_map[j] = kept_vars.len();
+        kept_vars.push(j);
+    }
+
+    // Row canonicalization for duplicate detection.
+    let canonical = |row: &SparseRow| -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = row
+            .entries
+            .iter()
+            .filter(|&&(j, c)| c != 0.0 && var_map[j] != usize::MAX)
+            .map(|&(j, c)| (var_map[j], c.to_bits()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+
+    let mut best_rhs: std::collections::HashMap<Vec<(usize, u64)>, (usize, f64)> =
+        std::collections::HashMap::new();
+    for (i, row) in lp.rows.iter().enumerate() {
+        let key = canonical(row);
+        if key.is_empty() {
+            continue; // empty row
+        }
+        match best_rhs.get(&key) {
+            Some(&(_, rhs)) if rhs <= row.rhs => {}
+            _ => {
+                best_rhs.insert(key, (i, row.rhs));
+            }
+        }
+    }
+    let mut kept_rows: Vec<usize> = best_rhs.values().map(|&(i, _)| i).collect();
+    kept_rows.sort_unstable();
+
+    // Build the reduced LP.
+    let objective: Vec<f64> = kept_vars.iter().map(|&j| lp.objective[j]).collect();
+    let mut reduced = LinearProgram::maximize(objective);
+    for &i in &kept_rows {
+        let entries: Vec<(usize, f64)> = lp.rows[i]
+            .entries
+            .iter()
+            .filter(|&&(j, c)| c != 0.0 && var_map[j] != usize::MAX)
+            .map(|&(j, c)| (var_map[j], c))
+            .collect();
+        reduced.add_le(entries, lp.rows[i].rhs);
+    }
+
+    (
+        reduced,
+        Presolve {
+            kept_rows,
+            kept_vars,
+            orig_rows: lp.rows.len(),
+            orig_vars: n,
+            unbounded,
+        },
+    )
+}
+
+/// Convenience: presolve, solve, restore. Detects unbounded null
+/// columns without running the simplex.
+pub fn solve_presolved(lp: &LinearProgram) -> Result<LpSolution, LpError> {
+    let (reduced, map) = presolve(lp);
+    if map.unbounded {
+        return Ok(LpSolution {
+            status: LpStatus::Unbounded,
+            x: vec![0.0; lp.n_vars()],
+            objective: f64::INFINITY,
+            pivots: 0,
+            duals: vec![0.0; lp.rows.len()],
+        });
+    }
+    Ok(map.restore(reduced.solve()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn duplicate_rows_collapse_to_tightest() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_le(vec![(0, 1.0), (1, 1.0)], 10.0);
+        lp.add_le(vec![(1, 1.0), (0, 1.0)], 4.0); // same row, tighter
+        lp.add_le(vec![(0, 1.0), (1, 1.0)], 7.0); // same row, looser
+        let (reduced, map) = presolve(&lp);
+        assert_eq!(reduced.rows.len(), 1);
+        assert_eq!(map.rows_removed(), 2);
+        let s = solve_presolved(&lp).unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-9);
+        assert_eq!(s.duals.len(), 3);
+        // Only the tight duplicate carries the dual.
+        assert!(s.duals[1] > 0.5);
+        assert_eq!(s.duals[0], 0.0);
+        assert_eq!(s.duals[2], 0.0);
+    }
+
+    #[test]
+    fn empty_rows_and_null_columns_removed() {
+        let mut lp = LinearProgram::maximize(vec![2.0, -1.0, 0.0]);
+        lp.add_le(vec![(0, 1.0)], 5.0);
+        lp.add_le(vec![], 3.0); // empty
+        let (reduced, map) = presolve(&lp);
+        assert_eq!(reduced.rows.len(), 1);
+        assert_eq!(reduced.n_vars(), 1); // x1 (obj<0, no rows), x2 (null) gone
+        assert_eq!(map.vars_removed(), 2);
+        let s = solve_presolved(&lp).unwrap();
+        assert!((s.objective - 10.0).abs() < 1e-9);
+        assert_eq!(s.x, vec![5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn unbounded_null_column_detected_without_solving() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_le(vec![(0, 1.0)], 5.0); // x1 unconstrained, obj > 0
+        let s = solve_presolved(&lp).unwrap();
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn presolved_matches_direct_solve(seed in 0u64..2000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(2..6);
+            let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..5.0)).collect();
+            let mut lp = LinearProgram::maximize(obj);
+            // Random rows with deliberate duplicates and bound rows.
+            let base: Vec<(usize, f64)> = (0..n)
+                .map(|j| (j, rng.gen_range(0.5..2.0)))
+                .collect();
+            lp.add_le(base.clone(), rng.gen_range(5.0..20.0));
+            lp.add_le(base.clone(), rng.gen_range(5.0..20.0)); // duplicate
+            for j in 0..n {
+                lp.add_le(vec![(j, 1.0)], rng.gen_range(1.0..10.0));
+            }
+            let direct = lp.solve().unwrap();
+            let pre = solve_presolved(&lp).unwrap();
+            prop_assert_eq!(direct.status, LpStatus::Optimal);
+            prop_assert!((direct.objective - pre.objective).abs()
+                < 1e-6 * (1.0 + direct.objective.abs()),
+                "direct {} vs presolved {}", direct.objective, pre.objective);
+            prop_assert!(lp.is_feasible(&pre.x));
+            prop_assert_eq!(pre.duals.len(), lp.rows.len());
+        }
+    }
+}

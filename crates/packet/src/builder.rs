@@ -1,0 +1,537 @@
+//! Building and parsing complete MegaTE-encapsulated frames.
+//!
+//! Layout (Figure 7(a), plus the SR insertion of §5.2):
+//!
+//! ```text
+//! outer Eth | outer IPv4 | UDP(4789) | VXLAN | [MegaTE SR] | inner Eth | inner IPv4 | L4 + payload
+//! ```
+//!
+//! The builder emits what the host's TC-layer eBPF program would put on
+//! the wire; the parser is what WAN routers and the receive path use.
+
+use crate::ethernet::{EthernetFrame, ETHERTYPE_IPV4, HEADER_LEN as ETH_LEN};
+use crate::fivetuple::{classify_ipv4, FiveTuple, FlowKey};
+use crate::ipv4::{Ipv4Packet, HEADER_LEN as IP_LEN};
+use crate::srheader::{len_for_hops, SrHeader};
+use crate::udp::{UdpDatagram, HEADER_LEN as UDP_LEN, VXLAN_PORT};
+use crate::vxlan::{VxlanHeader, HEADER_LEN as VXLAN_LEN};
+use crate::{Result, WireError};
+
+/// Everything needed to build one encapsulated frame.
+#[derive(Debug, Clone)]
+pub struct MegaTeFrameSpec {
+    /// Outer (underlay) source IP — the source host's address.
+    pub outer_src_ip: [u8; 4],
+    /// Outer destination IP — the destination host's address.
+    pub outer_dst_ip: [u8; 4],
+    /// VXLAN network identifier of the tenant.
+    pub vni: u32,
+    /// Inner five-tuple of the tenant flow.
+    pub inner: FiveTuple,
+    /// Inner IP identification (for fragmentation tests).
+    pub inner_ipid: u16,
+    /// Inner fragmentation: `(offset_bytes, more_fragments)`.
+    pub inner_fragment: (u16, bool),
+    /// Inner L4 payload length in bytes.
+    pub payload_len: usize,
+    /// SR hop list; `None` builds a plain VXLAN frame (conventional TE).
+    pub sr_hops: Option<Vec<u32>>,
+}
+
+impl MegaTeFrameSpec {
+    /// A minimal spec for tests and examples.
+    pub fn simple(inner: FiveTuple, vni: u32, sr_hops: Option<Vec<u32>>) -> Self {
+        Self {
+            outer_src_ip: [192, 168, 0, 1],
+            outer_dst_ip: [192, 168, 0, 2],
+            vni,
+            inner,
+            inner_ipid: 0,
+            inner_fragment: (0, false),
+            payload_len: 64,
+            sr_hops,
+        }
+    }
+
+    /// Builds the full frame bytes.
+    pub fn build(&self) -> Vec<u8> {
+        let sr_len = self.sr_hops.as_ref().map_or(0, |h| len_for_hops(h.len()));
+        let inner_l4_len = UDP_LEN + self.payload_len;
+        let inner_ip_len = IP_LEN + inner_l4_len;
+        let inner_len = ETH_LEN + inner_ip_len;
+        let udp_payload_len = VXLAN_LEN + sr_len + inner_len;
+        let outer_ip_len = IP_LEN + UDP_LEN + udp_payload_len;
+        let total = ETH_LEN + outer_ip_len;
+        let mut buf = vec![0u8; total];
+
+        // Outer Ethernet.
+        {
+            let mut eth = EthernetFrame::new_checked(&mut buf[..]).expect("sized");
+            eth.set_dst_addr([0x02, 0, 0, 0, 0, 2]);
+            eth.set_src_addr([0x02, 0, 0, 0, 0, 1]);
+            eth.set_ethertype(ETHERTYPE_IPV4);
+        }
+        // Outer IPv4.
+        let ip_start = ETH_LEN;
+        {
+            let seg = &mut buf[ip_start..];
+            seg[0] = 0x45;
+            seg[2..4].copy_from_slice(&(outer_ip_len as u16).to_be_bytes());
+            let mut ip = Ipv4Packet::new_checked(seg).expect("sized");
+            ip.set_ttl(64);
+            ip.set_protocol(crate::ipv4::PROTO_UDP);
+            ip.set_src_addr(self.outer_src_ip);
+            ip.set_dst_addr(self.outer_dst_ip);
+            ip.set_fragment(0, false);
+            ip.fill_checksum();
+        }
+        // Outer UDP.
+        let udp_start = ip_start + IP_LEN;
+        {
+            let seg = &mut buf[udp_start..];
+            seg[4..6].copy_from_slice(&((UDP_LEN + udp_payload_len) as u16).to_be_bytes());
+            let mut udp = UdpDatagram::new_checked(seg).expect("sized");
+            // Entropy source port derived from the inner tuple, like
+            // real VXLAN encapsulators.
+            udp.set_src_port(0xC000 | (self.inner.hash_u64() as u16 & 0x3FFF));
+            udp.set_dst_port(VXLAN_PORT);
+            udp.set_checksum(0);
+        }
+        // VXLAN.
+        let vxlan_start = udp_start + UDP_LEN;
+        {
+            let mut vx = VxlanHeader::new_checked(&mut buf[vxlan_start..]).expect("sized");
+            vx.init(self.vni);
+            vx.set_megate_sr(self.sr_hops.is_some());
+        }
+        // SR header.
+        let mut inner_start = vxlan_start + VXLAN_LEN;
+        if let Some(hops) = &self.sr_hops {
+            let mut sr = SrHeader::new_checked(&mut buf[inner_start..]).expect("sized");
+            sr.init(hops);
+            inner_start += sr_len;
+        }
+        // Inner Ethernet.
+        {
+            let mut eth = EthernetFrame::new_checked(&mut buf[inner_start..]).expect("sized");
+            eth.set_dst_addr([0x06, 0, 0, 0, 0, 2]);
+            eth.set_src_addr([0x06, 0, 0, 0, 0, 1]);
+            eth.set_ethertype(ETHERTYPE_IPV4);
+        }
+        // Inner IPv4 + L4.
+        let inner_ip_start = inner_start + ETH_LEN;
+        {
+            let seg = &mut buf[inner_ip_start..];
+            seg[0] = 0x45;
+            seg[2..4].copy_from_slice(&(inner_ip_len as u16).to_be_bytes());
+            let mut ip = Ipv4Packet::new_checked(seg).expect("sized");
+            ip.set_ttl(64);
+            ip.set_protocol(self.inner.proto.number());
+            ip.set_src_addr(self.inner.src_ip);
+            ip.set_dst_addr(self.inner.dst_ip);
+            ip.set_ident(self.inner_ipid);
+            ip.set_fragment(self.inner_fragment.0, self.inner_fragment.1);
+            ip.fill_checksum();
+            // Ports live in the first 4 bytes of both TCP and UDP, and a
+            // non-first fragment has no transport header at all.
+            if self.inner_fragment.0 == 0 {
+                let pl = ip.payload_mut();
+                pl[0..2].copy_from_slice(&self.inner.src_port.to_be_bytes());
+                pl[2..4].copy_from_slice(&self.inner.dst_port.to_be_bytes());
+                if self.inner.proto == crate::fivetuple::Proto::Udp {
+                    pl[4..6].copy_from_slice(&(inner_l4_len as u16).to_be_bytes());
+                }
+            }
+        }
+        buf
+    }
+}
+
+/// The interesting parts of a parsed MegaTE frame.
+#[derive(Debug, Clone)]
+pub struct ParsedFrame {
+    /// Outer IP source (underlay).
+    pub outer_src_ip: [u8; 4],
+    /// Outer IP destination (underlay).
+    pub outer_dst_ip: [u8; 4],
+    /// VXLAN network identifier.
+    pub vni: u32,
+    /// SR state when the MegaTE flag was set: `(offset, hops)`.
+    pub sr: Option<(u8, Vec<u32>)>,
+    /// Byte offset of the SR header within the frame (for in-place
+    /// mutation by routers); `None` without the flag.
+    pub sr_byte_offset: Option<usize>,
+    /// Flow key of the inner packet.
+    pub inner_flow: FlowKey,
+    /// Inner IPv4 total length (what flow accounting bills).
+    pub inner_ip_len: u16,
+    /// Total frame length on the wire.
+    pub frame_len: usize,
+}
+
+/// Parses a full frame built by [`MegaTeFrameSpec::build`] (or any
+/// VXLAN/UDP/IPv4 frame). Never panics on malformed input.
+pub fn parse_megate_frame(frame: &[u8]) -> Result<ParsedFrame> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    if eth.ethertype() != ETHERTYPE_IPV4 {
+        return Err(WireError::Malformed);
+    }
+    let ip = Ipv4Packet::new_checked(eth.payload())?;
+    if ip.protocol() != crate::ipv4::PROTO_UDP {
+        return Err(WireError::Malformed);
+    }
+    let outer_src_ip = ip.src_addr();
+    let outer_dst_ip = ip.dst_addr();
+    let ip_header_len = ip.header_len();
+    let udp = UdpDatagram::new_checked(ip.payload())?;
+    if udp.dst_port() != VXLAN_PORT {
+        return Err(WireError::Malformed);
+    }
+    let vxlan = VxlanHeader::new_checked(udp.payload())?;
+    if !vxlan.vni_present() {
+        return Err(WireError::Malformed);
+    }
+    let vni = vxlan.vni();
+
+    let vxlan_payload_start =
+        ETH_LEN + ip_header_len + UDP_LEN + crate::vxlan::HEADER_LEN;
+    type SrParts<'a> = (Option<(u8, Vec<u32>)>, Option<usize>, &'a [u8]);
+    let (sr, sr_byte_offset, inner_bytes): SrParts =
+        if vxlan.has_megate_sr() {
+            let sr = SrHeader::new_checked(vxlan.payload())?;
+            let hl = sr.header_len();
+            (
+                Some((sr.offset(), sr.hops())),
+                Some(vxlan_payload_start),
+                &vxlan.payload()[hl..],
+            )
+        } else {
+            (None, None, vxlan.payload())
+        };
+
+    let inner_eth = EthernetFrame::new_checked(inner_bytes)?;
+    if inner_eth.ethertype() != ETHERTYPE_IPV4 {
+        return Err(WireError::Malformed);
+    }
+    let inner_ip = Ipv4Packet::new_checked(inner_eth.payload())?;
+    let inner_flow = classify_ipv4(&inner_ip)?;
+
+    Ok(ParsedFrame {
+        outer_src_ip,
+        outer_dst_ip,
+        vni,
+        sr,
+        sr_byte_offset,
+        inner_flow,
+        inner_ip_len: inner_ip.total_len(),
+        frame_len: frame.len(),
+    })
+}
+
+/// Advances the SR offset of a frame in place (what a WAN router does
+/// after choosing the next hop). Errors when the frame carries no SR
+/// header or the path is exhausted.
+pub fn advance_sr_offset(frame: &mut [u8]) -> Result<()> {
+    let parsed = parse_megate_frame(frame)?;
+    let at = parsed.sr_byte_offset.ok_or(WireError::Malformed)?;
+    let mut sr = SrHeader::new_checked(&mut frame[at..])?;
+    if sr.current_hop().is_none() {
+        return Err(WireError::Malformed);
+    }
+    sr.advance();
+    Ok(())
+}
+
+/// Inserts a MegaTE SR header into a plain VXLAN frame in place (what
+/// the TC-layer eBPF program does on egress, §5.2): splice the SR bytes
+/// after the VXLAN header, set the VXLAN reserved-field flag, and fix
+/// the outer IP/UDP lengths and the IP checksum.
+///
+/// Errors if the frame is not a well-formed VXLAN frame or already
+/// carries an SR header.
+pub fn insert_sr_header(frame: &mut Vec<u8>, hops: &[u32]) -> Result<()> {
+    let parsed = parse_megate_frame(frame)?;
+    if parsed.sr.is_some() {
+        return Err(WireError::Malformed);
+    }
+    if hops.len() > crate::srheader::MAX_HOPS {
+        return Err(WireError::Malformed);
+    }
+    // Recompute the outer header geometry.
+    let eth = EthernetFrame::new_checked(&frame[..])?;
+    let ip = Ipv4Packet::new_checked(eth.payload())?;
+    let ip_header_len = ip.header_len();
+    let sr_at = ETH_LEN + ip_header_len + UDP_LEN + crate::vxlan::HEADER_LEN;
+    let sr_len = len_for_hops(hops.len());
+
+    // Splice in zeroed SR bytes, then initialize them.
+    frame.splice(sr_at..sr_at, std::iter::repeat_n(0u8, sr_len));
+    {
+        let mut sr = SrHeader::new_checked(&mut frame[sr_at..])?;
+        sr.init(hops);
+    }
+    // Set the VXLAN flag.
+    {
+        let vxlan_at = ETH_LEN + ip_header_len + UDP_LEN;
+        let mut vx = VxlanHeader::new_checked(&mut frame[vxlan_at..])?;
+        vx.set_megate_sr(true);
+    }
+    // Fix outer UDP length.
+    {
+        let udp_at = ETH_LEN + ip_header_len;
+        let mut udp = UdpDatagram::new_checked(&mut frame[udp_at..])?;
+        let new_len = udp.len() + sr_len as u16;
+        udp.set_len(new_len);
+    }
+    // Fix outer IP total length + checksum.
+    {
+        let seg = &mut frame[ETH_LEN..];
+        let new_total = read_total_len(seg) + sr_len as u16;
+        seg[2..4].copy_from_slice(&new_total.to_be_bytes());
+        let mut ip = Ipv4Packet::new_checked(seg)?;
+        ip.fill_checksum();
+    }
+    Ok(())
+}
+
+/// Removes the MegaTE SR header from a frame in place (the destination
+/// host's receive path, restoring a standard VXLAN frame for the guest).
+pub fn strip_sr_header(frame: &mut Vec<u8>) -> Result<()> {
+    let parsed = parse_megate_frame(frame)?;
+    let sr_at = parsed.sr_byte_offset.ok_or(WireError::Malformed)?;
+    let sr_len = {
+        let sr = SrHeader::new_checked(&frame[sr_at..])?;
+        sr.header_len()
+    };
+    let ip_header_len = {
+        let eth = EthernetFrame::new_checked(&frame[..])?;
+        Ipv4Packet::new_checked(eth.payload())?.header_len()
+    };
+    frame.drain(sr_at..sr_at + sr_len);
+    // Patch the outer IP total length first so the checked wrappers
+    // below see a consistent buffer again.
+    {
+        let seg = &mut frame[ETH_LEN..];
+        let new_total = read_total_len(seg) - sr_len as u16;
+        seg[2..4].copy_from_slice(&new_total.to_be_bytes());
+    }
+    {
+        let vxlan_at = ETH_LEN + ip_header_len + UDP_LEN;
+        let mut vx = VxlanHeader::new_checked(&mut frame[vxlan_at..])?;
+        vx.set_megate_sr(false);
+    }
+    {
+        // Patch the UDP length raw: the checked wrapper would reject the
+        // stale (too-long) declared length against the shrunk buffer.
+        let len_at = ETH_LEN + ip_header_len + 4;
+        let old = u16::from_be_bytes([frame[len_at], frame[len_at + 1]]);
+        frame[len_at..len_at + 2].copy_from_slice(&(old - sr_len as u16).to_be_bytes());
+    }
+    {
+        let mut ip = Ipv4Packet::new_checked(&mut frame[ETH_LEN..])?;
+        ip.fill_checksum();
+    }
+    Ok(())
+}
+
+fn read_total_len(ip_bytes: &[u8]) -> u16 {
+    u16::from_be_bytes([ip_bytes[2], ip_bytes[3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fivetuple::Proto;
+    use proptest::prelude::*;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple {
+            src_ip: [10, 1, 0, 5],
+            dst_ip: [10, 2, 0, 9],
+            proto: Proto::Udp,
+            src_port: 5555,
+            dst_port: 80,
+        }
+    }
+
+    #[test]
+    fn build_parse_roundtrip_with_sr() {
+        let spec = MegaTeFrameSpec::simple(tuple(), 77, Some(vec![3, 1, 4, 1, 5]));
+        let frame = spec.build();
+        let p = parse_megate_frame(&frame).unwrap();
+        assert_eq!(p.vni, 77);
+        let (off, hops) = p.sr.expect("SR present");
+        assert_eq!(off, 0);
+        assert_eq!(hops, vec![3, 1, 4, 1, 5]);
+        match p.inner_flow {
+            FlowKey::Tuple { tuple: t, .. } => assert_eq!(t, tuple()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_parse_roundtrip_without_sr() {
+        let spec = MegaTeFrameSpec::simple(tuple(), 9, None);
+        let frame = spec.build();
+        let p = parse_megate_frame(&frame).unwrap();
+        assert!(p.sr.is_none());
+        assert!(p.sr_byte_offset.is_none());
+        assert_eq!(p.vni, 9);
+    }
+
+    #[test]
+    fn advance_walks_the_path_in_place() {
+        let spec = MegaTeFrameSpec::simple(tuple(), 1, Some(vec![8, 9]));
+        let mut frame = spec.build();
+        advance_sr_offset(&mut frame).unwrap();
+        let p = parse_megate_frame(&frame).unwrap();
+        assert_eq!(p.sr.unwrap().0, 1);
+        advance_sr_offset(&mut frame).unwrap();
+        let p = parse_megate_frame(&frame).unwrap();
+        assert_eq!(p.sr.unwrap().0, 2);
+        // Path exhausted.
+        assert_eq!(advance_sr_offset(&mut frame).err(), Some(WireError::Malformed));
+    }
+
+    #[test]
+    fn advance_without_sr_errors() {
+        let mut frame = MegaTeFrameSpec::simple(tuple(), 1, None).build();
+        assert_eq!(advance_sr_offset(&mut frame).err(), Some(WireError::Malformed));
+    }
+
+    #[test]
+    fn fragmented_inner_classified_as_fragment() {
+        let mut spec = MegaTeFrameSpec::simple(tuple(), 2, Some(vec![1]));
+        spec.inner_ipid = 0x4242;
+        spec.inner_fragment = (1480, true);
+        let frame = spec.build();
+        let p = parse_megate_frame(&frame).unwrap();
+        assert_eq!(p.inner_flow, FlowKey::Fragment { ipid: 0x4242 });
+    }
+
+    #[test]
+    fn first_fragment_keeps_ports_and_flags() {
+        let mut spec = MegaTeFrameSpec::simple(tuple(), 2, None);
+        spec.inner_ipid = 7;
+        spec.inner_fragment = (0, true);
+        let frame = spec.build();
+        let p = parse_megate_frame(&frame).unwrap();
+        match p.inner_flow {
+            FlowKey::Tuple { first_fragment, ipid, tuple: t } => {
+                assert!(first_fragment);
+                assert_eq!(ipid, 7);
+                assert_eq!(t.dst_port, 80);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_not_a_panic() {
+        let frame = MegaTeFrameSpec::simple(tuple(), 3, Some(vec![1, 2, 3])).build();
+        for cut in 0..frame.len() {
+            let _ = parse_megate_frame(&frame[..cut]); // must not panic
+        }
+    }
+
+    #[test]
+    fn non_vxlan_udp_rejected() {
+        let mut frame = MegaTeFrameSpec::simple(tuple(), 3, None).build();
+        // Overwrite the UDP destination port.
+        let off = ETH_LEN + IP_LEN + 2;
+        frame[off..off + 2].copy_from_slice(&53u16.to_be_bytes());
+        assert_eq!(parse_megate_frame(&frame).err(), Some(WireError::Malformed));
+    }
+
+    #[test]
+    fn insert_sr_matches_built_frame() {
+        let hops = vec![4u32, 7, 2];
+        let built = MegaTeFrameSpec::simple(tuple(), 5, Some(hops.clone())).build();
+        let mut plain = MegaTeFrameSpec::simple(tuple(), 5, None).build();
+        insert_sr_header(&mut plain, &hops).unwrap();
+        assert_eq!(plain, built, "in-place insertion must equal direct build");
+    }
+
+    #[test]
+    fn insert_then_strip_restores_plain_frame() {
+        let plain = MegaTeFrameSpec::simple(tuple(), 6, None).build();
+        let mut f = plain.clone();
+        insert_sr_header(&mut f, &[9, 9, 9]).unwrap();
+        assert_ne!(f, plain);
+        strip_sr_header(&mut f).unwrap();
+        assert_eq!(f, plain);
+    }
+
+    #[test]
+    fn double_insert_rejected() {
+        let mut f = MegaTeFrameSpec::simple(tuple(), 6, None).build();
+        insert_sr_header(&mut f, &[1]).unwrap();
+        assert_eq!(insert_sr_header(&mut f, &[2]).err(), Some(WireError::Malformed));
+    }
+
+    #[test]
+    fn strip_without_sr_rejected() {
+        let mut f = MegaTeFrameSpec::simple(tuple(), 6, None).build();
+        assert_eq!(strip_sr_header(&mut f).err(), Some(WireError::Malformed));
+    }
+
+    #[test]
+    fn inserted_frame_has_valid_outer_checksum() {
+        let mut f = MegaTeFrameSpec::simple(tuple(), 6, None).build();
+        insert_sr_header(&mut f, &[1, 2]).unwrap();
+        let eth = EthernetFrame::new_checked(&f[..]).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(ip.total_len() as usize, f.len() - ETH_LEN);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = parse_megate_frame(&data);
+        }
+
+        #[test]
+        fn insert_strip_roundtrip_arbitrary(
+            hops in proptest::collection::vec(any::<u32>(), 0..16),
+            vni in 0u32..(1 << 24),
+        ) {
+            let plain = MegaTeFrameSpec::simple(tuple(), vni, None).build();
+            let mut f = plain.clone();
+            insert_sr_header(&mut f, &hops).unwrap();
+            let p = parse_megate_frame(&f).unwrap();
+            prop_assert_eq!(p.sr.unwrap().1, hops);
+            strip_sr_header(&mut f).unwrap();
+            prop_assert_eq!(f, plain);
+        }
+
+        #[test]
+        fn roundtrip_arbitrary_specs(
+            vni in 0u32..(1 << 24),
+            hops in proptest::collection::vec(any::<u32>(), 0..12),
+            src_port in any::<u16>(),
+            payload_len in 0usize..256,
+            with_sr in any::<bool>(),
+        ) {
+            let mut t = tuple();
+            t.src_port = src_port;
+            let mut spec =
+                MegaTeFrameSpec::simple(t, vni, with_sr.then(|| hops.clone()));
+            spec.payload_len = payload_len;
+            let frame = spec.build();
+            let p = parse_megate_frame(&frame).unwrap();
+            prop_assert_eq!(p.vni, vni);
+            prop_assert_eq!(p.sr.is_some(), with_sr);
+            if let Some((off, parsed_hops)) = p.sr {
+                prop_assert_eq!(off, 0);
+                prop_assert_eq!(parsed_hops, hops);
+            }
+            match p.inner_flow {
+                FlowKey::Tuple { tuple: inner, .. } => {
+                    prop_assert_eq!(inner.src_port, src_port);
+                }
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Ethernet II frames (outer and VXLAN-inner).
+
+use crate::{read_u16, write_u16, Result, WireError};
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+mod field {
+    pub const DST: core::ops::Range<usize> = 0..6;
+    pub const SRC: core::ops::Range<usize> = 6..12;
+    pub const ETHERTYPE: usize = 12;
+    pub const PAYLOAD: usize = 14;
+}
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = field::PAYLOAD;
+
+/// A typed wrapper over an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer, verifying it can hold the header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Consumes the wrapper, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> [u8; 6] {
+        let mut a = [0u8; 6];
+        a.copy_from_slice(&self.buffer.as_ref()[field::DST]);
+        a
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> [u8; 6] {
+        let mut a = [0u8; 6];
+        a.copy_from_slice(&self.buffer.as_ref()[field::SRC]);
+        a
+    }
+
+    /// EtherType of the payload.
+    pub fn ethertype(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::ETHERTYPE)
+    }
+
+    /// Payload bytes after the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC.
+    pub fn set_dst_addr(&mut self, addr: [u8; 6]) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&addr);
+    }
+
+    /// Sets the source MAC.
+    pub fn set_src_addr(&mut self, addr: [u8; 6]) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&addr);
+    }
+
+    /// Sets the EtherType.
+    pub fn set_ethertype(&mut self, ty: u16) {
+        write_u16(self.buffer.as_mut(), field::ETHERTYPE, ty);
+    }
+
+    /// Mutable payload after the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_header_fields() {
+        let mut buf = [0u8; 64];
+        let mut f = EthernetFrame::new_checked(&mut buf[..]).unwrap();
+        f.set_dst_addr([1, 2, 3, 4, 5, 6]);
+        f.set_src_addr([7, 8, 9, 10, 11, 12]);
+        f.set_ethertype(ETHERTYPE_IPV4);
+        assert_eq!(f.dst_addr(), [1, 2, 3, 4, 5, 6]);
+        assert_eq!(f.src_addr(), [7, 8, 9, 10, 11, 12]);
+        assert_eq!(f.ethertype(), ETHERTYPE_IPV4);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        let buf = [0u8; 13];
+        assert_eq!(
+            EthernetFrame::new_checked(&buf[..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn payload_starts_after_header() {
+        let mut buf = [0u8; 20];
+        buf[14] = 0xAB;
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.payload()[0], 0xAB);
+        assert_eq!(f.payload().len(), 6);
+    }
+}

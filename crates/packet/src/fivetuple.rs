@@ -1,0 +1,263 @@
+//! Five-tuple flow keys.
+//!
+//! The five-tuple `<src_ip, dst_ip, proto, src_port, dst_port>` uniquely
+//! identifies a connection (§1, footnote 1). Conventional TE hashes it
+//! to pick a tunnel; MegaTE's host stack maps it to the originating
+//! virtual instance instead. Non-first IP fragments carry no transport
+//! header, so classification can also yield a fragment key that the
+//! `frag_map` resolves (§5.1).
+
+use crate::ipv4::{Ipv4Packet, PROTO_TCP, PROTO_UDP};
+use crate::{read_u16, Result, WireError};
+
+/// Transport protocol of a five-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl Proto {
+    /// The IP protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Tcp => PROTO_TCP,
+            Proto::Udp => PROTO_UDP,
+            Proto::Other(n) => n,
+        }
+    }
+
+    /// From an IP protocol number.
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            PROTO_TCP => Proto::Tcp,
+            PROTO_UDP => Proto::Udp,
+            other => Proto::Other(other),
+        }
+    }
+}
+
+/// A connection's five-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Source port (0 when the protocol has no ports).
+    pub src_port: u16,
+    /// Destination port (0 when the protocol has no ports).
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// Deterministic 64-bit hash (FNV-1a) — the "hash function of packet
+    /// splitting" conventional TE uses to spread flows over tunnels
+    /// (§2.2). Exposed so the ECMP baseline and tests agree on it.
+    pub fn hash_u64(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        for b in self.src_ip {
+            eat(b);
+        }
+        for b in self.dst_ip {
+            eat(b);
+        }
+        eat(self.proto.number());
+        for b in self.src_port.to_be_bytes() {
+            eat(b);
+        }
+        for b in self.dst_port.to_be_bytes() {
+            eat(b);
+        }
+        h
+    }
+}
+
+impl std::fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} ({:?})",
+            self.src_ip[0],
+            self.src_ip[1],
+            self.src_ip[2],
+            self.src_ip[3],
+            self.src_port,
+            self.dst_ip[0],
+            self.dst_ip[1],
+            self.dst_ip[2],
+            self.dst_ip[3],
+            self.dst_port,
+            self.proto
+        )
+    }
+}
+
+/// Result of classifying an IPv4 packet for flow accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKey {
+    /// The packet carries its transport header: full five-tuple. The
+    /// flag says whether this is the *first fragment* of a fragmented
+    /// datagram (the host stack must then seed the `frag_map`).
+    Tuple {
+        /// The extracted five-tuple.
+        tuple: FiveTuple,
+        /// True when this is the first fragment of a larger datagram.
+        first_fragment: bool,
+        /// IP identification, meaningful when `first_fragment`.
+        ipid: u16,
+    },
+    /// A non-first fragment: no ports available; resolve via `frag_map`.
+    Fragment {
+        /// IP identification shared with the first fragment.
+        ipid: u16,
+    },
+}
+
+/// Classifies an IPv4 packet into a [`FlowKey`].
+///
+/// Errors if the packet is too short to carry the ports it promises.
+pub fn classify_ipv4<T: AsRef<[u8]>>(p: &Ipv4Packet<T>) -> Result<FlowKey> {
+    if p.frag_offset() > 0 {
+        return Ok(FlowKey::Fragment { ipid: p.ident() });
+    }
+    let proto = Proto::from_number(p.protocol());
+    let (src_port, dst_port) = match proto {
+        Proto::Tcp | Proto::Udp => {
+            let pl = p.payload();
+            if pl.len() < 4 {
+                return Err(WireError::Truncated);
+            }
+            (read_u16(pl, 0), read_u16(pl, 2))
+        }
+        Proto::Other(_) => (0, 0),
+    };
+    Ok(FlowKey::Tuple {
+        tuple: FiveTuple {
+            src_ip: p.src_addr(),
+            dst_ip: p.dst_addr(),
+            proto,
+            src_port,
+            dst_port,
+        },
+        first_fragment: p.is_first_fragment(),
+        ipid: p.ident(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::Ipv4Packet;
+
+    fn make_udp_packet(frag_off: u16, more: bool) -> Vec<u8> {
+        let mut buf = vec![0u8; 28];
+        buf[0] = 0x45;
+        buf[2..4].copy_from_slice(&28u16.to_be_bytes());
+        let mut p = Ipv4Packet::new_checked(&mut buf[..]).unwrap();
+        p.set_protocol(PROTO_UDP);
+        p.set_src_addr([10, 0, 0, 1]);
+        p.set_dst_addr([10, 0, 0, 2]);
+        p.set_ident(0x1234);
+        p.set_fragment(frag_off, more);
+        let pl = p.payload_mut();
+        pl[0..2].copy_from_slice(&1111u16.to_be_bytes());
+        pl[2..4].copy_from_slice(&2222u16.to_be_bytes());
+        buf
+    }
+
+    #[test]
+    fn unfragmented_udp_yields_full_tuple() {
+        let buf = make_udp_packet(0, false);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        match classify_ipv4(&p).unwrap() {
+            FlowKey::Tuple { tuple, first_fragment, .. } => {
+                assert_eq!(tuple.src_port, 1111);
+                assert_eq!(tuple.dst_port, 2222);
+                assert_eq!(tuple.proto, Proto::Udp);
+                assert!(!first_fragment);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_fragment_flagged_with_ipid() {
+        let buf = make_udp_packet(0, true);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        match classify_ipv4(&p).unwrap() {
+            FlowKey::Tuple { first_fragment, ipid, .. } => {
+                assert!(first_fragment);
+                assert_eq!(ipid, 0x1234);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_first_fragment_has_no_ports() {
+        let buf = make_udp_packet(1480, true);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(classify_ipv4(&p).unwrap(), FlowKey::Fragment { ipid: 0x1234 });
+    }
+
+    #[test]
+    fn icmp_like_proto_gets_zero_ports() {
+        let mut buf = make_udp_packet(0, false);
+        {
+            let mut p = Ipv4Packet::new_checked(&mut buf[..]).unwrap();
+            p.set_protocol(1); // ICMP
+        }
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        match classify_ipv4(&p).unwrap() {
+            FlowKey::Tuple { tuple, .. } => {
+                assert_eq!(tuple.proto, Proto::Other(1));
+                assert_eq!(tuple.src_port, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_transport_header_errors() {
+        let mut buf = [0u8; 22]; // 20 header + 2 payload
+        buf[0] = 0x45;
+        buf[2..4].copy_from_slice(&22u16.to_be_bytes());
+        buf[9] = PROTO_UDP;
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(classify_ipv4(&p).err(), Some(WireError::Truncated));
+    }
+
+    #[test]
+    fn hash_is_stable_and_sensitive() {
+        let buf = make_udp_packet(0, false);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        let t = match classify_ipv4(&p).unwrap() {
+            FlowKey::Tuple { tuple, .. } => tuple,
+            _ => unreachable!(),
+        };
+        assert_eq!(t.hash_u64(), t.hash_u64());
+        let mut t2 = t;
+        t2.src_port = 1112;
+        assert_ne!(t.hash_u64(), t2.hash_u64());
+    }
+
+    #[test]
+    fn proto_number_roundtrip() {
+        for n in [0u8, 1, 6, 17, 89, 255] {
+            assert_eq!(Proto::from_number(n).number(), n);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! IPv4 packets, including the fragmentation fields MegaTE's flow
+//! collector relies on (§5.1): fragments of one datagram share an
+//! `identification` (*ipid*); only the first fragment carries the
+//! transport header, so follow-on fragments are attributed to their
+//! five-tuple via the `frag_map`.
+
+use crate::{read_u16, write_u16, Result, WireError};
+
+mod field {
+    pub const VER_IHL: usize = 0;
+    pub const TOTAL_LEN: usize = 2;
+    pub const IDENT: usize = 4;
+    pub const FLAGS_FRAG: usize = 6;
+    pub const TTL: usize = 8;
+    pub const PROTOCOL: usize = 9;
+    pub const CHECKSUM: usize = 10;
+    pub const SRC: core::ops::Range<usize> = 12..16;
+    pub const DST: core::ops::Range<usize> = 16..20;
+}
+
+/// Minimum (and, without options, only) IPv4 header length we emit.
+pub const HEADER_LEN: usize = 20;
+
+/// "More fragments" flag bit.
+const MF_BIT: u16 = 0x2000;
+/// "Don't fragment" flag bit.
+const DF_BIT: u16 = 0x4000;
+
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+
+/// A typed wrapper over an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wraps a buffer, verifying version, IHL, and that the declared
+    /// total length fits the buffer.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let buf = buffer.as_ref();
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let ver = buf[field::VER_IHL] >> 4;
+        let ihl = (buf[field::VER_IHL] & 0x0f) as usize * 4;
+        if ver != 4 || ihl < HEADER_LEN {
+            return Err(WireError::Malformed);
+        }
+        let total = read_u16(buf, field::TOTAL_LEN) as usize;
+        if total < ihl || total > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Consumes the wrapper, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        (self.buffer.as_ref()[field::VER_IHL] & 0x0f) as usize * 4
+    }
+
+    /// Declared total length (header + payload).
+    pub fn total_len(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::TOTAL_LEN)
+    }
+
+    /// Identification (*ipid*) — shared by all fragments of a datagram.
+    pub fn ident(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::IDENT)
+    }
+
+    /// "More fragments" flag.
+    pub fn more_fragments(&self) -> bool {
+        read_u16(self.buffer.as_ref(), field::FLAGS_FRAG) & MF_BIT != 0
+    }
+
+    /// "Don't fragment" flag.
+    pub fn dont_fragment(&self) -> bool {
+        read_u16(self.buffer.as_ref(), field::FLAGS_FRAG) & DF_BIT != 0
+    }
+
+    /// Fragment offset in bytes.
+    pub fn frag_offset(&self) -> u16 {
+        (read_u16(self.buffer.as_ref(), field::FLAGS_FRAG) & 0x1fff) * 8
+    }
+
+    /// True if this packet is any fragment of a fragmented datagram.
+    pub fn is_fragment(&self) -> bool {
+        self.more_fragments() || self.frag_offset() > 0
+    }
+
+    /// True if this is the first fragment (offset 0, more to come).
+    pub fn is_first_fragment(&self) -> bool {
+        self.more_fragments() && self.frag_offset() == 0
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[field::TTL]
+    }
+
+    /// Transport protocol number.
+    pub fn protocol(&self) -> u8 {
+        self.buffer.as_ref()[field::PROTOCOL]
+    }
+
+    /// Header checksum field.
+    pub fn checksum(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::CHECKSUM)
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> [u8; 4] {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(&self.buffer.as_ref()[field::SRC]);
+        a
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> [u8; 4] {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(&self.buffer.as_ref()[field::DST]);
+        a
+    }
+
+    /// Recomputes the header checksum and compares with the stored one.
+    pub fn verify_checksum(&self) -> bool {
+        checksum(&self.buffer.as_ref()[..self.header_len()]) == 0
+    }
+
+    /// Payload (respects the declared total length).
+    pub fn payload(&self) -> &[u8] {
+        let hl = self.header_len();
+        let total = self.total_len() as usize;
+        &self.buffer.as_ref()[hl..total]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Initializes version/IHL for a 20-byte header.
+    pub fn init(&mut self) {
+        self.buffer.as_mut()[field::VER_IHL] = 0x45;
+    }
+
+    /// Sets the declared total length.
+    pub fn set_total_len(&mut self, len: u16) {
+        write_u16(self.buffer.as_mut(), field::TOTAL_LEN, len);
+    }
+
+    /// Sets the identification (*ipid*).
+    pub fn set_ident(&mut self, id: u16) {
+        write_u16(self.buffer.as_mut(), field::IDENT, id);
+    }
+
+    /// Sets fragmentation state: byte offset (multiple of 8) and the
+    /// "more fragments" flag.
+    pub fn set_fragment(&mut self, offset_bytes: u16, more: bool) {
+        assert_eq!(offset_bytes % 8, 0, "fragment offset must be 8-aligned");
+        let mut v = offset_bytes / 8;
+        if more {
+            v |= MF_BIT;
+        }
+        write_u16(self.buffer.as_mut(), field::FLAGS_FRAG, v);
+    }
+
+    /// Sets TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[field::TTL] = ttl;
+    }
+
+    /// Sets the transport protocol.
+    pub fn set_protocol(&mut self, proto: u8) {
+        self.buffer.as_mut()[field::PROTOCOL] = proto;
+    }
+
+    /// Sets source address.
+    pub fn set_src_addr(&mut self, a: [u8; 4]) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&a);
+    }
+
+    /// Sets destination address.
+    pub fn set_dst_addr(&mut self, a: [u8; 4]) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&a);
+    }
+
+    /// Computes and stores the header checksum.
+    pub fn fill_checksum(&mut self) {
+        write_u16(self.buffer.as_mut(), field::CHECKSUM, 0);
+        let hl = self.header_len();
+        let sum = checksum(&self.buffer.as_ref()[..hl]);
+        write_u16(self.buffer.as_mut(), field::CHECKSUM, sum);
+    }
+
+    /// Mutable payload (respects the declared total length).
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len();
+        let total = self.total_len() as usize;
+        &mut self.buffer.as_mut()[hl..total]
+    }
+}
+
+/// RFC 1071 Internet checksum over `data` (assumed even-length padding
+/// handled by caller; IPv4 headers are always a multiple of 4 bytes).
+fn checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fresh(len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        buf[0] = 0x45;
+        buf[2..4].copy_from_slice(&(len as u16).to_be_bytes());
+        buf
+    }
+
+    #[test]
+    fn roundtrip_all_fields() {
+        let mut buf = fresh(40);
+        let mut p = Ipv4Packet::new_checked(&mut buf[..]).unwrap();
+        p.set_ident(0xBEEF);
+        p.set_ttl(63);
+        p.set_protocol(PROTO_UDP);
+        p.set_src_addr([10, 0, 0, 1]);
+        p.set_dst_addr([10, 0, 0, 2]);
+        p.set_fragment(0, false);
+        p.fill_checksum();
+        assert_eq!(p.ident(), 0xBEEF);
+        assert_eq!(p.ttl(), 63);
+        assert_eq!(p.protocol(), PROTO_UDP);
+        assert_eq!(p.src_addr(), [10, 0, 0, 1]);
+        assert_eq!(p.dst_addr(), [10, 0, 0, 2]);
+        assert!(!p.is_fragment());
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn fragment_flags_and_offsets() {
+        let mut buf = fresh(40);
+        let mut p = Ipv4Packet::new_checked(&mut buf[..]).unwrap();
+        p.set_fragment(0, true);
+        assert!(p.is_first_fragment());
+        assert!(p.is_fragment());
+        p.set_fragment(1480, true);
+        assert_eq!(p.frag_offset(), 1480);
+        assert!(!p.is_first_fragment());
+        p.set_fragment(2960, false);
+        assert!(p.is_fragment()); // last fragment: offset > 0, MF clear
+        assert!(!p.more_fragments());
+    }
+
+    #[test]
+    fn corrupting_header_breaks_checksum() {
+        let mut buf = fresh(20);
+        let mut p = Ipv4Packet::new_checked(&mut buf[..]).unwrap();
+        p.set_src_addr([1, 2, 3, 4]);
+        p.fill_checksum();
+        assert!(p.verify_checksum());
+        let inner = p.into_inner();
+        inner[15] ^= 0xFF;
+        let p = Ipv4Packet::new_checked(&inner[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_short_buffers() {
+        assert_eq!(
+            Ipv4Packet::new_checked(&[0u8; 10][..]).err(),
+            Some(WireError::Truncated)
+        );
+        let mut buf = fresh(20);
+        buf[0] = 0x65; // IPv6 version nibble
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).err(),
+            Some(WireError::Malformed)
+        );
+        let mut buf = fresh(20);
+        buf[0] = 0x41; // IHL = 4 -> 16 bytes < minimum
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).err(),
+            Some(WireError::Malformed)
+        );
+    }
+
+    #[test]
+    fn rejects_total_len_beyond_buffer() {
+        let mut buf = fresh(20);
+        buf[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn payload_respects_total_len() {
+        let mut buf = fresh(30);
+        buf[2..4].copy_from_slice(&25u16.to_be_bytes());
+        buf[24] = 0x77;
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload().len(), 5);
+        assert_eq!(p.payload()[4], 0x77);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-aligned")]
+    fn unaligned_fragment_offset_panics() {
+        let mut buf = fresh(20);
+        let mut p = Ipv4Packet::new_checked(&mut buf[..]).unwrap();
+        p.set_fragment(100, false);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            if let Ok(p) = Ipv4Packet::new_checked(&data[..]) {
+                // Accessors must be safe on any accepted buffer.
+                let _ = (p.ident(), p.ttl(), p.protocol(), p.frag_offset());
+                let _ = (p.payload().len(), p.verify_checksum());
+            }
+        }
+
+        #[test]
+        fn checksum_roundtrip(src in any::<[u8; 4]>(), dst in any::<[u8; 4]>(),
+                              id in any::<u16>(), ttl in any::<u8>()) {
+            let mut buf = fresh(20);
+            let mut p = Ipv4Packet::new_checked(&mut buf[..]).unwrap();
+            p.set_src_addr(src);
+            p.set_dst_addr(dst);
+            p.set_ident(id);
+            p.set_ttl(ttl);
+            p.fill_checksum();
+            prop_assert!(p.verify_checksum());
+        }
+    }
+}

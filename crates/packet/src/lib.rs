@@ -1,0 +1,78 @@
+//! Wire formats for MegaTE's data plane (§5, Figure 7).
+//!
+//! In the virtualized cloud, inner Ethernet frames are VXLAN-encapsulated
+//! in UDP/IP (RFC 7348). MegaTE inserts its segment-routing header
+//! *after* the VXLAN header and flags its presence in the VXLAN reserved
+//! field, so WAN routers can identify and follow the specified route:
+//!
+//! ```text
+//! | Eth | IPv4 | UDP | VXLAN (flag) | MegaTE SR | inner Eth | inner IPv4 | ... |
+//! ```
+//!
+//! Parsing follows the smoltcp idiom: zero-copy typed wrappers over a
+//! byte buffer (`Packet<&[u8]>` to read, `Packet<&mut [u8]>` to write),
+//! with `new_checked` guarding every length assumption so malformed
+//! input can never panic.
+
+pub mod builder;
+pub mod ethernet;
+pub mod fivetuple;
+pub mod ipv4;
+pub mod pcap;
+pub mod srheader;
+pub mod tcp;
+pub mod udp;
+pub mod vxlan;
+
+pub use builder::{
+    advance_sr_offset, insert_sr_header, parse_megate_frame, strip_sr_header, MegaTeFrameSpec,
+    ParsedFrame,
+};
+pub use ethernet::EthernetFrame;
+pub use fivetuple::{classify_ipv4, FiveTuple, FlowKey, Proto};
+pub use ipv4::Ipv4Packet;
+pub use pcap::{parse_pcap, PcapRecord, PcapWriter};
+pub use srheader::SrHeader;
+pub use tcp::TcpSegment;
+pub use udp::UdpDatagram;
+pub use vxlan::VxlanHeader;
+
+/// Errors surfaced by all `new_checked`-style constructors and field
+/// accessors in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer too short for the header (or for a declared length field).
+    Truncated,
+    /// A field holds a value the format forbids.
+    Malformed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::Malformed => write!(f, "malformed field"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, WireError>;
+
+pub(crate) fn read_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_be_bytes([buf[at], buf[at + 1]])
+}
+
+pub(crate) fn write_u16(buf: &mut [u8], at: usize, v: u16) {
+    buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
+}
+
+pub(crate) fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
+pub(crate) fn write_u32(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_be_bytes());
+}

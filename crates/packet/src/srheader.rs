@@ -1,0 +1,248 @@
+//! The MegaTE segment-routing header (Figure 7(b)).
+//!
+//! Inserted directly after the VXLAN header when the VXLAN reserved-
+//! field flag is set:
+//!
+//! ```text
+//! | Hop Number (1B) | Offset (1B) | Reserved (2B) | Hop[0] (4B) | ... |
+//! ```
+//!
+//! * **Hop Number** — total number of hops;
+//! * **Offset** — index of the current hop in `hop[]`; each WAN router
+//!   forwards to `hop[offset]` and increments the offset;
+//! * **Hop[]** — the sequence of next-hop site identifiers specifying
+//!   the packet's path across the WAN.
+
+use crate::{read_u16, read_u32, write_u16, write_u32, Result, WireError};
+
+mod field {
+    pub const HOP_NUMBER: usize = 0;
+    pub const OFFSET: usize = 1;
+    pub const RESERVED: usize = 2;
+    pub const HOPS: usize = 4;
+}
+
+/// Fixed part of the SR header, before the hop array.
+pub const FIXED_LEN: usize = field::HOPS;
+
+/// Maximum hops encodable (Hop Number is one byte).
+pub const MAX_HOPS: usize = 255;
+
+/// Total header length for a given hop count.
+pub fn len_for_hops(hops: usize) -> usize {
+    FIXED_LEN + 4 * hops
+}
+
+/// A typed wrapper over a MegaTE SR header.
+#[derive(Debug, Clone)]
+pub struct SrHeader<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> SrHeader<T> {
+    /// Wraps a buffer, verifying the fixed part and the declared hop
+    /// array fit, and that `offset <= hop_number`.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let buf = buffer.as_ref();
+        if buf.len() < FIXED_LEN {
+            return Err(WireError::Truncated);
+        }
+        let hops = buf[field::HOP_NUMBER] as usize;
+        if buf.len() < len_for_hops(hops) {
+            return Err(WireError::Truncated);
+        }
+        if buf[field::OFFSET] as usize > hops {
+            return Err(WireError::Malformed);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Consumes the wrapper, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Total number of hops.
+    pub fn hop_number(&self) -> u8 {
+        self.buffer.as_ref()[field::HOP_NUMBER]
+    }
+
+    /// Current offset into the hop array.
+    pub fn offset(&self) -> u8 {
+        self.buffer.as_ref()[field::OFFSET]
+    }
+
+    /// Reserved field.
+    pub fn reserved(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::RESERVED)
+    }
+
+    /// Hop at index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= hop_number()` — `new_checked` guarantees the
+    /// array is present for all declared hops.
+    pub fn hop(&self, i: usize) -> u32 {
+        assert!(i < self.hop_number() as usize, "hop index out of range");
+        read_u32(self.buffer.as_ref(), field::HOPS + 4 * i)
+    }
+
+    /// All hops as a vector.
+    pub fn hops(&self) -> Vec<u32> {
+        (0..self.hop_number() as usize).map(|i| self.hop(i)).collect()
+    }
+
+    /// The hop a router should forward to now, or `None` when the path
+    /// is exhausted (packet has arrived).
+    pub fn current_hop(&self) -> Option<u32> {
+        let off = self.offset() as usize;
+        if off < self.hop_number() as usize {
+            Some(self.hop(off))
+        } else {
+            None
+        }
+    }
+
+    /// Header length in bytes (fixed part + declared hop array).
+    pub fn header_len(&self) -> usize {
+        len_for_hops(self.hop_number() as usize)
+    }
+
+    /// Payload after the hop array (the inner Ethernet frame).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> SrHeader<T> {
+    /// Initializes the header with a hop list and offset 0.
+    ///
+    /// # Panics
+    /// Panics if `hops.len() > MAX_HOPS` or the buffer is too small.
+    pub fn init(&mut self, hops: &[u32]) {
+        assert!(hops.len() <= MAX_HOPS, "too many hops");
+        let need = len_for_hops(hops.len());
+        let buf = self.buffer.as_mut();
+        assert!(buf.len() >= need, "buffer too small for {} hops", hops.len());
+        buf[field::HOP_NUMBER] = hops.len() as u8;
+        buf[field::OFFSET] = 0;
+        write_u16(buf, field::RESERVED, 0);
+        for (i, &h) in hops.iter().enumerate() {
+            write_u32(buf, field::HOPS + 4 * i, h);
+        }
+    }
+
+    /// Advances the offset by one — what each WAN router does after
+    /// forwarding. Returns the new offset.
+    ///
+    /// # Panics
+    /// Panics when the path is already exhausted.
+    pub fn advance(&mut self) -> u8 {
+        let off = self.offset();
+        assert!(
+            (off as usize) < self.hop_number() as usize,
+            "cannot advance past the last hop"
+        );
+        self.buffer.as_mut()[field::OFFSET] = off + 1;
+        off + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn init_and_walk_path() {
+        let mut buf = vec![0u8; len_for_hops(3) + 4];
+        let mut sr = SrHeader::new_checked(&mut buf[..]).unwrap();
+        sr.init(&[7, 8, 9]);
+        assert_eq!(sr.hop_number(), 3);
+        assert_eq!(sr.offset(), 0);
+        assert_eq!(sr.hops(), vec![7, 8, 9]);
+        assert_eq!(sr.current_hop(), Some(7));
+        sr.advance();
+        assert_eq!(sr.current_hop(), Some(8));
+        sr.advance();
+        sr.advance();
+        assert_eq!(sr.current_hop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance")]
+    fn advancing_past_end_panics() {
+        let mut buf = vec![0u8; len_for_hops(1)];
+        let mut sr = SrHeader::new_checked(&mut buf[..]).unwrap();
+        sr.init(&[1]);
+        sr.advance();
+        sr.advance();
+    }
+
+    #[test]
+    fn truncated_hop_array_rejected() {
+        let mut buf = [0u8; 7]; // declares 1 hop but can't hold it
+        buf[0] = 1;
+        assert_eq!(
+            SrHeader::new_checked(&buf[..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn offset_beyond_hop_number_rejected() {
+        let mut buf = vec![0u8; len_for_hops(2)];
+        buf[0] = 2;
+        buf[1] = 3; // offset 3 > hop_number 2
+        assert_eq!(
+            SrHeader::new_checked(&buf[..]).err(),
+            Some(WireError::Malformed)
+        );
+    }
+
+    #[test]
+    fn zero_hop_header_is_valid_and_exhausted() {
+        let buf = [0u8; FIXED_LEN];
+        let sr = SrHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(sr.hop_number(), 0);
+        assert_eq!(sr.current_hop(), None);
+        assert_eq!(sr.header_len(), FIXED_LEN);
+    }
+
+    #[test]
+    fn payload_follows_hop_array() {
+        let mut buf = vec![0u8; len_for_hops(2) + 3];
+        {
+            let mut sr = SrHeader::new_checked(&mut buf[..]).unwrap();
+            sr.init(&[1, 2]);
+        }
+        buf[len_for_hops(2)] = 0x55;
+        let sr = SrHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(sr.payload()[0], 0x55);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_paths(hops in proptest::collection::vec(any::<u32>(), 0..32)) {
+            let mut buf = vec![0u8; len_for_hops(hops.len())];
+            let mut sr = SrHeader::new_checked(&mut buf[..]).unwrap();
+            sr.init(&hops);
+            prop_assert_eq!(sr.hops(), hops.clone());
+            // Walk the whole path.
+            for (i, &h) in hops.iter().enumerate() {
+                prop_assert_eq!(sr.offset() as usize, i);
+                prop_assert_eq!(sr.current_hop(), Some(h));
+                sr.advance();
+            }
+            prop_assert_eq!(sr.current_hop(), None);
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            if let Ok(sr) = SrHeader::new_checked(&data[..]) {
+                let _ = (sr.hop_number(), sr.offset(), sr.hops(), sr.current_hop());
+                let _ = sr.payload().len();
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! TCP segments — the inner transport most tenant flows actually use
+//! (the five-tuple's ports live in the same offsets as UDP's, which is
+//! what the flow classifier relies on; this wrapper exposes the rest of
+//! the header for tests, pcap tooling and richer simulations).
+
+use crate::{read_u16, read_u32, write_u16, write_u32, Result, WireError};
+
+mod field {
+    pub const SRC_PORT: usize = 0;
+    pub const DST_PORT: usize = 2;
+    pub const SEQ: usize = 4;
+    pub const ACK: usize = 8;
+    pub const DATA_OFF_FLAGS: usize = 12;
+    pub const WINDOW: usize = 14;
+    pub const CHECKSUM: usize = 16;
+    pub const URGENT: usize = 18;
+}
+
+/// Minimum TCP header length (no options).
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits (low byte of the offset/flags word).
+pub mod flags {
+    /// Final segment.
+    pub const FIN: u8 = 0x01;
+    /// Synchronize sequence numbers.
+    pub const SYN: u8 = 0x02;
+    /// Reset the connection.
+    pub const RST: u8 = 0x04;
+    /// Push buffered data.
+    pub const PSH: u8 = 0x08;
+    /// Acknowledgement field valid.
+    pub const ACK: u8 = 0x10;
+}
+
+/// A typed wrapper over a TCP segment.
+#[derive(Debug, Clone)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    /// Wraps a buffer, validating the data offset against the buffer.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let buf = buffer.as_ref();
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let data_off = (buf[field::DATA_OFF_FLAGS] >> 4) as usize * 4;
+        if data_off < HEADER_LEN {
+            return Err(WireError::Malformed);
+        }
+        if data_off > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Consumes the wrapper, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::SRC_PORT)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::DST_PORT)
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        read_u32(self.buffer.as_ref(), field::SEQ)
+    }
+
+    /// Acknowledgement number.
+    pub fn ack(&self) -> u32 {
+        read_u32(self.buffer.as_ref(), field::ACK)
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        (self.buffer.as_ref()[field::DATA_OFF_FLAGS] >> 4) as usize * 4
+    }
+
+    /// Raw flag byte.
+    pub fn flags(&self) -> u8 {
+        self.buffer.as_ref()[field::DATA_OFF_FLAGS + 1]
+    }
+
+    /// Is a given flag set?
+    pub fn has_flag(&self, f: u8) -> bool {
+        self.flags() & f != 0
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::WINDOW)
+    }
+
+    /// Checksum field (not validated — needs the pseudo-header).
+    pub fn checksum(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::CHECKSUM)
+    }
+
+    /// Payload after the header (per the data offset).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+    /// Initializes a 20-byte header (data offset 5, flags clear).
+    pub fn init(&mut self) {
+        let buf = self.buffer.as_mut();
+        buf[..HEADER_LEN].fill(0);
+        buf[field::DATA_OFF_FLAGS] = 5 << 4;
+    }
+
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        write_u16(self.buffer.as_mut(), field::SRC_PORT, p);
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        write_u16(self.buffer.as_mut(), field::DST_PORT, p);
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq(&mut self, s: u32) {
+        write_u32(self.buffer.as_mut(), field::SEQ, s);
+    }
+
+    /// Sets the acknowledgement number.
+    pub fn set_ack(&mut self, a: u32) {
+        write_u32(self.buffer.as_mut(), field::ACK, a);
+    }
+
+    /// Sets the flag byte.
+    pub fn set_flags(&mut self, f: u8) {
+        self.buffer.as_mut()[field::DATA_OFF_FLAGS + 1] = f;
+    }
+
+    /// Sets the receive window.
+    pub fn set_window(&mut self, w: u16) {
+        write_u16(self.buffer.as_mut(), field::WINDOW, w);
+    }
+
+    /// Sets the urgent pointer (kept for completeness; MegaTE ignores
+    /// it, as do most stacks).
+    pub fn set_urgent(&mut self, u: u16) {
+        write_u16(self.buffer.as_mut(), field::URGENT, u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_all_fields() {
+        let mut buf = [0u8; 28];
+        let mut t = {
+            buf[12] = 5 << 4;
+            TcpSegment::new_checked(&mut buf[..]).unwrap()
+        };
+        t.init();
+        t.set_src_port(443);
+        t.set_dst_port(51_000);
+        t.set_seq(0xDEADBEEF);
+        t.set_ack(0x01020304);
+        t.set_flags(flags::SYN | flags::ACK);
+        t.set_window(65_000);
+        assert_eq!(t.src_port(), 443);
+        assert_eq!(t.dst_port(), 51_000);
+        assert_eq!(t.seq(), 0xDEADBEEF);
+        assert_eq!(t.ack(), 0x01020304);
+        assert!(t.has_flag(flags::SYN) && t.has_flag(flags::ACK));
+        assert!(!t.has_flag(flags::FIN));
+        assert_eq!(t.window(), 65_000);
+        assert_eq!(t.payload().len(), 8);
+    }
+
+    #[test]
+    fn data_offset_validation() {
+        let mut buf = [0u8; 20];
+        buf[12] = 4 << 4; // 16-byte header: illegal
+        assert_eq!(
+            TcpSegment::new_checked(&buf[..]).err(),
+            Some(WireError::Malformed)
+        );
+        buf[12] = 8 << 4; // 32-byte header but only 20 bytes present
+        assert_eq!(
+            TcpSegment::new_checked(&buf[..]).err(),
+            Some(WireError::Truncated)
+        );
+        assert_eq!(
+            TcpSegment::new_checked(&[0u8; 10][..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn options_shift_payload() {
+        let mut buf = [0u8; 28];
+        buf[12] = 6 << 4; // 24-byte header (one option word)
+        buf[24] = 0x99;
+        let t = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(t.header_len(), 24);
+        assert_eq!(t.payload()[0], 0x99);
+    }
+
+    #[test]
+    fn ports_align_with_udp_layout() {
+        // The flow classifier reads ports at offsets 0..4 regardless of
+        // transport; TCP must match.
+        let mut buf = [0u8; 20];
+        buf[12] = 5 << 4;
+        let mut t = TcpSegment::new_checked(&mut buf[..]).unwrap();
+        t.set_src_port(0x1234);
+        t.set_dst_port(0x5678);
+        let raw = t.into_inner();
+        assert_eq!(crate::read_u16(raw, 0), 0x1234);
+        assert_eq!(crate::read_u16(raw, 2), 0x5678);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            if let Ok(t) = TcpSegment::new_checked(&data[..]) {
+                let _ = (t.src_port(), t.seq(), t.ack(), t.flags(), t.payload().len());
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! UDP datagrams — the outer transport of VXLAN encapsulation.
+
+use crate::{read_u16, write_u16, Result, WireError};
+
+mod field {
+    pub const SRC_PORT: usize = 0;
+    pub const DST_PORT: usize = 2;
+    pub const LENGTH: usize = 4;
+    pub const CHECKSUM: usize = 6;
+    pub const PAYLOAD: usize = 8;
+}
+
+/// UDP header length.
+pub const HEADER_LEN: usize = field::PAYLOAD;
+
+/// IANA-assigned VXLAN destination port.
+pub const VXLAN_PORT: u16 = 4789;
+
+/// A typed wrapper over a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps a buffer, verifying the header fits and the declared
+    /// length is consistent.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let buf = buffer.as_ref();
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = read_u16(buf, field::LENGTH) as usize;
+        if len < HEADER_LEN || len > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Consumes the wrapper, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::SRC_PORT)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::DST_PORT)
+    }
+
+    /// Declared datagram length (header + payload).
+    pub fn len(&self) -> u16 {
+        read_u16(self.buffer.as_ref(), field::LENGTH)
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() as usize == HEADER_LEN
+    }
+
+    /// Payload bytes (respects the declared length).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD..self.len() as usize]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        write_u16(self.buffer.as_mut(), field::SRC_PORT, p);
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        write_u16(self.buffer.as_mut(), field::DST_PORT, p);
+    }
+
+    /// Sets the declared length.
+    pub fn set_len(&mut self, len: u16) {
+        write_u16(self.buffer.as_mut(), field::LENGTH, len);
+    }
+
+    /// Sets the checksum field (0 = not computed; legal for UDP/IPv4
+    /// and what VXLAN encapsulators commonly emit).
+    pub fn set_checksum(&mut self, c: u16) {
+        write_u16(self.buffer.as_mut(), field::CHECKSUM, c);
+    }
+
+    /// Mutable payload (respects the declared length).
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = self.len() as usize;
+        &mut self.buffer.as_mut()[field::PAYLOAD..len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ports_and_len() {
+        let mut buf = [0u8; 20];
+        buf[4..6].copy_from_slice(&20u16.to_be_bytes());
+        let mut u = UdpDatagram::new_checked(&mut buf[..]).unwrap();
+        u.set_src_port(12345);
+        u.set_dst_port(VXLAN_PORT);
+        assert_eq!(u.src_port(), 12345);
+        assert_eq!(u.dst_port(), 4789);
+        assert_eq!(u.payload().len(), 12);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn truncated_and_inconsistent_lengths_rejected() {
+        assert_eq!(
+            UdpDatagram::new_checked(&[0u8; 7][..]).err(),
+            Some(WireError::Truncated)
+        );
+        let mut buf = [0u8; 12];
+        buf[4..6].copy_from_slice(&40u16.to_be_bytes()); // longer than buffer
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).err(),
+            Some(WireError::Truncated)
+        );
+        let mut buf = [0u8; 12];
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // shorter than header
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn empty_payload_detected() {
+        let mut buf = [0u8; 8];
+        buf[4..6].copy_from_slice(&8u16.to_be_bytes());
+        let u = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(u.is_empty());
+        assert_eq!(u.payload(), &[] as &[u8]);
+    }
+}

@@ -1,0 +1,157 @@
+//! VXLAN headers (RFC 7348) with the MegaTE SR-presence flag.
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |R R R R I R R R|          Reserved                             |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |                VXLAN Network Identifier (VNI) |   Reserved    |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! ```
+//!
+//! The paper's eBPF program "inserts a flag in the Reserved field of the
+//! VXLAN header to indicate whether the packet is inserted with the
+//! MegaTE SR information" (§5.2). We use the top bit of the first
+//! reserved byte (byte 1) for that flag, leaving the RFC's I flag and
+//! VNI untouched.
+
+use crate::{Result, WireError};
+
+mod field {
+    pub const FLAGS: usize = 0;
+    pub const MEGATE_FLAG_BYTE: usize = 1;
+    pub const VNI: core::ops::Range<usize> = 4..7;
+}
+
+/// VXLAN header length.
+pub const HEADER_LEN: usize = 8;
+
+/// RFC 7348 "VNI present" flag bit (bit 3 of byte 0).
+const I_FLAG: u8 = 0x08;
+
+/// MegaTE's "SR header follows" flag (top bit of reserved byte 1).
+const MEGATE_SR_FLAG: u8 = 0x80;
+
+/// A typed wrapper over a VXLAN header + payload.
+#[derive(Debug, Clone)]
+pub struct VxlanHeader<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> VxlanHeader<T> {
+    /// Wraps a buffer, verifying it holds the 8-byte header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Consumes the wrapper, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// RFC 7348 I flag (VNI valid).
+    pub fn vni_present(&self) -> bool {
+        self.buffer.as_ref()[field::FLAGS] & I_FLAG != 0
+    }
+
+    /// The 24-bit VXLAN network identifier.
+    pub fn vni(&self) -> u32 {
+        let b = &self.buffer.as_ref()[field::VNI];
+        u32::from_be_bytes([0, b[0], b[1], b[2]])
+    }
+
+    /// True when the MegaTE SR flag is set — an SR header follows.
+    pub fn has_megate_sr(&self) -> bool {
+        self.buffer.as_ref()[field::MEGATE_FLAG_BYTE] & MEGATE_SR_FLAG != 0
+    }
+
+    /// Payload after the VXLAN header (the SR header when flagged,
+    /// otherwise the inner Ethernet frame).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> VxlanHeader<T> {
+    /// Initializes a standard header with the I flag set and the VNI.
+    pub fn init(&mut self, vni: u32) {
+        assert!(vni < (1 << 24), "VNI is 24-bit");
+        let buf = self.buffer.as_mut();
+        buf[..HEADER_LEN].fill(0);
+        buf[field::FLAGS] = I_FLAG;
+        let b = vni.to_be_bytes();
+        buf[field::VNI].copy_from_slice(&b[1..4]);
+    }
+
+    /// Sets or clears the MegaTE SR flag.
+    pub fn set_megate_sr(&mut self, on: bool) {
+        let byte = &mut self.buffer.as_mut()[field::MEGATE_FLAG_BYTE];
+        if on {
+            *byte |= MEGATE_SR_FLAG;
+        } else {
+            *byte &= !MEGATE_SR_FLAG;
+        }
+    }
+
+    /// Mutable payload after the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_sets_i_flag_and_vni() {
+        let mut buf = [0u8; 16];
+        let mut v = VxlanHeader::new_checked(&mut buf[..]).unwrap();
+        v.init(0xABCDEF);
+        assert!(v.vni_present());
+        assert_eq!(v.vni(), 0xABCDEF);
+        assert!(!v.has_megate_sr());
+    }
+
+    #[test]
+    fn megate_flag_roundtrip_preserves_vni() {
+        let mut buf = [0u8; 8];
+        let mut v = VxlanHeader::new_checked(&mut buf[..]).unwrap();
+        v.init(42);
+        v.set_megate_sr(true);
+        assert!(v.has_megate_sr());
+        assert_eq!(v.vni(), 42);
+        assert!(v.vni_present());
+        v.set_megate_sr(false);
+        assert!(!v.has_megate_sr());
+        assert_eq!(v.vni(), 42);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(
+            VxlanHeader::new_checked(&[0u8; 7][..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "24-bit")]
+    fn oversized_vni_panics() {
+        let mut buf = [0u8; 8];
+        let mut v = VxlanHeader::new_checked(&mut buf[..]).unwrap();
+        v.init(1 << 24);
+    }
+
+    #[test]
+    fn payload_follows_header() {
+        let mut buf = [0u8; 12];
+        buf[8] = 0x99;
+        let v = VxlanHeader::new_checked(&buf[..]).unwrap();
+        assert_eq!(v.payload()[0], 0x99);
+    }
+}

@@ -1,0 +1,30 @@
+//! TE schemes: MegaTE's two-stage optimization and the paper's three
+//! baselines (§4, §6.1).
+//!
+//! | Scheme | Module | Granularity | Character |
+//! |---|---|---|---|
+//! | **MegaTE** | [`megate`] | endpoint (binary `f_{k,t}^i`) | Algorithm 1: contraction → `MaxSiteFlow` LP → per-pair `MaxEndpointFlow` via FastSSP, parallel across site pairs |
+//! | LP-all | [`lp_all`] | endpoint (fractional) | one MCF over every endpoint pair; exact but memory-walled (§6.2's OOM behaviour) |
+//! | NCFlow-like | [`ncflow`] | endpoint (fractional) | topology clustering, per-cluster subproblems, merge (Abuzaid et al., NSDI'21 skeleton) |
+//! | TEAL-like | [`teal`] | endpoint (fractional) | warm start + iterative capacity projection standing in for TEAL's GNN+ADMM (see DESIGN.md substitutions) |
+//!
+//! All schemes consume a [`TeProblem`] and produce a [`TeAllocation`]
+//! with uniform metrics (satisfied demand, link loads, latency), so the
+//! bench harness can sweep them interchangeably. QoS-sequential
+//! allocation (§4.1) wraps any scheme via [`qos::solve_per_qos`].
+
+pub mod lp_all;
+pub mod maxallflow;
+pub mod megate;
+pub mod ncflow;
+pub mod qos;
+pub mod teal;
+pub mod types;
+
+pub use maxallflow::ExhaustiveScheme;
+pub use megate::{LpMode, MegaTeConfig, MegaTeScheme};
+pub use lp_all::LpAllScheme;
+pub use ncflow::NcFlowScheme;
+pub use qos::solve_per_qos;
+pub use teal::TealScheme;
+pub use types::{SolveError, TeAllocation, TeProblem, TeScheme};

@@ -1,0 +1,442 @@
+//! MegaTE's two-stage optimization (Algorithm 1, §4.2).
+//!
+//! 1. **SiteMerge** — aggregate endpoint demands per site pair:
+//!    `D_k = Σ_i d_k^i`;
+//! 2. **MaxSiteFlow** — the site-level MCF LP (Equation 2), solved
+//!    exactly (simplex) when small, or with the Garg–Könemann FPTAS at
+//!    scale;
+//! 3. **MaxEndpointFlow** — per site pair, tunnels in ascending-weight
+//!    order, select the endpoint subset for each tunnel's allocation
+//!    `F_{k,t}` with [`megate_ssp::fast_ssp`]. Site pairs are
+//!    independent and run in parallel (the paper's "parallelizable"
+//!    note on line 11).
+//!
+//! The result is the binary assignment `f_{k,t}^i` of Equation 1:
+//! every endpoint flow rides exactly one tunnel or is rejected.
+
+use crate::types::{flows_from_assignment, SolveError, TeAllocation, TeProblem, TeScheme};
+use megate_lp::{Commodity, McfProblem, PathSpec};
+use megate_ssp::{fast_ssp, FastSspConfig};
+use megate_topo::{SitePair, TunnelId};
+use std::time::Instant;
+
+/// How the first-stage LP is solved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LpMode {
+    /// Pick exact vs FPTAS from the instance size (default).
+    Auto,
+    /// Always the dense simplex (exact; memory-walled).
+    Exact,
+    /// Always the multiplicative-weights FPTAS with the given ε.
+    Fptas(f64),
+}
+
+/// Tuning knobs for the MegaTE scheme.
+#[derive(Debug, Clone)]
+pub struct MegaTeConfig {
+    /// FastSSP's `ε′` (Appendix A.2; "close to 0").
+    pub fastssp_epsilon: f64,
+    /// First-stage LP strategy.
+    pub lp_mode: LpMode,
+    /// ε of the FPTAS when `Auto` escalates to it.
+    pub auto_fptas_eps: f64,
+    /// `Auto` uses the exact simplex while the dense tableau stays
+    /// under this many entries.
+    pub auto_exact_tableau_cap: usize,
+    /// Worker threads for the parallel `MaxEndpointFlow` stage.
+    pub threads: usize,
+    /// The objective's `ε` preferring shorter paths (Equation 1).
+    pub epsilon_weight: f64,
+    /// Final repair pass: first-fit still-unassigned flows onto tunnels
+    /// with *actual* residual link capacity. Algorithm 1 confines each
+    /// pair to its LP allocation `F_{k,t}`; when `|I_k|` is small the
+    /// fractional split can strand capacity that an indivisible flow
+    /// could still use. The repair only ever adds feasible assignments.
+    pub residual_repair: bool,
+}
+
+impl Default for MegaTeConfig {
+    fn default() -> Self {
+        Self {
+            fastssp_epsilon: 0.1,
+            lp_mode: LpMode::Auto,
+            auto_fptas_eps: 0.05,
+            auto_exact_tableau_cap: 4_000_000,
+            threads: num_threads(),
+            epsilon_weight: 1e-4,
+            residual_repair: true,
+        }
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// The MegaTE two-stage scheme.
+#[derive(Debug, Clone, Default)]
+pub struct MegaTeScheme {
+    /// Configuration.
+    pub config: MegaTeConfig,
+}
+
+impl MegaTeScheme {
+    /// A scheme with explicit configuration.
+    pub fn new(config: MegaTeConfig) -> Self {
+        Self { config }
+    }
+
+    /// Stage 1+2: returns `(pairs, F)` where `F[k][t]` is the site-level
+    /// bandwidth allocation of pair `k` on its `t`-th tunnel (ascending
+    /// weight) — `MaxSiteFlow`'s output.
+    pub fn max_site_flow(
+        &self,
+        problem: &TeProblem,
+    ) -> Result<(Vec<SitePair>, Vec<Vec<f64>>), SolveError> {
+        let pairs_demand = crate::types::aggregated_pairs(problem);
+        if pairs_demand.is_empty() {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let caps = problem.link_capacities();
+        let commodities: Vec<Commodity> = pairs_demand
+            .iter()
+            .map(|&(pair, demand)| Commodity {
+                demand,
+                paths: problem
+                    .tunnels
+                    .tunnels_for(pair)
+                    .iter()
+                    .map(|&t| {
+                        let tun = problem.tunnels.tunnel(t);
+                        PathSpec {
+                            links: tun.links.iter().map(|l| l.index()).collect(),
+                            weight: tun.weight,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mcf = McfProblem {
+            link_capacity: caps,
+            commodities,
+            epsilon_weight: self.config.epsilon_weight,
+        };
+
+        let n_vars: usize = mcf.commodities.iter().map(|c| c.paths.len()).sum();
+        let n_rows = mcf.commodities.len() + mcf.link_capacity.len();
+        let tableau = (n_rows + 1) * (n_vars + n_rows + 1);
+        let solution = match self.config.lp_mode {
+            LpMode::Exact => mcf.solve_exact().map_err(|e| SolveError::Lp(e.to_string()))?,
+            LpMode::Fptas(eps) => mcf.solve_fptas(eps),
+            LpMode::Auto => {
+                if tableau <= self.config.auto_exact_tableau_cap {
+                    mcf.solve_exact().map_err(|e| SolveError::Lp(e.to_string()))?
+                } else {
+                    mcf.solve_fptas(self.config.auto_fptas_eps)
+                }
+            }
+        };
+        let pairs: Vec<SitePair> = pairs_demand.iter().map(|&(p, _)| p).collect();
+        Ok((pairs, solution.flows))
+    }
+
+    /// Stage 3: `MaxEndpointFlow` for one site pair — selects, for each
+    /// tunnel in ascending-weight order, the subset of still-unassigned
+    /// endpoint demands filling `F_{k,t}`, via FastSSP. Returns
+    /// `(demand index, tunnel)` picks.
+    pub fn max_endpoint_flow(
+        &self,
+        problem: &TeProblem,
+        pair: SitePair,
+        site_flow: &[f64],
+    ) -> Vec<(usize, TunnelId)> {
+        let tunnels = problem.tunnels.tunnels_for(pair);
+        debug_assert_eq!(tunnels.len(), site_flow.len());
+        let indices = problem.demands.indices_for(pair);
+        let demands = problem.demands.demands();
+
+        // Work in kbps integers: demands round to nearest, capacities
+        // floor — so the integer solution can never overfill F_{k,t}.
+        let mut unassigned: Vec<usize> = indices.to_vec();
+        let mut picks = Vec::new();
+        let cfg = FastSspConfig { epsilon_prime: self.config.fastssp_epsilon };
+        for (t_idx, &t) in tunnels.iter().enumerate() {
+            if unassigned.is_empty() {
+                break;
+            }
+            let capacity_kbps = (site_flow[t_idx] * 1000.0).floor() as u64;
+            if capacity_kbps == 0 {
+                continue;
+            }
+            let items: Vec<u64> = unassigned
+                .iter()
+                .map(|&i| (demands[i].demand_mbps * 1000.0).round().max(1.0) as u64)
+                .collect();
+            let sol = fast_ssp(&items, capacity_kbps, cfg);
+            let mut selected_flags = vec![false; unassigned.len()];
+            for &sel in &sol.solution.selected {
+                selected_flags[sel] = true;
+                picks.push((unassigned[sel], t));
+            }
+            unassigned = unassigned
+                .iter()
+                .zip(&selected_flags)
+                .filter(|(_, &s)| !s)
+                .map(|(&i, _)| i)
+                .collect();
+        }
+        picks
+    }
+}
+
+impl TeScheme for MegaTeScheme {
+    fn name(&self) -> &'static str {
+        "MegaTE"
+    }
+
+    fn solve(&self, problem: &TeProblem) -> Result<TeAllocation, SolveError> {
+        let start = Instant::now();
+        let (pairs, site_flows) = self.max_site_flow(problem)?;
+
+        let mut assignment: Vec<Option<TunnelId>> = vec![None; problem.demands.len()];
+        let threads = self.config.threads.max(1);
+        if pairs.len() <= 1 || threads == 1 {
+            for (k, &pair) in pairs.iter().enumerate() {
+                for (i, t) in self.max_endpoint_flow(problem, pair, &site_flows[k]) {
+                    assignment[i] = Some(t);
+                }
+            }
+        } else {
+            // Parallel across site pairs (Algorithm 1 line 11). Chunked
+            // round-robin keeps per-thread work balanced without shared
+            // mutable state; results merge deterministically.
+            let chunk_results: Vec<Vec<(usize, TunnelId)>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|w| {
+                            let pairs = &pairs;
+                            let site_flows = &site_flows;
+                            scope.spawn(move |_| {
+                                let mut out = Vec::new();
+                                let mut k = w;
+                                while k < pairs.len() {
+                                    out.extend(self.max_endpoint_flow(
+                                        problem,
+                                        pairs[k],
+                                        &site_flows[k],
+                                    ));
+                                    k += threads;
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                })
+                .expect("scope");
+            for picks in chunk_results {
+                for (i, t) in picks {
+                    debug_assert!(assignment[i].is_none(), "demand assigned twice");
+                    assignment[i] = Some(t);
+                }
+            }
+        }
+
+        if self.config.residual_repair {
+            self.repair_with_residuals(problem, &mut assignment);
+        }
+
+        let tunnel_flow_mbps = flows_from_assignment(problem, &assignment);
+        Ok(TeAllocation {
+            scheme: self.name().to_string(),
+            tunnel_flow_mbps,
+            endpoint_assignment: Some(assignment),
+            solve_time: start.elapsed(),
+        })
+    }
+}
+
+impl MegaTeScheme {
+    /// First-fits still-unassigned demands (largest first) onto their
+    /// pair's tunnels (shortest first) wherever every traversed link
+    /// still has headroom. Strictly feasibility-preserving.
+    fn repair_with_residuals(
+        &self,
+        problem: &TeProblem,
+        assignment: &mut [Option<TunnelId>],
+    ) {
+        let caps = problem.link_capacities();
+        let mut loads = vec![0.0f64; caps.len()];
+        for (i, choice) in assignment.iter().enumerate() {
+            if let Some(t) = choice {
+                let d = problem.demands.demands()[i].demand_mbps;
+                for &e in &problem.tunnels.tunnel(*t).links {
+                    loads[e.index()] += d;
+                }
+            }
+        }
+        let demands = problem.demands.demands();
+        let mut unassigned: Vec<usize> = (0..assignment.len())
+            .filter(|&i| assignment[i].is_none() && demands[i].demand_mbps > 0.0)
+            .collect();
+        unassigned.sort_by(|&a, &b| demands[b].demand_mbps.total_cmp(&demands[a].demand_mbps));
+
+        // Demand index -> site pair, precomputed once.
+        let mut pair_of: Vec<Option<SitePair>> = vec![None; demands.len()];
+        for pair in problem.demands.pairs() {
+            for &i in problem.demands.indices_for(pair) {
+                pair_of[i] = Some(pair);
+            }
+        }
+        for &i in &unassigned {
+            let d = demands[i].demand_mbps;
+            let Some(pair) = pair_of[i] else { continue };
+            for &t in problem.tunnels.tunnels_for(pair) {
+                let tun = problem.tunnels.tunnel(t);
+                let fits = tun
+                    .links
+                    .iter()
+                    .all(|&e| loads[e.index()] + d <= caps[e.index()] + 1e-9);
+                if fits {
+                    for &e in &tun.links {
+                        loads[e.index()] += d;
+                    }
+                    assignment[i] = Some(t);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megate_topo::{b4, EndpointCatalog, TunnelTable, WeibullEndpoints};
+    use megate_traffic::{DemandSet, TrafficConfig};
+
+    fn fixture(pairs: usize, load: f64) -> (megate_topo::Graph, TunnelTable, DemandSet) {
+        let g = b4();
+        let tunnels = TunnelTable::for_all_pairs(&g, 4);
+        let cat = EndpointCatalog::generate(&g, 600, WeibullEndpoints::with_scale(50.0), 3);
+        let mut demands = DemandSet::generate(
+            &g,
+            &cat,
+            &TrafficConfig {
+                endpoint_pairs: pairs,
+                site_pairs: 20,
+                sigma: 0.8,
+                ..Default::default()
+            },
+        );
+        demands.scale_to_load(&g, load);
+        (g, tunnels, demands)
+    }
+
+    #[test]
+    fn solves_underloaded_instance_nearly_fully() {
+        let (g, tunnels, demands) = fixture(300, 0.3);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let alloc = MegaTeScheme::default().solve(&p).unwrap();
+        assert!(alloc.check_feasible(&p, 1e-6));
+        let ratio = alloc.satisfied_ratio(&p);
+        assert!(ratio > 0.95, "satisfied {ratio}");
+    }
+
+    #[test]
+    fn respects_capacity_under_overload() {
+        let (g, tunnels, demands) = fixture(300, 3.0);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let alloc = MegaTeScheme::default().solve(&p).unwrap();
+        assert!(alloc.check_feasible(&p, 1e-6));
+        let ratio = alloc.satisfied_ratio(&p);
+        assert!(ratio < 1.0, "overloaded instance cannot be fully satisfied");
+        assert!(ratio > 0.1, "should still carry meaningful traffic: {ratio}");
+        assert!(alloc.max_link_utilization(&p) <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn every_flow_rides_one_tunnel_of_its_pair() {
+        let (g, tunnels, demands) = fixture(200, 1.0);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let alloc = MegaTeScheme::default().solve(&p).unwrap();
+        let assign = alloc.endpoint_assignment.as_ref().unwrap();
+        for pair in demands.pairs() {
+            let ts = tunnels.tunnels_for(pair);
+            for &i in demands.indices_for(pair) {
+                if let Some(t) = assign[i] {
+                    assert!(ts.contains(&t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let (g, tunnels, demands) = fixture(250, 0.8);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let serial = MegaTeScheme::new(MegaTeConfig { threads: 1, ..Default::default() })
+            .solve(&p)
+            .unwrap();
+        let parallel = MegaTeScheme::new(MegaTeConfig { threads: 8, ..Default::default() })
+            .solve(&p)
+            .unwrap();
+        assert_eq!(serial.endpoint_assignment, parallel.endpoint_assignment);
+    }
+
+    #[test]
+    fn exact_and_fptas_modes_land_close() {
+        let (g, tunnels, demands) = fixture(200, 1.2);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let exact = MegaTeScheme::new(MegaTeConfig { lp_mode: LpMode::Exact, ..Default::default() })
+            .solve(&p)
+            .unwrap();
+        let fptas =
+            MegaTeScheme::new(MegaTeConfig { lp_mode: LpMode::Fptas(0.05), ..Default::default() })
+                .solve(&p)
+                .unwrap();
+        assert!(fptas.check_feasible(&p, 1e-6));
+        let re = exact.satisfied_ratio(&p);
+        let rf = fptas.satisfied_ratio(&p);
+        assert!(rf > re - 0.25, "exact {re} fptas {rf}");
+    }
+
+    #[test]
+    fn prefers_short_tunnels() {
+        let (g, tunnels, demands) = fixture(200, 0.3);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let alloc = MegaTeScheme::default().solve(&p).unwrap();
+        let assign = alloc.endpoint_assignment.as_ref().unwrap();
+        // Under light load most flows should ride their pair's shortest
+        // tunnel (the objective's -eps*w term).
+        let mut on_shortest = 0usize;
+        let mut total = 0usize;
+        for pair in demands.pairs() {
+            let ts = tunnels.tunnels_for(pair);
+            for &i in demands.indices_for(pair) {
+                if let Some(t) = assign[i] {
+                    total += 1;
+                    if t == ts[0] {
+                        on_shortest += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            on_shortest as f64 / total as f64 > 0.8,
+            "{on_shortest}/{total} on shortest"
+        );
+    }
+
+    #[test]
+    fn empty_demands_yield_zero_allocation() {
+        let g = b4();
+        let tunnels = TunnelTable::for_all_pairs(&g, 2);
+        let demands = DemandSet::default();
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let alloc = MegaTeScheme::default().solve(&p).unwrap();
+        assert_eq!(alloc.satisfied_mbps(), 0.0);
+        assert!(alloc.check_feasible(&p, 1e-9));
+    }
+}

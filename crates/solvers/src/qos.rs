@@ -1,0 +1,171 @@
+//! QoS-sequential allocation (§4.1).
+//!
+//! "We determine bandwidth allocation rate by invoking MaxAllFlow
+//! separately for QoS classes in priority order. Once a higher QoS
+//! class is allocated, the remaining capacity of link e is updated by
+//! `c_e ← c_e − Σ d f L(t,e)`, which is then used for the lower QoS
+//! class."
+//!
+//! [`solve_per_qos`] wraps any [`TeScheme`], solving class 1 on the full
+//! topology, then class 2 on the residual, then class 3, and merging
+//! the three allocations back into one whole-interval allocation with
+//! original demand indexing.
+
+use crate::types::{SolveError, TeAllocation, TeProblem, TeScheme};
+use megate_topo::LinkId;
+use megate_traffic::QosClass;
+use std::time::{Duration, Instant};
+
+/// Solves the instance class by class on residual capacity.
+pub fn solve_per_qos<S: TeScheme>(
+    scheme: &S,
+    problem: &TeProblem,
+) -> Result<TeAllocation, SolveError> {
+    let start = Instant::now();
+    let mut residual = problem.graph.clone();
+    let mut tunnel_flow_mbps = vec![0.0; problem.tunnels.tunnel_count()];
+    let mut merged_assignment = vec![None; problem.demands.len()];
+    let mut any_assignment = false;
+    let mut all_classes_assignable = true;
+
+    for qos in QosClass::IN_PRIORITY_ORDER {
+        let (class_demands, back_map) = problem.demands.filter_qos_with_map(qos);
+        if class_demands.is_empty() {
+            continue;
+        }
+        let sub = TeProblem {
+            graph: &residual,
+            tunnels: problem.tunnels,
+            demands: &class_demands,
+        };
+        let alloc = scheme.solve(&sub)?;
+
+        // Merge flows and (when present) per-demand assignments.
+        for (t, f) in alloc.tunnel_flow_mbps.iter().enumerate() {
+            tunnel_flow_mbps[t] += f;
+        }
+        match &alloc.endpoint_assignment {
+            Some(assign) => {
+                any_assignment = true;
+                for (sub_i, &choice) in assign.iter().enumerate() {
+                    merged_assignment[back_map[sub_i]] = choice;
+                }
+            }
+            None => all_classes_assignable = false,
+        }
+
+        // Subtract this class's load from the residual capacities.
+        let loads = alloc.link_loads(&sub);
+        for (e, load) in loads.into_iter().enumerate() {
+            if load > 0.0 {
+                let link = residual.link_mut(LinkId(e as u32));
+                link.capacity_mbps = (link.capacity_mbps - load).max(f64::MIN_POSITIVE);
+            }
+        }
+    }
+
+    Ok(TeAllocation {
+        scheme: format!("{}+QoS", scheme.name()),
+        tunnel_flow_mbps,
+        endpoint_assignment: (any_assignment && all_classes_assignable)
+            .then_some(merged_assignment),
+        solve_time: start.elapsed() + Duration::ZERO,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::megate::MegaTeScheme;
+    use crate::teal::TealScheme;
+    use megate_topo::{b4, EndpointCatalog, TunnelTable, WeibullEndpoints};
+    use megate_traffic::{DemandSet, TrafficConfig};
+
+    fn fixture(load: f64) -> (megate_topo::Graph, TunnelTable, DemandSet) {
+        let g = b4();
+        let tunnels = TunnelTable::for_all_pairs(&g, 3);
+        let cat = EndpointCatalog::generate(&g, 400, WeibullEndpoints::with_scale(30.0), 3);
+        let mut demands = DemandSet::generate(
+            &g,
+            &cat,
+            &TrafficConfig {
+                endpoint_pairs: 600,
+                site_pairs: 20,
+                sigma: 0.8,
+                ..Default::default()
+            },
+        );
+        demands.scale_to_load(&g, load);
+        (g, tunnels, demands)
+    }
+
+    #[test]
+    fn merged_allocation_feasible_on_original_graph() {
+        let (g, tunnels, demands) = fixture(1.5);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let alloc = solve_per_qos(&MegaTeScheme::default(), &p).unwrap();
+        assert!(alloc.check_feasible(&p, 1e-6));
+        assert!(alloc.endpoint_assignment.is_some());
+    }
+
+    #[test]
+    fn class1_gets_priority_under_overload() {
+        let (g, tunnels, demands) = fixture(3.0);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let alloc = solve_per_qos(&MegaTeScheme::default(), &p).unwrap();
+        let demand_of = |q| {
+            demands
+                .demands()
+                .iter()
+                .filter(|d| d.qos == q)
+                .map(|d| d.demand_mbps)
+                .sum::<f64>()
+        };
+        let sat1 = alloc.satisfied_mbps_for_qos(&p, QosClass::Class1).unwrap();
+        let sat3 = alloc.satisfied_mbps_for_qos(&p, QosClass::Class3).unwrap();
+        let r1 = sat1 / demand_of(QosClass::Class1);
+        let r3 = sat3 / demand_of(QosClass::Class3);
+        assert!(
+            r1 > r3,
+            "class 1 must be better served under overload: {r1} vs {r3}"
+        );
+        assert!(r1 > 0.9, "class 1 nearly fully served: {r1}");
+    }
+
+    #[test]
+    fn class1_latency_beats_class3_with_megate() {
+        let (g, tunnels, demands) = fixture(2.0);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let alloc = solve_per_qos(&MegaTeScheme::default(), &p).unwrap();
+        // Normalized (per-pair) latency, as in Figure 11 — class 1
+        // allocates first and lands on the shortest tunnels.
+        let l1 = alloc.mean_normalized_latency(&p, Some(QosClass::Class1));
+        let l3 = alloc.mean_normalized_latency(&p, Some(QosClass::Class3));
+        assert!(l1 <= l3 + 1e-9, "QoS1 normalized latency {l1} vs QoS3 {l3}");
+    }
+
+    #[test]
+    fn fractional_scheme_merges_without_assignment() {
+        let (g, tunnels, demands) = fixture(1.0);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let alloc = solve_per_qos(&TealScheme::default(), &p).unwrap();
+        assert!(alloc.endpoint_assignment.is_none());
+        assert!(alloc.check_feasible(&p, 1e-6));
+        assert!(alloc.satisfied_mbps() > 0.0);
+    }
+
+    #[test]
+    fn qos_split_total_close_to_single_shot() {
+        let (g, tunnels, demands) = fixture(1.0);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let single = MegaTeScheme::default().solve(&p).unwrap();
+        let per_qos = solve_per_qos(&MegaTeScheme::default(), &p).unwrap();
+        // Sequential allocation sacrifices little total throughput.
+        assert!(
+            per_qos.satisfied_mbps() > single.satisfied_mbps() * 0.9,
+            "per-qos {} vs single {}",
+            per_qos.satisfied_mbps(),
+            single.satisfied_mbps()
+        );
+    }
+}

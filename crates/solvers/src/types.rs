@@ -1,0 +1,474 @@
+//! Problem/solution types shared by every TE scheme.
+
+use megate_topo::{Graph, LinkId, SitePair, TunnelId, TunnelTable};
+use megate_traffic::{DemandSet, QosClass};
+use std::time::Duration;
+
+/// One TE instance: topology, pre-established tunnels, and the
+/// endpoint-pair demands of a TE interval (Table 1's inputs).
+#[derive(Debug, Clone, Copy)]
+pub struct TeProblem<'a> {
+    /// The site graph `G(V, E)` with capacities `c_e`.
+    pub graph: &'a Graph,
+    /// Pre-established tunnels `T_k` with weights `w_t` and `L(t, e)`.
+    pub tunnels: &'a TunnelTable,
+    /// Endpoint-pair demands `{d_k^i}`.
+    pub demands: &'a DemandSet,
+}
+
+impl<'a> TeProblem<'a> {
+    /// Total demand in Mbps.
+    pub fn total_demand_mbps(&self) -> f64 {
+        self.demands.total_mbps()
+    }
+
+    /// Residual link capacities (full capacities of the graph).
+    pub fn link_capacities(&self) -> Vec<f64> {
+        self.graph
+            .link_ids()
+            .map(|l| self.graph.link(l).capacity_mbps)
+            .collect()
+    }
+}
+
+/// Failure modes of a TE solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The scheme's working set exceeds its memory budget — the paper's
+    /// "out-of-memory issues" for conventional schemes at hyper-scale.
+    OutOfMemory {
+        /// Estimated bytes the solve would need.
+        estimated_bytes: usize,
+        /// The configured budget.
+        budget_bytes: usize,
+    },
+    /// The underlying LP failed.
+    Lp(String),
+    /// The instance has no demands or tunnels to work with.
+    Empty,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::OutOfMemory { estimated_bytes, budget_bytes } => write!(
+                f,
+                "out of memory: needs ~{estimated_bytes} bytes, budget {budget_bytes}"
+            ),
+            SolveError::Lp(e) => write!(f, "LP failure: {e}"),
+            SolveError::Empty => write!(f, "empty TE instance"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A TE allocation in uniform form.
+///
+/// Fractional schemes fill only `tunnel_flow_mbps`; endpoint-granular
+/// schemes (MegaTE) additionally record the binary per-demand decision
+/// `f_{k,t}^i` in `endpoint_assignment` (index parallel to
+/// `problem.demands.demands()`), from which the tunnel flows are
+/// derived.
+#[derive(Debug, Clone)]
+pub struct TeAllocation {
+    /// Scheme name (for reports).
+    pub scheme: String,
+    /// Flow placed on each tunnel, dense by `TunnelId` index, Mbps.
+    pub tunnel_flow_mbps: Vec<f64>,
+    /// Per-demand tunnel choice; `None` = demand rejected. Absent for
+    /// fractional schemes.
+    pub endpoint_assignment: Option<Vec<Option<TunnelId>>>,
+    /// Wall-clock solve time.
+    pub solve_time: Duration,
+}
+
+impl TeAllocation {
+    /// Total satisfied demand in Mbps.
+    pub fn satisfied_mbps(&self) -> f64 {
+        self.tunnel_flow_mbps.iter().sum()
+    }
+
+    /// Satisfied-demand ratio (the paper's headline §6.2 metric).
+    pub fn satisfied_ratio(&self, problem: &TeProblem) -> f64 {
+        let total = problem.total_demand_mbps();
+        if total <= 0.0 {
+            1.0
+        } else {
+            self.satisfied_mbps() / total
+        }
+    }
+
+    /// Load per link implied by the tunnel flows.
+    pub fn link_loads(&self, problem: &TeProblem) -> Vec<f64> {
+        let mut loads = vec![0.0; problem.graph.link_count()];
+        for t in problem.tunnels.all_tunnels() {
+            let f = self.tunnel_flow_mbps[t.id.index()];
+            if f > 0.0 {
+                for &e in &t.links {
+                    loads[e.index()] += f;
+                }
+            }
+        }
+        loads
+    }
+
+    /// Maximum link utilization.
+    pub fn max_link_utilization(&self, problem: &TeProblem) -> f64 {
+        self.link_loads(problem)
+            .iter()
+            .zip(problem.graph.link_ids())
+            .map(|(&load, l)| load / problem.graph.link(l).capacity_mbps)
+            .fold(0.0, f64::max)
+    }
+
+    /// Feasibility: link capacities respected, per-pair flow within the
+    /// pair's demand, endpoint assignments (when present) consistent
+    /// with the tunnel flows and the demands' site pairs.
+    pub fn check_feasible(&self, problem: &TeProblem, rel_tol: f64) -> bool {
+        // Link capacities.
+        let loads = self.link_loads(problem);
+        for (e, &load) in loads.iter().enumerate() {
+            let cap = problem.graph.link(LinkId(e as u32)).capacity_mbps;
+            if load > cap * (1.0 + rel_tol) + 1e-6 {
+                return false;
+            }
+        }
+        // Per-pair totals within demand.
+        for pair in problem.demands.pairs() {
+            let demand: f64 = problem
+                .demands
+                .indices_for(pair)
+                .iter()
+                .map(|&i| problem.demands.demands()[i].demand_mbps)
+                .sum();
+            let flow: f64 = problem
+                .tunnels
+                .tunnels_for(pair)
+                .iter()
+                .map(|&t| self.tunnel_flow_mbps[t.index()])
+                .sum();
+            if flow > demand * (1.0 + rel_tol) + 1e-6 {
+                return false;
+            }
+        }
+        // Endpoint-assignment consistency.
+        if let Some(assign) = &self.endpoint_assignment {
+            if assign.len() != problem.demands.len() {
+                return false;
+            }
+            let mut derived = vec![0.0; self.tunnel_flow_mbps.len()];
+            for pair in problem.demands.pairs() {
+                let pair_tunnels = problem.tunnels.tunnels_for(pair);
+                for &i in problem.demands.indices_for(pair) {
+                    if let Some(t) = assign[i] {
+                        if !pair_tunnels.contains(&t) {
+                            return false; // assigned to a foreign tunnel
+                        }
+                        derived[t.index()] += problem.demands.demands()[i].demand_mbps;
+                    }
+                }
+            }
+            for (a, b) in derived.iter().zip(&self.tunnel_flow_mbps) {
+                if (a - b).abs() > 1e-3 * (1.0 + b.abs()) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Demand-weighted mean path latency of a QoS class, in the tunnel
+    /// table's weight units (ms) — the Figure 11 metric.
+    ///
+    /// With endpoint assignments the true per-flow latency is known;
+    /// fractional schemes spread each pair's traffic over tunnels in
+    /// proportion to the aggregate flows (exactly the paper's complaint:
+    /// "once the aggregated traffic contains the flow with multiple
+    /// classes, the higher class will be mistakenly allocated to the
+    /// path with larger network latency").
+    pub fn mean_latency_ms(&self, problem: &TeProblem, qos: Option<QosClass>) -> f64 {
+        let mut weighted = 0.0;
+        let mut volume = 0.0;
+        match &self.endpoint_assignment {
+            Some(assign) => {
+                for (i, d) in problem.demands.demands().iter().enumerate() {
+                    if qos.is_some_and(|q| d.qos != q) {
+                        continue;
+                    }
+                    if let Some(t) = assign[i] {
+                        weighted += d.demand_mbps * problem.tunnels.tunnel(t).weight;
+                        volume += d.demand_mbps;
+                    }
+                }
+            }
+            None => {
+                for pair in problem.demands.pairs() {
+                    let class_demand: f64 = problem
+                        .demands
+                        .indices_for(pair)
+                        .iter()
+                        .map(|&i| &problem.demands.demands()[i])
+                        .filter(|d| qos.is_none_or(|q| d.qos == q))
+                        .map(|d| d.demand_mbps)
+                        .sum();
+                    if class_demand <= 0.0 {
+                        continue;
+                    }
+                    let tunnels = problem.tunnels.tunnels_for(pair);
+                    let pair_flow: f64 =
+                        tunnels.iter().map(|&t| self.tunnel_flow_mbps[t.index()]).sum();
+                    if pair_flow <= 0.0 {
+                        continue;
+                    }
+                    // The class's carried share rides tunnels pro rata.
+                    let carried = class_demand.min(pair_flow);
+                    for &t in tunnels {
+                        let share = self.tunnel_flow_mbps[t.index()] / pair_flow;
+                        weighted += carried * share * problem.tunnels.tunnel(t).weight;
+                    }
+                    volume += carried;
+                }
+            }
+        }
+        if volume <= 0.0 {
+            0.0
+        } else {
+            weighted / volume
+        }
+    }
+
+    /// Demand-weighted mean *normalized* latency of a QoS class: each
+    /// flow's path latency divided by its pair's shortest-tunnel
+    /// latency (1.0 = everything on the shortest path). This is Figure
+    /// 11's "normalized packet latency", comparable across site pairs
+    /// of different geographic stretch.
+    pub fn mean_normalized_latency(&self, problem: &TeProblem, qos: Option<QosClass>) -> f64 {
+        let mut weighted = 0.0;
+        let mut volume = 0.0;
+        let base_of = |pair| {
+            problem
+                .tunnels
+                .tunnels_for(pair)
+                .first()
+                .map(|&t| problem.tunnels.tunnel(t).weight.max(1e-9))
+        };
+        match &self.endpoint_assignment {
+            Some(assign) => {
+                for pair in problem.demands.pairs() {
+                    let Some(base) = base_of(pair) else { continue };
+                    for &i in problem.demands.indices_for(pair) {
+                        let d = &problem.demands.demands()[i];
+                        if qos.is_some_and(|q| d.qos != q) {
+                            continue;
+                        }
+                        if let Some(t) = assign[i] {
+                            weighted +=
+                                d.demand_mbps * problem.tunnels.tunnel(t).weight / base;
+                            volume += d.demand_mbps;
+                        }
+                    }
+                }
+            }
+            None => {
+                for pair in problem.demands.pairs() {
+                    let Some(base) = base_of(pair) else { continue };
+                    let class_demand: f64 = problem
+                        .demands
+                        .indices_for(pair)
+                        .iter()
+                        .map(|&i| &problem.demands.demands()[i])
+                        .filter(|d| qos.is_none_or(|q| d.qos == q))
+                        .map(|d| d.demand_mbps)
+                        .sum();
+                    if class_demand <= 0.0 {
+                        continue;
+                    }
+                    let tunnels = problem.tunnels.tunnels_for(pair);
+                    let pair_flow: f64 =
+                        tunnels.iter().map(|&t| self.tunnel_flow_mbps[t.index()]).sum();
+                    if pair_flow <= 0.0 {
+                        continue;
+                    }
+                    let carried = class_demand.min(pair_flow);
+                    for &t in tunnels {
+                        let share = self.tunnel_flow_mbps[t.index()] / pair_flow;
+                        weighted +=
+                            carried * share * problem.tunnels.tunnel(t).weight / base;
+                    }
+                    volume += carried;
+                }
+            }
+        }
+        if volume <= 0.0 {
+            0.0
+        } else {
+            weighted / volume
+        }
+    }
+
+    /// Satisfied Mbps restricted to one QoS class (needs endpoint
+    /// assignments; fractional schemes cannot attribute flow to classes).
+    pub fn satisfied_mbps_for_qos(&self, problem: &TeProblem, qos: QosClass) -> Option<f64> {
+        let assign = self.endpoint_assignment.as_ref()?;
+        let mut sum = 0.0;
+        for (i, d) in problem.demands.demands().iter().enumerate() {
+            if d.qos == qos && assign[i].is_some() {
+                sum += d.demand_mbps;
+            }
+        }
+        Some(sum)
+    }
+}
+
+/// A TE scheme: anything that can solve a [`TeProblem`].
+pub trait TeScheme {
+    /// Scheme name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Solves the instance.
+    fn solve(&self, problem: &TeProblem) -> Result<TeAllocation, SolveError>;
+}
+
+/// Derives dense tunnel flows from an endpoint assignment.
+pub(crate) fn flows_from_assignment(
+    problem: &TeProblem,
+    assignment: &[Option<TunnelId>],
+) -> Vec<f64> {
+    let mut flows = vec![0.0; problem.tunnels.tunnel_count()];
+    for (i, choice) in assignment.iter().enumerate() {
+        if let Some(t) = choice {
+            flows[t.index()] += problem.demands.demands()[i].demand_mbps;
+        }
+    }
+    flows
+}
+
+/// Groups a demand set's site pairs for schemes that aggregate: returns
+/// `(pair, D_k)` for every demand-bearing pair with tunnels.
+pub(crate) fn aggregated_pairs(problem: &TeProblem) -> Vec<(SitePair, f64)> {
+    problem
+        .demands
+        .site_demands(None)
+        .into_iter()
+        .filter(|(pair, _)| !problem.tunnels.tunnels_for(*pair).is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megate_topo::{b4, EndpointCatalog, TunnelTable, WeibullEndpoints};
+    use megate_traffic::TrafficConfig;
+
+    fn fixture() -> (megate_topo::Graph, TunnelTable, EndpointCatalog, DemandSet) {
+        let g = b4();
+        let tunnels = TunnelTable::for_all_pairs(&g, 3);
+        let cat = EndpointCatalog::generate(&g, 240, WeibullEndpoints::with_scale(20.0), 5);
+        let demands = DemandSet::generate(
+            &g,
+            &cat,
+            &TrafficConfig { endpoint_pairs: 200, ..Default::default() },
+        );
+        (g, tunnels, cat, demands)
+    }
+
+    #[test]
+    fn empty_allocation_is_feasible_and_zero() {
+        let (g, tunnels, _, demands) = fixture();
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let alloc = TeAllocation {
+            scheme: "null".into(),
+            tunnel_flow_mbps: vec![0.0; tunnels.tunnel_count()],
+            endpoint_assignment: Some(vec![None; demands.len()]),
+            solve_time: Duration::ZERO,
+        };
+        assert!(alloc.check_feasible(&p, 1e-9));
+        assert_eq!(alloc.satisfied_mbps(), 0.0);
+        assert_eq!(alloc.satisfied_ratio(&p), 0.0);
+    }
+
+    #[test]
+    fn assignment_to_foreign_tunnel_detected() {
+        let (g, tunnels, _, demands) = fixture();
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        // Assign demand 0 to a tunnel of a *different* pair.
+        let pair0 = demands.pairs().next().unwrap();
+        let foreign = tunnels
+            .pairs()
+            .iter()
+            .find(|&&q| q != pair0)
+            .copied()
+            .unwrap();
+        let bad_t = tunnels.tunnels_for(foreign)[0];
+        let mut assign = vec![None; demands.len()];
+        let i0 = demands.indices_for(pair0)[0];
+        assign[i0] = Some(bad_t);
+        let alloc = TeAllocation {
+            scheme: "bad".into(),
+            tunnel_flow_mbps: flows_from_assignment(&p, &assign),
+            endpoint_assignment: Some(assign),
+            solve_time: Duration::ZERO,
+        };
+        assert!(!alloc.check_feasible(&p, 1e-9));
+    }
+
+    #[test]
+    fn derived_flows_must_match_declared() {
+        let (g, tunnels, _, demands) = fixture();
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let pair0 = demands.pairs().next().unwrap();
+        let t0 = tunnels.tunnels_for(pair0)[0];
+        let mut assign = vec![None; demands.len()];
+        let i0 = demands.indices_for(pair0)[0];
+        assign[i0] = Some(t0);
+        let mut alloc = TeAllocation {
+            scheme: "x".into(),
+            tunnel_flow_mbps: flows_from_assignment(&p, &assign),
+            endpoint_assignment: Some(assign),
+            solve_time: Duration::ZERO,
+        };
+        assert!(alloc.check_feasible(&p, 1e-9));
+        alloc.tunnel_flow_mbps[t0.index()] *= 2.0; // declare bogus flow
+        assert!(!alloc.check_feasible(&p, 1e-9));
+    }
+
+    #[test]
+    fn latency_prefers_assigned_short_tunnels() {
+        let (g, tunnels, _, demands) = fixture();
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        // Assign everything to the shortest tunnel of its pair.
+        let mut short = vec![None; demands.len()];
+        let mut long = vec![None; demands.len()];
+        for pair in demands.pairs() {
+            let ts = tunnels.tunnels_for(pair);
+            for &i in demands.indices_for(pair) {
+                short[i] = Some(ts[0]);
+                long[i] = Some(*ts.last().unwrap());
+            }
+        }
+        let mk = |assign: Vec<Option<TunnelId>>| TeAllocation {
+            scheme: "t".into(),
+            tunnel_flow_mbps: flows_from_assignment(&p, &assign),
+            endpoint_assignment: Some(assign),
+            solve_time: Duration::ZERO,
+        };
+        let a_short = mk(short);
+        let a_long = mk(long);
+        assert!(
+            a_short.mean_latency_ms(&p, None) < a_long.mean_latency_ms(&p, None),
+            "short {} vs long {}",
+            a_short.mean_latency_ms(&p, None),
+            a_long.mean_latency_ms(&p, None)
+        );
+    }
+
+    #[test]
+    fn aggregated_pairs_match_site_demands() {
+        let (g, tunnels, _, demands) = fixture();
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let pairs = aggregated_pairs(&p);
+        let total: f64 = pairs.iter().map(|(_, d)| d).sum();
+        assert!((total - demands.total_mbps()).abs() < 1e-6);
+    }
+}

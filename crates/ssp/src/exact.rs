@@ -1,0 +1,204 @@
+//! Exact pseudo-polynomial subset-sum DP (Bellman 1957).
+//!
+//! Time `O(n · C)`, memory `O(C)` plus one `u32` per reachable sum for
+//! reconstruction. This is the paper's reference method whose cost the
+//! FastSSP approximation is designed to avoid at production scale, and it
+//! is reused *inside* FastSSP (step 3) on the small normalized instance.
+
+use crate::SspSolution;
+
+/// Sentinel for "sum not reachable" in the reconstruction table.
+const UNREACHED: u32 = u32::MAX;
+
+/// Maximum capacity this DP will accept; beyond it the table would not
+/// fit in memory and callers should use [`crate::fast_ssp`] instead.
+pub const MAX_DP_CAPACITY: u64 = 200_000_000;
+
+/// Solves subset sum exactly: selects a subset of `items` with maximum
+/// total not exceeding `capacity`.
+///
+/// # Panics
+/// Panics if `capacity > MAX_DP_CAPACITY` — the table would be too large;
+/// this mirrors the paper's observation that plain DP is impractical for
+/// large `F_{k,t}` and many endpoint pairs.
+pub fn dp_subset_sum(items: &[u64], capacity: u64) -> SspSolution {
+    assert!(
+        capacity <= MAX_DP_CAPACITY,
+        "DP capacity {capacity} exceeds MAX_DP_CAPACITY; use fast_ssp"
+    );
+    let cap = capacity as usize;
+    if cap == 0 || items.is_empty() {
+        return SspSolution::empty();
+    }
+
+    // `made_by[s]` = index of the item whose addition first made sum `s`
+    // reachable. Backtracking is well-founded: when item `i` sets
+    // `made_by[s]`, the predecessor `s - items[i]` was reachable using
+    // only items with index < i (the descending inner loop never reuses
+    // the in-flight item), so indices strictly decrease along the chain.
+    let mut made_by: Vec<u32> = vec![UNREACHED; cap + 1];
+    let mut reachable = vec![false; cap + 1];
+    reachable[0] = true;
+
+    for (i, &item) in items.iter().enumerate() {
+        if item == 0 || item > capacity {
+            continue; // zero items add nothing; oversize items never fit
+        }
+        let it = item as usize;
+        for s in (it..=cap).rev() {
+            if !reachable[s] && reachable[s - it] {
+                reachable[s] = true;
+                made_by[s] = i as u32;
+            }
+        }
+    }
+
+    let best = (0..=cap).rev().find(|&s| reachable[s]).unwrap_or(0);
+    let mut selected = Vec::new();
+    let mut s = best;
+    while s > 0 {
+        let i = made_by[s];
+        debug_assert_ne!(i, UNREACHED, "reachable sum must have a maker");
+        selected.push(i as usize);
+        s -= items[i as usize] as usize;
+    }
+    selected.sort_unstable();
+    SspSolution { selected, total: best as u64 }
+}
+
+/// Reports only the best achievable total (no reconstruction) using a
+/// compact bitset — handy for property tests at larger capacities.
+pub fn dp_best_total(items: &[u64], capacity: u64) -> u64 {
+    assert!(capacity <= MAX_DP_CAPACITY);
+    let cap = capacity as usize;
+    let words = cap / 64 + 1;
+    let mut bits = vec![0u64; words];
+    bits[0] = 1; // sum 0 reachable
+    for &item in items {
+        if item == 0 || item > capacity {
+            continue;
+        }
+        let shift = item as usize;
+        // bits |= bits << shift, truncated at cap+1 bits.
+        let word_shift = shift / 64;
+        let bit_shift = shift % 64;
+        for w in (word_shift..words).rev() {
+            let mut v = bits[w - word_shift] << bit_shift;
+            if bit_shift > 0 && w > word_shift {
+                v |= bits[w - word_shift - 1] >> (64 - bit_shift);
+            }
+            bits[w] |= v;
+        }
+        // Mask stray bits beyond cap.
+        let top = cap % 64;
+        let last = words - 1;
+        bits[last] &= if top == 63 { u64::MAX } else { (1u64 << (top + 1)) - 1 };
+    }
+    for s in (0..=cap).rev() {
+        if bits[s / 64] >> (s % 64) & 1 == 1 {
+            return s as u64;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_inputs_give_empty_solution() {
+        assert_eq!(dp_subset_sum(&[], 10), SspSolution::empty());
+        assert_eq!(dp_subset_sum(&[1, 2], 0), SspSolution::empty());
+    }
+
+    #[test]
+    fn exact_fill_when_possible() {
+        let items = [3, 34, 4, 12, 5, 2];
+        let sol = dp_subset_sum(&items, 9);
+        assert_eq!(sol.total, 9); // 3+4+2 or 4+5
+        assert!(sol.validate(&items, 9));
+    }
+
+    #[test]
+    fn best_under_capacity_when_exact_impossible() {
+        let items = [5, 10, 20];
+        let sol = dp_subset_sum(&items, 13);
+        assert_eq!(sol.total, 10);
+        assert!(sol.validate(&items, 13));
+    }
+
+    #[test]
+    fn oversize_and_zero_items_skipped() {
+        let items = [0, 100, 3];
+        let sol = dp_subset_sum(&items, 10);
+        assert_eq!(sol.total, 3);
+        assert_eq!(sol.selected, vec![2]);
+    }
+
+    #[test]
+    fn duplicate_values_used_at_most_once_each() {
+        let items = [7, 7];
+        let sol = dp_subset_sum(&items, 20);
+        assert_eq!(sol.total, 14);
+        assert_eq!(sol.selected, vec![0, 1]);
+        // A single 7 with capacity 13 must not be doubled.
+        let sol = dp_subset_sum(&[7], 13);
+        assert_eq!(sol.total, 7);
+    }
+
+    #[test]
+    fn bitset_total_matches_reconstruction() {
+        let items = [13, 29, 31, 7, 7, 3, 101];
+        for cap in [0u64, 1, 10, 50, 90, 191] {
+            assert_eq!(dp_best_total(&items, cap), dp_subset_sum(&items, cap).total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_DP_CAPACITY")]
+    fn giant_capacity_rejected() {
+        dp_subset_sum(&[1], MAX_DP_CAPACITY + 1);
+    }
+
+    /// Brute-force oracle over all subsets (inputs kept tiny).
+    fn brute_force(items: &[u64], capacity: u64) -> u64 {
+        let mut best = 0;
+        for mask in 0u32..(1 << items.len()) {
+            let sum: u64 = items
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &v)| v)
+                .sum();
+            if sum <= capacity && sum > best {
+                best = sum;
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #[test]
+        fn dp_matches_brute_force(
+            items in proptest::collection::vec(0u64..50, 0..12),
+            capacity in 0u64..200,
+        ) {
+            let sol = dp_subset_sum(&items, capacity);
+            prop_assert!(sol.validate(&items, capacity));
+            prop_assert_eq!(sol.total, brute_force(&items, capacity));
+        }
+
+        #[test]
+        fn bitset_matches_dp(
+            items in proptest::collection::vec(0u64..500, 0..20),
+            capacity in 0u64..2000,
+        ) {
+            prop_assert_eq!(
+                dp_best_total(&items, capacity),
+                dp_subset_sum(&items, capacity).total
+            );
+        }
+    }
+}

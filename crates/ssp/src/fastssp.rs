@@ -1,0 +1,286 @@
+//! FastSSP — the paper's semi-DP subset-sum approximation (§4.2,
+//! Appendix A.2).
+//!
+//! Plain DP costs `O(|I_k| · F_{k,t})`, impractical for many small
+//! endpoint demands against a large site-pair allocation. FastSSP runs
+//! four steps:
+//!
+//! 1. **Clustering** — aggregate endpoint demands into `m` super-demands
+//!    each `≥ M = ε′·F/3`, so `m` is a small integer;
+//! 2. **Normalization** — divide by `δ = ε′·M/3` (= `ε′²F/9`), rounding
+//!    items *up* (`ĉ = ⌈c/δ⌉`) and capacity *down* (`F̂ = ⌊F/δ⌋`) so any
+//!    normalized-feasible selection is feasible in the original units;
+//! 3. **DP solving** — exact DP on the tiny normalized instance,
+//!    `O(m·⌊F/δ⌋)`;
+//! 4. **Sorted greedy** — pack the residual (unselected) flows into the
+//!    leftover capacity, `O(|I_k| log |I_k|)`.
+//!
+//! The final gap obeys `β ≤ min(residual)/F`: when the algorithm stops,
+//! no unselected demand fits in the remaining headroom.
+
+use crate::exact::dp_subset_sum;
+use crate::greedy::first_fit_descending;
+use crate::SspSolution;
+
+/// Tuning knobs for FastSSP.
+#[derive(Debug, Clone, Copy)]
+pub struct FastSspConfig {
+    /// The paper's `ε′` ("close to 0"). Smaller values mean finer
+    /// clusters and normalization, i.e. more DP work and less error.
+    pub epsilon_prime: f64,
+}
+
+impl Default for FastSspConfig {
+    fn default() -> Self {
+        Self { epsilon_prime: 0.1 }
+    }
+}
+
+/// Outcome of a FastSSP run, with diagnostics used by the ablation
+/// benches (cluster count, normalized capacity, final gap).
+#[derive(Debug, Clone)]
+pub struct FastSspSolution {
+    /// Indices of selected items (ascending) and their exact total.
+    pub solution: SspSolution,
+    /// Number of super-demands `m` handed to the DP.
+    pub clusters: usize,
+    /// Normalized DP capacity `⌊F/δ⌋`.
+    pub normalized_capacity: u64,
+    /// Unallocated capacity `F − total`.
+    pub gap: u64,
+}
+
+impl FastSspSolution {
+    /// Achieved fraction of capacity.
+    pub fn fill_ratio(&self, capacity: u64) -> f64 {
+        if capacity == 0 {
+            return 1.0;
+        }
+        self.solution.total as f64 / capacity as f64
+    }
+}
+
+/// Runs FastSSP: select a subset of `items` with total as close as
+/// possible to, without exceeding, `capacity`.
+///
+/// ```
+/// use megate_ssp::{fast_ssp, FastSspConfig};
+///
+/// // 10k endpoint demands (kbps) against a tunnel allocation F_{k,t}.
+/// let demands: Vec<u64> = (0..10_000).map(|i| 400 + i % 200).collect();
+/// let f_kt = 2_000_000;
+/// let sol = fast_ssp(&demands, f_kt, FastSspConfig::default());
+/// assert!(sol.solution.total <= f_kt);
+/// assert!(sol.fill_ratio(f_kt) > 0.999);   // near-perfect packing
+/// ```
+pub fn fast_ssp(items: &[u64], capacity: u64, config: FastSspConfig) -> FastSspSolution {
+    assert!(
+        config.epsilon_prime > 0.0 && config.epsilon_prime < 1.0,
+        "epsilon_prime must be in (0, 1)"
+    );
+    if capacity == 0 || items.is_empty() {
+        return FastSspSolution {
+            solution: SspSolution::empty(),
+            clusters: 0,
+            normalized_capacity: 0,
+            gap: capacity,
+        };
+    }
+
+    // Items that can never fit are excluded up front so they don't drag
+    // whole clusters into infeasibility.
+    let eligible: Vec<usize> = (0..items.len())
+        .filter(|&i| items[i] > 0 && items[i] <= capacity)
+        .collect();
+
+    // Step 1: clustering. M = ε′·F/3. Walk eligible demands, descending,
+    // accumulating clusters until each reaches M; the trailing partial
+    // cluster joins the residual set handled by the greedy step.
+    let threshold_m = ((config.epsilon_prime * capacity as f64) / 3.0).ceil().max(1.0) as u64;
+    let mut order = eligible.clone();
+    order.sort_unstable_by(|&a, &b| items[b].cmp(&items[a]).then(a.cmp(&b)));
+
+    let mut clusters: Vec<(Vec<usize>, u64)> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut current_sum: u64 = 0;
+    for &i in &order {
+        current.push(i);
+        current_sum += items[i];
+        if current_sum >= threshold_m {
+            clusters.push((std::mem::take(&mut current), current_sum));
+            current_sum = 0;
+        }
+    }
+    let mut residual_pool: Vec<usize> = current; // trailing partial cluster
+
+    // Step 2: normalization. δ = ε′·M/3; ceil items, floor capacity.
+    let delta = ((config.epsilon_prime * threshold_m as f64) / 3.0).ceil().max(1.0) as u64;
+    let normalized: Vec<u64> = clusters.iter().map(|(_, s)| s.div_ceil(delta)).collect();
+    let normalized_capacity = capacity / delta;
+
+    // Step 3: exact DP on the normalized super-demands.
+    let dp = dp_subset_sum(&normalized, normalized_capacity);
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut total: u64 = 0;
+    let mut chosen_cluster = vec![false; clusters.len()];
+    for &c in &dp.selected {
+        chosen_cluster[c] = true;
+        let (members, sum) = &clusters[c];
+        selected.extend_from_slice(members);
+        total += *sum;
+    }
+    debug_assert!(
+        total <= capacity,
+        "ceil/floor normalization must keep the DP selection feasible"
+    );
+
+    // Step 4: greedy on the residual flows (unselected clusters' members
+    // plus the trailing partial cluster) into the remaining headroom.
+    for (c, (members, _)) in clusters.iter().enumerate() {
+        if !chosen_cluster[c] {
+            residual_pool.extend_from_slice(members);
+        }
+    }
+    let residual_values: Vec<u64> = residual_pool.iter().map(|&i| items[i]).collect();
+    let greedy = first_fit_descending(&residual_values, capacity - total);
+    for &ri in &greedy.selected {
+        selected.push(residual_pool[ri]);
+    }
+    total += greedy.total;
+
+    selected.sort_unstable();
+    FastSspSolution {
+        solution: SspSolution { selected, total },
+        clusters: clusters.len(),
+        normalized_capacity,
+        gap: capacity - total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::dp_best_total;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn cfg(eps: f64) -> FastSspConfig {
+        FastSspConfig { epsilon_prime: eps }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = fast_ssp(&[], 100, FastSspConfig::default());
+        assert_eq!(s.solution.total, 0);
+        assert_eq!(s.gap, 100);
+        let s = fast_ssp(&[5, 5], 0, FastSspConfig::default());
+        assert_eq!(s.solution.total, 0);
+    }
+
+    #[test]
+    fn selects_everything_when_all_fits() {
+        let items = [10, 20, 30, 40];
+        let s = fast_ssp(&items, 1000, FastSspConfig::default());
+        assert_eq!(s.solution.total, 100);
+        assert_eq!(s.solution.selected, vec![0, 1, 2, 3]);
+        assert_eq!(s.gap, 900);
+    }
+
+    #[test]
+    fn oversize_items_excluded() {
+        let items = [5000, 3, 4];
+        let s = fast_ssp(&items, 10, FastSspConfig::default());
+        assert!(!s.solution.selected.contains(&0));
+        assert_eq!(s.solution.total, 7);
+    }
+
+    #[test]
+    fn near_optimal_on_many_small_items() {
+        // 10k unit-ish items against a big capacity: FastSSP should fill
+        // almost perfectly where plain DP would need a 5M-wide table.
+        let items: Vec<u64> = (0..10_000).map(|i| 400 + (i % 201)).collect();
+        let capacity: u64 = 2_000_000;
+        let s = fast_ssp(&items, capacity, FastSspConfig::default());
+        assert!(s.solution.validate(&items, capacity));
+        assert!(
+            s.fill_ratio(capacity) > 0.999,
+            "fill ratio {}",
+            s.fill_ratio(capacity)
+        );
+    }
+
+    #[test]
+    fn error_bound_no_unselected_item_fits_in_gap() {
+        let items: Vec<u64> = vec![13, 29, 31, 7, 7, 3, 101, 57, 88, 42];
+        let capacity = 230;
+        let s = fast_ssp(&items, capacity, cfg(0.2));
+        let selected: HashSet<usize> = s.solution.selected.iter().copied().collect();
+        for (i, &v) in items.iter().enumerate() {
+            if !selected.contains(&i) && v > 0 && v <= capacity {
+                assert!(v > s.gap, "item {i} ({v}) fits in gap {}", s.gap);
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_epsilon_never_hurts_much() {
+        let items: Vec<u64> = (0..500).map(|i| 10 + (i * 37) % 90).collect();
+        let capacity = 9_000;
+        let coarse = fast_ssp(&items, capacity, cfg(0.3)).solution.total;
+        let fine = fast_ssp(&items, capacity, cfg(0.02)).solution.total;
+        // Both must land within the paper's error character; fine should
+        // be at least as good up to greedy noise.
+        assert!(fine as f64 >= coarse as f64 * 0.99, "fine {fine} coarse {coarse}");
+    }
+
+    #[test]
+    fn cluster_count_is_small() {
+        let items: Vec<u64> = vec![50; 4000];
+        let s = fast_ssp(&items, 100_000, cfg(0.1));
+        // m ≈ 3/ε′ plus rounding: two orders below the item count.
+        assert!(s.clusters <= 100, "clusters {}", s.clusters);
+        assert!(s.normalized_capacity <= 10_000);
+    }
+
+    proptest! {
+        #[test]
+        fn fast_ssp_feasible_and_below_opt(
+            items in proptest::collection::vec(0u64..400, 0..40),
+            capacity in 0u64..3000,
+            eps in 0.02f64..0.5,
+        ) {
+            let s = fast_ssp(&items, capacity, cfg(eps));
+            prop_assert!(s.solution.validate(&items, capacity));
+            let opt = dp_best_total(&items, capacity);
+            prop_assert!(s.solution.total <= opt);
+        }
+
+        #[test]
+        fn error_bound_holds(
+            items in proptest::collection::vec(1u64..300, 1..40),
+            capacity in 1u64..2500,
+            eps in 0.02f64..0.5,
+        ) {
+            let s = fast_ssp(&items, capacity, cfg(eps));
+            let selected: HashSet<usize> =
+                s.solution.selected.iter().copied().collect();
+            for (i, &v) in items.iter().enumerate() {
+                if !selected.contains(&i) && v <= capacity {
+                    prop_assert!(v > s.gap,
+                        "unselected item {i}={v} fits in gap {}", s.gap);
+                }
+            }
+        }
+
+        #[test]
+        fn all_fits_implies_full_selection(
+            items in proptest::collection::vec(1u64..100, 1..30),
+        ) {
+            let total: u64 = items.iter().sum();
+            let s = fast_ssp(&items, total + 10, FastSspConfig::default());
+            prop_assert_eq!(s.solution.total, total);
+            prop_assert_eq!(s.solution.selected.len(), items.len());
+        }
+    }
+}

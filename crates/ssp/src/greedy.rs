@@ -1,0 +1,100 @@
+//! Sorted greedy subset-sum packers — FastSSP's step 4.
+//!
+//! After the DP phase allocates the clustered bulk of the demand, the
+//! residual flows are "relatively minor, meaning any suboptimal
+//! allocations will not significantly impact the overall solution"
+//! (Appendix A.2); a sorting-based greedy with `O(n log n)` cost packs
+//! them into the leftover capacity.
+
+use crate::SspSolution;
+
+/// First-fit over items sorted **descending**: repeatedly take the
+/// largest item that still fits. The classic 1/2-approximation.
+pub fn first_fit_descending(items: &[u64], capacity: u64) -> SspSolution {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_unstable_by(|&a, &b| items[b].cmp(&items[a]).then(a.cmp(&b)));
+    first_fit(items, capacity, &order)
+}
+
+/// First-fit over items sorted **ascending**: packs as many flows as
+/// possible — useful when satisfying flow *count* matters.
+pub fn first_fit_ascending(items: &[u64], capacity: u64) -> SspSolution {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_unstable_by(|&a, &b| items[a].cmp(&items[b]).then(a.cmp(&b)));
+    first_fit(items, capacity, &order)
+}
+
+fn first_fit(items: &[u64], capacity: u64, order: &[usize]) -> SspSolution {
+    let mut remaining = capacity;
+    let mut selected = Vec::new();
+    for &i in order {
+        let v = items[i];
+        if v > 0 && v <= remaining {
+            remaining -= v;
+            selected.push(i);
+        }
+    }
+    selected.sort_unstable();
+    SspSolution { selected, total: capacity - remaining }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::dp_subset_sum;
+    use proptest::prelude::*;
+
+    #[test]
+    fn descending_takes_largest_first() {
+        let items = [2, 9, 5];
+        let sol = first_fit_descending(&items, 11);
+        assert_eq!(sol.total, 11); // 9 then 2
+        assert_eq!(sol.selected, vec![0, 1]);
+    }
+
+    #[test]
+    fn ascending_maximizes_item_count() {
+        let items = [2, 9, 5];
+        let sol = first_fit_ascending(&items, 8);
+        assert_eq!(sol.selected, vec![0, 2]); // 2 then 5
+        assert_eq!(sol.total, 7);
+    }
+
+    #[test]
+    fn zero_items_never_selected() {
+        let sol = first_fit_descending(&[0, 0, 3], 10);
+        assert_eq!(sol.selected, vec![2]);
+    }
+
+    #[test]
+    fn empty_capacity_selects_nothing() {
+        let sol = first_fit_descending(&[1, 2, 3], 0);
+        assert_eq!(sol, SspSolution::empty());
+    }
+
+    proptest! {
+        #[test]
+        fn greedy_is_feasible_and_valid(
+            items in proptest::collection::vec(0u64..1000, 0..50),
+            capacity in 0u64..5000,
+        ) {
+            for sol in [
+                first_fit_descending(&items, capacity),
+                first_fit_ascending(&items, capacity),
+            ] {
+                prop_assert!(sol.validate(&items, capacity));
+            }
+        }
+
+        #[test]
+        fn descending_is_half_approximation(
+            items in proptest::collection::vec(1u64..60, 1..12),
+            capacity in 1u64..300,
+        ) {
+            let opt = dp_subset_sum(&items, capacity).total;
+            let greedy = first_fit_descending(&items, capacity).total;
+            // First-fit-descending achieves at least half the optimum.
+            prop_assert!(2 * greedy >= opt, "greedy {greedy} vs opt {opt}");
+        }
+    }
+}

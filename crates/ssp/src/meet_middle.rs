@@ -1,0 +1,146 @@
+//! Horowitz–Sahni meet-in-the-middle exact subset sum.
+//!
+//! The paper's related work cites the partition-based accelerations of
+//! the classic DP (Horowitz & Sahni 1974). Splitting the items into two
+//! halves, enumerating each half's `2^(n/2)` subset sums and merging
+//! with a two-pointer sweep solves subset sum in `O(2^(n/2)·n)` time
+//! *independent of the capacity* — the exact regime where the DP's
+//! `O(n·F)` table is hopeless (huge `F`, few items). FastSSP's DP step
+//! never needs it (normalization keeps `F̂` small), but elephant-only
+//! `MaxEndpointFlow` instances are precisely "few items, huge F", and
+//! the test suite uses this as a capacity-independent oracle.
+
+use crate::SspSolution;
+
+/// Maximum item count (2^(n/2) table growth).
+pub const MAX_ITEMS: usize = 40;
+
+/// Solves subset sum exactly via meet-in-the-middle.
+///
+/// # Panics
+/// Panics when `items.len() > MAX_ITEMS`.
+pub fn meet_in_the_middle(items: &[u64], capacity: u64) -> SspSolution {
+    assert!(
+        items.len() <= MAX_ITEMS,
+        "meet-in-the-middle is exponential; {} items exceed {MAX_ITEMS}",
+        items.len()
+    );
+    if items.is_empty() || capacity == 0 {
+        return SspSolution::empty();
+    }
+    let (left, right) = items.split_at(items.len() / 2);
+
+    // Enumerate (sum, mask) for each half, skipping sums over capacity.
+    let enumerate = |half: &[u64]| -> Vec<(u64, u32)> {
+        let mut out = Vec::with_capacity(1 << half.len());
+        out.push((0u64, 0u32));
+        for (i, &v) in half.iter().enumerate() {
+            let n = out.len();
+            for j in 0..n {
+                let (s, m) = out[j];
+                if let Some(ns) = s.checked_add(v) {
+                    if ns <= capacity {
+                        out.push((ns, m | (1 << i)));
+                    }
+                }
+            }
+        }
+        out
+    };
+
+    let mut a = enumerate(left);
+    let mut b = enumerate(right);
+    a.sort_unstable_by_key(|&(s, _)| s);
+    b.sort_unstable_by_key(|&(s, _)| s);
+    // Dedup equal sums (keep the first mask) to shrink the sweep.
+    a.dedup_by_key(|&mut (s, _)| s);
+    b.dedup_by_key(|&mut (s, _)| s);
+
+    // Two-pointer: for ascending a-sums, walk b-sums descending.
+    let mut best_total = 0u64;
+    let mut best_masks = (0u32, 0u32);
+    let mut j = b.len();
+    for &(sa, ma) in &a {
+        // Largest b-sum with sa + sb <= capacity.
+        while j > 0 && b[j - 1].0 > capacity - sa {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let (sb, mb) = b[j - 1];
+        if sa + sb > best_total {
+            best_total = sa + sb;
+            best_masks = (ma, mb);
+        }
+    }
+
+    let mut selected = Vec::new();
+    for i in 0..left.len() {
+        if best_masks.0 >> i & 1 == 1 {
+            selected.push(i);
+        }
+    }
+    for i in 0..right.len() {
+        if best_masks.1 >> i & 1 == 1 {
+            selected.push(left.len() + i);
+        }
+    }
+    SspSolution { selected, total: best_total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::dp_subset_sum;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(meet_in_the_middle(&[], 10), SspSolution::empty());
+        assert_eq!(meet_in_the_middle(&[5], 0), SspSolution::empty());
+        let s = meet_in_the_middle(&[5], 10);
+        assert_eq!(s.total, 5);
+        assert_eq!(s.selected, vec![0]);
+    }
+
+    #[test]
+    fn huge_capacity_small_item_count() {
+        // DP would need a 10^12-entry table; MITM is instant.
+        let items: Vec<u64> = (0..30).map(|i| 10_000_000_000 + i * 7_777_777).collect();
+        let capacity: u64 = items.iter().sum::<u64>() * 3 / 5;
+        let s = meet_in_the_middle(&items, capacity);
+        assert!(s.validate(&items, capacity));
+        // Must beat simple greedy in quality or equal it.
+        let greedy = crate::greedy::first_fit_descending(&items, capacity);
+        assert!(s.total >= greedy.total);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn too_many_items_rejected() {
+        meet_in_the_middle(&[1; 41], 100);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_dp_oracle(
+            items in proptest::collection::vec(0u64..500, 0..16),
+            capacity in 0u64..3000,
+        ) {
+            let mitm = meet_in_the_middle(&items, capacity);
+            prop_assert!(mitm.validate(&items, capacity));
+            let dp = dp_subset_sum(&items, capacity);
+            prop_assert_eq!(mitm.total, dp.total);
+        }
+
+        #[test]
+        fn overflow_safe_on_huge_values(
+            items in proptest::collection::vec((u64::MAX / 4)..(u64::MAX / 2), 0..8),
+        ) {
+            // Sums would overflow u64 if added naively.
+            let s = meet_in_the_middle(&items, u64::MAX / 3);
+            prop_assert!(s.validate(&items, u64::MAX / 3));
+        }
+    }
+}

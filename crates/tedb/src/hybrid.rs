@@ -1,0 +1,169 @@
+//! Hybrid configuration synchronization — the paper's §8 future work:
+//!
+//! "Our measurements in TWAN show that a small part of the flows
+//! account for most of the network traffic. A hybrid approach that
+//! maintains persistent connections for these heavy-traffic endpoints
+//! and performs eventual consistency for the rest of the endpoints
+//! will be our future work."
+//!
+//! This module evaluates that design point: given per-endpoint traffic
+//! volumes, keep persistent (instant-push) connections for the top
+//! fraction by volume and let the long tail pull with spreading. The
+//! trade-off surfaces as controller resources (the push side costs
+//! cores/memory per the Figure-13 model) against traffic-weighted
+//! synchronization delay (pull-side endpoints are stale for up to a
+//! spread period — the traffic they carry is what a failure re-route
+//! loses).
+
+use crate::topdown::TopDownModel;
+
+/// Parameters of a hybrid deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// Fraction of endpoints (by traffic rank) on persistent
+    /// connections; 0.0 = pure bottom-up pull, 1.0 = pure top-down.
+    pub persistent_fraction: f64,
+    /// Pull-side spread period in seconds (§3.2's "e.g., 10 seconds").
+    pub spread_seconds: f64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self { persistent_fraction: 0.01, spread_seconds: 10.0 }
+    }
+}
+
+/// Evaluation of one hybrid design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridOutcome {
+    /// Endpoints on persistent connections.
+    pub persistent_endpoints: usize,
+    /// Fraction of total traffic those endpoints carry.
+    pub covered_traffic_fraction: f64,
+    /// Controller cores for the push side (Figure-13 model).
+    pub push_cores: usize,
+    /// Controller memory in GB for the push side.
+    pub push_memory_gb: f64,
+    /// Traffic-weighted mean config-sync delay in seconds: 0 for
+    /// pushed endpoints, half a spread period for pulled ones.
+    pub traffic_weighted_sync_s: f64,
+}
+
+/// Evaluates a hybrid split over per-endpoint traffic volumes.
+///
+/// `volumes[i]` is endpoint `i`'s traffic rate (any unit); the split
+/// protects the heaviest endpoints first, which is the whole point of
+/// the hybrid given heavy-tailed traffic.
+pub fn evaluate_hybrid(volumes: &[f64], cfg: HybridConfig) -> HybridOutcome {
+    assert!(
+        (0.0..=1.0).contains(&cfg.persistent_fraction),
+        "fraction must be in [0, 1]"
+    );
+    assert!(cfg.spread_seconds > 0.0);
+    let n = volumes.len();
+    let total: f64 = volumes.iter().sum();
+    let k = ((n as f64) * cfg.persistent_fraction).round() as usize;
+
+    // Heaviest-first ranking.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| volumes[b].total_cmp(&volumes[a]));
+    let covered: f64 = order.iter().take(k).map(|&i| volumes[i]).sum();
+
+    let model = TopDownModel::default();
+    // Pushed endpoints sync instantly; pulled endpoints are uniformly
+    // spread over the period, so their expected staleness on an urgent
+    // update is half the period.
+    let pulled_traffic = total - covered;
+    let weighted_delay = if total > 0.0 {
+        (pulled_traffic / total) * (cfg.spread_seconds / 2.0)
+    } else {
+        0.0
+    };
+    HybridOutcome {
+        persistent_endpoints: k,
+        covered_traffic_fraction: if total > 0.0 { covered / total } else { 0.0 },
+        push_cores: if k == 0 { 0 } else { model.cores_needed(k) },
+        push_memory_gb: model.memory_gb(k),
+        traffic_weighted_sync_s: weighted_delay,
+    }
+}
+
+/// Generates a heavy-tailed volume vector (Pareto-like, deterministic)
+/// matching the paper's "small part of the flows account for most of
+/// the traffic" observation — a convenience for benches and tests.
+pub fn heavy_tailed_volumes(n: usize, seed: u64) -> Vec<f64> {
+    // Deterministic pseudo-random Pareto(α≈1.2) via a splitmix walk.
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Map to (0, 1).
+        ((state >> 11) as f64 / (1u64 << 53) as f64).clamp(f64::MIN_POSITIVE, 1.0)
+    };
+    (0..n).map(|_| next().powf(-1.0 / 1.2)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_match_pure_designs() {
+        let v = heavy_tailed_volumes(10_000, 1);
+        let pull = evaluate_hybrid(&v, HybridConfig { persistent_fraction: 0.0, spread_seconds: 10.0 });
+        assert_eq!(pull.persistent_endpoints, 0);
+        assert_eq!(pull.push_cores, 0);
+        assert!((pull.traffic_weighted_sync_s - 5.0).abs() < 1e-9);
+
+        let push = evaluate_hybrid(&v, HybridConfig { persistent_fraction: 1.0, spread_seconds: 10.0 });
+        assert_eq!(push.persistent_endpoints, 10_000);
+        assert!(push.traffic_weighted_sync_s.abs() < 1e-9);
+        assert!(push.push_cores >= 2); // 10k conns need >1 core
+    }
+
+    #[test]
+    fn heavy_tail_means_small_fraction_covers_most_traffic() {
+        let v = heavy_tailed_volumes(100_000, 7);
+        let out = evaluate_hybrid(&v, HybridConfig { persistent_fraction: 0.01, spread_seconds: 10.0 });
+        // The §8 observation: 1% of endpoints cover a large share.
+        assert!(
+            out.covered_traffic_fraction > 0.25,
+            "1% covers {:.1}%",
+            100.0 * out.covered_traffic_fraction
+        );
+        // And costs almost nothing to push to.
+        assert!(out.push_cores <= 1);
+    }
+
+    #[test]
+    fn coverage_monotone_in_fraction() {
+        let v = heavy_tailed_volumes(50_000, 3);
+        let mut last = -1.0;
+        for f in [0.0, 0.001, 0.01, 0.1, 0.5, 1.0] {
+            let out = evaluate_hybrid(&v, HybridConfig { persistent_fraction: f, spread_seconds: 10.0 });
+            assert!(out.covered_traffic_fraction >= last);
+            last = out.covered_traffic_fraction;
+        }
+        assert!((last - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_delay_shrinks_with_coverage() {
+        let v = heavy_tailed_volumes(50_000, 3);
+        let a = evaluate_hybrid(&v, HybridConfig { persistent_fraction: 0.001, spread_seconds: 10.0 });
+        let b = evaluate_hybrid(&v, HybridConfig { persistent_fraction: 0.05, spread_seconds: 10.0 });
+        assert!(b.traffic_weighted_sync_s < a.traffic_weighted_sync_s);
+    }
+
+    #[test]
+    fn empty_volumes_are_trivial() {
+        let out = evaluate_hybrid(&[], HybridConfig::default());
+        assert_eq!(out.persistent_endpoints, 0);
+        assert_eq!(out.covered_traffic_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_rejected() {
+        evaluate_hybrid(&[1.0], HybridConfig { persistent_fraction: 1.5, spread_seconds: 10.0 });
+    }
+}

@@ -1,0 +1,33 @@
+//! The TE configuration database and control-loop synchronization
+//! models (§3.2, §6.4).
+//!
+//! MegaTE replaces the conventional top-down push over millions of
+//! persistent connections with a **bottom-up pull**: the controller
+//! writes versioned TE configurations into a sharded in-memory
+//! key-value database (the paper customizes Redis: ~160k concurrent
+//! queries/second on two shards, scaling linearly); endpoints poll the
+//! version with short-lived connections, spread over the sync period,
+//! and fetch the new configuration only on a version change — eventual
+//! consistency instead of synchronized push.
+//!
+//! * [`store`] — the sharded KV store with versioned-config helpers and
+//!   per-shard query accounting;
+//! * [`sync`] — discrete-time simulation of the pull loop (query
+//!   spreading, convergence time, shard overload) — Figure 4(b) and the
+//!   §3.2 "10 seconds" spreading discussion;
+//! * [`topdown`] — the calibrated resource model of the conventional
+//!   push loop (persistent connections + heartbeats) behind Figures 13
+//!   and 14;
+//! * [`hybrid`] — the §8 future-work hybrid: persistent push channels
+//!   (see [`TeDatabase::watch_versions`]) for heavy-traffic endpoints,
+//!   eventual-consistency pull for the tail.
+
+pub mod hybrid;
+pub mod store;
+pub mod sync;
+pub mod topdown;
+
+pub use hybrid::{evaluate_hybrid, heavy_tailed_volumes, HybridConfig, HybridOutcome};
+pub use store::{ShardOutage, TeDatabase, CONFIG_VERSION_KEY};
+pub use sync::{simulate_pull_sync, SyncConfig, SyncOutcome};
+pub use topdown::{BottomUpModel, TopDownModel};

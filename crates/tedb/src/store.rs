@@ -1,0 +1,393 @@
+//! Sharded in-memory key-value store — the customized Redis of §3.2.
+//!
+//! Keys are routed to shards by FNV hash. Every read and write bumps a
+//! per-shard query counter so simulations and benchmarks can reason
+//! about per-shard load against the paper's 80k-queries/second/shard
+//! budget (160k on two shards, "linearly scaled with more shard
+//! resources").
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Key under which the current TE configuration version is stored.
+pub const CONFIG_VERSION_KEY: &str = "te:config:version";
+
+/// Queries per second one shard sustains (paper: 160k qps on 2 shards).
+pub const SHARD_QPS_CAPACITY: u64 = 80_000;
+
+#[derive(Debug, Default)]
+struct Shard {
+    data: RwLock<HashMap<String, Vec<u8>>>,
+    queries: AtomicU64,
+    /// Failure injection: a down shard answers nothing (GET -> None,
+    /// SET dropped) — what a client sees during a shard outage.
+    down: std::sync::atomic::AtomicBool,
+}
+
+/// The sharded TE database. Clones share storage (like extra client
+/// connections to the same cluster).
+///
+/// ```
+/// use megate_tedb::TeDatabase;
+///
+/// let db = TeDatabase::new(2); // the paper's two shards
+/// db.publish_config(1, &[("ep:7".into(), vec![0xAB])]);
+/// assert_eq!(db.latest_version(), Some(1));          // cheap poll
+/// assert_eq!(db.fetch_config(1, "ep:7"), Some(vec![0xAB])); // pull
+/// ```
+#[derive(Debug, Clone)]
+pub struct TeDatabase {
+    shards: Arc<Vec<Shard>>,
+    watchers: Arc<Mutex<Vec<Sender<u64>>>>,
+}
+
+impl TeDatabase {
+    /// A database with `n_shards` shards (the paper deploys two).
+    pub fn new(n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        Self {
+            shards: Arc::new((0..n_shards).map(|_| Shard::default()).collect()),
+            watchers: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Subscribes to configuration-version publications — the *push*
+    /// half of the §8 hybrid design: heavy-traffic endpoints hold this
+    /// persistent channel instead of polling; every
+    /// [`publish_config`](Self::publish_config) delivers the new
+    /// version immediately. Dropped receivers are pruned lazily.
+    pub fn watch_versions(&self) -> Receiver<u64> {
+        let (tx, rx) = unbounded();
+        self.watchers.lock().push(tx);
+        rx
+    }
+
+    /// Number of registered version watchers (disconnected ones are
+    /// pruned on each publish).
+    pub fn watcher_count(&self) -> usize {
+        self.watchers.lock().len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a key routes to.
+    pub fn shard_of(&self, key: &str) -> usize {
+        (fnv(key.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// SET — routes by key hash, counts one query. Writes to a downed
+    /// shard are dropped (the client would see a connection error and
+    /// the controller retries next interval).
+    pub fn set(&self, key: &str, value: Vec<u8>) {
+        let s = &self.shards[self.shard_of(key)];
+        s.queries.fetch_add(1, Ordering::Relaxed);
+        if s.down.load(Ordering::Relaxed) {
+            return;
+        }
+        s.data.write().insert(key.to_string(), value);
+    }
+
+    /// GET — routes by key hash, counts one query. A downed shard
+    /// answers nothing.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        let s = &self.shards[self.shard_of(key)];
+        s.queries.fetch_add(1, Ordering::Relaxed);
+        if s.down.load(Ordering::Relaxed) {
+            return None;
+        }
+        s.data.read().get(key).cloned()
+    }
+
+    /// GET that distinguishes a missing key from a shard outage —
+    /// what a real client sees as a connection error. Pull loops use
+    /// this to avoid adopting a version whose entries they could not
+    /// read.
+    pub fn get_checked(&self, key: &str) -> Result<Option<Vec<u8>>, ShardOutage> {
+        let shard = self.shard_of(key);
+        let s = &self.shards[shard];
+        s.queries.fetch_add(1, Ordering::Relaxed);
+        if s.down.load(Ordering::Relaxed) {
+            return Err(ShardOutage { shard });
+        }
+        Ok(s.data.read().get(key).cloned())
+    }
+
+    /// [`fetch_config`](Self::fetch_config) with outage reporting.
+    pub fn fetch_config_checked(
+        &self,
+        version: u64,
+        key: &str,
+    ) -> Result<Option<Vec<u8>>, ShardOutage> {
+        self.get_checked(&config_key(version, key))
+    }
+
+    /// Failure injection: takes a shard down (it keeps its data) or
+    /// brings it back.
+    pub fn set_shard_down(&self, shard: usize, down: bool) {
+        self.shards[shard].down.store(down, Ordering::Relaxed);
+    }
+
+    /// True if the given shard is currently down.
+    pub fn shard_is_down(&self, shard: usize) -> bool {
+        self.shards[shard].down.load(Ordering::Relaxed)
+    }
+
+    /// DEL — returns whether the key existed.
+    pub fn del(&self, key: &str) -> bool {
+        let s = &self.shards[self.shard_of(key)];
+        s.queries.fetch_add(1, Ordering::Relaxed);
+        s.data.write().remove(key).is_some()
+    }
+
+    /// Total queries served across shards.
+    pub fn total_queries(&self) -> u64 {
+        self.shards.iter().map(|s| s.queries.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-shard query counts.
+    pub fn per_shard_queries(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.queries.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Resets query counters (between measurement windows).
+    pub fn reset_query_counters(&self) {
+        for s in self.shards.iter() {
+            s.queries.store(0, Ordering::Relaxed);
+        }
+    }
+
+    // ---- Versioned-config helpers (Figure 4(b)) ----
+
+    /// Publishes a new TE configuration: writes all entries, then bumps
+    /// the version key last so a reader that sees version `v` is
+    /// guaranteed to find `v`'s entries (write-then-publish ordering).
+    pub fn publish_config(&self, version: u64, entries: &[(String, Vec<u8>)]) {
+        for (k, v) in entries {
+            self.set(&config_key(version, k), v.clone());
+        }
+        self.set(CONFIG_VERSION_KEY, version.to_be_bytes().to_vec());
+        // Push the new version to persistent watchers (§8 hybrid);
+        // disconnected channels are pruned here.
+        self.watchers.lock().retain(|w| w.send(version).is_ok());
+    }
+
+    /// The latest published configuration version (the endpoint's cheap
+    /// poll query).
+    pub fn latest_version(&self) -> Option<u64> {
+        let v = self.get(CONFIG_VERSION_KEY)?;
+        let bytes: [u8; 8] = v.try_into().ok()?;
+        Some(u64::from_be_bytes(bytes))
+    }
+
+    /// Fetches one entry of a published configuration version.
+    pub fn fetch_config(&self, version: u64, key: &str) -> Option<Vec<u8>> {
+        self.get(&config_key(version, key))
+    }
+
+    /// Garbage-collects all entries of an old configuration version.
+    pub fn evict_version(&self, version: u64, keys: &[String]) {
+        for k in keys {
+            self.del(&config_key(version, k));
+        }
+    }
+}
+
+/// A shard was unreachable — the client's connection failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOutage {
+    /// Which shard was down.
+    pub shard: usize,
+}
+
+impl std::fmt::Display for ShardOutage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} unreachable", self.shard)
+    }
+}
+
+impl std::error::Error for ShardOutage {}
+
+fn config_key(version: u64, key: &str) -> String {
+    format!("te:config:{version}:{key}")
+}
+
+fn fnv(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_del_roundtrip() {
+        let db = TeDatabase::new(2);
+        db.set("a", vec![1, 2, 3]);
+        assert_eq!(db.get("a"), Some(vec![1, 2, 3]));
+        assert!(db.del("a"));
+        assert!(!db.del("a"));
+        assert_eq!(db.get("a"), None);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let db = TeDatabase::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            seen.insert(db.shard_of(&format!("key{i}")));
+        }
+        assert!(seen.len() >= 3, "hash should hit most shards, got {seen:?}");
+    }
+
+    #[test]
+    fn query_counters_count_every_operation() {
+        let db = TeDatabase::new(2);
+        db.set("x", vec![]);
+        db.get("x");
+        db.get("y");
+        db.del("x");
+        assert_eq!(db.total_queries(), 4);
+        db.reset_query_counters();
+        assert_eq!(db.total_queries(), 0);
+    }
+
+    #[test]
+    fn publish_then_read_version_and_entries() {
+        let db = TeDatabase::new(2);
+        assert_eq!(db.latest_version(), None);
+        db.publish_config(7, &[("host1".into(), vec![9]), ("host2".into(), vec![8])]);
+        assert_eq!(db.latest_version(), Some(7));
+        assert_eq!(db.fetch_config(7, "host1"), Some(vec![9]));
+        assert_eq!(db.fetch_config(7, "host3"), None);
+        assert_eq!(db.fetch_config(6, "host1"), None);
+    }
+
+    #[test]
+    fn version_monotonically_replaces() {
+        let db = TeDatabase::new(1);
+        db.publish_config(1, &[("h".into(), vec![1])]);
+        db.publish_config(2, &[("h".into(), vec![2])]);
+        assert_eq!(db.latest_version(), Some(2));
+        // Old version's entries remain until evicted.
+        assert_eq!(db.fetch_config(1, "h"), Some(vec![1]));
+        db.evict_version(1, &["h".into()]);
+        assert_eq!(db.fetch_config(1, "h"), None);
+    }
+
+    #[test]
+    fn downed_shard_answers_nothing_then_recovers() {
+        let db = TeDatabase::new(2);
+        db.set("k1", vec![1]);
+        let shard = db.shard_of("k1");
+        db.set_shard_down(shard, true);
+        assert!(db.shard_is_down(shard));
+        assert_eq!(db.get("k1"), None, "outage hides the entry");
+        db.set("k1", vec![2]); // dropped write
+        db.set_shard_down(shard, false);
+        assert_eq!(db.get("k1"), Some(vec![1]), "data survives the outage");
+    }
+
+    #[test]
+    fn other_shards_unaffected_by_one_outage() {
+        let db = TeDatabase::new(4);
+        // Find two keys on different shards.
+        let mut keys = Vec::new();
+        for i in 0..100 {
+            let k = format!("key{i}");
+            if keys.iter().all(|(_, s)| *s != db.shard_of(&k)) {
+                let s = db.shard_of(&k);
+                keys.push((k, s));
+                if keys.len() == 2 {
+                    break;
+                }
+            }
+        }
+        let (ka, sa) = keys[0].clone();
+        let (kb, _) = keys[1].clone();
+        db.set(&ka, vec![1]);
+        db.set(&kb, vec![2]);
+        db.set_shard_down(sa, true);
+        assert_eq!(db.get(&ka), None);
+        assert_eq!(db.get(&kb), Some(vec![2]));
+    }
+
+    #[test]
+    fn clones_share_data() {
+        let a = TeDatabase::new(2);
+        let b = a.clone();
+        a.set("k", vec![5]);
+        assert_eq!(b.get("k"), Some(vec![5]));
+    }
+
+    #[test]
+    fn watchers_receive_every_publish_in_order() {
+        let db = TeDatabase::new(2);
+        let rx = db.watch_versions();
+        assert_eq!(db.watcher_count(), 1);
+        for v in 1..=5u64 {
+            db.publish_config(v, &[("h".into(), vec![v as u8])]);
+        }
+        let got: Vec<u64> = rx.try_iter().collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn dropped_watchers_are_pruned() {
+        let db = TeDatabase::new(1);
+        let rx1 = db.watch_versions();
+        {
+            let _rx2 = db.watch_versions();
+            assert_eq!(db.watcher_count(), 2);
+        } // rx2 dropped
+        db.publish_config(1, &[]);
+        assert_eq!(db.watcher_count(), 1);
+        assert_eq!(rx1.try_recv(), Ok(1));
+    }
+
+    #[test]
+    fn watcher_sees_version_whose_entries_are_readable() {
+        // Push ordering matches the pull contract: by the time the
+        // watcher learns of v, v's entries are in the store.
+        let db = TeDatabase::new(2);
+        let rx = db.watch_versions();
+        db.publish_config(9, &[("h".into(), vec![1, 2, 3])]);
+        let v = rx.recv().unwrap();
+        assert_eq!(db.fetch_config(v, "h"), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn concurrent_clients_see_consistent_version() {
+        let db = TeDatabase::new(2);
+        db.publish_config(1, &[("h".into(), vec![1])]);
+        std::thread::scope(|s| {
+            let writer = db.clone();
+            s.spawn(move || {
+                for v in 2..50u64 {
+                    writer.publish_config(v, &[("h".into(), vec![v as u8])]);
+                }
+            });
+            let reader = db.clone();
+            s.spawn(move || {
+                for _ in 0..200 {
+                    if let Some(v) = reader.latest_version() {
+                        // Write-then-publish: the entry for any observed
+                        // version must exist.
+                        assert!(reader.fetch_config(v, "h").is_some(), "version {v}");
+                    }
+                }
+            });
+        });
+    }
+}

@@ -1,0 +1,162 @@
+//! Discrete-time simulation of the bottom-up pull loop (Figure 4(b)).
+//!
+//! "We divide all endpoints into several parts, and each part initiates
+//! queries asynchronously during a specific time period (e.g., 10
+//! seconds). This approach will reduce the query loads at a specific
+//! time by equally spreading them over the timeline." (§3.2)
+//!
+//! The simulation publishes a new configuration version at tick 0 and
+//! replays endpoint polls tick by tick, reporting peak/mean query rates
+//! per shard, shard-overload ticks, and the convergence time to the new
+//! version — with and without query spreading.
+
+use crate::store::SHARD_QPS_CAPACITY;
+
+/// Parameters of one pull-sync simulation.
+#[derive(Debug, Clone)]
+pub struct SyncConfig {
+    /// Number of endpoints polling the database.
+    pub n_endpoints: usize,
+    /// Poll interval per endpoint, in ticks (the sync period).
+    pub poll_interval_ticks: usize,
+    /// Milliseconds per tick.
+    pub tick_ms: u64,
+    /// Whether endpoints spread their poll slots over the interval
+    /// (MegaTE) or all poll at the same instant (naive pull).
+    pub spreading: bool,
+    /// Number of database shards.
+    pub n_shards: usize,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        Self {
+            n_endpoints: 1_000_000,
+            // 10-second sync period at 1-second ticks.
+            poll_interval_ticks: 10,
+            tick_ms: 1000,
+            spreading: true,
+            n_shards: 2,
+        }
+    }
+}
+
+/// Results of one pull-sync simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncOutcome {
+    /// Peak aggregate queries/second over the run.
+    pub peak_qps: f64,
+    /// Mean aggregate queries/second over the run.
+    pub mean_qps: f64,
+    /// Peak queries/second on the hottest single shard.
+    pub per_shard_peak_qps: f64,
+    /// Ticks in which at least one shard exceeded its capacity.
+    pub overloaded_ticks: usize,
+    /// Ticks until every endpoint had pulled the new version.
+    pub convergence_ticks: usize,
+    /// Milliseconds until convergence.
+    pub convergence_ms: u64,
+}
+
+/// Simulates one sync period after a new version is published.
+///
+/// Each endpoint performs one cheap version poll in its slot; on a
+/// version mismatch it issues one configuration fetch in the same tick
+/// (short connection, then closes — no persistent state).
+pub fn simulate_pull_sync(cfg: &SyncConfig) -> SyncOutcome {
+    assert!(cfg.n_endpoints > 0 && cfg.poll_interval_ticks > 0 && cfg.n_shards > 0);
+    let ticks = cfg.poll_interval_ticks;
+    let tick_seconds = cfg.tick_ms as f64 / 1000.0;
+
+    // Queries per tick: every endpoint polls exactly once per interval,
+    // in its slot; the publish makes each poll also fetch (2 queries).
+    let mut queries_per_tick = vec![0u64; ticks];
+    let mut last_update_tick = 0usize;
+    for ep in 0..cfg.n_endpoints {
+        let slot = if cfg.spreading { ep % ticks } else { 0 };
+        queries_per_tick[slot] += 2; // version poll + config fetch
+        last_update_tick = last_update_tick.max(slot);
+    }
+
+    let peak = *queries_per_tick.iter().max().expect("non-empty") as f64 / tick_seconds;
+    let mean = queries_per_tick.iter().sum::<u64>() as f64 / ticks as f64 / tick_seconds;
+    // Keys are hash-spread, so per-shard load is ~uniform.
+    let per_shard_peak = peak / cfg.n_shards as f64;
+    let shard_capacity = SHARD_QPS_CAPACITY as f64;
+    let overloaded = queries_per_tick
+        .iter()
+        .filter(|&&q| (q as f64 / tick_seconds) / cfg.n_shards as f64 > shard_capacity)
+        .count();
+
+    let convergence_ticks = last_update_tick + 1;
+    SyncOutcome {
+        peak_qps: peak,
+        mean_qps: mean,
+        per_shard_peak_qps: per_shard_peak,
+        overloaded_ticks: overloaded,
+        convergence_ticks,
+        convergence_ms: convergence_ticks as u64 * cfg.tick_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spreading_flattens_load_exactly() {
+        let cfg = SyncConfig { n_endpoints: 1_000_000, ..Default::default() };
+        let out = simulate_pull_sync(&cfg);
+        // 1M endpoints over 10 one-second slots = 100k polls+fetches/s.
+        assert_eq!(out.peak_qps, 200_000.0);
+        assert_eq!(out.mean_qps, 200_000.0);
+        // Two shards at 80k qps each carry 100k/shard — matches the
+        // paper's two-shard deployment handling a million endpoints
+        // only via spreading (here ~25% above nominal, flagged):
+        assert_eq!(out.per_shard_peak_qps, 100_000.0);
+    }
+
+    #[test]
+    fn no_spreading_overloads_shards() {
+        let spread = simulate_pull_sync(&SyncConfig {
+            n_endpoints: 1_000_000,
+            spreading: true,
+            ..Default::default()
+        });
+        let burst = simulate_pull_sync(&SyncConfig {
+            n_endpoints: 1_000_000,
+            spreading: false,
+            ..Default::default()
+        });
+        assert!(burst.peak_qps >= spread.peak_qps * 9.0, "burst {burst:?}");
+        assert!(burst.overloaded_ticks >= 1);
+        assert_eq!(burst.peak_qps, 2_000_000.0);
+    }
+
+    #[test]
+    fn convergence_within_sync_period() {
+        let out = simulate_pull_sync(&SyncConfig::default());
+        assert_eq!(out.convergence_ticks, 10);
+        assert_eq!(out.convergence_ms, 10_000);
+        // Without spreading everyone updates in the first tick.
+        let burst = simulate_pull_sync(&SyncConfig { spreading: false, ..Default::default() });
+        assert_eq!(burst.convergence_ticks, 1);
+    }
+
+    #[test]
+    fn more_shards_scale_linearly() {
+        let two = simulate_pull_sync(&SyncConfig { n_shards: 2, ..Default::default() });
+        let four = simulate_pull_sync(&SyncConfig { n_shards: 4, ..Default::default() });
+        assert!((two.per_shard_peak_qps / four.per_shard_peak_qps - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_fleet_never_overloads() {
+        let out = simulate_pull_sync(&SyncConfig {
+            n_endpoints: 1000,
+            spreading: false,
+            ..Default::default()
+        });
+        assert_eq!(out.overloaded_ticks, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Resource models of the two control-loop architectures (Figures 13/14).
+//!
+//! **Top-down** (Figure 4(a)): the controller keeps one persistent
+//! connection per endpoint, each with periodic heartbeats. The paper's
+//! pressure test on a 1-core/1-GB VM measures ~90% CPU and ~750 MB at
+//! 6,000 connections, and extrapolates 167 high-usage cores plus 125 GB
+//! for one million endpoints. We calibrate the same linear model.
+//!
+//! **Bottom-up** (Figure 4(b)): the controller only writes configs to
+//! the database — 1 core / 1 GB regardless of endpoint count; capacity
+//! scales in database shards instead.
+
+/// Calibrated per-connection costs of the top-down push loop.
+#[derive(Debug, Clone, Copy)]
+pub struct TopDownModel {
+    /// Fraction of one core consumed per persistent connection
+    /// (heartbeats + keep-alive state). Calibration: 90% @ 6,000.
+    pub cpu_core_per_conn: f64,
+    /// Memory per connection in MB (socket buffers + TE session state).
+    /// Calibration: 750 MB @ 6,000 = 0.125 MB.
+    pub mem_mb_per_conn: f64,
+    /// Utilization ceiling operators allow per core (the paper's
+    /// operators flag sustained 90% as failure risk).
+    pub max_core_utilization: f64,
+}
+
+impl Default for TopDownModel {
+    fn default() -> Self {
+        Self {
+            cpu_core_per_conn: 0.90 / 6000.0,
+            mem_mb_per_conn: 750.0 / 6000.0,
+            max_core_utilization: 0.90,
+        }
+    }
+}
+
+impl TopDownModel {
+    /// CPU utilization (fraction of one core) at `n` connections —
+    /// the y-axis of Figure 13 (left).
+    pub fn cpu_utilization(&self, n_conns: usize) -> f64 {
+        self.cpu_core_per_conn * n_conns as f64
+    }
+
+    /// Memory usage in MB at `n` connections — Figure 13 (right).
+    pub fn memory_mb(&self, n_conns: usize) -> f64 {
+        self.mem_mb_per_conn * n_conns as f64
+    }
+
+    /// Cores needed for `n` endpoints with every core kept below the
+    /// utilization ceiling — Figure 14 (left).
+    pub fn cores_needed(&self, n_endpoints: usize) -> usize {
+        let raw = self.cpu_utilization(n_endpoints) / self.max_core_utilization;
+        raw.ceil() as usize
+    }
+
+    /// Memory in GB for `n` endpoints — Figure 14 (right).
+    pub fn memory_gb(&self, n_endpoints: usize) -> f64 {
+        self.memory_mb(n_endpoints) / 1000.0
+    }
+}
+
+/// Resource model of MegaTE's bottom-up loop.
+#[derive(Debug, Clone, Copy)]
+pub struct BottomUpModel {
+    /// Controller cores (constant: it only writes to the database).
+    pub controller_cores: usize,
+    /// Controller memory in GB (constant).
+    pub controller_mem_gb: f64,
+    /// Queries/second one database shard sustains.
+    pub shard_qps: u64,
+}
+
+impl Default for BottomUpModel {
+    fn default() -> Self {
+        Self {
+            controller_cores: 1,
+            controller_mem_gb: 1.0,
+            shard_qps: crate::store::SHARD_QPS_CAPACITY,
+        }
+    }
+}
+
+impl BottomUpModel {
+    /// Database shards needed when `n` endpoints poll twice (version +
+    /// fetch) spread over `spread_seconds`.
+    pub fn shards_needed(&self, n_endpoints: usize, spread_seconds: f64) -> usize {
+        assert!(spread_seconds > 0.0);
+        let qps = 2.0 * n_endpoints as f64 / spread_seconds;
+        (qps / self.shard_qps as f64).ceil().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure13_calibration_point() {
+        let m = TopDownModel::default();
+        assert!((m.cpu_utilization(6000) - 0.90).abs() < 1e-12);
+        assert!((m.memory_mb(6000) - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure14_million_endpoint_extrapolation() {
+        let m = TopDownModel::default();
+        // Paper: "at least 167 CPU cores ... and 125 GB of memory".
+        assert_eq!(m.cores_needed(1_000_000), 167);
+        assert!((m.memory_gb(1_000_000) - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thousand_endpoints_fit_one_core() {
+        let m = TopDownModel::default();
+        // Paper: at 1,000 endpoints the top-down approach "only
+        // consumes little resources".
+        assert_eq!(m.cores_needed(1000), 1);
+        assert!(m.memory_gb(1000) < 0.2);
+    }
+
+    #[test]
+    fn bottom_up_stays_constant_in_controller_resources() {
+        let m = BottomUpModel::default();
+        assert_eq!(m.controller_cores, 1);
+        assert_eq!(m.controller_mem_gb, 1.0);
+        // Two shards + 10 s spreading handle a million endpoints with
+        // modest headroom pressure (the paper's deployment).
+        assert_eq!(m.shards_needed(400_000, 10.0), 1);
+        assert_eq!(m.shards_needed(1_000_000, 10.0), 3);
+        assert_eq!(m.shards_needed(800_000, 10.0), 2);
+    }
+
+    #[test]
+    fn linear_growth_shapes() {
+        let m = TopDownModel::default();
+        let c1 = m.cores_needed(100_000);
+        let c2 = m.cores_needed(200_000);
+        assert!(c2 >= 2 * c1 - 1 && c2 <= 2 * c1 + 1, "{c1} vs {c2}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Second-layer endpoint attachment.
+//!
+//! The paper observes (Figure 8) that the number of endpoints a router
+//! site connects varies over orders of magnitude and fits a **Weibull
+//! distribution**. We reproduce that generatively: per-site endpoint
+//! counts are drawn from `Weibull(shape, scale)` via inverse-CDF
+//! sampling, then scaled so the catalog hits a requested total.
+
+use crate::graph::{Graph, SiteId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a virtual instance endpoint (container / VM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EndpointId(pub u64);
+
+impl EndpointId {
+    /// Index into dense per-endpoint vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// Weibull sampler for per-site endpoint counts (Figure 8 fit).
+///
+/// Inverse-CDF sampling: `X = scale * (-ln U)^(1/shape)`.
+#[derive(Debug, Clone, Copy)]
+pub struct WeibullEndpoints {
+    /// Weibull shape `k`. The paper's heavy spread across orders of
+    /// magnitude corresponds to a shape < 1; we default to 0.8.
+    pub shape: f64,
+    /// Weibull scale `λ` (mean endpoint count is `λ·Γ(1+1/k)`).
+    pub scale: f64,
+}
+
+impl WeibullEndpoints {
+    /// A sampler with the default paper-like shape and the given scale.
+    pub fn with_scale(scale: f64) -> Self {
+        Self { shape: 0.8, scale }
+    }
+
+    /// Draws one Weibull sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+
+    /// Draws a per-site count (at least 1 endpoint per site).
+    pub fn sample_count(&self, rng: &mut impl Rng) -> usize {
+        (self.sample(rng).round() as usize).max(1)
+    }
+}
+
+/// The second-layer catalog: which site each endpoint hangs off.
+#[derive(Debug, Clone, Default)]
+pub struct EndpointCatalog {
+    site_of: Vec<SiteId>,
+    per_site: Vec<Vec<EndpointId>>,
+}
+
+impl EndpointCatalog {
+    /// Builds a catalog with per-site counts drawn from `dist`, scaled so
+    /// the total is exactly `total`. Deterministic for a given seed.
+    pub fn generate(graph: &Graph, total: usize, dist: WeibullEndpoints, seed: u64) -> Self {
+        assert!(total >= graph.site_count(), "need >= 1 endpoint per site");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw: Vec<f64> = (0..graph.site_count())
+            .map(|_| dist.sample(&mut rng).max(0.5))
+            .collect();
+        let sum: f64 = raw.iter().sum();
+        // Largest-remainder scaling to hit `total` exactly with >=1 each.
+        let mut counts: Vec<usize> = raw
+            .iter()
+            .map(|&r| ((r / sum) * total as f64).floor().max(1.0) as usize)
+            .collect();
+        let n_sites = counts.len();
+        let mut assigned: usize = counts.iter().sum();
+        let mut i = 0;
+        while assigned < total {
+            counts[i % n_sites] += 1;
+            assigned += 1;
+            i += 1;
+        }
+        while assigned > total {
+            let j = i % n_sites;
+            if counts[j] > 1 {
+                counts[j] -= 1;
+                assigned -= 1;
+            }
+            i += 1;
+        }
+        Self::from_counts(graph, &counts)
+    }
+
+    /// Builds a catalog from explicit per-site counts.
+    pub fn from_counts(graph: &Graph, counts: &[usize]) -> Self {
+        assert_eq!(counts.len(), graph.site_count());
+        let total: usize = counts.iter().sum();
+        let mut site_of = Vec::with_capacity(total);
+        let mut per_site = vec![Vec::new(); graph.site_count()];
+        for (s, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                let id = EndpointId(site_of.len() as u64);
+                site_of.push(SiteId(s as u32));
+                per_site[s].push(id);
+            }
+        }
+        Self { site_of, per_site }
+    }
+
+    /// Total endpoint count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.site_of.len()
+    }
+
+    /// True when the catalog has no endpoints.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.site_of.is_empty()
+    }
+
+    /// The site an endpoint attaches to.
+    #[inline]
+    pub fn site_of(&self, ep: EndpointId) -> SiteId {
+        self.site_of[ep.index()]
+    }
+
+    /// Endpoints attached to a site.
+    pub fn endpoints_at(&self, site: SiteId) -> &[EndpointId] {
+        &self.per_site[site.index()]
+    }
+
+    /// Per-site endpoint counts (for CDF plots — Figure 8).
+    pub fn counts_per_site(&self) -> Vec<usize> {
+        self.per_site.iter().map(Vec::len).collect()
+    }
+
+    /// All endpoint ids.
+    pub fn ids(&self) -> impl Iterator<Item = EndpointId> + '_ {
+        (0..self.site_of.len() as u64).map(EndpointId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies::b4;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weibull_inverse_cdf_matches_mean() {
+        // Mean of Weibull(k=1, λ) is λ (it degenerates to Exp(1/λ)).
+        let d = WeibullEndpoints { shape: 1.0, scale: 100.0 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn weibull_low_shape_spreads_orders_of_magnitude() {
+        // Figure 8's observation: counts span orders of magnitude.
+        let d = WeibullEndpoints::with_scale(1000.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min.max(1e-9) > 1000.0, "spread {}", max / min);
+    }
+
+    #[test]
+    fn generate_hits_exact_total() {
+        let g = b4();
+        for total in [12, 120, 1200, 120_000] {
+            let cat =
+                EndpointCatalog::generate(&g, total, WeibullEndpoints::with_scale(100.0), 42);
+            assert_eq!(cat.len(), total);
+            assert!(cat.counts_per_site().iter().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let g = b4();
+        let a = EndpointCatalog::generate(&g, 5000, WeibullEndpoints::with_scale(50.0), 9);
+        let b = EndpointCatalog::generate(&g, 5000, WeibullEndpoints::with_scale(50.0), 9);
+        assert_eq!(a.counts_per_site(), b.counts_per_site());
+    }
+
+    #[test]
+    fn site_of_and_endpoints_at_are_inverse() {
+        let g = b4();
+        let cat = EndpointCatalog::generate(&g, 600, WeibullEndpoints::with_scale(10.0), 1);
+        for s in g.site_ids() {
+            for &ep in cat.endpoints_at(s) {
+                assert_eq!(cat.site_of(ep), s);
+            }
+        }
+        let total: usize = cat.counts_per_site().iter().sum();
+        assert_eq!(total, cat.len());
+    }
+
+    #[test]
+    fn from_counts_builds_dense_ids() {
+        let g = b4();
+        let counts = vec![2; 12];
+        let cat = EndpointCatalog::from_counts(&g, &counts);
+        assert_eq!(cat.len(), 24);
+        assert_eq!(cat.site_of(EndpointId(0)), SiteId(0));
+        assert_eq!(cat.site_of(EndpointId(23)), SiteId(11));
+    }
+}

@@ -1,0 +1,92 @@
+//! Graph export for debugging and visualization.
+//!
+//! [`to_dot`] renders the site graph in Graphviz DOT: sites are nodes
+//! positioned at their coordinates, links are edges labelled with
+//! capacity and latency. `dot -Kneato -n -Tsvg` draws the WAN roughly
+//! to geographic scale.
+
+use crate::graph::{Graph, LinkId};
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Highlight these links (e.g. a failure scenario) in red.
+    pub highlight_links: Vec<LinkId>,
+    /// Skip the reverse direction of bidirectional pairs (halves the
+    /// edge clutter; capacities/latencies are symmetric in the built-in
+    /// topologies).
+    pub collapse_bidi: bool,
+}
+
+/// Renders the graph as Graphviz DOT.
+pub fn to_dot(graph: &Graph, name: &str, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{name}\" {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for s in graph.site_ids() {
+        let site = graph.site(s);
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\" pos=\"{:.1},{:.1}!\"];",
+            s.0, site.name, site.pos.0 * 100.0, site.pos.1 * 100.0
+        );
+    }
+    for l in graph.link_ids() {
+        let link = graph.link(l);
+        if opts.collapse_bidi {
+            // Emit only the direction with src < dst when a reverse
+            // twin exists.
+            if link.src > link.dst && graph.find_link(link.dst, link.src).is_some() {
+                continue;
+            }
+        }
+        let color = if opts.highlight_links.contains(&l) {
+            " color=red penwidth=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  {} -- {} [label=\"{:.0}G/{:.1}ms\"{}];",
+            link.src.0,
+            link.dst.0,
+            link.capacity_mbps / 1000.0,
+            link.latency_ms,
+            color
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies::b4;
+
+    #[test]
+    fn dot_contains_every_site_and_collapsed_edges() {
+        let g = b4();
+        let dot = to_dot(&g, "b4", &DotOptions { collapse_bidi: true, ..Default::default() });
+        for s in g.site_ids() {
+            assert!(dot.contains(&format!("label=\"{}\"", g.site(s).name)));
+        }
+        // 19 collapsed edges, not 38.
+        assert_eq!(dot.matches(" -- ").count(), 19);
+        assert!(dot.starts_with("graph \"b4\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn highlighting_marks_failed_links() {
+        let g = b4();
+        let dot = to_dot(
+            &g,
+            "b4",
+            &DotOptions { highlight_links: vec![LinkId(0)], collapse_bidi: false },
+        );
+        assert_eq!(dot.matches("color=red").count(), 1);
+        assert_eq!(dot.matches(" -- ").count(), g.link_count());
+    }
+}

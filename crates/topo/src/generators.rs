@@ -1,0 +1,166 @@
+//! Canonical synthetic topologies with closed-form properties.
+//!
+//! Rings, lines, stars and grids have analytically known shortest
+//! paths, diameters and cut structures — the test suite uses them as
+//! oracles for the path algorithms, tunnel layout and failure logic,
+//! and examples use them for minimal reproducible setups.
+
+use crate::graph::Graph;
+
+/// A ring of `n` sites (each connected to its two neighbours).
+pub fn ring(n: usize, capacity_mbps: f64, latency_ms: f64) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 sites");
+    let mut g = Graph::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            g.add_site(format!("r{i}"), (theta.cos(), theta.sin()))
+        })
+        .collect();
+    for i in 0..n {
+        g.add_bidi_link(ids[i], ids[(i + 1) % n], capacity_mbps, latency_ms);
+    }
+    g
+}
+
+/// A line (path graph) of `n` sites.
+pub fn line(n: usize, capacity_mbps: f64, latency_ms: f64) -> Graph {
+    assert!(n >= 2, "a line needs at least 2 sites");
+    let mut g = Graph::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| g.add_site(format!("l{i}"), (i as f64, 0.0)))
+        .collect();
+    for i in 0..n - 1 {
+        g.add_bidi_link(ids[i], ids[i + 1], capacity_mbps, latency_ms);
+    }
+    g
+}
+
+/// A star: site 0 is the hub, sites 1..n are leaves.
+pub fn star(leaves: usize, capacity_mbps: f64, latency_ms: f64) -> Graph {
+    assert!(leaves >= 1, "a star needs at least one leaf");
+    let mut g = Graph::new();
+    let hub = g.add_site("hub", (0.0, 0.0));
+    for i in 0..leaves {
+        let theta = 2.0 * std::f64::consts::PI * i as f64 / leaves as f64;
+        let leaf = g.add_site(format!("leaf{i}"), (theta.cos(), theta.sin()));
+        g.add_bidi_link(hub, leaf, capacity_mbps, latency_ms);
+    }
+    g
+}
+
+/// A `w × h` grid (4-neighbour mesh).
+pub fn grid(w: usize, h: usize, capacity_mbps: f64, latency_ms: f64) -> Graph {
+    assert!(w >= 1 && h >= 1 && w * h >= 2, "grid too small");
+    let mut g = Graph::new();
+    let ids: Vec<Vec<_>> = (0..h)
+        .map(|y| {
+            (0..w)
+                .map(|x| g.add_site(format!("g{x}_{y}"), (x as f64, y as f64)))
+                .collect()
+        })
+        .collect();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                g.add_bidi_link(ids[y][x], ids[y][x + 1], capacity_mbps, latency_ms);
+            }
+            if y + 1 < h {
+                g.add_bidi_link(ids[y][x], ids[y + 1][x], capacity_mbps, latency_ms);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SiteId;
+    use crate::paths::{dijkstra, yen_k_shortest};
+    use crate::stats::topology_stats;
+
+    #[test]
+    fn ring_shortest_path_is_min_arc() {
+        let g = ring(8, 100.0, 1.0);
+        // 0 -> 3: 3 hops clockwise vs 5 counter-clockwise.
+        let p = dijkstra(&g, SiteId(0), SiteId(3)).unwrap();
+        assert_eq!(p.hop_count(), 3);
+        // 0 -> 5: 3 hops the other way.
+        let p = dijkstra(&g, SiteId(0), SiteId(5)).unwrap();
+        assert_eq!(p.hop_count(), 3);
+        // Diameter = floor(n/2).
+        assert_eq!(topology_stats(&g).diameter_hops, 4);
+    }
+
+    #[test]
+    fn ring_has_exactly_two_disjoint_paths() {
+        let g = ring(6, 100.0, 1.0);
+        let paths = yen_k_shortest(&g, SiteId(0), SiteId(2), 3);
+        // Clockwise (2 hops) and counter-clockwise (4 hops); no third
+        // simple path exists on a ring.
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].hop_count(), 2);
+        assert_eq!(paths[1].hop_count(), 4);
+        let shared = paths[0].links.iter().any(|l| paths[1].links.contains(l));
+        assert!(!shared, "the two ring arcs are link-disjoint");
+    }
+
+    #[test]
+    fn line_diameter_is_length() {
+        let g = line(10, 100.0, 2.0);
+        let s = topology_stats(&g);
+        assert_eq!(s.diameter_hops, 9);
+        assert!((s.diameter_ms - 18.0).abs() < 1e-12);
+        // Exactly one simple path end to end.
+        let paths = yen_k_shortest(&g, SiteId(0), SiteId(9), 3);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn star_routes_everything_through_the_hub() {
+        let g = star(5, 100.0, 1.0);
+        let p = dijkstra(&g, SiteId(1), SiteId(3)).unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert!(p.sites.contains(&SiteId(0)), "hub on every leaf-leaf path");
+        assert_eq!(topology_stats(&g).diameter_hops, 2);
+    }
+
+    #[test]
+    fn grid_shortest_path_is_manhattan() {
+        let g = grid(4, 3, 100.0, 1.0);
+        // (0,0) is id 0; (3,2) is the last id. Manhattan distance 3+2.
+        let last = SiteId((4 * 3 - 1) as u32);
+        let p = dijkstra(&g, SiteId(0), last).unwrap();
+        assert_eq!(p.hop_count(), 5);
+        assert_eq!(topology_stats(&g).diameter_hops, 5);
+    }
+
+    #[test]
+    fn all_generators_strongly_connected() {
+        assert!(ring(5, 1.0, 1.0).is_strongly_connected());
+        assert!(line(5, 1.0, 1.0).is_strongly_connected());
+        assert!(star(5, 1.0, 1.0).is_strongly_connected());
+        assert!(grid(3, 3, 1.0, 1.0).is_strongly_connected());
+    }
+
+    #[test]
+    fn cutting_a_line_disconnects_it() {
+        let g = line(4, 100.0, 1.0);
+        let failed: Vec<_> = vec![
+            g.find_link(SiteId(1), SiteId(2)).unwrap(),
+            g.find_link(SiteId(2), SiteId(1)).unwrap(),
+        ];
+        // No alternate path exists on a line: the scenario sampler must
+        // refuse to produce a connectivity-preserving cut of this fiber.
+        let degraded = g.with_failed_links(&failed);
+        let p = crate::paths::dijkstra_with(&degraded, SiteId(0), SiteId(3), |l| {
+            if failed.contains(&l) {
+                f64::INFINITY
+            } else {
+                degraded.link(l).latency_ms
+            }
+        });
+        assert!(p.is_none());
+    }
+}

@@ -1,0 +1,341 @@
+//! Site-level WAN graph: nodes are router sites, edges are directed,
+//! capacitated, latency-weighted links.
+//!
+//! The paper's notation (Table 1): topology `G(V, E)` with link capacities
+//! `c_e`. Links are directed — a physical fiber pair is modelled as two
+//! directed links, which is what path-based TE formulations operate on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a router site (a node of the first-layer graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Index into dense per-site vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of a directed link (an edge of the first-layer graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Index into dense per-link vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A router site. Sites aggregate endpoints in the second layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Site {
+    /// Human-readable site name (e.g. a metro code).
+    pub name: String,
+    /// Planar coordinates used by synthetic topology generators for
+    /// distance-derived latencies. Units are abstract.
+    pub pos: (f64, f64),
+}
+
+/// A directed WAN link between two sites.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Source site.
+    pub src: SiteId,
+    /// Destination site.
+    pub dst: SiteId,
+    /// Capacity `c_e` in Mbps.
+    pub capacity_mbps: f64,
+    /// Propagation latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// The first-layer site topology `G(V, E)`.
+///
+/// Adjacency is stored per source site for fast shortest-path runs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    sites: Vec<Site>,
+    links: Vec<Link>,
+    /// Outgoing link ids per site.
+    out_links: Vec<Vec<LinkId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a site and returns its id.
+    pub fn add_site(&mut self, name: impl Into<String>, pos: (f64, f64)) -> SiteId {
+        let id = SiteId(self.sites.len() as u32);
+        self.sites.push(Site { name: name.into(), pos });
+        self.out_links.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed link and returns its id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is not a site of this graph, if the
+    /// capacity is not strictly positive, or if the latency is negative.
+    pub fn add_link(
+        &mut self,
+        src: SiteId,
+        dst: SiteId,
+        capacity_mbps: f64,
+        latency_ms: f64,
+    ) -> LinkId {
+        assert!(src.index() < self.sites.len(), "unknown src site {src}");
+        assert!(dst.index() < self.sites.len(), "unknown dst site {dst}");
+        assert!(src != dst, "self-loop links are not allowed");
+        assert!(capacity_mbps > 0.0, "link capacity must be positive");
+        assert!(latency_ms >= 0.0, "link latency must be non-negative");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { src, dst, capacity_mbps, latency_ms });
+        self.out_links[src.index()].push(id);
+        id
+    }
+
+    /// Adds a bidirectional link (two directed links) with identical
+    /// capacity and latency in both directions. Returns both ids.
+    pub fn add_bidi_link(
+        &mut self,
+        a: SiteId,
+        b: SiteId,
+        capacity_mbps: f64,
+        latency_ms: f64,
+    ) -> (LinkId, LinkId) {
+        let ab = self.add_link(a, b, capacity_mbps, latency_ms);
+        let ba = self.add_link(b, a, capacity_mbps, latency_ms);
+        (ab, ba)
+    }
+
+    /// Number of sites `|V|`.
+    #[inline]
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of directed links `|E|`.
+    #[inline]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All site ids in order.
+    pub fn site_ids(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.sites.len() as u32).map(SiteId)
+    }
+
+    /// All link ids in order.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// Site metadata.
+    #[inline]
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.index()]
+    }
+
+    /// Link metadata.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Mutable link metadata — used by capacity-residual updates between
+    /// QoS classes and by failure injection.
+    #[inline]
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.index()]
+    }
+
+    /// Outgoing links of a site.
+    #[inline]
+    pub fn out_links(&self, site: SiteId) -> &[LinkId] {
+        &self.out_links[site.index()]
+    }
+
+    /// Finds a directed link between two sites, if one exists.
+    pub fn find_link(&self, src: SiteId, dst: SiteId) -> Option<LinkId> {
+        self.out_links(src)
+            .iter()
+            .copied()
+            .find(|&l| self.link(l).dst == dst)
+    }
+
+    /// Returns the total capacity over all directed links, in Mbps.
+    pub fn total_capacity_mbps(&self) -> f64 {
+        self.links.iter().map(|l| l.capacity_mbps).sum()
+    }
+
+    /// Euclidean distance between two sites' coordinates.
+    pub fn site_distance(&self, a: SiteId, b: SiteId) -> f64 {
+        let pa = self.site(a).pos;
+        let pb = self.site(b).pos;
+        ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt()
+    }
+
+    /// Returns a copy of the graph with the given links removed
+    /// (capacity set to ~0 so link ids stay stable for tunnel tables).
+    ///
+    /// TE recomputation after failures (§6.3) uses this: tunnels crossing
+    /// a failed link become unusable because the residual capacity is 0.
+    pub fn with_failed_links(&self, failed: &[LinkId]) -> Graph {
+        let mut g = self.clone();
+        for &l in failed {
+            g.links[l.index()].capacity_mbps = f64::MIN_POSITIVE;
+        }
+        g
+    }
+
+    /// True if the graph is strongly connected (every site reaches every
+    /// other site). Synthetic generators use this as a post-condition.
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.sites.is_empty() {
+            return true;
+        }
+        // Forward reachability from site 0 and reachability in the
+        // reversed graph from site 0 together imply strong connectivity.
+        let fwd = self.reachable_from(SiteId(0), false);
+        let bwd = self.reachable_from(SiteId(0), true);
+        fwd.iter().all(|&r| r) && bwd.iter().all(|&r| r)
+    }
+
+    fn reachable_from(&self, start: SiteId, reversed: bool) -> Vec<bool> {
+        let mut seen = vec![false; self.sites.len()];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(s) = stack.pop() {
+            if reversed {
+                for l in &self.links {
+                    if l.dst == s && !seen[l.src.index()] {
+                        seen[l.src.index()] = true;
+                        stack.push(l.src);
+                    }
+                }
+            } else {
+                for &lid in self.out_links(s) {
+                    let d = self.link(lid).dst;
+                    if !seen[d.index()] {
+                        seen[d.index()] = true;
+                        stack.push(d);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_site("a", (0.0, 0.0));
+        let b = g.add_site("b", (1.0, 0.0));
+        let c = g.add_site("c", (0.0, 1.0));
+        g.add_bidi_link(a, b, 100.0, 1.0);
+        g.add_bidi_link(b, c, 100.0, 2.0);
+        g.add_bidi_link(c, a, 100.0, 3.0);
+        g
+    }
+
+    #[test]
+    fn add_site_and_link_assigns_sequential_ids() {
+        let g = triangle();
+        assert_eq!(g.site_count(), 3);
+        assert_eq!(g.link_count(), 6);
+        assert_eq!(g.link(LinkId(0)).src, SiteId(0));
+        assert_eq!(g.link(LinkId(1)).dst, SiteId(0));
+    }
+
+    #[test]
+    fn out_links_track_sources() {
+        let g = triangle();
+        // Each site has exactly two outgoing links in a bidi triangle.
+        for s in g.site_ids() {
+            assert_eq!(g.out_links(s).len(), 2, "site {s}");
+        }
+    }
+
+    #[test]
+    fn find_link_returns_directed_match() {
+        let g = triangle();
+        let l = g.find_link(SiteId(0), SiteId(1)).expect("a->b exists");
+        assert_eq!(g.link(l).dst, SiteId(1));
+        assert!(g.find_link(SiteId(0), SiteId(0)).is_none());
+    }
+
+    #[test]
+    fn strongly_connected_detects_missing_return_path() {
+        let mut g = Graph::new();
+        let a = g.add_site("a", (0.0, 0.0));
+        let b = g.add_site("b", (1.0, 0.0));
+        g.add_link(a, b, 10.0, 1.0);
+        assert!(!g.is_strongly_connected());
+        g.add_link(b, a, 10.0, 1.0);
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn failed_links_zero_capacity_but_keep_ids() {
+        let g = triangle();
+        let failed = g.with_failed_links(&[LinkId(0)]);
+        assert_eq!(failed.link_count(), g.link_count());
+        assert!(failed.link(LinkId(0)).capacity_mbps < 1e-100);
+        assert_eq!(failed.link(LinkId(1)).capacity_mbps, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_site("a", (0.0, 0.0));
+        g.add_link(a, a, 10.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_site("a", (0.0, 0.0));
+        let b = g.add_site("b", (1.0, 0.0));
+        g.add_link(a, b, 0.0, 1.0);
+    }
+
+    #[test]
+    fn total_capacity_sums_directed_links() {
+        let g = triangle();
+        assert_eq!(g.total_capacity_mbps(), 600.0);
+    }
+
+    #[test]
+    fn site_distance_is_euclidean() {
+        let g = triangle();
+        assert!((g.site_distance(SiteId(0), SiteId(1)) - 1.0).abs() < 1e-12);
+        assert!((g.site_distance(SiteId(1), SiteId(2)) - 2f64.sqrt()).abs() < 1e-12);
+    }
+}

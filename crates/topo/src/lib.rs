@@ -1,0 +1,42 @@
+//! Network topology substrate for MegaTE.
+//!
+//! This crate models the two-layer topology the paper's contraction relies
+//! on (§4.2, Figure 5):
+//!
+//! * a **first layer**: a highly meshed graph of WAN *router sites*
+//!   connected by capacitated, latency-weighted links, and
+//! * a **second layer**: each site forming a hub for many *virtual
+//!   instance endpoints*, each endpoint attached to exactly one site.
+//!
+//! It provides:
+//!
+//! * [`graph`] — the site-level graph with links, capacities and latencies;
+//! * [`paths`] — shortest-path and k-shortest-path tunnel construction;
+//! * [`tunnels`] — pre-established TE tunnels per site pair with the
+//!   `L(t, e)` link-membership relation and tunnel weights `w_t`
+//!   (Table 1 of the paper);
+//! * [`topologies`] — the four evaluation topologies of Table 2:
+//!   `B4*`, `Deltacom*`, `Cogentco*`, and a synthetic `TWAN`;
+//! * [`endpoints`] — Weibull-distributed endpoint attachment reproducing
+//!   Figure 8;
+//! * [`failures`] — link-failure scenarios used by §6.3.
+
+pub mod endpoints;
+pub mod export;
+pub mod failures;
+pub mod generators;
+pub mod graph;
+pub mod paths;
+pub mod stats;
+pub mod topologies;
+pub mod tunnels;
+
+pub use endpoints::{EndpointCatalog, EndpointId, WeibullEndpoints};
+pub use export::{to_dot, DotOptions};
+pub use failures::FailureScenario;
+pub use generators::{grid, line, ring, star};
+pub use graph::{Graph, Link, LinkId, Site, SiteId};
+pub use paths::{dijkstra, k_shortest_paths, yen_k_shortest, Path};
+pub use stats::{degree_histogram, topology_stats, TopologyStats};
+pub use topologies::{b4, cogentco, deltacom, twan, TopologySpec};
+pub use tunnels::{SitePair, Tunnel, TunnelId, TunnelTable};

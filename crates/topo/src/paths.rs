@@ -1,0 +1,382 @@
+//! Shortest-path machinery used to pre-establish TE tunnels.
+//!
+//! MegaTE (like SWAN/B4) assumes a set of pre-established tunnels `T_k`
+//! per site pair (Table 1). We build them with k-shortest-path searches
+//! over link latency. Two algorithms are provided:
+//!
+//! * [`yen_k_shortest`] — Yen's exact loopless k-shortest-paths, used for
+//!   small topologies and as the test oracle;
+//! * [`k_shortest_paths`] — fast penalization-based KSP: repeatedly run
+//!   Dijkstra, multiply the weights of used links, and deduplicate. This
+//!   is how production tunnel layout tools seed diverse tunnels, and is
+//!   the default for the large Table-2 topologies.
+
+use crate::graph::{Graph, LinkId, SiteId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A loop-free path through the site graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Links in traversal order.
+    pub links: Vec<LinkId>,
+    /// Sites in traversal order; `sites.len() == links.len() + 1`.
+    pub sites: Vec<SiteId>,
+    /// Total latency in milliseconds (sum of link latencies).
+    pub latency_ms: f64,
+}
+
+impl Path {
+    /// Number of hops (links) on the path.
+    #[inline]
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Minimum capacity over the path's links: the path's bottleneck.
+    pub fn bottleneck_mbps(&self, graph: &Graph) -> f64 {
+        self.links
+            .iter()
+            .map(|&l| graph.link(l).capacity_mbps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// True if the path visits no site twice.
+    pub fn is_simple(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.sites.iter().all(|s| seen.insert(*s))
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    site: SiteId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; ties broken on site id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.site.0.cmp(&self.site.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra's shortest path from `src` to `dst` under per-link weights.
+///
+/// `weight(l)` must be non-negative; links with non-finite weight are
+/// treated as removed. Returns `None` when `dst` is unreachable.
+pub fn dijkstra_with<F>(graph: &Graph, src: SiteId, dst: SiteId, weight: F) -> Option<Path>
+where
+    F: Fn(LinkId) -> f64,
+{
+    let n = graph.site_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<LinkId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, site: src });
+
+    while let Some(HeapEntry { dist: d, site }) = heap.pop() {
+        if d > dist[site.index()] {
+            continue;
+        }
+        if site == dst {
+            break;
+        }
+        for &lid in graph.out_links(site) {
+            let w = weight(lid);
+            if !w.is_finite() {
+                continue;
+            }
+            debug_assert!(w >= 0.0, "negative link weight");
+            let next = graph.link(lid).dst;
+            let nd = d + w;
+            if nd < dist[next.index()] {
+                dist[next.index()] = nd;
+                prev[next.index()] = Some(lid);
+                heap.push(HeapEntry { dist: nd, site: next });
+            }
+        }
+    }
+
+    if !dist[dst.index()].is_finite() {
+        return None;
+    }
+    // Reconstruct.
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let lid = prev[cur.index()].expect("reachable node has predecessor");
+        links.push(lid);
+        cur = graph.link(lid).src;
+    }
+    links.reverse();
+    let mut sites = Vec::with_capacity(links.len() + 1);
+    sites.push(src);
+    for &l in &links {
+        sites.push(graph.link(l).dst);
+    }
+    let latency_ms = links.iter().map(|&l| graph.link(l).latency_ms).sum();
+    Some(Path { links, sites, latency_ms })
+}
+
+/// Dijkstra's shortest path by link latency.
+pub fn dijkstra(graph: &Graph, src: SiteId, dst: SiteId) -> Option<Path> {
+    dijkstra_with(graph, src, dst, |l| graph.link(l).latency_ms)
+}
+
+/// Single-source distances to every site under per-link weights.
+/// Unreachable sites get `f64::INFINITY`.
+pub fn dijkstra_distances<F>(graph: &Graph, src: SiteId, weight: F) -> Vec<f64>
+where
+    F: Fn(LinkId) -> f64,
+{
+    let n = graph.site_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, site: src });
+    while let Some(HeapEntry { dist: d, site }) = heap.pop() {
+        if d > dist[site.index()] {
+            continue;
+        }
+        for &lid in graph.out_links(site) {
+            let w = weight(lid);
+            if !w.is_finite() {
+                continue;
+            }
+            let next = graph.link(lid).dst;
+            let nd = d + w;
+            if nd < dist[next.index()] {
+                dist[next.index()] = nd;
+                heap.push(HeapEntry { dist: nd, site: next });
+            }
+        }
+    }
+    dist
+}
+
+/// Fast k-shortest-path heuristic: penalize links of already-found paths
+/// and re-run Dijkstra, collecting up to `k` distinct simple paths.
+///
+/// Penalizing (factor 4 per use) pushes successive searches onto diverse
+/// links, giving the tunnel diversity TE needs. Paths are returned sorted
+/// by true latency ascending (so `w_t` ordering per the paper holds).
+pub fn k_shortest_paths(graph: &Graph, src: SiteId, dst: SiteId, k: usize) -> Vec<Path> {
+    const PENALTY: f64 = 4.0;
+    let mut penalties = vec![1.0f64; graph.link_count()];
+    let mut found: Vec<Path> = Vec::new();
+    // A few extra attempts tolerate duplicate rediscoveries.
+    let attempts = k * 3 + 2;
+    for _ in 0..attempts {
+        if found.len() >= k {
+            break;
+        }
+        let path = match dijkstra_with(graph, src, dst, |l| {
+            graph.link(l).latency_ms.max(1e-6) * penalties[l.index()]
+        }) {
+            Some(p) => p,
+            None => break,
+        };
+        for &l in &path.links {
+            penalties[l.index()] *= PENALTY;
+        }
+        if !found.iter().any(|p| p.links == path.links) {
+            found.push(path);
+        }
+    }
+    found.sort_by(|a, b| {
+        a.latency_ms
+            .partial_cmp(&b.latency_ms)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.links.len().cmp(&b.links.len()))
+    });
+    found
+}
+
+/// Yen's exact loopless k-shortest-paths by latency.
+///
+/// Exponential neither in `k` nor in graph size, but each spur requires a
+/// Dijkstra run, so keep this to small topologies and tests.
+pub fn yen_k_shortest(graph: &Graph, src: SiteId, dst: SiteId, k: usize) -> Vec<Path> {
+    let mut result: Vec<Path> = Vec::new();
+    let first = match dijkstra(graph, src, dst) {
+        Some(p) => p,
+        None => return result,
+    };
+    result.push(first);
+    let mut candidates: Vec<Path> = Vec::new();
+
+    while result.len() < k {
+        let last = result.last().expect("result non-empty").clone();
+        for i in 0..last.links.len() {
+            let spur_node = last.sites[i];
+            let root_links = &last.links[..i];
+
+            // Links removed for this spur: any link that would repeat a
+            // previous path sharing the same root, plus links into root
+            // nodes (loop avoidance).
+            let mut banned_links: Vec<LinkId> = Vec::new();
+            for p in result.iter().chain(candidates.iter()) {
+                if p.links.len() > i && p.links[..i] == *root_links {
+                    banned_links.push(p.links[i]);
+                }
+            }
+            let banned_sites: std::collections::HashSet<SiteId> =
+                last.sites[..i].iter().copied().collect();
+
+            let spur = dijkstra_with(graph, spur_node, dst, |l| {
+                let link = graph.link(l);
+                if banned_links.contains(&l)
+                    || banned_sites.contains(&link.dst)
+                    || banned_sites.contains(&link.src)
+                {
+                    f64::INFINITY
+                } else {
+                    link.latency_ms
+                }
+            });
+            if let Some(spur_path) = spur {
+                let mut links = root_links.to_vec();
+                links.extend_from_slice(&spur_path.links);
+                let mut sites = last.sites[..=i].to_vec();
+                sites.extend_from_slice(&spur_path.sites[1..]);
+                let latency_ms = links.iter().map(|&l| graph.link(l).latency_ms).sum();
+                let cand = Path { links, sites, latency_ms };
+                if cand.is_simple()
+                    && !candidates.iter().any(|p| p.links == cand.links)
+                    && !result.iter().any(|p| p.links == cand.links)
+                {
+                    candidates.push(cand);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| {
+            a.latency_ms
+                .partial_cmp(&b.latency_ms)
+                .unwrap_or(Ordering::Equal)
+        });
+        result.push(candidates.remove(0));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Diamond: a -> b -> d (fast) and a -> c -> d (slow), plus a direct
+    /// a -> d link that is slowest.
+    fn diamond() -> (Graph, SiteId, SiteId) {
+        let mut g = Graph::new();
+        let a = g.add_site("a", (0.0, 0.0));
+        let b = g.add_site("b", (1.0, 1.0));
+        let c = g.add_site("c", (1.0, -1.0));
+        let d = g.add_site("d", (2.0, 0.0));
+        g.add_bidi_link(a, b, 100.0, 1.0);
+        g.add_bidi_link(b, d, 100.0, 1.0);
+        g.add_bidi_link(a, c, 100.0, 2.0);
+        g.add_bidi_link(c, d, 100.0, 2.0);
+        g.add_bidi_link(a, d, 100.0, 10.0);
+        (g, a, d)
+    }
+
+    #[test]
+    fn dijkstra_finds_lowest_latency_route() {
+        let (g, a, d) = diamond();
+        let p = dijkstra(&g, a, d).expect("connected");
+        assert_eq!(p.latency_ms, 2.0);
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.sites.first(), Some(&a));
+        assert_eq!(p.sites.last(), Some(&d));
+    }
+
+    #[test]
+    fn dijkstra_unreachable_returns_none() {
+        let mut g = Graph::new();
+        let a = g.add_site("a", (0.0, 0.0));
+        let b = g.add_site("b", (1.0, 0.0));
+        let c = g.add_site("c", (2.0, 0.0));
+        g.add_link(a, b, 10.0, 1.0);
+        assert!(dijkstra(&g, a, c).is_none());
+    }
+
+    #[test]
+    fn ksp_returns_distinct_sorted_paths() {
+        let (g, a, d) = diamond();
+        let ps = k_shortest_paths(&g, a, d, 3);
+        assert_eq!(ps.len(), 3);
+        assert!(ps[0].latency_ms <= ps[1].latency_ms);
+        assert!(ps[1].latency_ms <= ps[2].latency_ms);
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                assert_ne!(ps[i].links, ps[j].links);
+            }
+        }
+    }
+
+    #[test]
+    fn yen_matches_known_order_on_diamond() {
+        let (g, a, d) = diamond();
+        let ps = yen_k_shortest(&g, a, d, 3);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].latency_ms, 2.0);
+        assert_eq!(ps[1].latency_ms, 4.0);
+        assert_eq!(ps[2].latency_ms, 10.0);
+        assert!(ps.iter().all(|p| p.is_simple()));
+    }
+
+    #[test]
+    fn yen_and_penalized_agree_on_shortest() {
+        let (g, a, d) = diamond();
+        let yen = yen_k_shortest(&g, a, d, 1);
+        let fast = k_shortest_paths(&g, a, d, 1);
+        assert_eq!(yen[0].links, fast[0].links);
+    }
+
+    #[test]
+    fn bottleneck_is_min_capacity() {
+        let mut g = Graph::new();
+        let a = g.add_site("a", (0.0, 0.0));
+        let b = g.add_site("b", (1.0, 0.0));
+        let c = g.add_site("c", (2.0, 0.0));
+        g.add_link(a, b, 100.0, 1.0);
+        g.add_link(b, c, 40.0, 1.0);
+        let p = dijkstra(&g, a, c).unwrap();
+        assert_eq!(p.bottleneck_mbps(&g), 40.0);
+    }
+
+    #[test]
+    fn ksp_on_disconnected_graph_is_empty() {
+        let mut g = Graph::new();
+        let a = g.add_site("a", (0.0, 0.0));
+        let _b = g.add_site("b", (1.0, 0.0));
+        assert!(k_shortest_paths(&g, a, SiteId(1), 4).is_empty());
+    }
+
+    #[test]
+    fn path_simplicity_detects_repeats() {
+        let p = Path {
+            links: vec![LinkId(0), LinkId(1)],
+            sites: vec![SiteId(0), SiteId(1), SiteId(0)],
+            latency_ms: 2.0,
+        };
+        assert!(!p.is_simple());
+    }
+}

@@ -1,0 +1,130 @@
+//! Topology statistics — validating that the synthetic Table-2 graphs
+//! have ISP-like shape (degree distribution, diameter, latency stretch),
+//! and feeding the `table2_topologies` report.
+
+use crate::graph::Graph;
+use crate::paths::dijkstra_distances;
+
+/// Summary statistics of a site graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyStats {
+    /// `|V|`.
+    pub sites: usize,
+    /// Bidirectional link count (`|E| / 2` for symmetric graphs).
+    pub fibers: usize,
+    /// Mean node degree (bidirectional).
+    pub mean_degree: f64,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Diameter in hops (longest shortest path).
+    pub diameter_hops: usize,
+    /// Diameter in milliseconds (longest latency-shortest path).
+    pub diameter_ms: f64,
+    /// Total one-directional capacity in Gbps.
+    pub total_capacity_gbps: f64,
+}
+
+/// Computes statistics. Cost: one Dijkstra per site — fine for Table-2
+/// scale (≤200 sites).
+pub fn topology_stats(graph: &Graph) -> TopologyStats {
+    let n = graph.site_count();
+    let mut degree = vec![0usize; n];
+    for l in graph.link_ids() {
+        degree[graph.link(l).src.index()] += 1;
+    }
+    let mut diameter_hops = 0usize;
+    let mut diameter_ms = 0.0f64;
+    for src in graph.site_ids() {
+        let hops = dijkstra_distances(graph, src, |_| 1.0);
+        let lats = dijkstra_distances(graph, src, |l| graph.link(l).latency_ms);
+        for d in hops {
+            if d.is_finite() {
+                diameter_hops = diameter_hops.max(d as usize);
+            }
+        }
+        for d in lats {
+            if d.is_finite() {
+                diameter_ms = diameter_ms.max(d);
+            }
+        }
+    }
+    TopologyStats {
+        sites: n,
+        fibers: count_fibers(graph),
+        mean_degree: degree.iter().sum::<usize>() as f64 / n.max(1) as f64,
+        max_degree: degree.iter().copied().max().unwrap_or(0),
+        diameter_hops,
+        diameter_ms,
+        total_capacity_gbps: graph.total_capacity_mbps() / 1000.0 / 2.0,
+    }
+}
+
+fn count_fibers(graph: &Graph) -> usize {
+    let mut fibers = 0;
+    for l in graph.link_ids() {
+        let link = graph.link(l);
+        match graph.find_link(link.dst, link.src) {
+            Some(rev) if l < rev => fibers += 1,
+            Some(_) => {}
+            None => fibers += 1, // unidirectional counts once
+        }
+    }
+    fibers
+}
+
+/// Per-site degree histogram: `hist[d]` = number of sites with
+/// (outgoing) degree `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut degree = vec![0usize; graph.site_count()];
+    for l in graph.link_ids() {
+        degree[graph.link(l).src.index()] += 1;
+    }
+    let max = degree.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for d in degree {
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies::{b4, cogentco, deltacom};
+
+    #[test]
+    fn b4_stats_match_published_shape() {
+        let s = topology_stats(&b4());
+        assert_eq!(s.sites, 12);
+        assert_eq!(s.fibers, 19);
+        assert!((s.mean_degree - 2.0 * 19.0 / 12.0).abs() < 1e-9);
+        assert!(s.diameter_hops >= 2 && s.diameter_hops <= 6, "{}", s.diameter_hops);
+        assert!(s.diameter_ms > 0.0);
+    }
+
+    #[test]
+    fn isp_topologies_are_sparse_with_bounded_degree() {
+        for g in [deltacom(), cogentco()] {
+            let s = topology_stats(&g);
+            // ISP backbones: mean degree 2-4, no mega-hubs.
+            assert!(s.mean_degree >= 2.0 && s.mean_degree <= 4.5, "{}", s.mean_degree);
+            assert!(s.max_degree <= 12, "{}", s.max_degree);
+            // Sparse ⇒ large diameter relative to size.
+            assert!(s.diameter_hops >= 8, "{}", s.diameter_hops);
+        }
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_site_count() {
+        let g = deltacom();
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), g.site_count());
+        assert_eq!(hist[0], 0, "no isolated sites");
+    }
+
+    #[test]
+    fn fiber_count_matches_topology_constants() {
+        assert_eq!(topology_stats(&deltacom()).fibers, 161);
+        assert_eq!(topology_stats(&cogentco()).fibers, 243);
+    }
+}

@@ -1,0 +1,291 @@
+//! Pre-established TE tunnels per site pair.
+//!
+//! Table 1 of the paper: for each site pair `k ∈ K` there is a set of
+//! tunnels `T_k`, each tunnel `t` has a weight `w_t` (higher = more
+//! latency) and a link-membership indicator `L(t, e)`. [`TunnelTable`]
+//! owns all of this, assigns dense global tunnel ids, and is shared by
+//! every solver and by the data plane.
+
+use crate::graph::{Graph, LinkId, SiteId};
+use crate::paths::{k_shortest_paths, Path};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An ordered site pair `k` (direction matters: traffic src → dst).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SitePair {
+    /// Source site.
+    pub src: SiteId,
+    /// Destination site.
+    pub dst: SiteId,
+}
+
+impl SitePair {
+    /// Convenience constructor.
+    pub fn new(src: SiteId, dst: SiteId) -> Self {
+        Self { src, dst }
+    }
+}
+
+impl fmt::Display for SitePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+/// Dense global tunnel identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TunnelId(pub u32);
+
+impl TunnelId {
+    /// Index into dense per-tunnel vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A pre-established TE tunnel `t ∈ T_k`.
+#[derive(Debug, Clone)]
+pub struct Tunnel {
+    /// Global id.
+    pub id: TunnelId,
+    /// The site pair this tunnel serves.
+    pub pair: SitePair,
+    /// Links in traversal order — defines `L(t, e)`.
+    pub links: Vec<LinkId>,
+    /// Sites in traversal order (`links.len() + 1` entries). This is what
+    /// gets written into the SR header's `hop[]` array on the data plane.
+    pub sites: Vec<SiteId>,
+    /// Tunnel weight `w_t`: the path latency in milliseconds. Higher
+    /// means worse (paper: "higher value means larger network latency").
+    pub weight: f64,
+}
+
+impl Tunnel {
+    /// `L(t, e)`: 1 if tunnel `t` uses link `e`, else 0.
+    #[inline]
+    pub fn uses_link(&self, e: LinkId) -> bool {
+        self.links.contains(&e)
+    }
+
+    /// Number of hops.
+    #[inline]
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// All pre-established tunnels, indexed both globally and per site pair.
+///
+/// ```
+/// use megate_topo::{b4, SitePair, SiteId, TunnelTable};
+///
+/// let graph = b4();
+/// let tunnels = TunnelTable::for_all_pairs(&graph, 3);
+/// let pair = SitePair::new(SiteId(0), SiteId(7));
+/// let ids = tunnels.tunnels_for(pair);
+/// assert!(!ids.is_empty());
+/// // Ascending w_t: the first tunnel is the latency-shortest.
+/// assert!(tunnels.tunnel(ids[0]).weight <= tunnels.tunnel(*ids.last().unwrap()).weight);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TunnelTable {
+    tunnels: Vec<Tunnel>,
+    by_pair: HashMap<SitePair, Vec<TunnelId>>,
+    pairs: Vec<SitePair>,
+}
+
+impl TunnelTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table with up to `k` latency-sorted tunnels for every
+    /// ordered pair of distinct sites in the graph.
+    ///
+    /// This is the offline "tunnel layout" step that conventional TE
+    /// systems (SWAN, B4) run, and which MegaTE inherits unchanged.
+    pub fn for_all_pairs(graph: &Graph, k: usize) -> Self {
+        let mut table = Self::new();
+        for src in graph.site_ids() {
+            for dst in graph.site_ids() {
+                if src == dst {
+                    continue;
+                }
+                table.install_pair(graph, SitePair::new(src, dst), k);
+            }
+        }
+        table
+    }
+
+    /// Builds a table restricted to the given pairs (demand-bearing pairs
+    /// only) — this is what large-scale runs use.
+    pub fn for_pairs(graph: &Graph, pairs: &[SitePair], k: usize) -> Self {
+        let mut table = Self::new();
+        for &p in pairs {
+            table.install_pair(graph, p, k);
+        }
+        table
+    }
+
+    fn install_pair(&mut self, graph: &Graph, pair: SitePair, k: usize) {
+        let paths = k_shortest_paths(graph, pair.src, pair.dst, k);
+        if paths.is_empty() {
+            return;
+        }
+        self.install_paths(pair, paths);
+    }
+
+    /// Installs explicit paths as tunnels of `pair` (sorted by latency).
+    pub fn install_paths(&mut self, pair: SitePair, mut paths: Vec<Path>) {
+        paths.sort_by(|a, b| {
+            a.latency_ms
+                .partial_cmp(&b.latency_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let ids: Vec<TunnelId> = paths
+            .into_iter()
+            .map(|p| {
+                let id = TunnelId(self.tunnels.len() as u32);
+                self.tunnels.push(Tunnel {
+                    id,
+                    pair,
+                    links: p.links,
+                    sites: p.sites,
+                    weight: p.latency_ms,
+                });
+                id
+            })
+            .collect();
+        debug_assert!(!ids.is_empty());
+        if self.by_pair.insert(pair, ids).is_none() {
+            self.pairs.push(pair);
+        }
+    }
+
+    /// All site pairs with at least one tunnel, in insertion order.
+    /// The index of a pair in this slice is the paper's `k` index.
+    #[inline]
+    pub fn pairs(&self) -> &[SitePair] {
+        &self.pairs
+    }
+
+    /// Tunnels of a pair, ascending `w_t` (lowest latency first) — the
+    /// order MaxEndpointFlow must process them in (Appendix A.2).
+    pub fn tunnels_for(&self, pair: SitePair) -> &[TunnelId] {
+        self.by_pair.get(&pair).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Tunnel metadata.
+    #[inline]
+    pub fn tunnel(&self, id: TunnelId) -> &Tunnel {
+        &self.tunnels[id.index()]
+    }
+
+    /// Total number of tunnels across all pairs.
+    #[inline]
+    pub fn tunnel_count(&self) -> usize {
+        self.tunnels.len()
+    }
+
+    /// Iterates over all tunnels.
+    pub fn all_tunnels(&self) -> impl Iterator<Item = &Tunnel> + '_ {
+        self.tunnels.iter()
+    }
+
+    /// Tunnels that traverse a given link — used for failure analysis.
+    pub fn tunnels_using_link(&self, e: LinkId) -> Vec<TunnelId> {
+        self.tunnels
+            .iter()
+            .filter(|t| t.uses_link(e))
+            .map(|t| t.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn square() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_site("a", (0.0, 0.0));
+        let b = g.add_site("b", (1.0, 0.0));
+        let c = g.add_site("c", (1.0, 1.0));
+        let d = g.add_site("d", (0.0, 1.0));
+        g.add_bidi_link(a, b, 100.0, 1.0);
+        g.add_bidi_link(b, c, 100.0, 1.0);
+        g.add_bidi_link(c, d, 100.0, 1.0);
+        g.add_bidi_link(d, a, 100.0, 1.0);
+        g
+    }
+
+    #[test]
+    fn all_pairs_covers_every_ordered_pair() {
+        let g = square();
+        let t = TunnelTable::for_all_pairs(&g, 2);
+        assert_eq!(t.pairs().len(), 12); // 4*3 ordered pairs
+        for &p in t.pairs() {
+            assert!(!t.tunnels_for(p).is_empty());
+        }
+    }
+
+    #[test]
+    fn tunnels_sorted_by_weight_ascending() {
+        let g = square();
+        let t = TunnelTable::for_all_pairs(&g, 3);
+        for &p in t.pairs() {
+            let ids = t.tunnels_for(p);
+            for w in ids.windows(2) {
+                assert!(t.tunnel(w[0]).weight <= t.tunnel(w[1]).weight);
+            }
+        }
+    }
+
+    #[test]
+    fn tunnel_endpoints_match_pair() {
+        let g = square();
+        let t = TunnelTable::for_all_pairs(&g, 2);
+        for tun in t.all_tunnels() {
+            assert_eq!(*tun.sites.first().unwrap(), tun.pair.src);
+            assert_eq!(*tun.sites.last().unwrap(), tun.pair.dst);
+            assert_eq!(tun.sites.len(), tun.links.len() + 1);
+        }
+    }
+
+    #[test]
+    fn uses_link_matches_membership() {
+        let g = square();
+        let t = TunnelTable::for_all_pairs(&g, 2);
+        for tun in t.all_tunnels() {
+            for e in g.link_ids() {
+                assert_eq!(tun.uses_link(e), tun.links.contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn tunnels_using_link_inverse_of_membership() {
+        let g = square();
+        let t = TunnelTable::for_all_pairs(&g, 2);
+        for e in g.link_ids() {
+            let users = t.tunnels_using_link(e);
+            for tun in t.all_tunnels() {
+                assert_eq!(users.contains(&tun.id), tun.uses_link(e));
+            }
+        }
+    }
+
+    #[test]
+    fn for_pairs_restricts_to_requested() {
+        let g = square();
+        let pair = SitePair::new(SiteId(0), SiteId(2));
+        let t = TunnelTable::for_pairs(&g, &[pair], 2);
+        assert_eq!(t.pairs(), &[pair]);
+        assert!(t.tunnels_for(SitePair::new(SiteId(1), SiteId(3))).is_empty());
+    }
+}

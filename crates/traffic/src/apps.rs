@@ -1,0 +1,146 @@
+//! Application profiles behind the production figures (§7).
+//!
+//! Figures 15–17 evaluate nine applications. The paper withholds
+//! absolute values; what matters for reproduction is each app's QoS
+//! class and traffic character, which determine *where* MegaTE places
+//! its flows (short / highly-available / cheap paths).
+
+use crate::qos::QosClass;
+use serde::{Deserialize, Serialize};
+
+/// Index into [`APP_CATALOG`] (App 1..=9 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u8);
+
+/// Traffic profile of one production application.
+#[derive(Debug, Clone)]
+pub struct AppProfile {
+    /// Paper's app number (1..=9).
+    pub id: AppId,
+    /// Human-readable name from the paper.
+    pub name: &'static str,
+    /// Service class.
+    pub qos: QosClass,
+    /// Mean per-endpoint-pair demand, Mbps.
+    pub mean_demand_mbps: f64,
+    /// Whether the app is evaluated as time-sensitive (Figure 15).
+    pub time_sensitive: bool,
+    /// Availability SLA the app must meet (Figure 16), as a fraction.
+    pub availability_sla: f64,
+}
+
+/// The nine applications of §7 (Figures 15–17).
+pub const APP_CATALOG: [AppProfile; 9] = [
+    AppProfile {
+        id: AppId(1),
+        name: "video streaming",
+        qos: QosClass::Class1,
+        mean_demand_mbps: 8.0,
+        time_sensitive: true,
+        availability_sla: 0.9999,
+    },
+    AppProfile {
+        id: AppId(2),
+        name: "live streaming",
+        qos: QosClass::Class1,
+        mean_demand_mbps: 6.0,
+        time_sensitive: true,
+        availability_sla: 0.9999,
+    },
+    AppProfile {
+        id: AppId(3),
+        name: "real-time message",
+        qos: QosClass::Class1,
+        mean_demand_mbps: 0.5,
+        time_sensitive: true,
+        availability_sla: 0.9999,
+    },
+    AppProfile {
+        id: AppId(4),
+        name: "financial payment",
+        qos: QosClass::Class1,
+        mean_demand_mbps: 0.2,
+        time_sensitive: true,
+        availability_sla: 0.9999,
+    },
+    AppProfile {
+        id: AppId(5),
+        name: "online gaming",
+        qos: QosClass::Class1,
+        mean_demand_mbps: 1.5,
+        time_sensitive: true,
+        availability_sla: 0.9999,
+    },
+    AppProfile {
+        id: AppId(6),
+        name: "high-priority service",
+        qos: QosClass::Class1,
+        mean_demand_mbps: 2.0,
+        time_sensitive: false,
+        availability_sla: 0.9999,
+    },
+    AppProfile {
+        id: AppId(7),
+        name: "low-priority service",
+        qos: QosClass::Class3,
+        mean_demand_mbps: 20.0,
+        time_sensitive: false,
+        availability_sla: 0.99,
+    },
+    AppProfile {
+        id: AppId(8),
+        name: "online gaming (cost)",
+        qos: QosClass::Class1,
+        mean_demand_mbps: 1.5,
+        time_sensitive: false,
+        availability_sla: 0.9999,
+    },
+    AppProfile {
+        id: AppId(9),
+        name: "bulk transfer",
+        qos: QosClass::Class3,
+        mean_demand_mbps: 50.0,
+        time_sensitive: false,
+        availability_sla: 0.99,
+    },
+];
+
+/// Looks an app up by its paper number.
+pub fn app(id: u8) -> &'static AppProfile {
+    &APP_CATALOG[(id - 1) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_nine_apps_in_order() {
+        assert_eq!(APP_CATALOG.len(), 9);
+        for (i, a) in APP_CATALOG.iter().enumerate() {
+            assert_eq!(a.id.0 as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn figure15_apps_are_time_sensitive_class1() {
+        for n in 1..=5 {
+            let a = app(n);
+            assert!(a.time_sensitive, "app {n}");
+            assert_eq!(a.qos, QosClass::Class1, "app {n}");
+        }
+    }
+
+    #[test]
+    fn figure16_slas_match_paper() {
+        assert_eq!(app(6).availability_sla, 0.9999); // QoS1: 99.99%
+        assert_eq!(app(7).availability_sla, 0.99); // QoS3: 99%
+    }
+
+    #[test]
+    fn figure17_pairs_high_and_low_priority() {
+        assert_eq!(app(8).qos, QosClass::Class1);
+        assert_eq!(app(9).qos, QosClass::Class3);
+        assert!(app(9).mean_demand_mbps > app(8).mean_demand_mbps);
+    }
+}

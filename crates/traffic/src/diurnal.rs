@@ -1,0 +1,71 @@
+//! Diurnal ("typical day") demand shaping.
+//!
+//! The paper replays one day of 5-minute TE intervals (§6.1). We shape
+//! per-interval demand with the classic WAN double-peak day: a baseline
+//! trough in the early morning, a daytime plateau, and an evening peak,
+//! plus deterministic per-interval jitter.
+
+/// Number of 5-minute TE intervals in a day.
+pub const INTERVALS_PER_DAY: usize = 288;
+
+/// Demand multiplier for interval `i` of `n` in a day, in `[0.45, 1.0]`.
+///
+/// Deterministic — simulations replaying the same day see identical
+/// load. The curve peaks in the evening (~21:00) with a secondary
+/// daytime plateau, bottoming out around 05:00.
+pub fn diurnal_multiplier(i: usize, n: usize) -> f64 {
+    assert!(n > 0, "day must have at least one interval");
+    let frac = (i % n) as f64 / n as f64; // 0.0 = midnight
+    use std::f64::consts::PI;
+    // Main evening peak at 21:00 and a daytime bump at 14:00.
+    let evening = (-((frac - 0.875) * 2.0 * PI).powi(2) / 0.8).exp();
+    let daytime = 0.6 * (-((frac - 0.583) * 2.0 * PI).powi(2) / 1.4).exp();
+    let trough = 0.45;
+    // Deterministic small jitter so intervals are not perfectly smooth.
+    let jitter = 0.02 * (((i % n) as f64 * 12.9898).sin() * 43758.5453).fract().abs();
+    (trough + (1.0 - trough) * (evening + daytime).min(1.0) + jitter).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_between_trough_and_one() {
+        for i in 0..INTERVALS_PER_DAY {
+            let m = diurnal_multiplier(i, INTERVALS_PER_DAY);
+            assert!((0.45..=1.0).contains(&m), "interval {i}: {m}");
+        }
+    }
+
+    #[test]
+    fn evening_peak_exceeds_early_morning() {
+        let night = diurnal_multiplier(60, INTERVALS_PER_DAY); // ~05:00
+        let evening = diurnal_multiplier(252, INTERVALS_PER_DAY); // ~21:00
+        assert!(evening > night * 1.5, "evening {evening} night {night}");
+    }
+
+    #[test]
+    fn deterministic() {
+        for i in [0, 13, 144, 287] {
+            assert_eq!(
+                diurnal_multiplier(i, INTERVALS_PER_DAY),
+                diurnal_multiplier(i, INTERVALS_PER_DAY)
+            );
+        }
+    }
+
+    #[test]
+    fn wraps_past_one_day() {
+        assert_eq!(
+            diurnal_multiplier(5, INTERVALS_PER_DAY),
+            diurnal_multiplier(5 + INTERVALS_PER_DAY, INTERVALS_PER_DAY)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn zero_intervals_rejected() {
+        diurnal_multiplier(0, 0);
+    }
+}

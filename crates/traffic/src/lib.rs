@@ -1,0 +1,31 @@
+//! Endpoint-granularity traffic matrices for MegaTE (§6.1).
+//!
+//! The paper collects instance-level flow data per 5-minute TE interval
+//! from TWAN and maps it onto the other topologies. We reproduce the
+//! same generative structure:
+//!
+//! * [`demand`] — per-endpoint-pair demands `d_k^i` grouped by site
+//!   pair `k`, with a heavy-tailed (log-normal) size distribution — the
+//!   paper notes "a small part of the flows account for most of the
+//!   network traffic" (§8) — and load scaling against network capacity;
+//! * [`qos`] — the three service classes of §4.1 (class 1 = network
+//!   control + time-critical, class 2 = user/internal apps, class 3 =
+//!   bulk transfer) allocated sequentially by the solvers;
+//! * [`apps`] — the application profiles behind the production figures
+//!   (video/live streaming, real-time messaging, payments, gaming, bulk);
+//! * [`diurnal`] — the "typical day" shape used to replay a day of
+//!   5-minute TE intervals.
+
+pub mod apps;
+pub mod demand;
+pub mod diurnal;
+pub mod prediction;
+pub mod qos;
+pub mod trace;
+
+pub use apps::{app, AppId, AppProfile, APP_CATALOG};
+pub use demand::{DemandSet, EndpointDemand, TrafficConfig};
+pub use diurnal::diurnal_multiplier;
+pub use prediction::{diurnal_series, evaluate_predictor, PredictionError, Predictor};
+pub use qos::QosClass;
+pub use trace::{read_trace, write_trace, TraceError};

@@ -1,0 +1,206 @@
+//! Demand prediction — the paper's §8 "TE with application-level
+//! statistics" direction:
+//!
+//! "MegaTE operates under a model of weak coupling with applications,
+//! where our scheduler makes decisions based solely on the observed
+//! ongoing traffic bandwidth. ... flow sizes can also be predicted
+//! through various methods. Having such knowledge about flows presents
+//! an opportunity to make more informed TE decisions."
+//!
+//! MegaTE's baseline behaviour is [`Predictor::LastInterval`] (provision
+//! the next interval with what was just observed). The alternatives
+//! quantify what stronger coupling buys: an EWMA smoother and a
+//! recent-peak provisioner.
+
+/// A per-flow (or per-pair) demand predictor over a history of
+/// interval observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predictor {
+    /// Use the previous interval's observation verbatim (MegaTE's
+    /// weak-coupling default).
+    LastInterval,
+    /// Exponentially weighted moving average with the given `alpha`
+    /// (weight of the newest observation).
+    Ewma {
+        /// Smoothing factor in (0, 1].
+        alpha: f64,
+    },
+    /// The maximum over the last `window` observations — a
+    /// peak-provisioning policy for latency-critical flows.
+    RecentPeak {
+        /// How many trailing intervals to take the max over.
+        window: usize,
+    },
+}
+
+impl Predictor {
+    /// Predicts the next value from a history (oldest first). Returns
+    /// 0.0 for an empty history (a new flow has no signal).
+    pub fn predict(&self, history: &[f64]) -> f64 {
+        if history.is_empty() {
+            return 0.0;
+        }
+        match *self {
+            Predictor::LastInterval => *history.last().expect("non-empty"),
+            Predictor::Ewma { alpha } => {
+                assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1]");
+                let mut est = history[0];
+                for &x in &history[1..] {
+                    est = alpha * x + (1.0 - alpha) * est;
+                }
+                est
+            }
+            Predictor::RecentPeak { window } => {
+                assert!(window > 0, "window must be positive");
+                history
+                    .iter()
+                    .rev()
+                    .take(window)
+                    .cloned()
+                    .fold(0.0f64, f64::max)
+            }
+        }
+    }
+}
+
+/// Accuracy of a predictor over a series, plus the two operational
+/// error modes TE cares about.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PredictionError {
+    /// Mean absolute percentage error.
+    pub mape: f64,
+    /// Mean *under*-prediction as a fraction of actual — traffic that
+    /// would exceed its reservation (dropped or best-effort).
+    pub under_fraction: f64,
+    /// Mean *over*-prediction as a fraction of actual — reserved
+    /// capacity that sits idle.
+    pub over_fraction: f64,
+}
+
+/// Walks a series, predicting each value from its prefix.
+/// The first `warmup` values are skipped from scoring.
+pub fn evaluate_predictor(p: Predictor, series: &[f64], warmup: usize) -> PredictionError {
+    let mut mape = 0.0;
+    let mut under = 0.0;
+    let mut over = 0.0;
+    let mut n = 0usize;
+    for t in warmup.max(1)..series.len() {
+        let actual = series[t];
+        if actual <= 0.0 {
+            continue;
+        }
+        let predicted = p.predict(&series[..t]);
+        mape += (predicted - actual).abs() / actual;
+        under += (actual - predicted).max(0.0) / actual;
+        over += (predicted - actual).max(0.0) / actual;
+        n += 1;
+    }
+    if n == 0 {
+        return PredictionError::default();
+    }
+    PredictionError {
+        mape: mape / n as f64,
+        under_fraction: under / n as f64,
+        over_fraction: over / n as f64,
+    }
+}
+
+/// A synthetic per-pair demand series over a day: diurnal shape ×
+/// base rate × deterministic noise — what the TE controller observes
+/// interval by interval.
+pub fn diurnal_series(base_mbps: f64, noise: f64, seed: u64, intervals: usize) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&noise));
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    (0..intervals)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+            let jitter = 1.0 + noise * (2.0 * u - 1.0);
+            base_mbps * crate::diurnal::diurnal_multiplier(i, intervals.max(1)) * jitter
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diurnal::INTERVALS_PER_DAY;
+
+    #[test]
+    fn last_interval_echoes_history() {
+        assert_eq!(Predictor::LastInterval.predict(&[1.0, 2.0, 3.5]), 3.5);
+        assert_eq!(Predictor::LastInterval.predict(&[]), 0.0);
+    }
+
+    #[test]
+    fn ewma_smooths_towards_recent() {
+        let p = Predictor::Ewma { alpha: 0.5 };
+        let est = p.predict(&[0.0, 10.0]);
+        assert!((est - 5.0).abs() < 1e-12);
+        // alpha=1 degenerates to last-interval.
+        let p = Predictor::Ewma { alpha: 1.0 };
+        assert_eq!(p.predict(&[3.0, 9.0]), 9.0);
+    }
+
+    #[test]
+    fn recent_peak_takes_window_max() {
+        let p = Predictor::RecentPeak { window: 2 };
+        assert_eq!(p.predict(&[9.0, 1.0, 4.0]), 4.0);
+        let p = Predictor::RecentPeak { window: 10 };
+        assert_eq!(p.predict(&[9.0, 1.0, 4.0]), 9.0);
+    }
+
+    #[test]
+    fn peak_provisioning_rarely_underpredicts() {
+        let series = diurnal_series(100.0, 0.1, 3, INTERVALS_PER_DAY);
+        let peak = evaluate_predictor(Predictor::RecentPeak { window: 6 }, &series, 6);
+        let last = evaluate_predictor(Predictor::LastInterval, &series, 6);
+        assert!(
+            peak.under_fraction < last.under_fraction,
+            "peak under {} vs last {}",
+            peak.under_fraction,
+            last.under_fraction
+        );
+        // ... at the cost of over-provisioning.
+        assert!(peak.over_fraction > last.over_fraction);
+    }
+
+    #[test]
+    fn ewma_beats_last_on_noisy_flat_series() {
+        // Pure noise around a constant: smoothing must reduce MAPE.
+        let series: Vec<f64> = (0..64u64)
+            .map(|i| {
+                // i.i.d.-like noise around a constant (splitmix64 mix).
+                let mut z = i.wrapping_add(0x9E3779B97F4A7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                100.0 * (1.0 + 0.4 * (2.0 * ((z >> 11) as f64 / (1u64 << 53) as f64) - 1.0))
+            })
+            .collect();
+        let ewma = evaluate_predictor(Predictor::Ewma { alpha: 0.2 }, &series, 8);
+        let last = evaluate_predictor(Predictor::LastInterval, &series, 8);
+        assert!(ewma.mape < last.mape, "ewma {} vs last {}", ewma.mape, last.mape);
+    }
+
+    #[test]
+    fn series_is_deterministic_and_shaped() {
+        let a = diurnal_series(50.0, 0.2, 1, INTERVALS_PER_DAY);
+        let b = diurnal_series(50.0, 0.2, 1, INTERVALS_PER_DAY);
+        assert_eq!(a, b);
+        // The evening peak must exceed the early-morning trough.
+        assert!(a[252] > a[60]);
+    }
+
+    #[test]
+    fn empty_and_warmup_edges() {
+        assert_eq!(
+            evaluate_predictor(Predictor::LastInterval, &[], 0),
+            PredictionError::default()
+        );
+        assert_eq!(
+            evaluate_predictor(Predictor::LastInterval, &[5.0], 1),
+            PredictionError::default()
+        );
+    }
+}

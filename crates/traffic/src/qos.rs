@@ -1,0 +1,82 @@
+//! QoS service classes (§4.1).
+//!
+//! The paper classifies traffic into three classes solved in priority
+//! order, each on the residual capacity left by the previous one:
+//!
+//! * **Class 1** — essential network control plus critical time-
+//!   sensitive services (cloud gaming, payments);
+//! * **Class 2** — most user and internal application traffic;
+//! * **Class 3** — heavy/bulk transfer such as logs.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's three service classes; lower number = higher
+/// priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum QosClass {
+    /// Highest priority: control + time-sensitive services.
+    Class1,
+    /// Default priority: user and internal application traffic.
+    Class2,
+    /// Lowest priority: bulk transfer.
+    Class3,
+}
+
+impl QosClass {
+    /// All classes in allocation order (highest priority first) — the
+    /// order `MaxAllFlow` is invoked per §4.1.
+    pub const IN_PRIORITY_ORDER: [QosClass; 3] =
+        [QosClass::Class1, QosClass::Class2, QosClass::Class3];
+
+    /// 1-based class number as used in the paper's prose.
+    pub fn number(self) -> u8 {
+        match self {
+            QosClass::Class1 => 1,
+            QosClass::Class2 => 2,
+            QosClass::Class3 => 3,
+        }
+    }
+
+    /// Parses the 1-based class number.
+    pub fn from_number(n: u8) -> Option<Self> {
+        match n {
+            1 => Some(QosClass::Class1),
+            2 => Some(QosClass::Class2),
+            3 => Some(QosClass::Class3),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for QosClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QoS{}", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order_is_1_2_3() {
+        let nums: Vec<u8> =
+            QosClass::IN_PRIORITY_ORDER.iter().map(|q| q.number()).collect();
+        assert_eq!(nums, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ord_matches_priority() {
+        assert!(QosClass::Class1 < QosClass::Class2);
+        assert!(QosClass::Class2 < QosClass::Class3);
+    }
+
+    #[test]
+    fn number_roundtrip() {
+        for q in QosClass::IN_PRIORITY_ORDER {
+            assert_eq!(QosClass::from_number(q.number()), Some(q));
+        }
+        assert_eq!(QosClass::from_number(0), None);
+        assert_eq!(QosClass::from_number(4), None);
+    }
+}

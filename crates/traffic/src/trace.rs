@@ -1,0 +1,162 @@
+//! Demand-trace serialization: record a demand set (or a day of them)
+//! to a compact line format and replay it later.
+//!
+//! The paper's evaluation replays "instance-level flow data ... for a
+//! typical day from TWAN" (§6.1). Operators of this reproduction can
+//! capture the synthetic equivalents once and re-run solvers against
+//! identical inputs across machines and versions. The format is a
+//! trivially greppable text table:
+//!
+//! ```text
+//! # megate-trace v1
+//! src_site dst_site src_ep dst_ep demand_mbps qos
+//! 0 7 12 9071 3.25 2
+//! ```
+
+use crate::demand::{DemandSet, EndpointDemand};
+use crate::qos::QosClass;
+use megate_topo::{EndpointId, SitePair, SiteId};
+
+/// Header line identifying the format.
+pub const TRACE_HEADER: &str = "# megate-trace v1";
+
+/// Serializes a demand set (deterministic order: by pair, then index).
+pub fn write_trace(set: &DemandSet) -> String {
+    let mut out = String::with_capacity(set.len() * 32 + 64);
+    out.push_str(TRACE_HEADER);
+    out.push('\n');
+    for pair in set.pairs() {
+        for &i in set.indices_for(pair) {
+            let d = &set.demands()[i];
+            out.push_str(&format!(
+                "{} {} {} {} {} {}\n",
+                pair.src.0,
+                pair.dst.0,
+                d.src.0,
+                d.dst.0,
+                d.demand_mbps,
+                d.qos.number()
+            ));
+        }
+    }
+    out
+}
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A data line failed to parse (1-based line number included).
+    BadLine(usize),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadHeader => write!(f, "missing '{TRACE_HEADER}' header"),
+            TraceError::BadLine(n) => write!(f, "unparseable trace line {n}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a trace back into a demand set.
+pub fn read_trace(text: &str) -> Result<DemandSet, TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == TRACE_HEADER => {}
+        _ => return Err(TraceError::BadHeader),
+    }
+    let mut set = DemandSet::default();
+    for (n, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split_whitespace();
+        let bad = || TraceError::BadLine(n + 1);
+        let src_site: u32 = f.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let dst_site: u32 = f.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let src_ep: u64 = f.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let dst_ep: u64 = f.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let demand: f64 = f.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let qos_n: u8 = f.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let qos = QosClass::from_number(qos_n).ok_or(TraceError::BadLine(n + 1))?;
+        if !(demand.is_finite() && demand >= 0.0) {
+            return Err(TraceError::BadLine(n + 1));
+        }
+        set.push(
+            SitePair::new(SiteId(src_site), SiteId(dst_site)),
+            EndpointDemand {
+                src: EndpointId(src_ep),
+                dst: EndpointId(dst_ep),
+                demand_mbps: demand,
+                qos,
+            },
+        );
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::TrafficConfig;
+    use megate_topo::{b4, EndpointCatalog, WeibullEndpoints};
+
+    fn sample() -> DemandSet {
+        let g = b4();
+        let cat = EndpointCatalog::generate(&g, 200, WeibullEndpoints::with_scale(20.0), 3);
+        DemandSet::generate(
+            &g,
+            &cat,
+            &TrafficConfig { endpoint_pairs: 120, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let set = sample();
+        let text = write_trace(&set);
+        let back = read_trace(&text).unwrap();
+        assert_eq!(back.len(), set.len());
+        assert_eq!(back.total_mbps(), set.total_mbps());
+        // Per-pair structure preserved.
+        let pairs_a: Vec<_> = set.pairs().collect();
+        let pairs_b: Vec<_> = back.pairs().collect();
+        assert_eq!(pairs_a, pairs_b);
+        for pair in set.pairs() {
+            assert_eq!(
+                set.indices_for(pair).len(),
+                back.indices_for(pair).len(),
+                "pair {pair}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(read_trace("1 2 3 4 5 1\n").unwrap_err(), TraceError::BadHeader);
+        assert_eq!(read_trace("").unwrap_err(), TraceError::BadHeader);
+    }
+
+    #[test]
+    fn bad_lines_reported_with_numbers() {
+        let text = format!("{TRACE_HEADER}\n1 2 3 4 5.0 1\nnot a line\n");
+        assert_eq!(read_trace(&text).unwrap_err(), TraceError::BadLine(3));
+        let text = format!("{TRACE_HEADER}\n1 2 3 4 5.0 9\n"); // QoS 9
+        assert_eq!(read_trace(&text).unwrap_err(), TraceError::BadLine(2));
+        let text = format!("{TRACE_HEADER}\n1 2 3 4 -5.0 1\n"); // negative
+        assert_eq!(read_trace(&text).unwrap_err(), TraceError::BadLine(2));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = format!("{TRACE_HEADER}\n\n# comment\n0 1 2 3 4.5 2\n");
+        let set = read_trace(&text).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.demands()[0].qos, QosClass::Class2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Cloud gaming scenario — the workload class that motivates the paper
+//! (§1, §4.1: "QoS class 1 ... contains essential network control
+//! traffic and a few critical services such as cloud gaming").
+//!
+//! A gaming platform runs sessions between players and game servers in
+//! distant regions, alongside heavy log-shipping (QoS 3). With
+//! conventional hash-based TE, some gaming sessions land on long
+//! detours whenever they share a site pair with bulk traffic. MegaTE
+//! pins every gaming flow to the short path and pushes the logs onto
+//! the detour.
+//!
+//! ```sh
+//! cargo run --example cloud_gaming --release
+//! ```
+
+use megate::prelude::*;
+use megate_dataplane::ecmp_tunnel_seeded;
+use megate_packet::{FiveTuple, Proto};
+use megate_topo::{EndpointId, SiteId};
+use megate_traffic::EndpointDemand;
+
+fn main() {
+    let graph = megate_topo::deltacom();
+    // One region pair with a genuine detour: find a pair whose first
+    // alternate tunnel is link-disjoint from the shortest.
+    let (pair, tunnels) = (0..graph.site_count() as u32)
+        .flat_map(|i| (0..graph.site_count() as u32).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j)
+        .find_map(|(i, j)| {
+            let pair = SitePair::new(SiteId(i), SiteId(j));
+            let t = TunnelTable::for_pairs(&graph, &[pair], 3);
+            let ts = t.tunnels_for(pair);
+            if ts.len() >= 2 {
+                let a = t.tunnel(ts[0]);
+                let b = t.tunnel(ts[1]);
+                let disjoint = !b.links.iter().any(|l| a.links.contains(l));
+                if disjoint && b.weight > a.weight * 1.3 {
+                    return Some((pair, t));
+                }
+            }
+            None
+        })
+        .expect("Deltacom has ring detours");
+    let ts = tunnels.tunnels_for(pair);
+    let short = tunnels.tunnel(ts[0]);
+    let long = tunnels.tunnel(ts[1]);
+    println!(
+        "region pair {pair}: gaming path {:.1} ms, detour {:.1} ms",
+        short.weight, long.weight
+    );
+
+    // Demand: 200 gaming sessions (QoS1, ~1.5 Mbps each) + 30 log
+    // shippers (QoS3, big). Together they exceed the short path.
+    let mut demands = DemandSet::default();
+    let bottleneck = short
+        .links
+        .iter()
+        .map(|&l| graph.link(l).capacity_mbps)
+        .fold(f64::INFINITY, f64::min);
+    let mut ep = 0u64;
+    for i in 0..200 {
+        demands.push(
+            pair,
+            EndpointDemand {
+                src: EndpointId(ep),
+                dst: EndpointId(ep + 1),
+                demand_mbps: 1.5 + (i % 5) as f64 * 0.2,
+                qos: QosClass::Class1,
+            },
+        );
+        ep += 2;
+    }
+    for _ in 0..30 {
+        demands.push(
+            pair,
+            EndpointDemand {
+                src: EndpointId(ep),
+                dst: EndpointId(ep + 1),
+                demand_mbps: bottleneck / 25.0, // logs nearly fill the short path alone
+                qos: QosClass::Class3,
+            },
+        );
+        ep += 2;
+    }
+
+    let problem = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let alloc = solve_per_qos(&MegaTeScheme::default(), &problem).expect("solvable");
+    let assign = alloc.endpoint_assignment.as_ref().unwrap();
+
+    // Where did the classes land?
+    let mut gaming_on_short = 0;
+    let mut gaming_total = 0;
+    let mut logs_on_detour = 0;
+    let mut logs_total = 0;
+    for (i, d) in demands.demands().iter().enumerate() {
+        match (d.qos, assign[i]) {
+            (QosClass::Class1, Some(t)) => {
+                gaming_total += 1;
+                if t == short.id {
+                    gaming_on_short += 1;
+                }
+            }
+            (QosClass::Class3, Some(t)) => {
+                logs_total += 1;
+                if t != short.id {
+                    logs_on_detour += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    println!("\nMegaTE placement:");
+    println!("  gaming sessions on the short path: {gaming_on_short}/{gaming_total}");
+    println!("  log shippers on the detour:        {logs_on_detour}/{logs_total}");
+    assert_eq!(gaming_on_short, gaming_total, "every session gets the short path");
+
+    // Conventional hashing for comparison: sessions spread across both.
+    let mut hashed_short = 0;
+    for i in 0..200u16 {
+        let tuple = FiveTuple {
+            src_ip: [10, 0, 0, 1],
+            dst_ip: [10, 0, 9, 9],
+            proto: Proto::Udp,
+            src_port: 30_000 + i,
+            dst_port: 3074,
+        };
+        if ecmp_tunnel_seeded(&tunnels, pair, &tuple, 0) == Some(short.id) {
+            hashed_short += 1;
+        }
+    }
+    println!(
+        "\nConventional hashing puts only {hashed_short}/200 sessions on the \
+         short path — the rest play at +{:.0} ms.",
+        long.weight - short.weight
+    );
+}

@@ -1,0 +1,91 @@
+//! Quickstart: solve one TE interval with MegaTE's two-stage algorithm
+//! and inspect the allocation.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use megate::prelude::*;
+
+fn main() {
+    // 1. Topology: Google's B4 WAN (12 sites), 3 pre-established
+    //    tunnels per site pair, sorted by latency.
+    let graph = megate_topo::b4();
+    let tunnels = TunnelTable::for_all_pairs(&graph, 3);
+    println!(
+        "topology: {} sites, {} directed links, {} tunnels",
+        graph.site_count(),
+        graph.link_count(),
+        tunnels.tunnel_count()
+    );
+
+    // 2. Endpoints: 2,000 virtual instances attached to sites with the
+    //    paper's Weibull spread (Figure 8).
+    let catalog = EndpointCatalog::generate(&graph, 2_000, WeibullEndpoints::with_scale(160.0), 7);
+
+    // 3. One TE interval of endpoint-pair demands: heavy-tailed sizes,
+    //    three QoS classes, scaled to a realistic load.
+    let mut demands = DemandSet::generate(
+        &graph,
+        &catalog,
+        &TrafficConfig { endpoint_pairs: 1_500, site_pairs: 40, ..Default::default() },
+    );
+    demands.scale_to_load(&graph, 1.0);
+    println!(
+        "demands: {} endpoint pairs, {:.1} Gbps total",
+        demands.len(),
+        demands.total_mbps() / 1000.0
+    );
+
+    // 4. Solve per QoS class (class 1 first, then 2, then 3 on the
+    //    residual capacity — §4.1 of the paper).
+    let problem = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let alloc = solve_per_qos(&MegaTeScheme::default(), &problem).expect("solvable");
+    assert!(alloc.check_feasible(&problem, 1e-6));
+
+    println!(
+        "\nMegaTE allocation: {:.1}% of demand satisfied in {:?}",
+        100.0 * alloc.satisfied_ratio(&problem),
+        alloc.solve_time
+    );
+    println!(
+        "max link utilization: {:.1}%",
+        100.0 * alloc.max_link_utilization(&problem)
+    );
+    for qos in QosClass::IN_PRIORITY_ORDER {
+        let class_demand: f64 = demands
+            .demands()
+            .iter()
+            .filter(|d| d.qos == qos)
+            .map(|d| d.demand_mbps)
+            .sum();
+        let sat = alloc.satisfied_mbps_for_qos(&problem, qos).unwrap_or(0.0);
+        println!(
+            "  {qos}: {:.1}% satisfied, normalized latency {:.3}",
+            100.0 * sat / class_demand.max(1e-9),
+            alloc.mean_normalized_latency(&problem, Some(qos))
+        );
+    }
+
+    // 5. Every flow either rides exactly one tunnel of its site pair or
+    //    is rejected — the binary f_{k,t}^i of Equation 1.
+    let assign = alloc.endpoint_assignment.as_ref().unwrap();
+    let assigned = assign.iter().filter(|a| a.is_some()).count();
+    println!("\n{assigned}/{} flows assigned to a tunnel", assign.len());
+    let (i, t) = assign
+        .iter()
+        .enumerate()
+        .find_map(|(i, a)| a.map(|t| (i, t)))
+        .expect("at least one assigned flow");
+    let d = &demands.demands()[i];
+    let tun = tunnels.tunnel(t);
+    println!(
+        "example: {} -> {} ({:.2} Mbps, {}) rides tunnel {:?} ({:.1} ms)",
+        d.src,
+        d.dst,
+        d.demand_mbps,
+        d.qos,
+        tun.sites.iter().map(|s| s.0).collect::<Vec<_>>(),
+        tun.weight
+    );
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus the ablations and
+# §8 extensions. Quick scale by default; pass "full" for the
+# paper-sized ladders (minutes: includes million-endpoint solves).
+set -euo pipefail
+SCALE="${1:-quick}"
+BINS=(
+  fig02_motivation fig08_endpoint_cdf table2_topologies
+  fig09_runtime fig10_satisfied fig11_latency fig12_failures
+  fig13_connections fig14_sync_scale
+  fig15_app_latency fig16_availability fig17_cost
+  ablations ext_hybrid_sync ext_prediction
+)
+cargo build -p megate-bench --release --bins
+for b in "${BINS[@]}"; do
+  echo "================================================================"
+  echo ">> $b"
+  cargo run -q -p megate-bench --release --bin "$b" -- --scale "$SCALE"
+done
+echo "================================================================"
+echo "All experiments done. JSON in results/."

@@ -1,0 +1,195 @@
+//! Control-loop integration: versioned publish, asynchronous pull,
+//! eventual consistency, and the top-down vs bottom-up resource story
+//! (§3.2, §6.4).
+
+use megate::prelude::*;
+use megate::Controller;
+use megate_tedb::{simulate_pull_sync, BottomUpModel, SyncConfig, TopDownModel};
+
+fn controller_fixture() -> (Controller, DemandSet, TeDatabase) {
+    let graph = megate_topo::b4();
+    let tunnels = TunnelTable::for_all_pairs(&graph, 3);
+    let catalog = EndpointCatalog::generate(&graph, 150, WeibullEndpoints::with_scale(12.0), 4);
+    let mut demands = DemandSet::generate(
+        &graph,
+        &catalog,
+        &TrafficConfig { endpoint_pairs: 100, site_pairs: 15, ..Default::default() },
+    );
+    demands.scale_to_load(&graph, 0.5);
+    let db = TeDatabase::new(2);
+    let ctl = Controller::new(
+        graph,
+        tunnels,
+        catalog,
+        db.clone(),
+        megate::ControllerConfig { qos_sequential: true, ..Default::default() },
+    );
+    (ctl, demands, db)
+}
+
+#[test]
+fn write_then_publish_ordering_holds_under_concurrency() {
+    // A reader polling the version must always find the corresponding
+    // entries — the §3.2 eventual-consistency contract.
+    let (mut ctl, demands, db) = controller_fixture();
+    let r = ctl.run_interval(&demands).unwrap();
+    let key = {
+        let assign = r.allocation.endpoint_assignment.as_ref().unwrap();
+        let i = assign.iter().position(|c| c.is_some()).unwrap();
+        Controller::config_key(demands.demands()[i].src)
+    };
+
+    std::thread::scope(|s| {
+        let mut writer_ctl = ctl;
+        let writer_demands = demands.clone();
+        s.spawn(move || {
+            for _ in 0..5 {
+                writer_ctl.run_interval(&writer_demands).unwrap();
+            }
+        });
+        let reader_db = db.clone();
+        let reader_key = key.clone();
+        s.spawn(move || {
+            for _ in 0..200 {
+                if let Some(v) = reader_db.latest_version() {
+                    assert!(
+                        reader_db.fetch_config(v, &reader_key).is_some(),
+                        "version {v} visible but entry missing"
+                    );
+                }
+            }
+        });
+    });
+}
+
+#[test]
+fn stale_agents_catch_up_on_next_poll() {
+    let graph = megate_topo::b4();
+    let tunnels = TunnelTable::for_all_pairs(&graph, 3);
+    let catalog = EndpointCatalog::generate(&graph, 100, WeibullEndpoints::with_scale(10.0), 4);
+    let mut demands = DemandSet::generate(
+        &graph,
+        &catalog,
+        &TrafficConfig { endpoint_pairs: 60, site_pairs: 12, ..Default::default() },
+    );
+    demands.scale_to_load(&graph, 0.5);
+    let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
+    sys.bring_up(&demands);
+
+    // Three controller intervals with no pulls in between: agents skip
+    // straight to the latest version on their next poll.
+    sys.run_controller_interval(&demands).unwrap();
+    sys.run_controller_interval(&demands).unwrap();
+    sys.run_controller_interval(&demands).unwrap();
+    let updated = sys.agents_pull();
+    assert!(updated > 0);
+    assert_eq!(sys.database().latest_version(), Some(3));
+    assert_eq!(sys.agents_pull(), 0, "already converged");
+}
+
+#[test]
+fn spreading_keeps_two_shards_within_an_order_of_nominal() {
+    // §3.2: two shards at 160k qps total serve a million endpoints only
+    // because queries are spread over the sync period.
+    let spread = simulate_pull_sync(&SyncConfig {
+        n_endpoints: 1_000_000,
+        spreading: true,
+        ..Default::default()
+    });
+    let burst = simulate_pull_sync(&SyncConfig {
+        n_endpoints: 1_000_000,
+        spreading: false,
+        ..Default::default()
+    });
+    assert!(spread.per_shard_peak_qps <= 100_000.0);
+    assert!(burst.per_shard_peak_qps >= 1_000_000.0);
+    // Spreading cuts the peak by the full spread factor (10x here).
+    assert!(burst.per_shard_peak_qps >= 10.0 * spread.per_shard_peak_qps);
+    assert!(spread.convergence_ms <= 10_000);
+}
+
+#[test]
+fn figure14_story_topdown_vs_bottomup() {
+    let td = TopDownModel::default();
+    let bu = BottomUpModel::default();
+    // 1k endpoints: both approaches are cheap (the paper's observation
+    // that top-down is fine at small scale).
+    assert_eq!(td.cores_needed(1_000), 1);
+    // 1M endpoints: top-down explodes, bottom-up's controller doesn't.
+    assert_eq!(td.cores_needed(1_000_000), 167);
+    assert!(td.memory_gb(1_000_000) >= 125.0);
+    assert_eq!(bu.controller_cores, 1);
+    assert!((bu.controller_mem_gb - 1.0).abs() < f64::EPSILON);
+}
+
+#[test]
+fn shard_outage_stalls_then_agents_converge_on_recovery() {
+    let graph = megate_topo::b4();
+    let tunnels = TunnelTable::for_all_pairs(&graph, 3);
+    let catalog = EndpointCatalog::generate(&graph, 100, WeibullEndpoints::with_scale(10.0), 4);
+    let mut demands = DemandSet::generate(
+        &graph,
+        &catalog,
+        &TrafficConfig { endpoint_pairs: 60, site_pairs: 12, ..Default::default() },
+    );
+    demands.scale_to_load(&graph, 0.5);
+    let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
+    sys.bring_up(&demands);
+    sys.run_controller_interval(&demands).unwrap();
+    let full = sys.agents_pull();
+    assert!(full > 0);
+
+    // New version published, but one shard goes dark before the pull.
+    sys.run_controller_interval(&demands).unwrap();
+    let db = sys.database().clone();
+    db.set_shard_down(0, true);
+    let during_outage = sys.agents_pull();
+    assert!(
+        during_outage < full,
+        "agents on the dark shard must stay stale: {during_outage} vs {full}"
+    );
+
+    // Recovery: the stale agents converge on their next poll.
+    db.set_shard_down(0, false);
+    let after = sys.agents_pull();
+    assert!(after > 0, "stale agents retry after recovery");
+    assert_eq!(sys.agents_pull(), 0, "everyone converged");
+}
+
+#[test]
+fn corrupted_config_entry_keeps_old_paths() {
+    let graph = megate_topo::b4();
+    let tunnels = TunnelTable::for_all_pairs(&graph, 3);
+    let catalog = EndpointCatalog::generate(&graph, 100, WeibullEndpoints::with_scale(10.0), 4);
+    let mut demands = DemandSet::generate(
+        &graph,
+        &catalog,
+        &TrafficConfig { endpoint_pairs: 60, site_pairs: 12, ..Default::default() },
+    );
+    demands.scale_to_load(&graph, 0.5);
+    let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
+    sys.bring_up(&demands);
+    let r1 = sys.run_controller_interval(&demands).unwrap();
+    sys.agents_pull();
+    let labelled_before = sys.send_demand_packets(&demands).sr_labelled;
+    assert!(labelled_before > 0);
+
+    // Corrupt every endpoint's v2 entry in the database.
+    let r2_version = r1.version + 1;
+    let db = sys.database().clone();
+    sys.run_controller_interval(&demands).unwrap();
+    for d in demands.demands() {
+        let key = format!("te:config:{}:{}", r2_version, Controller::config_key(d.src));
+        if db.get(&key).is_some() {
+            db.set(&key, vec![0xFF, 0xEE]); // undecodable
+        }
+    }
+    sys.agents_pull();
+    // Agents must not have wiped their working config: SR labelling
+    // continues with the old paths.
+    let labelled_after = sys.send_demand_packets(&demands).sr_labelled;
+    assert!(
+        labelled_after >= labelled_before,
+        "corrupted configs must not disable SR: {labelled_after} vs {labelled_before}"
+    );
+}

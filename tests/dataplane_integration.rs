@@ -1,0 +1,170 @@
+//! Data-plane integration: host stack + wire formats + WAN routers,
+//! including the Figure 2 motivation experiment in miniature.
+
+use megate::prelude::*;
+use megate::Controller;
+use megate_dataplane::{ecmp_tunnel_seeded, HostRegistry, WanNetwork};
+use megate_hoststack::{InstanceId, Pid, SimKernel};
+use megate_packet::{FiveTuple, MegaTeFrameSpec, Proto};
+use megate_topo::SiteId;
+
+fn tuple(src_ep: u64, dst_ep: u64, port: u16) -> FiveTuple {
+    FiveTuple {
+        src_ip: Controller::endpoint_ip(megate_topo::EndpointId(src_ep)),
+        dst_ip: Controller::endpoint_ip(megate_topo::EndpointId(dst_ep)),
+        proto: Proto::Tcp,
+        src_port: port,
+        dst_port: 443,
+    }
+}
+
+fn frame_spec(t: FiveTuple, vni: u32, sr: Option<Vec<u32>>) -> MegaTeFrameSpec {
+    let mut spec = MegaTeFrameSpec::simple(t, vni, sr);
+    // Underlay addresses equal the endpoint addresses in this harness.
+    spec.outer_src_ip = t.src_ip;
+    spec.outer_dst_ip = t.dst_ip;
+    spec
+}
+
+#[test]
+fn figure2_ecmp_produces_multimodal_latency_sr_does_not() {
+    // One tenant, many connections between the same two endpoints:
+    // conventional hashing spreads them over tunnels with different
+    // latencies; MegaTE pins them all to one tunnel.
+    let graph = megate_topo::b4();
+    let pair = SitePair::new(SiteId(0), SiteId(7));
+    let tunnels = TunnelTable::for_pairs(&graph, &[pair], 3);
+    let mut hosts = HostRegistry::new();
+    hosts.register(Controller::endpoint_ip(megate_topo::EndpointId(1)), pair.src);
+    hosts.register(Controller::endpoint_ip(megate_topo::EndpointId(2)), pair.dst);
+    let net = WanNetwork::new(&graph, &tunnels, hosts);
+
+    // Conventional: 40 connections (ports differ) — multiple latencies.
+    let mut ecmp_latencies = std::collections::BTreeSet::new();
+    for port in 0..40u16 {
+        let mut frame =
+            frame_spec(tuple(1, 2, 1000 + port), 1, None).build();
+        let out = net.route_frame(&mut frame);
+        assert!(out.delivered);
+        ecmp_latencies.insert((out.latency_ms * 1000.0) as u64);
+    }
+    assert!(
+        ecmp_latencies.len() >= 2,
+        "hashing must split the tenant across tunnels: {ecmp_latencies:?}"
+    );
+
+    // MegaTE: same connections SR-pinned to the shortest tunnel.
+    let t0 = tunnels.tunnel(tunnels.tunnels_for(pair)[0]);
+    let hops: Vec<u32> = t0.sites.iter().skip(1).map(|s| s.0).collect();
+    let mut sr_latencies = std::collections::BTreeSet::new();
+    for port in 0..40u16 {
+        let mut frame =
+            frame_spec(tuple(1, 2, 1000 + port), 1, Some(hops.clone())).build();
+        let out = net.route_frame(&mut frame);
+        assert!(out.delivered, "{:?}", out.drop_reason);
+        sr_latencies.insert((out.latency_ms * 1000.0) as u64);
+    }
+    assert_eq!(sr_latencies.len(), 1, "SR pins every connection to one path");
+    assert_eq!(
+        *sr_latencies.iter().next().unwrap(),
+        (t0.weight * 1000.0) as u64
+    );
+}
+
+#[test]
+fn ecmp_reseed_moves_flows_between_intervals() {
+    // The Figure 2(b) mechanism: the same connection flips between a
+    // 20ms-class and a 42ms-class path across intervals when the hash
+    // seed rotates.
+    let graph = megate_topo::b4();
+    let pair = SitePair::new(SiteId(0), SiteId(11));
+    let tunnels = TunnelTable::for_pairs(&graph, &[pair], 3);
+    let t = tuple(1, 2, 5555);
+    let mut distinct = std::collections::BTreeSet::new();
+    for seed in 0..16u64 {
+        let chosen = ecmp_tunnel_seeded(&tunnels, pair, &t, seed).unwrap();
+        distinct.insert((tunnels.tunnel(chosen).weight * 1000.0) as u64);
+    }
+    assert!(distinct.len() >= 2, "reseeding must produce latency jumps");
+}
+
+#[test]
+fn host_stack_accounts_exactly_what_the_wire_carries() {
+    let kernel = SimKernel::new();
+    let t = tuple(7, 8, 4000);
+    kernel.spawn_process(InstanceId(7), Pid(1)).unwrap();
+    kernel.open_connection(Pid(1), t).unwrap();
+
+    let mut total_inner_bytes = 0u64;
+    for i in 0..5 {
+        let mut spec = MegaTeFrameSpec::simple(t, 9, None);
+        spec.payload_len = 100 * (i + 1);
+        let mut frame = spec.build();
+        let parsed = megate_packet::parse_megate_frame(&frame).unwrap();
+        total_inner_bytes += parsed.inner_ip_len as u64;
+        kernel.tc_egress(&mut frame);
+    }
+    assert_eq!(kernel.maps().traffic_map.lookup(&t), Some(total_inner_bytes));
+}
+
+#[test]
+fn sr_insertion_survives_the_full_router_walk() {
+    // Frames labelled by the TC program must be routable end to end,
+    // and the SR offset must equal the hop count on arrival.
+    let graph = megate_topo::b4();
+    let pair = SitePair::new(SiteId(2), SiteId(9));
+    let tunnels = TunnelTable::for_pairs(&graph, &[pair], 2);
+    let chosen = tunnels.tunnels_for(pair)[0];
+    let tun = tunnels.tunnel(chosen);
+    let hops: Vec<u32> = tun.sites.iter().skip(1).map(|s| s.0).collect();
+
+    let kernel = SimKernel::new();
+    let t = tuple(30, 31, 6000);
+    kernel.spawn_process(InstanceId(30), Pid(9)).unwrap();
+    kernel.open_connection(Pid(9), t).unwrap();
+    kernel
+        .maps()
+        .path_map
+        .update((InstanceId(30), t.dst_ip), hops.clone())
+        .unwrap();
+
+    let mut hostsreg = HostRegistry::new();
+    hostsreg.register(t.src_ip, pair.src);
+    hostsreg.register(t.dst_ip, pair.dst);
+    let net = WanNetwork::new(&graph, &tunnels, hostsreg);
+
+    let mut frame = frame_spec(t, 9, None).build();
+    assert_eq!(kernel.tc_egress(&mut frame), megate_hoststack::TcVerdict::PassWithSr);
+    let out = net.route_frame(&mut frame);
+    assert!(out.delivered, "{:?}", out.drop_reason);
+    assert_eq!(out.path, tun.sites);
+
+    let parsed = megate_packet::parse_megate_frame(&frame).unwrap();
+    let (offset, parsed_hops) = parsed.sr.unwrap();
+    assert_eq!(offset as usize, parsed_hops.len(), "offset walked to the end");
+
+    // The destination host strips the SR header before handing the
+    // frame to the guest.
+    megate_packet::strip_sr_header(&mut frame).unwrap();
+    let parsed = megate_packet::parse_megate_frame(&frame).unwrap();
+    assert!(parsed.sr.is_none());
+}
+
+#[test]
+fn fragmented_transfers_account_to_one_flow_across_the_stack() {
+    let kernel = SimKernel::new();
+    let t = tuple(40, 41, 7000);
+    kernel.spawn_process(InstanceId(40), Pid(2)).unwrap();
+    kernel.open_connection(Pid(2), t).unwrap();
+
+    // A 3-fragment datagram: first fragment carries ports.
+    for (off, more) in [(0u16, true), (1480, true), (2960, false)] {
+        let mut spec = MegaTeFrameSpec::simple(t, 9, None);
+        spec.inner_ipid = 0x7777;
+        spec.inner_fragment = (off, more);
+        let mut frame = spec.build();
+        kernel.tc_egress(&mut frame);
+    }
+    assert_eq!(kernel.maps().traffic_map.len(), 1, "one flow entry");
+    assert_eq!(kernel.stats().fragments_resolved, 2);
+}

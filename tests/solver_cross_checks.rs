@@ -1,0 +1,170 @@
+//! Cross-scheme solver checks on shared instances — the §6.2
+//! relationships, asserted as orderings rather than absolute numbers.
+
+use megate::prelude::*;
+use megate_solvers::SolveError;
+
+fn instance(
+    graph: &Graph,
+    endpoint_pairs: usize,
+    site_pairs: usize,
+    load: f64,
+    seed: u64,
+) -> (TunnelTable, DemandSet) {
+    let tunnels = TunnelTable::for_all_pairs(graph, 4);
+    let catalog =
+        EndpointCatalog::generate(graph, endpoint_pairs * 2, WeibullEndpoints::with_scale(50.0), seed);
+    let mut demands = DemandSet::generate(
+        graph,
+        &catalog,
+        &TrafficConfig {
+            endpoint_pairs,
+            site_pairs,
+            sigma: 0.8,
+            seed,
+            ..Default::default()
+        },
+    );
+    demands.scale_to_load(graph, load);
+    (tunnels, demands)
+}
+
+#[test]
+fn satisfied_demand_ordering_matches_figure10() {
+    // LP-all (fractional optimum) >= MegaTE ~ close; NCFlow and TEAL
+    // feasible and below LP-all.
+    let graph = megate_topo::b4();
+    let (tunnels, demands) = instance(&graph, 800, 25, 0.8, 11);
+    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+
+    let lp = LpAllScheme::default().solve(&p).unwrap();
+    let mega = MegaTeScheme::default().solve(&p).unwrap();
+    let nc = NcFlowScheme::default().solve(&p).unwrap();
+    let teal = TealScheme::default().solve(&p).unwrap();
+
+    for (name, alloc) in [("lp", &lp), ("mega", &mega), ("nc", &nc), ("teal", &teal)] {
+        assert!(alloc.check_feasible(&p, 1e-6), "{name} infeasible");
+    }
+    let r_lp = lp.satisfied_ratio(&p);
+    let r_mega = mega.satisfied_ratio(&p);
+    let r_nc = nc.satisfied_ratio(&p);
+    let r_teal = teal.satisfied_ratio(&p);
+
+    assert!(r_lp >= r_mega - 1e-6, "LP-all bounds MegaTE: {r_lp} vs {r_mega}");
+    assert!(r_lp >= r_nc - 1e-6);
+    assert!(r_lp >= r_teal - 1e-6);
+    // Figure 10's shape: MegaTE within a few percent of optimal.
+    assert!(r_mega > r_lp - 0.05, "MegaTE near-optimal: {r_mega} vs {r_lp}");
+    // Baselines are feasible but lossier (Figure 10's ordering: TEAL
+    // loses a little, NCFlow loses the most).
+    assert!(r_teal > r_nc, "TEAL {r_teal} should beat NCFlow {r_nc}");
+    assert!(r_mega > r_teal, "MegaTE {r_mega} should beat TEAL {r_teal}");
+    assert!(r_nc > 0.5 * r_lp);
+}
+
+#[test]
+fn megate_scales_past_lp_all_memory_wall() {
+    // Figure 9's qualitative story at test scale: at an endpoint count
+    // where LP-all's dense tableau no longer fits, MegaTE still solves.
+    let graph = megate_topo::b4();
+    let (tunnels, demands) = instance(&graph, 30_000, 60, 1.0, 3);
+    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+
+    match LpAllScheme::default().solve(&p) {
+        Err(SolveError::OutOfMemory { .. }) => {}
+        other => panic!("LP-all should OOM at this scale, got {other:?}"),
+    }
+    let mega = MegaTeScheme::default().solve(&p).unwrap();
+    assert!(mega.check_feasible(&p, 1e-6));
+    assert!(mega.satisfied_ratio(&p) > 0.5);
+}
+
+#[test]
+fn megate_runtime_beats_lp_all_at_medium_scale() {
+    let graph = megate_topo::b4();
+    let (tunnels, demands) = instance(&graph, 1500, 30, 1.0, 7);
+    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let lp = LpAllScheme::default().solve(&p).unwrap();
+    let mega = MegaTeScheme::default().solve(&p).unwrap();
+    assert!(
+        mega.solve_time < lp.solve_time,
+        "MegaTE {:?} vs LP-all {:?}",
+        mega.solve_time,
+        lp.solve_time
+    );
+}
+
+#[test]
+fn qos1_latency_ordering_matches_figure11() {
+    // MegaTE's endpoint-granular QoS placement gives class 1 lower
+    // normalized latency than the class-blind aggregated baselines.
+    let graph = megate_topo::deltacom();
+    let (tunnels, demands) = instance(&graph, 1000, 40, 1.5, 19);
+    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+
+    let mega = solve_per_qos(&MegaTeScheme::default(), &p).unwrap();
+    let teal = TealScheme::default().solve(&p).unwrap();
+
+    let l_mega = mega.mean_normalized_latency(&p, Some(QosClass::Class1));
+    let l_teal = teal.mean_normalized_latency(&p, Some(QosClass::Class1));
+    assert!(
+        l_mega < l_teal,
+        "MegaTE QoS1 normalized latency {l_mega} must beat TEAL {l_teal}"
+    );
+}
+
+#[test]
+fn failure_recompute_ordering_matches_figure12() {
+    use megate_dataplane::{satisfied_under_failure, FailureWindow};
+
+    let graph = megate_topo::deltacom();
+    let (tunnels, demands) = instance(&graph, 1200, 40, 1.0, 23);
+    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let before = MegaTeScheme::default().solve(&p).unwrap();
+    // Fail the most-loaded fiber so the failure actually hits traffic.
+    let loads = before.link_loads(&p);
+    let busiest = megate_topo::LinkId(
+        (0..loads.len()).max_by(|&a, &b| loads[a].total_cmp(&loads[b])).unwrap() as u32,
+    );
+    let link = graph.link(busiest);
+    let reverse = graph.find_link(link.dst, link.src).unwrap();
+    let scenario = FailureScenario::from_links(vec![busiest, reverse]);
+    let degraded = scenario.apply(&graph);
+    let p_after = TeProblem { graph: &degraded, tunnels: &tunnels, demands: &demands };
+    let after = MegaTeScheme::default().solve(&p_after).unwrap();
+
+    // MegaTE recomputes in <1s; a slow scheme leaves flows dark ~100s.
+    let fast = satisfied_under_failure(
+        &tunnels,
+        &before.tunnel_flow_mbps,
+        &after.tunnel_flow_mbps,
+        &scenario.failed_links,
+        demands.total_mbps(),
+        FailureWindow::within_te_interval(1.0),
+    );
+    let slow = satisfied_under_failure(
+        &tunnels,
+        &before.tunnel_flow_mbps,
+        &after.tunnel_flow_mbps,
+        &scenario.failed_links,
+        demands.total_mbps(),
+        FailureWindow::within_te_interval(100.0),
+    );
+    assert!(fast > slow, "fast {fast} vs slow {slow}");
+    // The recomputed allocation avoids every failed link.
+    for t in tunnels.all_tunnels() {
+        if after.tunnel_flow_mbps[t.id.index()] > 0.0 {
+            assert!(!t.links.iter().any(|l| scenario.contains(*l)));
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let graph = megate_topo::b4();
+    let (tunnels, demands) = instance(&graph, 500, 20, 1.0, 31);
+    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let a = MegaTeScheme::default().solve(&p).unwrap();
+    let b = MegaTeScheme::default().solve(&p).unwrap();
+    assert_eq!(a.endpoint_assignment, b.endpoint_assignment);
+}
