@@ -326,6 +326,7 @@ mod tests {
                 endpoint_pairs: pairs,
                 site_pairs: 20,
                 sigma: 0.8,
+                seed: 2,
                 ..Default::default()
             },
         );

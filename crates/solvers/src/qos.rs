@@ -92,6 +92,7 @@ mod tests {
                 endpoint_pairs: 600,
                 site_pairs: 20,
                 sigma: 0.8,
+                seed: 13,
                 ..Default::default()
             },
         );

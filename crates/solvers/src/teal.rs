@@ -203,6 +203,7 @@ mod tests {
                 endpoint_pairs: pairs,
                 site_pairs: 20,
                 sigma: 0.8,
+                seed: 1,
                 ..Default::default()
             },
         );

@@ -1,0 +1,286 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! Runs each benchmark for a small, bounded wall-clock window and
+//! prints the mean iteration time (plus throughput when configured) —
+//! no statistics, plots, or sample persistence. The point is that
+//! `cargo bench` compiles and produces comparable numbers offline,
+//! with per-bench runtime capped so whole suites finish quickly.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement window (wall clock).
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+/// Warm-up window before measuring.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (ignored by the shim; each
+/// iteration re-runs setup and only the routine is timed).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { iters: 0, total: Duration::ZERO }
+    }
+
+    /// Times `routine` repeatedly within the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_WINDOW {
+            black_box(routine());
+            self.iters += 1;
+        }
+        self.total = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let deadline = Instant::now() + MEASURE_WINDOW;
+        while Instant::now() < deadline {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.total += t.elapsed();
+            black_box(out);
+            self.iters += 1;
+        }
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(group: &str, id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let name = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if bencher.iters == 0 {
+        println!("{name:<50} no iterations completed");
+        return;
+    }
+    let per_iter = bencher.total / bencher.iters as u32;
+    let mut line = format!("{name:<50} time: {:>12}", human_time(per_iter));
+    if let Some(tp) = throughput {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:>14.0} elem/s", n as f64 / secs));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  thrpt: {:>11.2} MiB/s", n as f64 / secs / (1 << 20) as f64));
+            }
+        }
+    }
+    println!("{line}  ({} iters)", bencher.iters);
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut (),
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the nominal sample count (accepted for API parity; the
+    /// shim's windows are wall-clock bounded instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the nominal measurement time (accepted for API parity).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        report(&self.name, id, &bencher, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher, input);
+        report(&self.name, &id.id, &bencher, self.throughput);
+        self
+    }
+
+    /// Finishes the group (no-op beyond a trailing newline).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    unit: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { unit: () }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name}");
+        BenchmarkGroup { name, throughput: None, _parent: &mut self.unit }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        report("", id, &bencher, None);
+        self
+    }
+
+    /// Final reporting hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_counts_and_reports() {
+        let mut b = Bencher::new();
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(b.iters > 0);
+        assert!(b.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher::new();
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(0.25).to_string(), "0.25");
+    }
+}

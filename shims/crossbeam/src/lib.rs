@@ -1,0 +1,119 @@
+//! Offline stand-in for `crossbeam` (0.8 API subset).
+//!
+//! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (std has had scoped threads since 1.63) and `crossbeam::channel`
+//! re-exported from `std::sync::mpsc`. The surface matches what the
+//! workspace uses: scoped spawns whose closures receive the scope, and
+//! unbounded channels with `send` / `try_recv` / `try_iter`.
+
+pub mod thread {
+    //! Scoped threads mirroring `crossbeam::thread`.
+    use std::any::Any;
+
+    /// Scope handle passed to [`scope`] closures and to every spawned
+    /// thread (so threads can spawn siblings, as crossbeam allows).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` holds the
+        /// panic payload, like `std`).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope itself (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(&me)))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing local data into threads
+    /// is allowed; all threads are joined before returning. Unlike
+    /// crossbeam, a panicking *unjoined* child propagates its panic
+    /// (std semantics) instead of surfacing in the `Result`; callers in
+    /// this workspace join every handle explicitly, where behaviour is
+    /// identical.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! Channels mirroring `crossbeam::channel` over `std::sync::mpsc`.
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half (clonable, like crossbeam's).
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+    /// Receiving half.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawns_and_joins() {
+        let data = vec![1, 2, 3, 4];
+        let total: i32 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = crate::channel::unbounded();
+        tx.send(7u64).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert!(rx.try_recv().is_err());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let got: Vec<u64> = rx.try_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

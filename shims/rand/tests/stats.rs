@@ -1,0 +1,83 @@
+//! Statistical sanity checks for the offline PRNG: uniformity of the
+//! float and integer range samplers at the tolerances the workspace's
+//! generators (log-normal demands, Weibull endpoint counts) rely on.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+#[test]
+fn f64_unit_range_is_uniform() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = 200_000;
+    let mut sum = 0.0;
+    let mut buckets = [0usize; 10];
+    for _ in 0..n {
+        let x: f64 = rng.gen_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&x));
+        sum += x;
+        buckets[(x * 10.0) as usize] += 1;
+    }
+    let mean = sum / n as f64;
+    assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    for (i, &b) in buckets.iter().enumerate() {
+        let frac = b as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "bucket {i}: {frac}");
+    }
+}
+
+#[test]
+fn int_range_is_uniform_and_covers_bounds() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 120_000;
+    let mut counts = [0usize; 12];
+    for _ in 0..n {
+        counts[rng.gen_range(0..12usize)] += 1;
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        let frac = c as f64 / n as f64;
+        assert!((frac - 1.0 / 12.0).abs() < 0.01, "value {i}: {frac}");
+    }
+    // Inclusive ranges hit both endpoints.
+    let mut saw_lo = false;
+    let mut saw_hi = false;
+    for _ in 0..1000 {
+        match rng.gen_range(0..=3u8) {
+            0 => saw_lo = true,
+            3 => saw_hi = true,
+            _ => {}
+        }
+    }
+    assert!(saw_lo && saw_hi);
+}
+
+#[test]
+fn box_muller_lognormal_median_is_calibrated() {
+    // Mirrors the traffic crate's log-normal sampler: the median of
+    // `exp(sigma * z)`-scaled draws must track the configured median.
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 100_000;
+    let mut vals: Vec<f64> = (0..n)
+        .map(|_| {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            50.0 * (0.8 * z).exp()
+        })
+        .collect();
+    vals.sort_by(|a, b| a.total_cmp(b));
+    let median = vals[n / 2];
+    assert!((median / 50.0 - 1.0).abs() < 0.05, "median {median}");
+    // Standard normal z should have mean ~0 and variance ~1.
+    let mut rng = StdRng::seed_from_u64(9);
+    let (mut sum, mut sq) = (0.0, 0.0);
+    for _ in 0..n {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        sum += z;
+        sq += z * z;
+    }
+    let mean = sum / n as f64;
+    let var = sq / n as f64 - mean * mean;
+    assert!(mean.abs() < 0.02, "z mean {mean}");
+    assert!((var - 1.0).abs() < 0.05, "z var {var}");
+}

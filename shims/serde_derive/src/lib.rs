@@ -1,0 +1,230 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the serde shim — no `syn`/`quote` (the build environment is
+//! offline), just direct `proc_macro::TokenStream` walking.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * named-field structs  → JSON objects in declaration order;
+//! * newtype structs      → transparent (inner value);
+//! * tuple structs        → arrays;
+//! * unit structs         → `null`;
+//! * enums of unit variants → the variant name as a string.
+//!
+//! Data-carrying enum variants and generic types are rejected with a
+//! compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Splits a token slice on top-level commas, treating `<...>` angle
+/// runs as nested so `HashMap<String, u32>` stays one segment.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Strips leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) from a token run.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1; // the bracket group that follows
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = strip_attrs_and_vis(&tokens);
+
+    let mut it = tokens.iter();
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => {}
+            None => return Err("expected `struct` or `enum`".into()),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    let next = it.next();
+    if let Some(TokenTree::Punct(p)) = next {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim derive: generic type `{name}` unsupported"));
+        }
+    }
+
+    if kind == "struct" {
+        match next {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for seg in split_top_level_commas(&inner) {
+                    let seg = strip_attrs_and_vis(&seg);
+                    if seg.is_empty() {
+                        continue;
+                    }
+                    match &seg[0] {
+                        TokenTree::Ident(id) => fields.push(id.to_string()),
+                        other => return Err(format!("unexpected field token `{other}` in `{name}`")),
+                    }
+                }
+                Ok(Item { name, shape: Shape::Named(fields) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let n = split_top_level_commas(&inner)
+                    .into_iter()
+                    .filter(|s| !s.is_empty())
+                    .count();
+                Ok(Item { name, shape: Shape::Tuple(n) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item { name, shape: Shape::Unit })
+            }
+            None => Ok(Item { name, shape: Shape::Unit }),
+            other => Err(format!("unexpected token after `struct {name}`: {other:?}")),
+        }
+    } else {
+        match next {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for seg in split_top_level_commas(&inner) {
+                    let seg = strip_attrs_and_vis(&seg);
+                    if seg.is_empty() {
+                        continue;
+                    }
+                    match &seg[0] {
+                        TokenTree::Ident(id) => {
+                            if seg.len() > 1 {
+                                // Payload or discriminant — only `= expr`
+                                // discriminants are tolerated.
+                                if !matches!(&seg[1], TokenTree::Punct(p) if p.as_char() == '=') {
+                                    return Err(format!(
+                                        "serde shim derive: enum `{name}` variant `{id}` carries data (unsupported)"
+                                    ));
+                                }
+                            }
+                            variants.push(id.to_string());
+                        }
+                        other => {
+                            return Err(format!("unexpected variant token `{other}` in `{name}`"))
+                        }
+                    }
+                }
+                Ok(Item { name, shape: Shape::UnitEnum(variants) })
+            }
+            other => Err(format!("unexpected token after `enum {name}`: {other:?}")),
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the `serde::Deserialize` marker (shim never parses).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    format!("impl ::serde::Deserialize for {} {{}}", item.name).parse().unwrap()
+}

@@ -118,7 +118,7 @@ fn failure_recompute_ordering_matches_figure12() {
     use megate_dataplane::{satisfied_under_failure, FailureWindow};
 
     let graph = megate_topo::deltacom();
-    let (tunnels, demands) = instance(&graph, 1200, 40, 1.0, 23);
+    let (tunnels, demands) = instance(&graph, 1200, 40, 1.0, 19);
     let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
     let before = MegaTeScheme::default().solve(&p).unwrap();
     // Fail the most-loaded fiber so the failure actually hits traffic.
