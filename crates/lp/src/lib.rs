@@ -4,11 +4,14 @@
 //! no comparable off-the-shelf solver, so this crate provides the two
 //! pieces the evaluation needs (see DESIGN.md "Substitutions"):
 //!
-//! * [`simplex`] — an exact dense primal simplex for
+//! * [`simplex`] + [`revised`] — an exact primal simplex for
 //!   `max c·x  s.t.  A x ≤ b, x ≥ 0` with `b ≥ 0` (every MegaTE LP has
 //!   this form: demand caps and link capacities are all `≤` rows with
-//!   non-negative right-hand sides). Used at small/medium scale and as
-//!   the oracle for the approximate solver.
+//!   non-negative right-hand sides). `solve()` runs the sparse revised
+//!   method (`O(nnz + m²)` memory); the dense tableau solver remains as
+//!   `solve_dense()`, the reference oracle the revised core is
+//!   property-tested against. Used at small/medium scale and as the
+//!   oracle for the approximate solver.
 //! * [`mcf`] — a path-formulation multicommodity-flow model with two
 //!   solvers: `solve_exact` (builds the LP, runs simplex) and
 //!   `solve_fptas` (Fleischer's round-robin variant of the
@@ -21,6 +24,7 @@
 
 pub mod mcf;
 pub mod presolve;
+pub mod revised;
 pub mod simplex;
 
 pub use mcf::{Commodity, McfProblem, McfSolution, PathSpec};

@@ -10,13 +10,21 @@
 //!
 //! Two solvers:
 //!
-//! * [`McfProblem::solve_exact`] — builds the LP and runs the dense
-//!   simplex; exact but memory-bounded (mirrors Gurobi's role at small
-//!   and medium scale).
+//! * [`McfProblem::solve_exact`] — builds the LP and runs the sparse
+//!   revised simplex; exact but memory-bounded (mirrors Gurobi's role
+//!   at small and medium scale).
 //! * [`McfProblem::solve_fptas`] — Fleischer's round-robin variant of
 //!   the Garg–Könemann multiplicative-weights algorithm, `(1−O(ε))`-
 //!   optimal in near-linear time. Demand caps are folded in as one
 //!   virtual edge per commodity. Used at hyper-scale.
+//!
+//! The FPTAS keeps the instance in flat CSR incidence (path → links
+//!   plus its link → paths transpose), maintains every path's dual
+//!   length incrementally under the multiplicative weight updates, and
+//!   batch-prices all commodities in parallel at each phase start.
+//!   Flow is still applied serially in commodity order with staleness
+//!   revalidation, so the output is bitwise identical for any thread
+//!   count — see [`McfProblem::solve_fptas_with`].
 
 use crate::simplex::{LinearProgram, LpError, LpStatus};
 
@@ -180,12 +188,58 @@ impl McfProblem {
         Ok(McfSolution { flows, total_flow, objective: s.objective, link_prices })
     }
 
+    /// Estimated working-set entries of [`solve_exact`]: `2m² + nnz`
+    /// for the revised simplex's basis inverse, its refactorization
+    /// scratch, and the sparse constraint columns, counting only rows
+    /// the LP would actually materialize (non-empty demand caps and
+    /// used links).
+    ///
+    /// The solver layer's `LpMode::Auto` compares this against its
+    /// entry cap to decide exact-vs-FPTAS without building the LP.
+    ///
+    /// [`solve_exact`]: McfProblem::solve_exact
+    pub fn size_estimate(&self) -> usize {
+        let mut used_link = vec![false; self.link_capacity.len()];
+        let mut rows = 0usize;
+        let mut nnz = 0usize;
+        for c in &self.commodities {
+            if !c.paths.is_empty() {
+                rows += 1; // demand cap row
+                nnz += c.paths.len();
+            }
+            for p in &c.paths {
+                nnz += p.links.len();
+                for &e in &p.links {
+                    used_link[e] = true;
+                }
+            }
+        }
+        rows += used_link.iter().filter(|&&u| u).count();
+        rows.saturating_mul(rows).saturating_mul(2).saturating_add(nnz)
+    }
+
     /// `(1−O(ε))`-optimal solve via Fleischer's round-robin variant of
     /// Garg–Könemann. `eps` in (0, 0.5]; smaller = slower, closer to
     /// optimal. Among near-shortest (by dual length) paths the lowest
     /// `w_t` is preferred, realizing the objective's short-path bias.
+    ///
+    /// Single-threaded convenience wrapper around
+    /// [`solve_fptas_with`](McfProblem::solve_fptas_with); the result
+    /// is identical for every thread count.
     pub fn solve_fptas(&self, eps: f64) -> McfSolution {
+        self.solve_fptas_with(eps, 1)
+    }
+
+    /// [`solve_fptas`](McfProblem::solve_fptas) with explicit
+    /// parallelism. `threads` bounds the workers used for the
+    /// phase-start batch pricing (exact path-length refresh + shortest
+    /// tunnel per commodity). Flow application stays serial in
+    /// commodity order and revalidates any commodity whose path
+    /// lengths changed since pricing, so flows and prices are bitwise
+    /// identical regardless of `threads`.
+    pub fn solve_fptas_with(&self, eps: f64, threads: usize) -> McfSolution {
         assert!(eps > 0.0 && eps <= 0.5, "eps must be in (0, 0.5]");
+        let threads = threads.max(1);
         let n_links = self.link_capacity.len();
         let n_comm = self.commodities.len();
         let mut flows: Vec<Vec<f64>> =
@@ -199,6 +253,58 @@ impl McfProblem {
             };
         }
 
+        // ---- Flat CSR incidence -------------------------------------
+        // Paths are numbered globally (`pid`), contiguous per
+        // commodity: pid = comm_ptr[k] + t.
+        let mut comm_ptr = Vec::with_capacity(n_comm + 1);
+        comm_ptr.push(0usize);
+        for c in &self.commodities {
+            comm_ptr.push(comm_ptr.last().unwrap() + c.paths.len());
+        }
+        let n_paths = *comm_ptr.last().unwrap();
+
+        // path -> links (CSR), commodity of each path, and the static
+        // amount each routing step ships: min(D_k, bottleneck cap).
+        // Neither demands nor capacities change during the FPTAS, so
+        // the bottleneck is a per-path constant.
+        let mut ppt = Vec::with_capacity(n_paths + 1);
+        ppt.push(0usize);
+        let mut plinks: Vec<u32> = Vec::new();
+        let mut comm_of: Vec<u32> = Vec::with_capacity(n_paths);
+        let mut route_amount: Vec<f64> = Vec::with_capacity(n_paths);
+        for (k, c) in self.commodities.iter().enumerate() {
+            for p in &c.paths {
+                let mut amt = c.demand;
+                for &e in &p.links {
+                    plinks.push(e as u32);
+                    amt = amt.min(self.link_capacity[e]);
+                }
+                ppt.push(plinks.len());
+                comm_of.push(k as u32);
+                route_amount.push(amt.max(0.0));
+            }
+        }
+
+        // link -> paths transpose. A path traversing a link twice
+        // appears twice — exactly the doubled coefficient the additive
+        // length propagation needs.
+        let mut lptr = vec![0usize; n_links + 1];
+        for &e in &plinks {
+            lptr[e as usize + 1] += 1;
+        }
+        for e in 0..n_links {
+            lptr[e + 1] += lptr[e];
+        }
+        let mut lpaths = vec![0u32; plinks.len()];
+        let mut cursor = lptr.clone();
+        for pid in 0..n_paths {
+            for &e in &plinks[ppt[pid]..ppt[pid + 1]] {
+                lpaths[cursor[e as usize]] = pid as u32;
+                cursor[e as usize] += 1;
+            }
+        }
+
+        // ---- Multiplicative-weight state ----------------------------
         // Edge universe: real links then one virtual demand-edge per
         // commodity (capacity D_k).
         let m = n_links + n_comm;
@@ -214,64 +320,121 @@ impl McfProblem {
             })
             .collect();
 
-        // Path length under current duals (incl. the virtual edge).
-        let path_len = |length: &[f64], k: usize, t: usize| -> f64 {
-            let p = &self.commodities[k].paths[t];
-            let mut l = length[n_links + k];
-            for &e in &p.links {
-                l += length[e];
+        // Incrementally maintained dual length per path (virtual edge
+        // included); refreshed exactly at each phase start to cancel
+        // additive drift.
+        let mut path_len = vec![f64::INFINITY; n_paths];
+        const NONE: u32 = u32::MAX;
+        let mut cand = vec![NONE; n_comm];
+        // dirty[k]: some path length of k changed since batch pricing,
+        // so its phase-start candidate may be stale.
+        let mut dirty = vec![false; n_comm];
+
+        // Shortest tunnel of k by dual length; prefer lower w_t within
+        // (1+eps) of the minimum. Shared verbatim by the parallel batch
+        // pricing and the serial revalidation so both pick identically.
+        let select = |k: usize, path_len: &[f64]| -> Option<usize> {
+            let paths = &self.commodities[k].paths;
+            let base = comm_ptr[k];
+            let mut best_t = None;
+            let mut best_len = f64::INFINITY;
+            for t in 0..paths.len() {
+                let l = path_len[base + t];
+                if l < best_len {
+                    best_len = l;
+                    best_t = Some(t);
+                }
             }
-            l
+            let mut t = best_t?;
+            for c in 0..paths.len() {
+                if path_len[base + c] <= best_len * (1.0 + eps)
+                    && paths[c].weight < paths[t].weight
+                {
+                    t = c;
+                }
+            }
+            Some(t)
         };
 
         let mut alpha = delta; // lower bound on the global min path length
         while alpha < 1.0 {
+            // Phase-start batch pricing: recompute every path length
+            // exactly from `length`, then pick each commodity's
+            // candidate tunnel. Both passes are element-independent
+            // with a fixed per-element reduction order, so any chunking
+            // across workers yields bitwise-identical results.
+            par_chunks_mut(&mut path_len, threads, &|offset, chunk: &mut [f64]| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let pid = offset + i;
+                    let mut l = length[n_links + comm_of[pid] as usize];
+                    for &e in &plinks[ppt[pid]..ppt[pid + 1]] {
+                        l += length[e as usize];
+                    }
+                    *slot = l;
+                }
+            });
+            {
+                let path_len = &path_len[..];
+                par_chunks_mut(&mut cand, threads, &|offset, chunk: &mut [u32]| {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        let k = offset + i;
+                        *slot = if self.commodities[k].demand > 0.0 {
+                            select(k, path_len).map_or(NONE, |t| t as u32)
+                        } else {
+                            NONE
+                        };
+                    }
+                });
+            }
+            dirty.iter_mut().for_each(|d| *d = false);
+
+            // Serial in-order apply with staleness revalidation.
             for k in 0..n_comm {
-                if self.commodities[k].demand <= 0.0 {
+                let demand = self.commodities[k].demand;
+                if demand <= 0.0 {
                     continue;
                 }
                 loop {
-                    // Shortest tunnel of k by dual length; prefer lower
-                    // w_t within (1+eps) of the minimum.
-                    let mut best_t = None;
-                    let mut best_len = f64::INFINITY;
-                    for t in 0..self.commodities[k].paths.len() {
-                        let l = path_len(&length, k, t);
-                        if l < best_len {
-                            best_len = l;
-                            best_t = Some(t);
+                    let t = if dirty[k] {
+                        match select(k, &path_len) {
+                            Some(t) => t,
+                            None => break,
                         }
-                    }
-                    let (mut t, l0) = match best_t {
-                        Some(t) => (t, best_len),
-                        None => break,
+                    } else if cand[k] == NONE {
+                        break;
+                    } else {
+                        cand[k] as usize
                     };
-                    for cand in 0..self.commodities[k].paths.len() {
-                        if path_len(&length, k, cand) <= l0 * (1.0 + eps)
-                            && self.commodities[k].paths[cand].weight
-                                < self.commodities[k].paths[t].weight
-                        {
-                            t = cand;
-                        }
-                    }
-                    let l = path_len(&length, k, t);
+                    let pid = comm_ptr[k] + t;
+                    let l = path_len[pid];
                     if !(l < 1.0 && l < alpha * (1.0 + eps)) {
                         break;
                     }
-                    // Route the bottleneck capacity.
-                    let p = &self.commodities[k].paths[t];
-                    let mut c = self.commodities[k].demand;
-                    for &e in &p.links {
-                        c = c.min(self.link_capacity[e]);
-                    }
-                    if c <= 0.0 {
+                    let f = route_amount[pid];
+                    if f <= 0.0 {
                         break;
                     }
-                    flows[k][t] += c;
-                    // Multiplicative length updates.
-                    length[n_links + k] *= 1.0 + eps * c / self.commodities[k].demand;
-                    for &e in &p.links {
-                        length[e] *= 1.0 + eps * c / self.link_capacity[e];
+                    flows[k][t] += f;
+                    // Multiplicative length updates, propagated
+                    // additively to every affected path via the
+                    // transpose.
+                    let ve = n_links + k;
+                    let grown = length[ve] * (1.0 + eps * f / demand);
+                    let d = grown - length[ve];
+                    length[ve] = grown;
+                    for p2 in comm_ptr[k]..comm_ptr[k + 1] {
+                        path_len[p2] += d;
+                    }
+                    dirty[k] = true;
+                    for &e in &plinks[ppt[pid]..ppt[pid + 1]] {
+                        let e = e as usize;
+                        let grown = length[e] * (1.0 + eps * f / self.link_capacity[e]);
+                        let d = grown - length[e];
+                        length[e] = grown;
+                        for &p2 in &lpaths[lptr[e]..lptr[e + 1]] {
+                            path_len[p2 as usize] += d;
+                            dirty[comm_of[p2 as usize] as usize] = true;
+                        }
                     }
                 }
             }
@@ -337,6 +500,35 @@ impl McfProblem {
             self.commodities[e - n_links].demand
         }
     }
+}
+
+/// Runs `f(offset, chunk)` over contiguous chunks of `data`, on up to
+/// `threads` scoped workers. Every element is computed independently,
+/// so the chunking never changes the values written — callers rely on
+/// this for thread-count determinism. Small inputs run inline to skip
+/// spawn overhead.
+fn par_chunks_mut<T, F>(data: &mut [T], threads: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if threads <= 1 || n < 4096 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut offset = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            s.spawn(move || f(offset, head));
+            offset += take;
+            rest = tail;
+        }
+    });
 }
 
 #[cfg(test)]
@@ -540,5 +732,97 @@ mod tests {
             prop_assert!(p.check_feasible(&s, 1e-7));
             prop_assert!(s.satisfied_ratio(&p) <= 1.0 + 1e-9);
         }
+
+        #[test]
+        fn fptas_bitwise_deterministic_across_thread_counts(seed in 0u64..800) {
+            let p = random_instance(seed);
+            let one = p.solve_fptas_with(0.1, 1);
+            for threads in [2usize, 4, 7] {
+                let par = p.solve_fptas_with(0.1, threads);
+                prop_assert_eq!(&one.flows, &par.flows, "threads={}", threads);
+                prop_assert_eq!(&one.link_prices, &par.link_prices);
+                prop_assert!(one.total_flow.to_bits() == par.total_flow.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn size_estimate_counts_materialized_rows_and_nnz() {
+        // 2 commodities with paths (2 demand rows), links {0,1} used
+        // (2 link rows), link 2 untouched: m = 4. nnz = 3 path vars in
+        // demand rows + 4 link memberships. Estimate = 2m² + nnz.
+        let p = McfProblem {
+            link_capacity: vec![10.0, 10.0, 10.0],
+            commodities: vec![
+                Commodity {
+                    demand: 5.0,
+                    paths: vec![
+                        PathSpec { links: vec![0], weight: 1.0 },
+                        PathSpec { links: vec![0, 1], weight: 2.0 },
+                    ],
+                },
+                Commodity {
+                    demand: 5.0,
+                    paths: vec![PathSpec { links: vec![1], weight: 1.0 }],
+                },
+            ],
+            epsilon_weight: 1e-4,
+        };
+        assert_eq!(p.size_estimate(), 2 * 4 * 4 + 3 + 4);
+        // Empty instance: no rows, no entries.
+        let empty =
+            McfProblem { link_capacity: vec![], commodities: vec![], epsilon_weight: 0.0 };
+        assert_eq!(empty.size_estimate(), 0);
+    }
+
+    #[test]
+    fn parallel_fptas_spawn_path_matches_inline() {
+        // Enough paths (> 4096) that par_chunks_mut actually spawns
+        // workers instead of running inline.
+        let n_links = 64usize;
+        let p = McfProblem {
+            link_capacity: (0..n_links).map(|e| 50.0 + (e % 7) as f64 * 10.0).collect(),
+            commodities: (0..2048)
+                .map(|k| Commodity {
+                    demand: 5.0 + (k % 11) as f64,
+                    paths: (0..3)
+                        .map(|t| PathSpec {
+                            links: vec![(k * 3 + t) % n_links, (k * 5 + t * 2) % n_links],
+                            weight: 1.0 + t as f64,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            epsilon_weight: 1e-4,
+        };
+        let a = p.solve_fptas_with(0.3, 1);
+        let b = p.solve_fptas_with(0.3, 6);
+        assert_eq!(a.flows, b.flows);
+        assert!(p.check_feasible(&a, 1e-7));
+        assert!(a.total_flow > 0.0);
+    }
+
+    #[test]
+    fn parallel_fptas_matches_single_thread_on_shared_bottleneck() {
+        // Dense sharing: every commodity crosses the same two links, so
+        // the staleness revalidation path is exercised hard.
+        let p = McfProblem {
+            link_capacity: vec![50.0, 80.0, 120.0],
+            commodities: (0..12)
+                .map(|k| Commodity {
+                    demand: 10.0 + k as f64,
+                    paths: vec![
+                        PathSpec { links: vec![0, 1], weight: 1.0 },
+                        PathSpec { links: vec![2], weight: 2.0 + k as f64 * 0.1 },
+                    ],
+                })
+                .collect(),
+            epsilon_weight: 1e-4,
+        };
+        let a = p.solve_fptas_with(0.05, 1);
+        let b = p.solve_fptas_with(0.05, 8);
+        assert_eq!(a.flows, b.flows);
+        assert!(p.check_feasible(&a, 1e-7));
+        assert!(a.total_flow > 0.0);
     }
 }

@@ -1,0 +1,593 @@
+//! Sparse revised primal simplex for `max c·x  s.t.  A x ≤ b, x ≥ 0`,
+//! `b ≥ 0` — the same LP family as [`crate::simplex`], without the
+//! dense tableau.
+//!
+//! The dense solver materializes an `m × (n + m + 1)` tableau and
+//! rewrites all of it on every pivot; at MegaTE's site-LP shapes (a
+//! demand row per commodity plus a link row per fiber, a path variable
+//! per tunnel) that wall is what forced instances past a few thousand
+//! commodities onto the FPTAS. The revised method keeps:
+//!
+//! * the constraint matrix as immutable sparse CSC columns (slack
+//!   columns stay implicit — they are unit vectors);
+//! * an explicit basis inverse `B⁻¹` (dense `m × m`, column-major so
+//!   both FTRAN and BTRAN walk contiguous memory), updated in place by
+//!   the product-form (eta) rank-1 update on each pivot and rebuilt
+//!   from the basis by Gauss–Jordan every [`REFACTOR_EVERY`] pivots to
+//!   bound numerical drift;
+//! * the full reduced-cost vector, updated incrementally per pivot in
+//!   `O(m + nnz(A))` from row `p` of `B⁻¹` instead of re-priced from
+//!   scratch, and recomputed exactly at every refactorization and
+//!   before declaring optimality.
+//!
+//! Memory is `O(nnz(A) + m²)` (twice `m²` while a refactorization's
+//! Gauss–Jordan scratch is live) versus the tableau's `O(m·(n+m))`, and a
+//! pivot costs `O(m² + nnz(A))` versus `O(m·(n+m))` — on path-form MCF
+//! instances where paths vastly outnumber rows, both drop by the
+//! `n/m` ratio. Pricing is Dantzig's rule with the same switch to
+//! Bland's rule as the dense solver to break cycling on degenerate
+//! instances.
+
+use crate::simplex::{LinearProgram, LpError, LpSolution, LpStatus};
+
+/// Numerical tolerance for pricing and feasibility (matches the dense
+/// solver so the two report identical statuses on marginal instances).
+const EPS: f64 = 1e-9;
+/// Smallest acceptable pivot element magnitude; rows whose ratio ties
+/// within `EPS` are broken toward larger pivots for stability.
+const PIVOT_TOL: f64 = 1e-8;
+/// Pivots between Gauss–Jordan rebuilds of the basis inverse.
+const REFACTOR_EVERY: usize = 512;
+
+/// Immutable CSC view of the structural columns of `A`.
+struct SparseCols {
+    ptr: Vec<usize>,
+    rows: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl SparseCols {
+    fn build(lp: &LinearProgram) -> Self {
+        let n = lp.n_vars();
+        // Count entries per column (duplicate indices within a row are
+        // kept — they accumulate in every dot product, matching the
+        // dense solver's `+=` tableau fill).
+        let mut counts = vec![0usize; n + 1];
+        for row in &lp.rows {
+            for &(j, _) in &row.entries {
+                counts[j + 1] += 1;
+            }
+        }
+        for j in 0..n {
+            counts[j + 1] += counts[j];
+        }
+        let nnz = counts[n];
+        let mut rows = vec![0u32; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        let mut cursor = counts.clone();
+        for (i, row) in lp.rows.iter().enumerate() {
+            for &(j, a) in &row.entries {
+                let k = cursor[j];
+                rows[k] = i as u32;
+                vals[k] = a;
+                cursor[j] += 1;
+            }
+        }
+        SparseCols { ptr: counts, rows, vals }
+    }
+
+    fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.rows[self.ptr[j]..self.ptr[j + 1]]
+            .iter()
+            .zip(&self.vals[self.ptr[j]..self.ptr[j + 1]])
+            .map(|(&r, &v)| (r as usize, v))
+    }
+}
+
+/// Solver state: basis bookkeeping plus the maintained inverse.
+struct Revised<'a> {
+    lp: &'a LinearProgram,
+    cols: SparseCols,
+    m: usize,
+    n: usize,
+    /// Column-major `m × m` basis inverse: entry `(r, c)` at `c*m + r`.
+    binv: Vec<f64>,
+    /// Basic variable per row position.
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// Current basic solution values (`B⁻¹ b`).
+    xb: Vec<f64>,
+    /// Reduced costs `c_j − y·A_j` for all `n + m` variables.
+    d: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl<'a> Revised<'a> {
+    fn new(lp: &'a LinearProgram) -> Self {
+        let m = lp.rows.len();
+        let n = lp.n_vars();
+        let cols = SparseCols::build(lp);
+        // All-slack start: B = I, so B⁻¹ = I, x_B = b, y = 0, d = c.
+        let mut binv = vec![0.0f64; m * m];
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+        }
+        let b: Vec<f64> = lp.rows.iter().map(|r| r.rhs).collect();
+        let mut d = vec![0.0f64; n + m];
+        d[..n].copy_from_slice(&lp.objective);
+        let mut in_basis = vec![false; n + m];
+        for flag in in_basis.iter_mut().skip(n) {
+            *flag = true;
+        }
+        Revised {
+            lp,
+            cols,
+            m,
+            n,
+            binv,
+            basis: (n..n + m).collect(),
+            in_basis,
+            xb: b.clone(),
+            d,
+            b,
+        }
+    }
+
+    /// `w = B⁻¹ A_j` (FTRAN) — accumulates scaled columns of `B⁻¹`.
+    fn ftran(&self, j: usize, w: &mut [f64]) {
+        w.fill(0.0);
+        if j < self.n {
+            for (i, a) in self.cols.col(j) {
+                let col = &self.binv[i * self.m..(i + 1) * self.m];
+                for (wr, &br) in w.iter_mut().zip(col) {
+                    *wr += a * br;
+                }
+            }
+        } else {
+            w.copy_from_slice(&self.binv[(j - self.n) * self.m..(j - self.n + 1) * self.m]);
+        }
+    }
+
+    /// Recomputes every reduced cost from an exact BTRAN:
+    /// `y = c_B B⁻¹`, then `d_j = c_j − y·A_j`.
+    fn refresh_reduced_costs(&mut self) {
+        let m = self.m;
+        let mut y = vec![0.0f64; m];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let col = &self.binv[i * m..(i + 1) * m];
+            let mut acc = 0.0;
+            for (r, &br) in col.iter().enumerate() {
+                if br != 0.0 {
+                    let vb = self.basis[r];
+                    if vb < self.n {
+                        acc += self.lp.objective[vb] * br;
+                    }
+                }
+            }
+            *yi = acc;
+        }
+        for j in 0..self.n {
+            let dot: f64 = self.cols.col(j).map(|(i, a)| a * y[i]).sum();
+            self.d[j] = self.lp.objective[j] - dot;
+        }
+        for i in 0..m {
+            self.d[self.n + i] = -y[i];
+        }
+        for &vb in &self.basis {
+            self.d[vb] = 0.0;
+        }
+    }
+
+    /// Rebuilds `B⁻¹` from the basis columns by Gauss–Jordan with
+    /// partial pivoting, then restores `x_B = B⁻¹ b` and the exact
+    /// reduced costs. Bounds the drift of the product-form updates.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let m = self.m;
+        // Dense working copy of B, column-major like binv.
+        let mut bmat = vec![0.0f64; m * m];
+        for (pos, &vb) in self.basis.iter().enumerate() {
+            if vb < self.n {
+                for (i, a) in self.cols.col(vb) {
+                    bmat[pos * m + i] += a;
+                }
+            } else {
+                bmat[pos * m + (vb - self.n)] = 1.0;
+            }
+        }
+        let inv = &mut self.binv;
+        inv.fill(0.0);
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for k in 0..m {
+            // Partial pivot: largest |entry| in column k at rows >= k.
+            let (mut prow, mut pval) = (k, bmat[k * m + k].abs());
+            for r in k + 1..m {
+                let v = bmat[k * m + r].abs();
+                if v > pval {
+                    prow = r;
+                    pval = v;
+                }
+            }
+            if pval < PIVOT_TOL * PIVOT_TOL {
+                // Numerically singular basis — treat as irrecoverable.
+                return Err(LpError::IterationLimit);
+            }
+            if prow != k {
+                for c in 0..m {
+                    bmat.swap(c * m + k, c * m + prow);
+                    inv.swap(c * m + k, c * m + prow);
+                }
+            }
+            let piv = bmat[k * m + k];
+            for c in 0..m {
+                bmat[c * m + k] /= piv;
+                inv[c * m + k] /= piv;
+            }
+            for r in 0..m {
+                if r == k {
+                    continue;
+                }
+                let f = bmat[k * m + r];
+                if f != 0.0 {
+                    for c in 0..m {
+                        bmat[c * m + r] -= f * bmat[c * m + k];
+                        inv[c * m + r] -= f * inv[c * m + k];
+                    }
+                }
+            }
+        }
+        // x_B = B⁻¹ b.
+        self.xb.fill(0.0);
+        for (i, &bi) in self.b.iter().enumerate() {
+            if bi != 0.0 {
+                let col = &inv[i * m..(i + 1) * m];
+                for (x, &v) in self.xb.iter_mut().zip(col) {
+                    *x += bi * v;
+                }
+            }
+        }
+        for x in &mut self.xb {
+            if *x < 0.0 && *x > -1e-7 {
+                *x = 0.0;
+            }
+        }
+        self.refresh_reduced_costs();
+        Ok(())
+    }
+
+    /// Product-form (eta) update after pivoting variable `enter` into
+    /// row `p` with FTRAN column `w`: updates `B⁻¹`, `x_B`, and the
+    /// reduced costs in `O(m² + nnz(A))`.
+    fn pivot(&mut self, enter: usize, p: usize, w: &[f64]) {
+        let m = self.m;
+        let wp = w[p];
+        // x_B update.
+        let step = self.xb[p] / wp;
+        for (r, x) in self.xb.iter_mut().enumerate() {
+            if r != p {
+                *x -= w[r] * step;
+                if *x < 0.0 && *x > -1e-9 {
+                    *x = 0.0;
+                }
+            }
+        }
+        self.xb[p] = step;
+        // Reduced-cost update from row p of the *new* B⁻¹. Row p of the
+        // old inverse is rho; new row p is rho / wp, and
+        // d'_j = d_j − (d_enter / wp) · (rho · A_j).
+        let theta = self.d[enter] / wp;
+        let mut rho = vec![0.0f64; m];
+        for (c, rc) in rho.iter_mut().enumerate() {
+            *rc = self.binv[c * m + p];
+        }
+        if theta != 0.0 {
+            // Distribute row-wise over the nonzeros of rho instead of
+            // gathering column-wise over all of A: rho is row p of
+            // B⁻¹ and stays sparse for most of the solve, and the row
+            // entries walk contiguous memory.
+            for (i, &ri) in rho.iter().enumerate() {
+                if ri != 0.0 {
+                    let tri = theta * ri;
+                    for &(j, a) in &self.lp.rows[i].entries {
+                        self.d[j] -= tri * a;
+                    }
+                    self.d[self.n + i] -= tri;
+                }
+            }
+            // Basic variables keep d = 0 by definition; the distributed
+            // updates touched them, so force them back.
+            for &vb in &self.basis {
+                self.d[vb] = 0.0;
+            }
+        }
+        // Eta update of B⁻¹: new_col_c[p] = rho[c]/wp, and
+        // new_col_c[r] -= w[r] * new_col_c[p] for r != p.
+        for c in 0..m {
+            let t = rho[c] / wp;
+            if t != 0.0 {
+                let col = &mut self.binv[c * m..(c + 1) * m];
+                for (r, cr) in col.iter_mut().enumerate() {
+                    if r != p {
+                        *cr -= w[r] * t;
+                    }
+                }
+                col[p] = t;
+            } else {
+                self.binv[c * m + p] = 0.0;
+            }
+        }
+        // Basis bookkeeping; the leaving variable's reduced cost comes
+        // out of the same update formula with alpha = 1.
+        let leave = self.basis[p];
+        self.in_basis[leave] = false;
+        self.d[leave] = -theta;
+        self.basis[p] = enter;
+        self.in_basis[enter] = true;
+        self.d[enter] = 0.0;
+    }
+
+    fn solution(&self, pivots: usize) -> LpSolution {
+        let mut x = vec![0.0f64; self.n];
+        for (r, &vb) in self.basis.iter().enumerate() {
+            if vb < self.n {
+                x[vb] = self.xb[r].max(0.0);
+            }
+        }
+        let objective = self.lp.objective_at(&x);
+        // Slack j = n+i has reduced cost −y_i, so the duals fall out of
+        // the final pricing vector (clamped like the dense solver).
+        let duals: Vec<f64> = (0..self.m).map(|i| (-self.d[self.n + i]).max(0.0)).collect();
+        LpSolution { status: LpStatus::Optimal, x, objective, pivots, duals }
+    }
+
+    fn unbounded(&self, pivots: usize) -> LpSolution {
+        LpSolution {
+            status: LpStatus::Unbounded,
+            x: vec![0.0; self.n],
+            objective: f64::INFINITY,
+            pivots,
+            duals: vec![0.0; self.m],
+        }
+    }
+}
+
+/// Solves with the sparse revised simplex. Same contract as the dense
+/// [`crate::simplex::LinearProgram::solve_dense`]: `Optimal` with
+/// primal/dual values, `Unbounded`, or an [`LpError`].
+pub fn solve_revised(lp: &LinearProgram) -> Result<LpSolution, LpError> {
+    let m = lp.rows.len();
+    let n = lp.n_vars();
+    if n == 0 {
+        return Ok(LpSolution {
+            status: LpStatus::Optimal,
+            x: vec![],
+            objective: 0.0,
+            pivots: 0,
+            duals: vec![0.0; m],
+        });
+    }
+    let mut st = Revised::new(lp);
+    let mut w = vec![0.0f64; m];
+    let mut pivots = 0usize;
+    let limit = 50_000 + 40 * (m + n);
+    let bland_after = limit / 2;
+    let mut bland = false;
+    // Set when the incremental reduced costs said "optimal" and we just
+    // re-verified them exactly — terminates the refresh loop.
+    let mut verified = false;
+
+    loop {
+        // Entering variable: Dantzig (most positive reduced cost), or
+        // Bland (lowest index) once the pivot budget is half spent.
+        let mut enter: Option<usize> = None;
+        if !bland {
+            let mut best = EPS;
+            for (j, &dj) in st.d.iter().enumerate() {
+                if !st.in_basis[j] && dj > best {
+                    best = dj;
+                    enter = Some(j);
+                }
+            }
+        } else {
+            enter = (0..n + m).find(|&j| !st.in_basis[j] && st.d[j] > EPS);
+        }
+        let enter = match enter {
+            Some(j) => j,
+            None => {
+                if verified {
+                    break;
+                }
+                // The incremental prices may have drifted: rebuild and
+                // re-price exactly before declaring optimality.
+                st.refactorize()?;
+                verified = true;
+                continue;
+            }
+        };
+
+        st.ftran(enter, &mut w);
+
+        // Ratio test. Ties within EPS break toward the larger pivot
+        // element (stability) under Dantzig, toward the smallest basis
+        // index (anti-cycling) under Bland.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for (r, &wr) in w.iter().enumerate() {
+            if wr > PIVOT_TOL {
+                let ratio = st.xb[r] / wr;
+                let better = match leave {
+                    None => true,
+                    Some(l) => {
+                        ratio < best_ratio - EPS
+                            || (ratio < best_ratio + EPS
+                                && if bland {
+                                    st.basis[r] < st.basis[l]
+                                } else {
+                                    wr > w[l]
+                                })
+                    }
+                };
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(r);
+                }
+            }
+        }
+        let p = match leave {
+            Some(p) => p,
+            None => {
+                // Nothing blocks the entering column; but verify with a
+                // fresh factorization before reporting unbounded, since
+                // an eta-drifted column can look all-nonpositive.
+                if verified {
+                    return Ok(st.unbounded(pivots));
+                }
+                st.refactorize()?;
+                verified = true;
+                continue;
+            }
+        };
+
+        st.pivot(enter, p, &w);
+        pivots += 1;
+        verified = false;
+        if pivots >= limit {
+            return Err(LpError::IterationLimit);
+        }
+        if !bland && pivots >= bland_after {
+            bland = true;
+            st.refactorize()?;
+            verified = true;
+        } else if pivots % REFACTOR_EVERY == 0 {
+            st.refactorize()?;
+            verified = true;
+        }
+    }
+
+    Ok(st.solution(pivots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::LinearProgram;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_two_variable_lp() {
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0]);
+        lp.add_le(vec![(0, 1.0)], 4.0);
+        lp.add_le(vec![(1, 2.0)], 12.0);
+        lp.add_le(vec![(0, 3.0), (1, 2.0)], 18.0);
+        let s = solve_revised(&lp).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+        assert_close(s.duals[0], 0.0);
+        assert_close(s.duals[1], 1.5);
+        assert_close(s.duals[2], 1.0);
+    }
+
+    #[test]
+    fn unconstrained_positive_objective_is_unbounded() {
+        let lp = LinearProgram::maximize(vec![1.0]);
+        let s = solve_revised(&lp).unwrap();
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        let mut lp = LinearProgram::maximize(vec![0.75, -150.0, 0.02, -6.0]);
+        lp.add_le(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], 0.0);
+        lp.add_le(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], 0.0);
+        lp.add_le(vec![(2, 1.0)], 1.0);
+        let s = solve_revised(&lp).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 0.05);
+    }
+
+    #[test]
+    fn duplicate_entry_indices_accumulate() {
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.add_le(vec![(0, 1.0), (0, 1.0)], 4.0);
+        let s = solve_revised(&lp).unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    /// Random sparse LPs where the dense tableau solver is the oracle:
+    /// objective values and duals must agree to 1e-6.
+    fn random_lp(n: usize, m_extra: usize, seed: u64) -> LinearProgram {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..5.0)).collect();
+        let mut lp = LinearProgram::maximize(obj);
+        for _ in 0..m_extra {
+            let mut entries: Vec<(usize, f64)> = Vec::new();
+            for j in 0..n {
+                if rng.gen_bool(0.4) {
+                    entries.push((j, rng.gen_range(0.1..3.0)));
+                }
+            }
+            if !entries.is_empty() {
+                lp.add_le(entries, rng.gen_range(0.5..20.0));
+            }
+        }
+        for j in 0..n {
+            lp.add_le(vec![(j, 1.0)], rng.gen_range(1.0..40.0));
+        }
+        lp
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn matches_dense_objective_and_duals(
+            n in 1usize..10,
+            m_extra in 0usize..8,
+            seed in 0u64..10_000,
+        ) {
+            let lp = random_lp(n, m_extra, seed);
+            let rev = solve_revised(&lp).unwrap();
+            let dense = lp.solve_dense().unwrap();
+            proptest::prop_assert_eq!(rev.status, dense.status);
+            let scale = 1.0 + dense.objective.abs();
+            proptest::prop_assert!(
+                (rev.objective - dense.objective).abs() < 1e-6 * scale,
+                "objective: revised {} vs dense {}", rev.objective, dense.objective
+            );
+            proptest::prop_assert!(lp.is_feasible(&rev.x));
+            // Optimal bases may differ, but strong duality pins y·b.
+            let yb_rev: f64 = rev.duals.iter().zip(&lp.rows).map(|(y, r)| y * r.rhs).sum();
+            proptest::prop_assert!(
+                (yb_rev - dense.objective).abs() < 1e-6 * scale,
+                "dual objective: revised y·b {} vs primal {}", yb_rev, dense.objective
+            );
+            proptest::prop_assert!(rev.duals.iter().all(|&y| y >= -1e-9));
+        }
+    }
+
+    #[test]
+    fn forces_refactorization_on_long_runs() {
+        // A chain LP needing well over REFACTOR_EVERY would be slow to
+        // build here; instead check refactorize() directly preserves
+        // the state mid-solve via a moderately pivot-heavy instance.
+        let n = 60;
+        let mut lp = LinearProgram::maximize((1..=n).map(|i| i as f64).collect());
+        for i in 0..n {
+            let mut entries = vec![(i, 1.0)];
+            if i > 0 {
+                entries.push((i - 1, 0.5));
+            }
+            lp.add_le(entries, 1.0 + (i % 7) as f64);
+        }
+        let s = solve_revised(&lp).unwrap();
+        let dense = lp.solve_dense().unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - dense.objective).abs() < 1e-6 * (1.0 + dense.objective.abs()));
+    }
+}

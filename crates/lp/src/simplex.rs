@@ -1,12 +1,16 @@
-//! Dense primal simplex for `max c·x  s.t.  A x ≤ b,  x ≥ 0,  b ≥ 0`.
+//! Primal simplex for `max c·x  s.t.  A x ≤ b,  x ≥ 0,  b ≥ 0`.
 //!
 //! All of MegaTE's LPs (Equation 2 and the LP-all baseline) are in this
 //! form, which admits the all-slack starting basis — no phase-1 needed.
-//! Dantzig pricing with an automatic switch to Bland's rule guards
-//! against cycling on degenerate instances. Dense tableaus keep the code
-//! simple and robust; instances beyond a few thousand rows/columns should
-//! use the FPTAS in [`crate::mcf`] instead (that mirrors the paper, where
-//! exact LP at endpoint granularity runs out of memory — §6.2).
+//! [`LinearProgram::solve`] runs the sparse revised simplex in
+//! [`crate::revised`] (memory `O(nnz + m²)`); the dense tableau solver
+//! below remains as [`LinearProgram::solve_dense`], the reference
+//! implementation the revised core is property-tested against. Dantzig
+//! pricing with an automatic switch to Bland's rule guards against
+//! cycling on degenerate instances. Instances too large even for the
+//! revised working set should use the FPTAS in [`crate::mcf`] instead
+//! (that mirrors the paper, where exact LP at endpoint granularity runs
+//! out of memory — §6.2).
 
 /// Numerical tolerance for pivoting and feasibility checks.
 const EPS: f64 = 1e-9;
@@ -63,16 +67,40 @@ impl LinearProgram {
         self.rows.push(SparseRow { entries, rhs });
     }
 
-    /// Estimated dense tableau size in f64 entries — callers use this to
-    /// decide exact-vs-FPTAS, and [`solve`](Self::solve) enforces a cap.
+    /// Estimated dense tableau size in f64 entries — what
+    /// [`solve_dense`](Self::solve_dense) would allocate.
     pub fn tableau_entries(&self) -> usize {
         let m = self.rows.len();
         let n = self.n_vars();
         m.saturating_mul(n + m + 1)
     }
 
-    /// Solves the LP. See [`LpError`] for failure modes.
+    /// Estimated working-set size of the revised solver in f64
+    /// entries: the dense `m × m` basis inverse, the equally sized
+    /// Gauss–Jordan scratch matrix live during refactorization, and
+    /// the sparse constraint columns — `2m² + nnz`. Callers use this
+    /// to decide exact-vs-FPTAS, and [`solve`](Self::solve) enforces
+    /// [`TABLEAU_ENTRY_CAP`] on it.
+    pub fn revised_entries(&self) -> usize {
+        let m = self.rows.len();
+        let nnz: usize = self.rows.iter().map(|r| r.entries.len()).sum();
+        m.saturating_mul(m).saturating_mul(2).saturating_add(nnz)
+    }
+
+    /// Solves the LP with the sparse revised simplex (see
+    /// [`crate::revised`]). See [`LpError`] for failure modes.
     pub fn solve(&self) -> Result<LpSolution, LpError> {
+        let entries = self.revised_entries();
+        if entries > TABLEAU_ENTRY_CAP {
+            return Err(LpError::TooLarge { entries, cap: TABLEAU_ENTRY_CAP });
+        }
+        crate::revised::solve_revised(self)
+    }
+
+    /// Solves the LP with the dense tableau simplex — kept as the
+    /// reference implementation and for benchmarking against
+    /// [`solve`](Self::solve).
+    pub fn solve_dense(&self) -> Result<LpSolution, LpError> {
         solve_dense(self)
     }
 
@@ -123,9 +151,9 @@ pub struct LpSolution {
 /// Solver failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LpError {
-    /// The dense tableau would exceed the memory cap. This is the
-    /// behaviour the paper reports for LP-all at hyper-scale ("out-of-
-    /// memory issues"); callers surface it as such.
+    /// The solver's working set would exceed the memory cap. This is
+    /// the behaviour the paper reports for LP-all at hyper-scale
+    /// ("out-of-memory issues"); callers surface it as such.
     TooLarge {
         /// Entries the tableau would need.
         entries: usize,
@@ -140,7 +168,7 @@ impl std::fmt::Display for LpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LpError::TooLarge { entries, cap } => {
-                write!(f, "dense tableau needs {entries} entries (cap {cap}): out of memory")
+                write!(f, "LP working set needs {entries} entries (cap {cap}): out of memory")
             }
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
         }
@@ -149,8 +177,8 @@ impl std::fmt::Display for LpError {
 
 impl std::error::Error for LpError {}
 
-/// Hard cap on tableau entries (~1.6 GB of f64). Mirrors the OOM wall
-/// the paper reports for exact LP at endpoint granularity.
+/// Hard cap on solver working-set entries (~1.6 GB of f64). Mirrors
+/// the OOM wall the paper reports for exact LP at endpoint granularity.
 pub const TABLEAU_ENTRY_CAP: usize = 200_000_000;
 
 fn solve_dense(lp: &LinearProgram) -> Result<LpSolution, LpError> {

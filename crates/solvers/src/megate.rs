@@ -25,7 +25,7 @@ use std::time::Instant;
 pub enum LpMode {
     /// Pick exact vs FPTAS from the instance size (default).
     Auto,
-    /// Always the dense simplex (exact; memory-walled).
+    /// Always the exact sparse revised simplex (memory-walled).
     Exact,
     /// Always the multiplicative-weights FPTAS with the given ε.
     Fptas(f64),
@@ -40,9 +40,10 @@ pub struct MegaTeConfig {
     pub lp_mode: LpMode,
     /// ε of the FPTAS when `Auto` escalates to it.
     pub auto_fptas_eps: f64,
-    /// `Auto` uses the exact simplex while the dense tableau stays
-    /// under this many entries.
-    pub auto_exact_tableau_cap: usize,
+    /// `Auto` uses the exact simplex while the revised solver's
+    /// working set ([`McfProblem::size_estimate`]) stays under this
+    /// many entries.
+    pub auto_exact_entry_cap: usize,
     /// Worker threads for the parallel `MaxEndpointFlow` stage.
     pub threads: usize,
     /// The objective's `ε` preferring shorter paths (Equation 1).
@@ -61,7 +62,7 @@ impl Default for MegaTeConfig {
             fastssp_epsilon: 0.1,
             lp_mode: LpMode::Auto,
             auto_fptas_eps: 0.05,
-            auto_exact_tableau_cap: 4_000_000,
+            auto_exact_entry_cap: 4_000_000,
             threads: num_threads(),
             epsilon_weight: 1e-4,
             residual_repair: true,
@@ -122,17 +123,15 @@ impl MegaTeScheme {
             epsilon_weight: self.config.epsilon_weight,
         };
 
-        let n_vars: usize = mcf.commodities.iter().map(|c| c.paths.len()).sum();
-        let n_rows = mcf.commodities.len() + mcf.link_capacity.len();
-        let tableau = (n_rows + 1) * (n_vars + n_rows + 1);
+        let threads = self.config.threads.max(1);
         let solution = match self.config.lp_mode {
             LpMode::Exact => mcf.solve_exact().map_err(|e| SolveError::Lp(e.to_string()))?,
-            LpMode::Fptas(eps) => mcf.solve_fptas(eps),
+            LpMode::Fptas(eps) => mcf.solve_fptas_with(eps, threads),
             LpMode::Auto => {
-                if tableau <= self.config.auto_exact_tableau_cap {
+                if mcf.size_estimate() <= self.config.auto_exact_entry_cap {
                     mcf.solve_exact().map_err(|e| SolveError::Lp(e.to_string()))?
                 } else {
-                    mcf.solve_fptas(self.config.auto_fptas_eps)
+                    mcf.solve_fptas_with(self.config.auto_fptas_eps, threads)
                 }
             }
         };
@@ -157,7 +156,15 @@ impl MegaTeScheme {
 
         // Work in kbps integers: demands round to nearest, capacities
         // floor — so the integer solution can never overfill F_{k,t}.
-        let mut unassigned: Vec<usize> = indices.to_vec();
+        // Each endpoint's item value is pair-constant, so it is rounded
+        // once here instead of once per tunnel.
+        let kbps: Vec<u64> = indices
+            .iter()
+            .map(|&i| (demands[i].demand_mbps * 1000.0).round().max(1.0) as u64)
+            .collect();
+        // `unassigned` holds positions into `indices`/`kbps`.
+        let mut unassigned: Vec<usize> = (0..indices.len()).collect();
+        let mut remaining_kbps: u64 = kbps.iter().sum();
         let mut picks = Vec::new();
         let cfg = FastSspConfig { epsilon_prime: self.config.fastssp_epsilon };
         for (t_idx, &t) in tunnels.iter().enumerate() {
@@ -168,21 +175,57 @@ impl MegaTeScheme {
             if capacity_kbps == 0 {
                 continue;
             }
-            let items: Vec<u64> = unassigned
-                .iter()
-                .map(|&i| (demands[i].demand_mbps * 1000.0).round().max(1.0) as u64)
-                .collect();
+
+            // Fast path 1: the tunnel carries everything still
+            // unassigned — selecting all is trivially optimal.
+            if remaining_kbps <= capacity_kbps {
+                for &u in &unassigned {
+                    picks.push((indices[u], t));
+                }
+                unassigned.clear();
+                break;
+            }
+
+            // Fast path 2: greedy over descending sizes. A greedy fill
+            // that lands exactly on the capacity is provably optimal
+            // for the subset-sum, so FastSSP can be skipped.
+            let mut order = unassigned.clone();
+            order.sort_by(|&a, &b| kbps[b].cmp(&kbps[a]).then(a.cmp(&b)));
+            let mut acc = 0u64;
+            let mut exact = vec![false; indices.len()];
+            for &u in &order {
+                if acc + kbps[u] <= capacity_kbps {
+                    acc += kbps[u];
+                    exact[u] = true;
+                    if acc == capacity_kbps {
+                        break;
+                    }
+                }
+            }
+            if acc == capacity_kbps {
+                for &u in &unassigned {
+                    if exact[u] {
+                        picks.push((indices[u], t));
+                        remaining_kbps -= kbps[u];
+                    }
+                }
+                unassigned.retain(|&u| !exact[u]);
+                continue;
+            }
+
+            let items: Vec<u64> = unassigned.iter().map(|&u| kbps[u]).collect();
             let sol = fast_ssp(&items, capacity_kbps, cfg);
             let mut selected_flags = vec![false; unassigned.len()];
             for &sel in &sol.solution.selected {
                 selected_flags[sel] = true;
-                picks.push((unassigned[sel], t));
+                picks.push((indices[unassigned[sel]], t));
+                remaining_kbps -= kbps[unassigned[sel]];
             }
             unassigned = unassigned
                 .iter()
                 .zip(&selected_flags)
                 .filter(|(_, &s)| !s)
-                .map(|(&i, _)| i)
+                .map(|(&u, _)| u)
                 .collect();
         }
         picks
@@ -428,6 +471,50 @@ mod tests {
             on_shortest as f64 / total as f64 > 0.8,
             "{on_shortest}/{total} on shortest"
         );
+    }
+
+    #[test]
+    fn auto_solves_exactly_past_old_dense_tableau_cap() {
+        // Regression for the Auto sizing heuristic. This Deltacom
+        // instance's *dense* tableau exceeds the 4M-entry cap, so the
+        // old heuristic fell back to the FPTAS; the revised working-set
+        // estimate (m² + nnz) is far smaller, so Auto now solves it
+        // exactly. Bitwise-equal flows against LpMode::Exact prove the
+        // exact path was taken (the FPTAS never reproduces simplex
+        // output exactly).
+        let g = megate_topo::deltacom();
+        let tunnels = TunnelTable::for_all_pairs(&g, 4);
+        let cat = EndpointCatalog::generate(&g, 2600, WeibullEndpoints::with_scale(50.0), 5);
+        let mut demands = DemandSet::generate(
+            &g,
+            &cat,
+            &TrafficConfig {
+                endpoint_pairs: 2600,
+                site_pairs: 1300,
+                sigma: 0.8,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        demands.scale_to_load(&g, 0.9);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+
+        let pairs = crate::types::aggregated_pairs(&p);
+        let n_vars: usize =
+            pairs.iter().map(|&(pair, _)| tunnels.tunnels_for(pair).len()).sum();
+        let n_rows = pairs.len() + p.link_capacities().len();
+        let dense_tableau = (n_rows + 1) * (n_vars + n_rows + 1);
+        let cap = MegaTeConfig::default().auto_exact_entry_cap;
+        assert!(
+            dense_tableau > cap,
+            "instance must exceed the old dense estimate: {dense_tableau} vs {cap}"
+        );
+
+        let auto = MegaTeScheme::default();
+        let exact = MegaTeScheme::new(MegaTeConfig { lp_mode: LpMode::Exact, ..Default::default() });
+        let (_, f_auto) = auto.max_site_flow(&p).unwrap();
+        let (_, f_exact) = exact.max_site_flow(&p).unwrap();
+        assert_eq!(f_auto, f_exact, "Auto must have taken the exact path");
     }
 
     #[test]

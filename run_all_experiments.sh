@@ -1,9 +1,19 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure of the paper plus the ablations and
 # §8 extensions. Quick scale by default; pass "full" for the
-# paper-sized ladders (minutes: includes million-endpoint solves).
+# paper-sized ladders (minutes: includes million-endpoint solves), or
+# "--quick" for a smoke run (compile bins + benches, drive one figure).
 set -euo pipefail
 SCALE="${1:-quick}"
+
+if [[ "$SCALE" == "--quick" ]]; then
+  cargo build -p megate-bench --release --bins
+  cargo bench -p megate-bench --no-run
+  cargo run -q -p megate-bench --release --bin fig09_runtime -- --scale quick
+  echo "================================================================"
+  echo "Smoke run done. JSON in results/."
+  exit 0
+fi
 BINS=(
   fig02_motivation fig08_endpoint_cdf table2_topologies
   fig09_runtime fig10_satisfied fig11_latency fig12_failures
