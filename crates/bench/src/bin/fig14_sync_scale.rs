@@ -6,8 +6,21 @@
 //! offloads to database shards (2 shards + 10 s query spreading).
 
 use megate_bench::{print_table, write_json};
-use megate_tedb::{simulate_pull_sync, BottomUpModel, SyncConfig, TopDownModel};
+use megate_tedb::{simulate_pull_sync, BottomUpModel, SyncConfig, SyncMode, TopDownModel};
 use serde::Serialize;
+
+#[derive(Serialize)]
+struct ChurnRow {
+    changed_fraction: f64,
+    full_published_mb: f64,
+    delta_published_mb: f64,
+    full_pulled_mb: f64,
+    delta_pulled_mb: f64,
+    full_shard_peak_mb_s: f64,
+    delta_shard_peak_mb_s: f64,
+    published_reduction: f64,
+    shard_bytes_reduction: f64,
+}
 
 #[derive(Serialize)]
 struct ScaleRow {
@@ -76,4 +89,70 @@ fn main() {
         last.pull_convergence_ms
     );
     write_json("fig14_sync_scale", &json);
+
+    // Second panel: bytes moved per interval under the delta-versioned
+    // keyspace vs a full republish, as allocation churn varies. At the
+    // steady-state churn the paper's workloads see (well under 10%),
+    // deltas cut published and per-shard query bytes by >=5x.
+    let mut byte_rows = Vec::new();
+    let mut byte_json = Vec::new();
+    for &churn in &[1.0, 0.25, 0.10, 0.05, 0.01] {
+        let base = SyncConfig { n_endpoints: 1_000_000, ..Default::default() };
+        let full = simulate_pull_sync(&base.clone());
+        let delta = simulate_pull_sync(&SyncConfig {
+            mode: SyncMode::DeltaVersioned,
+            changed_fraction: churn,
+            ..base
+        });
+        let row = ChurnRow {
+            changed_fraction: churn,
+            full_published_mb: full.published_bytes as f64 / 1e6,
+            delta_published_mb: delta.published_bytes as f64 / 1e6,
+            full_pulled_mb: full.pulled_bytes as f64 / 1e6,
+            delta_pulled_mb: delta.pulled_bytes as f64 / 1e6,
+            full_shard_peak_mb_s: full.per_shard_peak_bytes_per_s / 1e6,
+            delta_shard_peak_mb_s: delta.per_shard_peak_bytes_per_s / 1e6,
+            published_reduction: full.published_bytes as f64
+                / (delta.published_bytes.max(1)) as f64,
+            shard_bytes_reduction: full.per_shard_peak_bytes_per_s
+                / delta.per_shard_peak_bytes_per_s.max(1.0),
+        };
+        byte_rows.push(vec![
+            format!("{:.0}%", churn * 100.0),
+            format!("{:.1}", row.full_published_mb),
+            format!("{:.1}", row.delta_published_mb),
+            format!("{:.1}", row.full_pulled_mb),
+            format!("{:.1}", row.delta_pulled_mb),
+            format!("{:.1}", row.full_shard_peak_mb_s),
+            format!("{:.1}", row.delta_shard_peak_mb_s),
+            format!("{:.1}x", row.published_reduction),
+            format!("{:.1}x", row.shard_bytes_reduction),
+        ]);
+        byte_json.push(row);
+    }
+    print_table(
+        "Delta-versioned keyspace vs full republish at 1M endpoints: bytes per \
+         interval as churn varies",
+        &[
+            "churn",
+            "full pub MB",
+            "delta pub MB",
+            "full pull MB",
+            "delta pull MB",
+            "full shard MB/s",
+            "delta shard MB/s",
+            "pub reduction",
+            "shard reduction",
+        ],
+        &byte_rows,
+    );
+    for row in &byte_json {
+        if row.changed_fraction < 0.10 {
+            assert!(
+                row.published_reduction >= 5.0 && row.shard_bytes_reduction >= 5.0,
+                "delta mode must cut bytes >=5x under 10% churn"
+            );
+        }
+    }
+    write_json("fig14_delta_bytes", &byte_json);
 }

@@ -2,21 +2,31 @@
 //!
 //! The controller stores, per source endpoint, the list of
 //! `(destination address, SR hop list)` the endpoint agent must install
-//! into `path_map` (§5.2). The format is a small explicit binary codec
-//! (big-endian, length-prefixed) — no serde dependency on the hot path,
-//! and every decode is bounds-checked so a corrupted database entry can
-//! never panic an agent.
+//! into `path_map` (§5.2). Two record kinds share one explicit binary
+//! codec family (big-endian, length-prefixed) — no serde dependency on
+//! the hot path, and every decode is bounds-checked so a corrupted
+//! database entry can never panic an agent:
+//!
+//! * **snapshot** — the endpoint's complete `(dst → hops)` set;
+//! * **delta** — the difference to the previous interval: entries that
+//!   changed (insert-or-replace) and destinations that were removed.
 //!
 //! ```text
-//! u32 entry_count
-//! per entry: [u8; 4] dst_ip | u8 hop_count | hop_count × u32 hops
+//! snapshot: u32 entry_count
+//!           per entry: [u8; 4] dst_ip | u8 hop_count | hop_count × u32 hops
+//! delta:    u32 changed_count | changed entries (as above)
+//!           u32 removed_count | removed_count × [u8; 4] dst_ip
 //! ```
+//!
+//! Encoding is fallible: a pathological tunnel with more than 255 hops
+//! yields a [`ConfigError`] instead of crashing the controller.
 
-use megate_hoststack::PathInstall;
 use megate_hoststack::InstanceId;
+use megate_hoststack::PathInstall;
 
 /// One endpoint's TE configuration: where each of its destinations
-/// should be routed.
+/// should be routed. `paths` is kept sorted by destination address so
+/// snapshots are canonical (bitwise-stable across republishes).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EndpointConfig {
     /// `(dst_ip, SR hops)` entries.
@@ -37,49 +47,181 @@ impl EndpointConfig {
     }
 }
 
-/// Encodes a configuration.
-pub fn encode_paths(config: &EndpointConfig) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + config.paths.len() * 16);
-    out.extend_from_slice(&(config.paths.len() as u32).to_be_bytes());
-    for (dst, hops) in &config.paths {
-        assert!(hops.len() <= u8::MAX as usize, "hop list too long to encode");
+/// A per-endpoint configuration delta: how one interval's `(dst →
+/// hops)` set differs from the previous one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfigDelta {
+    /// Destinations whose path is new or replaced.
+    pub changed: Vec<([u8; 4], Vec<u32>)>,
+    /// Destinations whose path is withdrawn.
+    pub removed: Vec<[u8; 4]>,
+}
+
+impl ConfigDelta {
+    /// True when the delta carries no change at all.
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty() && self.removed.is_empty()
+    }
+
+    /// Applies the delta to a configuration in place, preserving the
+    /// canonical (sorted-by-destination) entry order — so a chain of
+    /// deltas reproduces the full snapshot bit for bit.
+    pub fn apply(&self, config: &mut EndpointConfig) {
+        let mut map: std::collections::BTreeMap<[u8; 4], Vec<u32>> =
+            config.paths.drain(..).collect();
+        for (dst, hops) in &self.changed {
+            map.insert(*dst, hops.clone());
+        }
+        for dst in &self.removed {
+            map.remove(dst);
+        }
+        config.paths = map.into_iter().collect();
+    }
+}
+
+/// Computes the delta that transforms `prev` into `next` (both treated
+/// as `dst → hops` maps; duplicate destinations resolve last-wins, the
+/// same way `path_map` would).
+pub fn diff_configs(prev: &EndpointConfig, next: &EndpointConfig) -> ConfigDelta {
+    use std::collections::BTreeMap;
+    let old: BTreeMap<&[u8; 4], &Vec<u32>> =
+        prev.paths.iter().map(|(d, h)| (d, h)).collect();
+    let new: BTreeMap<&[u8; 4], &Vec<u32>> =
+        next.paths.iter().map(|(d, h)| (d, h)).collect();
+    let mut delta = ConfigDelta::default();
+    for (dst, hops) in &new {
+        if old.get(dst) != Some(hops) {
+            delta.changed.push((**dst, (*hops).clone()));
+        }
+    }
+    for dst in old.keys() {
+        if !new.contains_key(*dst) {
+            delta.removed.push(**dst);
+        }
+    }
+    delta
+}
+
+/// Why a configuration could not be encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// An SR hop list exceeds the codec's 255-hop frame limit.
+    HopListTooLong {
+        /// The offending destination.
+        dst_ip: [u8; 4],
+        /// Its hop count.
+        hops: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::HopListTooLong { dst_ip, hops } => write!(
+                f,
+                "hop list for {}.{}.{}.{} has {hops} hops (codec limit 255)",
+                dst_ip[0], dst_ip[1], dst_ip[2], dst_ip[3]
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn encode_entries(out: &mut Vec<u8>, entries: &[([u8; 4], Vec<u32>)]) -> Result<(), ConfigError> {
+    out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    for (dst, hops) in entries {
+        if hops.len() > u8::MAX as usize {
+            return Err(ConfigError::HopListTooLong { dst_ip: *dst, hops: hops.len() });
+        }
         out.extend_from_slice(dst);
         out.push(hops.len() as u8);
         for h in hops {
             out.extend_from_slice(&h.to_be_bytes());
         }
     }
-    out
+    Ok(())
 }
 
-/// Decodes a configuration; returns `None` on any truncation or
-/// inconsistency (agents treat that as "keep the old config").
-pub fn decode_paths(bytes: &[u8]) -> Option<EndpointConfig> {
-    let mut at = 0usize;
+fn decode_entries(
+    bytes: &[u8],
+    at: &mut usize,
+) -> Option<Vec<([u8; 4], Vec<u32>)>> {
     let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
         let s = bytes.get(*at..*at + n)?;
         *at += n;
         Some(s)
     };
-    let count = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+    let count = u32::from_be_bytes(take(at, 4)?.try_into().ok()?) as usize;
     // Sanity bound: entries are at least 5 bytes each.
     if count > bytes.len() / 5 + 1 {
         return None;
     }
-    let mut paths = Vec::with_capacity(count);
+    let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
-        let dst: [u8; 4] = take(&mut at, 4)?.try_into().ok()?;
-        let hop_count = take(&mut at, 1)?[0] as usize;
+        let dst: [u8; 4] = take(at, 4)?.try_into().ok()?;
+        let hop_count = take(at, 1)?[0] as usize;
         let mut hops = Vec::with_capacity(hop_count);
         for _ in 0..hop_count {
-            hops.push(u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?));
+            hops.push(u32::from_be_bytes(take(at, 4)?.try_into().ok()?));
         }
-        paths.push((dst, hops));
+        entries.push((dst, hops));
     }
+    Some(entries)
+}
+
+/// Encodes a full-snapshot configuration.
+pub fn encode_paths(config: &EndpointConfig) -> Result<Vec<u8>, ConfigError> {
+    let mut out = Vec::with_capacity(4 + config.paths.len() * 16);
+    encode_entries(&mut out, &config.paths)?;
+    Ok(out)
+}
+
+/// Decodes a snapshot; returns `None` on any truncation or
+/// inconsistency (agents treat that as "keep the old config").
+pub fn decode_paths(bytes: &[u8]) -> Option<EndpointConfig> {
+    let mut at = 0usize;
+    let paths = decode_entries(bytes, &mut at)?;
     if at != bytes.len() {
         return None; // trailing garbage
     }
     Some(EndpointConfig { paths })
+}
+
+/// Encodes a configuration delta.
+pub fn encode_delta(delta: &ConfigDelta) -> Result<Vec<u8>, ConfigError> {
+    let mut out =
+        Vec::with_capacity(8 + delta.changed.len() * 16 + delta.removed.len() * 4);
+    encode_entries(&mut out, &delta.changed)?;
+    out.extend_from_slice(&(delta.removed.len() as u32).to_be_bytes());
+    for dst in &delta.removed {
+        out.extend_from_slice(dst);
+    }
+    Ok(out)
+}
+
+/// Decodes a configuration delta; `None` on truncation, inconsistency
+/// or trailing garbage — never panics, whatever the input.
+pub fn decode_delta(bytes: &[u8]) -> Option<ConfigDelta> {
+    let mut at = 0usize;
+    let changed = decode_entries(bytes, &mut at)?;
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = bytes.get(*at..*at + n)?;
+        *at += n;
+        Some(s)
+    };
+    let removed_count = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+    if removed_count > bytes.len() / 4 + 1 {
+        return None;
+    }
+    let mut removed = Vec::with_capacity(removed_count);
+    for _ in 0..removed_count {
+        removed.push(take(&mut at, 4)?.try_into().ok()?);
+    }
+    if at != bytes.len() {
+        return None; // trailing garbage
+    }
+    Some(ConfigDelta { changed, removed })
 }
 
 #[cfg(test)]
@@ -92,14 +234,14 @@ mod tests {
         let cfg = EndpointConfig {
             paths: vec![([10, 0, 0, 1], vec![3, 1, 4]), ([10, 0, 0, 2], vec![])],
         };
-        let bytes = encode_paths(&cfg);
+        let bytes = encode_paths(&cfg).unwrap();
         assert_eq!(decode_paths(&bytes), Some(cfg));
     }
 
     #[test]
     fn empty_config_roundtrips() {
         let cfg = EndpointConfig::default();
-        assert_eq!(decode_paths(&encode_paths(&cfg)), Some(cfg));
+        assert_eq!(decode_paths(&encode_paths(&cfg).unwrap()), Some(cfg));
     }
 
     #[test]
@@ -107,7 +249,7 @@ mod tests {
         let cfg = EndpointConfig {
             paths: vec![([1, 2, 3, 4], vec![7, 8, 9, 10])],
         };
-        let bytes = encode_paths(&cfg);
+        let bytes = encode_paths(&cfg).unwrap();
         for cut in 0..bytes.len() {
             assert_eq!(decode_paths(&bytes[..cut]), None, "cut at {cut}");
         }
@@ -115,7 +257,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let mut bytes = encode_paths(&EndpointConfig::default());
+        let mut bytes = encode_paths(&EndpointConfig::default()).unwrap();
         bytes.push(0);
         assert_eq!(decode_paths(&bytes), None);
     }
@@ -127,12 +269,87 @@ mod tests {
     }
 
     #[test]
+    fn oversized_hop_list_is_an_error_not_a_panic() {
+        let cfg = EndpointConfig { paths: vec![([1, 2, 3, 4], vec![0; 256])] };
+        assert_eq!(
+            encode_paths(&cfg),
+            Err(ConfigError::HopListTooLong { dst_ip: [1, 2, 3, 4], hops: 256 })
+        );
+        let delta = ConfigDelta { changed: cfg.paths.clone(), removed: vec![] };
+        assert!(encode_delta(&delta).is_err());
+        // 255 hops is exactly representable.
+        let max = EndpointConfig { paths: vec![([1, 2, 3, 4], vec![0; 255])] };
+        assert_eq!(decode_paths(&encode_paths(&max).unwrap()), Some(max));
+    }
+
+    #[test]
+    fn delta_roundtrip_simple() {
+        let delta = ConfigDelta {
+            changed: vec![([10, 0, 0, 1], vec![3, 1]), ([10, 0, 0, 9], vec![])],
+            removed: vec![[10, 0, 0, 2], [10, 0, 0, 3]],
+        };
+        let bytes = encode_delta(&delta).unwrap();
+        assert_eq!(decode_delta(&bytes), Some(delta));
+    }
+
+    #[test]
+    fn delta_rejects_truncation_and_garbage() {
+        let delta = ConfigDelta {
+            changed: vec![([1, 1, 1, 1], vec![9])],
+            removed: vec![[2, 2, 2, 2]],
+        };
+        let bytes = encode_delta(&delta).unwrap();
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_delta(&bytes[..cut]), None, "cut at {cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(7);
+        assert_eq!(decode_delta(&long), None);
+    }
+
+    #[test]
+    fn diff_then_apply_reproduces_next() {
+        let prev = EndpointConfig {
+            paths: vec![([1, 0, 0, 1], vec![4]), ([1, 0, 0, 2], vec![5, 6])],
+        };
+        let next = EndpointConfig {
+            paths: vec![([1, 0, 0, 2], vec![7]), ([1, 0, 0, 3], vec![8])],
+        };
+        let delta = diff_configs(&prev, &next);
+        assert_eq!(delta.changed.len(), 2); // .2 modified, .3 added
+        assert_eq!(delta.removed, vec![[1, 0, 0, 1]]);
+        let mut rebuilt = prev.clone();
+        delta.apply(&mut rebuilt);
+        assert_eq!(rebuilt, next);
+    }
+
+    #[test]
+    fn diff_of_identical_configs_is_empty() {
+        let cfg = EndpointConfig { paths: vec![([9, 9, 9, 9], vec![1, 2])] };
+        let delta = diff_configs(&cfg, &cfg.clone());
+        assert!(delta.is_empty());
+        let mut c2 = cfg.clone();
+        delta.apply(&mut c2);
+        assert_eq!(c2, cfg);
+    }
+
+    #[test]
     fn to_installs_carries_instance() {
         let cfg = EndpointConfig { paths: vec![([9, 9, 9, 9], vec![1])] };
         let installs = cfg.to_installs(InstanceId(42));
         assert_eq!(installs.len(), 1);
         assert_eq!(installs[0].instance, InstanceId(42));
         assert_eq!(installs[0].dst_ip, [9, 9, 9, 9]);
+    }
+
+    fn sorted(mut paths: Vec<([u8; 4], Vec<u32>)>) -> Vec<([u8; 4], Vec<u32>)> {
+        // Canonical form: sorted by destination, last duplicate wins.
+        paths.sort_by_key(|(d, _)| *d);
+        paths.reverse();
+        let mut seen = std::collections::HashSet::new();
+        paths.retain(|(d, _)| seen.insert(*d));
+        paths.reverse();
+        paths
     }
 
     proptest! {
@@ -144,12 +361,44 @@ mod tests {
             )
         ) {
             let cfg = EndpointConfig { paths };
-            prop_assert_eq!(decode_paths(&encode_paths(&cfg)), Some(cfg));
+            prop_assert_eq!(decode_paths(&encode_paths(&cfg).unwrap()), Some(cfg));
+        }
+
+        #[test]
+        fn delta_roundtrip_arbitrary(
+            changed in proptest::collection::vec(
+                (any::<[u8; 4]>(), proptest::collection::vec(any::<u32>(), 0..10)),
+                0..20,
+            ),
+            removed in proptest::collection::vec(any::<[u8; 4]>(), 0..20)
+        ) {
+            let delta = ConfigDelta { changed, removed };
+            prop_assert_eq!(decode_delta(&encode_delta(&delta).unwrap()), Some(delta));
         }
 
         #[test]
         fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..200)) {
             let _ = decode_paths(&data);
+            let _ = decode_delta(&data);
+        }
+
+        #[test]
+        fn diff_apply_roundtrip_arbitrary(
+            prev in proptest::collection::vec(
+                (any::<[u8; 4]>(), proptest::collection::vec(any::<u32>(), 0..6)),
+                0..12,
+            ),
+            next in proptest::collection::vec(
+                (any::<[u8; 4]>(), proptest::collection::vec(any::<u32>(), 0..6)),
+                0..12,
+            )
+        ) {
+            let prev = EndpointConfig { paths: sorted(prev) };
+            let next = EndpointConfig { paths: sorted(next) };
+            let delta = diff_configs(&prev, &next);
+            let mut rebuilt = prev.clone();
+            delta.apply(&mut rebuilt);
+            prop_assert_eq!(rebuilt, next);
         }
     }
 }

@@ -6,20 +6,33 @@
 //!    by the endpoint agents),
 //! 2. runs the two-stage optimization per QoS class in priority order,
 //! 3. translates the binary assignment `f_{k,t}^i` into per-source-
-//!    endpoint configurations (destination → SR hop list), and
-//! 4. publishes them into the TE database under an incremented version
-//!    number — it never talks to endpoints directly.
+//!    endpoint configurations (destination → SR hop list),
+//! 4. **diffs** them against the previous interval and publishes only
+//!    what moved — a typed-key delta per changed endpoint, a changelog
+//!    update, and (every `snapshot_every`th version, or on failure
+//!    events) full snapshot catch-ups for endpoints still dirty — and
+//! 5. bumps the version record last (write-then-publish ordering) —
+//!    it never talks to endpoints directly.
+//!
+//! Delta records and changelog entries older than the retention window
+//! are garbage-collected each interval, so database footprint is
+//! bounded by `retention_versions`, not by controller uptime.
 
-use crate::config::{encode_paths, EndpointConfig};
-use megate_solvers::{solve_per_qos, MegaTeConfig, MegaTeScheme, SolveError, TeAllocation, TeProblem, TeScheme};
-use megate_tedb::TeDatabase;
+use crate::config::{
+    diff_configs, encode_delta, encode_paths, ConfigError, EndpointConfig,
+};
+use megate_solvers::{
+    diff_endpoint_paths, endpoint_paths, solve_per_qos, AllocationPaths, MegaTeConfig,
+    MegaTeScheme, SolveError, TeAllocation, TeProblem, TeScheme,
+};
+use megate_tedb::{TeDatabase, TeKey};
 use megate_topo::{EndpointCatalog, EndpointId, FailureScenario, Graph, TunnelTable};
 use megate_traffic::DemandSet;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Duration;
 
 /// Controller configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ControllerConfig {
     /// The two-stage solver's knobs.
     pub solver: MegaTeConfig,
@@ -27,7 +40,60 @@ pub struct ControllerConfig {
     /// [`ControllerConfig::default`]-adjacent constructors; disable for
     /// single-shot experiments.
     pub qos_sequential: bool,
+    /// Flush full snapshots for still-dirty endpoints every Nth
+    /// version (failure events always flush). Must not exceed
+    /// `retention_versions`, or agents could find neither their deltas
+    /// nor a current snapshot.
+    pub snapshot_every: u64,
+    /// How many versions of deltas/changelog history the database
+    /// retains; older records are garbage-collected each interval.
+    pub retention_versions: u64,
 }
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            solver: MegaTeConfig::default(),
+            qos_sequential: false,
+            snapshot_every: 16,
+            retention_versions: 64,
+        }
+    }
+}
+
+/// Failure modes of one controller interval: the solve itself, or
+/// encoding a pathological configuration (e.g. a tunnel whose hop list
+/// exceeds the codec frame limit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerError {
+    /// The two-stage optimization failed.
+    Solve(SolveError),
+    /// A configuration could not be encoded; nothing was published.
+    Config(ConfigError),
+}
+
+impl From<SolveError> for ControllerError {
+    fn from(e: SolveError) -> Self {
+        ControllerError::Solve(e)
+    }
+}
+
+impl From<ConfigError> for ControllerError {
+    fn from(e: ConfigError) -> Self {
+        ControllerError::Config(e)
+    }
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerError::Solve(e) => write!(f, "solve failed: {e}"),
+            ControllerError::Config(e) => write!(f, "config encoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
 
 /// Outcome of one controller interval.
 #[derive(Debug, Clone)]
@@ -36,8 +102,21 @@ pub struct IntervalReport {
     pub version: u64,
     /// The allocation behind it.
     pub allocation: TeAllocation,
-    /// How many source endpoints received configuration entries.
+    /// How many source endpoints hold configuration entries at this
+    /// version.
     pub configured_endpoints: usize,
+    /// Endpoints whose path set changed this interval (deltas
+    /// published).
+    pub changed_endpoints: usize,
+    /// Endpoints whose configuration was withdrawn this interval.
+    pub removed_endpoints: usize,
+    /// Endpoints untouched this interval (no bytes published).
+    pub unchanged_endpoints: usize,
+    /// Whether this version flushed full snapshots (cadence or failure).
+    pub snapshot_flush: bool,
+    /// Bytes written into the TE database for this version (deltas,
+    /// changelogs, snapshots, version record).
+    pub published_bytes: u64,
     /// Wall-clock time of solve + publish.
     pub total_time: Duration,
 }
@@ -50,7 +129,13 @@ pub struct Controller {
     db: TeDatabase,
     config: ControllerConfig,
     version: u64,
-    published_keys: Vec<String>,
+    /// Last published per-source path sets — the diff base.
+    last_paths: AllocationPaths,
+    /// Endpoints changed since their last snapshot flush.
+    dirty_snapshots: BTreeSet<EndpointId>,
+    /// Which endpoints got deltas at which version, oldest first — the
+    /// retention ring the GC walks. Bounded by `retention_versions`.
+    delta_ring: VecDeque<(u64, Vec<EndpointId>)>,
 }
 
 impl Controller {
@@ -63,6 +148,11 @@ impl Controller {
         db: TeDatabase,
         config: ControllerConfig,
     ) -> Self {
+        assert!(
+            config.snapshot_every >= 1
+                && config.snapshot_every <= config.retention_versions,
+            "need 1 <= snapshot_every <= retention_versions for snapshot fallback"
+        );
         Self {
             graph,
             tunnels,
@@ -70,7 +160,9 @@ impl Controller {
             db,
             config,
             version: 0,
-            published_keys: Vec::new(),
+            last_paths: AllocationPaths::new(),
+            dirty_snapshots: BTreeSet::new(),
+            delta_ring: VecDeque::new(),
         }
     }
 
@@ -109,7 +201,6 @@ impl Controller {
         interval: std::time::Duration,
         classify: impl Fn(&megate_packet::FiveTuple) -> megate_traffic::QosClass,
     ) -> DemandSet {
-        use std::collections::BTreeMap;
         let mut per_pair: BTreeMap<(EndpointId, EndpointId), (u64, megate_traffic::QosClass)> =
             BTreeMap::new();
         for (tuple, bytes) in records {
@@ -148,11 +239,6 @@ impl Controller {
         demands
     }
 
-    /// Database key of an endpoint's configuration.
-    pub fn config_key(ep: EndpointId) -> String {
-        format!("ep:{}", ep.0)
-    }
-
     /// Currently published version.
     pub fn version(&self) -> u64 {
         self.version
@@ -168,28 +254,42 @@ impl Controller {
         &self.tunnels
     }
 
-    /// Runs one TE interval: solve and publish.
-    pub fn run_interval(&mut self, demands: &DemandSet) -> Result<IntervalReport, SolveError> {
+    /// Runs one TE interval: solve, diff, publish deltas.
+    pub fn run_interval(&mut self, demands: &DemandSet) -> Result<IntervalReport, ControllerError> {
         let graph = self.graph.clone();
-        self.solve_and_publish(&graph, demands)
+        self.solve_and_publish(&graph, demands, false)
     }
 
     /// Reacts to link failures: re-solve on the degraded topology and
-    /// publish immediately (the paper's §6.3 fast-recompute path).
+    /// publish immediately (the paper's §6.3 fast-recompute path), with
+    /// a forced full-snapshot flush so every agent — however stale —
+    /// can converge in one fetch.
     pub fn handle_failure(
         &mut self,
         demands: &DemandSet,
         scenario: &FailureScenario,
-    ) -> Result<IntervalReport, SolveError> {
+    ) -> Result<IntervalReport, ControllerError> {
         let degraded = scenario.apply(&self.graph);
-        self.solve_and_publish(&degraded, demands)
+        self.solve_and_publish(&degraded, demands, true)
+    }
+
+    /// The snapshot-codec form of one endpoint's path set, addresses
+    /// resolved.
+    fn to_config(paths: &megate_solvers::EndpointPathSet) -> EndpointConfig {
+        EndpointConfig {
+            paths: paths
+                .iter()
+                .map(|(dst, hops)| (Self::endpoint_ip(*dst), hops.clone()))
+                .collect(),
+        }
     }
 
     fn solve_and_publish(
         &mut self,
         graph: &Graph,
         demands: &DemandSet,
-    ) -> Result<IntervalReport, SolveError> {
+        force_snapshot: bool,
+    ) -> Result<IntervalReport, ControllerError> {
         let started = std::time::Instant::now();
         let problem = TeProblem { graph, tunnels: &self.tunnels, demands };
         let scheme = MegaTeScheme::new(self.config.solver.clone());
@@ -199,68 +299,125 @@ impl Controller {
             scheme.solve(&problem)?
         };
 
-        // Translate the assignment into per-source-endpoint configs.
+        // Translate the assignment into per-source path sets and diff
+        // against the previous interval (the megate-solvers diff step).
         let assign = allocation
             .endpoint_assignment
             .as_ref()
             .expect("MegaTE produces endpoint assignments");
-        let mut per_src: BTreeMap<EndpointId, EndpointConfig> = BTreeMap::new();
-        for (i, choice) in assign.iter().enumerate() {
-            let Some(t) = choice else { continue };
-            let d = &demands.demands()[i];
-            let hops: Vec<u32> = self
-                .tunnels
-                .tunnel(*t)
-                .sites
+        let next_paths = endpoint_paths(demands, &self.tunnels, assign);
+        let diff = diff_endpoint_paths(&self.last_paths, &next_paths);
+        let version = self.version + 1;
+        let empty = EndpointConfig::default();
+
+        // Encode everything before touching the database, so an encode
+        // failure (e.g. a >255-hop tunnel) publishes nothing at all.
+        let mut deltas: Vec<(EndpointId, Vec<u8>)> =
+            Vec::with_capacity(diff.changed.len() + diff.removed.len());
+        for ep in diff.changed.iter().chain(&diff.removed) {
+            let prev = self
+                .last_paths
+                .get(ep)
+                .map(Self::to_config)
+                .unwrap_or_default();
+            let next = next_paths.get(ep).map(Self::to_config).unwrap_or_default();
+            deltas.push((*ep, encode_delta(&diff_configs(&prev, &next))?));
+        }
+        let flush_snapshots =
+            force_snapshot || version.is_multiple_of(self.config.snapshot_every);
+        let mut snapshots: Vec<(EndpointId, Vec<u8>)> = Vec::new();
+        if flush_snapshots {
+            // Catch up every endpoint that changed since its last
+            // flush, including the ones changing right now.
+            let dirty = self
+                .dirty_snapshots
                 .iter()
-                .skip(1)
-                .map(|s| s.0)
-                .collect();
-            per_src
-                .entry(d.src)
-                .or_default()
-                .paths
-                .push((Self::endpoint_ip(d.dst), hops));
+                .chain(diff.changed.iter())
+                .chain(diff.removed.iter());
+            for ep in dirty.collect::<BTreeSet<_>>() {
+                let cfg = next_paths.get(ep).map(Self::to_config);
+                let body = encode_paths(cfg.as_ref().unwrap_or(&empty))?;
+                let mut value = Vec::with_capacity(8 + body.len());
+                value.extend_from_slice(&version.to_be_bytes());
+                value.extend_from_slice(&body);
+                snapshots.push((*ep, value));
+            }
         }
 
-        // Publish: entries first, version key last (§3.2 ordering).
-        let entries: Vec<(String, Vec<u8>)> = per_src
-            .iter()
-            .map(|(ep, cfg)| (Self::config_key(*ep), encode_paths(cfg)))
-            .collect();
-        let old_version = self.version;
-        let old_keys = std::mem::take(&mut self.published_keys);
-        self.version += 1;
-        self.db.publish_config(self.version, &entries);
-        self.published_keys = entries.iter().map(|(k, _)| k.clone()).collect();
-        // Garbage-collect the previous version's entries.
-        if old_version > 0 {
-            self.db.evict_version(old_version, &old_keys);
+        // Commit: entries first, version record last (§3.2 ordering).
+        let mut published_bytes = 0u64;
+        let touched: Vec<EndpointId> = deltas.iter().map(|(ep, _)| *ep).collect();
+        for (ep, bytes) in deltas {
+            published_bytes += bytes.len() as u64;
+            self.db
+                .put(&TeKey::Delta { endpoint: ep.0, version }, bytes);
+            self.db.record_change(ep.0, version);
+            published_bytes += 12 + 8; // changelog append, amortized
+            self.dirty_snapshots.insert(ep);
         }
+        if !touched.is_empty() {
+            self.delta_ring.push_back((version, touched));
+        }
+        for (ep, value) in snapshots {
+            published_bytes += value.len() as u64;
+            self.db.put(&TeKey::Snapshot { endpoint: ep.0 }, value);
+        }
+        if flush_snapshots {
+            self.dirty_snapshots.clear();
+        }
+
+        // Garbage-collect deltas and changelog entries that fell out of
+        // the retention window (the old `published_keys` list grew
+        // without bound; the ring is capped by construction).
+        let floor = version.saturating_sub(self.config.retention_versions);
+        while let Some((v, _)) = self.delta_ring.front() {
+            if *v > floor {
+                break;
+            }
+            let (_, endpoints) = self.delta_ring.pop_front().expect("front checked");
+            for ep in endpoints {
+                self.db.gc_endpoint_before(ep.0, floor);
+            }
+        }
+
+        self.db.publish_version(version);
+        published_bytes += 8;
+        self.version = version;
 
         // Verify the catalog covers every configured endpoint (debug
         // builds): a config for an unknown endpoint is a planning bug.
-        debug_assert!(per_src
+        debug_assert!(next_paths
             .keys()
             .all(|ep| ep.index() < self.catalog.len()));
 
-        Ok(IntervalReport {
-            version: self.version,
-            configured_endpoints: per_src.len(),
+        let report = IntervalReport {
+            version,
+            configured_endpoints: next_paths.len(),
+            changed_endpoints: diff.changed.len(),
+            removed_endpoints: diff.removed.len(),
+            unchanged_endpoints: diff.unchanged.len(),
+            snapshot_flush: flush_snapshots,
+            published_bytes,
             allocation,
             total_time: started.elapsed(),
-        })
+        };
+        self.last_paths = next_paths;
+        Ok(report)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::decode_paths;
+    use crate::config::{decode_delta, decode_paths};
     use megate_topo::{b4, WeibullEndpoints};
     use megate_traffic::TrafficConfig;
 
     fn fixture() -> (Controller, DemandSet) {
+        fixture_with(ControllerConfig { qos_sequential: true, ..Default::default() })
+    }
+
+    fn fixture_with(config: ControllerConfig) -> (Controller, DemandSet) {
         let g = b4();
         let tunnels = TunnelTable::for_all_pairs(&g, 3);
         let catalog = EndpointCatalog::generate(&g, 240, WeibullEndpoints::with_scale(20.0), 7);
@@ -271,13 +428,7 @@ mod tests {
         );
         demands.scale_to_load(&g, 0.5);
         let db = TeDatabase::new(2);
-        let ctl = Controller::new(
-            g,
-            tunnels,
-            catalog,
-            db,
-            ControllerConfig { qos_sequential: true, ..Default::default() },
-        );
+        let ctl = Controller::new(g, tunnels, catalog, db, config);
         (ctl, demands)
     }
 
@@ -290,55 +441,140 @@ mod tests {
     }
 
     #[test]
-    fn run_interval_publishes_decodable_configs() {
+    fn run_interval_publishes_decodable_deltas() {
         let (mut ctl, demands) = fixture();
         let db = ctl.db.clone();
         let report = ctl.run_interval(&demands).unwrap();
         assert_eq!(report.version, 1);
         assert!(report.configured_endpoints > 0);
+        // Cold start: everything is new, nothing unchanged.
+        assert_eq!(report.changed_endpoints, report.configured_endpoints);
+        assert_eq!(report.unchanged_endpoints, 0);
         assert_eq!(db.latest_version(), Some(1));
 
-        // Every configured endpoint's entry must decode and every hop
+        // Every configured endpoint's delta must decode and every hop
         // path must terminate at the destination's site... spot check
         // the first configured endpoint.
         let assign = report.allocation.endpoint_assignment.as_ref().unwrap();
         let i = assign.iter().position(|c| c.is_some()).unwrap();
         let d = &demands.demands()[i];
+        let log = db.changelog(d.src.0).expect("changelog present");
+        assert_eq!(log.versions, vec![1]);
         let raw = db
-            .fetch_config(1, &Controller::config_key(d.src))
-            .expect("config present");
-        let cfg = decode_paths(&raw).expect("decodable");
-        assert!(cfg
-            .paths
+            .fetch(&TeKey::Delta { endpoint: d.src.0, version: 1 })
+            .expect("delta present");
+        let delta = decode_delta(&raw).expect("decodable");
+        assert!(delta.removed.is_empty(), "nothing to remove at v1");
+        assert!(delta
+            .changed
             .iter()
             .any(|(dst, _)| *dst == Controller::endpoint_ip(d.dst)));
     }
 
     #[test]
-    fn versions_increment_and_old_entries_evicted() {
+    fn steady_state_interval_publishes_no_deltas() {
         let (mut ctl, demands) = fixture();
         let db = ctl.db.clone();
         let r1 = ctl.run_interval(&demands).unwrap();
-        let key_of_v1 = {
-            let assign = r1.allocation.endpoint_assignment.as_ref().unwrap();
-            let i = assign.iter().position(|c| c.is_some()).unwrap();
-            Controller::config_key(demands.demands()[i].src)
-        };
-        assert!(db.fetch_config(1, &key_of_v1).is_some());
+        assert!(r1.changed_endpoints > 0);
         let r2 = ctl.run_interval(&demands).unwrap();
         assert_eq!(r2.version, 2);
+        assert_eq!(r2.changed_endpoints, 0, "same demands, same allocation");
+        assert_eq!(r2.removed_endpoints, 0);
+        assert_eq!(r2.unchanged_endpoints, r1.configured_endpoints);
+        assert!(
+            r2.published_bytes <= 16,
+            "steady state publishes only the version record: {}",
+            r2.published_bytes
+        );
         assert_eq!(db.latest_version(), Some(2));
-        assert!(db.fetch_config(1, &key_of_v1).is_none(), "v1 evicted");
-        assert!(db.fetch_config(2, &key_of_v1).is_some());
     }
 
     #[test]
-    fn failure_recompute_avoids_failed_links() {
+    fn snapshot_cadence_flushes_then_gc_reclaims_old_deltas() {
+        let (mut ctl, demands) = fixture_with(ControllerConfig {
+            qos_sequential: true,
+            snapshot_every: 2,
+            retention_versions: 3,
+            ..Default::default()
+        });
+        let db = ctl.db.clone();
+        let r1 = ctl.run_interval(&demands).unwrap();
+        assert!(!r1.snapshot_flush, "v1 is not on the cadence");
+        let r2 = ctl.run_interval(&demands).unwrap();
+        assert!(r2.snapshot_flush, "v2 flushes the dirty endpoints");
+
+        // Pick a configured endpoint and verify its snapshot.
+        let assign = r1.allocation.endpoint_assignment.as_ref().unwrap();
+        let i = assign.iter().position(|c| c.is_some()).unwrap();
+        let ep = demands.demands()[i].src;
+        let snap = db.fetch(&TeKey::Snapshot { endpoint: ep.0 }).expect("snapshot");
+        let stamp = u64::from_be_bytes(snap[..8].try_into().unwrap());
+        assert_eq!(stamp, 2);
+        let cfg = decode_paths(&snap[8..]).expect("snapshot decodes");
+        assert!(!cfg.paths.is_empty());
+
+        // v1 deltas survive until the retention floor passes them...
+        assert!(db.fetch(&TeKey::Delta { endpoint: ep.0, version: 1 }).is_some());
+        for _ in 0..3 {
+            ctl.run_interval(&demands).unwrap(); // v3..v5, no changes
+        }
+        assert_eq!(ctl.version(), 5);
+        // The retention floor passed v1 (at v4, floor = 1): the delta
+        // is gone and the changelog watermark rose to that floor.
+        assert!(db.fetch(&TeKey::Delta { endpoint: ep.0, version: 1 }).is_none());
+        let log = db.changelog(ep.0).unwrap();
+        assert!(log.versions.is_empty());
+        assert_eq!(log.complete_since, 1);
+    }
+
+    #[test]
+    fn oversized_hop_list_surfaces_as_controller_error() {
+        // A pathological >255-hop path must turn into a typed error —
+        // the `?` sites in `solve_and_publish` propagate exactly this —
+        // never a panic, and never a partially published version.
+        let bad = EndpointConfig { paths: vec![([10, 0, 0, 1], vec![0; 300])] };
+        let err = encode_paths(&bad).unwrap_err();
+        assert!(matches!(err, ConfigError::HopListTooLong { hops: 300, .. }));
+        let ctl_err = ControllerError::from(err.clone());
+        assert_eq!(ctl_err, ControllerError::Config(err));
+        assert!(ctl_err.to_string().contains("config encoding failed"));
+
+        // Same limit enforced on the delta codec.
+        let delta = diff_configs(&EndpointConfig::default(), &bad);
+        assert!(matches!(
+            encode_delta(&delta),
+            Err(ConfigError::HopListTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_ring_and_dirty_set_stay_bounded() {
+        let (mut ctl, demands) = fixture_with(ControllerConfig {
+            qos_sequential: true,
+            snapshot_every: 2,
+            retention_versions: 4,
+            ..Default::default()
+        });
+        for _ in 0..20 {
+            ctl.run_interval(&demands).unwrap();
+        }
+        assert!(
+            ctl.delta_ring.len() <= 4,
+            "retention ring must stay within the window: {}",
+            ctl.delta_ring.len()
+        );
+        assert!(ctl.dirty_snapshots.is_empty(), "cadence flushes clear the dirty set");
+    }
+
+    #[test]
+    fn failure_recompute_avoids_failed_links_and_flushes_snapshots() {
         let (mut ctl, demands) = fixture();
         ctl.run_interval(&demands).unwrap();
         let scenario =
             FailureScenario::sample_connected(ctl.graph(), 2, 5).expect("scenario");
         let report = ctl.handle_failure(&demands, &scenario).unwrap();
+        assert!(report.snapshot_flush, "failure events force snapshots");
         // No allocated tunnel may cross a failed link.
         for t in ctl.tunnels().all_tunnels() {
             if report.allocation.tunnel_flow_mbps[t.id.index()] > 0.0 {

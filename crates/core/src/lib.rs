@@ -20,10 +20,12 @@
 //! This crate wires those substrates into a runnable system:
 //!
 //! * [`config`] — the on-the-wire encoding of per-endpoint TE
-//!   configurations stored in the TE database;
+//!   configurations stored in the TE database: full snapshots and the
+//!   interval-to-interval deltas that replace them on the steady path;
 //! * [`controller`] — the centralized controller: collect demands,
-//!   run the two-stage optimization per QoS class, publish versioned
-//!   configurations, react to failures;
+//!   run the two-stage optimization per QoS class, diff the allocation
+//!   against the previous interval and publish versioned deltas (full
+//!   snapshots on a cadence or after failures), react to failures;
 //! * [`system`] — an end-to-end simulation harness: hosts with
 //!   simulated kernels and agents, the TE database, the controller and
 //!   the WAN data plane, exercised packet-by-packet.
@@ -56,16 +58,19 @@ pub mod system;
 
 /// One-stop imports for examples, tests and downstream users.
 pub mod prelude {
-    pub use crate::config::{decode_paths, encode_paths, EndpointConfig};
-    pub use crate::controller::{Controller, ControllerConfig, IntervalReport};
+    pub use crate::config::{
+        decode_delta, decode_paths, diff_configs, encode_delta, encode_paths, ConfigDelta,
+        ConfigError, EndpointConfig,
+    };
+    pub use crate::controller::{Controller, ControllerConfig, ControllerError, IntervalReport};
     pub use crate::system::{MegaTeSystem, SystemConfig, TrafficReport};
     pub use megate_dataplane::{HostRegistry, WanNetwork};
     pub use megate_hoststack::{EndpointAgent, InstanceId, SimKernel};
     pub use megate_solvers::{
-        solve_per_qos, LpAllScheme, MegaTeScheme, NcFlowScheme, TeAllocation, TeProblem,
-        TeScheme, TealScheme,
+        diff_endpoint_paths, solve_per_qos, AllocationDiff, LpAllScheme, MegaTeScheme,
+        NcFlowScheme, TeAllocation, TeProblem, TeScheme, TealScheme,
     };
-    pub use megate_tedb::TeDatabase;
+    pub use megate_tedb::{Changelog, TeDatabase, TeKey};
     pub use megate_topo::{
         EndpointCatalog, EndpointId, FailureScenario, Graph, SitePair, TopologySpec,
         TunnelTable, WeibullEndpoints,
@@ -73,6 +78,9 @@ pub mod prelude {
     pub use megate_traffic::{DemandSet, QosClass, TrafficConfig};
 }
 
-pub use config::{decode_paths, encode_paths, EndpointConfig};
-pub use controller::{Controller, ControllerConfig, IntervalReport};
+pub use config::{
+    decode_delta, decode_paths, diff_configs, encode_delta, encode_paths, ConfigDelta,
+    ConfigError, EndpointConfig,
+};
+pub use controller::{Controller, ControllerConfig, ControllerError, IntervalReport};
 pub use system::{MegaTeSystem, SystemConfig, TrafficReport};

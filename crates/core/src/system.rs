@@ -4,10 +4,12 @@
 //! way Figure 3(b) draws it:
 //!
 //! ```text
-//!   controller ──publish──▶ TE database ◀──poll/fetch── endpoint agents
-//!        ▲                                                   │ install
-//!   demands (bottom-up)                                 path_map (eBPF)
-//!        │                                                   ▼
+//!   controller ──deltas/snapshots──▶ TE database ◀──poll version── endpoint agents
+//!        ▲        (typed keyspace,       ▲              │ changelog → delta pulls
+//!        │         changelog, GC)        └──────────────┘ (snapshot fallback)
+//!   demands (bottom-up)                                  │ apply in place
+//!        │                                          path_map (eBPF)
+//!        │                                                ▼
 //!   endpoint agents ◀──traffic_map── TC programs ──SR frames──▶ WAN routers
 //! ```
 //!
@@ -17,13 +19,12 @@
 //! examples drive; solver-scale experiments use `megate-solvers`
 //! directly without per-host state.
 
-use crate::config::decode_paths;
-use crate::controller::{Controller, ControllerConfig, IntervalReport};
+use crate::config::{decode_delta, decode_paths, ConfigDelta};
+use crate::controller::{Controller, ControllerConfig, ControllerError, IntervalReport};
 use megate_dataplane::{HostRegistry, WanNetwork};
-use megate_hoststack::{EndpointAgent, InstanceId, Pid, SimKernel};
+use megate_hoststack::{EndpointAgent, InstanceId, PathInstall, PathMapEntry, Pid, SimKernel};
 use megate_packet::{FiveTuple, MegaTeFrameSpec, Proto};
-use megate_solvers::SolveError;
-use megate_tedb::TeDatabase;
+use megate_tedb::{Changelog, TeDatabase, TeKey};
 use megate_topo::{EndpointCatalog, EndpointId, Graph, TunnelTable};
 use megate_traffic::DemandSet;
 use std::collections::HashMap;
@@ -166,46 +167,145 @@ impl MegaTeSystem {
     pub fn run_controller_interval(
         &mut self,
         demands: &DemandSet,
-    ) -> Result<IntervalReport, SolveError> {
+    ) -> Result<IntervalReport, ControllerError> {
         self.controller.run_interval(demands)
     }
 
-    /// Endpoint half of the TE cycle: every agent polls the version and
-    /// pulls + installs its configuration when stale (Figure 4(b)).
-    /// Returns how many agents updated.
+    /// Endpoint half of the TE cycle: every agent polls the version,
+    /// consults its changelog and pulls only the deltas it is missing
+    /// (Figure 4(b)); agents whose delta history was garbage-collected
+    /// fall back to the full snapshot and replay any newer deltas.
+    /// Returns how many agents advanced their installed version.
     pub fn agents_pull(&mut self) -> usize {
-        let Some(version) = self.db.latest_version() else {
+        let Some(target) = self.db.latest_version() else {
             return 0;
         };
         let mut updated = 0;
         for host in &mut self.hosts {
-            if host.agent.config_version() >= version {
+            let local = host.agent.config_version();
+            if local >= target {
                 continue;
             }
-            let key = Controller::config_key(host.endpoint);
-            match self.db.fetch_config_checked(version, &key) {
-                Ok(Some(raw)) => {
-                    // A corrupted entry keeps the old config (decode
-                    // failure is not an install).
-                    if let Some(cfg) = decode_paths(&raw) {
-                        let installs = cfg.to_installs(InstanceId(host.endpoint.0));
-                        host.agent.install_config(version, &installs);
-                        updated += 1;
-                    }
-                }
-                Ok(None) => {
-                    // No traffic for this endpoint this interval: it
-                    // still adopts the version (empty config).
-                    host.agent.install_config(version, &[]);
-                }
-                Err(_) => {
-                    // Shard outage: stay on the old version and retry
-                    // on the next poll — never adopt a version whose
-                    // entries were unreadable.
-                }
+            if Self::pull_host(&self.db, host, local, target) {
+                updated += 1;
             }
         }
         updated
+    }
+
+    /// One agent's delta-aware pull. Returns whether the agent advanced
+    /// its version; on any outage or corruption it keeps its working
+    /// configuration and retries on the next poll.
+    fn pull_host(db: &TeDatabase, host: &mut Host, local: u64, target: u64) -> bool {
+        let endpoint = host.endpoint.0;
+        let instance = InstanceId(endpoint);
+        let log = match db.fetch_checked(&TeKey::Changelog { endpoint }) {
+            Ok(Some(raw)) => match Changelog::decode(&raw) {
+                Some(log) => log,
+                // Corrupt changelog: unreadable history, stay stale.
+                None => return false,
+            },
+            Ok(None) => {
+                // Never configured: adopt the version with no paths.
+                host.agent.install_config(target, &[]);
+                return true;
+            }
+            // Shard outage: never adopt a version whose records were
+            // unreadable.
+            Err(_) => return false,
+        };
+
+        // Incremental path: the changelog is complete for everything
+        // after `complete_since`, so an agent at least that fresh can
+        // catch up from deltas alone. Fetch-then-apply: the agent's
+        // installed state is only touched once every needed delta
+        // decoded.
+        if local >= log.complete_since {
+            let mut deltas: Vec<(u64, ConfigDelta)> = Vec::new();
+            let mut complete = true;
+            for &v in log.versions.iter().filter(|v| **v > local && **v <= target) {
+                match db.fetch_checked(&TeKey::Delta { endpoint, version: v }) {
+                    Ok(Some(raw)) => match decode_delta(&raw) {
+                        Some(d) => deltas.push((v, d)),
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    },
+                    // Missing (raced with GC) or outage.
+                    _ => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                for (v, delta) in &deltas {
+                    Self::apply_delta_to_agent(&mut host.agent, instance, *v, delta);
+                }
+                host.agent.install_config(target, &[]);
+                return true;
+            }
+        }
+
+        // Snapshot fallback: `u64 stamp | snapshot body`, then replay
+        // the retained deltas newer than the stamp. The GC invariant
+        // (`snapshot_every <= retention_versions`) guarantees no gap
+        // between the stamp and the oldest retained delta.
+        let raw = match db.fetch_checked(&TeKey::Snapshot { endpoint }) {
+            Ok(Some(raw)) if raw.len() >= 8 => raw,
+            _ => return false,
+        };
+        let stamp = u64::from_be_bytes(raw[..8].try_into().expect("length checked"));
+        let Some(cfg) = decode_paths(&raw[8..]) else {
+            return false;
+        };
+        let mut deltas: Vec<(u64, ConfigDelta)> = Vec::new();
+        let mut achieved = target;
+        for &v in log.versions.iter().filter(|v| **v > stamp && **v <= target) {
+            match db.fetch_checked(&TeKey::Delta { endpoint, version: v }) {
+                Ok(Some(raw)) => match decode_delta(&raw) {
+                    Some(d) => deltas.push((v, d)),
+                    None => {
+                        achieved = deltas.last().map_or(stamp, |(v, _)| *v);
+                        break;
+                    }
+                },
+                _ => {
+                    achieved = deltas.last().map_or(stamp, |(v, _)| *v);
+                    break;
+                }
+            }
+        }
+        if achieved <= local {
+            // The reachable state is no newer than what is installed —
+            // keep the working configuration.
+            return false;
+        }
+        host.agent
+            .install_snapshot(stamp, instance, &cfg.to_installs(instance));
+        for (v, delta) in &deltas {
+            Self::apply_delta_to_agent(&mut host.agent, instance, *v, delta);
+        }
+        host.agent.install_config(achieved, &[]);
+        true
+    }
+
+    /// Translates a wire delta into the agent's in-place map edits.
+    fn apply_delta_to_agent(
+        agent: &mut EndpointAgent,
+        instance: InstanceId,
+        version: u64,
+        delta: &ConfigDelta,
+    ) {
+        let changed: Vec<PathInstall> = delta
+            .changed
+            .iter()
+            .map(|(dst_ip, hops)| PathInstall { instance, dst_ip: *dst_ip, hops: hops.clone() })
+            .collect();
+        let removed: Vec<(InstanceId, [u8; 4])> =
+            delta.removed.iter().map(|dst| (instance, *dst)).collect();
+        agent.apply_delta(version, &changed, &removed);
     }
 
     /// Sends one frame per demand through TC egress and the WAN,
@@ -281,6 +381,25 @@ impl MegaTeSystem {
             }
         }
         self.controller.demands_from_measurements(&records, interval, classify)
+    }
+
+    /// The `(key, hops)` entries currently installed in an endpoint
+    /// host's `path_map`, sorted — for state-equivalence checks
+    /// (delta chains must reproduce snapshot installs bit for bit).
+    pub fn installed_paths(&self, endpoint: EndpointId) -> Vec<PathMapEntry> {
+        let Some(&idx) = self.host_of_endpoint.get(&endpoint) else {
+            return Vec::new();
+        };
+        let mut entries = self.hosts[idx].agent.maps().path_map.snapshot();
+        entries.sort();
+        entries
+    }
+
+    /// The configuration version an endpoint's agent has installed.
+    pub fn agent_version(&self, endpoint: EndpointId) -> Option<u64> {
+        self.host_of_endpoint
+            .get(&endpoint)
+            .map(|&idx| self.hosts[idx].agent.config_version())
     }
 
     /// Decommissions an endpoint's instance (§1's dynamic instance

@@ -107,6 +107,49 @@ impl EndpointAgent {
         written
     }
 
+    /// Installs a *full snapshot* for one instance: every previously
+    /// installed path of that instance that the snapshot does not
+    /// mention is withdrawn, then the snapshot's paths are written —
+    /// leaving `path_map` exactly as if the instance had been
+    /// configured from scratch. Entries of other instances are
+    /// untouched. Returns how many entries were written.
+    ///
+    /// (The stale-entry sweep scans the map — fine for a per-host map;
+    /// a real agent keeps its installed key set and deletes directly.)
+    pub fn install_snapshot(
+        &mut self,
+        version: u64,
+        instance: InstanceId,
+        paths: &[PathInstall],
+    ) -> usize {
+        let keep: std::collections::HashSet<[u8; 4]> =
+            paths.iter().map(|p| p.dst_ip).collect();
+        for (key, _) in self.maps.path_map.snapshot() {
+            if key.0 == instance && !keep.contains(&key.1) {
+                let _ = self.maps.path_map.delete(&key);
+            }
+        }
+        self.install_config(version, paths)
+    }
+
+    /// Applies a configuration *delta* in place against the installed
+    /// `path_map`: upserts the changed paths, withdraws the removed
+    /// destinations, bumps the local version. Starting from the state a
+    /// full install of the delta's base version would leave, the result
+    /// is identical to a full install of `version` — the equivalence
+    /// the control-loop tests assert. Returns entries written.
+    pub fn apply_delta(
+        &mut self,
+        version: u64,
+        changed: &[PathInstall],
+        removed: &[(InstanceId, [u8; 4])],
+    ) -> usize {
+        for key in removed {
+            let _ = self.maps.path_map.delete(key);
+        }
+        self.install_config(version, changed)
+    }
+
     /// Removes all installed paths (used when an instance is
     /// decommissioned or on agent restart).
     pub fn flush_paths(&self) {
@@ -118,6 +161,10 @@ impl EndpointAgent {
         &self.maps
     }
 }
+
+/// One `path_map` entry as returned by snapshots: the `(instance,
+/// destination)` key and its SR hop list.
+pub type PathMapEntry = ((InstanceId, [u8; 4]), Vec<u32>);
 
 /// Registers a fresh instance lifecycle on a kernel: process start +
 /// first connection. Convenience for simulations that bring up many
@@ -212,6 +259,71 @@ mod tests {
         let mut f = MegaTeFrameSpec::simple(tuple(7), 1, None).build();
         let v = kernel.tc_egress(&mut f);
         assert_eq!(v, crate::kernel::TcVerdict::PassWithSr);
+    }
+
+    #[test]
+    fn install_snapshot_withdraws_unmentioned_paths() {
+        let kernel = SimKernel::new();
+        let mut agent = EndpointAgent::new(kernel.maps().clone());
+        let ins = InstanceId(4);
+        agent.install_config(
+            1,
+            &[
+                PathInstall { instance: ins, dst_ip: [10, 0, 0, 1], hops: vec![2] },
+                PathInstall { instance: ins, dst_ip: [10, 0, 0, 2], hops: vec![3] },
+            ],
+        );
+        // Another instance's entry must survive the snapshot install.
+        agent.install_config(
+            1,
+            &[PathInstall { instance: InstanceId(9), dst_ip: [10, 0, 0, 1], hops: vec![7] }],
+        );
+        let n = agent.install_snapshot(
+            2,
+            ins,
+            &[PathInstall { instance: ins, dst_ip: [10, 0, 0, 2], hops: vec![5] }],
+        );
+        assert_eq!(n, 1);
+        assert_eq!(agent.config_version(), 2);
+        let map = agent.maps().path_map.clone();
+        assert_eq!(map.lookup(&(ins, [10, 0, 0, 1])), None, "withdrawn");
+        assert_eq!(map.lookup(&(ins, [10, 0, 0, 2])), Some(vec![5]));
+        assert_eq!(map.lookup(&(InstanceId(9), [10, 0, 0, 1])), Some(vec![7]));
+    }
+
+    #[test]
+    fn delta_application_matches_snapshot_install() {
+        let mk = |paths: &[PathInstall]| {
+            let kernel = SimKernel::new();
+            let mut agent = EndpointAgent::new(kernel.maps().clone());
+            agent.install_config(1, paths);
+            agent
+        };
+        let ins = InstanceId(4);
+        let v1 = [
+            PathInstall { instance: ins, dst_ip: [10, 0, 0, 1], hops: vec![2] },
+            PathInstall { instance: ins, dst_ip: [10, 0, 0, 2], hops: vec![3, 4] },
+        ];
+        let v2 = [
+            PathInstall { instance: ins, dst_ip: [10, 0, 0, 2], hops: vec![9] },
+            PathInstall { instance: ins, dst_ip: [10, 0, 0, 3], hops: vec![1] },
+        ];
+        // Agent A: full snapshot install of v2.
+        let mut a = mk(&v1);
+        a.install_snapshot(2, ins, &v2);
+        // Agent B: delta from v1 to v2.
+        let mut b = mk(&v1);
+        b.apply_delta(2, &v2, &[(ins, [10, 0, 0, 1])]);
+        let sort = |mut v: Vec<PathMapEntry>| {
+            v.sort();
+            v
+        };
+        assert_eq!(
+            sort(a.maps().path_map.snapshot()),
+            sort(b.maps().path_map.snapshot()),
+            "delta-applied state must equal snapshot install"
+        );
+        assert_eq!(a.config_version(), b.config_version());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod maps;
 pub mod programs;
 pub mod ringbuf;
 
-pub use agent::{EndpointAgent, FlowRecord, PathInstall};
+pub use agent::{EndpointAgent, FlowRecord, PathInstall, PathMapEntry};
 pub use kernel::{InstanceId, KernelEvent, Pid, SimKernel, TcVerdict};
 pub use maps::{EbpfMap, MapError, MapKind};
 pub use programs::HostMaps;

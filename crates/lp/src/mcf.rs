@@ -422,8 +422,8 @@ impl McfProblem {
                     let grown = length[ve] * (1.0 + eps * f / demand);
                     let d = grown - length[ve];
                     length[ve] = grown;
-                    for p2 in comm_ptr[k]..comm_ptr[k + 1] {
-                        path_len[p2] += d;
+                    for pl in &mut path_len[comm_ptr[k]..comm_ptr[k + 1]] {
+                        *pl += d;
                     }
                     dirty[k] = true;
                     for &e in &plinks[ppt[pid]..ppt[pid + 1]] {

@@ -170,8 +170,8 @@ impl<'a> Revised<'a> {
             let dot: f64 = self.cols.col(j).map(|(i, a)| a * y[i]).sum();
             self.d[j] = self.lp.objective[j] - dot;
         }
-        for i in 0..m {
-            self.d[self.n + i] = -y[i];
+        for (i, yi) in y.iter().enumerate().take(m) {
+            self.d[self.n + i] = -yi;
         }
         for &vb in &self.basis {
             self.d[vb] = 0.0;
@@ -303,8 +303,8 @@ impl<'a> Revised<'a> {
         }
         // Eta update of B⁻¹: new_col_c[p] = rho[c]/wp, and
         // new_col_c[r] -= w[r] * new_col_c[p] for r != p.
-        for c in 0..m {
-            let t = rho[c] / wp;
+        for (c, rc) in rho.iter().enumerate().take(m) {
+            let t = rc / wp;
             if t != 0.0 {
                 let col = &mut self.binv[c * m..(c + 1) * m];
                 for (r, cr) in col.iter_mut().enumerate() {
@@ -459,7 +459,7 @@ pub fn solve_revised(lp: &LinearProgram) -> Result<LpSolution, LpError> {
             bland = true;
             st.refactorize()?;
             verified = true;
-        } else if pivots % REFACTOR_EVERY == 0 {
+        } else if pivots.is_multiple_of(REFACTOR_EVERY) {
             st.refactorize()?;
             verified = true;
         }

@@ -1,0 +1,180 @@
+//! Interval-over-interval allocation diffing.
+//!
+//! The controller republishes configuration *state*; what the wire
+//! should carry is *change*. In steady state (the prediction-friendly
+//! stability both Teal and online-TE exploit) most endpoints keep the
+//! exact same `(dst → SR hops)` set between TE intervals, so the
+//! delta-versioned control loop publishes per-endpoint deltas only for
+//! the endpoints whose set moved. This module extracts the per-source
+//! path sets from a [`TeAllocation`] and diffs two consecutive
+//! intervals at endpoint granularity.
+
+use crate::types::TeAllocation;
+use megate_topo::{EndpointId, TunnelId, TunnelTable};
+use megate_traffic::DemandSet;
+use std::collections::BTreeMap;
+
+/// One source endpoint's TE state: destination endpoint → SR hop list
+/// (site ids after the source's own site). Map semantics mirror the
+/// host's `path_map`: one path per destination, last write wins.
+pub type EndpointPathSet = BTreeMap<EndpointId, Vec<u32>>;
+
+/// Per-source-endpoint path sets of a whole interval.
+pub type AllocationPaths = BTreeMap<EndpointId, EndpointPathSet>;
+
+/// Extracts every source endpoint's `(dst → SR hops)` set from a
+/// per-demand tunnel assignment. Rejected demands (`None`) contribute
+/// nothing — their traffic falls back to ECMP.
+pub fn endpoint_paths(
+    demands: &DemandSet,
+    tunnels: &TunnelTable,
+    assignment: &[Option<TunnelId>],
+) -> AllocationPaths {
+    let mut per_src: AllocationPaths = BTreeMap::new();
+    for (i, choice) in assignment.iter().enumerate() {
+        let Some(t) = choice else { continue };
+        let d = &demands.demands()[i];
+        let hops: Vec<u32> = tunnels
+            .tunnel(*t)
+            .sites
+            .iter()
+            .skip(1)
+            .map(|s| s.0)
+            .collect();
+        per_src.entry(d.src).or_default().insert(d.dst, hops);
+    }
+    per_src
+}
+
+impl TeAllocation {
+    /// The per-source path sets behind this allocation, or `None` for
+    /// fractional schemes without endpoint assignments.
+    pub fn endpoint_paths(
+        &self,
+        demands: &DemandSet,
+        tunnels: &TunnelTable,
+    ) -> Option<AllocationPaths> {
+        self.endpoint_assignment
+            .as_ref()
+            .map(|a| endpoint_paths(demands, tunnels, a))
+    }
+}
+
+/// How two consecutive intervals' path sets differ, at source-endpoint
+/// granularity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocationDiff {
+    /// Endpoints whose path set is new or modified.
+    pub changed: Vec<EndpointId>,
+    /// Endpoints that had a path set and now have none.
+    pub removed: Vec<EndpointId>,
+    /// Endpoints whose path set is identical to last interval.
+    pub unchanged: Vec<EndpointId>,
+}
+
+impl AllocationDiff {
+    /// Fraction of previously-or-currently configured endpoints that
+    /// moved (changed or removed). `0.0` for two empty intervals.
+    pub fn churn_ratio(&self) -> f64 {
+        let moved = self.changed.len() + self.removed.len();
+        let total = moved + self.unchanged.len();
+        if total == 0 {
+            0.0
+        } else {
+            moved as f64 / total as f64
+        }
+    }
+}
+
+/// Diffs two intervals' path sets. Output vectors are sorted by
+/// endpoint id (inherited from the `BTreeMap` iteration order).
+pub fn diff_endpoint_paths(prev: &AllocationPaths, next: &AllocationPaths) -> AllocationDiff {
+    let mut diff = AllocationDiff::default();
+    for (ep, paths) in next {
+        match prev.get(ep) {
+            Some(old) if old == paths => diff.unchanged.push(*ep),
+            _ => diff.changed.push(*ep),
+        }
+    }
+    for ep in prev.keys() {
+        if !next.contains_key(ep) {
+            diff.removed.push(*ep);
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_per_qos, MegaTeScheme, TeProblem};
+    use megate_topo::{b4, EndpointCatalog, WeibullEndpoints};
+    use megate_traffic::TrafficConfig;
+
+    type RawEndpoint<'a> = (u64, &'a [(u64, &'a [u32])]);
+
+    fn paths(entries: &[RawEndpoint<'_>]) -> AllocationPaths {
+        entries
+            .iter()
+            .map(|(src, dsts)| {
+                (
+                    EndpointId(*src),
+                    dsts.iter()
+                        .map(|(dst, hops)| (EndpointId(*dst), hops.to_vec()))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_intervals_are_all_unchanged() {
+        let a = paths(&[(1, &[(2, &[5, 6])]), (3, &[(4, &[7])])]);
+        let d = diff_endpoint_paths(&a, &a.clone());
+        assert!(d.changed.is_empty() && d.removed.is_empty());
+        assert_eq!(d.unchanged.len(), 2);
+        assert_eq!(d.churn_ratio(), 0.0);
+    }
+
+    #[test]
+    fn modified_added_and_removed_are_separated() {
+        let prev = paths(&[(1, &[(2, &[5])]), (3, &[(4, &[7])]), (9, &[(2, &[1])])]);
+        let next = paths(&[(1, &[(2, &[6])]), (3, &[(4, &[7])]), (8, &[(2, &[1])])]);
+        let d = diff_endpoint_paths(&prev, &next);
+        assert_eq!(d.changed, vec![EndpointId(1), EndpointId(8)]);
+        assert_eq!(d.removed, vec![EndpointId(9)]);
+        assert_eq!(d.unchanged, vec![EndpointId(3)]);
+        assert!((d.churn_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dst_set_shrink_counts_as_changed() {
+        let prev = paths(&[(1, &[(2, &[5]), (3, &[6])])]);
+        let next = paths(&[(1, &[(2, &[5])])]);
+        let d = diff_endpoint_paths(&prev, &next);
+        assert_eq!(d.changed, vec![EndpointId(1)]);
+        assert!(d.removed.is_empty());
+    }
+
+    #[test]
+    fn solver_reruns_on_same_demands_produce_zero_churn() {
+        let g = b4();
+        let tunnels = TunnelTable::for_all_pairs(&g, 3);
+        let cat = EndpointCatalog::generate(&g, 120, WeibullEndpoints::with_scale(10.0), 3);
+        let mut demands = DemandSet::generate(
+            &g,
+            &cat,
+            &TrafficConfig { endpoint_pairs: 80, site_pairs: 12, ..Default::default() },
+        );
+        demands.scale_to_load(&g, 0.4);
+        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let scheme = MegaTeScheme::default();
+        let a1 = solve_per_qos(&scheme, &p).unwrap();
+        let a2 = solve_per_qos(&scheme, &p).unwrap();
+        let p1 = a1.endpoint_paths(&demands, &tunnels).unwrap();
+        let p2 = a2.endpoint_paths(&demands, &tunnels).unwrap();
+        assert!(!p1.is_empty());
+        let d = diff_endpoint_paths(&p1, &p2);
+        assert_eq!(d.churn_ratio(), 0.0, "deterministic solver, same demands");
+    }
+}

@@ -13,6 +13,7 @@
 //! bench harness can sweep them interchangeably. QoS-sequential
 //! allocation (§4.1) wraps any scheme via [`qos::solve_per_qos`].
 
+pub mod diff;
 pub mod lp_all;
 pub mod maxallflow;
 pub mod megate;
@@ -21,6 +22,7 @@ pub mod qos;
 pub mod teal;
 pub mod types;
 
+pub use diff::{diff_endpoint_paths, endpoint_paths, AllocationDiff, AllocationPaths, EndpointPathSet};
 pub use maxallflow::ExhaustiveScheme;
 pub use megate::{LpMode, MegaTeConfig, MegaTeScheme};
 pub use lp_all::LpAllScheme;

@@ -28,6 +28,6 @@ pub mod sync;
 pub mod topdown;
 
 pub use hybrid::{evaluate_hybrid, heavy_tailed_volumes, HybridConfig, HybridOutcome};
-pub use store::{ShardOutage, TeDatabase, CONFIG_VERSION_KEY};
-pub use sync::{simulate_pull_sync, SyncConfig, SyncOutcome};
+pub use store::{Changelog, ShardOutage, TeDatabase, TeKey, CONFIG_VERSION_KEY};
+pub use sync::{simulate_pull_sync, SyncConfig, SyncMode, SyncOutcome};
 pub use topdown::{BottomUpModel, TopDownModel};

@@ -1,10 +1,18 @@
 //! Sharded in-memory key-value store — the customized Redis of §3.2.
 //!
 //! Keys are routed to shards by FNV hash. Every read and write bumps a
-//! per-shard query counter so simulations and benchmarks can reason
-//! about per-shard load against the paper's 80k-queries/second/shard
-//! budget (160k on two shards, "linearly scaled with more shard
-//! resources").
+//! per-shard query counter *and* a per-shard byte counter (key + value
+//! moved over the wire), so simulations and benchmarks can reason about
+//! per-shard load against the paper's 80k-queries/second/shard budget
+//! (160k on two shards, "linearly scaled with more shard resources")
+//! and about the byte savings of delta-versioned pulls.
+//!
+//! On top of the raw string API sits the **typed TE keyspace**
+//! ([`TeKey`]): the version record, per-endpoint snapshots,
+//! per-`(endpoint, version)` deltas and per-endpoint version changelogs
+//! that the delta-versioned control loop publishes, plus changelog
+//! bookkeeping ([`TeDatabase::record_change`]) and garbage collection
+//! of superseded deltas ([`TeDatabase::gc_endpoint_before`]).
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -19,10 +27,102 @@ pub const CONFIG_VERSION_KEY: &str = "te:config:version";
 /// Queries per second one shard sustains (paper: 160k qps on 2 shards).
 pub const SHARD_QPS_CAPACITY: u64 = 80_000;
 
+/// The typed TE-DB keyspace of the delta-versioned control loop.
+///
+/// Endpoints are raw u64 ids here (the store is topology-agnostic);
+/// `megate-core` maps them from `EndpointId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TeKey {
+    /// The global configuration version record (8-byte big-endian u64).
+    Version,
+    /// An endpoint's latest full snapshot: `u64 stamp | snapshot body`,
+    /// where `stamp` is the version whose state the body reflects.
+    Snapshot {
+        /// The source endpoint.
+        endpoint: u64,
+    },
+    /// The delta that moves `endpoint` from its state *before*
+    /// `version` to its state *at* `version`.
+    Delta {
+        /// The source endpoint.
+        endpoint: u64,
+        /// The version this delta produces.
+        version: u64,
+    },
+    /// The endpoint's version changelog: at which retained versions its
+    /// configuration changed (see [`Changelog`]).
+    Changelog {
+        /// The source endpoint.
+        endpoint: u64,
+    },
+}
+
+impl TeKey {
+    /// The wire (string) form the shards hash and store.
+    pub fn wire(&self) -> String {
+        match self {
+            TeKey::Version => CONFIG_VERSION_KEY.to_string(),
+            TeKey::Snapshot { endpoint } => format!("te:snap:{endpoint}"),
+            TeKey::Delta { endpoint, version } => format!("te:delta:{endpoint}:{version}"),
+            TeKey::Changelog { endpoint } => format!("te:log:{endpoint}"),
+        }
+    }
+}
+
+impl std::fmt::Display for TeKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.wire())
+    }
+}
+
+/// A per-endpoint version changelog: the versions at which the
+/// endpoint's configuration changed, complete for every version
+/// strictly greater than `complete_since` (older deltas may have been
+/// garbage-collected — an agent whose installed version predates
+/// `complete_since` must fall back to the snapshot).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Changelog {
+    /// The log is complete for changes at versions `> complete_since`.
+    pub complete_since: u64,
+    /// Ascending change versions still retained.
+    pub versions: Vec<u64>,
+}
+
+impl Changelog {
+    /// Wire encoding: `u64 complete_since | u32 count | count × u64`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.versions.len() * 8);
+        out.extend_from_slice(&self.complete_since.to_be_bytes());
+        out.extend_from_slice(&(self.versions.len() as u32).to_be_bytes());
+        for v in &self.versions {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        out
+    }
+
+    /// Bounds-checked decode; `None` on truncation or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let complete_since = u64::from_be_bytes(bytes.get(0..8)?.try_into().ok()?);
+        let count = u32::from_be_bytes(bytes.get(8..12)?.try_into().ok()?) as usize;
+        if bytes.len() != 12 + count * 8 {
+            return None;
+        }
+        let mut versions = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = 12 + i * 8;
+            versions.push(u64::from_be_bytes(bytes.get(at..at + 8)?.try_into().ok()?));
+        }
+        Some(Self { complete_since, versions })
+    }
+}
+
 #[derive(Debug, Default)]
 struct Shard {
     data: RwLock<HashMap<String, Vec<u8>>>,
     queries: AtomicU64,
+    /// Bytes moved over this shard's wire: keys both ways, values on
+    /// SET (request) and on GET hits (response).
+    bytes: AtomicU64,
     /// Failure injection: a down shard answers nothing (GET -> None,
     /// SET dropped) — what a client sees during a shard outage.
     down: std::sync::atomic::AtomicBool,
@@ -32,12 +132,13 @@ struct Shard {
 /// connections to the same cluster).
 ///
 /// ```
-/// use megate_tedb::TeDatabase;
+/// use megate_tedb::{TeDatabase, TeKey};
 ///
 /// let db = TeDatabase::new(2); // the paper's two shards
-/// db.publish_config(1, &[("ep:7".into(), vec![0xAB])]);
-/// assert_eq!(db.latest_version(), Some(1));          // cheap poll
-/// assert_eq!(db.fetch_config(1, "ep:7"), Some(vec![0xAB])); // pull
+/// db.put(&TeKey::Snapshot { endpoint: 7 }, vec![0xAB]);
+/// db.publish_version(1);
+/// assert_eq!(db.latest_version(), Some(1));                       // cheap poll
+/// assert_eq!(db.fetch(&TeKey::Snapshot { endpoint: 7 }), Some(vec![0xAB]));
 /// ```
 #[derive(Debug, Clone)]
 pub struct TeDatabase {
@@ -58,7 +159,7 @@ impl TeDatabase {
     /// Subscribes to configuration-version publications — the *push*
     /// half of the §8 hybrid design: heavy-traffic endpoints hold this
     /// persistent channel instead of polling; every
-    /// [`publish_config`](Self::publish_config) delivers the new
+    /// [`publish_version`](Self::publish_version) delivers the new
     /// version immediately. Dropped receivers are pruned lazily.
     pub fn watch_versions(&self) -> Receiver<u64> {
         let (tx, rx) = unbounded();
@@ -88,6 +189,8 @@ impl TeDatabase {
     pub fn set(&self, key: &str, value: Vec<u8>) {
         let s = &self.shards[self.shard_of(key)];
         s.queries.fetch_add(1, Ordering::Relaxed);
+        s.bytes
+            .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
         if s.down.load(Ordering::Relaxed) {
             return;
         }
@@ -100,9 +203,14 @@ impl TeDatabase {
         let s = &self.shards[self.shard_of(key)];
         s.queries.fetch_add(1, Ordering::Relaxed);
         if s.down.load(Ordering::Relaxed) {
+            s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
             return None;
         }
-        s.data.read().get(key).cloned()
+        let hit = s.data.read().get(key).cloned();
+        let response = hit.as_ref().map_or(0, Vec::len);
+        s.bytes
+            .fetch_add((key.len() + response) as u64, Ordering::Relaxed);
+        hit
     }
 
     /// GET that distinguishes a missing key from a shard outage —
@@ -116,16 +224,90 @@ impl TeDatabase {
         if s.down.load(Ordering::Relaxed) {
             return Err(ShardOutage { shard });
         }
-        Ok(s.data.read().get(key).cloned())
+        let hit = s.data.read().get(key).cloned();
+        let response = hit.as_ref().map_or(0, Vec::len);
+        s.bytes
+            .fetch_add((key.len() + response) as u64, Ordering::Relaxed);
+        Ok(hit)
     }
 
-    /// [`fetch_config`](Self::fetch_config) with outage reporting.
-    pub fn fetch_config_checked(
-        &self,
-        version: u64,
-        key: &str,
-    ) -> Result<Option<Vec<u8>>, ShardOutage> {
-        self.get_checked(&config_key(version, key))
+    // ---- Typed-key API (the delta-versioned keyspace) ----
+
+    /// Typed SET.
+    pub fn put(&self, key: &TeKey, value: Vec<u8>) {
+        self.set(&key.wire(), value);
+    }
+
+    /// Typed GET.
+    pub fn fetch(&self, key: &TeKey) -> Option<Vec<u8>> {
+        self.get(&key.wire())
+    }
+
+    /// Typed GET with outage reporting.
+    pub fn fetch_checked(&self, key: &TeKey) -> Result<Option<Vec<u8>>, ShardOutage> {
+        self.get_checked(&key.wire())
+    }
+
+    /// Typed DEL — returns whether the key existed.
+    pub fn remove(&self, key: &TeKey) -> bool {
+        self.del(&key.wire())
+    }
+
+    /// Bumps the version record *after* all of the version's entries
+    /// were written (write-then-publish ordering, §3.2) and pushes the
+    /// new version to persistent watchers (§8 hybrid); disconnected
+    /// channels are pruned here.
+    pub fn publish_version(&self, version: u64) {
+        self.put(&TeKey::Version, version.to_be_bytes().to_vec());
+        self.watchers.lock().retain(|w| w.send(version).is_ok());
+    }
+
+    /// Appends `version` to an endpoint's changelog (read-modify-write;
+    /// the controller is the single writer). Creates the log on first
+    /// change.
+    pub fn record_change(&self, endpoint: u64, version: u64) {
+        let key = TeKey::Changelog { endpoint };
+        let mut log = self
+            .fetch(&key)
+            .and_then(|b| Changelog::decode(&b))
+            .unwrap_or_default();
+        if log.versions.last() != Some(&version) {
+            log.versions.push(version);
+        }
+        self.put(&key, log.encode());
+    }
+
+    /// The endpoint's decoded changelog, if present and well-formed.
+    pub fn changelog(&self, endpoint: u64) -> Option<Changelog> {
+        Changelog::decode(&self.fetch(&TeKey::Changelog { endpoint })?)
+    }
+
+    /// Garbage-collects an endpoint's deltas at versions `<= floor`:
+    /// deletes the superseded delta records, prunes them from the
+    /// changelog and raises its `complete_since` watermark so agents
+    /// older than `floor` know to fall back to the snapshot. Returns
+    /// the number of delta records deleted.
+    pub fn gc_endpoint_before(&self, endpoint: u64, floor: u64) -> usize {
+        let key = TeKey::Changelog { endpoint };
+        let Some(mut log) = self.fetch(&key).and_then(|b| Changelog::decode(&b)) else {
+            return 0;
+        };
+        let mut removed = 0;
+        log.versions.retain(|&v| {
+            if v <= floor {
+                if self.remove(&TeKey::Delta { endpoint, version: v }) {
+                    removed += 1;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if log.complete_since < floor {
+            log.complete_since = floor;
+        }
+        self.put(&key, log.encode());
+        removed
     }
 
     /// Failure injection: takes a shard down (it keeps its data) or
@@ -143,6 +325,7 @@ impl TeDatabase {
     pub fn del(&self, key: &str) -> bool {
         let s = &self.shards[self.shard_of(key)];
         s.queries.fetch_add(1, Ordering::Relaxed);
+        s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
         s.data.write().remove(key).is_some()
     }
 
@@ -156,42 +339,64 @@ impl TeDatabase {
         self.shards.iter().map(|s| s.queries.load(Ordering::Relaxed)).collect()
     }
 
-    /// Resets query counters (between measurement windows).
+    /// Total bytes moved across all shards (keys + values).
+    pub fn total_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-shard byte counts.
+    pub fn per_shard_bytes(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.bytes.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Resets query and byte counters (between measurement windows).
     pub fn reset_query_counters(&self) {
         for s in self.shards.iter() {
             s.queries.store(0, Ordering::Relaxed);
+            s.bytes.store(0, Ordering::Relaxed);
         }
     }
 
-    // ---- Versioned-config helpers (Figure 4(b)) ----
+    // ---- Legacy versioned-config helpers (Figure 4(b)) ----
+    //
+    // The pre-delta string-keyed publish path: every endpoint's full
+    // config rewritten under `te:config:{version}:{key}` each interval.
+    // Kept for the §8 hybrid experiments and as the full-republish
+    // baseline the delta plane is benchmarked against.
 
-    /// Publishes a new TE configuration: writes all entries, then bumps
-    /// the version key last so a reader that sees version `v` is
-    /// guaranteed to find `v`'s entries (write-then-publish ordering).
+    /// Publishes a new TE configuration the full-republish way: writes
+    /// all entries, then bumps the version key last so a reader that
+    /// sees version `v` is guaranteed to find `v`'s entries.
     pub fn publish_config(&self, version: u64, entries: &[(String, Vec<u8>)]) {
         for (k, v) in entries {
             self.set(&config_key(version, k), v.clone());
         }
-        self.set(CONFIG_VERSION_KEY, version.to_be_bytes().to_vec());
-        // Push the new version to persistent watchers (§8 hybrid);
-        // disconnected channels are pruned here.
-        self.watchers.lock().retain(|w| w.send(version).is_ok());
+        self.publish_version(version);
     }
 
     /// The latest published configuration version (the endpoint's cheap
     /// poll query).
     pub fn latest_version(&self) -> Option<u64> {
-        let v = self.get(CONFIG_VERSION_KEY)?;
+        let v = self.fetch(&TeKey::Version)?;
         let bytes: [u8; 8] = v.try_into().ok()?;
         Some(u64::from_be_bytes(bytes))
     }
 
-    /// Fetches one entry of a published configuration version.
+    /// Fetches one entry of a full-republish configuration version.
     pub fn fetch_config(&self, version: u64, key: &str) -> Option<Vec<u8>> {
         self.get(&config_key(version, key))
     }
 
-    /// Garbage-collects all entries of an old configuration version.
+    /// [`fetch_config`](Self::fetch_config) with outage reporting.
+    pub fn fetch_config_checked(
+        &self,
+        version: u64,
+        key: &str,
+    ) -> Result<Option<Vec<u8>>, ShardOutage> {
+        self.get_checked(&config_key(version, key))
+    }
+
+    /// Garbage-collects all entries of an old full-republish version.
     pub fn evict_version(&self, version: u64, keys: &[String]) {
         for k in keys {
             self.del(&config_key(version, k));
@@ -261,6 +466,86 @@ mod tests {
         assert_eq!(db.total_queries(), 4);
         db.reset_query_counters();
         assert_eq!(db.total_queries(), 0);
+    }
+
+    #[test]
+    fn byte_counters_track_keys_and_values() {
+        let db = TeDatabase::new(1);
+        db.set("ab", vec![0; 10]); // 2 + 10
+        db.get("ab"); // 2 + 10
+        db.get("zz"); // 2 + 0 (miss)
+        assert_eq!(db.total_bytes(), 26);
+        db.reset_query_counters();
+        assert_eq!(db.total_bytes(), 0);
+    }
+
+    #[test]
+    fn typed_keys_have_distinct_wires() {
+        let keys = [
+            TeKey::Version,
+            TeKey::Snapshot { endpoint: 7 },
+            TeKey::Delta { endpoint: 7, version: 3 },
+            TeKey::Delta { endpoint: 7, version: 4 },
+            TeKey::Delta { endpoint: 73, version: 4 },
+            TeKey::Changelog { endpoint: 7 },
+        ];
+        let wires: std::collections::HashSet<String> =
+            keys.iter().map(TeKey::wire).collect();
+        assert_eq!(wires.len(), keys.len());
+    }
+
+    #[test]
+    fn typed_put_fetch_remove_roundtrip() {
+        let db = TeDatabase::new(2);
+        let k = TeKey::Delta { endpoint: 9, version: 2 };
+        db.put(&k, vec![1, 2]);
+        assert_eq!(db.fetch(&k), Some(vec![1, 2]));
+        assert_eq!(db.fetch_checked(&k), Ok(Some(vec![1, 2])));
+        assert!(db.remove(&k));
+        assert_eq!(db.fetch(&k), None);
+    }
+
+    #[test]
+    fn changelog_encode_decode_roundtrip_and_rejects_garbage() {
+        let log = Changelog { complete_since: 4, versions: vec![5, 7, 11] };
+        assert_eq!(Changelog::decode(&log.encode()), Some(log.clone()));
+        let bytes = log.encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(Changelog::decode(&bytes[..cut]), None, "cut {cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(Changelog::decode(&long), None);
+    }
+
+    #[test]
+    fn record_change_appends_and_dedupes() {
+        let db = TeDatabase::new(2);
+        assert!(db.changelog(3).is_none());
+        db.record_change(3, 1);
+        db.record_change(3, 4);
+        db.record_change(3, 4); // idempotent re-publish
+        let log = db.changelog(3).unwrap();
+        assert_eq!(log.versions, vec![1, 4]);
+        assert_eq!(log.complete_since, 0);
+    }
+
+    #[test]
+    fn gc_prunes_deltas_and_raises_watermark() {
+        let db = TeDatabase::new(2);
+        for v in [1u64, 3, 5, 9] {
+            db.put(&TeKey::Delta { endpoint: 2, version: v }, vec![v as u8]);
+            db.record_change(2, v);
+        }
+        let removed = db.gc_endpoint_before(2, 5);
+        assert_eq!(removed, 3);
+        assert_eq!(db.fetch(&TeKey::Delta { endpoint: 2, version: 3 }), None);
+        assert_eq!(db.fetch(&TeKey::Delta { endpoint: 2, version: 9 }), Some(vec![9]));
+        let log = db.changelog(2).unwrap();
+        assert_eq!(log.versions, vec![9]);
+        assert_eq!(log.complete_since, 5);
+        // Idempotent.
+        assert_eq!(db.gc_endpoint_before(2, 5), 0);
     }
 
     #[test]

@@ -9,8 +9,29 @@
 //! replays endpoint polls tick by tick, reporting peak/mean query rates
 //! per shard, shard-overload ticks, and the convergence time to the new
 //! version — with and without query spreading.
+//!
+//! Two sync protocols are modelled ([`SyncMode`]):
+//!
+//! * **full republish** — every endpoint's complete configuration is
+//!   rewritten each interval and every poll that sees a new version
+//!   re-fetches the complete configuration (the pre-delta loop);
+//! * **delta-versioned** — the controller publishes per-endpoint deltas
+//!   only for the `changed_fraction` of endpoints whose allocation
+//!   moved; every poll adds one small changelog probe, and only changed
+//!   endpoints fetch (delta-sized) configuration bytes. Steady-state
+//!   interval cost drops from O(endpoints) to O(changed endpoints).
 
 use crate::store::SHARD_QPS_CAPACITY;
+
+/// Which pull protocol the simulation models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Every endpoint re-fetches its full configuration each interval.
+    #[default]
+    FullRepublish,
+    /// Typed-keyspace deltas: only changed endpoints move config bytes.
+    DeltaVersioned,
+}
 
 /// Parameters of one pull-sync simulation.
 #[derive(Debug, Clone)]
@@ -26,6 +47,19 @@ pub struct SyncConfig {
     pub spreading: bool,
     /// Number of database shards.
     pub n_shards: usize,
+    /// Pull protocol to model.
+    pub mode: SyncMode,
+    /// Fraction of endpoints whose allocation changed this interval
+    /// (1.0 = cold start; steady state is typically well under 0.1).
+    pub changed_fraction: f64,
+    /// Mean full-snapshot size per endpoint, bytes.
+    pub snapshot_bytes: usize,
+    /// Mean delta size for a changed endpoint, bytes.
+    pub delta_bytes: usize,
+    /// Changelog-probe response size, bytes (delta mode only).
+    pub probe_bytes: usize,
+    /// Version-poll response size, bytes.
+    pub version_poll_bytes: usize,
 }
 
 impl Default for SyncConfig {
@@ -37,6 +71,12 @@ impl Default for SyncConfig {
             tick_ms: 1000,
             spreading: true,
             n_shards: 2,
+            mode: SyncMode::FullRepublish,
+            changed_fraction: 1.0,
+            snapshot_bytes: 512,
+            delta_bytes: 64,
+            probe_bytes: 24,
+            version_poll_bytes: 12,
         }
     }
 }
@@ -56,27 +96,67 @@ pub struct SyncOutcome {
     pub convergence_ticks: usize,
     /// Milliseconds until convergence.
     pub convergence_ms: u64,
+    /// Bytes the controller wrote into the database this interval.
+    pub published_bytes: u64,
+    /// Response bytes the shards served to pulling endpoints.
+    pub pulled_bytes: u64,
+    /// Peak per-shard response bytes/second over the run.
+    pub per_shard_peak_bytes_per_s: f64,
 }
 
 /// Simulates one sync period after a new version is published.
 ///
 /// Each endpoint performs one cheap version poll in its slot; on a
-/// version mismatch it issues one configuration fetch in the same tick
-/// (short connection, then closes — no persistent state).
+/// version mismatch it issues its configuration queries in the same
+/// tick (short connection, then closes — no persistent state). How many
+/// queries and bytes that costs depends on [`SyncMode`].
 pub fn simulate_pull_sync(cfg: &SyncConfig) -> SyncOutcome {
     assert!(cfg.n_endpoints > 0 && cfg.poll_interval_ticks > 0 && cfg.n_shards > 0);
+    assert!((0.0..=1.0).contains(&cfg.changed_fraction));
     let ticks = cfg.poll_interval_ticks;
     let tick_seconds = cfg.tick_ms as f64 / 1000.0;
+    let changed_total =
+        ((cfg.n_endpoints as f64) * cfg.changed_fraction).round() as usize;
 
-    // Queries per tick: every endpoint polls exactly once per interval,
-    // in its slot; the publish makes each poll also fetch (2 queries).
+    // Queries/bytes per tick: every endpoint polls exactly once per
+    // interval, in its slot. The first `changed_total` endpoints are
+    // the ones whose allocation moved (spreading interleaves them
+    // across slots via the modulo assignment).
     let mut queries_per_tick = vec![0u64; ticks];
+    let mut bytes_per_tick = vec![0u64; ticks];
     let mut last_update_tick = 0usize;
     for ep in 0..cfg.n_endpoints {
         let slot = if cfg.spreading { ep % ticks } else { 0 };
-        queries_per_tick[slot] += 2; // version poll + config fetch
+        let changed = ep < changed_total;
+        let (queries, bytes) = match cfg.mode {
+            // Version poll + full config fetch for everyone.
+            SyncMode::FullRepublish => {
+                (2, cfg.version_poll_bytes + cfg.snapshot_bytes)
+            }
+            // Version poll + changelog probe for everyone; only changed
+            // endpoints fetch their (delta-sized) config.
+            SyncMode::DeltaVersioned => {
+                if changed {
+                    (3, cfg.version_poll_bytes + cfg.probe_bytes + cfg.delta_bytes)
+                } else {
+                    (2, cfg.version_poll_bytes + cfg.probe_bytes)
+                }
+            }
+        };
+        queries_per_tick[slot] += queries;
+        bytes_per_tick[slot] += bytes as u64;
         last_update_tick = last_update_tick.max(slot);
     }
+
+    let published_bytes = match cfg.mode {
+        SyncMode::FullRepublish => (cfg.n_endpoints * cfg.snapshot_bytes) as u64,
+        // Per changed endpoint: the delta record plus its changelog
+        // rewrite. (Snapshot-cadence flushes amortize to
+        // changed/snapshot_every per interval and are not modelled.)
+        SyncMode::DeltaVersioned => {
+            (changed_total * (cfg.delta_bytes + cfg.probe_bytes)) as u64
+        }
+    };
 
     let peak = *queries_per_tick.iter().max().expect("non-empty") as f64 / tick_seconds;
     let mean = queries_per_tick.iter().sum::<u64>() as f64 / ticks as f64 / tick_seconds;
@@ -87,6 +167,7 @@ pub fn simulate_pull_sync(cfg: &SyncConfig) -> SyncOutcome {
         .iter()
         .filter(|&&q| (q as f64 / tick_seconds) / cfg.n_shards as f64 > shard_capacity)
         .count();
+    let peak_bytes = *bytes_per_tick.iter().max().expect("non-empty") as f64 / tick_seconds;
 
     let convergence_ticks = last_update_tick + 1;
     SyncOutcome {
@@ -96,6 +177,9 @@ pub fn simulate_pull_sync(cfg: &SyncConfig) -> SyncOutcome {
         overloaded_ticks: overloaded,
         convergence_ticks,
         convergence_ms: convergence_ticks as u64 * cfg.tick_ms,
+        published_bytes,
+        pulled_bytes: bytes_per_tick.iter().sum(),
+        per_shard_peak_bytes_per_s: peak_bytes / cfg.n_shards as f64,
     }
 }
 
@@ -158,5 +242,74 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(out.overloaded_ticks, 0);
+    }
+
+    #[test]
+    fn steady_state_deltas_cut_bytes_at_least_5x() {
+        // The acceptance workload: <10% of endpoints change allocation
+        // between intervals.
+        let full = simulate_pull_sync(&SyncConfig {
+            changed_fraction: 0.08,
+            mode: SyncMode::FullRepublish,
+            ..Default::default()
+        });
+        let delta = simulate_pull_sync(&SyncConfig {
+            changed_fraction: 0.08,
+            mode: SyncMode::DeltaVersioned,
+            ..Default::default()
+        });
+        assert!(
+            full.published_bytes as f64 >= 5.0 * delta.published_bytes as f64,
+            "published: full {} vs delta {}",
+            full.published_bytes,
+            delta.published_bytes
+        );
+        assert!(
+            full.pulled_bytes as f64 >= 5.0 * delta.pulled_bytes as f64,
+            "pulled: full {} vs delta {}",
+            full.pulled_bytes,
+            delta.pulled_bytes
+        );
+        assert!(full.per_shard_peak_bytes_per_s >= 5.0 * delta.per_shard_peak_bytes_per_s);
+        // Same convergence: deltas change payload sizes, not the
+        // spreading schedule.
+        assert_eq!(full.convergence_ticks, delta.convergence_ticks);
+    }
+
+    #[test]
+    fn delta_mode_query_count_tracks_churn() {
+        let cold = simulate_pull_sync(&SyncConfig {
+            mode: SyncMode::DeltaVersioned,
+            changed_fraction: 1.0,
+            ..Default::default()
+        });
+        let steady = simulate_pull_sync(&SyncConfig {
+            mode: SyncMode::DeltaVersioned,
+            changed_fraction: 0.0,
+            ..Default::default()
+        });
+        // Cold start: 3 queries/endpoint; steady state: 2.
+        assert_eq!(cold.peak_qps, 300_000.0);
+        assert_eq!(steady.peak_qps, 200_000.0);
+        assert_eq!(steady.published_bytes, 0);
+    }
+
+    #[test]
+    fn cold_start_deltas_are_not_cheaper() {
+        // With 100% churn the delta plane degenerates gracefully: same
+        // order of bytes as full republish (small constant overheads).
+        let full = simulate_pull_sync(&SyncConfig {
+            snapshot_bytes: 64,
+            delta_bytes: 64,
+            ..Default::default()
+        });
+        let delta = simulate_pull_sync(&SyncConfig {
+            snapshot_bytes: 64,
+            delta_bytes: 64,
+            mode: SyncMode::DeltaVersioned,
+            ..Default::default()
+        });
+        assert!(delta.pulled_bytes >= full.pulled_bytes);
+        assert!(delta.pulled_bytes <= 2 * full.pulled_bytes);
     }
 }

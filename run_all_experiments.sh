@@ -9,6 +9,7 @@ SCALE="${1:-quick}"
 if [[ "$SCALE" == "--quick" ]]; then
   cargo build -p megate-bench --release --bins
   cargo bench -p megate-bench --no-run
+  cargo test -q --test control_loop
   cargo run -q -p megate-bench --release --bin fig09_runtime -- --scale quick
   echo "================================================================"
   echo "Smoke run done. JSON in results/."

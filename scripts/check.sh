@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Repo-wide gate: release build, full test suite, lint-clean clippy.
+# Run before every push; CI mirrors these three steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+
+echo "================================================================"
+echo "check.sh: build + tests + clippy all green."

@@ -204,14 +204,9 @@ impl<'a> BenchmarkGroup<'a> {
 }
 
 /// Top-level benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     unit: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { unit: () }
-    }
 }
 
 impl Criterion {

@@ -82,7 +82,7 @@ pub mod channel {
 mod tests {
     #[test]
     fn scope_spawns_and_joins() {
-        let data = vec![1, 2, 3, 4];
+        let data = [1, 2, 3, 4];
         let total: i32 = crate::thread::scope(|s| {
             let handles: Vec<_> = data
                 .chunks(2)
