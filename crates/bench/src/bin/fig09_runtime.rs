@@ -70,4 +70,40 @@ fn main() {
         if lp_max > 0 { mega_max / lp_max.max(1) } else { 0 }
     );
     write_json("fig09_runtime", &all);
+
+    // One end-to-end control-loop interval so the metric snapshot
+    // below also carries controller/TE-DB/host-stack series, not just
+    // the solver spans the sweeps above recorded.
+    end_to_end_probe();
+    match megate_obs::write_bench_snapshot("fig09") {
+        Ok(path) => println!("metrics snapshot: {}", path.display()),
+        Err(e) => println!("metrics snapshot skipped: {e}"),
+    }
+}
+
+/// Runs one full TE cycle (bring-up → solve/publish → agent pull →
+/// packets through TC egress and the WAN) on a small B4 instance.
+fn end_to_end_probe() {
+    use megate_topo::{EndpointCatalog, TunnelTable, WeibullEndpoints};
+
+    let graph = TopologySpec::B4.build();
+    let tunnels = TunnelTable::for_all_pairs(&graph, 3);
+    let catalog =
+        EndpointCatalog::generate(&graph, 120, WeibullEndpoints::with_scale(10.0), 2);
+    let mut demands = megate_traffic::DemandSet::generate(
+        &graph,
+        &catalog,
+        &megate_traffic::TrafficConfig {
+            endpoint_pairs: 80,
+            site_pairs: 15,
+            ..Default::default()
+        },
+    );
+    demands.scale_to_load(&graph, 0.4);
+    let mut sys =
+        megate::MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
+    sys.bring_up(&demands);
+    sys.run_controller_interval(&demands).expect("probe interval solves");
+    sys.agents_pull();
+    sys.send_demand_packets(&demands);
 }

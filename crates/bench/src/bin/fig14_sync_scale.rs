@@ -155,4 +155,9 @@ fn main() {
         }
     }
     write_json("fig14_delta_bytes", &byte_json);
+
+    match megate_obs::write_bench_snapshot("fig14") {
+        Ok(path) => println!("metrics snapshot: {}", path.display()),
+        Err(e) => println!("metrics snapshot skipped: {e}"),
+    }
 }

@@ -18,9 +18,11 @@ use megate_solvers::TeScheme;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    megate_obs::logger::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let dump_metrics = args.iter().any(|a| a == "--metrics");
     let Some(cmd) = args.first() else {
-        eprintln!("{USAGE}");
+        megate_obs::error!("missing command\n{USAGE}");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -34,10 +36,15 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     };
+    if dump_metrics {
+        // Everything the run recorded, in Prometheus text format
+        // (stderr so stdout stays pipeable: traces, dot files, ...).
+        eprint!("{}", megate_obs::global().snapshot().to_prometheus());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            megate_obs::error!("{e}");
             ExitCode::FAILURE
         }
     }
@@ -51,7 +58,11 @@ USAGE:
   megate trace-gen <topology> [--endpoints N] [--site-pairs N] [--seed S] [--load L]
   megate solve <topology> [--scheme megate|lp-all|ncflow|teal] [--endpoints N]
                [--trace FILE] [--qos] [--seed S] [--load L]
-  megate simulate <topology> [--endpoints N] [--seed S]";
+  megate simulate <topology> [--endpoints N] [--seed S]
+
+Any command also accepts --metrics (dump the metric registry to stderr
+on exit, Prometheus text format). Log verbosity: MEGATE_LOG/RUST_LOG
+(error|warn|info|debug|trace, with target=level overrides).";
 
 fn parse_topology(name: &str) -> Result<TopologySpec, String> {
     match name {

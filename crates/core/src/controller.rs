@@ -291,27 +291,33 @@ impl Controller {
         force_snapshot: bool,
     ) -> Result<IntervalReport, ControllerError> {
         let started = std::time::Instant::now();
+        let _interval_span = megate_obs::span("controller.interval");
         let problem = TeProblem { graph, tunnels: &self.tunnels, demands };
         let scheme = MegaTeScheme::new(self.config.solver.clone());
+        let solve_span = megate_obs::span("controller.solve");
         let allocation = if self.config.qos_sequential {
             solve_per_qos(&scheme, &problem)?
         } else {
             scheme.solve(&problem)?
         };
+        drop(solve_span);
 
         // Translate the assignment into per-source path sets and diff
         // against the previous interval (the megate-solvers diff step).
+        let diff_span = megate_obs::span("controller.diff");
         let assign = allocation
             .endpoint_assignment
             .as_ref()
             .expect("MegaTE produces endpoint assignments");
         let next_paths = endpoint_paths(demands, &self.tunnels, assign);
         let diff = diff_endpoint_paths(&self.last_paths, &next_paths);
+        drop(diff_span);
         let version = self.version + 1;
         let empty = EndpointConfig::default();
 
         // Encode everything before touching the database, so an encode
         // failure (e.g. a >255-hop tunnel) publishes nothing at all.
+        let encode_span = megate_obs::span("controller.encode");
         let mut deltas: Vec<(EndpointId, Vec<u8>)> =
             Vec::with_capacity(diff.changed.len() + diff.removed.len());
         for ep in diff.changed.iter().chain(&diff.removed) {
@@ -343,16 +349,25 @@ impl Controller {
                 snapshots.push((*ep, value));
             }
         }
+        drop(encode_span);
 
         // Commit: entries first, version record last (§3.2 ordering).
+        // The obs counters mirror `published_bytes` (deltas and
+        // snapshots tallied separately — the paper's Figure 14 split);
+        // they never feed back into the report's accounting.
+        let publish_span = megate_obs::span("controller.publish");
         let mut published_bytes = 0u64;
+        let mut delta_bytes = 0u64;
+        let mut snapshot_bytes = 0u64;
         let touched: Vec<EndpointId> = deltas.iter().map(|(ep, _)| *ep).collect();
         for (ep, bytes) in deltas {
             published_bytes += bytes.len() as u64;
+            delta_bytes += bytes.len() as u64;
             self.db
                 .put(&TeKey::Delta { endpoint: ep.0, version }, bytes);
             self.db.record_change(ep.0, version);
             published_bytes += 12 + 8; // changelog append, amortized
+            delta_bytes += 12 + 8;
             self.dirty_snapshots.insert(ep);
         }
         if !touched.is_empty() {
@@ -360,25 +375,33 @@ impl Controller {
         }
         for (ep, value) in snapshots {
             published_bytes += value.len() as u64;
+            snapshot_bytes += value.len() as u64;
             self.db.put(&TeKey::Snapshot { endpoint: ep.0 }, value);
         }
         if flush_snapshots {
             self.dirty_snapshots.clear();
         }
+        megate_obs::counter("controller.delta_bytes").add(delta_bytes);
+        megate_obs::counter("controller.snapshot_bytes").add(snapshot_bytes);
+        drop(publish_span);
 
         // Garbage-collect deltas and changelog entries that fell out of
         // the retention window (the old `published_keys` list grew
         // without bound; the ring is capped by construction).
+        let gc_span = megate_obs::span("controller.gc");
         let floor = version.saturating_sub(self.config.retention_versions);
+        let mut reclaimed = 0u64;
         while let Some((v, _)) = self.delta_ring.front() {
             if *v > floor {
                 break;
             }
             let (_, endpoints) = self.delta_ring.pop_front().expect("front checked");
             for ep in endpoints {
-                self.db.gc_endpoint_before(ep.0, floor);
+                reclaimed += self.db.gc_endpoint_before(ep.0, floor) as u64;
             }
         }
+        megate_obs::counter("controller.gc_reclaimed").add(reclaimed);
+        drop(gc_span);
 
         self.db.publish_version(version);
         published_bytes += 8;

@@ -180,15 +180,22 @@ impl MegaTeSystem {
         let Some(target) = self.db.latest_version() else {
             return 0;
         };
+        let _span = megate_obs::span("controller.agents_pull");
         let mut updated = 0;
+        let mut min_installed = u64::MAX;
         for host in &mut self.hosts {
             let local = host.agent.config_version();
-            if local >= target {
-                continue;
-            }
-            if Self::pull_host(&self.db, host, local, target) {
+            if local < target && Self::pull_host(&self.db, host, local, target) {
                 updated += 1;
             }
+            min_installed = min_installed.min(host.agent.config_version());
+        }
+        // How far the slowest agent lags the published version after
+        // this poll round (`controller.config_staleness`, in versions —
+        // 0 means the whole fleet converged).
+        if min_installed != u64::MAX {
+            megate_obs::gauge("controller.config_staleness")
+                .set(target.saturating_sub(min_installed) as i64);
         }
         updated
     }

@@ -75,6 +75,12 @@ pub struct WanNetwork<'a> {
     /// Per-link utilization for queueing-aware latency (empty =
     /// propagation only). See [`crate::queueing`].
     pub link_utilization: Vec<f64>,
+    /// `dataplane.frames_delivered`: frames that reached their
+    /// destination site (process-wide, across all network instances).
+    frames_delivered: megate_obs::Counter,
+    /// `dataplane.frames_dropped`: frames lost for any reason (failed
+    /// link, no tunnel, malformed, wrong-site SR walk).
+    frames_dropped: megate_obs::Counter,
 }
 
 impl<'a> WanNetwork<'a> {
@@ -87,6 +93,8 @@ impl<'a> WanNetwork<'a> {
             ecmp_seed: 0,
             failed_links: Vec::new(),
             link_utilization: Vec::new(),
+            frames_delivered: megate_obs::counter("dataplane.frames_delivered"),
+            frames_dropped: megate_obs::counter("dataplane.frames_dropped"),
         }
     }
 
@@ -112,6 +120,16 @@ impl<'a> WanNetwork<'a> {
     /// Walks a frame from its source host's site to delivery, mutating
     /// the frame's SR offset exactly as the routers would.
     pub fn route_frame(&self, frame: &mut [u8]) -> RouteOutcome {
+        let out = self.route_frame_inner(frame);
+        if out.delivered {
+            self.frames_delivered.inc();
+        } else {
+            self.frames_dropped.inc();
+        }
+        out
+    }
+
+    fn route_frame_inner(&self, frame: &mut [u8]) -> RouteOutcome {
         let parsed = match parse_megate_frame(frame) {
             Ok(p) => p,
             Err(e) => {

@@ -60,6 +60,11 @@ pub struct EbpfMap<K, V> {
     max_entries: usize,
     kind: MapKind,
     inner: Arc<RwLock<MapInner<K, V>>>,
+    /// Live entry count exported as `hoststack.map.<name>.occupancy`.
+    /// Maintained by ±deltas on insert/evict/delete/drain, so every
+    /// host's instance of a same-named map (e.g. each host's
+    /// `traffic_map`) aggregates into one process-wide gauge.
+    occupancy: megate_obs::Gauge,
 }
 
 impl<K, V> Clone for EbpfMap<K, V> {
@@ -69,6 +74,7 @@ impl<K, V> Clone for EbpfMap<K, V> {
             max_entries: self.max_entries,
             kind: self.kind,
             inner: Arc::clone(&self.inner),
+            occupancy: self.occupancy.clone(),
         }
     }
 }
@@ -92,6 +98,7 @@ impl<K: Eq + Hash + Clone, V: Clone> EbpfMap<K, V> {
             max_entries,
             kind,
             inner: Arc::new(RwLock::new(MapInner { data: HashMap::new(), tick: 0 })),
+            occupancy: megate_obs::gauge(&format!("hoststack.map.{name}.occupancy")),
         }
     }
 
@@ -139,11 +146,16 @@ impl<K: Eq + Hash + Clone, V: Clone> EbpfMap<K, V> {
         let mut g = self.inner.write();
         g.tick += 1;
         let tick = g.tick;
-        if !g.data.contains_key(&key) && g.data.len() >= self.max_entries {
+        let new_key = !g.data.contains_key(&key);
+        if new_key && g.data.len() >= self.max_entries {
             match self.kind {
                 MapKind::Hash => return Err(MapError::Full),
+                // The new key replaces the evicted one: occupancy
+                // is unchanged.
                 MapKind::LruHash => evict_lru(&mut g),
             }
+        } else if new_key {
+            self.occupancy.add(1);
         }
         g.data.insert(key, (value, tick));
         Ok(())
@@ -160,11 +172,14 @@ impl<K: Eq + Hash + Clone, V: Clone> EbpfMap<K, V> {
         let mut g = self.inner.write();
         g.tick += 1;
         let tick = g.tick;
-        if !g.data.contains_key(&key) && g.data.len() >= self.max_entries {
+        let new_key = !g.data.contains_key(&key);
+        if new_key && g.data.len() >= self.max_entries {
             match self.kind {
                 MapKind::Hash => return Err(MapError::Full),
                 MapKind::LruHash => evict_lru(&mut g),
             }
+        } else if new_key {
+            self.occupancy.add(1);
         }
         let entry = g.data.entry(key).or_insert((default, tick));
         entry.1 = tick;
@@ -174,12 +189,11 @@ impl<K: Eq + Hash + Clone, V: Clone> EbpfMap<K, V> {
 
     /// Deletes an entry.
     pub fn delete(&self, key: &K) -> Result<V, MapError> {
-        self.inner
-            .write()
-            .data
-            .remove(key)
-            .map(|(v, _)| v)
-            .ok_or(MapError::NotFound)
+        let removed = self.inner.write().data.remove(key);
+        if removed.is_some() {
+            self.occupancy.sub(1);
+        }
+        removed.map(|(v, _)| v).ok_or(MapError::NotFound)
     }
 
     /// Snapshot of all entries (the user-space "iterate map" path the
@@ -196,12 +210,15 @@ impl<K: Eq + Hash + Clone, V: Clone> EbpfMap<K, V> {
     /// Removes and returns all entries atomically (collect-and-reset at
     /// the end of a TE period).
     pub fn drain(&self) -> Vec<(K, V)> {
-        self.inner
+        let out: Vec<(K, V)> = self
+            .inner
             .write()
             .data
             .drain()
             .map(|(k, (v, _))| (k, v))
-            .collect()
+            .collect();
+        self.occupancy.sub(out.len() as i64);
+        out
     }
 }
 

@@ -33,6 +33,38 @@ pub struct HostMaps {
     /// Perf-event ring: per-event telemetry (new flows, SR insertions,
     /// accounting misses) streamed to user space.
     pub telemetry: crate::ringbuf::RingBuffer,
+    /// Process-wide TC-chain counters, mirroring the per-call
+    /// [`TcStats`] so fleet-level totals are visible without threading
+    /// stats structs up through the simulation.
+    pub(crate) tc_metrics: TcMetrics,
+}
+
+/// Counter handles for the TC chains, resolved once at map-set
+/// construction so the per-packet path never touches the registry.
+#[derive(Debug, Clone)]
+pub(crate) struct TcMetrics {
+    /// `hoststack.accounting_misses`: frames whose bytes could not be
+    /// billed (map pressure or orphan fragments).
+    accounting_misses: megate_obs::Counter,
+    /// `hoststack.frag_orphans`: non-first fragments with no
+    /// `frag_map` entry (subset of the misses above).
+    frag_orphans: megate_obs::Counter,
+    /// `hoststack.frag_resolved`: non-first fragments billed via
+    /// `frag_map`.
+    frag_resolved: megate_obs::Counter,
+    /// `hoststack.sr_inserted`: frames that left with a fresh SR header.
+    sr_inserted: megate_obs::Counter,
+}
+
+impl TcMetrics {
+    fn new() -> Self {
+        Self {
+            accounting_misses: megate_obs::counter("hoststack.accounting_misses"),
+            frag_orphans: megate_obs::counter("hoststack.frag_orphans"),
+            frag_resolved: megate_obs::counter("hoststack.frag_resolved"),
+            sr_inserted: megate_obs::counter("hoststack.sr_inserted"),
+        }
+    }
 }
 
 impl Default for HostMaps {
@@ -52,6 +84,7 @@ impl HostMaps {
             frag_map: EbpfMap::new_lru("frag_map", 16_384),
             path_map: EbpfMap::new("path_map", 262_144),
             telemetry: crate::ringbuf::RingBuffer::new(65_536),
+            tc_metrics: TcMetrics::new(),
         }
     }
 }
@@ -98,6 +131,7 @@ pub fn tc_egress_chain(
                 // lost but the frame is still forwarded.
                 if maps.frag_map.update(ipid, tuple).is_err() {
                     stats.accounting_misses += 1;
+                    maps.tc_metrics.accounting_misses.inc();
                 }
             }
             Some(tuple)
@@ -105,10 +139,13 @@ pub fn tc_egress_chain(
         FlowKey::Fragment { ipid } => match maps.frag_map.lookup(&ipid) {
             Some(t) => {
                 stats.fragments_resolved += 1;
+                maps.tc_metrics.frag_resolved.inc();
                 Some(t)
             }
             None => {
                 stats.accounting_misses += 1;
+                maps.tc_metrics.accounting_misses.inc();
+                maps.tc_metrics.frag_orphans.inc();
                 None
             }
         },
@@ -121,6 +158,7 @@ pub fn tc_egress_chain(
             .is_err()
         {
             stats.accounting_misses += 1;
+            maps.tc_metrics.accounting_misses.inc();
             maps.telemetry.publish(crate::ringbuf::TelemetryEvent::AccountingMiss);
         } else if first_sighting {
             maps.telemetry
@@ -144,6 +182,7 @@ pub fn tc_egress_chain(
         return Ok(TcVerdict::Pass);
     };
     insert_sr_header(frame, &hops)?;
+    maps.tc_metrics.sr_inserted.inc();
     maps.telemetry.publish(crate::ringbuf::TelemetryEvent::SrInserted {
         instance,
         hops: hops.len() as u8,
@@ -168,6 +207,7 @@ pub fn tc_ingress_chain(
             .is_err()
         {
             stats.accounting_misses += 1;
+            maps.tc_metrics.accounting_misses.inc();
         }
     }
     if parsed.sr.is_some() {

@@ -35,6 +35,9 @@ pub enum TelemetryEvent {
 pub struct RingBuffer {
     inner: Arc<Mutex<Inner>>,
     capacity: usize,
+    /// Process-wide producer-drop export (`hoststack.ringbuf.drops`);
+    /// registered at construction so the metric exists even at zero.
+    drop_ctr: megate_obs::Counter,
 }
 
 #[derive(Debug)]
@@ -50,6 +53,7 @@ impl RingBuffer {
         Self {
             inner: Arc::new(Mutex::new(Inner { queue: VecDeque::new(), dropped: 0 })),
             capacity,
+            drop_ctr: megate_obs::counter("hoststack.ringbuf.drops"),
         }
     }
 
@@ -59,6 +63,7 @@ impl RingBuffer {
         let mut g = self.inner.lock();
         if g.queue.len() >= self.capacity {
             g.dropped += 1;
+            self.drop_ctr.inc();
             return false;
         }
         g.queue.push_back(event);

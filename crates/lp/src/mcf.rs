@@ -137,6 +137,7 @@ impl McfProblem {
     /// [`LpError::TooLarge`] when the tableau would not fit — the same
     /// out-of-memory wall the paper reports for LP-all at scale.
     pub fn solve_exact(&self) -> Result<McfSolution, LpError> {
+        let _span = megate_obs::span("lp.exact");
         // Variable layout: one variable per (commodity, path), in order.
         let mut var_of: Vec<(usize, usize)> = Vec::new();
         let mut objective = Vec::new();
@@ -239,6 +240,8 @@ impl McfProblem {
     /// identical regardless of `threads`.
     pub fn solve_fptas_with(&self, eps: f64, threads: usize) -> McfSolution {
         assert!(eps > 0.0 && eps <= 0.5, "eps must be in (0, 0.5]");
+        let _span = megate_obs::span("lp.fptas");
+        let phase_ctr = megate_obs::counter("lp.fptas_phases");
         let threads = threads.max(1);
         let n_links = self.link_capacity.len();
         let n_comm = self.commodities.len();
@@ -358,6 +361,7 @@ impl McfProblem {
 
         let mut alpha = delta; // lower bound on the global min path length
         while alpha < 1.0 {
+            phase_ctr.inc();
             // Phase-start batch pricing: recompute every path length
             // exactly from `length`, then pick each commodity's
             // candidate tunnel. Both passes are element-independent

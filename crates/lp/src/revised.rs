@@ -367,6 +367,11 @@ pub fn solve_revised(lp: &LinearProgram) -> Result<LpSolution, LpError> {
             duals: vec![0.0; m],
         });
     }
+    // Metric handles are resolved once per solve; per-pivot cost is a
+    // single relaxed add behind the obs enabled() branch.
+    let _span = megate_obs::span("lp.solve");
+    let pivot_ctr = megate_obs::counter("lp.pivots");
+    let refactor_ctr = megate_obs::counter("lp.refactorizations");
     let mut st = Revised::new(lp);
     let mut w = vec![0.0f64; m];
     let mut pivots = 0usize;
@@ -401,6 +406,7 @@ pub fn solve_revised(lp: &LinearProgram) -> Result<LpSolution, LpError> {
                 // The incremental prices may have drifted: rebuild and
                 // re-price exactly before declaring optimality.
                 st.refactorize()?;
+                refactor_ctr.inc();
                 verified = true;
                 continue;
             }
@@ -444,6 +450,7 @@ pub fn solve_revised(lp: &LinearProgram) -> Result<LpSolution, LpError> {
                     return Ok(st.unbounded(pivots));
                 }
                 st.refactorize()?;
+                refactor_ctr.inc();
                 verified = true;
                 continue;
             }
@@ -451,6 +458,7 @@ pub fn solve_revised(lp: &LinearProgram) -> Result<LpSolution, LpError> {
 
         st.pivot(enter, p, &w);
         pivots += 1;
+        pivot_ctr.inc();
         verified = false;
         if pivots >= limit {
             return Err(LpError::IterationLimit);
@@ -458,9 +466,11 @@ pub fn solve_revised(lp: &LinearProgram) -> Result<LpSolution, LpError> {
         if !bland && pivots >= bland_after {
             bland = true;
             st.refactorize()?;
+            refactor_ctr.inc();
             verified = true;
         } else if pivots.is_multiple_of(REFACTOR_EVERY) {
             st.refactorize()?;
+            refactor_ctr.inc();
             verified = true;
         }
     }

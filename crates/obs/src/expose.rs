@@ -1,0 +1,497 @@
+//! Snapshot exposition: Prometheus text format and a JSON snapshot
+//! writer/parser.
+//!
+//! Both formats round-trip: `Snapshot::from_prometheus(s.to_prometheus())`
+//! equals `s.sanitized()` (Prometheus names cannot carry `.` or `/`),
+//! and `Snapshot::from_json(s.to_json())` equals `s` exactly. The
+//! parsers accept what the writers produce (histogram bucket lines in
+//! ascending `le` order; integer values only) — they are round-trip
+//! verifiers and bench-result readers, not general scrapers. The
+//! workspace's `serde_json` shim is render-only, which is why the JSON
+//! parser lives here.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::metrics::{HistogramSnapshot, Snapshot, HIST_BUCKETS};
+use crate::registry::global;
+
+/// Map a metric name to the Prometheus-legal alphabet
+/// `[a-zA-Z0-9_:]`; everything else (notably `.` and `/`) becomes `_`.
+pub fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+impl Snapshot {
+    /// Prometheus text exposition (`# TYPE` comments, cumulative
+    /// `_bucket{le=...}` lines, `_sum`/`_count`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = 0u64;
+            for (i, &b) in h.buckets.iter().take(HIST_BUCKETS - 1).enumerate() {
+                cum += b;
+                if b != 0 {
+                    let le = HistogramSnapshot::bucket_upper_bound(i).unwrap();
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+                }
+            }
+            cum += h.buckets[HIST_BUCKETS - 1];
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cum}");
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Parse text produced by [`Snapshot::to_prometheus`].
+    pub fn from_prometheus(text: &str) -> Result<Snapshot, String> {
+        #[derive(PartialEq)]
+        enum Kind {
+            Counter,
+            Gauge,
+            Histogram,
+        }
+        let mut types: BTreeMap<String, Kind> = BTreeMap::new();
+        let mut snap = Snapshot::default();
+        // Per-histogram previous cumulative count, for de-cumulating
+        // the sparse bucket lines.
+        let mut prev_cum: BTreeMap<String, u64> = BTreeMap::new();
+
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            let err = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                let mut it = rest.split_whitespace();
+                if it.next() == Some("TYPE") {
+                    let name = it.next().ok_or_else(|| err("missing name"))?;
+                    let kind = match it.next() {
+                        Some("counter") => Kind::Counter,
+                        Some("gauge") => Kind::Gauge,
+                        Some("histogram") => Kind::Histogram,
+                        other => return Err(err(&format!("bad TYPE {other:?}"))),
+                    };
+                    types.insert(name.to_string(), kind);
+                }
+                continue;
+            }
+            let (key, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| err("expected `name value`"))?;
+            if let Some((base_bucket, label)) = key.split_once('{') {
+                let base = base_bucket
+                    .strip_suffix("_bucket")
+                    .ok_or_else(|| err("labeled series must be *_bucket"))?;
+                if types.get(base) != Some(&Kind::Histogram) {
+                    return Err(err("bucket line without histogram TYPE"));
+                }
+                let le = label
+                    .strip_prefix("le=\"")
+                    .and_then(|l| l.strip_suffix("\"}"))
+                    .ok_or_else(|| err("expected le label"))?;
+                let idx = if le == "+Inf" {
+                    HIST_BUCKETS - 1
+                } else {
+                    let ub: u64 = le.parse().map_err(|_| err("bad le"))?;
+                    let width = ub.checked_add(1).filter(|w| w.is_power_of_two());
+                    let w = width.ok_or_else(|| err("le is not 2^k - 1"))?;
+                    (w.trailing_zeros() - 1) as usize
+                };
+                let cum: u64 = value.parse().map_err(|_| err("bad cumulative count"))?;
+                let prev = prev_cum.entry(base.to_string()).or_insert(0);
+                let delta = cum
+                    .checked_sub(*prev)
+                    .ok_or_else(|| err("cumulative counts decreased"))?;
+                *prev = cum;
+                snap.histograms.entry(base.to_string()).or_default().buckets[idx] = delta;
+            } else if types.get(key) == Some(&Kind::Counter) {
+                let v = value.parse().map_err(|_| err("bad counter value"))?;
+                snap.counters.insert(key.to_string(), v);
+            } else if types.get(key) == Some(&Kind::Gauge) {
+                let v = value.parse().map_err(|_| err("bad gauge value"))?;
+                snap.gauges.insert(key.to_string(), v);
+            } else if let Some(base) =
+                key.strip_suffix("_sum").filter(|b| types.get(*b) == Some(&Kind::Histogram))
+            {
+                let v = value.parse().map_err(|_| err("bad sum"))?;
+                snap.histograms.entry(base.to_string()).or_default().sum = v;
+            } else if let Some(base) =
+                key.strip_suffix("_count").filter(|b| types.get(*b) == Some(&Kind::Histogram))
+            {
+                let v = value.parse().map_err(|_| err("bad count"))?;
+                snap.histograms.entry(base.to_string()).or_default().count = v;
+            } else {
+                return Err(err("series without a TYPE declaration"));
+            }
+        }
+        Ok(snap)
+    }
+
+    /// JSON rendering: `{"counters": {..}, "gauges": {..},
+    /// "histograms": {name: {"count", "sum", "buckets": {"i": n}}}}`.
+    /// Bucket keys are decimal bucket indices; empty buckets are
+    /// omitted.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str, out: &mut String) {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            esc(k, &mut out);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            esc(k, &mut out);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            esc(k, &mut out);
+            let _ = write!(out, ": {{\"count\": {}, \"sum\": {}, \"buckets\": {{", h.count, h.sum);
+            let mut first = true;
+            for (idx, &b) in h.buckets.iter().enumerate() {
+                if b != 0 {
+                    let _ = write!(out, "{}\"{idx}\": {b}", if first { "" } else { ", " });
+                    first = false;
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str(if self.histograms.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push('}');
+        out
+    }
+
+    /// Parse JSON produced by [`Snapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let value = json::parse(text)?;
+        let top = value.as_obj().ok_or("top level must be an object")?;
+        let mut snap = Snapshot::default();
+        for (key, val) in top {
+            let obj = val.as_obj().ok_or_else(|| format!("{key} must be an object"))?;
+            match key.as_str() {
+                "counters" => {
+                    for (k, v) in obj {
+                        snap.counters.insert(k.clone(), v.as_u64()?);
+                    }
+                }
+                "gauges" => {
+                    for (k, v) in obj {
+                        snap.gauges.insert(k.clone(), v.as_i64()?);
+                    }
+                }
+                "histograms" => {
+                    for (k, v) in obj {
+                        let fields = v.as_obj().ok_or("histogram must be an object")?;
+                        let mut h = HistogramSnapshot::default();
+                        for (f, fv) in fields {
+                            match f.as_str() {
+                                "count" => h.count = fv.as_u64()?,
+                                "sum" => h.sum = fv.as_u64()?,
+                                "buckets" => {
+                                    let buckets =
+                                        fv.as_obj().ok_or("buckets must be an object")?;
+                                    for (idx, n) in buckets {
+                                        let i: usize = idx
+                                            .parse()
+                                            .map_err(|_| format!("bad bucket index {idx}"))?;
+                                        if i >= HIST_BUCKETS {
+                                            return Err(format!("bucket index {i} out of range"));
+                                        }
+                                        h.buckets[i] = n.as_u64()?;
+                                    }
+                                }
+                                other => return Err(format!("unknown histogram field {other}")),
+                            }
+                        }
+                        snap.histograms.insert(k.clone(), h);
+                    }
+                }
+                other => return Err(format!("unknown top-level key {other}")),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// Write the global registry's snapshot to `results/BENCH_<name>.json`
+/// and return the path. Bench binaries call this last so the perf
+/// trajectory (per-phase timings, byte counters) accumulates per run.
+pub fn write_bench_snapshot(name: &str) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, global().snapshot().to_json())?;
+    Ok(path)
+}
+
+/// Minimal integer-only JSON reader for the snapshot subset; the
+/// workspace `serde_json` shim cannot parse, only render.
+mod json {
+    pub enum Value {
+        Num(i128),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_obj(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Result<u64, String> {
+            match self {
+                Value::Num(n) => u64::try_from(*n).map_err(|_| format!("{n} out of u64 range")),
+                _ => Err("expected unsigned integer".into()),
+            }
+        }
+        pub fn as_i64(&self) -> Result<i64, String> {
+            match self {
+                Value::Num(n) => i64::try_from(*n).map_err(|_| format!("{n} out of i64 range")),
+                _ => Err("expected integer".into()),
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", c as char, self.i))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.i;
+            if self.peek() == Some(b'-') {
+                self.i += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+            if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+                return Err(format!("floats unsupported at byte {}", self.i));
+            }
+            let s = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+            s.parse::<i128>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number {s:?}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .b
+                                    .get(self.i + 1..self.i + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                out.push(
+                                    char::from_u32(code).ok_or("surrogate \\u unsupported")?,
+                                );
+                                self.i += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        self.i += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is a &str,
+                        // so boundaries are valid).
+                        let rest = std::str::from_utf8(&self.b[self.i..]).unwrap();
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.i += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut out = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(Value::Obj(out));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                let val = self.value()?;
+                out.push((key, val));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Value::Obj(out));
+                    }
+                    other => return Err(format!("expected , or }} got {other:?}")),
+                }
+            }
+        }
+
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("lp.pivots".into(), 42);
+        s.counters.insert("tedb.set_bytes".into(), u64::MAX);
+        s.gauges.insert("controller.config_staleness".into(), -7);
+        s.gauges.insert("hoststack.map.traffic_map.occupancy".into(), 123);
+        let mut h = HistogramSnapshot::default();
+        for v in [0u64, 1, 2, 900, 1 << 41, u64::MAX] {
+            h.buckets[crate::bucket_of(v)] += 1;
+            h.count += 1;
+        }
+        h.sum = 12345;
+        s.histograms.insert("span.lp.solve/lp.pivot".into(), h);
+        s.histograms.insert("empty.hist".into(), HistogramSnapshot::default());
+        s
+    }
+
+    #[test]
+    fn prometheus_round_trips_sanitized() {
+        let s = sample();
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE lp_pivots counter"));
+        assert!(text.contains("span_lp_solve_lp_pivot_bucket{le=\"+Inf\"} 6"));
+        let parsed = Snapshot::from_prometheus(&text).unwrap();
+        assert_eq!(parsed, s.sanitized());
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let s = sample();
+        let parsed = Snapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn json_round_trips_empty_snapshot() {
+        let s = Snapshot::default();
+        assert_eq!(Snapshot::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(Snapshot::from_json("{").is_err());
+        assert!(Snapshot::from_json("{\"counters\": {\"a\": 1.5}}").is_err());
+        assert!(Snapshot::from_json("{\"bogus\": {}}").is_err());
+        assert!(Snapshot::from_json("{\"counters\": {\"a\": -1}}").is_err());
+    }
+
+    #[test]
+    fn json_escapes_awkward_names() {
+        let mut s = Snapshot::default();
+        s.counters.insert("we\"ird\\name\n".into(), 1);
+        assert_eq!(Snapshot::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_untyped_series() {
+        assert!(Snapshot::from_prometheus("loose_metric 5").is_err());
+    }
+}

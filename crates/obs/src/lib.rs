@@ -1,0 +1,101 @@
+//! `megate-obs` — workspace-wide observability (DESIGN.md §5b).
+//!
+//! Three pieces, all self-contained (no external dependencies):
+//!
+//! * **Metrics** — sharded atomic [`Counter`]s, [`Gauge`]s, and
+//!   log2-bucketed [`Histogram`]s with lock-free record paths and
+//!   mergeable [`Snapshot`]s ([`metrics`]).
+//! * **Spans** — `let _s = obs::span("lp.solve");` phase timers that
+//!   produce hierarchical per-phase runtime breakdowns ([`span`]).
+//! * **Exposition** — a named [`Registry`] rendering Prometheus text
+//!   and JSON snapshots; bench binaries persist the JSON as
+//!   `results/BENCH_<name>.json` via [`write_bench_snapshot`].
+//!
+//! Plus a minimal RUST_LOG-style leveled [`logger`] (`info!`,
+//! `error!`, ...) so binaries do not hand-roll `eprintln!`.
+//!
+//! ## Cost model
+//!
+//! Every record path first checks [`enabled`] — one relaxed load and a
+//! predictable branch. `set_enabled(false)` therefore turns the whole
+//! substrate into near-nothing at runtime; building this crate with
+//! the `disabled` feature makes `enabled()` a constant `false` so the
+//! compiler deletes the instrumentation outright. Metric names use
+//! dot-separated `<crate>.<subsystem>.<metric>` (see DESIGN.md §5b for
+//! the full naming scheme and the exported-metric inventory).
+
+pub mod logger;
+
+mod expose;
+mod metrics;
+mod registry;
+mod span;
+
+pub use expose::{sanitize_name, write_bench_snapshot};
+pub use metrics::{
+    bucket_of, Counter, Gauge, Histogram, HistogramSnapshot, Snapshot, HIST_BUCKETS,
+};
+pub use registry::{global, Registry};
+pub use span::{span, Span};
+
+#[cfg(not(feature = "disabled"))]
+static ENABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Whether record paths are live. With the `disabled` cargo feature
+/// this is a constant `false` and instrumentation compiles away.
+#[inline(always)]
+pub fn enabled() -> bool {
+    #[cfg(feature = "disabled")]
+    {
+        false
+    }
+    #[cfg(not(feature = "disabled"))]
+    {
+        ENABLED.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// Runtime kill switch. A no-op when compiled with `disabled`.
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "disabled")]
+    let _ = on;
+    #[cfg(not(feature = "disabled"))]
+    ENABLED.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Counter handle from the [`global`] registry. Look handles up once
+/// outside hot loops; `inc`/`add` through the handle never lock.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Gauge handle from the [`global`] registry.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// Histogram handle from the [`global`] registry.
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}
+
+/// Start a manual timing: `Some(Instant)` when metrics are live, else
+/// `None` (skipping the clock read). Pair with
+/// [`Histogram::record_elapsed`].
+#[inline]
+pub fn start() -> Option<std::time::Instant> {
+    if enabled() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Unit tests that flip [`set_enabled`] or assert on the global
+/// registry serialize through this lock so the parallel test harness
+/// cannot interleave them.
+#[cfg(all(test, not(feature = "disabled")))]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

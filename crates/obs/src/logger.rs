@@ -1,0 +1,212 @@
+//! Minimal leveled logger with a RUST_LOG-style environment filter.
+//!
+//! The filter spec is read from `MEGATE_LOG` (falling back to
+//! `RUST_LOG`, then `"info"`): a comma-separated list of `level` or
+//! `target_prefix=level` directives, e.g.
+//! `warn,megate_lp=trace,megate::controller=debug`. The longest
+//! matching target prefix wins. Output goes to stderr as
+//! `[LEVEL target] message`.
+//!
+//! Use through the crate-root macros: `megate_obs::info!("...")`,
+//! `megate_obs::error!(target: "megate", "...")`.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum Level {
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Parse a level name; `off` parses to `None`-severity (0).
+    fn parse(s: &str) -> Option<u8> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" => Some(0),
+            "error" => Some(1),
+            "warn" | "warning" => Some(2),
+            "info" => Some(3),
+            "debug" => Some(4),
+            "trace" => Some(5),
+            _ => None,
+        }
+    }
+}
+
+struct Filter {
+    default: u8,
+    /// `(target_prefix, max_level)`, longest prefix consulted first.
+    directives: Vec<(String, u8)>,
+}
+
+impl Filter {
+    fn parse(spec: &str) -> Filter {
+        let mut default = Level::Info as u8;
+        let mut directives = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                None => {
+                    if let Some(l) = Level::parse(part) {
+                        default = l;
+                    }
+                }
+                Some((target, level)) => {
+                    if let Some(l) = Level::parse(level) {
+                        directives.push((target.trim().to_string(), l));
+                    }
+                }
+            }
+        }
+        directives.sort_by_key(|(t, _)| std::cmp::Reverse(t.len()));
+        Filter { default, directives }
+    }
+
+    fn level_for(&self, target: &str) -> u8 {
+        for (prefix, level) in &self.directives {
+            if target.starts_with(prefix.as_str()) {
+                return *level;
+            }
+        }
+        self.default
+    }
+}
+
+static FILTER: OnceLock<Filter> = OnceLock::new();
+
+fn env_spec() -> String {
+    std::env::var("MEGATE_LOG")
+        .or_else(|_| std::env::var("RUST_LOG"))
+        .unwrap_or_else(|_| "info".to_string())
+}
+
+fn filter() -> &'static Filter {
+    FILTER.get_or_init(|| Filter::parse(&env_spec()))
+}
+
+/// Initialize the filter from the environment explicitly (first caller
+/// wins; later calls and lazy initialization are no-ops). Binaries
+/// call this at startup; libraries just log.
+pub fn init_from_env() {
+    let _ = filter();
+}
+
+/// Initialize with an explicit spec instead of the environment (for
+/// tests and embedders). First initialization wins.
+pub fn init_with_spec(spec: &str) {
+    let _ = FILTER.set(Filter::parse(spec));
+}
+
+#[inline]
+pub fn log_enabled(level: Level, target: &str) -> bool {
+    level as u8 <= filter().level_for(target)
+}
+
+/// Backend for the logging macros; prefer those at call sites.
+pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if log_enabled(level, target) {
+        eprintln!("[{:5} {target}] {args}", level.as_str());
+    }
+}
+
+/// Log at ERROR level (on unless the filter says `off`).
+#[macro_export]
+macro_rules! error {
+    (target: $target:expr, $($arg:tt)+) => {
+        $crate::logger::log($crate::logger::Level::Error, $target, format_args!($($arg)+))
+    };
+    ($($arg:tt)+) => {
+        $crate::logger::log($crate::logger::Level::Error, module_path!(), format_args!($($arg)+))
+    };
+}
+
+/// Log at WARN level.
+#[macro_export]
+macro_rules! warn {
+    (target: $target:expr, $($arg:tt)+) => {
+        $crate::logger::log($crate::logger::Level::Warn, $target, format_args!($($arg)+))
+    };
+    ($($arg:tt)+) => {
+        $crate::logger::log($crate::logger::Level::Warn, module_path!(), format_args!($($arg)+))
+    };
+}
+
+/// Log at INFO level (the default threshold).
+#[macro_export]
+macro_rules! info {
+    (target: $target:expr, $($arg:tt)+) => {
+        $crate::logger::log($crate::logger::Level::Info, $target, format_args!($($arg)+))
+    };
+    ($($arg:tt)+) => {
+        $crate::logger::log($crate::logger::Level::Info, module_path!(), format_args!($($arg)+))
+    };
+}
+
+/// Log at DEBUG level (off by default).
+#[macro_export]
+macro_rules! debug {
+    (target: $target:expr, $($arg:tt)+) => {
+        $crate::logger::log($crate::logger::Level::Debug, $target, format_args!($($arg)+))
+    };
+    ($($arg:tt)+) => {
+        $crate::logger::log($crate::logger::Level::Debug, module_path!(), format_args!($($arg)+))
+    };
+}
+
+/// Log at TRACE level (off by default).
+#[macro_export]
+macro_rules! trace {
+    (target: $target:expr, $($arg:tt)+) => {
+        $crate::logger::log($crate::logger::Level::Trace, $target, format_args!($($arg)+))
+    };
+    ($($arg:tt)+) => {
+        $crate::logger::log($crate::logger::Level::Trace, module_path!(), format_args!($($arg)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_and_prefix_match() {
+        let f = Filter::parse("warn,megate_lp=trace,megate_lp::mcf=error,megate=debug");
+        assert_eq!(f.level_for("megate_ssp"), Level::Debug as u8);
+        assert_eq!(f.level_for("other_crate"), Level::Warn as u8);
+        assert_eq!(f.level_for("megate_lp::revised"), Level::Trace as u8);
+        assert_eq!(f.level_for("megate_lp::mcf"), Level::Error as u8);
+    }
+
+    #[test]
+    fn off_and_default() {
+        let f = Filter::parse("off,noisy=info");
+        assert_eq!(f.level_for("quiet"), 0);
+        assert_eq!(f.level_for("noisy::sub"), Level::Info as u8);
+        let d = Filter::parse("");
+        assert_eq!(d.level_for("anything"), Level::Info as u8);
+    }
+
+    #[test]
+    fn bad_levels_are_ignored() {
+        let f = Filter::parse("bogus,also=bogus");
+        assert_eq!(f.level_for("also"), Level::Info as u8);
+    }
+}

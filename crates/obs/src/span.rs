@@ -1,0 +1,123 @@
+//! Span/phase timers: `let _s = obs::span("lp.solve");` records the
+//! scope's wall time (nanoseconds) into the histogram
+//! `span.<path>`, where `<path>` is the `/`-joined stack of enclosing
+//! span names on the *current thread* — so nested phases produce a
+//! hierarchical runtime breakdown (`span.solver.max_site_flow/lp.exact`).
+//!
+//! Worker threads start with an empty stack: spans opened inside a
+//! thread pool appear with flat paths rather than under the phase that
+//! spawned the pool. That is deliberate — per-thread stacks keep span
+//! entry lock-free and allocation is amortized by a thread-local
+//! handle cache keyed by path.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+use crate::registry::global;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// (scratch path buffer, path -> histogram handle) — avoids both a
+    /// registry lock and a String allocation on the span fast path.
+    static CACHE: RefCell<(String, HashMap<String, Histogram>)> =
+        RefCell::new((String::new(), HashMap::new()));
+}
+
+/// RAII guard returned by [`span`]; records elapsed nanoseconds on
+/// drop. When metrics are disabled at span entry this is a no-op shell.
+pub struct Span {
+    inner: Option<(Histogram, Instant)>,
+}
+
+/// Open a phase timer. Static names keep the per-thread stack
+/// allocation-free; the full path is materialized once per distinct
+/// call site per thread and cached.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { inner: None };
+    }
+    let hist = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        CACHE.with(|cache| {
+            let (scratch, handles) = &mut *cache.borrow_mut();
+            scratch.clear();
+            scratch.push_str("span.");
+            for (i, seg) in stack.iter().enumerate() {
+                if i > 0 {
+                    scratch.push('/');
+                }
+                scratch.push_str(seg);
+            }
+            if let Some(h) = handles.get(scratch.as_str()) {
+                h.clone()
+            } else {
+                let h = global().histogram(scratch);
+                handles.insert(scratch.clone(), h.clone());
+                h
+            }
+        })
+    });
+    Span { inner: Some((hist, Instant::now())) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.inner.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "disabled")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_hierarchical_paths() {
+        let _g = crate::test_lock();
+        {
+            let _outer = span("obs_test.outer");
+            std::hint::black_box(0u64);
+            {
+                let _inner = span("obs_test.inner");
+                std::hint::black_box(0u64);
+            }
+        }
+        let snap = global().snapshot();
+        assert_eq!(snap.histograms["span.obs_test.outer"].count, 1);
+        assert_eq!(snap.histograms["span.obs_test.outer/obs_test.inner"].count, 1);
+        let outer = snap.histograms["span.obs_test.outer"].sum;
+        let inner = snap.histograms["span.obs_test.outer/obs_test.inner"].sum;
+        assert!(outer >= inner, "outer span ({outer} ns) contains inner ({inner} ns)");
+    }
+
+    #[test]
+    fn disabled_span_is_inert_and_balanced() {
+        let _g = crate::test_lock();
+        crate::set_enabled(false);
+        {
+            let _s = span("obs_test.disabled");
+        }
+        crate::set_enabled(true);
+        // No histogram was created, and the stack is balanced so a
+        // later span gets a top-level path.
+        assert!(!global()
+            .snapshot()
+            .histograms
+            .contains_key("span.obs_test.disabled"));
+        {
+            let _s = span("obs_test.after_disabled");
+        }
+        assert!(global()
+            .snapshot()
+            .histograms
+            .contains_key("span.obs_test.after_disabled"));
+    }
+}

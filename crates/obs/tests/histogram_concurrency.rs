@@ -1,0 +1,96 @@
+//! Satellite: histogram correctness under concurrency.
+//!
+//! Property: recording a value set from N threads — whether into one
+//! shared histogram or into per-thread histograms merged afterwards —
+//! yields exactly the same count, sum, and per-bucket totals as serial
+//! recording. Plus: the log2 quantile estimator is within its
+//! guaranteed factor-2 bound of the true order statistic.
+#![cfg(not(feature = "disabled"))]
+
+use megate_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn serial_snapshot(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn concurrent_recording_matches_serial(
+        values in proptest::collection::vec(any::<u64>(), 0..2000),
+        threads in 1usize..8,
+    ) {
+        let shared = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let shared = shared.clone();
+                let chunk: Vec<u64> =
+                    values.iter().skip(t).step_by(threads).copied().collect();
+                s.spawn(move || {
+                    for v in chunk {
+                        shared.record(v);
+                    }
+                });
+            }
+        });
+        let expected = serial_snapshot(&values);
+        let got = shared.snapshot();
+        prop_assert_eq!(got.count, expected.count);
+        prop_assert_eq!(got.sum, expected.sum);
+        prop_assert_eq!(got.buckets, expected.buckets);
+    }
+
+    #[test]
+    fn merged_thread_local_histograms_match_serial(
+        values in proptest::collection::vec(any::<u64>(), 0..2000),
+        threads in 1usize..8,
+    ) {
+        let mut merged = HistogramSnapshot::default();
+        let parts: Vec<HistogramSnapshot> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let chunk: Vec<u64> =
+                        values.iter().skip(t).step_by(threads).copied().collect();
+                    s.spawn(move || serial_snapshot(&chunk))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for p in &parts {
+            merged.merge(p);
+        }
+        let expected = serial_snapshot(&values);
+        prop_assert_eq!(merged.count, expected.count);
+        prop_assert_eq!(merged.sum, expected.sum);
+        prop_assert_eq!(merged.buckets, expected.buckets);
+    }
+
+    #[test]
+    fn quantile_estimate_within_factor_two(
+        values in proptest::collection::vec(any::<u64>(), 1..2000),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let snap = serial_snapshot(&values);
+        let mut values = values;
+        values.sort_unstable();
+        for q in qs {
+            let est = snap.quantile(q);
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            prop_assert!(truth <= est, "q={}: true {} > estimate {}", q, truth, est);
+            prop_assert!(
+                est <= truth.max(1).saturating_mul(2),
+                "q={}: estimate {} > 2 * true {}",
+                q,
+                est,
+                truth
+            );
+        }
+    }
+}

@@ -101,6 +101,9 @@ pub fn diff_endpoint_paths(prev: &AllocationPaths, next: &AllocationPaths) -> Al
             diff.removed.push(*ep);
         }
     }
+    // Interval-over-interval churn, in parts per million (gauges are
+    // integers): the paper's delta savings hinge on this staying low.
+    megate_obs::gauge("solver.diff_churn_ppm").set((diff.churn_ratio() * 1e6) as i64);
     diff
 }
 

@@ -239,8 +239,15 @@ impl TeScheme for MegaTeScheme {
 
     fn solve(&self, problem: &TeProblem) -> Result<TeAllocation, SolveError> {
         let start = Instant::now();
-        let (pairs, site_flows) = self.max_site_flow(problem)?;
+        let (pairs, site_flows) = {
+            let _span = megate_obs::span("solver.max_site_flow");
+            self.max_site_flow(problem)?
+        };
 
+        // Worker threads have their own span stacks, so ssp.* spans
+        // opened inside max_endpoint_flow surface as flat paths; this
+        // span still times the whole stage from the coordinator.
+        let endpoint_span = megate_obs::span("solver.max_endpoint_flow");
         let mut assignment: Vec<Option<TunnelId>> = vec![None; problem.demands.len()];
         let threads = self.config.threads.max(1);
         if pairs.len() <= 1 || threads == 1 {
@@ -285,7 +292,10 @@ impl TeScheme for MegaTeScheme {
             }
         }
 
+        drop(endpoint_span);
+
         if self.config.residual_repair {
+            let _span = megate_obs::span("solver.repair");
             self.repair_with_residuals(problem, &mut assignment);
         }
 

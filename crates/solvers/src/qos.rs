@@ -33,6 +33,12 @@ pub fn solve_per_qos<S: TeScheme>(
         if class_demands.is_empty() {
             continue;
         }
+        // Per-class allocation time (span names must be static).
+        let _span = megate_obs::span(match qos {
+            QosClass::Class1 => "solver.qos.class1",
+            QosClass::Class2 => "solver.qos.class2",
+            QosClass::Class3 => "solver.qos.class3",
+        });
         let sub = TeProblem {
             graph: &residual,
             tunnels: problem.tunnels,

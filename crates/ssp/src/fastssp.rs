@@ -93,9 +93,12 @@ pub fn fast_ssp(items: &[u64], capacity: u64, config: FastSspConfig) -> FastSspS
         .filter(|&i| items[i] > 0 && items[i] <= capacity)
         .collect();
 
+    megate_obs::counter("ssp.calls").inc();
+
     // Step 1: clustering. M = ε′·F/3. Walk eligible demands, descending,
     // accumulating clusters until each reaches M; the trailing partial
     // cluster joins the residual set handled by the greedy step.
+    let cluster_span = megate_obs::span("ssp.cluster");
     let threshold_m = ((config.epsilon_prime * capacity as f64) / 3.0).ceil().max(1.0) as u64;
     let mut order = eligible.clone();
     order.sort_unstable_by(|&a, &b| items[b].cmp(&items[a]).then(a.cmp(&b)));
@@ -112,14 +115,20 @@ pub fn fast_ssp(items: &[u64], capacity: u64, config: FastSspConfig) -> FastSspS
         }
     }
     let mut residual_pool: Vec<usize> = current; // trailing partial cluster
+    drop(cluster_span);
 
     // Step 2: normalization. δ = ε′·M/3; ceil items, floor capacity.
+    let normalize_span = megate_obs::span("ssp.normalize");
     let delta = ((config.epsilon_prime * threshold_m as f64) / 3.0).ceil().max(1.0) as u64;
     let normalized: Vec<u64> = clusters.iter().map(|(_, s)| s.div_ceil(delta)).collect();
     let normalized_capacity = capacity / delta;
+    drop(normalize_span);
 
     // Step 3: exact DP on the normalized super-demands.
-    let dp = dp_subset_sum(&normalized, normalized_capacity);
+    let dp = {
+        let _span = megate_obs::span("ssp.dp");
+        dp_subset_sum(&normalized, normalized_capacity)
+    };
 
     let mut selected: Vec<usize> = Vec::new();
     let mut total: u64 = 0;
@@ -137,6 +146,7 @@ pub fn fast_ssp(items: &[u64], capacity: u64, config: FastSspConfig) -> FastSspS
 
     // Step 4: greedy on the residual flows (unselected clusters' members
     // plus the trailing partial cluster) into the remaining headroom.
+    let greedy_span = megate_obs::span("ssp.greedy");
     for (c, (members, _)) in clusters.iter().enumerate() {
         if !chosen_cluster[c] {
             residual_pool.extend_from_slice(members);
@@ -148,6 +158,7 @@ pub fn fast_ssp(items: &[u64], capacity: u64, config: FastSspConfig) -> FastSspS
         selected.push(residual_pool[ri]);
     }
     total += greedy.total;
+    drop(greedy_span);
 
     selected.sort_unstable();
     FastSspSolution {

@@ -126,6 +126,10 @@ struct Shard {
     /// Failure injection: a down shard answers nothing (GET -> None,
     /// SET dropped) — what a client sees during a shard outage.
     down: std::sync::atomic::AtomicBool,
+    /// Per-shard query service time, exported as
+    /// `tedb.shard<i>.query_ns` (all databases in the process sharing
+    /// a shard index aggregate into the same histogram).
+    latency: megate_obs::Histogram,
 }
 
 /// The sharded TE database. Clones share storage (like extra client
@@ -144,6 +148,10 @@ struct Shard {
 pub struct TeDatabase {
     shards: Arc<Vec<Shard>>,
     watchers: Arc<Mutex<Vec<Sender<u64>>>>,
+    /// Process-wide mirror of the per-shard `bytes` counters
+    /// (`tedb.wire_bytes`), so bench snapshots see DB traffic without
+    /// holding a database handle.
+    wire_bytes: megate_obs::Counter,
 }
 
 impl TeDatabase {
@@ -151,8 +159,16 @@ impl TeDatabase {
     pub fn new(n_shards: usize) -> Self {
         assert!(n_shards > 0, "need at least one shard");
         Self {
-            shards: Arc::new((0..n_shards).map(|_| Shard::default()).collect()),
+            shards: Arc::new(
+                (0..n_shards)
+                    .map(|i| Shard {
+                        latency: megate_obs::histogram(&format!("tedb.shard{i}.query_ns")),
+                        ..Shard::default()
+                    })
+                    .collect(),
+            ),
             watchers: Arc::new(Mutex::new(Vec::new())),
+            wire_bytes: megate_obs::counter("tedb.wire_bytes"),
         }
     }
 
@@ -187,29 +203,36 @@ impl TeDatabase {
     /// shard are dropped (the client would see a connection error and
     /// the controller retries next interval).
     pub fn set(&self, key: &str, value: Vec<u8>) {
+        let t = megate_obs::start();
         let s = &self.shards[self.shard_of(key)];
         s.queries.fetch_add(1, Ordering::Relaxed);
         s.bytes
             .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
+        self.wire_bytes.add((key.len() + value.len()) as u64);
         if s.down.load(Ordering::Relaxed) {
             return;
         }
         s.data.write().insert(key.to_string(), value);
+        s.latency.record_elapsed(t);
     }
 
     /// GET — routes by key hash, counts one query. A downed shard
     /// answers nothing.
     pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        let t = megate_obs::start();
         let s = &self.shards[self.shard_of(key)];
         s.queries.fetch_add(1, Ordering::Relaxed);
         if s.down.load(Ordering::Relaxed) {
             s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
+            self.wire_bytes.add(key.len() as u64);
             return None;
         }
         let hit = s.data.read().get(key).cloned();
         let response = hit.as_ref().map_or(0, Vec::len);
         s.bytes
             .fetch_add((key.len() + response) as u64, Ordering::Relaxed);
+        self.wire_bytes.add((key.len() + response) as u64);
+        s.latency.record_elapsed(t);
         hit
     }
 
@@ -218,6 +241,7 @@ impl TeDatabase {
     /// this to avoid adopting a version whose entries they could not
     /// read.
     pub fn get_checked(&self, key: &str) -> Result<Option<Vec<u8>>, ShardOutage> {
+        let t = megate_obs::start();
         let shard = self.shard_of(key);
         let s = &self.shards[shard];
         s.queries.fetch_add(1, Ordering::Relaxed);
@@ -228,6 +252,8 @@ impl TeDatabase {
         let response = hit.as_ref().map_or(0, Vec::len);
         s.bytes
             .fetch_add((key.len() + response) as u64, Ordering::Relaxed);
+        self.wire_bytes.add((key.len() + response) as u64);
+        s.latency.record_elapsed(t);
         Ok(hit)
     }
 
@@ -323,10 +349,14 @@ impl TeDatabase {
 
     /// DEL — returns whether the key existed.
     pub fn del(&self, key: &str) -> bool {
+        let t = megate_obs::start();
         let s = &self.shards[self.shard_of(key)];
         s.queries.fetch_add(1, Ordering::Relaxed);
         s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
-        s.data.write().remove(key).is_some()
+        self.wire_bytes.add(key.len() as u64);
+        let hit = s.data.write().remove(key).is_some();
+        s.latency.record_elapsed(t);
+        hit
     }
 
     /// Total queries served across shards.

@@ -10,9 +10,11 @@ if [[ "$SCALE" == "--quick" ]]; then
   cargo build -p megate-bench --release --bins
   cargo bench -p megate-bench --no-run
   cargo test -q --test control_loop
+  cargo test -q -p megate-obs
+  cargo test -q --test observability
   cargo run -q -p megate-bench --release --bin fig09_runtime -- --scale quick
   echo "================================================================"
-  echo "Smoke run done. JSON in results/."
+  echo "Smoke run done. JSON in results/ (incl. BENCH_fig09.json metrics)."
   exit 0
 fi
 BINS=(

@@ -6,6 +6,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# The observability substrate in both configurations: live metrics and
+# the compiled-out `disabled` feature (record paths must vanish).
+cargo test -q -p megate-obs
+cargo test -q -p megate-obs --features disabled
 cargo clippy --workspace -- -D warnings
 
 echo "================================================================"
