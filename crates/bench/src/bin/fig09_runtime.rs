@@ -102,7 +102,7 @@ fn end_to_end_probe() {
     demands.scale_to_load(&graph, 0.4);
     let mut sys =
         megate::MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).expect("hosts come up");
     sys.run_controller_interval(&demands).expect("probe interval solves");
     sys.agents_pull();
     sys.send_demand_packets(&demands);

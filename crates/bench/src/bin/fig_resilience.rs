@@ -1,0 +1,268 @@
+//! Resilience figure — the closed control loop under seeded fault
+//! storms of increasing intensity, with and without shard replication.
+//!
+//! For each (intensity, replication) cell the harness replays a
+//! deterministic [`FaultPlan`] against the full controller + TE-DB +
+//! agent loop and reports the robustness headlines: how much of the
+//! fault-free traffic still gets delivered, how many host-periods ran
+//! degraded (site-level/ECMP), how many pull retries and failover
+//! reads the storm cost, and how many ticks the fleet needed to
+//! reconverge once the last fault cleared. The acceptance bar mirrors
+//! the chaos test: zero blackholing and reconvergence within two sync
+//! periods after all-clear.
+
+use megate::prelude::*;
+use megate_bench::{print_table, scale_from_args, write_json, Scale};
+use megate_topo::b4;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ResilienceRow {
+    intensity: &'static str,
+    seed: u64,
+    replication: usize,
+    fault_events: usize,
+    ticks: u64,
+    delivered_fraction: f64,
+    min_tick_delivered_fraction: f64,
+    degraded_host_periods: usize,
+    max_degraded_hosts: usize,
+    stale_host_periods: usize,
+    retries: u64,
+    failover_reads: u64,
+    repaired_keys: u64,
+    fallback_publishes: u64,
+    reconverge_ticks: u64,
+    blackholed_demands: usize,
+}
+
+struct Intensity {
+    name: &'static str,
+    spec: FaultSpec,
+}
+
+fn intensities(scale: Scale) -> Vec<Intensity> {
+    let level = |name, mul: f64, spell: u64| Intensity {
+        name,
+        spec: FaultSpec {
+            horizon: 8,
+            outage_rate: 0.05 * mul,
+            max_outage_ticks: 3,
+            flap_rate: 0.03 * mul,
+            flap_cycles: 2,
+            slow_rate: 0.08 * mul,
+            slow_ns: 100_000,
+            loss_rate: 0.06 * mul,
+            loss_ppm: 250_000,
+            corrupt_rate: 0.04 * mul,
+            corrupt_ppm: 200_000,
+            spell_ticks: spell,
+            ..FaultSpec::default()
+        },
+    };
+    let full = vec![
+        level("calm", 1.0, 1),
+        level("moderate", 2.0, 2),
+        level("storm", 3.5, 2),
+        level("severe", 5.0, 3),
+    ];
+    match scale {
+        Scale::Full => full,
+        Scale::Quick => full
+            .into_iter()
+            .filter(|i| i.name == "moderate" || i.name == "storm")
+            .collect(),
+    }
+}
+
+fn build(replication: usize) -> (MegaTeSystem, DemandSet) {
+    let g = b4();
+    let tunnels = TunnelTable::for_all_pairs(&g, 3);
+    let catalog = EndpointCatalog::generate(&g, 100, WeibullEndpoints::with_scale(10.0), 2);
+    let mut demands = DemandSet::generate(
+        &g,
+        &catalog,
+        &TrafficConfig { endpoint_pairs: 60, site_pairs: 12, ..Default::default() },
+    );
+    demands.scale_to_load(&g, 0.4);
+    let config = SystemConfig {
+        db_shards: 4,
+        db_replication: replication,
+        ..SystemConfig::default()
+    };
+    let sys = MegaTeSystem::new(g, tunnels, catalog, config);
+    (sys, demands)
+}
+
+/// One tick: apply faults, run a controller interval, pull, send one
+/// frame per demand. Returns which demands got through.
+fn tick(
+    sys: &mut MegaTeSystem,
+    demands: &DemandSet,
+    plan: Option<&FaultPlan>,
+    t: u64,
+) -> (Vec<bool>, usize, usize, u64) {
+    if let Some(plan) = plan {
+        plan.apply_tick(t, sys.database());
+    }
+    sys.run_controller_interval(demands).expect("interval solves");
+    let round = sys.pull_round();
+    let traffic = sys.send_demand_packets(demands);
+    let delivered = traffic.per_demand_latency.iter().map(Option::is_some).collect();
+    (delivered, round.degraded, round.stale, round.retries)
+}
+
+fn run_cell(intensity: &Intensity, seed: u64, replication: usize) -> ResilienceRow {
+    let (mut sys, demands) = build(replication);
+    sys.bring_up(&demands).expect("hosts come up");
+    sys.database().set_fault_seed(seed);
+    let spec = FaultSpec { seed, ..intensity.spec };
+    let plan = FaultPlan::generate(&spec, sys.database().shard_count());
+
+    // Fault-free twin: the blackholing / delivered-fraction reference.
+    let (mut baseline, _) = build(replication);
+    baseline.bring_up(&demands).expect("hosts come up");
+
+    let failovers0 = megate_obs::counter("tedb.failover_reads").get();
+    let repairs0 = megate_obs::counter("tedb.repaired_keys").get();
+    let fallbacks0 = megate_obs::counter("controller.fallback_publishes").get();
+
+    let last_tick = plan.clear_tick + 2;
+    let mut row = ResilienceRow {
+        intensity: intensity.name,
+        seed,
+        replication,
+        fault_events: plan.event_count(),
+        ticks: last_tick + 1,
+        delivered_fraction: 0.0,
+        min_tick_delivered_fraction: 1.0,
+        degraded_host_periods: 0,
+        max_degraded_hosts: 0,
+        stale_host_periods: 0,
+        retries: 0,
+        failover_reads: 0,
+        repaired_keys: 0,
+        fallback_publishes: 0,
+        reconverge_ticks: 0,
+        blackholed_demands: 0,
+    };
+    let (mut sent, mut got) = (0usize, 0usize);
+    let mut reconverged_at = None;
+    for t in 0..=last_tick {
+        let (chaos, degraded, stale, retries) = tick(&mut sys, &demands, Some(&plan), t);
+        let (healthy, _, _, _) = tick(&mut baseline, &demands, None, t);
+        let mut tick_sent = 0usize;
+        let mut tick_got = 0usize;
+        for (c, h) in chaos.iter().zip(&healthy) {
+            if *h {
+                tick_sent += 1;
+                if *c {
+                    tick_got += 1;
+                } else {
+                    row.blackholed_demands += 1;
+                }
+            }
+        }
+        sent += tick_sent;
+        got += tick_got;
+        if tick_sent > 0 {
+            row.min_tick_delivered_fraction = row
+                .min_tick_delivered_fraction
+                .min(tick_got as f64 / tick_sent as f64);
+        }
+        row.degraded_host_periods += degraded;
+        row.max_degraded_hosts = row.max_degraded_hosts.max(degraded);
+        row.stale_host_periods += stale;
+        row.retries += retries;
+        if t > plan.clear_tick && reconverged_at.is_none() && stale == 0 && degraded == 0 {
+            reconverged_at = Some(t);
+        }
+    }
+    row.delivered_fraction = if sent == 0 { 1.0 } else { got as f64 / sent as f64 };
+    row.reconverge_ticks = reconverged_at
+        .expect("fleet reconverges within two ticks of all-clear")
+        - plan.clear_tick;
+    row.failover_reads = megate_obs::counter("tedb.failover_reads").get() - failovers0;
+    row.repaired_keys = megate_obs::counter("tedb.repaired_keys").get() - repairs0;
+    row.fallback_publishes =
+        megate_obs::counter("controller.fallback_publishes").get() - fallbacks0;
+    row
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let seeds: &[u64] = match scale {
+        Scale::Quick => &[7],
+        Scale::Full => &[7, 21, 42],
+    };
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for intensity in &intensities(scale) {
+        for &seed in seeds {
+            for replication in [1usize, 2] {
+                let row = run_cell(intensity, seed, replication);
+                // The chaos acceptance bar, enforced at bench time too:
+                // degradation trades optimality, never reachability.
+                assert_eq!(
+                    row.blackholed_demands, 0,
+                    "{} seed {seed} repl {replication}: blackholed demands",
+                    intensity.name
+                );
+                assert!(
+                    row.reconverge_ticks <= 2,
+                    "{} seed {seed} repl {replication}: reconvergence took {} ticks",
+                    intensity.name,
+                    row.reconverge_ticks
+                );
+                rows.push(vec![
+                    intensity.name.to_string(),
+                    seed.to_string(),
+                    replication.to_string(),
+                    row.fault_events.to_string(),
+                    format!("{:.1}%", row.delivered_fraction * 100.0),
+                    row.degraded_host_periods.to_string(),
+                    row.stale_host_periods.to_string(),
+                    row.retries.to_string(),
+                    row.failover_reads.to_string(),
+                    row.fallback_publishes.to_string(),
+                    row.reconverge_ticks.to_string(),
+                ]);
+                json.push(row);
+            }
+        }
+    }
+    print_table(
+        "Resilience: seeded fault storms vs the closed control loop \
+         (zero blackholing, reconvergence <= 2 periods after all-clear)",
+        &[
+            "intensity",
+            "seed",
+            "repl",
+            "faults",
+            "delivered",
+            "degraded·p",
+            "stale·p",
+            "retries",
+            "failovers",
+            "fallbacks",
+            "reconv",
+        ],
+        &rows,
+    );
+    // Replication must pay for itself: summed over the sweep, 2-way
+    // replicas absorb outages that leave unreplicated agents stale.
+    let stale = |r: usize| -> usize {
+        json.iter().filter(|x| x.replication == r).map(|x| x.stale_host_periods).sum()
+    };
+    assert!(
+        stale(2) <= stale(1),
+        "replication should never increase staleness (repl1 {} vs repl2 {})",
+        stale(1),
+        stale(2)
+    );
+    write_json("fig_resilience", &json);
+    match megate_obs::write_bench_snapshot("resilience") {
+        Ok(path) => println!("metrics snapshot: {}", path.display()),
+        Err(e) => println!("metrics snapshot skipped: {e}"),
+    }
+}

@@ -243,7 +243,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let tunnels = TunnelTable::for_pairs(&graph, &demands.pairs().collect::<Vec<_>>(), 4);
 
     let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).map_err(|e| e.to_string())?;
     let report = sys.run_controller_interval(&demands).map_err(|e| e.to_string())?;
     let updated = sys.agents_pull();
     let traffic = sys.send_demand_packets(&demands);

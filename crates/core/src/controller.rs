@@ -48,6 +48,13 @@ pub struct ControllerConfig {
     /// How many versions of deltas/changelog history the database
     /// retains; older records are garbage-collected each interval.
     pub retention_versions: u64,
+    /// Solve deadline. When a solve overruns it (checked post-hoc —
+    /// the solver is not preempted mid-pivot) the controller treats
+    /// the interval as failed and falls back to re-publishing the
+    /// last-good allocation with a forced snapshot flush, so the fleet
+    /// converges on *known* state instead of waiting on a wedged
+    /// optimization. `None` disables the deadline.
+    pub solve_deadline: Option<Duration>,
 }
 
 impl Default for ControllerConfig {
@@ -57,6 +64,7 @@ impl Default for ControllerConfig {
             qos_sequential: false,
             snapshot_every: 16,
             retention_versions: 64,
+            solve_deadline: None,
         }
     }
 }
@@ -70,6 +78,18 @@ pub enum ControllerError {
     Solve(SolveError),
     /// A configuration could not be encoded; nothing was published.
     Config(ConfigError),
+    /// The solver returned no endpoint assignment (a scheme that only
+    /// produces aggregate flows was plugged into the endpoint
+    /// pipeline).
+    MissingAssignment,
+    /// The solve overran [`ControllerConfig::solve_deadline`] and no
+    /// last-good allocation existed to fall back to.
+    DeadlineExceeded {
+        /// How long the solve actually took.
+        elapsed: Duration,
+        /// The configured deadline it overran.
+        deadline: Duration,
+    },
 }
 
 impl From<SolveError> for ControllerError {
@@ -89,6 +109,13 @@ impl std::fmt::Display for ControllerError {
         match self {
             ControllerError::Solve(e) => write!(f, "solve failed: {e}"),
             ControllerError::Config(e) => write!(f, "config encoding failed: {e}"),
+            ControllerError::MissingAssignment => {
+                write!(f, "solver produced no endpoint assignment")
+            }
+            ControllerError::DeadlineExceeded { elapsed, deadline } => write!(
+                f,
+                "solve took {elapsed:?}, over the {deadline:?} deadline"
+            ),
         }
     }
 }
@@ -117,6 +144,13 @@ pub struct IntervalReport {
     /// Bytes written into the TE database for this version (deltas,
     /// changelogs, snapshots, version record).
     pub published_bytes: u64,
+    /// Whether this interval re-published the last-good allocation
+    /// (solve failure or deadline overrun) instead of a fresh solve.
+    pub fallback: bool,
+    /// Database writes that reached no replica this interval (the
+    /// affected endpoints stay dirty and are caught up by the next
+    /// snapshot flush).
+    pub publish_errors: usize,
     /// Wall-clock time of solve + publish.
     pub total_time: Duration,
 }
@@ -136,6 +170,15 @@ pub struct Controller {
     /// Which endpoints got deltas at which version, oldest first — the
     /// retention ring the GC walks. Bounded by `retention_versions`.
     delta_ring: VecDeque<(u64, Vec<EndpointId>)>,
+    /// The last successfully solved allocation — the fallback publish
+    /// re-announces it when a solve fails or overruns its deadline.
+    last_good: Option<TeAllocation>,
+    /// Set when the previous interval failed any publish: the next
+    /// interval flushes snapshots for the dirty endpoints regardless of
+    /// cadence, so agents stranded by a torn publish (changelog
+    /// referencing a delta that reached no replica) heal as soon as
+    /// writes succeed again instead of waiting out `snapshot_every`.
+    heal_flush: bool,
 }
 
 impl Controller {
@@ -153,6 +196,10 @@ impl Controller {
                 && config.snapshot_every <= config.retention_versions,
             "need 1 <= snapshot_every <= retention_versions for snapshot fallback"
         );
+        // Registered up front so metric presence doesn't depend on a
+        // failure having occurred.
+        megate_obs::counter("controller.fallback_publishes");
+        megate_obs::counter("controller.publish_errors");
         Self {
             graph,
             tunnels,
@@ -163,6 +210,8 @@ impl Controller {
             last_paths: AllocationPaths::new(),
             dirty_snapshots: BTreeSet::new(),
             delta_ring: VecDeque::new(),
+            last_good: None,
+            heal_flush: false,
         }
     }
 
@@ -295,21 +344,56 @@ impl Controller {
         let problem = TeProblem { graph, tunnels: &self.tunnels, demands };
         let scheme = MegaTeScheme::new(self.config.solver.clone());
         let solve_span = megate_obs::span("controller.solve");
-        let allocation = if self.config.qos_sequential {
-            solve_per_qos(&scheme, &problem)?
+        let solved = if self.config.qos_sequential {
+            solve_per_qos(&scheme, &problem)
         } else {
-            scheme.solve(&problem)?
+            scheme.solve(&problem)
         };
+        let solve_elapsed = started.elapsed();
         drop(solve_span);
+
+        // Classify the fresh solve: a solver error, a missing endpoint
+        // assignment or a deadline overrun all disqualify it. The
+        // deadline is checked post-hoc (the solver is not preempted);
+        // the point is bounding what the *fleet* acts on, not the CPU.
+        let fresh = match solved {
+            Err(e) => Err(ControllerError::Solve(e)),
+            Ok(a) if a.endpoint_assignment.is_none() => {
+                Err(ControllerError::MissingAssignment)
+            }
+            Ok(a) => match self.config.solve_deadline {
+                Some(deadline) if solve_elapsed > deadline => {
+                    Err(ControllerError::DeadlineExceeded { elapsed: solve_elapsed, deadline })
+                }
+                _ => Ok(a),
+            },
+        };
 
         // Translate the assignment into per-source path sets and diff
         // against the previous interval (the megate-solvers diff step).
+        // A disqualified solve with a last-good allocation becomes a
+        // **fallback publish**: re-announce the known-good paths (empty
+        // diff) with a forced snapshot flush so even badly stale agents
+        // converge on state the controller trusts. Without a last-good
+        // allocation the error propagates.
         let diff_span = megate_obs::span("controller.diff");
-        let assign = allocation
-            .endpoint_assignment
-            .as_ref()
-            .expect("MegaTE produces endpoint assignments");
-        let next_paths = endpoint_paths(demands, &self.tunnels, assign);
+        let (allocation, next_paths, fallback) = match fresh {
+            Ok(a) => {
+                let assign = a
+                    .endpoint_assignment
+                    .as_ref()
+                    .ok_or(ControllerError::MissingAssignment)?;
+                let next_paths = endpoint_paths(demands, &self.tunnels, assign);
+                (a, next_paths, false)
+            }
+            Err(err) => match self.last_good.clone() {
+                Some(last) => {
+                    megate_obs::counter("controller.fallback_publishes").inc();
+                    (last, self.last_paths.clone(), true)
+                }
+                None => return Err(err),
+            },
+        };
         let diff = diff_endpoint_paths(&self.last_paths, &next_paths);
         drop(diff_span);
         let version = self.version + 1;
@@ -329,8 +413,10 @@ impl Controller {
             let next = next_paths.get(ep).map(Self::to_config).unwrap_or_default();
             deltas.push((*ep, encode_delta(&diff_configs(&prev, &next))?));
         }
-        let flush_snapshots =
-            force_snapshot || version.is_multiple_of(self.config.snapshot_every);
+        let flush_snapshots = force_snapshot
+            || fallback
+            || self.heal_flush
+            || version.is_multiple_of(self.config.snapshot_every);
         let mut snapshots: Vec<(EndpointId, Vec<u8>)> = Vec::new();
         if flush_snapshots {
             // Catch up every endpoint that changed since its last
@@ -359,13 +445,22 @@ impl Controller {
         let mut published_bytes = 0u64;
         let mut delta_bytes = 0u64;
         let mut snapshot_bytes = 0u64;
+        let mut publish_errors = 0usize;
         let touched: Vec<EndpointId> = deltas.iter().map(|(ep, _)| *ep).collect();
         for (ep, bytes) in deltas {
             published_bytes += bytes.len() as u64;
             delta_bytes += bytes.len() as u64;
-            self.db
-                .put(&TeKey::Delta { endpoint: ep.0, version }, bytes);
-            self.db.record_change(ep.0, version);
+            // Checked writes: a write that reaches no replica is
+            // counted, the endpoint stays dirty, and the next snapshot
+            // flush catches its agents up.
+            let delta_ok = self
+                .db
+                .put_checked(&TeKey::Delta { endpoint: ep.0, version }, bytes)
+                .is_ok();
+            let log_ok = self.db.record_change(ep.0, version).is_ok();
+            if !delta_ok || !log_ok {
+                publish_errors += 1;
+            }
             published_bytes += 12 + 8; // changelog append, amortized
             delta_bytes += 12 + 8;
             self.dirty_snapshots.insert(ep);
@@ -373,16 +468,32 @@ impl Controller {
         if !touched.is_empty() {
             self.delta_ring.push_back((version, touched));
         }
+        let mut failed_snapshots: Vec<EndpointId> = Vec::new();
         for (ep, value) in snapshots {
             published_bytes += value.len() as u64;
             snapshot_bytes += value.len() as u64;
-            self.db.put(&TeKey::Snapshot { endpoint: ep.0 }, value);
+            if self
+                .db
+                .put_checked(&TeKey::Snapshot { endpoint: ep.0 }, value)
+                .is_err()
+            {
+                publish_errors += 1;
+                failed_snapshots.push(ep);
+            }
         }
         if flush_snapshots {
             self.dirty_snapshots.clear();
+            // A snapshot that reached no replica leaves its endpoint
+            // dirty for the next flush.
+            self.dirty_snapshots.extend(failed_snapshots);
         }
         megate_obs::counter("controller.delta_bytes").add(delta_bytes);
         megate_obs::counter("controller.snapshot_bytes").add(snapshot_bytes);
+        megate_obs::counter("controller.publish_errors").add(publish_errors as u64);
+        // Any failed write this interval may have torn a delta from its
+        // changelog entry; flush the dirty endpoints' snapshots next
+        // interval (and keep flushing until the writes go through).
+        self.heal_flush = publish_errors > 0;
         drop(publish_span);
 
         // Garbage-collect deltas and changelog entries that fell out of
@@ -391,11 +502,10 @@ impl Controller {
         let gc_span = megate_obs::span("controller.gc");
         let floor = version.saturating_sub(self.config.retention_versions);
         let mut reclaimed = 0u64;
-        while let Some((v, _)) = self.delta_ring.front() {
-            if *v > floor {
+        while self.delta_ring.front().is_some_and(|(v, _)| *v <= floor) {
+            let Some((_, endpoints)) = self.delta_ring.pop_front() else {
                 break;
-            }
-            let (_, endpoints) = self.delta_ring.pop_front().expect("front checked");
+            };
             for ep in endpoints {
                 reclaimed += self.db.gc_endpoint_before(ep.0, floor) as u64;
             }
@@ -413,6 +523,9 @@ impl Controller {
             .keys()
             .all(|ep| ep.index() < self.catalog.len()));
 
+        if !fallback {
+            self.last_good = Some(allocation.clone());
+        }
         let report = IntervalReport {
             version,
             configured_endpoints: next_paths.len(),
@@ -421,6 +534,8 @@ impl Controller {
             unchanged_endpoints: diff.unchanged.len(),
             snapshot_flush: flush_snapshots,
             published_bytes,
+            fallback,
+            publish_errors,
             allocation,
             total_time: started.elapsed(),
         };
@@ -605,6 +720,77 @@ mod tests {
                     assert!(!scenario.contains(l), "flow on failed link {l}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn missed_deadline_without_last_good_is_an_error() {
+        let (mut ctl, demands) = fixture_with(ControllerConfig {
+            qos_sequential: true,
+            solve_deadline: Some(Duration::ZERO), // every solve overruns
+            ..Default::default()
+        });
+        let err = ctl.run_interval(&demands).unwrap_err();
+        assert!(
+            matches!(err, ControllerError::DeadlineExceeded { .. }),
+            "got {err:?}"
+        );
+        assert_eq!(ctl.version(), 0, "nothing published");
+    }
+
+    #[test]
+    fn missed_deadline_falls_back_to_last_good_allocation() {
+        let (mut ctl, demands) = fixture();
+        let db = ctl.db.clone();
+        let r1 = ctl.run_interval(&demands).unwrap();
+        assert!(!r1.fallback);
+
+        // From now on every solve "overruns": the controller must keep
+        // publishing the last-good allocation rather than going dark.
+        ctl.config.solve_deadline = Some(Duration::ZERO);
+        let before = megate_obs::counter("controller.fallback_publishes").get();
+        let r2 = ctl.run_interval(&demands).unwrap();
+        assert!(r2.fallback, "deadline overrun with last-good → fallback");
+        assert_eq!(r2.version, 2, "fallback still advances the version");
+        assert!(r2.snapshot_flush, "fallback forces a snapshot flush");
+        assert_eq!(r2.changed_endpoints, 0, "re-announcing known paths");
+        assert_eq!(db.latest_version(), Some(2));
+        assert_eq!(
+            megate_obs::counter("controller.fallback_publishes").get(),
+            before + 1
+        );
+        // The fallback's allocation is the last good one.
+        assert_eq!(
+            r2.allocation.tunnel_flow_mbps,
+            r1.allocation.tunnel_flow_mbps
+        );
+    }
+
+    #[test]
+    fn publish_errors_are_counted_and_endpoints_stay_dirty() {
+        let (mut ctl, demands) = fixture();
+        let db = ctl.db.clone();
+        let r1 = ctl.run_interval(&demands).unwrap();
+        assert_eq!(r1.publish_errors, 0);
+        assert!(!ctl.dirty_snapshots.is_empty(), "v1 changes await a flush");
+
+        // Total database outage during a forced snapshot flush: every
+        // write is lost, but the controller records it and keeps the
+        // endpoints dirty instead of believing the flush happened.
+        for s in 0..db.shard_count() {
+            db.set_shard_down(s, true);
+        }
+        let scenario =
+            FailureScenario::sample_connected(ctl.graph(), 1, 3).expect("scenario");
+        let r2 = ctl.handle_failure(&demands, &scenario).unwrap();
+        assert!(r2.snapshot_flush);
+        assert!(r2.publish_errors > 0, "lost writes must be observed");
+        assert!(
+            !ctl.dirty_snapshots.is_empty(),
+            "failed snapshots stay dirty for the next flush"
+        );
+        for s in 0..db.shard_count() {
+            db.set_shard_down(s, false);
         }
     }
 

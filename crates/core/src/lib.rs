@@ -28,7 +28,10 @@
 //!   snapshots on a cadence or after failures), react to failures;
 //! * [`system`] — an end-to-end simulation harness: hosts with
 //!   simulated kernels and agents, the TE database, the controller and
-//!   the WAN data plane, exercised packet-by-packet.
+//!   the WAN data plane, exercised packet-by-packet;
+//! * [`resilience`] — the retry/backoff/staleness policies of the
+//!   resilient pull path (jittered exponential backoff, per-period
+//!   deadlines, the stale-TTL behind graceful degradation).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@
 
 pub mod config;
 pub mod controller;
+pub mod resilience;
 pub mod system;
 
 /// One-stop imports for examples, tests and downstream users.
@@ -63,14 +67,15 @@ pub mod prelude {
         ConfigError, EndpointConfig,
     };
     pub use crate::controller::{Controller, ControllerConfig, ControllerError, IntervalReport};
-    pub use crate::system::{MegaTeSystem, SystemConfig, TrafficReport};
+    pub use crate::resilience::{BackoffPolicy, PullPolicy};
+    pub use crate::system::{MegaTeSystem, PullRound, SystemConfig, SystemError, TrafficReport};
     pub use megate_dataplane::{HostRegistry, WanNetwork};
     pub use megate_hoststack::{EndpointAgent, InstanceId, SimKernel};
     pub use megate_solvers::{
         diff_endpoint_paths, solve_per_qos, AllocationDiff, LpAllScheme, MegaTeScheme,
         NcFlowScheme, TeAllocation, TeProblem, TeScheme, TealScheme,
     };
-    pub use megate_tedb::{Changelog, TeDatabase, TeKey};
+    pub use megate_tedb::{Changelog, FaultPlan, FaultSpec, TeDatabase, TeKey};
     pub use megate_topo::{
         EndpointCatalog, EndpointId, FailureScenario, Graph, SitePair, TopologySpec,
         TunnelTable, WeibullEndpoints,
@@ -83,4 +88,5 @@ pub use config::{
     ConfigError, EndpointConfig,
 };
 pub use controller::{Controller, ControllerConfig, ControllerError, IntervalReport};
-pub use system::{MegaTeSystem, SystemConfig, TrafficReport};
+pub use resilience::{BackoffPolicy, PullPolicy};
+pub use system::{MegaTeSystem, PullRound, SystemConfig, SystemError, TrafficReport};

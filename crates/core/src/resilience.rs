@@ -1,0 +1,215 @@
+//! Retry, backoff and staleness policies for the resilient pull path.
+//!
+//! The §3.2 pull loop meets real failures — shard outages, slow or
+//! lossy reads — with three nested budgets:
+//!
+//! 1. **per-attempt backoff**: retries wait an exponentially growing,
+//!    deterministically jittered delay ([`BackoffPolicy`]), so a
+//!    recovering shard isn't stampeded by a synchronized retry wave;
+//! 2. **per-sync-period deadline**: retries (their backoff delays plus
+//!    any injected shard latency) stop once the period's time budget is
+//!    spent — the agent tries again next period;
+//! 3. **staleness TTL**: an agent that has failed to refresh for
+//!    [`PullPolicy::stale_ttl_periods`] consecutive sync periods stops
+//!    steering on arbitrarily stale paths and **degrades** to
+//!    site-level/ECMP forwarding (flushing its SR `path_map`) until a
+//!    fresh configuration lands.
+//!
+//! Everything here is integer arithmetic on a seeded splitmix64 stream:
+//! the same seed replays the same schedule, which the chaos harness's
+//! determinism guard depends on.
+
+/// Jittered exponential backoff. Delay for attempt `k` (0-based) is
+/// uniform-ish in `[exp·(1 − jitter), exp]` where
+/// `exp = min(base_ns · 2^k, cap_ns)` — "equal jitter" biased high so
+/// the expected delay still doubles per attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First-attempt delay, ns.
+    pub base_ns: u64,
+    /// Upper bound on the exponential term, ns.
+    pub cap_ns: u64,
+    /// Jitter width as parts-per-million of the exponential term:
+    /// 0 = none, 500_000 = delays in `[exp/2, exp]`.
+    pub jitter_ppm: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base_ns: 1_000_000,      // 1 ms
+            cap_ns: 1_000_000_000,   // 1 s
+            jitter_ppm: 500_000,     // up to 50% shaved off
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The un-jittered exponential term for `attempt` (0-based).
+    pub fn exp_ns(&self, attempt: u32) -> u64 {
+        self.base_ns
+            .saturating_mul(1u64 << attempt.min(63))
+            .min(self.cap_ns)
+    }
+
+    /// Deterministic jittered delay for `attempt`, keyed on `seed`.
+    /// Always within `[exp·(1 − jitter_ppm/1e6), exp]`.
+    pub fn delay_ns(&self, attempt: u32, seed: u64) -> u64 {
+        let exp = self.exp_ns(attempt);
+        let jitter_ppm = self.jitter_ppm.min(1_000_000) as u64;
+        if jitter_ppm == 0 || exp == 0 {
+            return exp;
+        }
+        let width = exp / 1_000_000 * jitter_ppm + (exp % 1_000_000) * jitter_ppm / 1_000_000;
+        let shave = splitmix64(seed ^ ((attempt as u64) << 32)) % (width + 1);
+        exp - shave
+    }
+}
+
+/// The full per-agent pull policy: backoff between retries, a deadline
+/// per sync period, and the staleness TTL that triggers graceful
+/// degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PullPolicy {
+    /// Backoff between retries within one sync period.
+    pub backoff: BackoffPolicy,
+    /// Retry time budget per sync period, ns: once backoff delays plus
+    /// injected shard latency exceed this, the agent gives up until the
+    /// next period.
+    pub deadline_ns: u64,
+    /// Hard cap on attempts per sync period (safety net under a
+    /// zero-latency fault model where the deadline alone might admit
+    /// many retries).
+    pub max_attempts: u32,
+    /// Consecutive sync periods an agent may stay stale before it
+    /// degrades to site-level/ECMP paths. The TTL must cover at least
+    /// one full outage round: with the default 3, a single-period
+    /// outage never degrades anyone.
+    pub stale_ttl_periods: u64,
+    /// Seed of the jitter stream (combined with per-host identity by
+    /// the system harness).
+    pub seed: u64,
+}
+
+impl Default for PullPolicy {
+    fn default() -> Self {
+        Self {
+            backoff: BackoffPolicy::default(),
+            deadline_ns: 2_000_000_000, // 2 s of a 10 s sync period
+            max_attempts: 6,
+            stale_ttl_periods: 3,
+            seed: 0x6d65_6761_7465, // "megate"
+        }
+    }
+}
+
+impl PullPolicy {
+    /// The backoff schedule one host would follow this period: delays
+    /// for attempts `0..` until either the deadline or `max_attempts`
+    /// is hit. (Injected shard latency shortens the real schedule
+    /// further; this is the no-fault upper bound.)
+    pub fn schedule(&self, seed: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut spent = 0u64;
+        for attempt in 0..self.max_attempts {
+            let d = self.backoff.delay_ns(attempt, seed);
+            if spent.saturating_add(d) > self.deadline_ns {
+                break;
+            }
+            spent += d;
+            out.push(d);
+        }
+        out
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exponential_growth_up_to_cap() {
+        let b = BackoffPolicy { base_ns: 100, cap_ns: 1000, jitter_ppm: 0 };
+        assert_eq!(b.exp_ns(0), 100);
+        assert_eq!(b.exp_ns(1), 200);
+        assert_eq!(b.exp_ns(2), 400);
+        assert_eq!(b.exp_ns(3), 800);
+        assert_eq!(b.exp_ns(4), 1000, "capped");
+        assert_eq!(b.exp_ns(63), 1000, "no overflow at large attempts");
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let b = BackoffPolicy { base_ns: 100, cap_ns: 1000, jitter_ppm: 0 };
+        assert_eq!(b.delay_ns(2, 123), 400);
+        assert_eq!(b.delay_ns(2, 999), 400, "seed-independent without jitter");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let b = BackoffPolicy::default();
+        assert_eq!(b.delay_ns(3, 42), b.delay_ns(3, 42));
+    }
+
+    #[test]
+    fn schedule_fits_deadline_and_attempt_cap() {
+        let p = PullPolicy {
+            backoff: BackoffPolicy { base_ns: 100, cap_ns: 10_000, jitter_ppm: 0 },
+            deadline_ns: 1_000,
+            max_attempts: 10,
+            ..PullPolicy::default()
+        };
+        // 100 + 200 + 400 = 700; adding 800 would exceed 1000.
+        assert_eq!(p.schedule(0), vec![100, 200, 400]);
+    }
+
+    proptest! {
+        /// Jittered delays always stay within [exp·(1−j), exp].
+        #[test]
+        fn jitter_respects_bounds(
+            base in 1u64..1_000_000,
+            cap_mul in 1u64..1000,
+            jitter in 0u32..=1_000_000,
+            attempt in 0u32..40,
+            seed in any::<u64>(),
+        ) {
+            let b = BackoffPolicy { base_ns: base, cap_ns: base * cap_mul, jitter_ppm: jitter };
+            let exp = b.exp_ns(attempt);
+            let d = b.delay_ns(attempt, seed);
+            prop_assert!(d <= exp, "delay {d} above exp {exp}");
+            let floor = exp - (exp as u128 * jitter as u128 / 1_000_000) as u64;
+            // The ppm split-multiply can undershoot the exact product by
+            // at most 1.
+            prop_assert!(d + 1 >= floor, "delay {d} below jitter floor {floor}");
+        }
+
+        /// Schedules never bust the deadline or the attempt cap, and
+        /// replay identically per seed.
+        #[test]
+        fn schedules_respect_deadline_and_determinism(
+            base in 1u64..10_000,
+            deadline in 1u64..10_000_000,
+            max_attempts in 1u32..12,
+            seed in any::<u64>(),
+        ) {
+            let p = PullPolicy {
+                backoff: BackoffPolicy { base_ns: base, cap_ns: base * 64, jitter_ppm: 500_000 },
+                deadline_ns: deadline,
+                max_attempts,
+                ..PullPolicy::default()
+            };
+            let s = p.schedule(seed);
+            prop_assert!(s.len() <= max_attempts as usize);
+            prop_assert!(s.iter().sum::<u64>() <= deadline);
+            prop_assert_eq!(p.schedule(seed), s);
+        }
+    }
+}

@@ -21,8 +21,11 @@
 
 use crate::config::{decode_delta, decode_paths, ConfigDelta};
 use crate::controller::{Controller, ControllerConfig, ControllerError, IntervalReport};
+use crate::resilience::PullPolicy;
 use megate_dataplane::{HostRegistry, WanNetwork};
-use megate_hoststack::{EndpointAgent, InstanceId, PathInstall, PathMapEntry, Pid, SimKernel};
+use megate_hoststack::{
+    EndpointAgent, InstanceId, MapError, PathInstall, PathMapEntry, Pid, SimKernel,
+};
 use megate_packet::{FiveTuple, MegaTeFrameSpec, Proto};
 use megate_tedb::{Changelog, TeDatabase, TeKey};
 use megate_topo::{EndpointCatalog, EndpointId, Graph, TunnelTable};
@@ -38,6 +41,11 @@ pub struct SystemConfig {
     pub controller: ControllerConfig,
     /// Database shards.
     pub db_shards: usize,
+    /// Database replication factor (1 = no replication; clamped to
+    /// `db_shards`).
+    pub db_replication: usize,
+    /// The agents' retry/backoff/staleness policy.
+    pub pull: PullPolicy,
 }
 
 impl Default for SystemConfig {
@@ -46,15 +54,54 @@ impl Default for SystemConfig {
             vni: 100,
             controller: ControllerConfig { qos_sequential: true, ..Default::default() },
             db_shards: 2,
+            db_replication: 1,
+            pull: PullPolicy::default(),
         }
     }
 }
+
+/// Host bring-up failed — an eBPF map refused an entry (e.g. full).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemError {
+    /// The endpoint whose host failed to come up.
+    pub endpoint: EndpointId,
+    /// The underlying map failure.
+    pub cause: MapError,
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bring-up of endpoint {} failed: {}", self.endpoint.0, self.cause)
+    }
+}
+
+impl std::error::Error for SystemError {}
 
 /// One simulated end host: kernel + agent + the instance living on it.
 struct Host {
     endpoint: EndpointId,
     kernel: SimKernel,
     agent: EndpointAgent,
+    /// Consecutive pull rounds this host has ended below the published
+    /// version — the staleness clock behind the degrade TTL.
+    periods_behind: u64,
+}
+
+/// Outcome of one fleet-wide resilient pull round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PullRound {
+    /// Agents that advanced their installed version this round.
+    pub updated: usize,
+    /// Agents still below the published version after the round.
+    pub stale: usize,
+    /// Agents currently degraded to site-level/ECMP forwarding.
+    pub degraded: usize,
+    /// Retries spent this round (version polls + config pulls).
+    pub retries: u64,
+    /// The version the round converged toward, if any was reachable
+    /// (falls back to the last version ever observed when the version
+    /// record itself is unreadable).
+    pub target: Option<u64>,
 }
 
 /// Outcome of pushing one interval's packets through the data plane.
@@ -82,6 +129,11 @@ pub struct MegaTeSystem {
     host_of_endpoint: HashMap<EndpointId, usize>,
     registry: HostRegistry,
     config: SystemConfig,
+    /// Monotonic pull-round counter; salts the backoff jitter streams.
+    pull_rounds: u64,
+    /// Highest version any round ever observed — the staleness anchor
+    /// when the version record itself becomes unreadable.
+    last_known_target: u64,
 }
 
 impl MegaTeSystem {
@@ -95,7 +147,7 @@ impl MegaTeSystem {
         catalog: EndpointCatalog,
         config: SystemConfig,
     ) -> Self {
-        let db = TeDatabase::new(config.db_shards);
+        let db = TeDatabase::with_replication(config.db_shards, config.db_replication);
         let mut registry = HostRegistry::new();
         let mut hosts = Vec::with_capacity(catalog.len());
         let mut host_of_endpoint = HashMap::with_capacity(catalog.len());
@@ -104,7 +156,7 @@ impl MegaTeSystem {
             let kernel = SimKernel::new();
             let agent = EndpointAgent::new(kernel.maps().clone());
             host_of_endpoint.insert(ep, hosts.len());
-            hosts.push(Host { endpoint: ep, kernel, agent });
+            hosts.push(Host { endpoint: ep, kernel, agent, periods_behind: 0 });
         }
         let controller = Controller::new(
             graph.clone(),
@@ -113,6 +165,11 @@ impl MegaTeSystem {
             db.clone(),
             config.controller.clone(),
         );
+        // Registered up front so metric presence doesn't depend on a
+        // fault having occurred.
+        megate_obs::counter("agent.retries");
+        megate_obs::gauge("agent.degraded_endpoints");
+        megate_obs::histogram("agent.reconverge_periods");
         Self {
             graph,
             tunnels,
@@ -122,6 +179,8 @@ impl MegaTeSystem {
             host_of_endpoint,
             registry,
             config,
+            pull_rounds: 0,
+            last_known_target: 0,
         }
     }
 
@@ -149,8 +208,9 @@ impl MegaTeSystem {
 
     /// Brings instances up: each source endpoint's instance starts a
     /// process and opens its connections, so `inf_map` can attribute
-    /// the flows (§5.1's instance identification).
-    pub fn bring_up(&mut self, demands: &DemandSet) {
+    /// the flows (§5.1's instance identification). `Err` when a host's
+    /// eBPF maps refuse an entry (e.g. `env_map` full).
+    pub fn bring_up(&mut self, demands: &DemandSet) -> Result<(), SystemError> {
         for (i, d) in demands.demands().iter().enumerate() {
             let host = self.host_of_endpoint[&d.src];
             let host = &mut self.hosts[host];
@@ -158,9 +218,12 @@ impl MegaTeSystem {
             let tuple = Self::tuple_for_demand(demands, i);
             host.kernel
                 .spawn_process(InstanceId(d.src.0), pid)
-                .expect("env_map has room");
-            host.kernel.open_connection(pid, tuple).expect("contk_map has room");
+                .map_err(|cause| SystemError { endpoint: d.src, cause })?;
+            host.kernel
+                .open_connection(pid, tuple)
+                .map_err(|cause| SystemError { endpoint: d.src, cause })?;
         }
+        Ok(())
     }
 
     /// Controller half of the TE cycle: solve + publish.
@@ -175,21 +238,121 @@ impl MegaTeSystem {
     /// consults its changelog and pulls only the deltas it is missing
     /// (Figure 4(b)); agents whose delta history was garbage-collected
     /// fall back to the full snapshot and replay any newer deltas.
-    /// Returns how many agents advanced their installed version.
+    /// Returns how many agents advanced their installed version. (The
+    /// full resilient round — retries, staleness, degradation — is
+    /// [`pull_round`](Self::pull_round); this keeps the historic
+    /// return value.)
     pub fn agents_pull(&mut self) -> usize {
-        let Some(target) = self.db.latest_version() else {
-            return 0;
-        };
+        self.pull_round().updated
+    }
+
+    /// One fleet-wide **resilient** pull round (one sync period).
+    ///
+    /// Per agent: poll the version, pull missing configuration with
+    /// jittered exponential backoff between retries, charging backoff
+    /// delays *and* injected shard latency against the period's
+    /// deadline ([`PullPolicy`]); corrupted reads (failed transport
+    /// checksum) count as retryable failures. An agent that stays
+    /// below the published version for more than
+    /// `stale_ttl_periods` consecutive rounds **degrades** to
+    /// site-level/ECMP forwarding instead of steering on stale paths,
+    /// and recovers (clearing degradation) on its next successful pull.
+    pub fn pull_round(&mut self) -> PullRound {
+        self.pull_rounds += 1;
+        let round = self.pull_rounds;
         let _span = megate_obs::span("controller.agents_pull");
-        let mut updated = 0;
+        let policy = self.config.pull;
+        let retries_counter = megate_obs::counter("agent.retries");
+        let mut out = PullRound::default();
+
+        // Resilient version poll: a corrupted or unreachable version
+        // record is retried under its own backoff budget. If it stays
+        // unreadable, fall back to the last version ever observed —
+        // the fleet may still be able to read config records living on
+        // healthy shards, and the staleness clock must keep ticking.
+        let mut budget = policy.deadline_ns;
+        let mut polled = None;
+        for attempt in 0..policy.max_attempts {
+            if attempt > 0 {
+                let delay = policy.backoff.delay_ns(attempt - 1, policy.seed ^ round);
+                if delay > budget {
+                    break;
+                }
+                budget -= delay;
+                out.retries += 1;
+                retries_counter.inc();
+            }
+            match self.db.latest_version_checked() {
+                Ok(v) => {
+                    polled = v;
+                    break;
+                }
+                Err(_) => continue,
+            }
+        }
+        if let Some(v) = polled {
+            self.last_known_target = self.last_known_target.max(v);
+        }
+        let target = match polled {
+            Some(v) => v,
+            None if self.last_known_target > 0 => self.last_known_target,
+            None => return out, // nothing ever published
+        };
+        out.target = Some(target);
+
         let mut min_installed = u64::MAX;
         for host in &mut self.hosts {
             let local = host.agent.config_version();
-            if local < target && Self::pull_host(&self.db, host, local, target) {
-                updated += 1;
+            if local < target {
+                let seed = policy.seed ^ host.endpoint.0.wrapping_mul(0x9E37) ^ (round << 24);
+                let mut budget = policy.deadline_ns;
+                let mut advanced = false;
+                for attempt in 0..policy.max_attempts {
+                    if attempt > 0 {
+                        let delay = policy.backoff.delay_ns(attempt - 1, seed);
+                        if delay > budget {
+                            break;
+                        }
+                        budget -= delay;
+                        out.retries += 1;
+                        retries_counter.inc();
+                    }
+                    let local = host.agent.config_version();
+                    let (ok, injected_ns) = Self::pull_host(&self.db, host, local, target);
+                    budget = budget.saturating_sub(injected_ns);
+                    if ok {
+                        advanced = true;
+                    }
+                    if host.agent.config_version() >= target || budget == 0 {
+                        break;
+                    }
+                }
+                if advanced {
+                    out.updated += 1;
+                }
+            }
+            if host.agent.config_version() >= target {
+                if host.periods_behind > 0 {
+                    // Time-to-reconverge, in sync periods of staleness
+                    // endured before catching back up.
+                    megate_obs::histogram("agent.reconverge_periods")
+                        .record(host.periods_behind);
+                }
+                host.periods_behind = 0;
+            } else {
+                host.periods_behind += 1;
+                out.stale += 1;
+                if host.periods_behind > policy.stale_ttl_periods && !host.agent.is_degraded() {
+                    // Stale past the TTL: stop steering on old paths.
+                    host.agent.degrade();
+                }
+            }
+            if host.agent.is_degraded() {
+                out.degraded += 1;
             }
             min_installed = min_installed.min(host.agent.config_version());
         }
+        megate_obs::gauge("agent.degraded_endpoints").set(out.degraded as i64);
         // How far the slowest agent lags the published version after
         // this poll round (`controller.config_staleness`, in versions —
         // 0 means the whole fleet converged).
@@ -197,29 +360,70 @@ impl MegaTeSystem {
             megate_obs::gauge("controller.config_staleness")
                 .set(target.saturating_sub(min_installed) as i64);
         }
-        updated
+        out
     }
 
-    /// One agent's delta-aware pull. Returns whether the agent advanced
-    /// its version; on any outage or corruption it keeps its working
-    /// configuration and retries on the next poll.
-    fn pull_host(db: &TeDatabase, host: &mut Host, local: u64, target: u64) -> bool {
+    /// Agents currently degraded to site-level/ECMP forwarding.
+    pub fn degraded_count(&self) -> usize {
+        self.hosts.iter().filter(|h| h.agent.is_degraded()).count()
+    }
+
+    /// The worst per-host staleness clock: how many consecutive pull
+    /// rounds the most-behind agent has ended below the published
+    /// version.
+    pub fn max_periods_behind(&self) -> u64 {
+        self.hosts.iter().map(|h| h.periods_behind).max().unwrap_or(0)
+    }
+
+    /// Per-host `(periods_behind, degraded)` — the chaos harness's
+    /// invariant probe: nobody may steer on configuration staler than
+    /// the TTL without having degraded.
+    pub fn host_health(&self) -> Vec<(u64, bool)> {
+        self.hosts
+            .iter()
+            .map(|h| (h.periods_behind, h.agent.is_degraded()))
+            .collect()
+    }
+
+    /// One agent's delta-aware pull attempt. Returns whether the agent
+    /// advanced its version, plus the injected shard latency the
+    /// attempt accumulated (charged against the retry deadline). On
+    /// any outage, detected corruption or undecodable record it keeps
+    /// its working configuration; the caller decides whether to retry.
+    fn pull_host(db: &TeDatabase, host: &mut Host, local: u64, target: u64) -> (bool, u64) {
         let endpoint = host.endpoint.0;
         let instance = InstanceId(endpoint);
-        let log = match db.fetch_checked(&TeKey::Changelog { endpoint }) {
+        let mut injected_ns = 0u64;
+        // One read on the resilient path: outage and detected
+        // corruption (failed transport checksum) are both retryable
+        // failures; injected latency accumulates for the caller.
+        let read = |key: &TeKey, injected_ns: &mut u64| -> Result<Option<Vec<u8>>, ()> {
+            match db.fetch_outcome(key) {
+                Ok(o) => {
+                    *injected_ns = injected_ns.saturating_add(o.injected_ns);
+                    if o.corrupted {
+                        Err(())
+                    } else {
+                        Ok(o.value)
+                    }
+                }
+                Err(_) => Err(()),
+            }
+        };
+        let log = match read(&TeKey::Changelog { endpoint }, &mut injected_ns) {
             Ok(Some(raw)) => match Changelog::decode(&raw) {
                 Some(log) => log,
                 // Corrupt changelog: unreadable history, stay stale.
-                None => return false,
+                None => return (false, injected_ns),
             },
             Ok(None) => {
                 // Never configured: adopt the version with no paths.
                 host.agent.install_config(target, &[]);
-                return true;
+                return (true, injected_ns);
             }
-            // Shard outage: never adopt a version whose records were
-            // unreadable.
-            Err(_) => return false,
+            // Shard outage / corruption: never adopt a version whose
+            // records were unreadable.
+            Err(()) => return (false, injected_ns),
         };
 
         // Incremental path: the changelog is complete for everything
@@ -231,7 +435,7 @@ impl MegaTeSystem {
             let mut deltas: Vec<(u64, ConfigDelta)> = Vec::new();
             let mut complete = true;
             for &v in log.versions.iter().filter(|v| **v > local && **v <= target) {
-                match db.fetch_checked(&TeKey::Delta { endpoint, version: v }) {
+                match read(&TeKey::Delta { endpoint, version: v }, &mut injected_ns) {
                     Ok(Some(raw)) => match decode_delta(&raw) {
                         Some(d) => deltas.push((v, d)),
                         None => {
@@ -239,7 +443,7 @@ impl MegaTeSystem {
                             break;
                         }
                     },
-                    // Missing (raced with GC) or outage.
+                    // Missing (raced with GC), outage or corruption.
                     _ => {
                         complete = false;
                         break;
@@ -251,7 +455,7 @@ impl MegaTeSystem {
                     Self::apply_delta_to_agent(&mut host.agent, instance, *v, delta);
                 }
                 host.agent.install_config(target, &[]);
-                return true;
+                return (true, injected_ns);
             }
         }
 
@@ -259,18 +463,21 @@ impl MegaTeSystem {
         // the retained deltas newer than the stamp. The GC invariant
         // (`snapshot_every <= retention_versions`) guarantees no gap
         // between the stamp and the oldest retained delta.
-        let raw = match db.fetch_checked(&TeKey::Snapshot { endpoint }) {
+        let raw = match read(&TeKey::Snapshot { endpoint }, &mut injected_ns) {
             Ok(Some(raw)) if raw.len() >= 8 => raw,
-            _ => return false,
+            _ => return (false, injected_ns),
         };
-        let stamp = u64::from_be_bytes(raw[..8].try_into().expect("length checked"));
+        let stamp = u64::from_be_bytes(match raw[..8].try_into() {
+            Ok(bytes) => bytes,
+            Err(_) => return (false, injected_ns),
+        });
         let Some(cfg) = decode_paths(&raw[8..]) else {
-            return false;
+            return (false, injected_ns);
         };
         let mut deltas: Vec<(u64, ConfigDelta)> = Vec::new();
         let mut achieved = target;
         for &v in log.versions.iter().filter(|v| **v > stamp && **v <= target) {
-            match db.fetch_checked(&TeKey::Delta { endpoint, version: v }) {
+            match read(&TeKey::Delta { endpoint, version: v }, &mut injected_ns) {
                 Ok(Some(raw)) => match decode_delta(&raw) {
                     Some(d) => deltas.push((v, d)),
                     None => {
@@ -287,7 +494,7 @@ impl MegaTeSystem {
         if achieved <= local {
             // The reachable state is no newer than what is installed —
             // keep the working configuration.
-            return false;
+            return (false, injected_ns);
         }
         host.agent
             .install_snapshot(stamp, instance, &cfg.to_installs(instance));
@@ -295,7 +502,7 @@ impl MegaTeSystem {
             Self::apply_delta_to_agent(&mut host.agent, instance, *v, delta);
         }
         host.agent.install_config(achieved, &[]);
-        true
+        (true, injected_ns)
     }
 
     /// Translates a wire delta into the agent's in-place map edits.
@@ -446,7 +653,7 @@ mod tests {
     #[test]
     fn full_cycle_labels_and_delivers() {
         let (mut sys, demands) = small_system();
-        sys.bring_up(&demands);
+        sys.bring_up(&demands).unwrap();
         let report = sys.run_controller_interval(&demands).unwrap();
         assert!(report.configured_endpoints > 0);
         let updated = sys.agents_pull();
@@ -465,7 +672,7 @@ mod tests {
     #[test]
     fn without_pull_no_sr_labels() {
         let (mut sys, demands) = small_system();
-        sys.bring_up(&demands);
+        sys.bring_up(&demands).unwrap();
         sys.run_controller_interval(&demands).unwrap();
         // Agents never pull: packets stay conventional.
         let traffic = sys.send_demand_packets(&demands);
@@ -477,7 +684,7 @@ mod tests {
     #[test]
     fn decommissioned_endpoint_stops_getting_sr() {
         let (mut sys, demands) = small_system();
-        sys.bring_up(&demands);
+        sys.bring_up(&demands).unwrap();
         sys.run_controller_interval(&demands).unwrap();
         sys.agents_pull();
         let before = sys.send_demand_packets(&demands);
@@ -498,7 +705,7 @@ mod tests {
     #[test]
     fn flow_reports_cover_sent_traffic() {
         let (mut sys, demands) = small_system();
-        sys.bring_up(&demands);
+        sys.bring_up(&demands).unwrap();
         sys.run_controller_interval(&demands).unwrap();
         sys.agents_pull();
         sys.send_demand_packets(&demands);

@@ -46,17 +46,36 @@ pub struct PathInstall {
 pub struct EndpointAgent {
     maps: HostMaps,
     config_version: u64,
+    degraded: bool,
 }
 
 impl EndpointAgent {
     /// An agent sharing the host's eBPF maps.
     pub fn new(maps: HostMaps) -> Self {
-        Self { maps, config_version: 0 }
+        Self { maps, config_version: 0, degraded: false }
     }
 
     /// The TE configuration version currently installed.
     pub fn config_version(&self) -> u64 {
         self.config_version
+    }
+
+    /// Whether the agent has degraded to site-level/ECMP forwarding
+    /// because its configuration went stale past the TTL.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Graceful degradation: stop steering on stale state. Flushes the
+    /// SR `path_map` (egress falls back to site-level/ECMP forwarding —
+    /// suboptimal but correct) and resets the local version to 0, so
+    /// the next successful pull rebuilds full state from a cold start
+    /// (complete delta replay or snapshot) rather than patching an
+    /// emptied map.
+    pub fn degrade(&mut self) {
+        self.flush_paths();
+        self.config_version = 0;
+        self.degraded = true;
     }
 
     /// Reads and resets the interval's flow statistics, joined to
@@ -104,6 +123,7 @@ impl EndpointAgent {
             }
         }
         self.config_version = version;
+        self.degraded = false;
         written
     }
 
@@ -338,5 +358,28 @@ mod tests {
         agent.flush_paths();
         let mut f = MegaTeFrameSpec::simple(tuple(7), 1, None).build();
         assert_eq!(kernel.tc_egress(&mut f), crate::kernel::TcVerdict::Pass);
+    }
+
+    #[test]
+    fn degrade_flushes_paths_and_recovers_on_install() {
+        let kernel = SimKernel::new();
+        let mut agent = EndpointAgent::new(kernel.maps().clone());
+        bring_up_instance(&kernel, InstanceId(4), Pid(5), &[tuple(7)]).unwrap();
+        agent.install_config(
+            5,
+            &[PathInstall { instance: InstanceId(4), dst_ip: tuple(7).dst_ip, hops: vec![2] }],
+        );
+        assert!(!agent.is_degraded());
+        agent.degrade();
+        assert!(agent.is_degraded());
+        assert_eq!(agent.config_version(), 0, "cold restart for the next pull");
+        assert!(agent.maps().path_map.snapshot().is_empty(), "no SR steering while degraded");
+        // A fresh install (any successful pull) clears degradation.
+        agent.install_config(
+            6,
+            &[PathInstall { instance: InstanceId(4), dst_ip: tuple(7).dst_ip, hops: vec![2] }],
+        );
+        assert!(!agent.is_degraded());
+        assert_eq!(agent.config_version(), 6);
     }
 }

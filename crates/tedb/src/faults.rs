@@ -1,0 +1,345 @@
+//! Deterministic, seed-driven fault schedules for the TE database.
+//!
+//! A [`FaultPlan`] is a replayable timeline of shard faults — outages,
+//! flapping (rapid down/up cycles), slow shards, lossy reads and
+//! corrupting reads — generated from a [`FaultSpec`] seed. The chaos
+//! harness drives one simulation tick at a time through
+//! [`FaultPlan::apply_tick`]; identical seeds produce bitwise-identical
+//! plans (guarded by a proptest below), so every chaos failure is
+//! reproducible from its seed alone.
+//!
+//! The generator never schedules two overlapping faults of the same
+//! kind on the same shard, and every fault ends by
+//! [`FaultPlan::clear_tick`] — after that tick the database is
+//! guaranteed healthy, which is what lets the chaos test assert
+//! reconvergence "within two sync periods after faults clear".
+
+use crate::store::{splitmix64, TeDatabase};
+use std::collections::BTreeMap;
+
+/// Parameters of a generated fault timeline. All probabilities are per
+/// tick per shard; durations are in ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the whole timeline; same seed ⇒ same plan.
+    pub seed: u64,
+    /// Faults may *start* in ticks `[0, horizon)`; everything clears by
+    /// [`FaultPlan::clear_tick`].
+    pub horizon: u64,
+    /// Chance per (tick, shard) that an outage starts.
+    pub outage_rate: f64,
+    /// Outage length in ticks (uniform in `[1, max_outage_ticks]`).
+    pub max_outage_ticks: u64,
+    /// Chance per (tick, shard) that a flapping burst starts: the shard
+    /// alternates down/up every tick for `2 × flap_cycles` ticks.
+    pub flap_rate: f64,
+    /// Down/up cycles per flapping burst.
+    pub flap_cycles: u64,
+    /// Chance per (tick, shard) that a slow spell starts.
+    pub slow_rate: f64,
+    /// Injected latency during a slow spell, ns.
+    pub slow_ns: u64,
+    /// Chance per (tick, shard) that a lossy spell starts.
+    pub loss_rate: f64,
+    /// Read-loss probability during a lossy spell, ppm.
+    pub loss_ppm: u32,
+    /// Chance per (tick, shard) that a corrupting spell starts.
+    pub corrupt_rate: f64,
+    /// Read-corruption probability during a corrupting spell, ppm.
+    pub corrupt_ppm: u32,
+    /// Length of slow/lossy/corrupt spells, ticks.
+    pub spell_ticks: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            horizon: 24,
+            outage_rate: 0.06,
+            max_outage_ticks: 4,
+            flap_rate: 0.03,
+            flap_cycles: 2,
+            slow_rate: 0.08,
+            slow_ns: 200_000,
+            loss_rate: 0.05,
+            loss_ppm: 250_000,
+            corrupt_rate: 0.04,
+            corrupt_ppm: 200_000,
+            spell_ticks: 3,
+        }
+    }
+}
+
+/// One scheduled state change on one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Shard goes dark.
+    Down {
+        /// Target shard.
+        shard: usize,
+    },
+    /// Shard recovers (triggers the repair pass on replicated DBs).
+    Up {
+        /// Target shard.
+        shard: usize,
+    },
+    /// Shard starts (ns > 0) or stops (ns = 0) serving slowly.
+    Slow {
+        /// Target shard.
+        shard: usize,
+        /// Injected per-query latency; 0 ends the spell.
+        ns: u64,
+    },
+    /// Shard starts (ppm > 0) or stops (ppm = 0) dropping reads.
+    Lossy {
+        /// Target shard.
+        shard: usize,
+        /// Read-loss probability; 0 ends the spell.
+        ppm: u32,
+    },
+    /// Shard starts (ppm > 0) or stops (ppm = 0) corrupting reads.
+    Corrupt {
+        /// Target shard.
+        shard: usize,
+        /// Read-corruption probability; 0 ends the spell.
+        ppm: u32,
+    },
+}
+
+impl FaultEvent {
+    /// Applies this event to the database.
+    pub fn apply(&self, db: &TeDatabase) {
+        match *self {
+            FaultEvent::Down { shard } => db.set_shard_down(shard, true),
+            FaultEvent::Up { shard } => db.set_shard_down(shard, false),
+            FaultEvent::Slow { shard, ns } => db.set_shard_slow(shard, ns),
+            FaultEvent::Lossy { shard, ppm } => db.set_shard_loss(shard, ppm),
+            FaultEvent::Corrupt { shard, ppm } => db.set_shard_corrupt(shard, ppm),
+        }
+    }
+}
+
+/// A replayable fault timeline: tick → events firing at that tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Events by tick, in deterministic (shard, kind) order within a
+    /// tick.
+    pub events: BTreeMap<u64, Vec<FaultEvent>>,
+    /// First tick at which the database is guaranteed fault-free and
+    /// stays that way.
+    pub clear_tick: u64,
+}
+
+/// Per-(shard, kind) occupancy so faults of one kind never overlap.
+#[derive(Default, Clone, Copy)]
+struct Busy {
+    outage_until: u64,
+    slow_until: u64,
+    loss_until: u64,
+    corrupt_until: u64,
+}
+
+impl FaultPlan {
+    /// Generates the deterministic timeline for `n_shards` shards.
+    /// Shard 0 is never faulted when `n_shards > 1`, so a replicated
+    /// database always keeps at least one stable shard (and an
+    /// unreplicated multi-shard run isn't trivially wedged forever).
+    pub fn generate(spec: &FaultSpec, n_shards: usize) -> Self {
+        let mut events: BTreeMap<u64, Vec<FaultEvent>> = BTreeMap::new();
+        let mut busy = vec![Busy::default(); n_shards];
+        let mut clear_tick = 0u64;
+        let push = |events: &mut BTreeMap<u64, Vec<FaultEvent>>, tick: u64, ev: FaultEvent| {
+            events.entry(tick).or_default().push(ev);
+        };
+        // One independent deterministic stream per (tick, shard, kind).
+        let roll = |tick: u64, shard: usize, kind: u64| -> f64 {
+            let x = splitmix64(
+                spec.seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (tick << 20)
+                    ^ ((shard as u64) << 8)
+                    ^ kind,
+            );
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let faultable = if n_shards > 1 { 1..n_shards } else { 0..n_shards };
+        for tick in 0..spec.horizon {
+            for shard in faultable.clone() {
+                let b = &mut busy[shard];
+                if tick >= b.outage_until {
+                    if roll(tick, shard, 0) < spec.outage_rate {
+                        let len = 1 + splitmix64(spec.seed ^ (tick << 32) ^ shard as u64)
+                            % spec.max_outage_ticks.max(1);
+                        push(&mut events, tick, FaultEvent::Down { shard });
+                        push(&mut events, tick + len, FaultEvent::Up { shard });
+                        b.outage_until = tick + len + 1;
+                    } else if roll(tick, shard, 1) < spec.flap_rate {
+                        // Flapping: down/up every tick for flap_cycles
+                        // cycles.
+                        let cycles = spec.flap_cycles.max(1);
+                        for c in 0..cycles {
+                            push(&mut events, tick + 2 * c, FaultEvent::Down { shard });
+                            push(&mut events, tick + 2 * c + 1, FaultEvent::Up { shard });
+                        }
+                        b.outage_until = tick + 2 * cycles + 1;
+                    }
+                }
+                if tick >= b.slow_until && roll(tick, shard, 2) < spec.slow_rate {
+                    push(&mut events, tick, FaultEvent::Slow { shard, ns: spec.slow_ns });
+                    push(
+                        &mut events,
+                        tick + spec.spell_ticks.max(1),
+                        FaultEvent::Slow { shard, ns: 0 },
+                    );
+                    b.slow_until = tick + spec.spell_ticks.max(1) + 1;
+                }
+                if tick >= b.loss_until && roll(tick, shard, 3) < spec.loss_rate {
+                    push(&mut events, tick, FaultEvent::Lossy { shard, ppm: spec.loss_ppm });
+                    push(
+                        &mut events,
+                        tick + spec.spell_ticks.max(1),
+                        FaultEvent::Lossy { shard, ppm: 0 },
+                    );
+                    b.loss_until = tick + spec.spell_ticks.max(1) + 1;
+                }
+                if tick >= b.corrupt_until && roll(tick, shard, 4) < spec.corrupt_rate {
+                    push(
+                        &mut events,
+                        tick,
+                        FaultEvent::Corrupt { shard, ppm: spec.corrupt_ppm },
+                    );
+                    push(
+                        &mut events,
+                        tick + spec.spell_ticks.max(1),
+                        FaultEvent::Corrupt { shard, ppm: 0 },
+                    );
+                    b.corrupt_until = tick + spec.spell_ticks.max(1) + 1;
+                }
+            }
+        }
+        if let Some((&last, _)) = events.iter().next_back() {
+            clear_tick = clear_tick.max(last + 1);
+        }
+        Self { events, clear_tick }
+    }
+
+    /// Applies every event scheduled at `tick` (recovery events run the
+    /// database's repair pass via `set_shard_down(_, false)`).
+    pub fn apply_tick(&self, tick: u64, db: &TeDatabase) {
+        if let Some(evs) = self.events.get(&tick) {
+            for ev in evs {
+                ev.apply(db);
+            }
+        }
+    }
+
+    /// Total number of scheduled events.
+    pub fn event_count(&self) -> usize {
+        self.events.values().map(Vec::len).sum()
+    }
+
+    /// Number of fault *onsets* (Down / nonzero Slow / Lossy / Corrupt).
+    pub fn onset_count(&self) -> usize {
+        self.events
+            .values()
+            .flatten()
+            .filter(|e| {
+                matches!(
+                    e,
+                    FaultEvent::Down { .. }
+                        | FaultEvent::Slow { ns: 1.., .. }
+                        | FaultEvent::Lossy { ppm: 1.., .. }
+                        | FaultEvent::Corrupt { ppm: 1.., .. }
+                )
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec(seed: u64) -> FaultSpec {
+        FaultSpec { seed, ..FaultSpec::default() }
+    }
+
+    #[test]
+    fn same_seed_same_plan_different_seed_different_plan() {
+        let a = FaultPlan::generate(&spec(11), 4);
+        let b = FaultPlan::generate(&spec(11), 4);
+        let c = FaultPlan::generate(&spec(12), 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "distinct seeds should almost surely differ");
+        assert!(a.event_count() > 0, "default rates should schedule something");
+    }
+
+    #[test]
+    fn every_down_is_paired_with_a_later_up() {
+        let plan = FaultPlan::generate(&spec(3), 4);
+        let mut depth = vec![0i64; 4];
+        for evs in plan.events.values() {
+            for ev in evs {
+                match *ev {
+                    FaultEvent::Down { shard } => {
+                        depth[shard] += 1;
+                        assert_eq!(depth[shard], 1, "no nested outages on shard {shard}");
+                    }
+                    FaultEvent::Up { shard } => depth[shard] -= 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(depth.iter().all(|&d| d == 0), "unbalanced outages: {depth:?}");
+    }
+
+    #[test]
+    fn database_is_healthy_after_clear_tick() {
+        let s = spec(5);
+        let plan = FaultPlan::generate(&s, 4);
+        let db = TeDatabase::with_replication(4, 2);
+        for tick in 0..=plan.clear_tick {
+            plan.apply_tick(tick, &db);
+        }
+        assert!(!db.any_fault_active(), "all faults must clear by clear_tick");
+        assert!(plan.clear_tick >= s.horizon.min(1), "faults do occur first");
+    }
+
+    #[test]
+    fn shard_zero_is_spared_in_multi_shard_plans() {
+        let plan = FaultPlan::generate(&spec(8), 4);
+        for evs in plan.events.values() {
+            for ev in evs {
+                let shard = match *ev {
+                    FaultEvent::Down { shard }
+                    | FaultEvent::Up { shard }
+                    | FaultEvent::Slow { shard, .. }
+                    | FaultEvent::Lossy { shard, .. }
+                    | FaultEvent::Corrupt { shard, .. } => shard,
+                };
+                assert_ne!(shard, 0, "shard 0 is the stability anchor");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn plans_are_deterministic_per_seed(seed in 0u64..10_000, shards in 1usize..6) {
+            let a = FaultPlan::generate(&spec(seed), shards);
+            let b = FaultPlan::generate(&spec(seed), shards);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn all_faults_clear_by_clear_tick(seed in 0u64..2_000, shards in 2usize..5) {
+            let plan = FaultPlan::generate(&spec(seed), shards);
+            let db = TeDatabase::new(shards);
+            for tick in 0..=plan.clear_tick {
+                plan.apply_tick(tick, &db);
+            }
+            prop_assert!(!db.any_fault_active());
+        }
+    }
+}

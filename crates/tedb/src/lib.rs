@@ -20,14 +20,20 @@
 //!   and 14;
 //! * [`hybrid`] — the §8 future-work hybrid: persistent push channels
 //!   (see [`TeDatabase::watch_versions`]) for heavy-traffic endpoints,
-//!   eventual-consistency pull for the tail.
+//!   eventual-consistency pull for the tail;
+//! * [`faults`] — deterministic, seed-driven fault schedules (outages,
+//!   flapping, slow/lossy/corrupting shards) for the chaos harness.
 
+pub mod faults;
 pub mod hybrid;
 pub mod store;
 pub mod sync;
 pub mod topdown;
 
+pub use faults::{FaultEvent, FaultPlan, FaultSpec};
 pub use hybrid::{evaluate_hybrid, heavy_tailed_volumes, HybridConfig, HybridOutcome};
-pub use store::{Changelog, ShardOutage, TeDatabase, TeKey, CONFIG_VERSION_KEY};
+pub use store::{
+    Changelog, ReadOutcome, ShardOutage, TeDatabase, TeKey, CONFIG_VERSION_KEY,
+};
 pub use sync::{simulate_pull_sync, SyncConfig, SyncMode, SyncOutcome};
 pub use topdown::{BottomUpModel, TopDownModel};

@@ -13,12 +13,44 @@
 //! that the delta-versioned control loop publishes, plus changelog
 //! bookkeeping ([`TeDatabase::record_change`]) and garbage collection
 //! of superseded deltas ([`TeDatabase::gc_endpoint_before`]).
+//!
+//! ## Replication & failover
+//!
+//! [`TeDatabase::with_replication`] stores every key on `k` successive
+//! shards (primary first). Writes fan out to every reachable replica;
+//! reads are served by the primary and **fail over** to the next
+//! replica when the primary is unreachable (counted in
+//! `tedb.failover_reads`). Each value carries a monotonically
+//! increasing write sequence number, so when a shard recovers from an
+//! outage a **last-writer-wins repair pass**
+//! ([`TeDatabase::repair_shard`], run automatically on recovery) copies
+//! every newer replica value back onto it. Deletes are not
+//! tombstoned: a key deleted while one of its replicas was down can be
+//! served again by that replica after recovery — harmless for the TE
+//! keyspace, where garbage-collected deltas are only reachable through
+//! the (pruned) changelog.
+//!
+//! ## Fault injection
+//!
+//! Beyond the outage flag ([`TeDatabase::set_shard_down`]), shards can
+//! be made *slow* (injected per-query latency, surfaced through
+//! [`ReadOutcome::injected_ns`] so clients can charge it against their
+//! deadlines), *lossy* (a per-read probability that the connection
+//! drops — the client sees the same error as an outage) and
+//! *corrupting* (a per-read probability that the returned value has one
+//! bit flipped; [`ReadOutcome::corrupted`] models the transport
+//! checksum that lets a careful client detect and retry it, while the
+//! unchecked [`TeDatabase::get`] delivers the damaged bytes to exercise
+//! decoder robustness). All rolls come from a seeded deterministic
+//! stream ([`TeDatabase::set_fault_seed`]), so a single-threaded
+//! simulation replays bit-for-bit. [`crate::faults::FaultPlan`] drives
+//! these knobs on a schedule.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Key under which the current TE configuration version is stored.
@@ -116,9 +148,17 @@ impl Changelog {
     }
 }
 
+/// A stored value plus the global write sequence that produced it —
+/// the last-writer-wins ordering the repair pass compares.
+#[derive(Debug, Clone)]
+struct Stored {
+    seq: u64,
+    value: Vec<u8>,
+}
+
 #[derive(Debug, Default)]
 struct Shard {
-    data: RwLock<HashMap<String, Vec<u8>>>,
+    data: RwLock<HashMap<String, Stored>>,
     queries: AtomicU64,
     /// Bytes moved over this shard's wire: keys both ways, values on
     /// SET (request) and on GET hits (response).
@@ -126,10 +166,51 @@ struct Shard {
     /// Failure injection: a down shard answers nothing (GET -> None,
     /// SET dropped) — what a client sees during a shard outage.
     down: std::sync::atomic::AtomicBool,
+    /// Injected per-query service latency (ns); 0 = healthy.
+    slow_ns: AtomicU64,
+    /// Probability (ppm) that a read fails transiently (connection
+    /// drop) even though the shard is up.
+    loss_ppm: AtomicU32,
+    /// Probability (ppm) that a read returns a value with one flipped
+    /// bit.
+    corrupt_ppm: AtomicU32,
+    /// Position in the shard's deterministic fault-roll stream.
+    fault_ops: AtomicU64,
     /// Per-shard query service time, exported as
     /// `tedb.shard<i>.query_ns` (all databases in the process sharing
     /// a shard index aggregate into the same histogram).
     latency: megate_obs::Histogram,
+}
+
+impl Shard {
+    fn is_down(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
+    }
+
+    /// One deterministic fault roll in `[0, 1_000_000)`.
+    fn roll(&self, seed: u64, shard_idx: usize) -> u64 {
+        let op = self.fault_ops.fetch_add(1, Ordering::Relaxed);
+        splitmix64(seed ^ ((shard_idx as u64) << 48) ^ op) % 1_000_000
+    }
+}
+
+/// What one (possibly failed-over) replicated read saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The value, if the key exists on the serving replica. When
+    /// `corrupted` is set this carries the damaged bytes.
+    pub value: Option<Vec<u8>>,
+    /// The shard that served the read.
+    pub served_by: usize,
+    /// Whether the primary was unreachable and a replica answered.
+    pub failed_over: bool,
+    /// Injected service latency accumulated over every attempted
+    /// replica — clients charge this against their sync-period
+    /// deadline.
+    pub injected_ns: u64,
+    /// The transport checksum failed: the value has a flipped bit. A
+    /// resilient client treats this as a retryable failure.
+    pub corrupted: bool,
 }
 
 /// The sharded TE database. Clones share storage (like extra client
@@ -148,15 +229,35 @@ struct Shard {
 pub struct TeDatabase {
     shards: Arc<Vec<Shard>>,
     watchers: Arc<Mutex<Vec<Sender<u64>>>>,
+    /// Replication factor: each key lives on this many successive
+    /// shards (clamped to the shard count).
+    replication: usize,
+    /// Monotonic write sequence shared by all clones — the
+    /// last-writer-wins order of the repair pass.
+    write_seq: Arc<AtomicU64>,
+    /// Seed of the deterministic fault-roll streams.
+    fault_seed: Arc<AtomicU64>,
     /// Process-wide mirror of the per-shard `bytes` counters
     /// (`tedb.wire_bytes`), so bench snapshots see DB traffic without
     /// holding a database handle.
     wire_bytes: megate_obs::Counter,
+    /// Reads served by a replica because the primary was unreachable.
+    failover_reads: megate_obs::Counter,
+    /// Keys copied back onto a shard by post-recovery repair passes.
+    repaired_keys: megate_obs::Counter,
 }
 
 impl TeDatabase {
-    /// A database with `n_shards` shards (the paper deploys two).
+    /// A database with `n_shards` shards (the paper deploys two) and no
+    /// replication.
     pub fn new(n_shards: usize) -> Self {
+        Self::with_replication(n_shards, 1)
+    }
+
+    /// A database with `n_shards` shards storing every key on
+    /// `replication` successive shards. `replication` is clamped to
+    /// `[1, n_shards]`.
+    pub fn with_replication(n_shards: usize, replication: usize) -> Self {
         assert!(n_shards > 0, "need at least one shard");
         Self {
             shards: Arc::new(
@@ -168,7 +269,12 @@ impl TeDatabase {
                     .collect(),
             ),
             watchers: Arc::new(Mutex::new(Vec::new())),
+            replication: replication.clamp(1, n_shards),
+            write_seq: Arc::new(AtomicU64::new(1)),
+            fault_seed: Arc::new(AtomicU64::new(0)),
             wire_bytes: megate_obs::counter("tedb.wire_bytes"),
+            failover_reads: megate_obs::counter("tedb.failover_reads"),
+            repaired_keys: megate_obs::counter("tedb.repaired_keys"),
         }
     }
 
@@ -194,46 +300,69 @@ impl TeDatabase {
         self.shards.len()
     }
 
-    /// Which shard a key routes to.
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Which shard a key routes to (its primary).
     pub fn shard_of(&self, key: &str) -> usize {
         (fnv(key.as_bytes()) % self.shards.len() as u64) as usize
     }
 
-    /// SET — routes by key hash, counts one query. Writes to a downed
-    /// shard are dropped (the client would see a connection error and
-    /// the controller retries next interval).
-    pub fn set(&self, key: &str, value: Vec<u8>) {
-        let t = megate_obs::start();
-        let s = &self.shards[self.shard_of(key)];
-        s.queries.fetch_add(1, Ordering::Relaxed);
-        s.bytes
-            .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
-        self.wire_bytes.add((key.len() + value.len()) as u64);
-        if s.down.load(Ordering::Relaxed) {
-            return;
-        }
-        s.data.write().insert(key.to_string(), value);
-        s.latency.record_elapsed(t);
+    /// The shards holding a key: primary first, then `replication - 1`
+    /// successors.
+    pub fn replicas_of(&self, key: &str) -> impl Iterator<Item = usize> + '_ {
+        let primary = self.shard_of(key);
+        let n = self.shards.len();
+        (0..self.replication).map(move |i| (primary + i) % n)
     }
 
-    /// GET — routes by key hash, counts one query. A downed shard
-    /// answers nothing.
-    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+    /// SET — routes by key hash, counts one query per replica. Writes
+    /// to a downed replica are dropped (the client would see a
+    /// connection error; the repair pass catches the replica up on
+    /// recovery).
+    pub fn set(&self, key: &str, value: Vec<u8>) {
+        let _ = self.set_checked(key, value);
+    }
+
+    /// SET that reports whether the value landed anywhere: `Err` means
+    /// every replica was unreachable and the write was lost entirely.
+    pub fn set_checked(&self, key: &str, value: Vec<u8>) -> Result<(), ShardOutage> {
         let t = megate_obs::start();
-        let s = &self.shards[self.shard_of(key)];
-        s.queries.fetch_add(1, Ordering::Relaxed);
-        if s.down.load(Ordering::Relaxed) {
-            s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
-            self.wire_bytes.add(key.len() as u64);
-            return None;
+        let seq = self.write_seq.fetch_add(1, Ordering::Relaxed);
+        let mut landed = false;
+        let primary = self.shard_of(key);
+        for shard_idx in self.replicas_of(key) {
+            let s = &self.shards[shard_idx];
+            s.queries.fetch_add(1, Ordering::Relaxed);
+            s.bytes
+                .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
+            self.wire_bytes.add((key.len() + value.len()) as u64);
+            if s.is_down() {
+                continue;
+            }
+            s.data
+                .write()
+                .insert(key.to_string(), Stored { seq, value: value.clone() });
+            s.latency.record_elapsed(t);
+            landed = true;
         }
-        let hit = s.data.read().get(key).cloned();
-        let response = hit.as_ref().map_or(0, Vec::len);
-        s.bytes
-            .fetch_add((key.len() + response) as u64, Ordering::Relaxed);
-        self.wire_bytes.add((key.len() + response) as u64);
-        s.latency.record_elapsed(t);
-        hit
+        if landed {
+            Ok(())
+        } else {
+            Err(ShardOutage { shard: primary })
+        }
+    }
+
+    /// GET — routes by key hash, counts one query per attempted
+    /// replica. Fails over to replicas when the primary is
+    /// unreachable; when every replica is down the read answers
+    /// nothing. Injected corruption passes through undetected (the
+    /// decoder-robustness path); use [`read_outcome`](Self::read_outcome)
+    /// to observe it.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.read_outcome(key).ok().and_then(|o| o.value)
     }
 
     /// GET that distinguishes a missing key from a shard outage —
@@ -241,20 +370,66 @@ impl TeDatabase {
     /// this to avoid adopting a version whose entries they could not
     /// read.
     pub fn get_checked(&self, key: &str) -> Result<Option<Vec<u8>>, ShardOutage> {
+        self.read_outcome(key).map(|o| o.value)
+    }
+
+    /// The full replicated read: which replica served it, whether the
+    /// read failed over, how much injected latency it accumulated, and
+    /// whether the transport checksum flagged corruption. `Err` only
+    /// when every replica was unreachable (down or lossy).
+    pub fn read_outcome(&self, key: &str) -> Result<ReadOutcome, ShardOutage> {
         let t = megate_obs::start();
-        let shard = self.shard_of(key);
-        let s = &self.shards[shard];
-        s.queries.fetch_add(1, Ordering::Relaxed);
-        if s.down.load(Ordering::Relaxed) {
-            return Err(ShardOutage { shard });
+        let seed = self.fault_seed.load(Ordering::Relaxed);
+        let primary = self.shard_of(key);
+        let mut injected_ns = 0u64;
+        for (attempt, shard_idx) in self.replicas_of(key).enumerate() {
+            let s = &self.shards[shard_idx];
+            s.queries.fetch_add(1, Ordering::Relaxed);
+            injected_ns = injected_ns.saturating_add(s.slow_ns.load(Ordering::Relaxed));
+            if s.is_down() {
+                // Failed connection: the key still crossed the wire.
+                s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
+                self.wire_bytes.add(key.len() as u64);
+                continue;
+            }
+            let loss = s.loss_ppm.load(Ordering::Relaxed);
+            if loss > 0 && s.roll(seed, shard_idx) < loss as u64 {
+                // Transient connection drop — indistinguishable from a
+                // brief outage to the client.
+                s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
+                self.wire_bytes.add(key.len() as u64);
+                continue;
+            }
+            let mut hit = s.data.read().get(key).map(|st| st.value.clone());
+            let mut corrupted = false;
+            let corrupt = s.corrupt_ppm.load(Ordering::Relaxed);
+            if corrupt > 0 && s.roll(seed, shard_idx) < corrupt as u64 {
+                if let Some(v) = hit.as_mut() {
+                    if !v.is_empty() {
+                        let r = s.roll(seed, shard_idx);
+                        let at = (r as usize) % v.len();
+                        v[at] ^= 1 << (splitmix64(r) % 8);
+                        corrupted = true;
+                    }
+                }
+            }
+            let response = hit.as_ref().map_or(0, Vec::len);
+            s.bytes
+                .fetch_add((key.len() + response) as u64, Ordering::Relaxed);
+            self.wire_bytes.add((key.len() + response) as u64);
+            s.latency.record_elapsed(t);
+            if attempt > 0 {
+                self.failover_reads.inc();
+            }
+            return Ok(ReadOutcome {
+                value: hit,
+                served_by: shard_idx,
+                failed_over: attempt > 0,
+                injected_ns,
+                corrupted,
+            });
         }
-        let hit = s.data.read().get(key).cloned();
-        let response = hit.as_ref().map_or(0, Vec::len);
-        s.bytes
-            .fetch_add((key.len() + response) as u64, Ordering::Relaxed);
-        self.wire_bytes.add((key.len() + response) as u64);
-        s.latency.record_elapsed(t);
-        Ok(hit)
+        Err(ShardOutage { shard: primary })
     }
 
     // ---- Typed-key API (the delta-versioned keyspace) ----
@@ -262,6 +437,11 @@ impl TeDatabase {
     /// Typed SET.
     pub fn put(&self, key: &TeKey, value: Vec<u8>) {
         self.set(&key.wire(), value);
+    }
+
+    /// Typed SET with full-outage reporting.
+    pub fn put_checked(&self, key: &TeKey, value: Vec<u8>) -> Result<(), ShardOutage> {
+        self.set_checked(&key.wire(), value)
     }
 
     /// Typed GET.
@@ -274,7 +454,13 @@ impl TeDatabase {
         self.get_checked(&key.wire())
     }
 
-    /// Typed DEL — returns whether the key existed.
+    /// Typed GET with the full [`ReadOutcome`] (failover, injected
+    /// latency, detected corruption).
+    pub fn fetch_outcome(&self, key: &TeKey) -> Result<ReadOutcome, ShardOutage> {
+        self.read_outcome(&key.wire())
+    }
+
+    /// Typed DEL — returns whether the key existed on any replica.
     pub fn remove(&self, key: &TeKey) -> bool {
         self.del(&key.wire())
     }
@@ -290,17 +476,25 @@ impl TeDatabase {
 
     /// Appends `version` to an endpoint's changelog (read-modify-write;
     /// the controller is the single writer). Creates the log on first
-    /// change.
-    pub fn record_change(&self, endpoint: u64, version: u64) {
+    /// change. `Err` when the read or the write could not reach any
+    /// replica — the caller must retry rather than clobber history
+    /// with a fresh log.
+    pub fn record_change(&self, endpoint: u64, version: u64) -> Result<(), ShardOutage> {
         let key = TeKey::Changelog { endpoint };
-        let mut log = self
-            .fetch(&key)
+        let outcome = self.fetch_outcome(&key)?;
+        if outcome.corrupted {
+            // Unreadable history: retry next interval instead of
+            // overwriting it with a guess.
+            return Err(ShardOutage { shard: outcome.served_by });
+        }
+        let mut log = outcome
+            .value
             .and_then(|b| Changelog::decode(&b))
             .unwrap_or_default();
         if log.versions.last() != Some(&version) {
             log.versions.push(version);
         }
-        self.put(&key, log.encode());
+        self.put_checked(&key, log.encode())
     }
 
     /// The endpoint's decoded changelog, if present and well-formed.
@@ -312,10 +506,18 @@ impl TeDatabase {
     /// deletes the superseded delta records, prunes them from the
     /// changelog and raises its `complete_since` watermark so agents
     /// older than `floor` know to fall back to the snapshot. Returns
-    /// the number of delta records deleted.
+    /// the number of delta records deleted. Skips (returns 0) when the
+    /// changelog is unreachable or unreadable — the next interval's GC
+    /// retries.
     pub fn gc_endpoint_before(&self, endpoint: u64, floor: u64) -> usize {
         let key = TeKey::Changelog { endpoint };
-        let Some(mut log) = self.fetch(&key).and_then(|b| Changelog::decode(&b)) else {
+        let Ok(outcome) = self.fetch_outcome(&key) else {
+            return 0;
+        };
+        if outcome.corrupted {
+            return 0;
+        }
+        let Some(mut log) = outcome.value.and_then(|b| Changelog::decode(&b)) else {
             return 0;
         };
         let mut removed = 0;
@@ -336,10 +538,17 @@ impl TeDatabase {
         removed
     }
 
+    // ---- Fault injection & repair ----
+
     /// Failure injection: takes a shard down (it keeps its data) or
-    /// brings it back.
+    /// brings it back. Recovery of a replicated database runs the
+    /// last-writer-wins [`repair_shard`](Self::repair_shard) pass so
+    /// the shard catches up on writes it missed.
     pub fn set_shard_down(&self, shard: usize, down: bool) {
-        self.shards[shard].down.store(down, Ordering::Relaxed);
+        let was_down = self.shards[shard].down.swap(down, Ordering::Relaxed);
+        if was_down && !down && self.replication > 1 {
+            self.repair_shard(shard);
+        }
     }
 
     /// True if the given shard is currently down.
@@ -347,16 +556,109 @@ impl TeDatabase {
         self.shards[shard].down.load(Ordering::Relaxed)
     }
 
-    /// DEL — returns whether the key existed.
+    /// Injects `ns` of service latency into every query the shard
+    /// answers (0 restores full speed).
+    pub fn set_shard_slow(&self, shard: usize, ns: u64) {
+        self.shards[shard].slow_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Makes `ppm` out of every million reads on the shard fail
+    /// transiently (0 restores reliability).
+    pub fn set_shard_loss(&self, shard: usize, ppm: u32) {
+        self.shards[shard].loss_ppm.store(ppm.min(1_000_000), Ordering::Relaxed);
+    }
+
+    /// Makes `ppm` out of every million reads on the shard return a
+    /// value with one flipped bit (0 restores integrity).
+    pub fn set_shard_corrupt(&self, shard: usize, ppm: u32) {
+        self.shards[shard]
+            .corrupt_ppm
+            .store(ppm.min(1_000_000), Ordering::Relaxed);
+    }
+
+    /// Seeds the deterministic fault-roll streams (loss/corruption).
+    /// Single-threaded runs with the same seed and the same operation
+    /// order replay identically.
+    pub fn set_fault_seed(&self, seed: u64) {
+        self.fault_seed.store(seed, Ordering::Relaxed);
+    }
+
+    /// Clears every injected fault: all shards up, full speed,
+    /// lossless, uncorrupted. Runs repair on shards that were down.
+    pub fn clear_faults(&self) {
+        for i in 0..self.shards.len() {
+            self.set_shard_slow(i, 0);
+            self.set_shard_loss(i, 0);
+            self.set_shard_corrupt(i, 0);
+            self.set_shard_down(i, false);
+        }
+    }
+
+    /// True while any shard carries an injected fault.
+    pub fn any_fault_active(&self) -> bool {
+        self.shards.iter().any(|s| {
+            s.is_down()
+                || s.slow_ns.load(Ordering::Relaxed) > 0
+                || s.loss_ppm.load(Ordering::Relaxed) > 0
+                || s.corrupt_ppm.load(Ordering::Relaxed) > 0
+        })
+    }
+
+    /// Last-writer-wins repair: copies onto `shard` every key it
+    /// replicates whose newest copy (highest write sequence) lives on
+    /// another replica — the catch-up pass after an outage. Returns
+    /// how many keys were repaired. Quorum-less by design: whichever
+    /// replica holds the highest sequence wins.
+    pub fn repair_shard(&self, shard: usize) -> usize {
+        if self.replication <= 1 {
+            return 0;
+        }
+        let mut newest: HashMap<String, Stored> = HashMap::new();
+        for (i, other) in self.shards.iter().enumerate() {
+            if i == shard {
+                continue;
+            }
+            for (k, st) in other.data.read().iter() {
+                if !self.replicas_of(k).any(|r| r == shard) {
+                    continue;
+                }
+                match newest.get(k) {
+                    Some(seen) if seen.seq >= st.seq => {}
+                    _ => {
+                        newest.insert(k.clone(), st.clone());
+                    }
+                }
+            }
+        }
+        let mut repaired = 0usize;
+        let mut data = self.shards[shard].data.write();
+        for (k, st) in newest {
+            let stale = data.get(&k).is_none_or(|cur| cur.seq < st.seq);
+            if stale {
+                data.insert(k, st);
+                repaired += 1;
+            }
+        }
+        self.repaired_keys.add(repaired as u64);
+        repaired
+    }
+
+    /// DEL — returns whether the key existed on any reachable replica.
     pub fn del(&self, key: &str) -> bool {
         let t = megate_obs::start();
-        let s = &self.shards[self.shard_of(key)];
-        s.queries.fetch_add(1, Ordering::Relaxed);
-        s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
-        self.wire_bytes.add(key.len() as u64);
-        let hit = s.data.write().remove(key).is_some();
-        s.latency.record_elapsed(t);
-        hit
+        let mut existed = false;
+        for shard_idx in self.replicas_of(key) {
+            let s = &self.shards[shard_idx];
+            s.queries.fetch_add(1, Ordering::Relaxed);
+            s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
+            self.wire_bytes.add(key.len() as u64);
+            if s.is_down() {
+                continue;
+            }
+            existed |= s.data.write().remove(key).is_some();
+            s.latency.record_elapsed(t);
+        }
+        existed
     }
 
     /// Total queries served across shards.
@@ -412,6 +714,28 @@ impl TeDatabase {
         Some(u64::from_be_bytes(bytes))
     }
 
+    /// [`latest_version`](Self::latest_version) that distinguishes "no
+    /// version yet" from an unreachable or corrupted version record —
+    /// a resilient poll loop retries the latter instead of concluding
+    /// nothing was published.
+    pub fn latest_version_checked(&self) -> Result<Option<u64>, ShardOutage> {
+        let outcome = self.fetch_outcome(&TeKey::Version)?;
+        if outcome.corrupted {
+            return Err(ShardOutage { shard: outcome.served_by });
+        }
+        match outcome.value {
+            None => Ok(None),
+            Some(v) => {
+                let bytes: [u8; 8] = match v.try_into() {
+                    Ok(b) => b,
+                    // Malformed record: treat as unreadable, retry.
+                    Err(_) => return Err(ShardOutage { shard: outcome.served_by }),
+                };
+                Ok(Some(u64::from_be_bytes(bytes)))
+            }
+        }
+    }
+
     /// Fetches one entry of a full-republish configuration version.
     pub fn fetch_config(&self, version: u64, key: &str) -> Option<Vec<u8>> {
         self.get(&config_key(version, key))
@@ -434,10 +758,11 @@ impl TeDatabase {
     }
 }
 
-/// A shard was unreachable — the client's connection failed.
+/// A shard was unreachable — the client's connection failed. With
+/// replication this means *every* replica of the key was unreachable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardOutage {
-    /// Which shard was down.
+    /// The key's primary shard.
     pub shard: usize,
 }
 
@@ -460,6 +785,15 @@ fn fnv(data: &[u8]) -> u64 {
         h = h.wrapping_mul(0x100000001b3);
     }
     h
+}
+
+/// SplitMix64 — the deterministic mixer behind fault rolls and the
+/// fault-plan generator (no `rand` dependency on this crate).
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -552,12 +886,23 @@ mod tests {
     fn record_change_appends_and_dedupes() {
         let db = TeDatabase::new(2);
         assert!(db.changelog(3).is_none());
-        db.record_change(3, 1);
-        db.record_change(3, 4);
-        db.record_change(3, 4); // idempotent re-publish
+        db.record_change(3, 1).unwrap();
+        db.record_change(3, 4).unwrap();
+        db.record_change(3, 4).unwrap(); // idempotent re-publish
         let log = db.changelog(3).unwrap();
         assert_eq!(log.versions, vec![1, 4]);
         assert_eq!(log.complete_since, 0);
+    }
+
+    #[test]
+    fn record_change_refuses_to_clobber_during_outage() {
+        let db = TeDatabase::new(1);
+        db.record_change(3, 1).unwrap();
+        db.set_shard_down(0, true);
+        assert!(db.record_change(3, 2).is_err(), "unreachable log must error");
+        db.set_shard_down(0, false);
+        db.record_change(3, 2).unwrap();
+        assert_eq!(db.changelog(3).unwrap().versions, vec![1, 2]);
     }
 
     #[test]
@@ -565,7 +910,7 @@ mod tests {
         let db = TeDatabase::new(2);
         for v in [1u64, 3, 5, 9] {
             db.put(&TeKey::Delta { endpoint: 2, version: v }, vec![v as u8]);
-            db.record_change(2, v);
+            db.record_change(2, v).unwrap();
         }
         let removed = db.gc_endpoint_before(2, 5);
         assert_eq!(removed, 3);
@@ -644,6 +989,148 @@ mod tests {
         let b = a.clone();
         a.set("k", vec![5]);
         assert_eq!(b.get("k"), Some(vec![5]));
+    }
+
+    #[test]
+    fn replicated_reads_fail_over_to_a_live_replica() {
+        let db = TeDatabase::with_replication(3, 2);
+        db.set("k", vec![7]);
+        let primary = db.shard_of("k");
+        db.set_shard_down(primary, true);
+        // The replica still serves the value.
+        assert_eq!(db.get("k"), Some(vec![7]));
+        let out = db.read_outcome("k").unwrap();
+        assert!(out.failed_over);
+        assert_ne!(out.served_by, primary);
+        assert_eq!(out.value, Some(vec![7]));
+    }
+
+    #[test]
+    fn replicated_read_fails_only_when_all_replicas_down() {
+        let db = TeDatabase::with_replication(3, 2);
+        db.set("k", vec![7]);
+        let replicas: Vec<usize> = db.replicas_of("k").collect();
+        assert_eq!(replicas.len(), 2);
+        for &r in &replicas {
+            db.set_shard_down(r, true);
+        }
+        assert!(db.read_outcome("k").is_err());
+        assert_eq!(db.get("k"), None);
+    }
+
+    #[test]
+    fn recovery_repairs_missed_writes_last_writer_wins() {
+        let db = TeDatabase::with_replication(4, 2);
+        db.set("k", vec![1]);
+        let primary = db.shard_of("k");
+        db.set_shard_down(primary, true);
+        // Written while the primary is dark: lands on the replica only.
+        db.set("k", vec![2]);
+        db.set_shard_down(primary, false); // auto-repair
+        // Take the replica down: the repaired primary must serve the
+        // *newer* value, not its stale pre-outage copy.
+        let replicas: Vec<usize> = db.replicas_of("k").collect();
+        db.set_shard_down(replicas[1], true);
+        assert_eq!(db.get("k"), Some(vec![2]), "repair must copy the newer write");
+    }
+
+    #[test]
+    fn slow_shard_surfaces_injected_latency() {
+        let db = TeDatabase::new(1);
+        db.set("k", vec![1]);
+        db.set_shard_slow(0, 5_000);
+        let out = db.read_outcome("k").unwrap();
+        assert_eq!(out.injected_ns, 5_000);
+        db.set_shard_slow(0, 0);
+        assert_eq!(db.read_outcome("k").unwrap().injected_ns, 0);
+    }
+
+    #[test]
+    fn lossy_shard_fails_reads_at_roughly_the_injected_rate() {
+        let db = TeDatabase::new(1);
+        db.set("k", vec![1]);
+        db.set_fault_seed(42);
+        db.set_shard_loss(0, 300_000); // 30%
+        let failures = (0..2000).filter(|_| db.read_outcome("k").is_err()).count();
+        let rate = failures as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "loss rate {rate}");
+        db.set_shard_loss(0, 0);
+        assert!(db.read_outcome("k").is_ok());
+    }
+
+    #[test]
+    fn corrupt_reads_flag_and_damage_the_value() {
+        let db = TeDatabase::new(1);
+        db.set("k", vec![0xAA, 0xBB, 0xCC]);
+        db.set_fault_seed(7);
+        db.set_shard_corrupt(0, 1_000_000); // every read
+        let out = db.read_outcome("k").unwrap();
+        assert!(out.corrupted);
+        let damaged = out.value.unwrap();
+        assert_eq!(damaged.len(), 3);
+        let diff: u8 = damaged
+            .iter()
+            .zip([0xAA, 0xBB, 0xCC])
+            .map(|(a, b)| a ^ b)
+            .fold(0, |acc, d| acc | d);
+        assert_eq!(diff.count_ones(), 1, "exactly one flipped bit");
+        // The stored value itself is intact.
+        db.set_shard_corrupt(0, 0);
+        assert_eq!(db.get("k"), Some(vec![0xAA, 0xBB, 0xCC]));
+    }
+
+    #[test]
+    fn fault_rolls_replay_identically_per_seed() {
+        let run = |seed: u64| {
+            let db = TeDatabase::new(1);
+            db.set("k", vec![1, 2, 3, 4]);
+            db.set_fault_seed(seed);
+            db.set_shard_loss(0, 200_000);
+            db.set_shard_corrupt(0, 200_000);
+            (0..100)
+                .map(|_| match db.read_outcome("k") {
+                    Err(_) => 0u8,
+                    Ok(o) if o.corrupted => 1,
+                    Ok(_) => 2,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn clear_faults_restores_health() {
+        let db = TeDatabase::with_replication(3, 2);
+        db.set("k", vec![1]);
+        db.set_shard_down(0, true);
+        db.set_shard_slow(1, 500);
+        db.set_shard_loss(2, 1000);
+        assert!(db.any_fault_active());
+        db.clear_faults();
+        assert!(!db.any_fault_active());
+        assert_eq!(db.get("k"), Some(vec![1]));
+    }
+
+    #[test]
+    fn latest_version_checked_reports_outage_not_absence() {
+        let db = TeDatabase::new(1);
+        assert_eq!(db.latest_version_checked(), Ok(None));
+        db.publish_version(4);
+        assert_eq!(db.latest_version_checked(), Ok(Some(4)));
+        db.set_shard_down(0, true);
+        assert!(db.latest_version_checked().is_err());
+        assert_eq!(db.latest_version(), None, "unchecked poll stays silent");
+    }
+
+    #[test]
+    fn set_checked_reports_totally_lost_writes() {
+        let db = TeDatabase::with_replication(2, 2);
+        assert!(db.set_checked("k", vec![1]).is_ok());
+        db.set_shard_down(0, true);
+        assert!(db.set_checked("k", vec![2]).is_ok(), "one replica is enough");
+        db.set_shard_down(1, true);
+        assert!(db.set_checked("k", vec![3]).is_err(), "write lost everywhere");
     }
 
     #[test]

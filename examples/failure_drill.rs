@@ -27,7 +27,7 @@ fn main() {
         catalog,
         megate::SystemConfig::default(),
     );
-    system.bring_up(&demands);
+    system.bring_up(&demands).expect("hosts come up");
 
     // Interval 1: normal operation.
     let r1 = system.run_controller_interval(&demands).expect("solve");

@@ -12,9 +12,12 @@ if [[ "$SCALE" == "--quick" ]]; then
   cargo test -q --test control_loop
   cargo test -q -p megate-obs
   cargo test -q --test observability
+  cargo test -q --test chaos
   cargo run -q -p megate-bench --release --bin fig09_runtime -- --scale quick
+  cargo run -q -p megate-bench --release --bin fig_resilience -- --scale quick
   echo "================================================================"
-  echo "Smoke run done. JSON in results/ (incl. BENCH_fig09.json metrics)."
+  echo "Smoke run done. JSON in results/ (incl. BENCH_fig09.json and"
+  echo "BENCH_resilience.json metrics)."
   exit 0
 fi
 BINS=(
@@ -22,6 +25,7 @@ BINS=(
   fig09_runtime fig10_satisfied fig11_latency fig12_failures
   fig13_connections fig14_sync_scale
   fig15_app_latency fig16_availability fig17_cost
+  fig_resilience
   ablations ext_hybrid_sync ext_prediction
 )
 cargo build -p megate-bench --release --bins

@@ -10,6 +10,9 @@ cargo test -q
 # the compiled-out `disabled` feature (record paths must vanish).
 cargo test -q -p megate-obs
 cargo test -q -p megate-obs --features disabled
+# The chaos harness: seeded fault storms against the full control loop
+# (bounded staleness, zero blackholing, replayable by seed).
+cargo test -q --test chaos
 cargo clippy --workspace -- -D warnings
 
 echo "================================================================"

@@ -85,7 +85,7 @@ fn stale_agents_catch_up_on_next_poll() {
     );
     demands.scale_to_load(&graph, 0.5);
     let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).unwrap();
 
     // Three controller intervals with no pulls in between: agents skip
     // straight to the latest version on their next poll.
@@ -145,7 +145,7 @@ fn shard_outage_stalls_then_agents_converge_on_recovery() {
     );
     demands.scale_to_load(&graph, 0.5);
     let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).unwrap();
     sys.run_controller_interval(&demands).unwrap();
     let full = sys.agents_pull();
     assert!(full > 0);
@@ -182,7 +182,7 @@ fn corrupted_delta_records_keep_old_paths() {
         catalog.clone(),
         megate::SystemConfig::default(),
     );
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).unwrap();
     sys.run_controller_interval(&demands).unwrap();
     sys.agents_pull();
     let labelled_before = sys.send_demand_packets(&demands).sr_labelled;
@@ -231,7 +231,7 @@ fn steady_state_delta_publishing_cuts_published_bytes_5x() {
     );
     demands.scale_to_load(&graph, 0.5);
     let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).unwrap();
     let db = sys.database().clone();
 
     // Cold interval: every configured endpoint is new, so the publish

@@ -26,7 +26,7 @@ fn build_system(load: f64) -> (MegaTeSystem, DemandSet, Graph, TunnelTable) {
 #[test]
 fn delivered_latency_matches_assigned_tunnel() {
     let (mut sys, demands, _graph, tunnels) = build_system(0.4);
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).unwrap();
     let report = sys.run_controller_interval(&demands).unwrap();
     sys.agents_pull();
     let traffic = sys.send_demand_packets(&demands);
@@ -56,7 +56,7 @@ fn unassigned_flows_still_delivered_by_ecmp_fallback() {
     // Overload the network: some flows are rejected by TE, but the WAN
     // still carries their packets conventionally (best-effort).
     let (mut sys, demands, _, _) = build_system(4.0);
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).unwrap();
     let report = sys.run_controller_interval(&demands).unwrap();
     sys.agents_pull();
     let traffic = sys.send_demand_packets(&demands);
@@ -72,7 +72,7 @@ fn unassigned_flows_still_delivered_by_ecmp_fallback() {
 #[test]
 fn failure_recompute_routes_around_dead_links() {
     let (mut sys, demands, graph, tunnels) = build_system(0.5);
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).unwrap();
     sys.run_controller_interval(&demands).unwrap();
     sys.agents_pull();
 
@@ -97,7 +97,7 @@ fn failure_recompute_routes_around_dead_links() {
 #[test]
 fn two_intervals_converge_to_latest_version() {
     let (mut sys, demands, _, _) = build_system(0.5);
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).unwrap();
     sys.run_controller_interval(&demands).unwrap();
     sys.agents_pull();
     let r2 = sys.run_controller_interval(&demands).unwrap();
@@ -115,7 +115,7 @@ fn closed_loop_measured_demands_feed_the_next_interval() {
     // measurements -> solves it. The measured matrix must cover the
     // same endpoint pairs that actually sent traffic.
     let (mut sys, demands, _, _) = build_system(0.5);
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).unwrap();
     sys.send_demand_packets(&demands);
 
     let measured = sys.measure_demands(std::time::Duration::from_secs(300), |_| {
@@ -150,7 +150,7 @@ fn megate_latency_beats_ecmp_for_qos1() {
     // (QoS-1) traffic sees lower latency under MegaTE's placement than
     // under hash-based spreading.
     let (mut sys, demands, graph, tunnels) = build_system(0.5);
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).unwrap();
 
     // ECMP-only pass (no TE configs pulled).
     let before = sys.send_demand_packets(&demands);

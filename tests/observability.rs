@@ -29,7 +29,7 @@ fn run_probe() {
     );
     demands.scale_to_load(&graph, 0.4);
     let mut sys = MegaTeSystem::new(graph, tunnels, catalog, SystemConfig::default());
-    sys.bring_up(&demands);
+    sys.bring_up(&demands).unwrap();
     sys.run_controller_interval(&demands).expect("probe interval solves");
     assert!(sys.agents_pull() > 0);
     let traffic = sys.send_demand_packets(&demands);
@@ -79,6 +79,25 @@ fn end_to_end_cycle_populates_every_layer() {
     // Data plane delivered frames; the fleet converged after the pull.
     assert!(snap.counters.get("dataplane.frames_delivered").copied().unwrap_or(0) > 0);
     assert_eq!(snap.gauges.get("controller.config_staleness").copied(), Some(0));
+
+    // Resilience series are registered at construction, so they must
+    // be present (at zero) even on a fault-free probe — a chaos run
+    // only moves them.
+    for ctr in ["tedb.failover_reads", "agent.retries", "controller.fallback_publishes"] {
+        assert!(
+            snap.counters.contains_key(ctr),
+            "resilience counter {ctr} must be registered up front"
+        );
+    }
+    assert!(
+        snap.gauges.contains_key("agent.degraded_endpoints"),
+        "degradation gauge must be registered up front"
+    );
+    assert_eq!(
+        snap.gauges.get("agent.degraded_endpoints").copied(),
+        Some(0),
+        "nobody degrades on a healthy probe"
+    );
 }
 
 #[test]
