@@ -12,7 +12,10 @@
 //! * [`failure_sim`] — satisfied demand across a link-failure +
 //!   recompute window (§6.3, Figure 12);
 //! * [`production`] — the production-style placement comparison behind
-//!   Figures 15–17 (latency, availability, cost per app).
+//!   Figures 15–17 (latency, availability, cost per app);
+//! * [`workers`] — the multi-core batched host-stack drivers (§5,
+//!   DESIGN.md §5d): seeded traffic generation, per-core SPSC rings,
+//!   and the batched-vs-single-frame comparison behind `fig_dataplane`.
 
 pub mod ecmp;
 pub mod failure_sim;
@@ -22,6 +25,7 @@ pub mod network;
 pub mod production;
 pub mod queueing;
 pub mod router;
+pub mod workers;
 
 pub use ecmp::{ecmp_tunnel, ecmp_tunnel_seeded};
 pub use failure_sim::{satisfied_under_failure, FailureWindow};
@@ -30,3 +34,7 @@ pub use interval::{replay_intervals, IntervalInput, IntervalMetrics, IntervalSol
 pub use network::{HostRegistry, RouteOutcome, WanNetwork};
 pub use queueing::{effective_latency_ms, queueing_delay_factor};
 pub use router::{route_decision, RouterDecision};
+pub use workers::{
+    install_profile, run_batched, run_single_frame, RunReport, Trace, TrafficGen, TrafficProfile,
+    WorkerConfig,
+};

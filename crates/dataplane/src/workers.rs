@@ -1,0 +1,716 @@
+//! Multi-core batched data-plane drivers (DESIGN.md §5d).
+//!
+//! Ties the layers of the batched fast path together: a seeded
+//! deterministic [`TrafficGen`] builds a frame trace, a producer shards
+//! frames to N worker cores over lock-free SPSC rings (RSS-style, by a
+//! hash of the inner IP pair so all fragments of a datagram land on one
+//! core), and each worker drains [`megate_packet::FrameBatch`]es
+//! through [`SimKernel::tc_egress_batch`] against its private
+//! [`CpuShard`], merging on a sync tick. [`run_single_frame`] is the
+//! frame-at-a-time baseline the `fig_dataplane` bench compares against;
+//! `tests/dataplane_batch.rs` asserts both paths leave identical
+//! shared-map state.
+
+use megate_hoststack::{CpuShard, InstanceId, Pid, SimKernel, TcStats};
+use megate_packet::{FiveTuple, FrameBatch, MegaTeFrameSpec, Proto};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// SPSC ring
+// ---------------------------------------------------------------------
+
+/// A bounded lock-free single-producer/single-consumer ring.
+///
+/// One cache-friendly slot array indexed by free-running head/tail
+/// counters; the producer writes a slot then releases `tail`, the
+/// consumer takes a slot then releases `head`. Safety rests on the
+/// handle split below: [`Producer`] and [`Consumer`] are not `Clone`,
+/// so each side has exactly one thread.
+struct SpscRing<T> {
+    slots: Box<[UnsafeCell<Option<T>>]>,
+    /// Next slot the consumer will take (free-running).
+    head: AtomicUsize,
+    /// Next slot the producer will fill (free-running).
+    tail: AtomicUsize,
+}
+
+// The slot at `i` is touched by exactly one side at a time: the
+// producer before the tail release at `i`, the consumer after it.
+unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+/// Producer handle of an SPSC ring (exactly one per ring).
+pub struct Producer<T> {
+    ring: Arc<SpscRing<T>>,
+}
+
+/// Consumer handle of an SPSC ring (exactly one per ring).
+pub struct Consumer<T> {
+    ring: Arc<SpscRing<T>>,
+}
+
+/// Create a bounded SPSC ring with `capacity` slots.
+pub fn spsc_ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring needs capacity");
+    let slots = (0..capacity).map(|_| UnsafeCell::new(None)).collect();
+    let ring = Arc::new(SpscRing {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (Producer { ring: Arc::clone(&ring) }, Consumer { ring })
+}
+
+impl<T> Producer<T> {
+    /// Try to enqueue; hands the value back when the ring is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail - head == ring.slots.len() {
+            return Err(value);
+        }
+        let slot = &ring.slots[tail % ring.slots.len()];
+        unsafe { *slot.get() = Some(value) };
+        ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Try to dequeue; `None` when the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &ring.slots[head % ring.slots.len()];
+        let value = unsafe { (*slot.get()).take() };
+        ring.head.store(head + 1, Ordering::Release);
+        value
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic traffic generation
+// ---------------------------------------------------------------------
+
+/// Shape of the synthetic egress workload.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficProfile {
+    /// Distinct five-tuples in the trace (kept far below `traffic_map`
+    /// capacity so LRU pressure cannot skew the equivalence check).
+    pub flows: usize,
+    /// Virtual instances the flows are spread over.
+    pub instances: usize,
+    /// Out of 1000 flows, how many have a TE path installed (and so
+    /// receive an SR header at egress).
+    pub routed_per_mille: u32,
+    /// Out of 1000 frames, how many are emitted as a first+second
+    /// fragment pair (two frames, consecutively).
+    pub frag_per_mille: u32,
+    /// Out of 1000 frames, how many are non-VXLAN noise the TC chain
+    /// must pass untouched.
+    pub noise_per_mille: u32,
+    /// Inner payload bytes per frame.
+    pub payload_len: usize,
+}
+
+impl Default for TrafficProfile {
+    fn default() -> Self {
+        Self {
+            flows: 2048,
+            instances: 128,
+            routed_per_mille: 500,
+            frag_per_mille: 30,
+            noise_per_mille: 20,
+            payload_len: 256,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn flow_tuple(i: usize) -> FiveTuple {
+    FiveTuple {
+        src_ip: [10, 1, (i >> 8) as u8, i as u8],
+        dst_ip: [10, 128 + ((i >> 10) & 0x3F) as u8, (i >> 4) as u8, (i & 0xF) as u8],
+        proto: Proto::Udp,
+        src_port: 10_000 + (i % 40_000) as u16,
+        dst_port: 443,
+    }
+}
+
+/// The shard key the producer hashes frames on: the inner IP pair,
+/// i.e. what NIC RSS sees. Fragments carry no ports, so keying on the
+/// IP pair (not the full five-tuple) keeps every fragment of a datagram
+/// on the same worker — the ordering precondition of §5d.
+fn shard_key(t: &FiveTuple) -> u64 {
+    let mut h = u64::from(u32::from_be_bytes(t.src_ip)) << 32
+        | u64::from(u32::from_be_bytes(t.dst_ip));
+    // One splitmix round to spread adjacent addresses across cores.
+    splitmix64(&mut h)
+}
+
+/// A pre-generated deterministic frame trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Raw egress frames, in arrival order.
+    pub frames: Vec<Vec<u8>>,
+    /// Per-frame shard key (RSS hash of the inner IP pair).
+    pub shard_keys: Vec<u64>,
+    /// The profile the trace was generated from.
+    pub profile: TrafficProfile,
+}
+
+impl Trace {
+    /// Frames in the trace.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when the trace holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// Seeded deterministic egress traffic generator.
+///
+/// Same seed + profile → byte-identical trace, which is what makes the
+/// batched-vs-serial equivalence test meaningful. Fragment pairs get a
+/// globally unique IP-ID from a counter so trace-level `frag_map`
+/// behaviour never depends on hash collisions.
+#[derive(Debug)]
+pub struct TrafficGen {
+    rng: u64,
+    profile: TrafficProfile,
+    next_ipid: u16,
+}
+
+impl TrafficGen {
+    /// A generator for `profile` seeded with `seed`.
+    pub fn new(seed: u64, profile: TrafficProfile) -> Self {
+        Self { rng: seed ^ 0xD6E8_FEB8_6659_FD93, profile, next_ipid: 1 }
+    }
+
+    /// Generate a trace of at least `frames` frames (fragment pairs may
+    /// add one extra at the boundary).
+    pub fn generate(&mut self, frames: usize) -> Trace {
+        let p = self.profile;
+        let mut out = Trace {
+            frames: Vec::with_capacity(frames + 1),
+            shard_keys: Vec::with_capacity(frames + 1),
+            profile: p,
+        };
+        let mut noise_seq = 0u64;
+        while out.frames.len() < frames {
+            let roll = splitmix64(&mut self.rng) % 1000;
+            if roll < u64::from(p.noise_per_mille) {
+                // Non-VXLAN noise: plain bytes the parser must reject.
+                let mut junk = vec![0u8; 60];
+                let fill = splitmix64(&mut self.rng);
+                junk[..8].copy_from_slice(&fill.to_be_bytes());
+                out.frames.push(junk);
+                // Round-robin noise across cores.
+                out.shard_keys.push(noise_seq);
+                noise_seq += 1;
+                continue;
+            }
+            let flow = (splitmix64(&mut self.rng) as usize) % p.flows;
+            let tuple = flow_tuple(flow);
+            let key = shard_key(&tuple);
+            let vni = 1 + (flow % p.instances) as u32;
+            if roll < u64::from(p.noise_per_mille) + u64::from(p.frag_per_mille) {
+                // A fragmented datagram: first fragment (ports visible,
+                // MF set) then the follow-on fragment (offset > 0).
+                let ipid = self.next_ipid;
+                self.next_ipid = self.next_ipid.wrapping_add(1).max(1);
+                let mut first = MegaTeFrameSpec::simple(tuple, vni, None);
+                first.inner_ipid = ipid;
+                first.inner_fragment = (0, true);
+                first.payload_len = p.payload_len;
+                let mut second = MegaTeFrameSpec::simple(tuple, vni, None);
+                second.inner_ipid = ipid;
+                second.inner_fragment = (1480, false);
+                second.payload_len = p.payload_len / 2;
+                out.frames.push(first.build());
+                out.shard_keys.push(key);
+                out.frames.push(second.build());
+                out.shard_keys.push(key);
+            } else {
+                let mut spec = MegaTeFrameSpec::simple(tuple, vni, None);
+                spec.payload_len = p.payload_len;
+                out.frames.push(spec.build());
+                out.shard_keys.push(key);
+            }
+        }
+        out
+    }
+}
+
+/// Install the profile's control state on a kernel: every flow gets an
+/// owning instance (`env_map`/`contk_map` → `inf_map`), and the routed
+/// share gets a 3-hop TE path in `path_map`.
+pub fn install_profile(kernel: &SimKernel, profile: &TrafficProfile) {
+    for flow in 0..profile.flows {
+        let tuple = flow_tuple(flow);
+        let instance = InstanceId(1 + (flow % profile.instances) as u64);
+        let pid = Pid(1000 + flow as u32);
+        kernel.spawn_process(instance, pid).expect("env_map sized for profile");
+        kernel.open_connection(pid, tuple).expect("contk_map sized for profile");
+        if (flow as u32) % 1000 < profile.routed_per_mille {
+            kernel
+                .maps()
+                .path_map
+                .update((instance, tuple.dst_ip), vec![2, 7, 11])
+                .expect("path_map sized for profile");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------
+
+/// What one driver run measured.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Frames processed.
+    pub frames: usize,
+    /// Wall-clock for the processing loop.
+    pub elapsed: std::time::Duration,
+    /// Throughput in frames per second, from wall-clock. On a machine
+    /// with fewer hardware threads than configured cores this measures
+    /// scheduler time-slicing, not the pipeline — see
+    /// [`pipeline_frames_per_sec`](Self::pipeline_frames_per_sec).
+    pub frames_per_sec: f64,
+    /// Thread CPU time the producer spent sharding and pushing frames,
+    /// excluding time blocked on full rings (backpressure, not work).
+    pub producer_busy: std::time::Duration,
+    /// The busiest worker's thread CPU time (batch processing + sync
+    /// ticks). Workers share nothing between sync ticks, so the slowest
+    /// worker bounds steady-state throughput.
+    pub max_worker_busy: std::time::Duration,
+    /// Modeled steady-state throughput: `frames / max(producer_busy,
+    /// max_worker_busy)`. With as many hardware threads as configured
+    /// cores the stages overlap and this is what wall-clock converges
+    /// to; it is the honest multi-core number when the bench host has
+    /// fewer physical cores than the sweep point. Equals the wall-clock
+    /// figure for the single-frame path.
+    pub pipeline_frames_per_sec: f64,
+    /// Median per-frame latency in nanoseconds (per-batch time divided
+    /// by batch length for the batched path).
+    pub ns_per_frame_p50: u64,
+    /// 99th-percentile per-frame latency in nanoseconds.
+    pub ns_per_frame_p99: u64,
+    /// Kernel TC counters accumulated by this run.
+    pub stats: TcStats,
+}
+
+/// Per-thread CPU time in nanoseconds.
+///
+/// Stage busy times are measured on this clock, not wall-clock, so they
+/// exclude involuntary preemption: when the bench host has fewer
+/// hardware threads than configured cores, an `Instant` span around a
+/// batch silently includes every other thread's scheduler quantum and
+/// the modeled pipeline throughput becomes noise.
+#[cfg(target_os = "linux")]
+fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+    // Safety: Timespec matches the libc layout on 64-bit Linux and the
+    // pointer is valid for the duration of the call.
+    unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// Fallback for hosts without a per-thread CPU clock: monotonic time
+/// (busy figures then include preemption, like plain wall-clock spans).
+#[cfg(not(target_os = "linux"))]
+fn thread_cpu_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH.get_or_init(std::time::Instant::now).elapsed().as_nanos() as u64
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn report(
+    frames: usize,
+    elapsed: std::time::Duration,
+    producer_busy: std::time::Duration,
+    max_worker_busy: std::time::Duration,
+    mut samples: Vec<u64>,
+    stats: TcStats,
+) -> RunReport {
+    samples.sort_unstable();
+    let secs = elapsed.as_secs_f64();
+    let bottleneck = producer_busy.max(max_worker_busy).as_secs_f64();
+    RunReport {
+        frames,
+        elapsed,
+        frames_per_sec: if secs > 0.0 { frames as f64 / secs } else { f64::INFINITY },
+        producer_busy,
+        max_worker_busy,
+        pipeline_frames_per_sec: if bottleneck > 0.0 {
+            frames as f64 / bottleneck
+        } else {
+            f64::INFINITY
+        },
+        ns_per_frame_p50: quantile(&samples, 0.50),
+        ns_per_frame_p99: quantile(&samples, 0.99),
+        stats,
+    }
+}
+
+/// The frame-at-a-time baseline: every frame through
+/// [`SimKernel::tc_egress`], shared maps touched per frame.
+pub fn run_single_frame(kernel: &SimKernel, trace: &Trace) -> RunReport {
+    let frames_ctr = megate_obs::counter("dataplane.frames");
+    let lat = megate_obs::histogram("dataplane.single.ns_per_frame");
+    let before = kernel.stats();
+    let mut samples = Vec::with_capacity(trace.len() / 64 + 1);
+    let start = std::time::Instant::now();
+    let cpu0 = thread_cpu_ns();
+    // Time in 64-frame chunks so clock-read overhead amortizes the same
+    // way it does per batch on the batched path.
+    for chunk in trace.frames.chunks(64) {
+        let t0 = std::time::Instant::now();
+        for frame in chunk {
+            let mut f = frame.clone();
+            kernel.tc_egress(&mut f);
+        }
+        let ns = t0.elapsed().as_nanos() as u64 / chunk.len() as u64;
+        samples.push(ns);
+        lat.record(ns);
+    }
+    let busy = std::time::Duration::from_nanos(thread_cpu_ns().saturating_sub(cpu0));
+    let elapsed = start.elapsed();
+    frames_ctr.add(trace.len() as u64);
+    let after = kernel.stats();
+    // The single-frame path is one stage on one thread: the whole loop
+    // (frame copy included — the batched path's producer does the same
+    // copy into the arena) is its busy time.
+    report(trace.len(), elapsed, busy, busy, samples, diff_stats(before, after))
+}
+
+fn diff_stats(before: TcStats, after: TcStats) -> TcStats {
+    TcStats {
+        frames: after.frames - before.frames,
+        sr_inserted: after.sr_inserted - before.sr_inserted,
+        attributed: after.attributed - before.attributed,
+        fragments_resolved: after.fragments_resolved - before.fragments_resolved,
+        accounting_misses: after.accounting_misses - before.accounting_misses,
+    }
+}
+
+/// Knobs of the batched multi-core driver.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerConfig {
+    /// Worker cores (one SPSC ring + one [`CpuShard`] each).
+    pub cores: usize,
+    /// Frames per [`FrameBatch`] handed to a worker.
+    pub batch_size: usize,
+    /// Batches a worker processes between sync ticks.
+    pub sync_every: usize,
+    /// Ring capacity in batches.
+    pub ring_depth: usize,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self { cores: 4, batch_size: 64, sync_every: 16, ring_depth: 64 }
+    }
+}
+
+/// The batched multi-core path: the producer shards the trace by RSS
+/// key onto per-core SPSC rings; each worker drains batches through
+/// [`SimKernel::tc_egress_batch`] on its private [`CpuShard`], syncing
+/// every [`WorkerConfig::sync_every`] batches and once at the end, so
+/// the shared maps end up complete when this returns.
+pub fn run_batched(kernel: &SimKernel, trace: &Trace, cfg: WorkerConfig) -> RunReport {
+    assert!(cfg.cores > 0 && cfg.batch_size > 0 && cfg.sync_every > 0);
+    let frames_ctr = megate_obs::counter("dataplane.frames");
+    let batches_ctr = megate_obs::counter("dataplane.batches");
+    let stall_ctr = megate_obs::counter("dataplane.ring_full_stalls");
+    let lat = megate_obs::histogram("dataplane.batch.ns_per_frame");
+    megate_obs::gauge("dataplane.cores").set(cfg.cores as i64);
+
+    let before = kernel.stats();
+    let mut producers = Vec::with_capacity(cfg.cores);
+    let mut consumers = Vec::with_capacity(cfg.cores);
+    for _ in 0..cfg.cores {
+        let (p, c) = spsc_ring::<FrameBatch>(cfg.ring_depth);
+        producers.push(p);
+        consumers.push(c);
+    }
+
+    let start = std::time::Instant::now();
+    let (results, producer_busy): (Vec<(Vec<u64>, u64)>, std::time::Duration) =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(cfg.cores);
+            for consumer in consumers {
+                let kernel = &*kernel;
+                let lat = lat.clone();
+                let batches_ctr = batches_ctr.clone();
+                handles.push(scope.spawn(move || {
+                    let mut cpu = CpuShard::new();
+                    let mut samples = Vec::new();
+                    let mut busy_ns = 0u64;
+                    let mut since_sync = 0usize;
+                    loop {
+                        let Some(mut batch) = consumer.pop() else {
+                            // Yield rather than spin: with more workers
+                            // than hardware threads a pure spin starves
+                            // the producer for whole scheduler quanta.
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        if batch.is_empty() {
+                            break; // producer's end-of-stream sentinel
+                        }
+                        let n = batch.len();
+                        let t0 = std::time::Instant::now();
+                        let c0 = thread_cpu_ns();
+                        kernel.tc_egress_batch(&mut batch, &mut cpu);
+                        busy_ns += thread_cpu_ns().saturating_sub(c0);
+                        let per_frame = t0.elapsed().as_nanos() as u64 / n as u64;
+                        samples.push(per_frame);
+                        lat.record(per_frame);
+                        batches_ctr.inc();
+                        since_sync += 1;
+                        if since_sync >= cfg.sync_every {
+                            let c0 = thread_cpu_ns();
+                            kernel.sync_cpu(&mut cpu);
+                            busy_ns += thread_cpu_ns().saturating_sub(c0);
+                            since_sync = 0;
+                        }
+                    }
+                    let c0 = thread_cpu_ns();
+                    kernel.sync_cpu(&mut cpu);
+                    busy_ns += thread_cpu_ns().saturating_sub(c0);
+                    (samples, busy_ns)
+                }));
+            }
+
+            // Producer (this thread): shard frames onto per-core batches.
+            // Time blocked on full rings is tracked separately — it is
+            // backpressure from workers, not producer work. Arenas are
+            // sized from the trace's mean frame length (+ headroom) so
+            // steady-state batch building never reallocates.
+            let total_bytes: usize = trace.frames.iter().map(Vec::len).sum();
+            let frame_hint = total_bytes / trace.len().max(1) + 64;
+            let mut building: Vec<FrameBatch> = (0..cfg.cores)
+                .map(|_| FrameBatch::with_capacity(cfg.batch_size, frame_hint))
+                .collect();
+            let mut wait_ns = 0u64;
+            let mut send = |core: usize, batch: FrameBatch, producers: &[Producer<FrameBatch>]| {
+                let mut pending = batch;
+                if let Err(b) = producers[core].push(pending) {
+                    let blocked = thread_cpu_ns();
+                    stall_ctr.inc();
+                    pending = b;
+                    loop {
+                        std::thread::yield_now();
+                        match producers[core].push(pending) {
+                            Ok(()) => break,
+                            Err(b) => {
+                                stall_ctr.inc();
+                                pending = b;
+                            }
+                        }
+                    }
+                    wait_ns += thread_cpu_ns().saturating_sub(blocked);
+                }
+            };
+            let produce_cpu0 = thread_cpu_ns();
+            for (frame, key) in trace.frames.iter().zip(&trace.shard_keys) {
+                let core = (key % cfg.cores as u64) as usize;
+                building[core].push(frame);
+                if building[core].len() >= cfg.batch_size {
+                    let full = std::mem::replace(
+                        &mut building[core],
+                        FrameBatch::with_capacity(cfg.batch_size, frame_hint),
+                    );
+                    send(core, full, &producers);
+                }
+            }
+            for (core, batch) in building.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    send(core, batch, &producers);
+                }
+                send(core, FrameBatch::new(), &producers); // sentinel
+            }
+            let produce_ns = thread_cpu_ns().saturating_sub(produce_cpu0);
+            let busy = std::time::Duration::from_nanos(produce_ns.saturating_sub(wait_ns));
+            let results = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect();
+            (results, busy)
+        });
+    let elapsed = start.elapsed();
+    frames_ctr.add(trace.len() as u64);
+    let after = kernel.stats();
+    let max_worker_busy = std::time::Duration::from_nanos(
+        results.iter().map(|(_, busy)| *busy).max().unwrap_or(0),
+    );
+    let merged: Vec<u64> = results.into_iter().flat_map(|(samples, _)| samples).collect();
+    report(
+        trace.len(),
+        elapsed,
+        producer_busy,
+        max_worker_busy,
+        merged,
+        diff_stats(before, after),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spsc_ring_is_fifo_and_bounded() {
+        let (p, c) = spsc_ring::<u32>(2);
+        assert!(p.push(1).is_ok());
+        assert!(p.push(2).is_ok());
+        assert_eq!(p.push(3), Err(3));
+        assert_eq!(c.pop(), Some(1));
+        assert!(p.push(3).is_ok());
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), Some(3));
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn spsc_ring_cross_thread_delivery() {
+        let (p, c) = spsc_ring::<usize>(8);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..10_000 {
+                    let mut v = i;
+                    loop {
+                        match p.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut expected = 0;
+            while expected < 10_000 {
+                if let Some(v) = c.pop() {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn trace_generation_is_deterministic() {
+        let profile = TrafficProfile::default();
+        let a = TrafficGen::new(42, profile).generate(2000);
+        let b = TrafficGen::new(42, profile).generate(2000);
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.shard_keys, b.shard_keys);
+        let c = TrafficGen::new(43, profile).generate(2000);
+        assert_ne!(a.frames, c.frames, "different seed, different trace");
+    }
+
+    #[test]
+    fn trace_contains_all_advertised_kinds() {
+        let profile = TrafficProfile {
+            frag_per_mille: 100,
+            noise_per_mille: 100,
+            ..TrafficProfile::default()
+        };
+        let trace = TrafficGen::new(7, profile).generate(4000);
+        let mut noise = 0;
+        let mut frags = 0;
+        for f in &trace.frames {
+            match megate_packet::parse_megate_frame(f) {
+                Err(_) => noise += 1,
+                Ok(p) => {
+                    if matches!(p.inner_flow, megate_packet::FlowKey::Fragment { .. }) {
+                        frags += 1;
+                    }
+                }
+            }
+        }
+        assert!(noise > 0, "no noise frames generated");
+        assert!(frags > 0, "no fragment frames generated");
+    }
+
+    #[test]
+    fn fragment_pairs_share_a_shard_key() {
+        let profile = TrafficProfile { frag_per_mille: 200, ..TrafficProfile::default() };
+        let trace = TrafficGen::new(11, profile).generate(2000);
+        for i in 0..trace.len() {
+            if let Ok(p) = megate_packet::parse_megate_frame(&trace.frames[i]) {
+                if matches!(p.inner_flow, megate_packet::FlowKey::Fragment { .. }) {
+                    assert_eq!(
+                        trace.shard_keys[i],
+                        trace.shard_keys[i - 1],
+                        "fragment at {i} not colocated with its first fragment"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_driver_matches_serial_driver() {
+        let profile = TrafficProfile { flows: 256, ..TrafficProfile::default() };
+        let trace = TrafficGen::new(1234, profile).generate(5000);
+
+        let serial = SimKernel::new();
+        install_profile(&serial, &profile);
+        let serial_report = run_single_frame(&serial, &trace);
+
+        let batched = SimKernel::new();
+        install_profile(&batched, &profile);
+        let cfg = WorkerConfig { cores: 3, batch_size: 32, sync_every: 4, ring_depth: 16 };
+        let batched_report = run_batched(&batched, &trace, cfg);
+
+        let mut a = serial.maps().traffic_map.snapshot();
+        let mut b = batched.maps().traffic_map.snapshot();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "traffic_map state must be identical");
+        assert_eq!(serial_report.stats, batched_report.stats, "TC counters must match");
+        assert!(batched_report.stats.sr_inserted > 0, "workload must exercise SR path");
+        assert!(batched_report.stats.fragments_resolved > 0);
+    }
+}

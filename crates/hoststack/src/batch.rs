@@ -1,0 +1,345 @@
+//! Per-CPU shard-local accumulators for the batched TC fast path
+//! (DESIGN.md §5d).
+//!
+//! The single-frame TC chain takes the shared-map write lock once per
+//! frame; at millions of frames per second over N cores that lock is
+//! the bottleneck, not the parsing. The batched path gives each worker
+//! core a private [`CpuShard`]: flow bytes and fragment seeds
+//! accumulate in thread-local hash maps with no synchronization at
+//! all, and a periodic **sync tick** ([`CpuShard::merge_into`]) folds
+//! them into the shared [`HostMaps`] under one lock acquisition per
+//! map. Because flow accounting is additive (`bytes += len`) the final
+//! `traffic_map` totals are bitwise identical to the single-frame
+//! path's, whatever the merge cadence — `tests/dataplane_batch.rs`
+//! proves it on mixed traces.
+//!
+//! Fragment resolution stays **ordered within a worker**: a non-first
+//! fragment first consults the local overlay (seeds from earlier
+//! frames of this worker not yet merged), then the shared `frag_map`.
+//! Keeping all fragments of a datagram on one core — what NIC RSS
+//! hashing on the IP pair does in production — therefore preserves the
+//! single-frame path's resolution behaviour exactly.
+
+use crate::kernel::TcStats;
+use crate::programs::HostMaps;
+use crate::ringbuf::TelemetryEvent;
+use megate_packet::FiveTuple;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style multiply-xor hasher for the shard-local maps.
+///
+/// Shard accumulators are private to one thread and never face
+/// adversarial keys, so the hot path skips SipHash's DoS hardening —
+/// five-tuple hashing is a large share of per-frame batch cost.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(26) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        let mut last = 0u64;
+        for &b in chunks.remainder() {
+            last = last << 8 | u64::from(b);
+        }
+        self.add(last);
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+pub(crate) type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Summary of one [`process_batch`](crate::programs::process_batch)
+/// call — the batch-granular analogue of the per-frame
+/// [`TcVerdict`](crate::kernel::TcVerdict).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Frames in the batch.
+    pub frames: usize,
+    /// Frames that parsed as VXLAN (billable).
+    pub vxlan_frames: usize,
+    /// Frames that left with a freshly inserted SR header.
+    pub sr_inserted: usize,
+    /// Frames attributed to an instance (`inf_map` hit).
+    pub attributed: usize,
+    /// Non-first fragments resolved (local overlay or shared map).
+    pub fragments_resolved: usize,
+    /// Frames whose bytes could not be billed (orphan fragments).
+    pub accounting_misses: usize,
+}
+
+/// One worker core's private accumulator state.
+///
+/// Lives on the worker's stack/thread; never shared. All recording is
+/// plain hash-map mutation, merged into the shared maps on the sync
+/// tick. Scratch buffers for the per-batch lookup pass live here too,
+/// so steady-state batch processing allocates nothing.
+#[derive(Debug, Default)]
+pub struct CpuShard {
+    /// Locally accumulated `5tuple → bytes` deltas.
+    pub(crate) traffic: FxMap<FiveTuple, u64>,
+    /// Locally seeded `ipid → 5tuple` fragment resolutions, pending
+    /// merge; doubles as the in-order overlay for non-first fragments
+    /// arriving before the next sync tick.
+    pub(crate) frag: FxMap<u16, FiveTuple>,
+    /// Local TC counters since the last merge.
+    pub(crate) stats: TcStats,
+    /// Orphan-fragment subset of the misses in `stats`, tracked apart
+    /// because the process-wide metrics split it out.
+    pub(crate) frag_orphans: u64,
+    /// Telemetry events (SR insertions) queued for the next merge.
+    pub(crate) events: Vec<TelemetryEvent>,
+    /// `5tuple → instance` lookup cache, memoized across the sync
+    /// epoch: the shared `inf_map` is consulted at most once per
+    /// distinct tuple between merges (control-plane reads are
+    /// epoch-granular by design — §5d).
+    pub(crate) inf_cache: FxMap<FiveTuple, Option<crate::kernel::InstanceId>>,
+    /// `(instance, dst) → SR hops` lookup cache, memoized across the
+    /// sync epoch like `inf_cache`.
+    pub(crate) path_cache:
+        FxMap<(crate::kernel::InstanceId, [u8; 4]), Option<Vec<u32>>>,
+    /// Per-batch scratch: resolved billing tuple per frame.
+    pub(crate) tuples: Vec<Option<FiveTuple>>,
+    /// Per-batch scratch: reusable descriptor array for
+    /// [`SimKernel::tc_egress_batch`](crate::kernel::SimKernel::tc_egress_batch).
+    pub(crate) descs: Vec<megate_packet::FrameDescriptor>,
+}
+
+impl CpuShard {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flow-byte entries waiting for the next sync tick.
+    pub fn pending_flows(&self) -> usize {
+        self.traffic.len()
+    }
+
+    /// Fragment seeds waiting for the next sync tick.
+    pub fn pending_frags(&self) -> usize {
+        self.frag.len()
+    }
+
+    /// Local TC counters accumulated since the last merge.
+    pub fn stats(&self) -> TcStats {
+        self.stats
+    }
+
+    /// The sync tick: folds everything accumulated since the last
+    /// merge into the shared maps, publishes queued telemetry, and
+    /// returns (and resets) the local [`TcStats`] delta.
+    ///
+    /// Flow bytes are *added* to `traffic_map` (additive merge — order
+    /// across shards cannot change totals) under one lock acquisition
+    /// for the whole shard ([`crate::EbpfMap::upsert_many_with`]); fragment
+    /// seeds are folded into `frag_map` the same way. A merge that
+    /// fails on a full plain-hash map counts accounting misses exactly
+    /// like the single-frame path. `NewFlow` telemetry fires here, for
+    /// tuples the shared map had not seen — batch-path flow discovery
+    /// is sync-tick-granular by design (§5d). The epoch-scoped
+    /// `inf_map`/`path_map` caches are invalidated, so the next batch
+    /// re-reads control state.
+    pub fn merge_into(&mut self, maps: &HostMaps) -> TcStats {
+        let span = megate_obs::span("hoststack.batch.merge");
+        let events = &mut self.events;
+        let rejected = maps.traffic_map.upsert_many_with(
+            self.traffic.drain(),
+            |total, bytes| *total += bytes,
+            |tuple| events.push(TelemetryEvent::NewFlow { tuple: *tuple }),
+        );
+        self.stats.accounting_misses += rejected as u64;
+        events.extend((0..rejected).map(|_| TelemetryEvent::AccountingMiss));
+        let frag_rejected = maps.frag_map.upsert_many_with(
+            self.frag.drain(),
+            |cur, tuple| *cur = tuple,
+            |_| {},
+        );
+        self.stats.accounting_misses += frag_rejected as u64;
+        maps.telemetry.publish_all(self.events.drain(..));
+        maps.tc_metrics.add_batch(&self.stats, self.frag_orphans);
+        self.frag_orphans = 0;
+        self.inf_cache.clear();
+        self.path_cache.clear();
+        drop(span);
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{InstanceId, Pid, SimKernel};
+    use megate_packet::{FrameBatch, MegaTeFrameSpec, Proto};
+
+    fn tuple(port: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: [10, 0, 0, 1],
+            dst_ip: [10, 9, 9, 9],
+            proto: Proto::Udp,
+            src_port: port,
+            dst_port: 443,
+        }
+    }
+
+    /// Two kernels, same frames: one per-frame, one batched+merged.
+    /// Shared-map state must come out identical.
+    #[test]
+    fn batched_path_matches_single_frame_path() {
+        let serial = SimKernel::new();
+        let batched = SimKernel::new();
+        for k in [&serial, &batched] {
+            k.spawn_process(InstanceId(7), Pid(1)).unwrap();
+            k.open_connection(Pid(1), tuple(1)).unwrap();
+            k.maps().path_map.update((InstanceId(7), tuple(1).dst_ip), vec![3, 1]).unwrap();
+        }
+
+        let mut frames = Vec::new();
+        // Labelled flow, unlabelled flow, fragment pair, noise.
+        frames.push(MegaTeFrameSpec::simple(tuple(1), 5, None).build());
+        frames.push(MegaTeFrameSpec::simple(tuple(2), 5, None).build());
+        let mut first = MegaTeFrameSpec::simple(tuple(1), 5, None);
+        first.inner_ipid = 0xBEEF;
+        first.inner_fragment = (0, true);
+        frames.push(first.build());
+        let mut second = MegaTeFrameSpec::simple(tuple(1), 5, None);
+        second.inner_ipid = 0xBEEF;
+        second.inner_fragment = (1480, false);
+        frames.push(second.build());
+        frames.push(vec![0xAA; 60]);
+
+        let mut serial_frames = frames.clone();
+        for f in &mut serial_frames {
+            serial.tc_egress(f);
+        }
+
+        let mut batch = FrameBatch::new();
+        for f in &frames {
+            batch.push(f);
+        }
+        let mut cpu = CpuShard::new();
+        let summary = batched.tc_egress_batch(&mut batch, &mut cpu);
+        assert_eq!(summary.frames, 5);
+        assert_eq!(summary.vxlan_frames, 4);
+        assert_eq!(summary.fragments_resolved, 1);
+        // Nothing shared until the sync tick.
+        assert!(batched.maps().traffic_map.is_empty());
+        batched.sync_cpu(&mut cpu);
+
+        let mut a = serial.maps().traffic_map.snapshot();
+        let mut b = batched.maps().traffic_map.snapshot();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "traffic_map totals must match bitwise");
+        assert_eq!(
+            serial.maps().frag_map.snapshot().len(),
+            batched.maps().frag_map.snapshot().len()
+        );
+        assert_eq!(serial.stats(), batched.stats());
+        // Rewritten frames are byte-identical too.
+        for (i, f) in serial_frames.iter().enumerate() {
+            assert_eq!(batch.frame(i), &f[..], "frame {i}");
+        }
+    }
+
+    #[test]
+    fn fragment_resolves_through_local_overlay_before_merge() {
+        let k = SimKernel::new();
+        let mut cpu = CpuShard::new();
+        let mut first = MegaTeFrameSpec::simple(tuple(9), 3, None);
+        first.inner_ipid = 0x0101;
+        first.inner_fragment = (0, true);
+        let mut second = MegaTeFrameSpec::simple(tuple(9), 3, None);
+        second.inner_ipid = 0x0101;
+        second.inner_fragment = (1480, false);
+
+        // First fragment in one batch, second in the next — no sync
+        // tick in between: the overlay must carry the seed across.
+        let mut b1 = FrameBatch::new();
+        b1.push(&first.build());
+        k.tc_egress_batch(&mut b1, &mut cpu);
+        let mut b2 = FrameBatch::new();
+        b2.push(&second.build());
+        let s = k.tc_egress_batch(&mut b2, &mut cpu);
+        assert_eq!(s.fragments_resolved, 1);
+        assert_eq!(s.accounting_misses, 0);
+        assert_eq!(cpu.pending_frags(), 1);
+        k.sync_cpu(&mut cpu);
+        assert!(k.maps().frag_map.lookup(&0x0101).is_some());
+    }
+
+    #[test]
+    fn merge_counts_misses_on_full_map_like_serial_path() {
+        let maps = HostMaps {
+            traffic_map: crate::maps::EbpfMap::new("tiny", 1),
+            ..HostMaps::new()
+        };
+        let k = SimKernel::with_maps(maps);
+        let mut cpu = CpuShard::new();
+        let mut batch = FrameBatch::new();
+        batch.push(&MegaTeFrameSpec::simple(tuple(1), 3, None).build());
+        batch.push(&MegaTeFrameSpec::simple(tuple(2), 3, None).build());
+        k.tc_egress_batch(&mut batch, &mut cpu);
+        let delta = k.sync_cpu(&mut cpu);
+        assert_eq!(delta.accounting_misses, 1, "second flow cannot fit");
+        assert_eq!(k.stats().accounting_misses, 1);
+    }
+
+    #[test]
+    fn new_flow_telemetry_fires_once_per_flow_at_merge() {
+        let k = SimKernel::new();
+        let mut cpu = CpuShard::new();
+        let mut batch = FrameBatch::new();
+        for _ in 0..3 {
+            batch.push(&MegaTeFrameSpec::simple(tuple(4), 3, None).build());
+        }
+        k.tc_egress_batch(&mut batch, &mut cpu);
+        k.sync_cpu(&mut cpu);
+        let new_flows = k
+            .maps()
+            .telemetry
+            .drain()
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::NewFlow { .. }))
+            .count();
+        assert_eq!(new_flows, 1, "one NewFlow for three frames of one flow");
+    }
+}

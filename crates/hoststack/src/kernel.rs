@@ -28,11 +28,22 @@ impl fmt::Display for InstanceId {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KernelEvent {
     /// `sys_enter_execve` fired for a process of an instance.
-    Execve { pid: Pid, instance: InstanceId },
+    Execve {
+        /// The process that called execve.
+        pid: Pid,
+        /// The instance that owns it.
+        instance: InstanceId,
+    },
     /// `ctnetlink_conntrack_event` fired for a new connection.
-    Conntrack { pid: Pid },
+    Conntrack {
+        /// The process that opened the connection.
+        pid: Pid,
+    },
     /// A frame traversed the TC egress hook.
-    TcEgress { verdict: TcVerdict },
+    TcEgress {
+        /// Outcome of the egress program chain.
+        verdict: TcVerdict,
+    },
 }
 
 /// Outcome of the TC egress program chain for one frame.
@@ -183,6 +194,43 @@ impl SimKernel {
             stats.sr_inserted += 1;
         }
         verdict
+    }
+
+    /// Runs the batched TC egress fast path: parses the whole batch
+    /// into flat descriptors in one pass, then hands it to
+    /// [`programs::process_batch`] against the worker's
+    /// [`CpuShard`](crate::batch::CpuShard).
+    ///
+    /// Accounting lands in the shard, not the shared maps — call
+    /// [`sync_cpu`](Self::sync_cpu) to merge. Frames may grow in place
+    /// (vectorized SR splice).
+    pub fn tc_egress_batch(
+        &self,
+        batch: &mut megate_packet::FrameBatch,
+        cpu: &mut crate::batch::CpuShard,
+    ) -> crate::batch::BatchSummary {
+        let parse = megate_obs::span("hoststack.batch.parse");
+        let mut descs = std::mem::take(&mut cpu.descs);
+        megate_packet::parse_batch(batch, &mut descs);
+        drop(parse);
+        let summary = programs::process_batch(&self.maps, batch, &descs, cpu);
+        cpu.descs = descs;
+        summary
+    }
+
+    /// The sync tick for one worker core: merges the shard's
+    /// accumulated flow bytes, fragment seeds, and telemetry into the
+    /// shared maps, and folds its counters into the kernel-wide
+    /// [`TcStats`]. Returns the merged delta.
+    pub fn sync_cpu(&self, cpu: &mut crate::batch::CpuShard) -> TcStats {
+        let delta = cpu.merge_into(&self.maps);
+        let mut stats = self.stats.lock();
+        stats.frames += delta.frames;
+        stats.sr_inserted += delta.sr_inserted;
+        stats.attributed += delta.attributed;
+        stats.fragments_resolved += delta.fragments_resolved;
+        stats.accounting_misses += delta.accounting_misses;
+        delta
     }
 
     /// Runs the TC ingress chain on a received frame: strips the MegaTE

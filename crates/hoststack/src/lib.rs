@@ -19,15 +19,25 @@
 //! Map types mirror eBPF semantics: bounded capacity, explicit
 //! lookup/update/delete, shared between "kernel" programs and the
 //! user-space [`agent::EndpointAgent`].
+//!
+//! Two execution models share that logic: the frame-at-a-time TC chain
+//! ([`SimKernel::tc_egress`]) and the multi-core batched fast path
+//! ([`SimKernel::tc_egress_batch`] + [`batch::CpuShard`]), which
+//! accumulates accounting in per-CPU shards merged on a sync tick and
+//! produces bitwise-identical `traffic_map` totals (DESIGN.md §5d).
+
+#![warn(missing_docs)]
 
 pub mod agent;
+pub mod batch;
 pub mod kernel;
 pub mod maps;
 pub mod programs;
 pub mod ringbuf;
 
 pub use agent::{EndpointAgent, FlowRecord, PathInstall, PathMapEntry};
-pub use kernel::{InstanceId, KernelEvent, Pid, SimKernel, TcVerdict};
+pub use batch::{BatchSummary, CpuShard};
+pub use kernel::{InstanceId, KernelEvent, Pid, SimKernel, TcStats, TcVerdict};
 pub use maps::{EbpfMap, MapError, MapKind};
 pub use programs::HostMaps;
 pub use ringbuf::{RingBuffer, TelemetryEvent};

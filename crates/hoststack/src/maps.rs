@@ -187,6 +187,52 @@ impl<K: Eq + Hash + Clone, V: Clone> EbpfMap<K, V> {
         Ok(())
     }
 
+    /// Bulk read-modify-write under a **single** lock acquisition — the
+    /// sync-tick merge path of the batched TC chain (DESIGN.md §5d).
+    ///
+    /// For each `(key, value)` pair: an existing entry is combined via
+    /// `combine(&mut current, value)`; a new key is inserted (calling
+    /// `on_new` — the batched path's new-flow detection hook), subject
+    /// to the same capacity rule as [`update`](Self::update): a full
+    /// plain-hash map rejects the new key (counted in the returned
+    /// total), a full LRU map evicts. Per-entry semantics are identical
+    /// to calling [`upsert_with`](Self::upsert_with) in a loop; only
+    /// the locking is amortized.
+    pub fn upsert_many_with(
+        &self,
+        entries: impl IntoIterator<Item = (K, V)>,
+        mut combine: impl FnMut(&mut V, V),
+        mut on_new: impl FnMut(&K),
+    ) -> usize {
+        let mut g = self.inner.write();
+        let mut rejected = 0usize;
+        let mut inserted = 0i64;
+        for (key, value) in entries {
+            g.tick += 1;
+            let tick = g.tick;
+            if let Some(entry) = g.data.get_mut(&key) {
+                entry.1 = tick;
+                combine(&mut entry.0, value);
+                continue;
+            }
+            if g.data.len() >= self.max_entries {
+                match self.kind {
+                    MapKind::Hash => {
+                        rejected += 1;
+                        continue;
+                    }
+                    MapKind::LruHash => evict_lru(&mut g),
+                }
+            } else {
+                inserted += 1;
+            }
+            on_new(&key);
+            g.data.insert(key, (value, tick));
+        }
+        self.occupancy.add(inserted);
+        rejected
+    }
+
     /// Deletes an entry.
     pub fn delete(&self, key: &K) -> Result<V, MapError> {
         let removed = self.inner.write().data.remove(key);

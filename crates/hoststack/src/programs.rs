@@ -6,10 +6,12 @@
 //! | `ctnetlink_conntrack_event` kprobe | [`on_conntrack`] | `contk_map`, `env_map` → `inf_map` |
 //! | TC egress | [`tc_egress_chain`] | `traffic_map`, `frag_map`, `inf_map`, `path_map` |
 
+use crate::batch::{BatchSummary, CpuShard};
 use crate::kernel::{InstanceId, Pid, TcStats, TcVerdict};
 use crate::maps::{EbpfMap, MapError};
 use megate_packet::{
-    insert_sr_header, parse_megate_frame, FiveTuple, FlowKey, Result as WireResult,
+    insert_sr_header, parse_megate_frame, srheader::MAX_HOPS, FiveTuple, FlowKey, FrameBatch,
+    FrameDescriptor, Result as WireResult,
 };
 
 /// The per-host map set with the names and roles of Figure 6.
@@ -64,6 +66,16 @@ impl TcMetrics {
             frag_resolved: megate_obs::counter("hoststack.frag_resolved"),
             sr_inserted: megate_obs::counter("hoststack.sr_inserted"),
         }
+    }
+
+    /// Folds a shard's accumulated counters in at sync-tick time — the
+    /// batched path touches these process-wide counters once per merge,
+    /// not once per frame.
+    pub(crate) fn add_batch(&self, stats: &TcStats, frag_orphans: u64) {
+        self.accounting_misses.add(stats.accounting_misses);
+        self.frag_resolved.add(stats.fragments_resolved);
+        self.frag_orphans.add(frag_orphans);
+        self.sr_inserted.add(stats.sr_inserted);
     }
 }
 
@@ -188,6 +200,135 @@ pub fn tc_egress_chain(
         hops: hops.len() as u8,
     });
     Ok(TcVerdict::PassWithSr)
+}
+
+/// The batched TC egress fast path: one map-lookup pass per batch,
+/// shard-local accounting, vectorized SR insertion.
+///
+/// Semantically this is [`tc_egress_chain`] applied to every frame of
+/// the batch, restructured for multi-core throughput (DESIGN.md §5d):
+///
+/// 1. **Collect** — resolve each descriptor's billing tuple and
+///    accumulate bytes into the shard-local `traffic` map. First
+///    fragments seed the shard's fragment overlay; non-first fragments
+///    resolve through the overlay first (preserving in-order semantics
+///    within the worker), then the shared `frag_map`.
+/// 2. **Lookup** — a memoized pass over `inf_map`/`path_map`: each
+///    distinct tuple (or `(instance, dst)` pair) is looked up at most
+///    once per *sync epoch*, however many frames or batches share it.
+///    The caches are dropped at merge time, so a changed TE path is
+///    picked up on the next epoch — the same granularity at which the
+///    shard publishes its accounting.
+/// 3. **SR** — all insertions applied in one gather/scatter rebuild of
+///    the arena ([`FrameBatch::apply_sr`]), byte-identical to serial
+///    [`insert_sr_header`] calls.
+///
+/// Nothing is written to the shared maps here; that happens on the sync
+/// tick ([`CpuShard::merge_into`]). Because flow accounting is
+/// additive, the post-merge `traffic_map` state is identical to the
+/// single-frame path's (`tests/dataplane_batch.rs` asserts it
+/// bitwise). Non-VXLAN noise frames are counted and passed untouched,
+/// like the single-frame path's `NotVxlan` verdict.
+pub fn process_batch(
+    maps: &HostMaps,
+    batch: &mut FrameBatch,
+    descs: &[FrameDescriptor],
+    cpu: &mut CpuShard,
+) -> BatchSummary {
+    debug_assert_eq!(batch.len(), descs.len(), "descriptor array must match batch");
+    let mut summary = BatchSummary { frames: descs.len(), ..BatchSummary::default() };
+    cpu.stats.frames += descs.len() as u64;
+
+    // --- Stage 1: flow collection into the shard-local accumulators ---
+    let collect = megate_obs::span("hoststack.batch.collect");
+    cpu.tuples.clear();
+    for desc in descs {
+        if !desc.vxlan {
+            cpu.tuples.push(None);
+            continue;
+        }
+        summary.vxlan_frames += 1;
+        let tuple = match desc.flow {
+            Some(FlowKey::Tuple { tuple, first_fragment, ipid }) => {
+                if first_fragment {
+                    // Seed the shard-local overlay; the shared frag_map
+                    // gets it on the next sync tick.
+                    cpu.frag.insert(ipid, tuple);
+                }
+                Some(tuple)
+            }
+            Some(FlowKey::Fragment { ipid }) => {
+                // Overlay first: a first fragment seen earlier on this
+                // worker (even in this very batch) must resolve, just
+                // as it would frame-by-frame.
+                match cpu.frag.get(&ipid).copied().or_else(|| maps.frag_map.lookup(&ipid)) {
+                    Some(t) => {
+                        summary.fragments_resolved += 1;
+                        cpu.stats.fragments_resolved += 1;
+                        Some(t)
+                    }
+                    None => {
+                        summary.accounting_misses += 1;
+                        cpu.stats.accounting_misses += 1;
+                        cpu.frag_orphans += 1;
+                        None
+                    }
+                }
+            }
+            None => None,
+        };
+        if let Some(t) = tuple {
+            *cpu.traffic.entry(t).or_insert(0) += desc.inner_ip_len as u64;
+        }
+        cpu.tuples.push(tuple);
+    }
+    drop(collect);
+
+    // --- Stage 2: memoized lookup pass over inf_map/path_map ---
+    // The shard caches persist across batches within the sync epoch and
+    // are invalidated at merge time, so control-plane updates become
+    // visible at epoch granularity (§5d).
+    let lookup = megate_obs::span("hoststack.batch.lookup");
+    let mut sr_keys: Vec<Option<(InstanceId, [u8; 4])>> = vec![None; descs.len()];
+    for (i, desc) in descs.iter().enumerate() {
+        let Some(t) = cpu.tuples[i] else { continue };
+        if desc.has_sr {
+            // Already labelled — leave as is (same as the serial path).
+            continue;
+        }
+        let instance = *cpu.inf_cache.entry(t).or_insert_with(|| maps.inf_map.lookup(&t));
+        let Some(instance) = instance else { continue };
+        summary.attributed += 1;
+        cpu.stats.attributed += 1;
+        let key = (instance, t.dst_ip);
+        let hops = cpu.path_cache.entry(key).or_insert_with(|| maps.path_map.lookup(&key));
+        if hops.as_ref().is_some_and(|h| h.len() <= MAX_HOPS) {
+            sr_keys[i] = Some(key);
+        }
+    }
+    drop(lookup);
+
+    // --- Stage 3: vectorized SR insertion ---
+    let sr_span = megate_obs::span("hoststack.batch.sr");
+    let plans: Vec<Option<&[u32]>> = sr_keys
+        .iter()
+        .map(|k| k.and_then(|key| cpu.path_cache.get(&key).and_then(|v| v.as_deref())))
+        .collect();
+    // All plan targets were pre-validated above, so this cannot fail.
+    let inserted = batch
+        .apply_sr(descs, &plans)
+        .expect("pre-validated SR plans");
+    summary.sr_inserted = inserted;
+    cpu.stats.sr_inserted += inserted as u64;
+    for key in sr_keys.into_iter().flatten() {
+        let hops = cpu.path_cache[&key].as_ref().map_or(0, Vec::len);
+        cpu.events.push(crate::ringbuf::TelemetryEvent::SrInserted {
+            instance: key.0,
+            hops: hops as u8,
+        });
+    }
+    drop(sr_span);
+    summary
 }
 
 /// The TC ingress program at the destination host: if the frame carries

@@ -70,6 +70,25 @@ impl RingBuffer {
         true
     }
 
+    /// Producer side, batched: publish a run of events under a single
+    /// lock acquisition — the sync-tick analogue of
+    /// [`publish`](Self::publish). Events past capacity are dropped
+    /// and counted individually. Returns how many were accepted.
+    pub fn publish_all(&self, events: impl IntoIterator<Item = TelemetryEvent>) -> usize {
+        let mut g = self.inner.lock();
+        let mut accepted = 0;
+        for event in events {
+            if g.queue.len() >= self.capacity {
+                g.dropped += 1;
+                self.drop_ctr.inc();
+            } else {
+                g.queue.push_back(event);
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
     /// Consumer side: drain everything currently queued, in order.
     pub fn drain(&self) -> Vec<TelemetryEvent> {
         self.inner.lock().queue.drain(..).collect()

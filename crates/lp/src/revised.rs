@@ -13,7 +13,7 @@
 //! * an explicit basis inverse `B⁻¹` (dense `m × m`, column-major so
 //!   both FTRAN and BTRAN walk contiguous memory), updated in place by
 //!   the product-form (eta) rank-1 update on each pivot and rebuilt
-//!   from the basis by Gauss–Jordan every [`REFACTOR_EVERY`] pivots to
+//!   from the basis by Gauss–Jordan every `REFACTOR_EVERY` pivots to
 //!   bound numerical drift;
 //! * the full reduced-cost vector, updated incrementally per pivot in
 //!   `O(m + nnz(A))` from row `p` of `B⁻¹` instead of re-priced from

@@ -4,7 +4,7 @@
 //!
 //! * **Metrics** — sharded atomic [`Counter`]s, [`Gauge`]s, and
 //!   log2-bucketed [`Histogram`]s with lock-free record paths and
-//!   mergeable [`Snapshot`]s ([`metrics`]).
+//!   mergeable [`Snapshot`]s.
 //! * **Spans** — `let _s = obs::span("lp.solve");` phase timers that
 //!   produce hierarchical per-phase runtime breakdowns ([`span`]).
 //! * **Exposition** — a named [`Registry`] rendering Prometheus text
@@ -23,6 +23,16 @@
 //! compiler deletes the instrumentation outright. Metric names use
 //! dot-separated `<crate>.<subsystem>.<metric>` (see DESIGN.md §5b for
 //! the full naming scheme and the exported-metric inventory).
+//!
+//! ## Relation to the paper
+//!
+//! The MegaTE paper (SIGCOMM 2024) evaluates its system with
+//! per-component runtime breakdowns (§7: solver time, sync traffic,
+//! host-stack overheads). This crate is the substrate those numbers
+//! flow through in the reproduction: every layer records into it and
+//! every `fig_*` bench binary snapshots it to `results/BENCH_*.json`.
+
+#![warn(missing_docs)]
 
 pub mod logger;
 

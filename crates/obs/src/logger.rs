@@ -13,17 +13,25 @@
 use std::fmt;
 use std::sync::OnceLock;
 
+/// Log severity, ordered so that a numeric threshold comparison
+/// (`level as u8 <= max`) implements filtering.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 #[repr(u8)]
 pub enum Level {
+    /// Unrecoverable or correctness-affecting problems.
     Error = 1,
+    /// Degraded but self-healing conditions (retries, fallbacks).
     Warn = 2,
+    /// Lifecycle and progress messages — the default threshold.
     Info = 3,
+    /// Per-iteration diagnostic detail, off by default.
     Debug = 4,
+    /// Firehose-grade detail (per-item, per-packet), off by default.
     Trace = 5,
 }
 
 impl Level {
+    /// The fixed-width uppercase name used in the log line prefix.
     pub fn as_str(self) -> &'static str {
         match self {
             Level::Error => "ERROR",
@@ -115,6 +123,8 @@ pub fn init_with_spec(spec: &str) {
     let _ = FILTER.set(Filter::parse(spec));
 }
 
+/// Whether a message at `level` for `target` would be emitted — use to
+/// guard expensive argument construction.
 #[inline]
 pub fn log_enabled(level: Level, target: &str) -> bool {
     level as u8 <= filter().level_for(target)

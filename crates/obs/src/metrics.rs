@@ -58,15 +58,18 @@ impl std::fmt::Debug for Counter {
 }
 
 impl Counter {
+    /// A fresh counter at zero, detached from any registry.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Add one.
     #[inline]
     pub fn inc(&self) {
         self.add(1);
     }
 
+    /// Add `n` to this thread's shard (one relaxed `fetch_add`).
     #[inline]
     pub fn add(&self, n: u64) {
         if !crate::enabled() {
@@ -98,10 +101,12 @@ impl std::fmt::Debug for Gauge {
 }
 
 impl Gauge {
+    /// A fresh gauge at zero, detached from any registry.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Overwrite the value (last write wins across threads).
     #[inline]
     pub fn set(&self, v: i64) {
         if !crate::enabled() {
@@ -110,6 +115,7 @@ impl Gauge {
         self.0.value.store(v, Relaxed);
     }
 
+    /// Adjust the value by a signed delta.
     #[inline]
     pub fn add(&self, delta: i64) {
         if !crate::enabled() {
@@ -118,11 +124,13 @@ impl Gauge {
         self.0.value.fetch_add(delta, Relaxed);
     }
 
+    /// Shorthand for `add(-delta)`.
     #[inline]
     pub fn sub(&self, delta: i64) {
         self.add(-delta);
     }
 
+    /// The current value.
     pub fn get(&self) -> i64 {
         self.0.value.load(Relaxed)
     }
@@ -160,10 +168,12 @@ impl std::fmt::Debug for Histogram {
 }
 
 impl Histogram {
+    /// A fresh empty histogram, detached from any registry.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Record one sample into its log2 bucket.
     #[inline]
     pub fn record(&self, v: u64) {
         if !crate::enabled() {
@@ -183,6 +193,7 @@ impl Histogram {
         }
     }
 
+    /// A point-in-time copy of the buckets, sum, and count.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.0.count.load(Relaxed),
@@ -195,8 +206,11 @@ impl Histogram {
 /// Point-in-time copy of a histogram; mergeable across shards/threads.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
+    /// Samples recorded.
     pub count: u64,
+    /// Sum of all recorded values (wrapping, like the live adds).
     pub sum: u64,
+    /// Occupancy per log2 bucket (see [`bucket_of`]).
     pub buckets: [u64; HIST_BUCKETS],
 }
 
@@ -207,6 +221,7 @@ impl Default for HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Fold another snapshot's samples into this one.
     pub fn merge(&mut self, other: &Self) {
         // Wrapping, to match the relaxed fetch_add semantics of the
         // live histogram (the sum of random u64 samples wraps too).
@@ -245,6 +260,8 @@ impl HistogramSnapshot {
         u64::MAX
     }
 
+    /// Arithmetic mean of recorded values (0.0 when empty; exact,
+    /// since the sum is tracked outside the buckets).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -258,8 +275,11 @@ impl HistogramSnapshot {
 /// name, in deterministic (sorted) order.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
+    /// Counter totals by metric name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values by metric name.
     pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by metric name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 

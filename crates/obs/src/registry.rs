@@ -12,6 +12,7 @@ use std::sync::RwLock;
 
 use crate::metrics::{Counter, Gauge, Histogram, Snapshot};
 
+/// A namespace of metrics: name → handle, created on first use.
 #[derive(Default)]
 pub struct Registry {
     counters: RwLock<BTreeMap<String, Counter>>,
@@ -31,6 +32,7 @@ fn get_or_create<T: Clone + Default>(map: &RwLock<BTreeMap<String, T>>, name: &s
 }
 
 impl Registry {
+    /// An empty registry (`const`, so it can back a `static`).
     pub const fn new() -> Self {
         Self {
             counters: RwLock::new(BTreeMap::new()),
@@ -46,10 +48,12 @@ impl Registry {
         get_or_create(&self.counters, name)
     }
 
+    /// Handle to the named gauge, creating it on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
         get_or_create(&self.gauges, name)
     }
 
+    /// Handle to the named histogram, creating it on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
         get_or_create(&self.histograms, name)
     }

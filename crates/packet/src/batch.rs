@@ -1,0 +1,473 @@
+//! Arena-backed frame batches and the single-pass batch parser — the
+//! data-plane fast path's memory layout (DESIGN.md §5d).
+//!
+//! The single-frame TC path handles one owned `Vec<u8>` at a time:
+//! every frame is its own allocation, every parse re-derives the same
+//! header offsets, and SR insertion `splice`s bytes in the middle of
+//! the buffer. At millions of frames per second that is allocator
+//! traffic and cache misses, not parsing. This module amortizes all of
+//! it:
+//!
+//! * [`FrameBatch`] — frames packed back-to-back in one reusable byte
+//!   arena, addressed by `(offset, len)` spans; pushing a frame is a
+//!   bump-pointer copy and clearing a batch frees nothing.
+//! * [`FrameDescriptor`] — the flat, `Copy` result of parsing one
+//!   frame: every offset and field the TC chain needs, no heap.
+//! * [`parse_batch`] — one pass over the arena filling a reusable
+//!   descriptor vector; each frame's headers are walked exactly once
+//!   (Ethernet → IPv4 → UDP → VXLAN → optional SR → inner Ethernet → inner
+//!   IPv4), and unlike [`crate::parse_megate_frame`] no hop vector is
+//!   allocated — the descriptor only records *whether* an SR header is
+//!   present and where one would be spliced.
+//! * [`FrameBatch::apply_sr`] — vectorized SR insertion: one
+//!   gather/scatter rebuild of the arena that splices every planned SR
+//!   header in a single pass, byte-identical to calling
+//!   [`crate::insert_sr_header`] per frame.
+
+use crate::ethernet::{EthernetFrame, ETHERTYPE_IPV4, HEADER_LEN as ETH_LEN};
+use crate::fivetuple::{classify_ipv4, FlowKey};
+use crate::ipv4::{Ipv4Packet, PROTO_UDP};
+use crate::srheader::{len_for_hops, SrHeader, MAX_HOPS};
+use crate::udp::{UdpDatagram, HEADER_LEN as UDP_LEN, VXLAN_PORT};
+use crate::vxlan::{VxlanHeader, HEADER_LEN as VXLAN_LEN};
+use crate::{Result, WireError};
+
+/// A batch of frames packed contiguously into one byte arena.
+///
+/// Frames are appended with [`push`](Self::push) and addressed by
+/// index; [`clear`](Self::clear) resets the batch while keeping both
+/// allocations, so a steady-state worker reuses the same two buffers
+/// for every batch it processes.
+#[derive(Debug, Clone, Default)]
+pub struct FrameBatch {
+    /// All frame bytes, back to back.
+    bytes: Vec<u8>,
+    /// Per-frame `(offset, len)` into `bytes`.
+    spans: Vec<(u32, u32)>,
+    /// Scratch arena for [`apply_sr`](Self::apply_sr) rebuilds, kept
+    /// around so repeated SR passes allocate nothing.
+    scratch: Vec<u8>,
+}
+
+impl FrameBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with arena space for `frames` frames of
+    /// `frame_len` bytes pre-reserved.
+    pub fn with_capacity(frames: usize, frame_len: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(frames * frame_len),
+            spans: Vec::with_capacity(frames),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Appends a frame (bump-pointer copy into the arena).
+    pub fn push(&mut self, frame: &[u8]) {
+        let off = self.bytes.len();
+        self.bytes.extend_from_slice(frame);
+        self.spans.push((off as u32, frame.len() as u32));
+    }
+
+    /// Number of frames in the batch.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when the batch holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total arena bytes currently used.
+    pub fn arena_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The `i`-th frame's bytes.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn frame(&self, i: usize) -> &[u8] {
+        let (off, len) = self.spans[i];
+        &self.bytes[off as usize..(off + len) as usize]
+    }
+
+    /// Mutable access to the `i`-th frame's bytes (fixed length — use
+    /// [`apply_sr`](Self::apply_sr) for size-changing rewrites).
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn frame_mut(&mut self, i: usize) -> &mut [u8] {
+        let (off, len) = self.spans[i];
+        &mut self.bytes[off as usize..(off + len) as usize]
+    }
+
+    /// Iterates over all frames in order.
+    pub fn frames(&self) -> impl Iterator<Item = &[u8]> {
+        self.spans
+            .iter()
+            .map(|&(off, len)| &self.bytes[off as usize..(off + len) as usize])
+    }
+
+    /// Empties the batch, retaining the arena allocations for reuse.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.spans.clear();
+    }
+
+    /// Vectorized SR insertion: splices an SR header into every frame
+    /// whose `plans` entry is `Some(hops)`, in one gather/scatter pass
+    /// over the arena. Each rewritten frame is byte-identical to what
+    /// [`crate::insert_sr_header`] would produce; `None` frames are
+    /// kept verbatim (their bytes are not even re-examined).
+    ///
+    /// `descs` must be the descriptors [`parse_batch`] produced for
+    /// this batch — the rebuild trusts their offsets. Returns the
+    /// number of frames that received a header.
+    ///
+    /// Frames planned for insertion must have parsed as VXLAN without
+    /// an existing SR header ([`WireError::Malformed`] otherwise, with
+    /// the batch left untouched); hop lists are bounded by
+    /// [`MAX_HOPS`].
+    pub fn apply_sr(
+        &mut self,
+        descs: &[FrameDescriptor],
+        plans: &[Option<&[u32]>],
+    ) -> Result<usize> {
+        assert_eq!(descs.len(), self.len(), "descriptor count must match batch");
+        assert_eq!(plans.len(), self.len(), "plan count must match batch");
+        // Validate before touching the arena so an error leaves the
+        // batch unchanged.
+        for (desc, plan) in descs.iter().zip(plans) {
+            if let Some(hops) = plan {
+                if !desc.vxlan || desc.has_sr || hops.len() > MAX_HOPS {
+                    return Err(WireError::Malformed);
+                }
+            }
+        }
+        let mut inserted = 0usize;
+        self.scratch.clear();
+        self.scratch.reserve(self.bytes.len());
+        let mut new_spans = Vec::with_capacity(self.spans.len());
+        for i in 0..self.spans.len() {
+            let (off, len) = self.spans[i];
+            let src = &self.bytes[off as usize..(off + len) as usize];
+            let new_off = self.scratch.len() as u32;
+            match plans[i] {
+                None => self.scratch.extend_from_slice(src),
+                Some(hops) => {
+                    let desc = &descs[i];
+                    let sr_at = desc.sr_insert_at as usize;
+                    let sr_len = len_for_hops(hops.len());
+                    // Gather: prefix, zeroed SR bytes, suffix.
+                    self.scratch.extend_from_slice(&src[..sr_at]);
+                    self.scratch.extend(std::iter::repeat_n(0u8, sr_len));
+                    self.scratch.extend_from_slice(&src[sr_at..]);
+                    let frame =
+                        &mut self.scratch[new_off as usize..new_off as usize + src.len() + sr_len];
+                    // Scatter: initialize the SR header, flag the VXLAN
+                    // header, and patch the outer lengths + checksum —
+                    // the same fix-ups `insert_sr_header` performs.
+                    SrHeader::new_checked(&mut frame[sr_at..])?.init(hops);
+                    let vxlan_at = sr_at - VXLAN_LEN;
+                    VxlanHeader::new_checked(&mut frame[vxlan_at..])?.set_megate_sr(true);
+                    let udp_at = ETH_LEN + desc.ip_header_len as usize;
+                    let mut udp = UdpDatagram::new_checked(&mut frame[udp_at..])?;
+                    let new_udp_len = udp.len() + sr_len as u16;
+                    udp.set_len(new_udp_len);
+                    let seg = &mut frame[ETH_LEN..];
+                    let total = u16::from_be_bytes([seg[2], seg[3]]) + sr_len as u16;
+                    seg[2..4].copy_from_slice(&total.to_be_bytes());
+                    Ipv4Packet::new_checked(seg)?.fill_checksum();
+                    inserted += 1;
+                }
+            }
+            new_spans.push((new_off, self.scratch.len() as u32 - new_off));
+        }
+        std::mem::swap(&mut self.bytes, &mut self.scratch);
+        self.spans = new_spans;
+        Ok(inserted)
+    }
+}
+
+/// The flat, heap-free result of parsing one frame of a batch.
+///
+/// Everything the TC chain needs to account and label the frame,
+/// pre-resolved to plain fields so the per-frame hot loop touches no
+/// wrapper types and performs no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameDescriptor {
+    /// True when the frame parsed as a well-formed VXLAN-in-UDP frame;
+    /// false for noise (non-IPv4, non-UDP, wrong port, truncated…),
+    /// in which case every other field is zeroed/meaningless and the
+    /// frame must pass untouched.
+    pub vxlan: bool,
+    /// VXLAN network identifier.
+    pub vni: u32,
+    /// Outer (underlay) IPv4 source.
+    pub outer_src_ip: [u8; 4],
+    /// Outer (underlay) IPv4 destination.
+    pub outer_dst_ip: [u8; 4],
+    /// Inner flow classification; `None` only when `vxlan` is false.
+    pub flow: Option<FlowKey>,
+    /// Inner IPv4 total length — what flow accounting bills.
+    pub inner_ip_len: u16,
+    /// True when the frame already carries a MegaTE SR header.
+    pub has_sr: bool,
+    /// Byte offset where an SR header sits (`has_sr`) or would be
+    /// spliced (directly after the VXLAN header).
+    pub sr_insert_at: u32,
+    /// Outer IPv4 header length (IHL × 4), needed by the SR splice to
+    /// find the UDP header again.
+    pub ip_header_len: u8,
+}
+
+impl FrameDescriptor {
+    /// The descriptor every non-VXLAN (noise) frame gets.
+    pub const NOISE: FrameDescriptor = FrameDescriptor {
+        vxlan: false,
+        vni: 0,
+        outer_src_ip: [0; 4],
+        outer_dst_ip: [0; 4],
+        flow: None,
+        inner_ip_len: 0,
+        has_sr: false,
+        sr_insert_at: 0,
+        ip_header_len: 0,
+    };
+}
+
+/// Parses one frame into a [`FrameDescriptor`], walking each header
+/// exactly once and allocating nothing. Malformed frames yield
+/// [`FrameDescriptor::NOISE`] rather than an error — on the TC fast
+/// path unparseable frames are forwarded untouched, never dropped.
+pub fn parse_descriptor(frame: &[u8]) -> FrameDescriptor {
+    parse_descriptor_inner(frame).unwrap_or(FrameDescriptor::NOISE)
+}
+
+fn parse_descriptor_inner(frame: &[u8]) -> Result<FrameDescriptor> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    if eth.ethertype() != ETHERTYPE_IPV4 {
+        return Err(WireError::Malformed);
+    }
+    let ip = Ipv4Packet::new_checked(eth.payload())?;
+    if ip.protocol() != PROTO_UDP {
+        return Err(WireError::Malformed);
+    }
+    let ip_header_len = ip.header_len();
+    let udp = UdpDatagram::new_checked(ip.payload())?;
+    if udp.dst_port() != VXLAN_PORT {
+        return Err(WireError::Malformed);
+    }
+    let vxlan = VxlanHeader::new_checked(udp.payload())?;
+    if !vxlan.vni_present() {
+        return Err(WireError::Malformed);
+    }
+    let sr_insert_at = ETH_LEN + ip_header_len + UDP_LEN + VXLAN_LEN;
+    let (has_sr, inner_bytes) = if vxlan.has_megate_sr() {
+        let sr = SrHeader::new_checked(vxlan.payload())?;
+        (true, &vxlan.payload()[sr.header_len()..])
+    } else {
+        (false, vxlan.payload())
+    };
+    let inner_eth = EthernetFrame::new_checked(inner_bytes)?;
+    if inner_eth.ethertype() != ETHERTYPE_IPV4 {
+        return Err(WireError::Malformed);
+    }
+    let inner_ip = Ipv4Packet::new_checked(inner_eth.payload())?;
+    let flow = classify_ipv4(&inner_ip)?;
+    Ok(FrameDescriptor {
+        vxlan: true,
+        vni: vxlan.vni(),
+        outer_src_ip: ip.src_addr(),
+        outer_dst_ip: ip.dst_addr(),
+        flow: Some(flow),
+        inner_ip_len: inner_ip.total_len(),
+        has_sr,
+        sr_insert_at: sr_insert_at as u32,
+        ip_header_len: ip_header_len as u8,
+    })
+}
+
+/// Parses every frame of a batch into `out` (cleared first), one
+/// descriptor per frame in order. `out` is a caller-owned scratch
+/// vector so steady-state batch processing performs no allocation.
+pub fn parse_batch(batch: &FrameBatch, out: &mut Vec<FrameDescriptor>) {
+    out.clear();
+    out.reserve(batch.len());
+    out.extend(batch.frames().map(parse_descriptor));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fivetuple::{FiveTuple, Proto};
+    use crate::{insert_sr_header, parse_megate_frame, MegaTeFrameSpec};
+    use proptest::prelude::*;
+
+    fn tuple(port: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: [10, 1, 0, 5],
+            dst_ip: [10, 2, 0, 9],
+            proto: Proto::Udp,
+            src_port: port,
+            dst_port: 80,
+        }
+    }
+
+    #[test]
+    fn arena_roundtrips_frames() {
+        let mut b = FrameBatch::with_capacity(4, 128);
+        let f1 = MegaTeFrameSpec::simple(tuple(1), 7, None).build();
+        let f2 = MegaTeFrameSpec::simple(tuple(2), 7, Some(vec![1, 2])).build();
+        b.push(&f1);
+        b.push(&f2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.frame(0), &f1[..]);
+        assert_eq!(b.frame(1), &f2[..]);
+        assert_eq!(b.arena_len(), f1.len() + f2.len());
+        let collected: Vec<&[u8]> = b.frames().collect();
+        assert_eq!(collected, vec![&f1[..], &f2[..]]);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.arena_len(), 0);
+    }
+
+    #[test]
+    fn descriptor_agrees_with_full_parser() {
+        let mut spec = MegaTeFrameSpec::simple(tuple(5), 42, Some(vec![3, 1, 4]));
+        spec.inner_ipid = 0x7777;
+        let frame = spec.build();
+        let d = parse_descriptor(&frame);
+        let p = parse_megate_frame(&frame).unwrap();
+        assert!(d.vxlan);
+        assert_eq!(d.vni, p.vni);
+        assert_eq!(d.outer_src_ip, p.outer_src_ip);
+        assert_eq!(d.outer_dst_ip, p.outer_dst_ip);
+        assert_eq!(d.flow, Some(p.inner_flow));
+        assert_eq!(d.inner_ip_len, p.inner_ip_len);
+        assert!(d.has_sr);
+        assert_eq!(d.sr_insert_at as usize, p.sr_byte_offset.unwrap());
+    }
+
+    #[test]
+    fn noise_frames_classified_not_vxlan() {
+        assert_eq!(parse_descriptor(&[0xAA; 40]), FrameDescriptor::NOISE);
+        assert_eq!(parse_descriptor(&[]), FrameDescriptor::NOISE);
+        // Wrong UDP port.
+        let mut f = MegaTeFrameSpec::simple(tuple(1), 1, None).build();
+        let off = ETH_LEN + crate::ipv4::HEADER_LEN + 2;
+        f[off..off + 2].copy_from_slice(&53u16.to_be_bytes());
+        assert!(!parse_descriptor(&f).vxlan);
+    }
+
+    #[test]
+    fn parse_batch_fills_in_order_and_reuses_scratch() {
+        let mut b = FrameBatch::new();
+        b.push(&MegaTeFrameSpec::simple(tuple(1), 1, None).build());
+        b.push(&[0u8; 10]);
+        b.push(&MegaTeFrameSpec::simple(tuple(2), 2, None).build());
+        let mut descs = Vec::new();
+        parse_batch(&b, &mut descs);
+        assert_eq!(descs.len(), 3);
+        assert!(descs[0].vxlan && !descs[1].vxlan && descs[2].vxlan);
+        assert_eq!(descs[2].vni, 2);
+        // Reuse with a different batch: old contents replaced.
+        let mut b2 = FrameBatch::new();
+        b2.push(&MegaTeFrameSpec::simple(tuple(3), 3, None).build());
+        parse_batch(&b2, &mut descs);
+        assert_eq!(descs.len(), 1);
+        assert_eq!(descs[0].vni, 3);
+    }
+
+    #[test]
+    fn apply_sr_matches_single_frame_insertion() {
+        let frames: Vec<Vec<u8>> = (0..5)
+            .map(|i| MegaTeFrameSpec::simple(tuple(i), 9, None).build())
+            .collect();
+        let mut batch = FrameBatch::new();
+        for f in &frames {
+            batch.push(f);
+        }
+        let mut descs = Vec::new();
+        parse_batch(&batch, &mut descs);
+        let hops: Vec<Vec<u32>> = vec![vec![1], vec![], vec![2, 3, 4], vec![5, 6], vec![7]];
+        let plans: Vec<Option<&[u32]>> = vec![
+            Some(&hops[0]),
+            None,
+            Some(&hops[2]),
+            None,
+            Some(&hops[4]),
+        ];
+        let n = batch.apply_sr(&descs, &plans).unwrap();
+        assert_eq!(n, 3);
+        for (i, f) in frames.iter().enumerate() {
+            let mut expect = f.clone();
+            if let Some(h) = plans[i] {
+                insert_sr_header(&mut expect, h).unwrap();
+            }
+            assert_eq!(batch.frame(i), &expect[..], "frame {i}");
+        }
+    }
+
+    #[test]
+    fn apply_sr_rejects_bad_targets_and_leaves_batch_intact() {
+        let mut batch = FrameBatch::new();
+        batch.push(&MegaTeFrameSpec::simple(tuple(1), 1, Some(vec![9])).build());
+        batch.push(&[0xAA; 30]);
+        let before: Vec<Vec<u8>> = batch.frames().map(<[u8]>::to_vec).collect();
+        let mut descs = Vec::new();
+        parse_batch(&batch, &mut descs);
+        let hops = [1u32, 2];
+        // Frame 0 already has SR.
+        let plans: Vec<Option<&[u32]>> = vec![Some(&hops), None];
+        assert_eq!(batch.apply_sr(&descs, &plans), Err(WireError::Malformed));
+        // Frame 1 is noise.
+        let plans: Vec<Option<&[u32]>> = vec![None, Some(&hops)];
+        assert_eq!(batch.apply_sr(&descs, &plans), Err(WireError::Malformed));
+        let after: Vec<Vec<u8>> = batch.frames().map(<[u8]>::to_vec).collect();
+        assert_eq!(before, after, "failed apply must not change the arena");
+    }
+
+    proptest! {
+        #[test]
+        fn descriptor_never_panics_on_arbitrary_bytes(
+            data in proptest::collection::vec(any::<u8>(), 0..200)
+        ) {
+            let _ = parse_descriptor(&data);
+        }
+
+        #[test]
+        fn batched_sr_equals_serial_sr(
+            ports in proptest::collection::vec(any::<u16>(), 1..12),
+            hops in proptest::collection::vec(any::<u32>(), 0..8),
+            mask in any::<u16>(),
+        ) {
+            let frames: Vec<Vec<u8>> = ports
+                .iter()
+                .map(|&p| MegaTeFrameSpec::simple(tuple(p), 4, None).build())
+                .collect();
+            let mut batch = FrameBatch::new();
+            for f in &frames {
+                batch.push(f);
+            }
+            let mut descs = Vec::new();
+            parse_batch(&batch, &mut descs);
+            let plans: Vec<Option<&[u32]>> = (0..frames.len())
+                .map(|i| (mask >> (i % 16) & 1 == 1).then_some(&hops[..]))
+                .collect();
+            batch.apply_sr(&descs, &plans).unwrap();
+            for (i, f) in frames.iter().enumerate() {
+                let mut expect = f.clone();
+                if let Some(h) = plans[i] {
+                    insert_sr_header(&mut expect, h).unwrap();
+                }
+                prop_assert_eq!(batch.frame(i), &expect[..]);
+            }
+        }
+    }
+}

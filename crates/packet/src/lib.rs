@@ -12,8 +12,13 @@
 //! Parsing follows the smoltcp idiom: zero-copy typed wrappers over a
 //! byte buffer (`Packet<&[u8]>` to read, `Packet<&mut [u8]>` to write),
 //! with `new_checked` guarding every length assumption so malformed
-//! input can never panic.
+//! input can never panic. The [`batch`] module adds the arena-backed
+//! fast path: frames packed into one buffer, parsed in a single pass
+//! into flat descriptors, and SR-labelled in one vectorized rebuild.
 
+#![warn(missing_docs)]
+
+pub mod batch;
 pub mod builder;
 pub mod ethernet;
 pub mod fivetuple;
@@ -24,6 +29,7 @@ pub mod tcp;
 pub mod udp;
 pub mod vxlan;
 
+pub use batch::{parse_batch, parse_descriptor, FrameBatch, FrameDescriptor};
 pub use builder::{
     advance_sr_offset, insert_sr_header, parse_megate_frame, strip_sr_header, MegaTeFrameSpec,
     ParsedFrame,

@@ -24,6 +24,8 @@
 //! * [`faults`] — deterministic, seed-driven fault schedules (outages,
 //!   flapping, slow/lossy/corrupting shards) for the chaos harness.
 
+#![warn(missing_docs)]
+
 pub mod faults;
 pub mod hybrid;
 pub mod store;

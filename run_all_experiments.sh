@@ -2,9 +2,45 @@
 # Regenerates every table/figure of the paper plus the ablations and
 # §8 extensions. Quick scale by default; pass "full" for the
 # paper-sized ladders (minutes: includes million-endpoint solves), or
-# "--quick" for a smoke run (compile bins + benches, drive one figure).
+# "--quick" for a smoke run (compile bins + benches, drive key figures).
 set -euo pipefail
 SCALE="${1:-quick}"
+
+usage() {
+  cat <<'EOF'
+usage: ./run_all_experiments.sh [quick|full|--quick|--help]
+
+  quick    (default) every figure binary at reduced scale
+  full     paper-sized ladders — minutes; includes million-endpoint solves
+  --quick  smoke run: compile bins + benches, key gates, three figures
+  --help   this message
+
+Figure binary -> output mapping (all JSON lands in results/):
+
+  fig02_motivation   results/fig02_motivation.json   per-endpoint vs aggregate TE gap
+  fig08_endpoint_cdf results/fig08_endpoint_cdf.json endpoints per cluster CDF
+  table2_topologies  results/table2_topologies.json  topology inventory
+  fig09_runtime      results/fig09_runtime.json      solver runtime ladder (+ BENCH_fig09.json)
+  fig10_satisfied    results/fig10_satisfied.json    satisfied-demand comparison
+  fig11_latency      results/fig11_latency.json      path-latency distribution
+  fig12_failures     results/fig12_failures.json     link-failure recovery
+  fig13_connections  results/fig13_connections.json  per-host connection fan-out
+  fig14_sync_scale   results/fig14_sync_scale.json   TE-DB sync traffic vs endpoints
+  fig15_app_latency  results/fig15_app_latency.json  application-level latency
+  fig16_availability results/fig16_availability.json availability under faults
+  fig17_cost         results/fig17_cost.json         provisioning-cost comparison
+  fig_resilience     results/fig_resilience.json     fault-storm control-loop drill (+ BENCH_resilience.json)
+  fig_dataplane      results/fig_dataplane.json      batched multi-core TC fast path (+ BENCH_dataplane.json)
+  ablations          results/ablations.json          component ablations
+  ext_hybrid_sync    results/ext_hybrid_sync.json    §8 hybrid sync extension
+  ext_prediction     results/ext_prediction.json     §8 demand-prediction extension
+EOF
+}
+
+if [[ "$SCALE" == "--help" || "$SCALE" == "-h" ]]; then
+  usage
+  exit 0
+fi
 
 if [[ "$SCALE" == "--quick" ]]; then
   cargo build -p megate-bench --release --bins
@@ -13,19 +49,29 @@ if [[ "$SCALE" == "--quick" ]]; then
   cargo test -q -p megate-obs
   cargo test -q --test observability
   cargo test -q --test chaos
+  # Batched fast path must keep accounting bitwise-identical before its
+  # throughput figure means anything.
+  cargo test -q --test dataplane_batch
   cargo run -q -p megate-bench --release --bin fig09_runtime -- --scale quick
   cargo run -q -p megate-bench --release --bin fig_resilience -- --scale quick
+  cargo run -q -p megate-bench --release --bin fig_dataplane -- --scale quick
   echo "================================================================"
-  echo "Smoke run done. JSON in results/ (incl. BENCH_fig09.json and"
-  echo "BENCH_resilience.json metrics)."
+  echo "Smoke run done. JSON in results/ (incl. BENCH_fig09.json,"
+  echo "BENCH_resilience.json and BENCH_dataplane.json metrics)."
   exit 0
 fi
+
+if [[ "$SCALE" != "quick" && "$SCALE" != "full" ]]; then
+  usage
+  exit 1
+fi
+
 BINS=(
   fig02_motivation fig08_endpoint_cdf table2_topologies
   fig09_runtime fig10_satisfied fig11_latency fig12_failures
   fig13_connections fig14_sync_scale
   fig15_app_latency fig16_availability fig17_cost
-  fig_resilience
+  fig_resilience fig_dataplane
   ablations ext_hybrid_sync ext_prediction
 )
 cargo build -p megate-bench --release --bins

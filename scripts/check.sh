@@ -13,7 +13,13 @@ cargo test -q -p megate-obs --features disabled
 # The chaos harness: seeded fault storms against the full control loop
 # (bounded staleness, zero blackholing, replayable by seed).
 cargo test -q --test chaos
+# The batched fast-path equivalence gate: batched multi-core accounting
+# must stay bitwise-identical to the frame-at-a-time chain.
+cargo test -q --test dataplane_batch
 cargo clippy --workspace -- -D warnings
+# Rustdoc is part of the deliverable: broken intra-doc links or missing
+# docs in `#![warn(missing_docs)]` crates fail the gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "================================================================"
 echo "check.sh: build + tests + clippy all green."
