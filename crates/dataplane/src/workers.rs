@@ -318,39 +318,14 @@ pub struct RunReport {
     pub stats: TcStats,
 }
 
-/// Per-thread CPU time in nanoseconds.
+/// Per-thread CPU time in nanoseconds (shared helper in `megate-obs`).
 ///
 /// Stage busy times are measured on this clock, not wall-clock, so they
 /// exclude involuntary preemption: when the bench host has fewer
 /// hardware threads than configured cores, an `Instant` span around a
 /// batch silently includes every other thread's scheduler quantum and
 /// the modeled pipeline throughput becomes noise.
-#[cfg(target_os = "linux")]
-fn thread_cpu_ns() -> u64 {
-    #[repr(C)]
-    struct Timespec {
-        tv_sec: i64,
-        tv_nsec: i64,
-    }
-    extern "C" {
-        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
-    }
-    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
-    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
-    // Safety: Timespec matches the libc layout on 64-bit Linux and the
-    // pointer is valid for the duration of the call.
-    unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
-    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
-}
-
-/// Fallback for hosts without a per-thread CPU clock: monotonic time
-/// (busy figures then include preemption, like plain wall-clock spans).
-#[cfg(not(target_os = "linux"))]
-fn thread_cpu_ns() -> u64 {
-    use std::sync::OnceLock;
-    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
-    EPOCH.get_or_init(std::time::Instant::now).elapsed().as_nanos() as u64
-}
+use megate_obs::thread_cpu_ns;
 
 fn quantile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {

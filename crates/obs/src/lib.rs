@@ -101,6 +101,39 @@ pub fn start() -> Option<std::time::Instant> {
     }
 }
 
+/// Nanoseconds of CPU time consumed by the **calling thread**
+/// (`CLOCK_THREAD_CPUTIME_ID` on Linux). Busy times measured on this
+/// clock exclude scheduler preemption, so per-stage speedups computed
+/// from them reflect the architecture rather than how many hardware
+/// threads the host happens to have — the measurement-honesty rule the
+/// `fig_dataplane` and `fig_solver_scale` benches are built on.
+#[cfg(target_os = "linux")]
+pub fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+    // Safety: Timespec matches the libc layout on 64-bit Linux and the
+    // pointer is valid for the duration of the call.
+    unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// Fallback for hosts without a per-thread CPU clock: monotonic time
+/// (busy figures then include preemption, like plain wall-clock spans).
+#[cfg(not(target_os = "linux"))]
+pub fn thread_cpu_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH.get_or_init(std::time::Instant::now).elapsed().as_nanos() as u64
+}
+
 /// Unit tests that flip [`set_enabled`] or assert on the global
 /// registry serialize through this lock so the parallel test harness
 /// cannot interleave them.

@@ -29,4 +29,4 @@ pub use lp_all::LpAllScheme;
 pub use ncflow::NcFlowScheme;
 pub use qos::solve_per_qos;
 pub use teal::TealScheme;
-pub use types::{SolveError, TeAllocation, TeProblem, TeScheme};
+pub use types::{EndpointStageStats, SolveError, TeAllocation, TeProblem, TeScheme};

@@ -67,6 +67,7 @@ impl TeScheme for LpAllScheme {
                 tunnel_flow_mbps: vec![0.0; problem.tunnels.tunnel_count()],
                 endpoint_assignment: None,
                 solve_time: start.elapsed(),
+                endpoint_stage: None,
             });
         }
 
@@ -94,6 +95,7 @@ impl TeScheme for LpAllScheme {
             tunnel_flow_mbps,
             endpoint_assignment: None,
             solve_time: start.elapsed(),
+            endpoint_stage: None,
         })
     }
 }

@@ -146,6 +146,7 @@ impl TeScheme for ExhaustiveScheme {
             tunnel_flow_mbps,
             endpoint_assignment: Some(best),
             solve_time: start.elapsed(),
+            endpoint_stage: None,
         })
     }
 }

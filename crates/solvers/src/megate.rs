@@ -7,9 +7,12 @@
 //!    scale;
 //! 3. **MaxEndpointFlow** — per site pair, tunnels in ascending-weight
 //!    order, select the endpoint subset for each tunnel's allocation
-//!    `F_{k,t}` with [`megate_ssp::fast_ssp`]. Site pairs are
-//!    independent and run in parallel (the paper's "parallelizable"
-//!    note on line 11).
+//!    `F_{k,t}`. Site pairs are independent and run in parallel (the
+//!    paper's "parallelizable" note on line 11). The production path
+//!    ([`MegaTeScheme::max_endpoint_flow_all`]) runs the flat
+//!    [`megate_ssp::SolverScratch`] kernel with work-stealing across
+//!    workers; [`MegaTeScheme::max_endpoint_flow`] is the allocating
+//!    scalar reference the equivalence suite pins the flat path to.
 //!
 //! The result is the binary assignment `f_{k,t}^i` of Equation 1:
 //! every endpoint flow rides exactly one tunnel or is rejected.
@@ -162,8 +165,15 @@ impl MegaTeScheme {
             .iter()
             .map(|&i| (demands[i].demand_mbps * 1000.0).round().max(1.0) as u64)
             .collect();
-        // `unassigned` holds positions into `indices`/`kbps`.
+        // `unassigned` holds positions into `indices`/`kbps`. `order`
+        // is the same set sorted (value desc, position asc) exactly
+        // once; after each tunnel both are maintained by filtering out
+        // the assigned positions, which preserves the relative order —
+        // identical to the old per-tunnel clone + sort, minus the
+        // `O(T · n log n)` cost.
         let mut unassigned: Vec<usize> = (0..indices.len()).collect();
+        let mut order: Vec<usize> = (0..indices.len()).collect();
+        order.sort_by(|&a, &b| kbps[b].cmp(&kbps[a]).then(a.cmp(&b)));
         let mut remaining_kbps: u64 = kbps.iter().sum();
         let mut picks = Vec::new();
         let cfg = FastSspConfig { epsilon_prime: self.config.fastssp_epsilon };
@@ -189,8 +199,6 @@ impl MegaTeScheme {
             // Fast path 2: greedy over descending sizes. A greedy fill
             // that lands exactly on the capacity is provably optimal
             // for the subset-sum, so FastSSP can be skipped.
-            let mut order = unassigned.clone();
-            order.sort_by(|&a, &b| kbps[b].cmp(&kbps[a]).then(a.cmp(&b)));
             let mut acc = 0u64;
             let mut exact = vec![false; indices.len()];
             for &u in &order {
@@ -210,25 +218,155 @@ impl MegaTeScheme {
                     }
                 }
                 unassigned.retain(|&u| !exact[u]);
+                order.retain(|&u| !exact[u]);
                 continue;
             }
 
             let items: Vec<u64> = unassigned.iter().map(|&u| kbps[u]).collect();
             let sol = fast_ssp(&items, capacity_kbps, cfg);
-            let mut selected_flags = vec![false; unassigned.len()];
+            let mut taken = vec![false; indices.len()];
             for &sel in &sol.solution.selected {
-                selected_flags[sel] = true;
+                taken[unassigned[sel]] = true;
                 picks.push((indices[unassigned[sel]], t));
                 remaining_kbps -= kbps[unassigned[sel]];
             }
-            unassigned = unassigned
-                .iter()
-                .zip(&selected_flags)
-                .filter(|(_, &s)| !s)
-                .map(|(&u, _)| u)
-                .collect();
+            unassigned.retain(|&u| !taken[u]);
+            order.retain(|&u| !taken[u]);
         }
         picks
+    }
+
+    /// Stage 3 over **all** site pairs: the production path. Runs the
+    /// flat [`megate_ssp::SolverScratch`] kernel (zero steady-state allocation,
+    /// one sort per pair) across `threads` workers with work-stealing
+    /// over the site pairs, writing tunnel choices into `assignment`.
+    ///
+    /// Scheduling: the pairs are split into `threads` contiguous
+    /// ranges, each with an atomic cursor. A worker drains its own
+    /// range first, then claims from the fullest remaining victim —
+    /// so one elephant pair cannot strand the other workers behind a
+    /// fixed round-robin shard. The merged result is nonetheless
+    /// **deterministic and bitwise-identical to the serial path**:
+    /// site pairs touch disjoint demand indices, every pair is claimed
+    /// exactly once (the cursor `fetch_add` is the claim), and each
+    /// pair's selection depends only on its own demands and `F_k` —
+    /// never on which worker ran it or in what order (DESIGN.md §5e).
+    pub fn max_endpoint_flow_all(
+        &self,
+        problem: &TeProblem,
+        pairs: &[SitePair],
+        site_flows: &[Vec<f64>],
+        assignment: &mut [Option<TunnelId>],
+    ) -> crate::types::EndpointStageStats {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let wall_start = Instant::now();
+        megate_ssp::flat::register_metrics();
+        let threads = self.config.threads.max(1).min(pairs.len().max(1));
+        let mut stats = crate::types::EndpointStageStats {
+            threads,
+            pairs: pairs.len(),
+            ..Default::default()
+        };
+        if pairs.is_empty() {
+            return stats;
+        }
+
+        // Contiguous ranges with one claim cursor each. `ends[w]` is
+        // exclusive; range w covers pairs[starts[w]..ends[w]].
+        let per = pairs.len().div_ceil(threads);
+        let ranges: Vec<(usize, usize)> = (0..threads)
+            .map(|w| (w * per, ((w + 1) * per).min(pairs.len())))
+            .collect();
+        let cursors: Vec<AtomicUsize> =
+            ranges.iter().map(|&(s, _)| AtomicUsize::new(s)).collect();
+
+        let cfg = FastSspConfig { epsilon_prime: self.config.fastssp_epsilon };
+        let pair_endpoints = megate_obs::histogram("solver.pair_endpoints");
+        let demands = problem.demands.demands();
+
+        // One worker's loop: claim pairs (own range, then steal), solve
+        // each with the flat kernel, return (picks, busy_ns, stolen).
+        let run_worker = |w: usize| {
+            let busy_start = megate_obs::thread_cpu_ns();
+            let mut scratch = megate_ssp::take_scratch();
+            let mut picks: Vec<(usize, TunnelId)> = Vec::new();
+            let mut stolen = 0usize;
+            let mut victim = w;
+            loop {
+                let k = cursors[victim].fetch_add(1, Ordering::Relaxed);
+                if k >= ranges[victim].1 {
+                    // Range drained; pick the victim with the most
+                    // unclaimed pairs left (own range first pass).
+                    let next = (0..threads)
+                        .filter(|&v| v != victim)
+                        .max_by_key(|&v| {
+                            ranges[v].1.saturating_sub(cursors[v].load(Ordering::Relaxed))
+                        })
+                        .filter(|&v| cursors[v].load(Ordering::Relaxed) < ranges[v].1);
+                    match next {
+                        Some(v) => {
+                            victim = v;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                if victim != w {
+                    stolen += 1;
+                }
+                let pair = pairs[k];
+                let tunnels = problem.tunnels.tunnels_for(pair);
+                let indices = problem.demands.indices_for(pair);
+                pair_endpoints.record(indices.len() as u64);
+                scratch.begin_pair_with(indices.len(), |p| {
+                    (demands[indices[p]].demand_mbps * 1000.0).round().max(1.0) as u64
+                });
+                for (t_idx, &t) in tunnels.iter().enumerate() {
+                    if scratch.is_done() {
+                        break;
+                    }
+                    let capacity_kbps = (site_flows[k][t_idx] * 1000.0).floor() as u64;
+                    if capacity_kbps == 0 {
+                        continue;
+                    }
+                    for &u in scratch.select_for_tunnel(capacity_kbps, cfg) {
+                        picks.push((indices[u as usize], t));
+                    }
+                }
+            }
+            megate_ssp::recycle_scratch(scratch);
+            (picks, megate_obs::thread_cpu_ns() - busy_start, stolen)
+        };
+
+        // (tunnel picks, busy ns, pairs stolen) per worker.
+        type WorkerResult = (Vec<(usize, TunnelId)>, u64, usize);
+        let results: Vec<WorkerResult> = if threads == 1 {
+            vec![run_worker(0)]
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    (0..threads).map(|w| scope.spawn(move |_| run_worker(w))).collect();
+                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            })
+            .expect("scope")
+        };
+
+        let mut total_stolen = 0usize;
+        for (picks, busy_ns, stolen) in results {
+            for (i, t) in picks {
+                debug_assert!(assignment[i].is_none(), "demand assigned twice");
+                assignment[i] = Some(t);
+            }
+            let busy = std::time::Duration::from_nanos(busy_ns);
+            stats.total_busy += busy;
+            stats.max_worker_busy = stats.max_worker_busy.max(busy);
+            total_stolen += stolen;
+        }
+        stats.pairs_stolen = total_stolen;
+        megate_obs::counter("solver.pairs_stolen").add(total_stolen as u64);
+        stats.wall = wall_start.elapsed();
+        stats
     }
 }
 
@@ -249,49 +387,7 @@ impl TeScheme for MegaTeScheme {
         // span still times the whole stage from the coordinator.
         let endpoint_span = megate_obs::span("solver.max_endpoint_flow");
         let mut assignment: Vec<Option<TunnelId>> = vec![None; problem.demands.len()];
-        let threads = self.config.threads.max(1);
-        if pairs.len() <= 1 || threads == 1 {
-            for (k, &pair) in pairs.iter().enumerate() {
-                for (i, t) in self.max_endpoint_flow(problem, pair, &site_flows[k]) {
-                    assignment[i] = Some(t);
-                }
-            }
-        } else {
-            // Parallel across site pairs (Algorithm 1 line 11). Chunked
-            // round-robin keeps per-thread work balanced without shared
-            // mutable state; results merge deterministically.
-            let chunk_results: Vec<Vec<(usize, TunnelId)>> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..threads)
-                        .map(|w| {
-                            let pairs = &pairs;
-                            let site_flows = &site_flows;
-                            scope.spawn(move |_| {
-                                let mut out = Vec::new();
-                                let mut k = w;
-                                while k < pairs.len() {
-                                    out.extend(self.max_endpoint_flow(
-                                        problem,
-                                        pairs[k],
-                                        &site_flows[k],
-                                    ));
-                                    k += threads;
-                                }
-                                out
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("worker")).collect()
-                })
-                .expect("scope");
-            for picks in chunk_results {
-                for (i, t) in picks {
-                    debug_assert!(assignment[i].is_none(), "demand assigned twice");
-                    assignment[i] = Some(t);
-                }
-            }
-        }
-
+        let stage = self.max_endpoint_flow_all(problem, &pairs, &site_flows, &mut assignment);
         drop(endpoint_span);
 
         if self.config.residual_repair {
@@ -305,6 +401,7 @@ impl TeScheme for MegaTeScheme {
             tunnel_flow_mbps,
             endpoint_assignment: Some(assignment),
             solve_time: start.elapsed(),
+            endpoint_stage: Some(stage),
         })
     }
 }

@@ -134,6 +134,7 @@ impl TeScheme for NcFlowScheme {
                 tunnel_flow_mbps: vec![0.0; problem.tunnels.tunnel_count()],
                 endpoint_assignment: None,
                 solve_time: start.elapsed(),
+                endpoint_stage: None,
             });
         }
         let mut groups: Vec<Group> = {
@@ -232,6 +233,7 @@ impl TeScheme for NcFlowScheme {
             tunnel_flow_mbps,
             endpoint_assignment: None,
             solve_time: start.elapsed(),
+            endpoint_stage: None,
         })
     }
 }

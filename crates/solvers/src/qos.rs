@@ -11,7 +11,7 @@
 //! the three allocations back into one whole-interval allocation with
 //! original demand indexing.
 
-use crate::types::{SolveError, TeAllocation, TeProblem, TeScheme};
+use crate::types::{EndpointStageStats, SolveError, TeAllocation, TeProblem, TeScheme};
 use megate_topo::LinkId;
 use megate_traffic::QosClass;
 use std::time::{Duration, Instant};
@@ -27,6 +27,7 @@ pub fn solve_per_qos<S: TeScheme>(
     let mut merged_assignment = vec![None; problem.demands.len()];
     let mut any_assignment = false;
     let mut all_classes_assignable = true;
+    let mut endpoint_stage: Option<EndpointStageStats> = None;
 
     for qos in QosClass::IN_PRIORITY_ORDER {
         let (class_demands, back_map) = problem.demands.filter_qos_with_map(qos);
@@ -59,6 +60,11 @@ pub fn solve_per_qos<S: TeScheme>(
             }
             None => all_classes_assignable = false,
         }
+        // The interval's stage-3 profile is the sum over classes (each
+        // class runs MaxEndpointFlow once on its sub-problem).
+        if let Some(s) = &alloc.endpoint_stage {
+            endpoint_stage.get_or_insert_with(EndpointStageStats::default).merge(s);
+        }
 
         // Subtract this class's load from the residual capacities.
         let loads = alloc.link_loads(&sub);
@@ -76,6 +82,7 @@ pub fn solve_per_qos<S: TeScheme>(
         endpoint_assignment: (any_assignment && all_classes_assignable)
             .then_some(merged_assignment),
         solve_time: start.elapsed() + Duration::ZERO,
+        endpoint_stage,
     })
 }
 

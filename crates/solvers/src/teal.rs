@@ -181,6 +181,7 @@ impl TeScheme for TealScheme {
             tunnel_flow_mbps,
             endpoint_assignment: None,
             solve_time: start.elapsed(),
+            endpoint_stage: None,
         })
     }
 }

@@ -63,6 +63,44 @@ impl std::fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Runtime profile of the parallel `MaxEndpointFlow` stage (stage 3).
+///
+/// Filled by [`crate::megate::MegaTeScheme`]'s flat work-stealing path.
+/// Busy times are per-thread CPU time ([`megate_obs::thread_cpu_ns`]),
+/// not wall-clock, so they exclude scheduler preemption — the figure
+/// `fig_solver_scale` judges core scaling on (a host with fewer
+/// hardware threads than configured workers would otherwise make the
+/// speedup look like scheduling noise).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EndpointStageStats {
+    /// Wall-clock duration of the whole stage (coordinator view).
+    pub wall: Duration,
+    /// CPU busy time of the busiest worker — the stage's critical path.
+    pub max_worker_busy: Duration,
+    /// Sum of all workers' CPU busy time (the serial-equivalent work).
+    pub total_busy: Duration,
+    /// Worker threads the stage ran with.
+    pub threads: usize,
+    /// Site pairs solved.
+    pub pairs: usize,
+    /// Pairs claimed from another worker's range (work-stealing events).
+    pub pairs_stolen: usize,
+}
+
+impl EndpointStageStats {
+    /// Merges another stage's profile into this one (QoS classes run
+    /// the stage once per class; the interval profile is their sum,
+    /// with `threads` the maximum seen).
+    pub fn merge(&mut self, other: &EndpointStageStats) {
+        self.wall += other.wall;
+        self.max_worker_busy += other.max_worker_busy;
+        self.total_busy += other.total_busy;
+        self.threads = self.threads.max(other.threads);
+        self.pairs += other.pairs;
+        self.pairs_stolen += other.pairs_stolen;
+    }
+}
+
 /// A TE allocation in uniform form.
 ///
 /// Fractional schemes fill only `tunnel_flow_mbps`; endpoint-granular
@@ -81,6 +119,8 @@ pub struct TeAllocation {
     pub endpoint_assignment: Option<Vec<Option<TunnelId>>>,
     /// Wall-clock solve time.
     pub solve_time: Duration,
+    /// Stage-3 runtime profile; `None` for schemes without the stage.
+    pub endpoint_stage: Option<EndpointStageStats>,
 }
 
 impl TeAllocation {
@@ -382,6 +422,7 @@ mod tests {
             tunnel_flow_mbps: vec![0.0; tunnels.tunnel_count()],
             endpoint_assignment: Some(vec![None; demands.len()]),
             solve_time: Duration::ZERO,
+            endpoint_stage: None,
         };
         assert!(alloc.check_feasible(&p, 1e-9));
         assert_eq!(alloc.satisfied_mbps(), 0.0);
@@ -409,6 +450,7 @@ mod tests {
             tunnel_flow_mbps: flows_from_assignment(&p, &assign),
             endpoint_assignment: Some(assign),
             solve_time: Duration::ZERO,
+            endpoint_stage: None,
         };
         assert!(!alloc.check_feasible(&p, 1e-9));
     }
@@ -427,6 +469,7 @@ mod tests {
             tunnel_flow_mbps: flows_from_assignment(&p, &assign),
             endpoint_assignment: Some(assign),
             solve_time: Duration::ZERO,
+            endpoint_stage: None,
         };
         assert!(alloc.check_feasible(&p, 1e-9));
         alloc.tunnel_flow_mbps[t0.index()] *= 2.0; // declare bogus flow
@@ -452,6 +495,7 @@ mod tests {
             tunnel_flow_mbps: flows_from_assignment(&p, &assign),
             endpoint_assignment: Some(assign),
             solve_time: Duration::ZERO,
+            endpoint_stage: None,
         };
         let a_short = mk(short);
         let a_long = mk(long);

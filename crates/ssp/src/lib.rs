@@ -22,14 +22,24 @@
 //!
 //! Demands are integers (the solvers layer uses kbps), so `u64`
 //! throughout.
+//!
+//! For the production stage-3 path, [`flat`] packages the same
+//! algorithms as a structure-of-arrays kernel over a reusable
+//! [`flat::SolverScratch`] arena — zero steady-state allocation,
+//! demands sorted once per pair, and bitwise-identical selections to
+//! the allocating functions here (DESIGN.md §5e).
+
+#![warn(missing_docs)]
 
 pub mod exact;
 pub mod fastssp;
+pub mod flat;
 pub mod greedy;
 pub mod meet_middle;
 
-pub use exact::dp_subset_sum;
+pub use exact::{dp_subset_sum, dp_subset_sum_with, DpScratch};
 pub use fastssp::{fast_ssp, FastSspConfig, FastSspSolution};
+pub use flat::{recycle_scratch, take_scratch, SolverScratch};
 pub use greedy::{first_fit_ascending, first_fit_descending};
 pub use meet_middle::meet_in_the_middle;
 

@@ -31,6 +31,7 @@ Figure binary -> output mapping (all JSON lands in results/):
   fig17_cost         results/fig17_cost.json         provisioning-cost comparison
   fig_resilience     results/fig_resilience.json     fault-storm control-loop drill (+ BENCH_resilience.json)
   fig_dataplane      results/fig_dataplane.json      batched multi-core TC fast path (+ BENCH_dataplane.json)
+  fig_solver_scale   results/fig_solver_scale.json   flat stage-3 endpoints x threads sweep (+ BENCH_solver_scale.json)
   ablations          results/ablations.json          component ablations
   ext_hybrid_sync    results/ext_hybrid_sync.json    §8 hybrid sync extension
   ext_prediction     results/ext_prediction.json     §8 demand-prediction extension
@@ -52,12 +53,16 @@ if [[ "$SCALE" == "--quick" ]]; then
   # Batched fast path must keep accounting bitwise-identical before its
   # throughput figure means anything.
   cargo test -q --test dataplane_batch
+  # Same bar for the flat stage-3 kernel before its scaling figure.
+  cargo test -q --test solver_equivalence
   cargo run -q -p megate-bench --release --bin fig09_runtime -- --scale quick
   cargo run -q -p megate-bench --release --bin fig_resilience -- --scale quick
   cargo run -q -p megate-bench --release --bin fig_dataplane -- --scale quick
+  cargo run -q -p megate-bench --release --bin fig_solver_scale -- --scale quick
   echo "================================================================"
   echo "Smoke run done. JSON in results/ (incl. BENCH_fig09.json,"
-  echo "BENCH_resilience.json and BENCH_dataplane.json metrics)."
+  echo "BENCH_resilience.json, BENCH_dataplane.json and"
+  echo "BENCH_solver_scale.json metrics)."
   exit 0
 fi
 
@@ -71,7 +76,7 @@ BINS=(
   fig09_runtime fig10_satisfied fig11_latency fig12_failures
   fig13_connections fig14_sync_scale
   fig15_app_latency fig16_availability fig17_cost
-  fig_resilience fig_dataplane
+  fig_resilience fig_dataplane fig_solver_scale
   ablations ext_hybrid_sync ext_prediction
 )
 cargo build -p megate-bench --release --bins

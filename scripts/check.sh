@@ -16,6 +16,12 @@ cargo test -q --test chaos
 # The batched fast-path equivalence gate: batched multi-core accounting
 # must stay bitwise-identical to the frame-at-a-time chain.
 cargo test -q --test dataplane_batch
+# The flat stage-3 kernel equivalence gate: work-stealing MaxEndpointFlow
+# must stay bitwise-identical to the scalar path at every thread count.
+cargo test -q --test solver_equivalence
+# A reduced fig_solver_scale run: 1M-class stage 3 must keep its busy-time
+# scaling gate even at quick scale.
+cargo run -q -p megate-bench --release --bin fig_solver_scale -- --scale quick
 cargo clippy --workspace -- -D warnings
 # Rustdoc is part of the deliverable: broken intra-doc links or missing
 # docs in `#![warn(missing_docs)]` crates fail the gate.

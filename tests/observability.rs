@@ -54,6 +54,27 @@ fn end_to_end_cycle_populates_every_layer() {
     // FastSSP stage spans record on worker threads (flat paths).
     assert!(snap.histograms.keys().any(|k| k.contains("ssp.dp")));
 
+    // Flat stage-3 kernel series (DESIGN.md §5e). The fast-path and DP
+    // counters are registered up front by `flat::register_metrics`;
+    // the steal counter exists even when a small probe never steals,
+    // and every solved pair records into the endpoint-count histogram
+    // so fig_solver_scale can report work-distribution skew.
+    for ctr in ["ssp.fastpath_hits", "ssp.dp_runs", "solver.pairs_stolen"] {
+        assert!(
+            snap.counters.contains_key(ctr),
+            "flat-kernel counter {ctr} must be registered after a solve"
+        );
+    }
+    assert!(
+        snap.counters.get("ssp.fastpath_hits").copied().unwrap_or(0) > 0,
+        "a light-load probe resolves most tunnels on the fast paths"
+    );
+    let pair_hist = snap
+        .histograms
+        .get("solver.pair_endpoints")
+        .expect("per-pair endpoint-count histogram must exist");
+    assert!(pair_hist.count > 0, "every solved pair records its endpoint count");
+
     // TE-DB byte counters: the controller's published-byte mirror and
     // the database's own wire counter both moved.
     for ctr in ["controller.delta_bytes", "tedb.wire_bytes"] {
