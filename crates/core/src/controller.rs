@@ -22,8 +22,9 @@ use crate::config::{
     diff_configs, encode_delta, encode_paths, ConfigError, EndpointConfig,
 };
 use megate_solvers::{
-    diff_endpoint_paths, endpoint_paths, solve_per_qos, AllocationPaths, MegaTeConfig,
-    MegaTeScheme, SolveError, TeAllocation, TeProblem, TeScheme,
+    diff_endpoint_paths, endpoint_paths, AllocationPaths, IncrementalConfig,
+    IncrementalEngine, IncrementalReport, MegaTeConfig, SolveError, TeAllocation,
+    TeProblem,
 };
 use megate_tedb::{TeDatabase, TeKey};
 use megate_topo::{EndpointCatalog, EndpointId, FailureScenario, Graph, TunnelTable};
@@ -55,6 +56,15 @@ pub struct ControllerConfig {
     /// converges on *known* state instead of waiting on a wedged
     /// optimization. `None` disables the deadline.
     pub solve_deadline: Option<Duration>,
+    /// Force the incremental engine to run a full cold solve every Nth
+    /// solve, bounding the drift of repeated warm (residual-freeze)
+    /// intervals. `0` disables the forced cadence.
+    pub cold_every: u64,
+    /// Warm solves are only attempted while dirty-pair churn stays at
+    /// or below this many parts-per-million; the previous interval's
+    /// published-path churn (the `solver.diff_churn_ppm` gauge) above
+    /// this threshold also forces the next solve cold.
+    pub warm_churn_max_ppm: i64,
 }
 
 impl Default for ControllerConfig {
@@ -65,6 +75,8 @@ impl Default for ControllerConfig {
             snapshot_every: 16,
             retention_versions: 64,
             solve_deadline: None,
+            cold_every: 32,
+            warm_churn_max_ppm: 250_000,
         }
     }
 }
@@ -153,6 +165,28 @@ pub struct IntervalReport {
     pub publish_errors: usize,
     /// Wall-clock time of solve + publish.
     pub total_time: Duration,
+    /// What the incremental engine did this interval (warm vs cold,
+    /// dirty-pair counts). `None` on fallback publishes — the engine's
+    /// result was discarded, so its report would be misleading.
+    pub incremental: Option<IncrementalReport>,
+}
+
+/// Outcome of a between-solve admission pass
+/// ([`Controller::admit_demands`]).
+#[derive(Debug, Clone)]
+pub struct AdmissionReport {
+    /// The configuration version the provisional grants published at.
+    pub version: u64,
+    /// Arrival demands granted a provisional tunnel from residual
+    /// headroom.
+    pub admitted: usize,
+    /// Arrival demands that fit on no tunnel (they stay on ECMP until
+    /// the next full solve).
+    pub rejected: usize,
+    /// Source endpoints whose configuration changed.
+    pub changed_endpoints: usize,
+    /// Bytes written into the TE database for this version.
+    pub published_bytes: u64,
 }
 
 /// The MegaTE controller.
@@ -179,6 +213,16 @@ pub struct Controller {
     /// referencing a delta that reached no replica) heal as soon as
     /// writes succeed again instead of waiting out `snapshot_every`.
     heal_flush: bool,
+    /// The persistent warm-started solve engine. Lives across
+    /// intervals; invalidated whenever the published allocation
+    /// diverges from the engine's view (fallback publishes).
+    engine: IncrementalEngine,
+    /// Last interval's published-path churn (the
+    /// `solver.diff_churn_ppm` gauge, read back right after the diff
+    /// that set it): an external-signal hint that forces the *next*
+    /// solve cold when the fleet-visible churn exceeded
+    /// [`ControllerConfig::warm_churn_max_ppm`].
+    churn_hint_ppm: i64,
 }
 
 impl Controller {
@@ -200,6 +244,12 @@ impl Controller {
         // failure having occurred.
         megate_obs::counter("controller.fallback_publishes");
         megate_obs::counter("controller.publish_errors");
+        let engine = IncrementalEngine::new(IncrementalConfig {
+            solver: config.solver.clone(),
+            qos_sequential: config.qos_sequential,
+            warm_churn_max_ppm: config.warm_churn_max_ppm,
+            cold_every: config.cold_every,
+        });
         Self {
             graph,
             tunnels,
@@ -212,6 +262,8 @@ impl Controller {
             delta_ring: VecDeque::new(),
             last_good: None,
             heal_flush: false,
+            engine,
+            churn_hint_ppm: 0,
         }
     }
 
@@ -293,6 +345,18 @@ impl Controller {
         self.version
     }
 
+    /// Mutable access to the interval configuration — drills and tests
+    /// adjust deadlines or the warm/cold cadence mid-run.
+    pub fn config_mut(&mut self) -> &mut ControllerConfig {
+        &mut self.config
+    }
+
+    /// Whether the incremental engine currently holds warm state (a
+    /// retained allocation and basis to re-solve from).
+    pub fn has_warm_state(&self) -> bool {
+        self.engine.has_warm_state()
+    }
+
     /// The topology the controller plans over.
     pub fn graph(&self) -> &Graph {
         &self.graph
@@ -342,13 +406,15 @@ impl Controller {
         let started = std::time::Instant::now();
         let _interval_span = megate_obs::span("controller.interval");
         let problem = TeProblem { graph, tunnels: &self.tunnels, demands };
-        let scheme = MegaTeScheme::new(self.config.solver.clone());
+        // Warm-vs-cold: topology events (forced snapshots) and a
+        // previous interval whose *published* churn blew past the
+        // threshold (the `solver.diff_churn_ppm` gauge read back in
+        // `publish_paths`) both force a full cold solve; otherwise the
+        // engine decides from its own dirty set.
+        let force_cold =
+            force_snapshot || self.churn_hint_ppm > self.config.warm_churn_max_ppm;
         let solve_span = megate_obs::span("controller.solve");
-        let solved = if self.config.qos_sequential {
-            solve_per_qos(&scheme, &problem)
-        } else {
-            scheme.solve(&problem)
-        };
+        let solved = self.engine.solve(&problem, force_cold);
         let solve_elapsed = started.elapsed();
         drop(solve_span);
 
@@ -358,14 +424,14 @@ impl Controller {
         // the point is bounding what the *fleet* acts on, not the CPU.
         let fresh = match solved {
             Err(e) => Err(ControllerError::Solve(e)),
-            Ok(a) if a.endpoint_assignment.is_none() => {
+            Ok((a, _)) if a.endpoint_assignment.is_none() => {
                 Err(ControllerError::MissingAssignment)
             }
-            Ok(a) => match self.config.solve_deadline {
+            Ok((a, rep)) => match self.config.solve_deadline {
                 Some(deadline) if solve_elapsed > deadline => {
                     Err(ControllerError::DeadlineExceeded { elapsed: solve_elapsed, deadline })
                 }
-                _ => Ok(a),
+                _ => Ok((a, rep)),
             },
         };
 
@@ -376,25 +442,165 @@ impl Controller {
         // diff) with a forced snapshot flush so even badly stale agents
         // converge on state the controller trusts. Without a last-good
         // allocation the error propagates.
-        let diff_span = megate_obs::span("controller.diff");
-        let (allocation, next_paths, fallback) = match fresh {
-            Ok(a) => {
+        let (allocation, next_paths, fallback, incremental) = match fresh {
+            Ok((a, rep)) => {
                 let assign = a
                     .endpoint_assignment
                     .as_ref()
                     .ok_or(ControllerError::MissingAssignment)?;
                 let next_paths = endpoint_paths(demands, &self.tunnels, assign);
-                (a, next_paths, false)
+                (a, next_paths, false, Some(rep))
             }
             Err(err) => match self.last_good.clone() {
                 Some(last) => {
+                    // The published allocation diverges from whatever
+                    // the engine retained; a stale basis or carried
+                    // assignment must never warm-start against the
+                    // wrong baseline.
+                    self.engine.invalidate();
                     megate_obs::counter("controller.fallback_publishes").inc();
-                    (last, self.last_paths.clone(), true)
+                    (last, self.last_paths.clone(), true, None)
                 }
-                None => return Err(err),
+                None => {
+                    self.engine.invalidate();
+                    return Err(err);
+                }
             },
         };
+
+        let outcome = match self.publish_paths(next_paths, force_snapshot, fallback) {
+            Ok(o) => o,
+            Err(e) => {
+                // Nothing was published (encode errors abort before any
+                // write), so the engine's fresh state is unannounced —
+                // discard it rather than warm-start from it later.
+                self.engine.invalidate();
+                return Err(e);
+            }
+        };
+
+        // A cold solve (or an invalidated engine) absorbed whatever
+        // churn the diff gauge just observed — including the trivial
+        // 100 % churn of a cold start — so it says nothing about
+        // upcoming drift. Only churn published *by a warm interval*
+        // argues for forcing the next solve cold.
+        if incremental.as_ref().is_none_or(|r| r.cold) {
+            self.churn_hint_ppm = 0;
+        }
+
+        if !fallback {
+            self.last_good = Some(allocation.clone());
+        }
+        Ok(IntervalReport {
+            version: outcome.version,
+            configured_endpoints: outcome.configured,
+            changed_endpoints: outcome.changed,
+            removed_endpoints: outcome.removed,
+            unchanged_endpoints: outcome.unchanged,
+            snapshot_flush: outcome.snapshot_flush,
+            published_bytes: outcome.published_bytes,
+            fallback,
+            publish_errors: outcome.publish_errors,
+            allocation,
+            total_time: started.elapsed(),
+            incremental,
+        })
+    }
+
+    /// Grants newly arrived flows provisional allocations **between**
+    /// solves (no LP, no FastSSP): each arrival is first-fit onto the
+    /// first of its pair's tunnels with enough residual headroom under
+    /// the currently published allocation, and the grants go out as
+    /// ordinary deltas at a bumped version. Rejected arrivals stay on
+    /// ECMP until the next full solve; an interval whose demand matrix
+    /// includes the arrivals re-solves them properly (the engine sees
+    /// the shape change and goes cold).
+    ///
+    /// Errors with [`ControllerError::MissingAssignment`] when no
+    /// allocation has been published yet (there is no headroom to
+    /// grant from).
+    pub fn admit_demands(
+        &mut self,
+        arrivals: &DemandSet,
+    ) -> Result<AdmissionReport, ControllerError> {
+        let Some(last) = &mut self.last_good else {
+            return Err(ControllerError::MissingAssignment);
+        };
+        let _span = megate_obs::span("controller.admit");
+        // Residual headroom under the published allocation.
+        let mut loads = vec![0.0f64; self.graph.link_count()];
+        for t in self.tunnels.all_tunnels() {
+            let f = last.tunnel_flow_mbps[t.id.index()];
+            if f > 0.0 {
+                for &e in &t.links {
+                    loads[e.index()] += f;
+                }
+            }
+        }
+        let caps: Vec<f64> = (0..self.graph.link_count())
+            .map(|e| self.graph.link(megate_topo::LinkId(e as u32)).capacity_mbps)
+            .collect();
+
+        let mut next_paths = self.last_paths.clone();
+        let mut admitted = 0usize;
+        let mut rejected = 0usize;
+        for pair in arrivals.pairs() {
+            let tunnels = self.tunnels.tunnels_for(pair);
+            for &i in arrivals.indices_for(pair) {
+                let d = &arrivals.demands()[i];
+                let fit = tunnels.iter().copied().find(|&t| {
+                    self.tunnels
+                        .tunnel(t)
+                        .links
+                        .iter()
+                        .all(|&e| loads[e.index()] + d.demand_mbps <= caps[e.index()] + 1e-9)
+                });
+                let Some(t) = fit else {
+                    rejected += 1;
+                    continue;
+                };
+                let tun = self.tunnels.tunnel(t);
+                for &e in &tun.links {
+                    loads[e.index()] += d.demand_mbps;
+                }
+                // The provisional grant becomes part of the published
+                // allocation, so later admissions (and fallback
+                // publishes) account for it.
+                last.tunnel_flow_mbps[t.index()] += d.demand_mbps;
+                let hops: Vec<u32> = tun.sites.iter().skip(1).map(|s| s.0).collect();
+                next_paths.entry(d.src).or_default().insert(d.dst, hops);
+                admitted += 1;
+            }
+        }
+        megate_obs::counter("controller.admitted_flows").add(admitted as u64);
+        megate_obs::counter("controller.rejected_admissions").add(rejected as u64);
+
+        let outcome = self.publish_paths(next_paths, false, false)?;
+        Ok(AdmissionReport {
+            version: outcome.version,
+            admitted,
+            rejected,
+            changed_endpoints: outcome.changed,
+            published_bytes: outcome.published_bytes,
+        })
+    }
+
+    /// Diffs `next_paths` against the published state and commits the
+    /// encode → publish → GC → version-bump tail of an interval (also
+    /// used by the admission path). Encode errors abort before any
+    /// database write.
+    fn publish_paths(
+        &mut self,
+        next_paths: AllocationPaths,
+        force_snapshot: bool,
+        fallback: bool,
+    ) -> Result<PublishOutcome, ControllerError> {
+        let diff_span = megate_obs::span("controller.diff");
         let diff = diff_endpoint_paths(&self.last_paths, &next_paths);
+        // Read the churn gauge straight back after the diff that set
+        // it: the fleet-visible churn signal steering the *next*
+        // interval's warm/cold decision.
+        self.churn_hint_ppm = megate_obs::gauge("solver.diff_churn_ppm").get();
         drop(diff_span);
         let version = self.version + 1;
         let empty = EndpointConfig::default();
@@ -523,25 +729,34 @@ impl Controller {
             .keys()
             .all(|ep| ep.index() < self.catalog.len()));
 
-        if !fallback {
-            self.last_good = Some(allocation.clone());
-        }
-        let report = IntervalReport {
+        let outcome = PublishOutcome {
             version,
-            configured_endpoints: next_paths.len(),
-            changed_endpoints: diff.changed.len(),
-            removed_endpoints: diff.removed.len(),
-            unchanged_endpoints: diff.unchanged.len(),
+            configured: next_paths.len(),
+            changed: diff.changed.len(),
+            removed: diff.removed.len(),
+            unchanged: diff.unchanged.len(),
             snapshot_flush: flush_snapshots,
             published_bytes,
-            fallback,
             publish_errors,
-            allocation,
-            total_time: started.elapsed(),
         };
         self.last_paths = next_paths;
-        Ok(report)
+        Ok(outcome)
     }
+}
+
+/// What [`Controller::publish_paths`] committed: the bumped version and
+/// the interval's publication accounting, scheme-agnostic so both the
+/// solve path and the admission path can assemble their reports from
+/// it.
+struct PublishOutcome {
+    version: u64,
+    configured: usize,
+    changed: usize,
+    removed: usize,
+    unchanged: usize,
+    snapshot_flush: bool,
+    published_bytes: u64,
+    publish_errors: usize,
 }
 
 #[cfg(test)]
@@ -792,6 +1007,110 @@ mod tests {
         for s in 0..db.shard_count() {
             db.set_shard_down(s, false);
         }
+    }
+
+    #[test]
+    fn steady_state_intervals_warm_solve_with_zero_dirty_pairs() {
+        let (mut ctl, demands) = fixture();
+        let r1 = ctl.run_interval(&demands).unwrap();
+        let inc1 = r1.incremental.clone().expect("fresh solve reports engine activity");
+        assert!(inc1.cold, "first interval has no warm state");
+        let r2 = ctl.run_interval(&demands).unwrap();
+        let inc2 = r2.incremental.clone().unwrap();
+        assert!(!inc2.cold, "unchanged demands must warm-solve");
+        assert_eq!(inc2.dirty_pairs, 0);
+        assert!(inc2.carried_endpoints > 0);
+        assert_eq!(
+            r2.allocation.tunnel_flow_mbps,
+            r1.allocation.tunnel_flow_mbps,
+            "zero churn carries the allocation forward verbatim"
+        );
+    }
+
+    #[test]
+    fn fallback_discards_warm_state_so_next_interval_is_cold() {
+        let (mut ctl, demands) = fixture();
+        ctl.run_interval(&demands).unwrap();
+        let warm = ctl.run_interval(&demands).unwrap();
+        assert!(!warm.incremental.unwrap().cold, "steady state warm-solves");
+
+        ctl.config.solve_deadline = Some(Duration::ZERO);
+        let fb = ctl.run_interval(&demands).unwrap();
+        assert!(fb.fallback);
+        assert!(
+            fb.incremental.is_none(),
+            "fallback publishes the last-good allocation, not the engine's"
+        );
+
+        ctl.config.solve_deadline = None;
+        let after = ctl.run_interval(&demands).unwrap();
+        assert!(
+            after.incremental.unwrap().cold,
+            "the stale basis was discarded: the post-fallback solve is cold"
+        );
+    }
+
+    #[test]
+    fn admission_grants_provisional_paths_from_residual_headroom() {
+        use megate_traffic::{EndpointDemand, QosClass};
+        let (mut ctl, demands) = fixture();
+        assert!(
+            matches!(
+                ctl.admit_demands(&demands),
+                Err(ControllerError::MissingAssignment)
+            ),
+            "admission needs a published allocation to grant headroom from"
+        );
+        let r1 = ctl.run_interval(&demands).unwrap();
+
+        // A new small flow between endpoints of an already-planned site
+        // pair, from a source endpoint with no configuration yet.
+        let d0 = &demands.demands()[0];
+        let pair = megate_topo::SitePair::new(
+            ctl.catalog.site_of(d0.src),
+            ctl.catalog.site_of(d0.dst),
+        );
+        let fresh_src = (0..ctl.catalog.len() as u64)
+            .map(EndpointId)
+            .find(|ep| {
+                ctl.catalog.site_of(*ep) == pair.src && !ctl.last_paths.contains_key(ep)
+            })
+            .expect("an unconfigured endpoint on the source site");
+        let mut arrivals = DemandSet::default();
+        arrivals.push(
+            pair,
+            EndpointDemand {
+                src: fresh_src,
+                dst: d0.dst,
+                demand_mbps: 0.01,
+                qos: QosClass::Class2,
+            },
+        );
+        // And one hopeless flow no link can hold: rejected, stays ECMP.
+        arrivals.push(
+            pair,
+            EndpointDemand {
+                src: fresh_src,
+                dst: d0.dst,
+                demand_mbps: 1e15,
+                qos: QosClass::Class3,
+            },
+        );
+
+        let rep = ctl.admit_demands(&arrivals).unwrap();
+        assert_eq!(rep.admitted, 1);
+        assert_eq!(rep.rejected, 1);
+        assert_eq!(rep.version, r1.version + 1);
+        assert!(rep.changed_endpoints >= 1, "the new source got a delta");
+        assert!(rep.published_bytes > 8, "more than the version record");
+        assert_eq!(ctl.db.latest_version(), Some(rep.version));
+        assert!(
+            ctl.last_paths.contains_key(&fresh_src),
+            "the provisional grant is part of published state"
+        );
+
+        // The control loop keeps running over the admission.
+        ctl.run_interval(&demands).unwrap();
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub mod prelude {
         decode_delta, decode_paths, diff_configs, encode_delta, encode_paths, ConfigDelta,
         ConfigError, EndpointConfig,
     };
-    pub use crate::controller::{Controller, ControllerConfig, ControllerError, IntervalReport};
+    pub use crate::controller::{
+        AdmissionReport, Controller, ControllerConfig, ControllerError, IntervalReport,
+    };
     pub use crate::resilience::{BackoffPolicy, PullPolicy};
     pub use crate::system::{MegaTeSystem, PullRound, SystemConfig, SystemError, TrafficReport};
     pub use megate_dataplane::{HostRegistry, WanNetwork};
@@ -87,6 +89,8 @@ pub use config::{
     decode_delta, decode_paths, diff_configs, encode_delta, encode_paths, ConfigDelta,
     ConfigError, EndpointConfig,
 };
-pub use controller::{Controller, ControllerConfig, ControllerError, IntervalReport};
+pub use controller::{
+    AdmissionReport, Controller, ControllerConfig, ControllerError, IntervalReport,
+};
 pub use resilience::{BackoffPolicy, PullPolicy};
 pub use system::{MegaTeSystem, PullRound, SystemConfig, SystemError, TrafficReport};

@@ -27,6 +27,7 @@ pub mod presolve;
 pub mod revised;
 pub mod simplex;
 
-pub use mcf::{Commodity, McfProblem, McfSolution, PathSpec};
+pub use mcf::{Commodity, McfProblem, McfSolution, McfWarmSolve, PathSpec};
 pub use presolve::{presolve, solve_presolved, Presolve};
+pub use revised::{solve_revised_warm, LpBasis, WarmLpSolve};
 pub use simplex::{LinearProgram, LpError, LpSolution, LpStatus, SparseRow};

@@ -26,7 +26,21 @@
 //!   revalidation, so the output is bitwise identical for any thread
 //!   count — see [`McfProblem::solve_fptas_with`].
 
+use crate::revised::LpBasis;
 use crate::simplex::{LinearProgram, LpError, LpStatus};
+
+/// Result of [`McfProblem::solve_exact_warm`]: the MCF solution plus
+/// the final simplex basis for retention across intervals.
+#[derive(Debug, Clone)]
+pub struct McfWarmSolve {
+    /// The exact MCF solution (identical contract to
+    /// [`McfProblem::solve_exact`]).
+    pub solution: McfSolution,
+    /// The final basis to retain for the next same-shaped solve.
+    pub basis: LpBasis,
+    /// Whether the supplied basis was actually re-entered from.
+    pub warm_used: bool,
+}
 
 /// One pre-established path (tunnel) of a commodity.
 #[derive(Debug, Clone)]
@@ -133,11 +147,12 @@ impl McfProblem {
             .all(|(&l, &c)| l <= c * (1.0 + tol) + 1e-9)
     }
 
-    /// Exact solve via the dense simplex. Fails with
-    /// [`LpError::TooLarge`] when the tableau would not fit — the same
-    /// out-of-memory wall the paper reports for LP-all at scale.
-    pub fn solve_exact(&self) -> Result<McfSolution, LpError> {
-        let _span = megate_obs::span("lp.exact");
+    /// Builds the path-form LP: one variable per `(commodity, path)` in
+    /// order, demand-cap rows for non-empty commodities, then capacity
+    /// rows for used links. Returns the LP, the variable layout, and
+    /// the link→row mapping for dual extraction.
+    #[allow(clippy::type_complexity)]
+    fn build_lp(&self) -> (LinearProgram, Vec<(usize, usize)>, Vec<Option<usize>>) {
         // Variable layout: one variable per (commodity, path), in order.
         let mut var_of: Vec<(usize, usize)> = Vec::new();
         let mut objective = Vec::new();
@@ -173,8 +188,15 @@ impl McfProblem {
                 lp.add_le(entries, self.link_capacity[e].max(0.0));
             }
         }
+        (lp, var_of, link_row)
+    }
 
-        let s = lp.solve()?;
+    fn unpack_lp_solution(
+        &self,
+        s: &crate::simplex::LpSolution,
+        var_of: &[(usize, usize)],
+        link_row: &[Option<usize>],
+    ) -> McfSolution {
         debug_assert_eq!(s.status, LpStatus::Optimal, "MCF LPs are bounded");
         let mut flows: Vec<Vec<f64>> =
             self.commodities.iter().map(|c| vec![0.0; c.paths.len()]).collect();
@@ -182,11 +204,33 @@ impl McfProblem {
             flows[k][t] = s.x[v];
         }
         let total_flow = s.x.iter().sum();
-        let link_prices = link_row
-            .iter()
-            .map(|r| r.map_or(0.0, |row| s.duals[row]))
-            .collect();
-        Ok(McfSolution { flows, total_flow, objective: s.objective, link_prices })
+        let link_prices =
+            link_row.iter().map(|r| r.map_or(0.0, |row| s.duals[row])).collect();
+        McfSolution { flows, total_flow, objective: s.objective, link_prices }
+    }
+
+    /// Exact solve via the dense simplex. Fails with
+    /// [`LpError::TooLarge`] when the tableau would not fit — the same
+    /// out-of-memory wall the paper reports for LP-all at scale.
+    pub fn solve_exact(&self) -> Result<McfSolution, LpError> {
+        let _span = megate_obs::span("lp.exact");
+        let (lp, var_of, link_row) = self.build_lp();
+        let s = lp.solve()?;
+        Ok(self.unpack_lp_solution(&s, &var_of, &link_row))
+    }
+
+    /// [`solve_exact`](McfProblem::solve_exact) with optional simplex
+    /// warm-start from the [`LpBasis`] retained by a previous solve of
+    /// a same-shaped instance (same commodities/paths/links; only
+    /// demands and capacities changed). Falls back to a cold start —
+    /// never to an error — when the basis does not fit, and always
+    /// returns the final basis for the caller to retain.
+    pub fn solve_exact_warm(&self, warm: Option<&LpBasis>) -> Result<McfWarmSolve, LpError> {
+        let _span = megate_obs::span("lp.exact");
+        let (lp, var_of, link_row) = self.build_lp();
+        let w = lp.solve_warm(warm)?;
+        let solution = self.unpack_lp_solution(&w.solution, &var_of, &link_row);
+        Ok(McfWarmSolve { solution, basis: w.basis, warm_used: w.warm_used })
     }
 
     /// Estimated working-set entries of [`solve_exact`]: `2m² + nnz`
@@ -217,6 +261,18 @@ impl McfProblem {
         }
         rows += used_link.iter().filter(|&&u| u).count();
         rows.saturating_mul(rows).saturating_mul(2).saturating_add(nnz)
+    }
+
+    /// [`size_estimate`](McfProblem::size_estimate) plus the footprint
+    /// of warm-start state retained across solves (the basis index per
+    /// row). Both terms are purely structural — independent of demand
+    /// and capacity *values* — so for a fixed instance shape this
+    /// estimate is identical on every re-solve. The solver layer's
+    /// `LpMode::Auto` relies on that: it sizes the instance once per
+    /// shape and latches the exact-vs-FPTAS choice, so a warm re-solve
+    /// can never flip modes mid-stream.
+    pub fn size_estimate_with_basis(&self, warm: Option<&LpBasis>) -> usize {
+        self.size_estimate().saturating_add(warm.map_or(0, |b| b.len()))
     }
 
     /// `(1−O(ε))`-optimal solve via Fleischer's round-robin variant of
@@ -566,6 +622,30 @@ mod tests {
         let p = one_link_instance(30.0, 100.0);
         let s = p.solve_exact().unwrap();
         assert!((s.total_flow - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_exact_solve_matches_cold_under_value_churn() {
+        // Same instance shape, changed demand and capacity values: the
+        // warm re-solve must engage the retained basis and agree with a
+        // cold solve to full precision; the structural size estimate
+        // must not move, so a latched Auto decision cannot flip.
+        let p0 = one_link_instance(100.0, 40.0);
+        let first = p0.solve_exact_warm(None).unwrap();
+        assert!(!first.warm_used);
+        let mut p1 = p0.clone();
+        p1.commodities[0].demand = 70.0;
+        p1.link_capacity[0] = 55.0;
+        assert_eq!(
+            p1.size_estimate_with_basis(Some(&first.basis)),
+            p0.size_estimate() + first.basis.len()
+        );
+        assert_eq!(p1.size_estimate(), p0.size_estimate());
+        let warm = p1.solve_exact_warm(Some(&first.basis)).unwrap();
+        let cold = p1.solve_exact().unwrap();
+        assert_eq!(warm.solution.flows, cold.flows, "warm must match cold bitwise here");
+        assert!((warm.solution.total_flow - 55.0).abs() < 1e-6);
+        assert!(p1.check_feasible(&warm.solution, 1e-9));
     }
 
     #[test]

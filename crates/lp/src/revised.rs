@@ -30,6 +30,55 @@
 
 use crate::simplex::{LinearProgram, LpError, LpSolution, LpStatus};
 
+/// A retained simplex basis — the warm-start state carried between
+/// solves of same-shaped instances.
+///
+/// Holds the basic-variable index per row of the final basis. Re-entry
+/// does not replay the eta file: the inverse is rebuilt from these
+/// indices by one Gauss–Jordan refactorization (the standard basis-file
+/// restart), which is both cheaper than storing `B⁻¹` and numerically
+/// fresh. A retained basis is only valid for an instance with the same
+/// `(rows, vars)` shape; [`solve_revised_warm`] silently falls back to
+/// a cold all-slack start on shape mismatch, a singular basis, or a
+/// primal-infeasible restart point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LpBasis {
+    basis: Vec<usize>,
+    m: usize,
+    n: usize,
+}
+
+impl LpBasis {
+    /// Number of retained basic-variable indices (= constraint rows).
+    pub fn len(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// True for the empty (zero-row) basis.
+    pub fn is_empty(&self) -> bool {
+        self.basis.is_empty()
+    }
+
+    /// The `(rows, vars)` shape this basis was factored for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+}
+
+/// Result of a warm-capable solve: the solution, the final basis for
+/// retention, and whether the supplied basis was actually used.
+#[derive(Debug, Clone)]
+pub struct WarmLpSolve {
+    /// The optimal (or unbounded) solution, identical in contract to
+    /// [`solve_revised`].
+    pub solution: LpSolution,
+    /// The final basis, to retain for the next same-shaped solve.
+    pub basis: LpBasis,
+    /// Whether phase 2 re-entered from the supplied basis (false when
+    /// none was given or the fallback path ran cold).
+    pub warm_used: bool,
+}
+
 /// Numerical tolerance for pricing and feasibility (matches the dense
 /// solver so the two report identical statuses on marginal instances).
 const EPS: f64 = 1e-9;
@@ -131,6 +180,51 @@ impl<'a> Revised<'a> {
             d,
             b,
         }
+    }
+
+    /// Warm restart: rebuilds the solver state from a retained basis.
+    /// Returns `None` (caller falls back to a cold start) when the
+    /// basis does not fit this instance's shape, is not a valid row
+    /// permutation of variable indices, refactorizes as singular, or
+    /// lands primal-infeasible under the new right-hand side.
+    fn with_basis(lp: &'a LinearProgram, warm: &LpBasis) -> Option<Self> {
+        let m = lp.rows.len();
+        let n = lp.n_vars();
+        if warm.m != m || warm.n != n || warm.basis.len() != m {
+            return None;
+        }
+        let mut in_basis = vec![false; n + m];
+        for &vb in &warm.basis {
+            if vb >= n + m || in_basis[vb] {
+                return None;
+            }
+            in_basis[vb] = true;
+        }
+        let cols = SparseCols::build(lp);
+        let b: Vec<f64> = lp.rows.iter().map(|r| r.rhs).collect();
+        let mut st = Revised {
+            lp,
+            cols,
+            m,
+            n,
+            binv: vec![0.0f64; m * m],
+            basis: warm.basis.clone(),
+            in_basis,
+            xb: vec![0.0f64; m],
+            d: vec![0.0f64; n + m],
+            b,
+        };
+        // Refactorization rebuilds B⁻¹, x_B and exact reduced costs; a
+        // singular retained basis is the designated fallback trigger.
+        if st.refactorize().is_err() {
+            return None;
+        }
+        // The retained basis may be primal-infeasible for the new b
+        // (dual simplex would repair it; we fall back to cold instead).
+        if st.xb.iter().any(|&x| x < 0.0) {
+            return None;
+        }
+        Some(st)
     }
 
     /// `w = B⁻¹ A_j` (FTRAN) — accumulates scaled columns of `B⁻¹`.
@@ -356,23 +450,75 @@ impl<'a> Revised<'a> {
 /// [`crate::simplex::LinearProgram::solve_dense`]: `Optimal` with
 /// primal/dual values, `Unbounded`, or an [`LpError`].
 pub fn solve_revised(lp: &LinearProgram) -> Result<LpSolution, LpError> {
+    solve_revised_warm(lp, None).map(|w| w.solution)
+}
+
+/// [`solve_revised`] with optional warm-start from a retained
+/// [`LpBasis`] of a previous same-shaped solve.
+///
+/// When `warm` fits (same shape, refactorizes cleanly, primal-feasible
+/// under the new right-hand side), phase 2 re-enters from it and
+/// steady-state re-solves typically price out in a handful of pivots.
+/// Otherwise — and on any numerical failure along the warm path — the
+/// solve silently falls back to the cold all-slack start, so the
+/// result contract is exactly that of [`solve_revised`]. The returned
+/// basis is always the final one, ready to retain for the next solve.
+pub fn solve_revised_warm(
+    lp: &LinearProgram,
+    warm: Option<&LpBasis>,
+) -> Result<WarmLpSolve, LpError> {
     let m = lp.rows.len();
     let n = lp.n_vars();
     if n == 0 {
-        return Ok(LpSolution {
-            status: LpStatus::Optimal,
-            x: vec![],
-            objective: 0.0,
-            pivots: 0,
-            duals: vec![0.0; m],
+        return Ok(WarmLpSolve {
+            solution: LpSolution {
+                status: LpStatus::Optimal,
+                x: vec![],
+                objective: 0.0,
+                pivots: 0,
+                duals: vec![0.0; m],
+            },
+            basis: LpBasis { basis: (0..m).collect(), m, n },
+            warm_used: false,
         });
     }
+    let _span = megate_obs::span("lp.solve");
+    let mut warm_used = false;
+    let mut st = match warm.and_then(|wb| Revised::with_basis(lp, wb)) {
+        Some(st) => {
+            warm_used = true;
+            megate_obs::counter("lp.warm_starts").inc();
+            st
+        }
+        None => Revised::new(lp),
+    };
+    // A warm restart just refactorized, so its prices are exact.
+    let solution = match run_simplex(&mut st, warm_used) {
+        Ok(s) => s,
+        Err(_) if warm_used => {
+            // Numerical trouble on the warm path: retry cold before
+            // reporting failure, so a stale basis can never make a
+            // previously solvable instance unsolvable.
+            warm_used = false;
+            st = Revised::new(lp);
+            run_simplex(&mut st, false)?
+        }
+        Err(e) => return Err(e),
+    };
+    let basis = LpBasis { basis: st.basis.clone(), m, n };
+    Ok(WarmLpSolve { solution, basis, warm_used })
+}
+
+/// The shared phase-2 pivot loop. `start_verified` marks the entry
+/// state's reduced costs as exactly priced (true right after a warm
+/// restart's refactorization).
+fn run_simplex(st: &mut Revised, start_verified: bool) -> Result<LpSolution, LpError> {
+    let m = st.m;
+    let n = st.n;
     // Metric handles are resolved once per solve; per-pivot cost is a
     // single relaxed add behind the obs enabled() branch.
-    let _span = megate_obs::span("lp.solve");
     let pivot_ctr = megate_obs::counter("lp.pivots");
     let refactor_ctr = megate_obs::counter("lp.refactorizations");
-    let mut st = Revised::new(lp);
     let mut w = vec![0.0f64; m];
     let mut pivots = 0usize;
     let limit = 50_000 + 40 * (m + n);
@@ -380,7 +526,7 @@ pub fn solve_revised(lp: &LinearProgram) -> Result<LpSolution, LpError> {
     let mut bland = false;
     // Set when the incremental reduced costs said "optimal" and we just
     // re-verified them exactly — terminates the refresh loop.
-    let mut verified = false;
+    let mut verified = start_verified;
 
     loop {
         // Entering variable: Dantzig (most positive reduced cost), or
@@ -578,6 +724,81 @@ mod tests {
                 "dual objective: revised y·b {} vs primal {}", yb_rev, dense.objective
             );
             proptest::prop_assert!(rev.duals.iter().all(|&y| y >= -1e-9));
+        }
+    }
+
+    #[test]
+    fn warm_restart_matches_cold_on_perturbed_rhs() {
+        // Solve once, perturb every right-hand side, re-solve warm: the
+        // objective must match a cold solve to full precision and the
+        // warm path must actually engage (same shape, feasible basis).
+        let lp0 = random_lp(8, 6, 42);
+        let first = solve_revised_warm(&lp0, None).unwrap();
+        assert!(!first.warm_used);
+        let mut lp1 = lp0.clone();
+        for (i, row) in lp1.rows.iter_mut().enumerate() {
+            row.rhs *= 1.0 + 0.05 * ((i % 3) as f64);
+        }
+        let warm = solve_revised_warm(&lp1, Some(&first.basis)).unwrap();
+        let cold = solve_revised(&lp1).unwrap();
+        assert_eq!(warm.solution.status, cold.status);
+        let scale = 1.0 + cold.objective.abs();
+        assert!(
+            (warm.solution.objective - cold.objective).abs() < 1e-6 * scale,
+            "warm {} vs cold {}",
+            warm.solution.objective,
+            cold.objective
+        );
+        assert!(lp1.is_feasible(&warm.solution.x));
+        // Unchanged instance: the retained basis is optimal as-is, so
+        // the warm re-solve prices out with zero pivots.
+        let again = solve_revised_warm(&lp0, Some(&first.basis)).unwrap();
+        assert!(again.warm_used);
+        assert_eq!(again.solution.pivots, 0);
+        assert!((again.solution.objective - first.solution.objective).abs() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn warm_restart_falls_back_on_shape_mismatch() {
+        let lp0 = random_lp(6, 4, 7);
+        let first = solve_revised_warm(&lp0, None).unwrap();
+        // A different shape: the basis must be rejected, not misapplied.
+        let lp1 = random_lp(7, 4, 7);
+        let warm = solve_revised_warm(&lp1, Some(&first.basis)).unwrap();
+        assert!(!warm.warm_used, "mismatched shape must fall back cold");
+        let cold = solve_revised(&lp1).unwrap();
+        assert!((warm.solution.objective - cold.objective).abs() < 1e-9);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        #[test]
+        fn warm_restart_is_exact_under_random_churn(
+            n in 2usize..8,
+            m_extra in 1usize..6,
+            seed in 0u64..10_000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let lp0 = random_lp(n, m_extra, seed);
+            let mut prev = solve_revised_warm(&lp0, None).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xbeef);
+            // A short churn sequence re-using each solve's final basis.
+            for _ in 0..3 {
+                let mut lp = lp0.clone();
+                for row in &mut lp.rows {
+                    row.rhs *= rng.gen_range(0.5..1.5);
+                }
+                let warm = solve_revised_warm(&lp, Some(&prev.basis)).unwrap();
+                let cold = solve_revised(&lp).unwrap();
+                let scale = 1.0 + cold.objective.abs();
+                proptest::prop_assert_eq!(warm.solution.status, cold.status);
+                proptest::prop_assert!(
+                    (warm.solution.objective - cold.objective).abs() < 1e-6 * scale,
+                    "warm {} vs cold {}", warm.solution.objective, cold.objective
+                );
+                proptest::prop_assert!(lp.is_feasible(&warm.solution.x));
+                prev = warm;
+            }
         }
     }
 

@@ -97,6 +97,23 @@ impl LinearProgram {
         crate::revised::solve_revised(self)
     }
 
+    /// Solves like [`solve`](Self::solve) but may re-enter phase 2 from
+    /// a retained [`LpBasis`](crate::revised::LpBasis) of a previous
+    /// same-shaped solve, and always returns the final basis for
+    /// retention. Falls back to a cold start (never errors) when the
+    /// warm basis does not fit; see
+    /// [`solve_revised_warm`](crate::revised::solve_revised_warm).
+    pub fn solve_warm(
+        &self,
+        warm: Option<&crate::revised::LpBasis>,
+    ) -> Result<crate::revised::WarmLpSolve, LpError> {
+        let entries = self.revised_entries();
+        if entries > TABLEAU_ENTRY_CAP {
+            return Err(LpError::TooLarge { entries, cap: TABLEAU_ENTRY_CAP });
+        }
+        crate::revised::solve_revised_warm(self, warm)
+    }
+
     /// Solves the LP with the dense tableau simplex — kept as the
     /// reference implementation and for benchmarking against
     /// [`solve`](Self::solve).

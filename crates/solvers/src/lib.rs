@@ -14,6 +14,7 @@
 //! allocation (§4.1) wraps any scheme via [`qos::solve_per_qos`].
 
 pub mod diff;
+pub mod incremental;
 pub mod lp_all;
 pub mod maxallflow;
 pub mod megate;
@@ -23,6 +24,7 @@ pub mod teal;
 pub mod types;
 
 pub use diff::{diff_endpoint_paths, endpoint_paths, AllocationDiff, AllocationPaths, EndpointPathSet};
+pub use incremental::{DirtySet, IncrementalConfig, IncrementalEngine, IncrementalReport};
 pub use maxallflow::ExhaustiveScheme;
 pub use megate::{LpMode, MegaTeConfig, MegaTeScheme};
 pub use lp_all::LpAllScheme;

@@ -26,11 +26,28 @@ use std::time::Instant;
 /// How the first-stage LP is solved.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LpMode {
-    /// Pick exact vs FPTAS from the instance size (default).
+    /// Pick exact vs FPTAS from the instance size (default). The
+    /// decision compares [`McfProblem::size_estimate_with_basis`] —
+    /// which is purely structural, counting any retained warm-start
+    /// state but no demand/capacity *values* — against
+    /// [`MegaTeConfig::auto_exact_entry_cap`]. The incremental engine
+    /// ([`crate::incremental::IncrementalEngine`]) resolves this once
+    /// per instance shape and latches the choice, so a warm re-solve
+    /// can never flip exact↔FPTAS mid-stream.
     Auto,
     /// Always the exact sparse revised simplex (memory-walled).
     Exact,
     /// Always the multiplicative-weights FPTAS with the given ε.
+    Fptas(f64),
+}
+
+/// [`LpMode`] with `Auto` resolved to a concrete solver — what the
+/// incremental engine latches per instance shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ResolvedLpMode {
+    /// Exact sparse revised simplex.
+    Exact,
+    /// FPTAS at this ε.
     Fptas(f64),
 }
 
@@ -101,7 +118,21 @@ impl MegaTeScheme {
         if pairs_demand.is_empty() {
             return Ok((Vec::new(), Vec::new()));
         }
-        let caps = problem.link_capacities();
+        let mcf = self.build_mcf(problem, &pairs_demand);
+        let mode = self.resolve_mode(&mcf, None);
+        let solution = self.solve_mcf(&mcf, mode)?;
+        let pairs: Vec<SitePair> = pairs_demand.iter().map(|&(p, _)| p).collect();
+        Ok((pairs, solution.flows))
+    }
+
+    /// Builds the stage-1 MCF from aggregated pair demands: one
+    /// commodity per pair in `pairs_demand` order, one path per tunnel
+    /// (ascending weight), full-graph link capacities.
+    pub(crate) fn build_mcf(
+        &self,
+        problem: &TeProblem,
+        pairs_demand: &[(SitePair, f64)],
+    ) -> McfProblem {
         let commodities: Vec<Commodity> = pairs_demand
             .iter()
             .map(|&(pair, demand)| Commodity {
@@ -120,26 +151,47 @@ impl MegaTeScheme {
                     .collect(),
             })
             .collect();
-        let mcf = McfProblem {
-            link_capacity: caps,
+        McfProblem {
+            link_capacity: problem.link_capacities(),
             commodities,
             epsilon_weight: self.config.epsilon_weight,
-        };
+        }
+    }
 
-        let threads = self.config.threads.max(1);
-        let solution = match self.config.lp_mode {
-            LpMode::Exact => mcf.solve_exact().map_err(|e| SolveError::Lp(e.to_string()))?,
-            LpMode::Fptas(eps) => mcf.solve_fptas_with(eps, threads),
+    /// Resolves [`LpMode`] for this instance; `Auto` sizes the revised
+    /// solver's working set including any retained warm-start state
+    /// (both structural, so the decision is value-independent).
+    pub(crate) fn resolve_mode(
+        &self,
+        mcf: &McfProblem,
+        warm: Option<&megate_lp::LpBasis>,
+    ) -> ResolvedLpMode {
+        match self.config.lp_mode {
+            LpMode::Exact => ResolvedLpMode::Exact,
+            LpMode::Fptas(eps) => ResolvedLpMode::Fptas(eps),
             LpMode::Auto => {
-                if mcf.size_estimate() <= self.config.auto_exact_entry_cap {
-                    mcf.solve_exact().map_err(|e| SolveError::Lp(e.to_string()))?
+                if mcf.size_estimate_with_basis(warm) <= self.config.auto_exact_entry_cap {
+                    ResolvedLpMode::Exact
                 } else {
-                    mcf.solve_fptas_with(self.config.auto_fptas_eps, threads)
+                    ResolvedLpMode::Fptas(self.config.auto_fptas_eps)
                 }
             }
-        };
-        let pairs: Vec<SitePair> = pairs_demand.iter().map(|&(p, _)| p).collect();
-        Ok((pairs, solution.flows))
+        }
+    }
+
+    /// Solves the MCF with an already-resolved mode.
+    pub(crate) fn solve_mcf(
+        &self,
+        mcf: &McfProblem,
+        mode: ResolvedLpMode,
+    ) -> Result<megate_lp::McfSolution, SolveError> {
+        let threads = self.config.threads.max(1);
+        match mode {
+            ResolvedLpMode::Exact => {
+                mcf.solve_exact().map_err(|e| SolveError::Lp(e.to_string()))
+            }
+            ResolvedLpMode::Fptas(eps) => Ok(mcf.solve_fptas_with(eps, threads)),
+        }
     }
 
     /// Stage 3: `MaxEndpointFlow` for one site pair — selects, for each
@@ -410,27 +462,21 @@ impl MegaTeScheme {
     /// First-fits still-unassigned demands (largest first) onto their
     /// pair's tunnels (shortest first) wherever every traversed link
     /// still has headroom. Strictly feasibility-preserving.
-    fn repair_with_residuals(
+    pub(crate) fn repair_with_residuals(
         &self,
         problem: &TeProblem,
         assignment: &mut [Option<TunnelId>],
     ) {
-        let caps = problem.link_capacities();
-        let mut loads = vec![0.0f64; caps.len()];
+        let mut loads = vec![0.0f64; problem.graph.link_count()];
+        let demands = problem.demands.demands();
         for (i, choice) in assignment.iter().enumerate() {
             if let Some(t) = choice {
-                let d = problem.demands.demands()[i].demand_mbps;
+                let d = demands[i].demand_mbps;
                 for &e in &problem.tunnels.tunnel(*t).links {
                     loads[e.index()] += d;
                 }
             }
         }
-        let demands = problem.demands.demands();
-        let mut unassigned: Vec<usize> = (0..assignment.len())
-            .filter(|&i| assignment[i].is_none() && demands[i].demand_mbps > 0.0)
-            .collect();
-        unassigned.sort_by(|&a, &b| demands[b].demand_mbps.total_cmp(&demands[a].demand_mbps));
-
         // Demand index -> site pair, precomputed once.
         let mut pair_of: Vec<Option<SitePair>> = vec![None; demands.len()];
         for pair in problem.demands.pairs() {
@@ -438,9 +484,34 @@ impl MegaTeScheme {
                 pair_of[i] = Some(pair);
             }
         }
-        for &i in &unassigned {
+        let candidates: Vec<(usize, SitePair)> = (0..assignment.len())
+            .filter(|&i| assignment[i].is_none() && demands[i].demand_mbps > 0.0)
+            .filter_map(|i| pair_of[i].map(|p| (i, p)))
+            .collect();
+        self.repair_candidates(problem, assignment, candidates, &mut loads);
+    }
+
+    /// The repair core behind [`repair_with_residuals`]: first-fits the
+    /// given `(endpoint index, site pair)` candidates — largest demand
+    /// first; `candidates` must be in ascending index order so ties
+    /// break like the full pass — onto their pair's tunnels wherever
+    /// `loads` leaves headroom, updating `loads` in place. The warm
+    /// path calls this directly with only the dirty pairs' endpoints.
+    ///
+    /// [`repair_with_residuals`]: Self::repair_with_residuals
+    pub(crate) fn repair_candidates(
+        &self,
+        problem: &TeProblem,
+        assignment: &mut [Option<TunnelId>],
+        mut candidates: Vec<(usize, SitePair)>,
+        loads: &mut [f64],
+    ) {
+        let caps = problem.link_capacities();
+        let demands = problem.demands.demands();
+        candidates
+            .sort_by(|&(a, _), &(b, _)| demands[b].demand_mbps.total_cmp(&demands[a].demand_mbps));
+        for &(i, pair) in &candidates {
             let d = demands[i].demand_mbps;
-            let Some(pair) = pair_of[i] else { continue };
             for &t in problem.tunnels.tunnels_for(pair) {
                 let tun = problem.tunnels.tunnel(t);
                 let fits = tun

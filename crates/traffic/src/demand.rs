@@ -226,6 +226,15 @@ impl DemandSet {
         (out, back)
     }
 
+    /// Overwrites one demand's value in place (index into
+    /// [`demands`](Self::demands)). Pair grouping is untouched — this
+    /// is the demand-delta entry point the incremental engine's
+    /// dirty-set tracker keys on.
+    pub fn set_demand_mbps(&mut self, idx: usize, mbps: f64) {
+        assert!(mbps >= 0.0, "negative demand");
+        self.demands[idx].demand_mbps = mbps;
+    }
+
     /// Scales every demand by `factor`.
     pub fn scale(&mut self, factor: f64) {
         assert!(factor >= 0.0);

@@ -32,6 +32,7 @@ Figure binary -> output mapping (all JSON lands in results/):
   fig_resilience     results/fig_resilience.json     fault-storm control-loop drill (+ BENCH_resilience.json)
   fig_dataplane      results/fig_dataplane.json      batched multi-core TC fast path (+ BENCH_dataplane.json)
   fig_solver_scale   results/fig_solver_scale.json   flat stage-3 endpoints x threads sweep (+ BENCH_solver_scale.json)
+  fig_incremental    results/fig_incremental.json    warm-started dirty-set solves vs cold (+ BENCH_incremental.json)
   ablations          results/ablations.json          component ablations
   ext_hybrid_sync    results/ext_hybrid_sync.json    §8 hybrid sync extension
   ext_prediction     results/ext_prediction.json     §8 demand-prediction extension
@@ -55,14 +56,17 @@ if [[ "$SCALE" == "--quick" ]]; then
   cargo test -q --test dataplane_batch
   # Same bar for the flat stage-3 kernel before its scaling figure.
   cargo test -q --test solver_equivalence
+  # And for the warm-started incremental engine before its figure.
+  cargo test -q --test incremental
   cargo run -q -p megate-bench --release --bin fig09_runtime -- --scale quick
   cargo run -q -p megate-bench --release --bin fig_resilience -- --scale quick
   cargo run -q -p megate-bench --release --bin fig_dataplane -- --scale quick
   cargo run -q -p megate-bench --release --bin fig_solver_scale -- --scale quick
+  cargo run -q -p megate-bench --release --bin fig_incremental -- --scale quick
   echo "================================================================"
   echo "Smoke run done. JSON in results/ (incl. BENCH_fig09.json,"
-  echo "BENCH_resilience.json, BENCH_dataplane.json and"
-  echo "BENCH_solver_scale.json metrics)."
+  echo "BENCH_resilience.json, BENCH_dataplane.json,"
+  echo "BENCH_solver_scale.json and BENCH_incremental.json metrics)."
   exit 0
 fi
 
@@ -76,7 +80,7 @@ BINS=(
   fig09_runtime fig10_satisfied fig11_latency fig12_failures
   fig13_connections fig14_sync_scale
   fig15_app_latency fig16_availability fig17_cost
-  fig_resilience fig_dataplane fig_solver_scale
+  fig_resilience fig_dataplane fig_solver_scale fig_incremental
   ablations ext_hybrid_sync ext_prediction
 )
 cargo build -p megate-bench --release --bins

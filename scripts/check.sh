@@ -19,9 +19,15 @@ cargo test -q --test dataplane_batch
 # The flat stage-3 kernel equivalence gate: work-stealing MaxEndpointFlow
 # must stay bitwise-identical to the scalar path at every thread count.
 cargo test -q --test solver_equivalence
+# The incremental-engine gate: 100%-dirty warm solves bitwise-equal cold,
+# zero churn publishes nothing, warm/cold interleavings stay feasible.
+cargo test -q --test incremental
 # A reduced fig_solver_scale run: 1M-class stage 3 must keep its busy-time
 # scaling gate even at quick scale.
 cargo run -q -p megate-bench --release --bin fig_solver_scale -- --scale quick
+# A reduced fig_incremental run: steady-state warm intervals must keep the
+# >=10x speedup and <=1% satisfied-demand gates even at quick scale.
+cargo run -q -p megate-bench --release --bin fig_incremental -- --scale quick
 cargo clippy --workspace -- -D warnings
 # Rustdoc is part of the deliverable: broken intra-doc links or missing
 # docs in `#![warn(missing_docs)]` crates fail the gate.

@@ -227,6 +227,41 @@ fn stale_agents_degrade_to_ecmp_and_recover() {
 }
 
 #[test]
+fn deadline_fallback_discards_warm_state_then_warm_solving_resumes() {
+    // A solve-deadline overrun publishes the previous allocation, so
+    // the incremental engine's retained basis no longer describes what
+    // the fleet is steering on. The fallback must junk that state: the
+    // next real solve is cold, and only then does warm solving resume.
+    let (mut sys, demands) = build(2, 1, 3);
+    sys.bring_up(&demands).expect("hosts come up");
+    let r1 = sys.run_controller_interval(&demands).expect("interval");
+    assert!(r1.incremental.as_ref().is_some_and(|r| r.cold), "first solve is cold");
+    let r2 = sys.run_controller_interval(&demands).expect("interval");
+    assert!(
+        r2.incremental.as_ref().is_some_and(|r| !r.cold),
+        "an unchanged interval warm-solves"
+    );
+    assert!(sys.controller_mut().has_warm_state());
+
+    sys.controller_mut().config_mut().solve_deadline = Some(std::time::Duration::ZERO);
+    let r3 = sys.run_controller_interval(&demands).expect("fallback publishes");
+    assert!(r3.incremental.is_none(), "a fallback interval reports no solve");
+    assert!(
+        !sys.controller_mut().has_warm_state(),
+        "the stale basis must not survive a fallback publish"
+    );
+
+    sys.controller_mut().config_mut().solve_deadline = None;
+    let r4 = sys.run_controller_interval(&demands).expect("interval");
+    assert!(
+        r4.incremental.as_ref().is_some_and(|r| r.cold),
+        "the first post-fallback solve re-seeds cold"
+    );
+    let r5 = sys.run_controller_interval(&demands).expect("interval");
+    assert!(r5.incremental.as_ref().is_some_and(|r| !r.cold), "warm solving resumes");
+}
+
+#[test]
 fn replication_rides_through_a_single_shard_outage() {
     // With 2-way replication a lone shard outage is invisible to the
     // fleet: no staleness, no degradation, reads fail over.

@@ -75,6 +75,26 @@ fn end_to_end_cycle_populates_every_layer() {
         .expect("per-pair endpoint-count histogram must exist");
     assert!(pair_hist.count > 0, "every solved pair records its endpoint count");
 
+    // Incremental-engine series (DESIGN.md §5f): the warm/cold solve
+    // counters and the dirty-pair counter are registered when the
+    // controller builds its engine, and a cold-start interval must
+    // have recorded at least one cold solve. The diff churn gauge is
+    // set by the publish path's allocation diff.
+    for ctr in ["solver.warm_solves", "solver.cold_solves", "solver.dirty_pairs"] {
+        assert!(
+            snap.counters.contains_key(ctr),
+            "incremental-engine counter {ctr} must be registered up front"
+        );
+    }
+    assert!(
+        snap.counters.get("solver.cold_solves").copied().unwrap_or(0) > 0,
+        "a cold-start interval runs at least one cold solve"
+    );
+    assert!(
+        snap.gauges.contains_key("solver.diff_churn_ppm"),
+        "the publish path must record the allocation-diff churn"
+    );
+
     // TE-DB byte counters: the controller's published-byte mirror and
     // the database's own wire counter both moved.
     for ctr in ["controller.delta_bytes", "tedb.wire_bytes"] {
