@@ -21,13 +21,23 @@ fn random_mcf(n_links: usize, n_comm: usize, seed: u64) -> McfProblem {
                         links.swap(j, rng.gen_range(0..=j));
                     }
                     links.truncate(len);
-                    PathSpec { links, weight: 1.0 + i as f64 }
+                    PathSpec {
+                        links,
+                        weight: 1.0 + i as f64,
+                    }
                 })
                 .collect();
-            Commodity { demand: rng.gen_range(10.0..100.0), paths }
+            Commodity {
+                demand: rng.gen_range(10.0..100.0),
+                paths,
+            }
         })
         .collect();
-    McfProblem { link_capacity, commodities, epsilon_weight: 1e-4 }
+    McfProblem {
+        link_capacity,
+        commodities,
+        epsilon_weight: 1e-4,
+    }
 }
 
 /// The raw LP of a path-form MCF with many paths per commodity — the
@@ -85,7 +95,9 @@ fn bench_lp(c: &mut Criterion) {
     // batch-priced parallel.
     let big = random_mcf(200, 5_000, 9);
     group.bench_function("fptas_0.1/5000", |b| b.iter(|| big.solve_fptas(0.1)));
-    group.bench_function("fptas_0.1x4/5000", |b| b.iter(|| big.solve_fptas_with(0.1, 4)));
+    group.bench_function("fptas_0.1x4/5000", |b| {
+        b.iter(|| big.solve_fptas_with(0.1, 4))
+    });
     group.finish();
 }
 

@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use megate_dataplane::route_decision;
 use megate_hoststack::{InstanceId, Pid, SimKernel};
-use megate_packet::{
-    insert_sr_header, parse_megate_frame, FiveTuple, MegaTeFrameSpec, Proto,
-};
+use megate_packet::{insert_sr_header, parse_megate_frame, FiveTuple, MegaTeFrameSpec, Proto};
 
 fn tuple() -> FiveTuple {
     FiveTuple {

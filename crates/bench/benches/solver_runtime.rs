@@ -12,27 +12,19 @@ fn bench_schemes(c: &mut Criterion) {
     group.sample_size(10);
     for &endpoints in &[120usize, 1200] {
         let inst = build_instance(TopologySpec::B4, endpoints, 42);
-        group.bench_with_input(
-            BenchmarkId::new("MegaTE", endpoints),
-            &inst,
-            |b, inst| b.iter(|| MegaTeScheme::default().solve(&inst.problem()).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("TEAL", endpoints),
-            &inst,
-            |b, inst| b.iter(|| TealScheme::default().solve(&inst.problem()).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("NCFlow", endpoints),
-            &inst,
-            |b, inst| b.iter(|| NcFlowScheme::default().solve(&inst.problem()).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("MegaTE", endpoints), &inst, |b, inst| {
+            b.iter(|| MegaTeScheme::default().solve(&inst.problem()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("TEAL", endpoints), &inst, |b, inst| {
+            b.iter(|| TealScheme::default().solve(&inst.problem()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("NCFlow", endpoints), &inst, |b, inst| {
+            b.iter(|| NcFlowScheme::default().solve(&inst.problem()).unwrap())
+        });
         if endpoints <= 120 {
-            group.bench_with_input(
-                BenchmarkId::new("LP-all", endpoints),
-                &inst,
-                |b, inst| b.iter(|| LpAllScheme::default().solve(&inst.problem()).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new("LP-all", endpoints), &inst, |b, inst| {
+                b.iter(|| LpAllScheme::default().solve(&inst.problem()).unwrap())
+            });
         }
     }
     group.finish();

@@ -34,24 +34,20 @@ fn bench_concurrent(c: &mut Criterion) {
         }
         // Measure 100k queries spread over N client threads.
         group.throughput(Throughput::Elements(100_000));
-        group.bench_with_input(
-            BenchmarkId::new("get_100k", threads),
-            &db,
-            |b, db| {
-                b.iter(|| {
-                    std::thread::scope(|s| {
-                        for t in 0..threads {
-                            let db = db.clone();
-                            s.spawn(move || {
-                                for i in 0..(100_000 / threads) {
-                                    db.get(&format!("ep:{}", (t * 31 + i) % 10_000));
-                                }
-                            });
-                        }
-                    })
+        group.bench_with_input(BenchmarkId::new("get_100k", threads), &db, |b, db| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let db = db.clone();
+                        s.spawn(move || {
+                            for i in 0..(100_000 / threads) {
+                                db.get(&format!("ep:{}", (t * 31 + i) % 10_000));
+                            }
+                        });
+                    }
                 })
-            },
-        );
+            })
+        });
     }
     group.finish();
 }

@@ -8,8 +8,8 @@
 //! 4. **Query spreading on/off** for the pull loop.
 
 use megate_bench::{build_instance, fmt_pct, fmt_seconds, print_table, write_json};
-use megate_solvers::{MegaTeConfig, MegaTeScheme, TeScheme};
 use megate_solvers::megate::LpMode;
+use megate_solvers::{MegaTeConfig, MegaTeScheme, TeScheme};
 use megate_ssp::{dp_subset_sum, fast_ssp, first_fit_descending, FastSspConfig};
 use megate_tedb::{simulate_pull_sync, SyncConfig};
 use megate_topo::TopologySpec;
@@ -31,7 +31,9 @@ fn main() {
     // (a) many small flows (the common MaxEndpointFlow shape);
     // (b) few elephant flows (lumpy — where greedy leaves headroom).
     let small: Vec<u64> = (0..20_000u64).map(|i| 200 + (i * 7919) % 3800).collect();
-    let lumpy: Vec<u64> = (0..60u64).map(|i| 500_000 + (i * 982_451_653) % 4_500_000).collect();
+    let lumpy: Vec<u64> = (0..60u64)
+        .map(|i| 500_000 + (i * 982_451_653) % 4_500_000)
+        .collect();
     let mut rows = Vec::new();
     for (label, items) in [("20k small flows", &small), ("60 elephants", &lumpy)] {
         let capacity: u64 = items.iter().sum::<u64>() * 62 / 100;
@@ -48,7 +50,10 @@ fn main() {
             rows.push(vec![
                 format!("{algo} ({label})"),
                 format!("{}", capacity - total),
-                format!("{:.4}%", 100.0 * (capacity - total) as f64 / capacity as f64),
+                format!(
+                    "{:.4}%",
+                    100.0 * (capacity - total) as f64 / capacity as f64
+                ),
                 fmt_seconds(Some(t.as_secs_f64())),
             ]);
             records.push(AblationRecord {
@@ -69,7 +74,10 @@ fn main() {
     rows.push(vec![
         "exact DP (2k items only)".into(),
         format!("{}", small_cap - exact.total),
-        format!("{:.4}%", 100.0 * (small_cap - exact.total) as f64 / small_cap as f64),
+        format!(
+            "{:.4}%",
+            100.0 * (small_cap - exact.total) as f64 / small_cap as f64
+        ),
         fmt_seconds(Some(exact_t.as_secs_f64())),
     ]);
     print_table(
@@ -163,7 +171,12 @@ fn main() {
     }
     print_table(
         "Ablation 4: pull-loop query spreading (1M endpoints, 2 shards)",
-        &["mode", "per-shard peak qps", "overloaded ticks", "convergence"],
+        &[
+            "mode",
+            "per-shard peak qps",
+            "overloaded ticks",
+            "convergence",
+        ],
         &rows,
     );
 
@@ -174,7 +187,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut t1 = None;
     for threads in [1usize, 2, 4, 8, 16] {
-        let scheme = MegaTeScheme::new(MegaTeConfig { threads, ..Default::default() });
+        let scheme = MegaTeScheme::new(MegaTeConfig {
+            threads,
+            ..Default::default()
+        });
         let t0 = Instant::now();
         let alloc = scheme.solve(&p5).expect("solve");
         let elapsed = t0.elapsed().as_secs_f64();

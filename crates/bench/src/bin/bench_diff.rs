@@ -1,0 +1,189 @@
+//! Bench regression reporter: compares the working tree's
+//! `results/BENCH_*.json` metric snapshots against the committed
+//! baselines in `baselines/` and prints per-metric deltas.
+//!
+//! The report is informational — it always exits 0 — so `check.sh`
+//! can surface perf drift without turning noisy machines into gate
+//! failures. Counters and gauges compare by value; histograms compare
+//! by sample count, mean and p50/p99. Only metrics whose relative
+//! change exceeds the threshold (default 25%) are printed; pass
+//! `--threshold 0` to see everything, `--current`/`--baseline` to
+//! point at other directories.
+
+use megate_obs::Snapshot;
+use std::path::{Path, PathBuf};
+
+struct Options {
+    current: PathBuf,
+    baseline: PathBuf,
+    /// Minimum relative change (percent) worth printing.
+    threshold: f64,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        current: PathBuf::from("results"),
+        baseline: PathBuf::from("baselines"),
+        threshold: 25.0,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--current" if i + 1 < args.len() => {
+                opts.current = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--baseline" if i + 1 < args.len() => {
+                opts.baseline = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--threshold" if i + 1 < args.len() => {
+                opts.threshold = args[i + 1].parse().unwrap_or(25.0);
+                i += 2;
+            }
+            other => {
+                eprintln!("bench_diff: ignoring unknown argument {other:?}");
+                i += 1;
+            }
+        }
+    }
+    opts
+}
+
+/// Relative change in percent; `None` when both sides are zero (no
+/// change worth reporting) and `inf` when a zero baseline moved.
+fn rel_change(base: f64, cur: f64) -> Option<f64> {
+    if base == cur {
+        return None;
+    }
+    if base == 0.0 {
+        return Some(f64::INFINITY);
+    }
+    Some((cur - base) / base.abs() * 100.0)
+}
+
+fn fmt_change(pct: f64) -> String {
+    if pct.is_infinite() {
+        "new".to_string()
+    } else {
+        format!("{pct:+.1}%")
+    }
+}
+
+/// One compared metric beyond the threshold.
+struct Delta {
+    name: String,
+    base: String,
+    cur: String,
+    change: String,
+    /// Sort key: larger drifts first.
+    magnitude: f64,
+}
+
+fn compare(base: &Snapshot, cur: &Snapshot, threshold: f64) -> (usize, Vec<Delta>) {
+    let mut compared = 0usize;
+    let mut out = Vec::new();
+    let mut push = |name: String, b: f64, c: f64, unit: &str| {
+        compared += 1;
+        if let Some(pct) = rel_change(b, c) {
+            if pct.abs() >= threshold {
+                out.push(Delta {
+                    name,
+                    base: format!("{b}{unit}"),
+                    cur: format!("{c}{unit}"),
+                    change: fmt_change(pct),
+                    magnitude: pct.abs(),
+                });
+            }
+        }
+    };
+    for (name, &c) in &cur.counters {
+        let b = base.counters.get(name).copied().unwrap_or(0);
+        push(name.clone(), b as f64, c as f64, "");
+    }
+    for (name, &c) in &cur.gauges {
+        let b = base.gauges.get(name).copied().unwrap_or(0);
+        push(name.clone(), b as f64, c as f64, "");
+    }
+    for (name, h) in &cur.histograms {
+        let bh = base.histograms.get(name).cloned().unwrap_or_default();
+        push(format!("{name}.count"), bh.count as f64, h.count as f64, "");
+        push(format!("{name}.mean"), bh.mean(), h.mean(), "");
+        for (label, q) in [("p50", 0.5), ("p99", 0.99)] {
+            push(
+                format!("{name}.{label}"),
+                bh.quantile(q) as f64,
+                h.quantile(q) as f64,
+                "",
+            );
+        }
+    }
+    out.sort_by(|a, b| b.magnitude.total_cmp(&a.magnitude));
+    (compared, out)
+}
+
+fn load(path: &Path) -> Option<Snapshot> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match Snapshot::from_json(&text) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            println!("  {}: unreadable snapshot ({e})", path.display());
+            None
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut names: Vec<String> = match std::fs::read_dir(&opts.current) {
+        Ok(dir) => dir
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            println!(
+                "bench_diff: no current results under {} ({e}) — run the benches first",
+                opts.current.display()
+            );
+            return;
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        println!(
+            "bench_diff: no BENCH_*.json under {} — run the benches first",
+            opts.current.display()
+        );
+        return;
+    }
+    println!(
+        "== bench_diff: {} vs baseline {} (reporting |change| >= {}%) ==",
+        opts.current.display(),
+        opts.baseline.display(),
+        opts.threshold
+    );
+    for name in names {
+        let cur_path = opts.current.join(&name);
+        let base_path = opts.baseline.join(&name);
+        if !base_path.exists() {
+            println!("{name}: no committed baseline — skipped");
+            continue;
+        }
+        let (Some(base), Some(cur)) = (load(&base_path), load(&cur_path)) else {
+            continue;
+        };
+        let (compared, deltas) = compare(&base, &cur, opts.threshold);
+        println!(
+            "{name}: {compared} metrics compared, {} drifted",
+            deltas.len()
+        );
+        for d in &deltas {
+            println!(
+                "  {:<44} {:>14} -> {:<14} {}",
+                d.name, d.base, d.cur, d.change
+            );
+        }
+    }
+}

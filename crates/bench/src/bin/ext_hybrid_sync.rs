@@ -31,7 +31,10 @@ fn main() {
     for &fraction in &[0.0, 0.0001, 0.001, 0.01, 0.05, 0.2, 1.0] {
         let out = evaluate_hybrid(
             &volumes,
-            HybridConfig { persistent_fraction: fraction, spread_seconds: 10.0 },
+            HybridConfig {
+                persistent_fraction: fraction,
+                spread_seconds: 10.0,
+            },
         );
         rows.push(vec![
             format!("{:.2}%", fraction * 100.0),

@@ -80,7 +80,14 @@ fn main() {
 
     print_table(
         "Figure 2(a): per-pair latency distribution over one day (conventional TE)",
-        &["pair", "p10 ms", "p50 ms", "p90 ms", "spread ms", "MegaTE ms"],
+        &[
+            "pair",
+            "p10 ms",
+            "p50 ms",
+            "p90 ms",
+            "spread ms",
+            "MegaTE ms",
+        ],
         &rows,
     );
 

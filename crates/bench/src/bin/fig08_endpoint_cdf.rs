@@ -30,7 +30,10 @@ fn main() {
     let points: Vec<CdfPoint> = counts
         .iter()
         .enumerate()
-        .map(|(i, &c)| CdfPoint { endpoints_per_site: c, cdf: (i + 1) as f64 / n })
+        .map(|(i, &c)| CdfPoint {
+            endpoints_per_site: c,
+            cdf: (i + 1) as f64 / n,
+        })
         .collect();
 
     // Print the CDF at decade markers (the paper's x-axis is log-scaled
@@ -56,6 +59,9 @@ fn main() {
          \"varies significantly in orders of magnitude\").",
         (max / min.max(1.0)).log10()
     );
-    assert!(max / min.max(1.0) >= 100.0, "Weibull tail must span >= 2 decades");
+    assert!(
+        max / min.max(1.0) >= 100.0,
+        "Weibull tail must span >= 2 decades"
+    );
     write_json("fig08_endpoint_cdf", &points);
 }

@@ -67,7 +67,11 @@ fn main() {
     println!(
         "\nLargest solved instance: LP-all {lp_max} endpoints vs MegaTE {mega_max} \
          endpoints ({}x).",
-        if lp_max > 0 { mega_max / lp_max.max(1) } else { 0 }
+        if lp_max > 0 {
+            mega_max / lp_max.max(1)
+        } else {
+            0
+        }
     );
     write_json("fig09_runtime", &all);
 
@@ -88,8 +92,7 @@ fn end_to_end_probe() {
 
     let graph = TopologySpec::B4.build();
     let tunnels = TunnelTable::for_all_pairs(&graph, 3);
-    let catalog =
-        EndpointCatalog::generate(&graph, 120, WeibullEndpoints::with_scale(10.0), 2);
+    let catalog = EndpointCatalog::generate(&graph, 120, WeibullEndpoints::with_scale(10.0), 2);
     let mut demands = megate_traffic::DemandSet::generate(
         &graph,
         &catalog,
@@ -103,7 +106,8 @@ fn end_to_end_probe() {
     let mut sys =
         megate::MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
     sys.bring_up(&demands).expect("hosts come up");
-    sys.run_controller_interval(&demands).expect("probe interval solves");
+    sys.run_controller_interval(&demands)
+        .expect("probe interval solves");
     sys.agents_pull();
     sys.send_demand_packets(&demands);
 }

@@ -7,8 +7,8 @@
 //! lose several percent and eventually stop solving.
 
 use megate_bench::{
-    build_instance, endpoint_ladder, fmt_pct, print_table, run_scheme, scale_from_args,
-    write_json, SchemeRun,
+    build_instance, endpoint_ladder, fmt_pct, print_table, run_scheme, scale_from_args, write_json,
+    SchemeRun,
 };
 use megate_solvers::{LpAllScheme, MegaTeScheme, NcFlowScheme, TealScheme};
 use megate_topo::TopologySpec;

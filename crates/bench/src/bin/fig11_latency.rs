@@ -7,7 +7,7 @@
 //! report demand-weighted normalized latency per QoS class.
 
 use megate_bench::{print_table, write_json};
-use megate_solvers::{solve_per_qos, MegaTeScheme, NcFlowScheme, TealScheme, TeScheme};
+use megate_solvers::{solve_per_qos, MegaTeScheme, NcFlowScheme, TeScheme, TealScheme};
 use megate_traffic::QosClass;
 use serde::Serialize;
 
@@ -109,9 +109,7 @@ fn main() {
     let nc = NcFlowScheme::default().solve(&p).expect("ncflow");
     let teal = TealScheme::default().solve(&p).expect("teal");
 
-    let norm = |alloc: &megate_solvers::TeAllocation, q| {
-        alloc.mean_normalized_latency(&p, Some(q))
-    };
+    let norm = |alloc: &megate_solvers::TeAllocation, q| alloc.mean_normalized_latency(&p, Some(q));
     let mega_q1 = norm(&mega, QosClass::Class1);
     let nc_q1 = norm(&nc, QosClass::Class1);
     let teal_q1 = norm(&teal, QosClass::Class1);
@@ -123,13 +121,21 @@ fn main() {
         ("NCFlow", &nc, nc_q1),
         ("TEAL", &teal, teal_q1),
     ] {
-        let reduction = if name == "MegaTE" { 0.0 } else { 100.0 * (1.0 - mega_q1 / q1) };
+        let reduction = if name == "MegaTE" {
+            0.0
+        } else {
+            100.0 * (1.0 - mega_q1 / q1)
+        };
         rows.push(vec![
             name.to_string(),
             format!("{:.3}", q1),
             format!("{:.3}", norm(alloc, QosClass::Class2)),
             format!("{:.3}", norm(alloc, QosClass::Class3)),
-            if name == "MegaTE" { "-".into() } else { format!("{reduction:.0}%") },
+            if name == "MegaTE" {
+                "-".into()
+            } else {
+                format!("{reduction:.0}%")
+            },
         ]);
         json.push(LatencyRow {
             scheme: name.to_string(),

@@ -49,14 +49,16 @@ fn main() {
             let mut sum_nc = 0.0;
             let mut scenarios = 0usize;
             for seed in 0..8u64 {
-                let Some(scenario) =
-                    FailureScenario::sample_connected(p.graph, n_failures, seed)
+                let Some(scenario) = FailureScenario::sample_connected(p.graph, n_failures, seed)
                 else {
                     continue;
                 };
                 let degraded = scenario.apply(p.graph);
-                let p_after =
-                    TeProblem { graph: &degraded, tunnels: p.tunnels, demands: p.demands };
+                let p_after = TeProblem {
+                    graph: &degraded,
+                    tunnels: p.tunnels,
+                    demands: p.demands,
+                };
                 let mega_after = mega.solve(&p_after).expect("megate recompute");
                 let nc_after = nc.solve(&p_after).expect("ncflow recompute");
                 let total = p.total_demand_mbps();

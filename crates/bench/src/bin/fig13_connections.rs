@@ -25,7 +25,11 @@ fn main() {
             format!("{cpu:.0}%"),
             format!("{mem:.0} MB"),
         ]);
-        json.push(ConnRow { connections: conns, cpu_pct: cpu, memory_mb: mem });
+        json.push(ConnRow {
+            connections: conns,
+            cpu_pct: cpu,
+            memory_mb: mem,
+        });
     }
     print_table(
         "Figure 13: top-down persistent connections on a 1-core/1-GB VM \

@@ -97,7 +97,10 @@ fn main() {
     let mut byte_rows = Vec::new();
     let mut byte_json = Vec::new();
     for &churn in &[1.0, 0.25, 0.10, 0.05, 0.01] {
-        let base = SyncConfig { n_endpoints: 1_000_000, ..Default::default() };
+        let base = SyncConfig {
+            n_endpoints: 1_000_000,
+            ..Default::default()
+        };
         let full = simulate_pull_sync(&base.clone());
         let delta = simulate_pull_sync(&SyncConfig {
             mode: SyncMode::DeltaVersioned,

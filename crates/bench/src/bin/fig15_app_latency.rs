@@ -37,8 +37,7 @@ fn main() {
             let probe = TunnelTable::for_pairs(&graph, &[pair], 4);
             let ts = probe.tunnels_for(pair);
             if ts.len() >= 3 {
-                let spread = probe.tunnel(*ts.last().unwrap()).weight
-                    / probe.tunnel(ts[0]).weight;
+                let spread = probe.tunnel(*ts.last().unwrap()).weight / probe.tunnel(ts[0]).weight;
                 candidates.push((spread, pair));
             }
         }
@@ -47,7 +46,14 @@ fn main() {
     // Each app serves a different region: App 1 crosses the most
     // detour-prone routes (largest reduction), App 5 the least.
     let app_pairs: Vec<Vec<SitePair>> = (0..5)
-        .map(|a| candidates.iter().skip(a * 6).take(6).map(|&(_, p)| p).collect())
+        .map(|a| {
+            candidates
+                .iter()
+                .skip(a * 6)
+                .take(6)
+                .map(|&(_, p)| p)
+                .collect()
+        })
         .collect();
     let all_pairs: Vec<SitePair> = app_pairs.iter().flatten().copied().collect();
     let tunnels = TunnelTable::for_pairs(&graph, &all_pairs, 4);

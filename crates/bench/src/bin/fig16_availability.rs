@@ -22,8 +22,8 @@ struct MonthRow {
 }
 
 const MONTHS: [&str; 12] = [
-    "2022-07", "2022-08", "2022-09", "2022-10", "2022-11", "2022-12",
-    "2023-01", "2023-02", "2023-03", "2023-04", "2023-05", "2023-06",
+    "2022-07", "2022-08", "2022-09", "2022-10", "2022-11", "2022-12", "2023-01", "2023-02",
+    "2023-03", "2023-04", "2023-05", "2023-06",
 ];
 /// MegaTE rollout month (paper: December 2022).
 const DEPLOY_AT: usize = 5;
@@ -42,8 +42,7 @@ fn main() {
             let probe = TunnelTable::for_pairs(&graph, &[pair], 4);
             let ts = probe.tunnels_for(pair);
             if ts.len() >= 3 {
-                let spread = probe.tunnel(*ts.last().unwrap()).weight
-                    / probe.tunnel(ts[0]).weight;
+                let spread = probe.tunnel(*ts.last().unwrap()).weight / probe.tunnel(ts[0]).weight;
                 candidates.push((spread, pair));
             }
         }
@@ -62,14 +61,22 @@ fn main() {
         let deployed = m >= DEPLOY_AT;
         // Before deployment both apps hash across tunnels with a
         // month-rotating seed; after, MegaTE places them per class.
-        let placement = if deployed { Placement::MegaTe } else { Placement::Traditional };
+        let placement = if deployed {
+            Placement::MegaTe
+        } else {
+            Placement::Traditional
+        };
         let a6 = evaluate_app(&graph, &tunnels, app6, &flows6, placement, m as u64);
         let a7 = evaluate_app(&graph, &tunnels, app7, &flows7, placement, m as u64);
         rows.push(vec![
             month.to_string(),
             format!("{:.4}%", a6.availability * 100.0),
             format!("{:.3}%", a7.availability * 100.0),
-            if deployed { "MegaTE".into() } else { "traditional".into() },
+            if deployed {
+                "MegaTE".into()
+            } else {
+                "traditional".into()
+            },
         ]);
         json.push(MonthRow {
             month: month.to_string(),
@@ -91,7 +98,9 @@ fn main() {
         min_post_app6 >= app6.availability_sla,
         "App 6 must meet its SLA after rollout: {min_post_app6}"
     );
-    assert!(json.iter().all(|r| r.app7_availability >= app7.availability_sla));
+    assert!(json
+        .iter()
+        .all(|r| r.app7_availability >= app7.availability_sla));
     println!(
         "\nApp 6 post-rollout minimum availability: {:.4}% (SLA {:.2}%).",
         min_post_app6 * 100.0,

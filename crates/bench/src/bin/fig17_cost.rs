@@ -24,11 +24,7 @@ struct CostRow {
 }
 
 /// Pre-rollout placement: everything on the premium (shortest) tunnel.
-fn premium_cost(
-    tunnels: &TunnelTable,
-    app: &AppProfile,
-    flows: &[AppFlow],
-) -> f64 {
+fn premium_cost(tunnels: &TunnelTable, app: &AppProfile, flows: &[AppFlow]) -> f64 {
     let mut cost = 0.0;
     for f in flows {
         // Force the class-1 policy (premium path) regardless of class.

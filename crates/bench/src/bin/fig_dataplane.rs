@@ -21,8 +21,7 @@
 
 use megate_bench::{print_table, scale_from_args, write_json, Scale};
 use megate_dataplane::workers::{
-    install_profile, run_batched, run_single_frame, Trace, TrafficGen, TrafficProfile,
-    WorkerConfig,
+    install_profile, run_batched, run_single_frame, Trace, TrafficGen, TrafficProfile, WorkerConfig,
 };
 use megate_hoststack::SimKernel;
 use megate_packet::FiveTuple;
@@ -63,7 +62,12 @@ fn run_cell(
     install_profile(&kernel, profile);
     let (path, cores, batch_size, rep) = match cfg {
         None => ("single", 1, 1, run_single_frame(&kernel, trace)),
-        Some(cfg) => ("batched", cfg.cores, cfg.batch_size, run_batched(&kernel, trace, cfg)),
+        Some(cfg) => (
+            "batched",
+            cfg.cores,
+            cfg.batch_size,
+            run_batched(&kernel, trace, cfg),
+        ),
     };
     let row = DataplaneRow {
         path,
@@ -116,8 +120,7 @@ fn main() {
                 "cores {cores} batch {batch_size}: traffic_map diverged from single-frame path"
             );
             row.wall_speedup_vs_single = row.wall_frames_per_sec / single_wall_fps;
-            row.pipeline_speedup_vs_single =
-                row.pipeline_frames_per_sec / single_pipeline_fps;
+            row.pipeline_speedup_vs_single = row.pipeline_frames_per_sec / single_pipeline_fps;
             if cores == 4 {
                 best_pipeline_at_4 = best_pipeline_at_4.max(row.pipeline_speedup_vs_single);
             }
@@ -131,7 +134,11 @@ fn main() {
             vec![
                 r.path.to_string(),
                 r.cores.to_string(),
-                if r.path == "single" { "-".into() } else { r.batch_size.to_string() },
+                if r.path == "single" {
+                    "-".into()
+                } else {
+                    r.batch_size.to_string()
+                },
                 r.frames.to_string(),
                 format!("{:.1}", r.elapsed_ms),
                 format!("{:.0}k", r.wall_frames_per_sec / 1e3),
@@ -148,17 +155,8 @@ fn main() {
          (identical traffic_map state asserted per cell; pipeline fps = frames / \
          bottleneck-stage busy time)",
         &[
-            "path",
-            "cores",
-            "batch",
-            "frames",
-            "wall ms",
-            "wall fps",
-            "pipe fps",
-            "busy ms",
-            "wall x",
-            "pipe x",
-            "miss",
+            "path", "cores", "batch", "frames", "wall ms", "wall fps", "pipe fps", "busy ms",
+            "wall x", "pipe x", "miss",
         ],
         &rows,
     );

@@ -86,10 +86,20 @@ fn assert_full_dirty_equivalence(inst: &megate_bench::Instance) {
 
     let mut scaled = inst.demands.clone();
     scaled.scale(1.01); // every pair's demands change bitwise
-    let p2 = TeProblem { graph: &inst.graph, tunnels: &inst.tunnels, demands: &scaled };
+    let p2 = TeProblem {
+        graph: &inst.graph,
+        tunnels: &inst.tunnels,
+        demands: &scaled,
+    };
     let (warm, report) = eng.solve(&p2, false).expect("full-dirty warm solve");
-    assert!(!report.cold, "100% dirty must still take the warm path here");
-    assert_eq!(report.dirty_pairs, report.total_pairs, "every pair is dirty");
+    assert!(
+        !report.cold,
+        "100% dirty must still take the warm path here"
+    );
+    assert_eq!(
+        report.dirty_pairs, report.total_pairs,
+        "every pair is dirty"
+    );
 
     let cold = MegaTeScheme::default().solve(&p2).expect("cold reference");
     assert_eq!(
@@ -102,14 +112,13 @@ fn assert_full_dirty_equivalence(inst: &megate_bench::Instance) {
         "{}: 100%-dirty warm assignment diverged from cold",
         inst.topology
     );
-    println!("{}: 100%-dirty warm solve is bitwise-identical to cold", inst.topology);
+    println!(
+        "{}: 100%-dirty warm solve is bitwise-identical to cold",
+        inst.topology
+    );
 }
 
-fn sweep_instance(
-    inst: &megate_bench::Instance,
-    intervals: usize,
-    json: &mut Vec<IncrementalRow>,
-) {
+fn sweep_instance(inst: &megate_bench::Instance, intervals: usize, json: &mut Vec<IncrementalRow>) {
     let all_pairs: Vec<SitePair> = inst.demands.pairs().collect();
     assert_full_dirty_equivalence(inst);
 
@@ -120,7 +129,11 @@ fn sweep_instance(
         let mut eng = fig_engine();
 
         // Interval 0 seeds the engine (cold, not measured).
-        let p0 = TeProblem { graph: &inst.graph, tunnels: &inst.tunnels, demands: &demands };
+        let p0 = TeProblem {
+            graph: &inst.graph,
+            tunnels: &inst.tunnels,
+            demands: &demands,
+        };
         let (mut prev_warm, seed_report) = eng.solve(&p0, false).expect("seed solve");
         assert!(seed_report.cold);
 
@@ -138,7 +151,11 @@ fn sweep_instance(
             for &pair in volatile {
                 perturb_pair(&mut demands, pair, factor);
             }
-            let p = TeProblem { graph: &inst.graph, tunnels: &inst.tunnels, demands: &demands };
+            let p = TeProblem {
+                graph: &inst.graph,
+                tunnels: &inst.tunnels,
+                demands: &demands,
+            };
 
             let cold = MegaTeScheme::default().solve(&p).expect("cold solve");
             let (warm, report) = eng.solve(&p, false).expect("warm solve");
@@ -178,7 +195,11 @@ fn sweep_instance(
             mean_carried_endpoints: carried_sum as f64 / n,
             cold_ms,
             warm_ms,
-            speedup: if warm_ms > 0.0 { cold_ms / warm_ms } else { f64::INFINITY },
+            speedup: if warm_ms > 0.0 {
+                cold_ms / warm_ms
+            } else {
+                f64::INFINITY
+            },
             satisfied_cold: sat_cold / n,
             satisfied_warm: sat_warm / n,
             satisfied_loss_pct: (sat_cold - sat_warm) / n * 100.0,
@@ -208,7 +229,10 @@ fn main() {
 
     let mut json: Vec<IncrementalRow> = Vec::new();
     for (spec, endpoints, intervals) in sweeps {
-        println!("building {} instance with {endpoints} endpoint demands...", spec.name());
+        println!(
+            "building {} instance with {endpoints} endpoint demands...",
+            spec.name()
+        );
         let inst = build_instance(spec, endpoints, 11);
         sweep_instance(&inst, intervals, &mut json);
     }

@@ -82,7 +82,11 @@ fn build(replication: usize) -> (MegaTeSystem, DemandSet) {
     let mut demands = DemandSet::generate(
         &g,
         &catalog,
-        &TrafficConfig { endpoint_pairs: 60, site_pairs: 12, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs: 60,
+            site_pairs: 12,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&g, 0.4);
     let config = SystemConfig {
@@ -105,10 +109,15 @@ fn tick(
     if let Some(plan) = plan {
         plan.apply_tick(t, sys.database());
     }
-    sys.run_controller_interval(demands).expect("interval solves");
+    sys.run_controller_interval(demands)
+        .expect("interval solves");
     let round = sys.pull_round();
     let traffic = sys.send_demand_packets(demands);
-    let delivered = traffic.per_demand_latency.iter().map(Option::is_some).collect();
+    let delivered = traffic
+        .per_demand_latency
+        .iter()
+        .map(Option::is_some)
+        .collect();
     (delivered, round.degraded, round.stale, round.retries)
 }
 
@@ -116,7 +125,10 @@ fn run_cell(intensity: &Intensity, seed: u64, replication: usize) -> ResilienceR
     let (mut sys, demands) = build(replication);
     sys.bring_up(&demands).expect("hosts come up");
     sys.database().set_fault_seed(seed);
-    let spec = FaultSpec { seed, ..intensity.spec };
+    let spec = FaultSpec {
+        seed,
+        ..intensity.spec
+    };
     let plan = FaultPlan::generate(&spec, sys.database().shard_count());
 
     // Fault-free twin: the blackholing / delivered-fraction reference.
@@ -178,10 +190,13 @@ fn run_cell(intensity: &Intensity, seed: u64, replication: usize) -> ResilienceR
             reconverged_at = Some(t);
         }
     }
-    row.delivered_fraction = if sent == 0 { 1.0 } else { got as f64 / sent as f64 };
-    row.reconverge_ticks = reconverged_at
-        .expect("fleet reconverges within two ticks of all-clear")
-        - plan.clear_tick;
+    row.delivered_fraction = if sent == 0 {
+        1.0
+    } else {
+        got as f64 / sent as f64
+    };
+    row.reconverge_ticks =
+        reconverged_at.expect("fleet reconverges within two ticks of all-clear") - plan.clear_tick;
     row.failover_reads = megate_obs::counter("tedb.failover_reads").get() - failovers0;
     row.repaired_keys = megate_obs::counter("tedb.repaired_keys").get() - repairs0;
     row.fallback_publishes =
@@ -252,7 +267,10 @@ fn main() {
     // Replication must pay for itself: summed over the sweep, 2-way
     // replicas absorb outages that leave unreplicated agents stale.
     let stale = |r: usize| -> usize {
-        json.iter().filter(|x| x.replication == r).map(|x| x.stale_host_periods).sum()
+        json.iter()
+            .filter(|x| x.replication == r)
+            .map(|x| x.stale_host_periods)
+            .sum()
     };
     assert!(
         stale(2) <= stale(1),

@@ -63,10 +63,12 @@ fn main() {
         let mut reference: Option<Vec<Option<TunnelId>>> = None;
         let mut busy_1_ms = 0.0f64;
         for &threads in thread_sweep {
-            let scheme = MegaTeScheme::new(MegaTeConfig { threads, ..Default::default() });
+            let scheme = MegaTeScheme::new(MegaTeConfig {
+                threads,
+                ..Default::default()
+            });
             let mut assignment: Vec<Option<TunnelId>> = vec![None; p.demands.len()];
-            let stats =
-                scheme.max_endpoint_flow_all(&p, &pairs, &site_flows, &mut assignment);
+            let stats = scheme.max_endpoint_flow_all(&p, &pairs, &site_flows, &mut assignment);
 
             match &reference {
                 None => reference = Some(assignment),
@@ -88,7 +90,11 @@ fn main() {
                 stage_wall_ms: stats.wall.as_secs_f64() * 1e3,
                 max_worker_busy_ms: max_busy_ms,
                 total_busy_ms: stats.total_busy.as_secs_f64() * 1e3,
-                busy_speedup_vs_1: if max_busy_ms > 0.0 { busy_1_ms / max_busy_ms } else { 1.0 },
+                busy_speedup_vs_1: if max_busy_ms > 0.0 {
+                    busy_1_ms / max_busy_ms
+                } else {
+                    1.0
+                },
                 pairs_stolen: stats.pairs_stolen,
                 within_sync_period: max_busy_ms < SYNC_PERIOD_MS,
             });
@@ -125,7 +131,11 @@ fn main() {
                 format!("{:.1}", r.total_busy_ms),
                 format!("{:.2}x", r.busy_speedup_vs_1),
                 r.pairs_stolen.to_string(),
-                if r.within_sync_period { "yes".into() } else { "NO".into() },
+                if r.within_sync_period {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]
         })
         .collect();
@@ -169,9 +179,7 @@ fn main() {
             assert!(
                 r.within_sync_period,
                 "{} endpoints at {} threads: stage 3 took {:.0} ms, over the 10 s sync period",
-                r.endpoints,
-                r.threads,
-                r.max_worker_busy_ms
+                r.endpoints, r.threads, r.max_worker_busy_ms
             );
         }
     }

@@ -56,7 +56,16 @@ fn main() {
     print_table(
         "Table 2: network topologies (paper: B4* 12/120k, Deltacom* 113/1.13M, \
          Cogentco* 197/1.97M, TWAN O(100)/O(1M))",
-        &["topology", "sites", "links", "endpoints", "degree", "diam hops", "diam", "cap Gbps"],
+        &[
+            "topology",
+            "sites",
+            "links",
+            "endpoints",
+            "degree",
+            "diam hops",
+            "diam",
+            "cap Gbps",
+        ],
         &rows,
     );
     write_json("table2_topologies", &json);

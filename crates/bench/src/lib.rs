@@ -34,7 +34,11 @@ pub struct Instance {
 impl Instance {
     /// The solver's view of this instance.
     pub fn problem(&self) -> TeProblem<'_> {
-        TeProblem { graph: &self.graph, tunnels: &self.tunnels, demands: &self.demands }
+        TeProblem {
+            graph: &self.graph,
+            tunnels: &self.tunnels,
+            demands: &self.demands,
+        }
     }
 }
 
@@ -156,14 +160,15 @@ pub struct SchemeRun {
 }
 
 /// Runs a scheme, capturing time, satisfied ratio and OOM failures.
-pub fn run_scheme<S: megate_solvers::TeScheme>(
-    scheme: &S,
-    instance: &Instance,
-) -> SchemeRun {
+pub fn run_scheme<S: megate_solvers::TeScheme>(scheme: &S, instance: &Instance) -> SchemeRun {
     let p = instance.problem();
     match scheme.solve(&p) {
         Ok(alloc) => {
-            assert!(alloc.check_feasible(&p, 1e-5), "{} produced infeasible", scheme.name());
+            assert!(
+                alloc.check_feasible(&p, 1e-5),
+                "{} produced infeasible",
+                scheme.name()
+            );
             SchemeRun {
                 scheme: scheme.name().to_string(),
                 topology: instance.topology.to_string(),
@@ -254,7 +259,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -70,7 +70,9 @@ fn parse_topology(name: &str) -> Result<TopologySpec, String> {
         "deltacom" => Ok(TopologySpec::Deltacom),
         "cogentco" => Ok(TopologySpec::Cogentco),
         "twan" => Ok(TopologySpec::Twan),
-        other => Err(format!("unknown topology '{other}' (b4|deltacom|cogentco|twan)")),
+        other => Err(format!(
+            "unknown topology '{other}' (b4|deltacom|cogentco|twan)"
+        )),
     }
 }
 
@@ -110,7 +112,10 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
             megate_topo::to_dot(
                 &graph,
                 spec.name(),
-                &megate_topo::DotOptions { collapse_bidi: true, ..Default::default() }
+                &megate_topo::DotOptions {
+                    collapse_bidi: true,
+                    ..Default::default()
+                }
             )
         );
         return Ok(());
@@ -121,7 +126,10 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
     println!("fibers:         {}", stats.fibers);
     println!("mean degree:    {:.2}", stats.mean_degree);
     println!("max degree:     {}", stats.max_degree);
-    println!("diameter:       {} hops / {:.1} ms", stats.diameter_hops, stats.diameter_ms);
+    println!(
+        "diameter:       {} hops / {:.1} ms",
+        stats.diameter_hops, stats.diameter_ms
+    );
     println!("total capacity: {:.0} Gbps", stats.total_capacity_gbps);
     println!("endpoint budget (Table 2): {}", spec.max_endpoints());
     Ok(())
@@ -140,8 +148,10 @@ fn build_demands(
         megate_traffic::read_trace(&text).map_err(|e| e.to_string())?
     } else {
         let n_sites = graph.site_count();
-        let site_pairs: usize =
-            flags.num("--site-pairs", (endpoints / 30).clamp(10, n_sites * (n_sites - 1)))?;
+        let site_pairs: usize = flags.num(
+            "--site-pairs",
+            (endpoints / 30).clamp(10, n_sites * (n_sites - 1)),
+        )?;
         let catalog = EndpointCatalog::generate(
             &graph,
             (endpoints * 2).max(n_sites),
@@ -178,7 +188,11 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let spec = parse_topology(args.first().ok_or("missing topology")?)?;
     let flags = Flags { args };
     let (graph, tunnels, demands) = build_demands(spec, &flags)?;
-    let problem = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let problem = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
 
     let scheme_name = flags.get("--scheme").unwrap_or("megate");
     let qos = flags.has("--qos");
@@ -193,10 +207,20 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     println!("scheme:        {}", alloc.scheme);
-    println!("demands:       {} endpoint pairs, {:.1} Gbps", demands.len(), demands.total_mbps() / 1000.0);
+    println!(
+        "demands:       {} endpoint pairs, {:.1} Gbps",
+        demands.len(),
+        demands.total_mbps() / 1000.0
+    );
     println!("solve time:    {:?}", alloc.solve_time);
-    println!("satisfied:     {:.2}%", 100.0 * alloc.satisfied_ratio(&problem));
-    println!("max link util: {:.1}%", 100.0 * alloc.max_link_utilization(&problem));
+    println!(
+        "satisfied:     {:.2}%",
+        100.0 * alloc.satisfied_ratio(&problem)
+    );
+    println!(
+        "max link util: {:.1}%",
+        100.0 * alloc.max_link_utilization(&problem)
+    );
     if let Some(assign) = &alloc.endpoint_assignment {
         let assigned = assign.iter().filter(|a| a.is_some()).count();
         println!("flows routed:  {assigned}/{}", assign.len());
@@ -244,10 +268,15 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
     let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
     sys.bring_up(&demands).map_err(|e| e.to_string())?;
-    let report = sys.run_controller_interval(&demands).map_err(|e| e.to_string())?;
+    let report = sys
+        .run_controller_interval(&demands)
+        .map_err(|e| e.to_string())?;
     let updated = sys.agents_pull();
     let traffic = sys.send_demand_packets(&demands);
-    println!("controller:  published v{} in {:?}", report.version, report.total_time);
+    println!(
+        "controller:  published v{} in {:?}",
+        report.version, report.total_time
+    );
     println!("agents:      {updated} pulled the new configuration");
     println!(
         "data plane:  {}/{} delivered, {} SR-labelled, mean latency {:.1} ms",
@@ -257,7 +286,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         traffic.mean_latency_ms
     );
     let ctl = sys.controller_mut();
-    let problem = TeProblem { graph: ctl.graph(), tunnels: ctl.tunnels(), demands: &demands };
+    let problem = TeProblem {
+        graph: ctl.graph(),
+        tunnels: ctl.tunnels(),
+        demands: &demands,
+    };
     println!(
         "satisfied:   {:.1}% of demand",
         100.0 * report.allocation.satisfied_ratio(&problem)

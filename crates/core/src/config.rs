@@ -84,10 +84,8 @@ impl ConfigDelta {
 /// same way `path_map` would).
 pub fn diff_configs(prev: &EndpointConfig, next: &EndpointConfig) -> ConfigDelta {
     use std::collections::BTreeMap;
-    let old: BTreeMap<&[u8; 4], &Vec<u32>> =
-        prev.paths.iter().map(|(d, h)| (d, h)).collect();
-    let new: BTreeMap<&[u8; 4], &Vec<u32>> =
-        next.paths.iter().map(|(d, h)| (d, h)).collect();
+    let old: BTreeMap<&[u8; 4], &Vec<u32>> = prev.paths.iter().map(|(d, h)| (d, h)).collect();
+    let new: BTreeMap<&[u8; 4], &Vec<u32>> = next.paths.iter().map(|(d, h)| (d, h)).collect();
     let mut delta = ConfigDelta::default();
     for (dst, hops) in &new {
         if old.get(dst) != Some(hops) {
@@ -132,7 +130,10 @@ fn encode_entries(out: &mut Vec<u8>, entries: &[([u8; 4], Vec<u32>)]) -> Result<
     out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
     for (dst, hops) in entries {
         if hops.len() > u8::MAX as usize {
-            return Err(ConfigError::HopListTooLong { dst_ip: *dst, hops: hops.len() });
+            return Err(ConfigError::HopListTooLong {
+                dst_ip: *dst,
+                hops: hops.len(),
+            });
         }
         out.extend_from_slice(dst);
         out.push(hops.len() as u8);
@@ -143,10 +144,7 @@ fn encode_entries(out: &mut Vec<u8>, entries: &[([u8; 4], Vec<u32>)]) -> Result<
     Ok(())
 }
 
-fn decode_entries(
-    bytes: &[u8],
-    at: &mut usize,
-) -> Option<Vec<([u8; 4], Vec<u32>)>> {
+fn decode_entries(bytes: &[u8], at: &mut usize) -> Option<Vec<([u8; 4], Vec<u32>)>> {
     let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
         let s = bytes.get(*at..*at + n)?;
         *at += n;
@@ -190,8 +188,7 @@ pub fn decode_paths(bytes: &[u8]) -> Option<EndpointConfig> {
 
 /// Encodes a configuration delta.
 pub fn encode_delta(delta: &ConfigDelta) -> Result<Vec<u8>, ConfigError> {
-    let mut out =
-        Vec::with_capacity(8 + delta.changed.len() * 16 + delta.removed.len() * 4);
+    let mut out = Vec::with_capacity(8 + delta.changed.len() * 16 + delta.removed.len() * 4);
     encode_entries(&mut out, &delta.changed)?;
     out.extend_from_slice(&(delta.removed.len() as u32).to_be_bytes());
     for dst in &delta.removed {
@@ -270,15 +267,25 @@ mod tests {
 
     #[test]
     fn oversized_hop_list_is_an_error_not_a_panic() {
-        let cfg = EndpointConfig { paths: vec![([1, 2, 3, 4], vec![0; 256])] };
+        let cfg = EndpointConfig {
+            paths: vec![([1, 2, 3, 4], vec![0; 256])],
+        };
         assert_eq!(
             encode_paths(&cfg),
-            Err(ConfigError::HopListTooLong { dst_ip: [1, 2, 3, 4], hops: 256 })
+            Err(ConfigError::HopListTooLong {
+                dst_ip: [1, 2, 3, 4],
+                hops: 256
+            })
         );
-        let delta = ConfigDelta { changed: cfg.paths.clone(), removed: vec![] };
+        let delta = ConfigDelta {
+            changed: cfg.paths.clone(),
+            removed: vec![],
+        };
         assert!(encode_delta(&delta).is_err());
         // 255 hops is exactly representable.
-        let max = EndpointConfig { paths: vec![([1, 2, 3, 4], vec![0; 255])] };
+        let max = EndpointConfig {
+            paths: vec![([1, 2, 3, 4], vec![0; 255])],
+        };
         assert_eq!(decode_paths(&encode_paths(&max).unwrap()), Some(max));
     }
 
@@ -325,7 +332,9 @@ mod tests {
 
     #[test]
     fn diff_of_identical_configs_is_empty() {
-        let cfg = EndpointConfig { paths: vec![([9, 9, 9, 9], vec![1, 2])] };
+        let cfg = EndpointConfig {
+            paths: vec![([9, 9, 9, 9], vec![1, 2])],
+        };
         let delta = diff_configs(&cfg, &cfg.clone());
         assert!(delta.is_empty());
         let mut c2 = cfg.clone();
@@ -335,7 +344,9 @@ mod tests {
 
     #[test]
     fn to_installs_carries_instance() {
-        let cfg = EndpointConfig { paths: vec![([9, 9, 9, 9], vec![1])] };
+        let cfg = EndpointConfig {
+            paths: vec![([9, 9, 9, 9], vec![1])],
+        };
         let installs = cfg.to_installs(InstanceId(42));
         assert_eq!(installs.len(), 1);
         assert_eq!(installs[0].instance, InstanceId(42));

@@ -18,13 +18,11 @@
 //! are garbage-collected each interval, so database footprint is
 //! bounded by `retention_versions`, not by controller uptime.
 
-use crate::config::{
-    diff_configs, encode_delta, encode_paths, ConfigError, EndpointConfig,
-};
+use crate::config::{diff_configs, encode_delta, encode_paths, ConfigError, EndpointConfig};
+use megate_obs::trace;
 use megate_solvers::{
-    diff_endpoint_paths, endpoint_paths, AllocationPaths, IncrementalConfig,
-    IncrementalEngine, IncrementalReport, MegaTeConfig, SolveError, TeAllocation,
-    TeProblem,
+    diff_endpoint_paths, endpoint_paths, AllocationPaths, IncrementalConfig, IncrementalEngine,
+    IncrementalReport, MegaTeConfig, SolveError, TeAllocation, TeProblem,
 };
 use megate_tedb::{TeDatabase, TeKey};
 use megate_topo::{EndpointCatalog, EndpointId, FailureScenario, Graph, TunnelTable};
@@ -124,10 +122,9 @@ impl std::fmt::Display for ControllerError {
             ControllerError::MissingAssignment => {
                 write!(f, "solver produced no endpoint assignment")
             }
-            ControllerError::DeadlineExceeded { elapsed, deadline } => write!(
-                f,
-                "solve took {elapsed:?}, over the {deadline:?} deadline"
-            ),
+            ControllerError::DeadlineExceeded { elapsed, deadline } => {
+                write!(f, "solve took {elapsed:?}, over the {deadline:?} deadline")
+            }
         }
     }
 }
@@ -236,8 +233,7 @@ impl Controller {
         config: ControllerConfig,
     ) -> Self {
         assert!(
-            config.snapshot_every >= 1
-                && config.snapshot_every <= config.retention_versions,
+            config.snapshot_every >= 1 && config.snapshot_every <= config.retention_versions,
             "need 1 <= snapshot_every <= retention_versions for snapshot fallback"
         );
         // Registered up front so metric presence doesn't depend on a
@@ -320,10 +316,8 @@ impl Controller {
         let secs = interval.as_secs_f64().max(1e-9);
         let mut demands = DemandSet::default();
         for ((src, dst), (bytes, qos)) in per_pair {
-            let site_pair = megate_topo::SitePair::new(
-                self.catalog.site_of(src),
-                self.catalog.site_of(dst),
-            );
+            let site_pair =
+                megate_topo::SitePair::new(self.catalog.site_of(src), self.catalog.site_of(dst));
             if site_pair.src == site_pair.dst {
                 continue; // intra-site traffic never enters the WAN
             }
@@ -405,18 +399,37 @@ impl Controller {
     ) -> Result<IntervalReport, ControllerError> {
         let started = std::time::Instant::now();
         let _interval_span = megate_obs::span("controller.interval");
-        let problem = TeProblem { graph, tunnels: &self.tunnels, demands };
+        // The solve-to-install clock starts *here*: whatever version
+        // this interval ends up publishing is stamped with the moment
+        // its solve began (trace::stamp_version_at in publish_paths).
+        let trace_t0 = trace::now_ns();
+        trace::record(
+            trace::Stage::SolveStart,
+            self.version + 1,
+            demands.demands().len() as u64,
+            0,
+        );
+        let problem = TeProblem {
+            graph,
+            tunnels: &self.tunnels,
+            demands,
+        };
         // Warm-vs-cold: topology events (forced snapshots) and a
         // previous interval whose *published* churn blew past the
         // threshold (the `solver.diff_churn_ppm` gauge read back in
         // `publish_paths`) both force a full cold solve; otherwise the
         // engine decides from its own dirty set.
-        let force_cold =
-            force_snapshot || self.churn_hint_ppm > self.config.warm_churn_max_ppm;
+        let force_cold = force_snapshot || self.churn_hint_ppm > self.config.warm_churn_max_ppm;
         let solve_span = megate_obs::span("controller.solve");
         let solved = self.engine.solve(&problem, force_cold);
         let solve_elapsed = started.elapsed();
         drop(solve_span);
+        trace::record(
+            trace::Stage::SolveEnd,
+            self.version + 1,
+            demands.demands().len() as u64,
+            solve_elapsed.as_nanos() as u64,
+        );
 
         // Classify the fresh solve: a solver error, a missing endpoint
         // assignment or a deadline overrun all disqualify it. The
@@ -429,7 +442,10 @@ impl Controller {
             }
             Ok((a, rep)) => match self.config.solve_deadline {
                 Some(deadline) if solve_elapsed > deadline => {
-                    Err(ControllerError::DeadlineExceeded { elapsed: solve_elapsed, deadline })
+                    Err(ControllerError::DeadlineExceeded {
+                        elapsed: solve_elapsed,
+                        deadline,
+                    })
                 }
                 _ => Ok((a, rep)),
             },
@@ -459,6 +475,7 @@ impl Controller {
                     // wrong baseline.
                     self.engine.invalidate();
                     megate_obs::counter("controller.fallback_publishes").inc();
+                    trace::record(trace::Stage::FallbackPublish, self.version + 1, 0, 0);
                     (last, self.last_paths.clone(), true, None)
                 }
                 None => {
@@ -468,7 +485,7 @@ impl Controller {
             },
         };
 
-        let outcome = match self.publish_paths(next_paths, force_snapshot, fallback) {
+        let outcome = match self.publish_paths(next_paths, force_snapshot, fallback, trace_t0) {
             Ok(o) => o,
             Err(e) => {
                 // Nothing was published (encode errors abort before any
@@ -527,6 +544,9 @@ impl Controller {
             return Err(ControllerError::MissingAssignment);
         };
         let _span = megate_obs::span("controller.admit");
+        // Admission grants are "solved" the moment the pass starts, so
+        // their version's propagation clock starts here.
+        let trace_t0 = trace::now_ns();
         // Residual headroom under the published allocation.
         let mut loads = vec![0.0f64; self.graph.link_count()];
         for t in self.tunnels.all_tunnels() {
@@ -575,7 +595,7 @@ impl Controller {
         megate_obs::counter("controller.admitted_flows").add(admitted as u64);
         megate_obs::counter("controller.rejected_admissions").add(rejected as u64);
 
-        let outcome = self.publish_paths(next_paths, false, false)?;
+        let outcome = self.publish_paths(next_paths, false, false, trace_t0)?;
         Ok(AdmissionReport {
             version: outcome.version,
             admitted,
@@ -588,12 +608,16 @@ impl Controller {
     /// Diffs `next_paths` against the published state and commits the
     /// encode → publish → GC → version-bump tail of an interval (also
     /// used by the admission path). Encode errors abort before any
-    /// database write.
+    /// database write. `trace_t0` is the [`trace::now_ns`] timestamp
+    /// the decision behind this publish started at (solve start /
+    /// admission start) — it becomes the published version's
+    /// solve-to-install epoch via [`trace::stamp_version_at`].
     fn publish_paths(
         &mut self,
         next_paths: AllocationPaths,
         force_snapshot: bool,
         fallback: bool,
+        trace_t0: u64,
     ) -> Result<PublishOutcome, ControllerError> {
         let diff_span = megate_obs::span("controller.diff");
         let diff = diff_endpoint_paths(&self.last_paths, &next_paths);
@@ -642,6 +666,12 @@ impl Controller {
             }
         }
         drop(encode_span);
+        trace::record(
+            trace::Stage::Encode,
+            version,
+            diff.changed.len() as u64,
+            (deltas.len() + snapshots.len()) as u64,
+        );
 
         // Commit: entries first, version record last (§3.2 ordering).
         // The obs counters mirror `published_bytes` (deltas and
@@ -661,7 +691,13 @@ impl Controller {
             // flush catches its agents up.
             let delta_ok = self
                 .db
-                .put_checked(&TeKey::Delta { endpoint: ep.0, version }, bytes)
+                .put_checked(
+                    &TeKey::Delta {
+                        endpoint: ep.0,
+                        version,
+                    },
+                    bytes,
+                )
                 .is_ok();
             let log_ok = self.db.record_change(ep.0, version).is_ok();
             if !delta_ok || !log_ok {
@@ -722,12 +758,20 @@ impl Controller {
         self.db.publish_version(version);
         published_bytes += 8;
         self.version = version;
+        trace::record(
+            trace::Stage::Publish,
+            version,
+            diff.changed.len() as u64,
+            published_bytes,
+        );
+        // Stamp the version's solve-start epoch *after* the version
+        // record is live: agents measure their install latency against
+        // it, and a stamp for an unpublished version would be dead.
+        trace::stamp_version_at(version, trace_t0);
 
         // Verify the catalog covers every configured endpoint (debug
         // builds): a config for an unknown endpoint is a planning bug.
-        debug_assert!(next_paths
-            .keys()
-            .all(|ep| ep.index() < self.catalog.len()));
+        debug_assert!(next_paths.keys().all(|ep| ep.index() < self.catalog.len()));
 
         let outcome = PublishOutcome {
             version,
@@ -767,7 +811,10 @@ mod tests {
     use megate_traffic::TrafficConfig;
 
     fn fixture() -> (Controller, DemandSet) {
-        fixture_with(ControllerConfig { qos_sequential: true, ..Default::default() })
+        fixture_with(ControllerConfig {
+            qos_sequential: true,
+            ..Default::default()
+        })
     }
 
     fn fixture_with(config: ControllerConfig) -> (Controller, DemandSet) {
@@ -777,7 +824,11 @@ mod tests {
         let mut demands = DemandSet::generate(
             &g,
             &catalog,
-            &TrafficConfig { endpoint_pairs: 150, site_pairs: 20, ..Default::default() },
+            &TrafficConfig {
+                endpoint_pairs: 150,
+                site_pairs: 20,
+                ..Default::default()
+            },
         );
         demands.scale_to_load(&g, 0.5);
         let db = TeDatabase::new(2);
@@ -814,7 +865,10 @@ mod tests {
         let log = db.changelog(d.src.0).expect("changelog present");
         assert_eq!(log.versions, vec![1]);
         let raw = db
-            .fetch(&TeKey::Delta { endpoint: d.src.0, version: 1 })
+            .fetch(&TeKey::Delta {
+                endpoint: d.src.0,
+                version: 1,
+            })
             .expect("delta present");
         let delta = decode_delta(&raw).expect("decodable");
         assert!(delta.removed.is_empty(), "nothing to remove at v1");
@@ -861,21 +915,33 @@ mod tests {
         let assign = r1.allocation.endpoint_assignment.as_ref().unwrap();
         let i = assign.iter().position(|c| c.is_some()).unwrap();
         let ep = demands.demands()[i].src;
-        let snap = db.fetch(&TeKey::Snapshot { endpoint: ep.0 }).expect("snapshot");
+        let snap = db
+            .fetch(&TeKey::Snapshot { endpoint: ep.0 })
+            .expect("snapshot");
         let stamp = u64::from_be_bytes(snap[..8].try_into().unwrap());
         assert_eq!(stamp, 2);
         let cfg = decode_paths(&snap[8..]).expect("snapshot decodes");
         assert!(!cfg.paths.is_empty());
 
         // v1 deltas survive until the retention floor passes them...
-        assert!(db.fetch(&TeKey::Delta { endpoint: ep.0, version: 1 }).is_some());
+        assert!(db
+            .fetch(&TeKey::Delta {
+                endpoint: ep.0,
+                version: 1
+            })
+            .is_some());
         for _ in 0..3 {
             ctl.run_interval(&demands).unwrap(); // v3..v5, no changes
         }
         assert_eq!(ctl.version(), 5);
         // The retention floor passed v1 (at v4, floor = 1): the delta
         // is gone and the changelog watermark rose to that floor.
-        assert!(db.fetch(&TeKey::Delta { endpoint: ep.0, version: 1 }).is_none());
+        assert!(db
+            .fetch(&TeKey::Delta {
+                endpoint: ep.0,
+                version: 1
+            })
+            .is_none());
         let log = db.changelog(ep.0).unwrap();
         assert!(log.versions.is_empty());
         assert_eq!(log.complete_since, 1);
@@ -886,7 +952,9 @@ mod tests {
         // A pathological >255-hop path must turn into a typed error —
         // the `?` sites in `solve_and_publish` propagate exactly this —
         // never a panic, and never a partially published version.
-        let bad = EndpointConfig { paths: vec![([10, 0, 0, 1], vec![0; 300])] };
+        let bad = EndpointConfig {
+            paths: vec![([10, 0, 0, 1], vec![0; 300])],
+        };
         let err = encode_paths(&bad).unwrap_err();
         assert!(matches!(err, ConfigError::HopListTooLong { hops: 300, .. }));
         let ctl_err = ControllerError::from(err.clone());
@@ -917,15 +985,17 @@ mod tests {
             "retention ring must stay within the window: {}",
             ctl.delta_ring.len()
         );
-        assert!(ctl.dirty_snapshots.is_empty(), "cadence flushes clear the dirty set");
+        assert!(
+            ctl.dirty_snapshots.is_empty(),
+            "cadence flushes clear the dirty set"
+        );
     }
 
     #[test]
     fn failure_recompute_avoids_failed_links_and_flushes_snapshots() {
         let (mut ctl, demands) = fixture();
         ctl.run_interval(&demands).unwrap();
-        let scenario =
-            FailureScenario::sample_connected(ctl.graph(), 2, 5).expect("scenario");
+        let scenario = FailureScenario::sample_connected(ctl.graph(), 2, 5).expect("scenario");
         let report = ctl.handle_failure(&demands, &scenario).unwrap();
         assert!(report.snapshot_flush, "failure events force snapshots");
         // No allocated tunnel may cross a failed link.
@@ -995,8 +1065,7 @@ mod tests {
         for s in 0..db.shard_count() {
             db.set_shard_down(s, true);
         }
-        let scenario =
-            FailureScenario::sample_connected(ctl.graph(), 1, 3).expect("scenario");
+        let scenario = FailureScenario::sample_connected(ctl.graph(), 1, 3).expect("scenario");
         let r2 = ctl.handle_failure(&demands, &scenario).unwrap();
         assert!(r2.snapshot_flush);
         assert!(r2.publish_errors > 0, "lost writes must be observed");
@@ -1013,7 +1082,10 @@ mod tests {
     fn steady_state_intervals_warm_solve_with_zero_dirty_pairs() {
         let (mut ctl, demands) = fixture();
         let r1 = ctl.run_interval(&demands).unwrap();
-        let inc1 = r1.incremental.clone().expect("fresh solve reports engine activity");
+        let inc1 = r1
+            .incremental
+            .clone()
+            .expect("fresh solve reports engine activity");
         assert!(inc1.cold, "first interval has no warm state");
         let r2 = ctl.run_interval(&demands).unwrap();
         let inc2 = r2.incremental.clone().unwrap();
@@ -1021,8 +1093,7 @@ mod tests {
         assert_eq!(inc2.dirty_pairs, 0);
         assert!(inc2.carried_endpoints > 0);
         assert_eq!(
-            r2.allocation.tunnel_flow_mbps,
-            r1.allocation.tunnel_flow_mbps,
+            r2.allocation.tunnel_flow_mbps, r1.allocation.tunnel_flow_mbps,
             "zero churn carries the allocation forward verbatim"
         );
     }
@@ -1066,15 +1137,11 @@ mod tests {
         // A new small flow between endpoints of an already-planned site
         // pair, from a source endpoint with no configuration yet.
         let d0 = &demands.demands()[0];
-        let pair = megate_topo::SitePair::new(
-            ctl.catalog.site_of(d0.src),
-            ctl.catalog.site_of(d0.dst),
-        );
+        let pair =
+            megate_topo::SitePair::new(ctl.catalog.site_of(d0.src), ctl.catalog.site_of(d0.dst));
         let fresh_src = (0..ctl.catalog.len() as u64)
             .map(EndpointId)
-            .find(|ep| {
-                ctl.catalog.site_of(*ep) == pair.src && !ctl.last_paths.contains_key(ep)
-            })
+            .find(|ep| ctl.catalog.site_of(*ep) == pair.src && !ctl.last_paths.contains_key(ep))
             .expect("an unconfigured endpoint on the source site");
         let mut arrivals = DemandSet::default();
         arrivals.push(

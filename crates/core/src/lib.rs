@@ -79,15 +79,15 @@ pub mod prelude {
     };
     pub use megate_tedb::{Changelog, FaultPlan, FaultSpec, TeDatabase, TeKey};
     pub use megate_topo::{
-        EndpointCatalog, EndpointId, FailureScenario, Graph, SitePair, TopologySpec,
-        TunnelTable, WeibullEndpoints,
+        EndpointCatalog, EndpointId, FailureScenario, Graph, SitePair, TopologySpec, TunnelTable,
+        WeibullEndpoints,
     };
     pub use megate_traffic::{DemandSet, QosClass, TrafficConfig};
 }
 
 pub use config::{
-    decode_delta, decode_paths, diff_configs, encode_delta, encode_paths, ConfigDelta,
-    ConfigError, EndpointConfig,
+    decode_delta, decode_paths, diff_configs, encode_delta, encode_paths, ConfigDelta, ConfigError,
+    EndpointConfig,
 };
 pub use controller::{
     AdmissionReport, Controller, ControllerConfig, ControllerError, IntervalReport,

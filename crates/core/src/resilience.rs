@@ -37,9 +37,9 @@ pub struct BackoffPolicy {
 impl Default for BackoffPolicy {
     fn default() -> Self {
         Self {
-            base_ns: 1_000_000,      // 1 ms
-            cap_ns: 1_000_000_000,   // 1 s
-            jitter_ppm: 500_000,     // up to 50% shaved off
+            base_ns: 1_000_000,    // 1 ms
+            cap_ns: 1_000_000_000, // 1 s
+            jitter_ppm: 500_000,   // up to 50% shaved off
         }
     }
 }
@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn exponential_growth_up_to_cap() {
-        let b = BackoffPolicy { base_ns: 100, cap_ns: 1000, jitter_ppm: 0 };
+        let b = BackoffPolicy {
+            base_ns: 100,
+            cap_ns: 1000,
+            jitter_ppm: 0,
+        };
         assert_eq!(b.exp_ns(0), 100);
         assert_eq!(b.exp_ns(1), 200);
         assert_eq!(b.exp_ns(2), 400);
@@ -148,7 +152,11 @@ mod tests {
 
     #[test]
     fn zero_jitter_is_exact() {
-        let b = BackoffPolicy { base_ns: 100, cap_ns: 1000, jitter_ppm: 0 };
+        let b = BackoffPolicy {
+            base_ns: 100,
+            cap_ns: 1000,
+            jitter_ppm: 0,
+        };
         assert_eq!(b.delay_ns(2, 123), 400);
         assert_eq!(b.delay_ns(2, 999), 400, "seed-independent without jitter");
     }
@@ -162,7 +170,11 @@ mod tests {
     #[test]
     fn schedule_fits_deadline_and_attempt_cap() {
         let p = PullPolicy {
-            backoff: BackoffPolicy { base_ns: 100, cap_ns: 10_000, jitter_ppm: 0 },
+            backoff: BackoffPolicy {
+                base_ns: 100,
+                cap_ns: 10_000,
+                jitter_ppm: 0,
+            },
             deadline_ns: 1_000,
             max_attempts: 10,
             ..PullPolicy::default()

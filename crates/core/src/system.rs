@@ -26,6 +26,7 @@ use megate_dataplane::{HostRegistry, WanNetwork};
 use megate_hoststack::{
     EndpointAgent, InstanceId, MapError, PathInstall, PathMapEntry, Pid, SimKernel,
 };
+use megate_obs::trace;
 use megate_packet::{FiveTuple, MegaTeFrameSpec, Proto};
 use megate_tedb::{Changelog, TeDatabase, TeKey};
 use megate_topo::{EndpointCatalog, EndpointId, Graph, TunnelTable};
@@ -52,7 +53,10 @@ impl Default for SystemConfig {
     fn default() -> Self {
         Self {
             vni: 100,
-            controller: ControllerConfig { qos_sequential: true, ..Default::default() },
+            controller: ControllerConfig {
+                qos_sequential: true,
+                ..Default::default()
+            },
             db_shards: 2,
             db_replication: 1,
             pull: PullPolicy::default(),
@@ -71,7 +75,11 @@ pub struct SystemError {
 
 impl std::fmt::Display for SystemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "bring-up of endpoint {} failed: {}", self.endpoint.0, self.cause)
+        write!(
+            f,
+            "bring-up of endpoint {} failed: {}",
+            self.endpoint.0, self.cause
+        )
     }
 }
 
@@ -154,9 +162,18 @@ impl MegaTeSystem {
         for ep in catalog.ids() {
             registry.register(Controller::endpoint_ip(ep), catalog.site_of(ep));
             let kernel = SimKernel::new();
-            let agent = EndpointAgent::new(kernel.maps().clone());
+            let mut agent = EndpointAgent::new(kernel.maps().clone());
+            // Flight-recorder identity: Install events carry the
+            // endpoint id, so `trace::dump_entity(ep)` follows one
+            // endpoint's whole propagation path.
+            agent.set_identity(ep.0);
             host_of_endpoint.insert(ep, hosts.len());
-            hosts.push(Host { endpoint: ep, kernel, agent, periods_behind: 0 });
+            hosts.push(Host {
+                endpoint: ep,
+                kernel,
+                agent,
+                periods_behind: 0,
+            });
         }
         let controller = Controller::new(
             graph.clone(),
@@ -170,6 +187,12 @@ impl MegaTeSystem {
         megate_obs::counter("agent.retries");
         megate_obs::gauge("agent.degraded_endpoints");
         megate_obs::histogram("agent.reconverge_periods");
+        // Solve-to-install latency per pull path (ns): the version's
+        // solve-start stamp (trace::stamp_version_at in the controller)
+        // to the moment the agent's install of that version completed.
+        megate_obs::histogram("propagation.latency.delta");
+        megate_obs::histogram("propagation.latency.snapshot");
+        megate_obs::histogram("propagation.latency.degraded");
         Self {
             graph,
             tunnels,
@@ -218,10 +241,16 @@ impl MegaTeSystem {
             let tuple = Self::tuple_for_demand(demands, i);
             host.kernel
                 .spawn_process(InstanceId(d.src.0), pid)
-                .map_err(|cause| SystemError { endpoint: d.src, cause })?;
+                .map_err(|cause| SystemError {
+                    endpoint: d.src,
+                    cause,
+                })?;
             host.kernel
                 .open_connection(pid, tuple)
-                .map_err(|cause| SystemError { endpoint: d.src, cause })?;
+                .map_err(|cause| SystemError {
+                    endpoint: d.src,
+                    cause,
+                })?;
         }
         Ok(())
     }
@@ -335,8 +364,7 @@ impl MegaTeSystem {
                 if host.periods_behind > 0 {
                     // Time-to-reconverge, in sync periods of staleness
                     // endured before catching back up.
-                    megate_obs::histogram("agent.reconverge_periods")
-                        .record(host.periods_behind);
+                    megate_obs::histogram("agent.reconverge_periods").record(host.periods_behind);
                 }
                 host.periods_behind = 0;
             } else {
@@ -344,6 +372,12 @@ impl MegaTeSystem {
                 out.stale += 1;
                 if host.periods_behind > policy.stale_ttl_periods && !host.agent.is_degraded() {
                     // Stale past the TTL: stop steering on old paths.
+                    trace::record(
+                        trace::Stage::Degrade,
+                        host.agent.config_version(),
+                        host.endpoint.0,
+                        host.periods_behind,
+                    );
                     host.agent.degrade();
                 }
             }
@@ -372,7 +406,11 @@ impl MegaTeSystem {
     /// rounds the most-behind agent has ended below the published
     /// version.
     pub fn max_periods_behind(&self) -> u64 {
-        self.hosts.iter().map(|h| h.periods_behind).max().unwrap_or(0)
+        self.hosts
+            .iter()
+            .map(|h| h.periods_behind)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Per-host `(periods_behind, degraded)` — the chaos harness's
@@ -385,6 +423,14 @@ impl MegaTeSystem {
             .collect()
     }
 
+    /// The endpoint served by host index `idx` (the order
+    /// [`host_health`](Self::host_health) reports in) — lets an
+    /// invariant failure look up the offender's flight-recorder events
+    /// via [`trace::dump_entity`].
+    pub fn endpoint_of_host(&self, idx: usize) -> Option<EndpointId> {
+        self.hosts.get(idx).map(|h| h.endpoint)
+    }
+
     /// One agent's delta-aware pull attempt. Returns whether the agent
     /// advanced its version, plus the injected shard latency the
     /// attempt accumulated (charged against the retry deadline). On
@@ -394,6 +440,11 @@ impl MegaTeSystem {
         let endpoint = host.endpoint.0;
         let instance = InstanceId(endpoint);
         let mut injected_ns = 0u64;
+        // Degradation state *entering* the pull decides the latency
+        // bucket: a degraded agent's successful pull is a recovery, and
+        // its solve-to-install time lands in `.degraded` regardless of
+        // which fetch path carried the bytes.
+        let was_degraded = host.agent.is_degraded();
         // One read on the resilient path: outage and detected
         // corruption (failed transport checksum) are both retryable
         // failures; injected latency accumulates for the caller.
@@ -412,13 +463,22 @@ impl MegaTeSystem {
         };
         let log = match read(&TeKey::Changelog { endpoint }, &mut injected_ns) {
             Ok(Some(raw)) => match Changelog::decode(&raw) {
-                Some(log) => log,
+                Some(log) => {
+                    trace::record(
+                        trace::Stage::ChangelogPull,
+                        target,
+                        endpoint,
+                        log.versions.len() as u64,
+                    );
+                    log
+                }
                 // Corrupt changelog: unreadable history, stay stale.
                 None => return (false, injected_ns),
             },
             Ok(None) => {
                 // Never configured: adopt the version with no paths.
                 host.agent.install_config(target, &[]);
+                Self::record_pull_done(endpoint, target, was_degraded, false);
                 return (true, injected_ns);
             }
             // Shard outage / corruption: never adopt a version whose
@@ -435,14 +495,23 @@ impl MegaTeSystem {
             let mut deltas: Vec<(u64, ConfigDelta)> = Vec::new();
             let mut complete = true;
             for &v in log.versions.iter().filter(|v| **v > local && **v <= target) {
-                match read(&TeKey::Delta { endpoint, version: v }, &mut injected_ns) {
-                    Ok(Some(raw)) => match decode_delta(&raw) {
-                        Some(d) => deltas.push((v, d)),
-                        None => {
-                            complete = false;
-                            break;
-                        }
+                match read(
+                    &TeKey::Delta {
+                        endpoint,
+                        version: v,
                     },
+                    &mut injected_ns,
+                ) {
+                    Ok(Some(raw)) => {
+                        trace::record(trace::Stage::DeltaPull, v, endpoint, raw.len() as u64);
+                        match decode_delta(&raw) {
+                            Some(d) => deltas.push((v, d)),
+                            None => {
+                                complete = false;
+                                break;
+                            }
+                        }
+                    }
                     // Missing (raced with GC), outage or corruption.
                     _ => {
                         complete = false;
@@ -455,6 +524,7 @@ impl MegaTeSystem {
                     Self::apply_delta_to_agent(&mut host.agent, instance, *v, delta);
                 }
                 host.agent.install_config(target, &[]);
+                Self::record_pull_done(endpoint, target, was_degraded, false);
                 return (true, injected_ns);
             }
         }
@@ -474,17 +544,32 @@ impl MegaTeSystem {
         let Some(cfg) = decode_paths(&raw[8..]) else {
             return (false, injected_ns);
         };
+        trace::record(
+            trace::Stage::SnapshotPull,
+            stamp,
+            endpoint,
+            raw.len() as u64,
+        );
         let mut deltas: Vec<(u64, ConfigDelta)> = Vec::new();
         let mut achieved = target;
         for &v in log.versions.iter().filter(|v| **v > stamp && **v <= target) {
-            match read(&TeKey::Delta { endpoint, version: v }, &mut injected_ns) {
-                Ok(Some(raw)) => match decode_delta(&raw) {
-                    Some(d) => deltas.push((v, d)),
-                    None => {
-                        achieved = deltas.last().map_or(stamp, |(v, _)| *v);
-                        break;
-                    }
+            match read(
+                &TeKey::Delta {
+                    endpoint,
+                    version: v,
                 },
+                &mut injected_ns,
+            ) {
+                Ok(Some(raw)) => {
+                    trace::record(trace::Stage::DeltaPull, v, endpoint, raw.len() as u64);
+                    match decode_delta(&raw) {
+                        Some(d) => deltas.push((v, d)),
+                        None => {
+                            achieved = deltas.last().map_or(stamp, |(v, _)| *v);
+                            break;
+                        }
+                    }
+                }
                 _ => {
                     achieved = deltas.last().map_or(stamp, |(v, _)| *v);
                     break;
@@ -502,7 +587,38 @@ impl MegaTeSystem {
             Self::apply_delta_to_agent(&mut host.agent, instance, *v, delta);
         }
         host.agent.install_config(achieved, &[]);
+        Self::record_pull_done(endpoint, achieved, was_degraded, true);
         (true, injected_ns)
+    }
+
+    /// Closes one successful pull in the flight recorder and lands its
+    /// solve-to-install latency in the right `propagation.latency.*`
+    /// histogram: `.degraded` when the agent was recovering from
+    /// degradation, else `.snapshot` vs `.delta` by the fetch path
+    /// taken. "Install" here means the whole pull's effect is live —
+    /// every delta applied / the snapshot plus its replay written to
+    /// `path_map` and the local version bumped to `achieved`. Versions
+    /// whose solve-start stamp aged out of the version clock record the
+    /// PullDone event with a zero arg and skip the histogram rather
+    /// than fabricate a latency.
+    fn record_pull_done(endpoint: u64, achieved: u64, was_degraded: bool, via_snapshot: bool) {
+        let latency = trace::version_age_ns(achieved);
+        trace::record(
+            trace::Stage::PullDone,
+            achieved,
+            endpoint,
+            latency.unwrap_or(0),
+        );
+        let path = if was_degraded {
+            "propagation.latency.degraded"
+        } else if via_snapshot {
+            "propagation.latency.snapshot"
+        } else {
+            "propagation.latency.delta"
+        };
+        if let Some(ns) = latency {
+            megate_obs::histogram(path).record(ns);
+        }
     }
 
     /// Translates a wire delta into the agent's in-place map edits.
@@ -515,7 +631,11 @@ impl MegaTeSystem {
         let changed: Vec<PathInstall> = delta
             .changed
             .iter()
-            .map(|(dst_ip, hops)| PathInstall { instance, dst_ip: *dst_ip, hops: hops.clone() })
+            .map(|(dst_ip, hops)| PathInstall {
+                instance,
+                dst_ip: *dst_ip,
+                hops: hops.clone(),
+            })
             .collect();
         let removed: Vec<(InstanceId, [u8; 4])> =
             delta.removed.iter().map(|dst| (instance, *dst)).collect();
@@ -568,14 +688,21 @@ impl MegaTeSystem {
                 report.dropped += 1;
             }
         }
-        report.mean_latency_ms = if volume > 0.0 { latency_volume / volume } else { 0.0 };
+        report.mean_latency_ms = if volume > 0.0 {
+            latency_volume / volume
+        } else {
+            0.0
+        };
         report
     }
 
     /// Collects instance-level flow reports from every agent (the
     /// bottom-up demand input of the next interval).
     pub fn collect_flow_reports(&mut self) -> usize {
-        self.hosts.iter().map(|h| h.agent.collect_flows().len()).sum()
+        self.hosts
+            .iter()
+            .map(|h| h.agent.collect_flows().len())
+            .sum()
     }
 
     /// Full bottom-up measurement: drains every agent's flow counters
@@ -594,7 +721,8 @@ impl MegaTeSystem {
                 records.push((r.tuple, r.bytes));
             }
         }
-        self.controller.demands_from_measurements(&records, interval, classify)
+        self.controller
+            .demands_from_measurements(&records, interval, classify)
     }
 
     /// The `(key, hops)` entries currently installed in an endpoint
@@ -643,7 +771,11 @@ mod tests {
         let mut demands = DemandSet::generate(
             &g,
             &catalog,
-            &TrafficConfig { endpoint_pairs: 80, site_pairs: 15, ..Default::default() },
+            &TrafficConfig {
+                endpoint_pairs: 80,
+                site_pairs: 15,
+                ..Default::default()
+            },
         );
         demands.scale_to_load(&g, 0.4);
         let sys = MegaTeSystem::new(g, tunnels, catalog, SystemConfig::default());

@@ -77,10 +77,12 @@ mod tests {
     #[test]
     fn reseeding_remaps_some_flows() {
         let (t, pair) = table();
-        let before: Vec<_> =
-            (0..32).map(|p| ecmp_tunnel_seeded(&t, pair, &tuple(p), 0)).collect();
-        let after: Vec<_> =
-            (0..32).map(|p| ecmp_tunnel_seeded(&t, pair, &tuple(p), 1)).collect();
+        let before: Vec<_> = (0..32)
+            .map(|p| ecmp_tunnel_seeded(&t, pair, &tuple(p), 0))
+            .collect();
+        let after: Vec<_> = (0..32)
+            .map(|p| ecmp_tunnel_seeded(&t, pair, &tuple(p), 1))
+            .collect();
         assert_ne!(before, after, "a reseed must move at least one flow");
     }
 

@@ -23,7 +23,10 @@ pub struct FailureWindow {
 impl FailureWindow {
     /// A window within a standard 5-minute TE interval.
     pub fn within_te_interval(recompute_seconds: f64) -> Self {
-        Self { recompute_seconds, interval_seconds: 300.0 }
+        Self {
+            recompute_seconds,
+            interval_seconds: 300.0,
+        }
     }
 }
 
@@ -71,7 +74,10 @@ mod tests {
         let g = b4();
         let t = TunnelTable::for_pairs(
             &g,
-            &[SitePair::new(SiteId(0), SiteId(7)), SitePair::new(SiteId(2), SiteId(9))],
+            &[
+                SitePair::new(SiteId(0), SiteId(7)),
+                SitePair::new(SiteId(2), SiteId(9)),
+            ],
             3,
         );
         (g, t)
@@ -139,9 +145,7 @@ mod tests {
                 if let Some(&alt) = tunnels
                     .tunnels_for(t.pair)
                     .iter()
-                    .find(|&&a| {
-                        !tunnels.tunnel(a).links.iter().any(|l| failed.contains(l))
-                    })
+                    .find(|&&a| !tunnels.tunnel(a).links.iter().any(|l| failed.contains(l)))
                 {
                     after[alt.index()] += f;
                 }

@@ -38,7 +38,10 @@ impl FaultInjector {
     /// A new injector; chances are probabilities in `[0, 1]`.
     pub fn new(drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&drop_chance), "drop chance in [0,1]");
-        assert!((0.0..=1.0).contains(&corrupt_chance), "corrupt chance in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&corrupt_chance),
+            "corrupt chance in [0,1]"
+        );
         Self {
             drop_chance,
             corrupt_chance,

@@ -65,8 +65,7 @@ where
             if solved.total_demand_mbps <= 0.0 {
                 1.0
             } else {
-                (solved.tunnel_flow_mbps.iter().sum::<f64>() / solved.total_demand_mbps)
-                    .min(1.0)
+                (solved.tunnel_flow_mbps.iter().sum::<f64>() / solved.total_demand_mbps).min(1.0)
             }
         } else {
             // Failure at interval start: the *previous* allocation
@@ -152,8 +151,16 @@ mod tests {
             .index();
 
         let inputs = [
-            IntervalInput { index: 0, demand_multiplier: 1.0, failing_links: &[] },
-            IntervalInput { index: 1, demand_multiplier: 1.0, failing_links: &failed },
+            IntervalInput {
+                index: 0,
+                demand_multiplier: 1.0,
+                failing_links: &[],
+            },
+            IntervalInput {
+                index: 1,
+                demand_multiplier: 1.0,
+                failing_links: &failed,
+            },
         ];
         let victim_idx = victim.id.index();
         let metrics = replay_intervals(&g, &tunnels, 300.0, inputs, |input| {
@@ -172,14 +179,17 @@ mod tests {
         assert!((metrics[0].satisfied - 1.0).abs() < 1e-12);
         assert!(metrics[1].failed);
         // 30 s of 300 s dark: 90% delivered.
-        assert!((metrics[1].satisfied - 0.9).abs() < 1e-9, "{}", metrics[1].satisfied);
+        assert!(
+            (metrics[1].satisfied - 0.9).abs() < 1e-9,
+            "{}",
+            metrics[1].satisfied
+        );
     }
 
     #[test]
     fn empty_replay_is_empty() {
         let (g, tunnels) = fixture();
-        let metrics =
-            replay_intervals(&g, &tunnels, 300.0, std::iter::empty(), |_| unreachable!());
+        let metrics = replay_intervals(&g, &tunnels, 300.0, std::iter::empty(), |_| unreachable!());
         assert!(metrics.is_empty());
     }
 }

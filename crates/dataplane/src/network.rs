@@ -156,23 +156,21 @@ impl<'a> WanNetwork<'a> {
             let max_hops = 64;
             for _ in 0..max_hops {
                 match route_or_drop(frame) {
-                    Some(RouterDecision::ForwardSr(next)) => {
-                        match self.take_link(here, next) {
-                            Ok(lat) => {
-                                latency += lat;
-                                here = next;
-                                path.push(next);
-                            }
-                            Err(reason) => {
-                                return RouteOutcome {
-                                    delivered: false,
-                                    path,
-                                    latency_ms: latency,
-                                    drop_reason: Some(reason),
-                                }
+                    Some(RouterDecision::ForwardSr(next)) => match self.take_link(here, next) {
+                        Ok(lat) => {
+                            latency += lat;
+                            here = next;
+                            path.push(next);
+                        }
+                        Err(reason) => {
+                            return RouteOutcome {
+                                delivered: false,
+                                path,
+                                latency_ms: latency,
+                                drop_reason: Some(reason),
                             }
                         }
-                    }
+                    },
                     Some(RouterDecision::DeliverLocal) => {
                         let delivered = here == dst_site;
                         return RouteOutcome {
@@ -220,8 +218,7 @@ impl<'a> WanNetwork<'a> {
                     }
                 }
             };
-            let Some(t) = ecmp_tunnel_seeded(self.tunnels, pair, &tuple, self.ecmp_seed)
-            else {
+            let Some(t) = ecmp_tunnel_seeded(self.tunnels, pair, &tuple, self.ecmp_seed) else {
                 return self.dropped("no tunnel for pair");
             };
             let tunnel = self.tunnels.tunnel(t);
@@ -237,15 +234,18 @@ impl<'a> WanNetwork<'a> {
                 latency += self.link_latency(link);
                 path.push(site);
             }
-            RouteOutcome { delivered: true, path, latency_ms: latency, drop_reason: None }
+            RouteOutcome {
+                delivered: true,
+                path,
+                latency_ms: latency,
+                drop_reason: None,
+            }
         }
     }
 
     fn take_link(&self, from: SiteId, to: SiteId) -> Result<f64, String> {
         match self.graph.find_link(from, to) {
-            Some(l) if self.failed_links.contains(&l) => {
-                Err(format!("link {from}->{to} failed"))
-            }
+            Some(l) if self.failed_links.contains(&l) => Err(format!("link {from}->{to} failed")),
             Some(l) => Ok(self.link_latency(l)),
             None => Err(format!("no link {from}->{to}")),
         }
@@ -334,9 +334,15 @@ mod tests {
         let (tunnels, hosts) = setup(&g);
         let net = WanNetwork::new(&g, &tunnels, hosts);
         // Site 0 is not adjacent to every site; find a non-neighbour.
-        let neighbours: Vec<SiteId> =
-            g.out_links(SiteId(0)).iter().map(|&l| g.link(l).dst).collect();
-        let far = g.site_ids().find(|s| *s != SiteId(0) && !neighbours.contains(s)).unwrap();
+        let neighbours: Vec<SiteId> = g
+            .out_links(SiteId(0))
+            .iter()
+            .map(|&l| g.link(l).dst)
+            .collect();
+        let far = g
+            .site_ids()
+            .find(|s| *s != SiteId(0) && !neighbours.contains(s))
+            .unwrap();
         let mut frame = MegaTeFrameSpec::simple(tuple(), 1, Some(vec![far.0])).build();
         let out = net.route_frame(&mut frame);
         assert!(!out.delivered);
@@ -364,8 +370,7 @@ mod tests {
         let g = b4();
         let (tunnels, hosts) = setup(&g);
         let cold = WanNetwork::new(&g, &tunnels, hosts.clone());
-        let hot = WanNetwork::new(&g, &tunnels, hosts)
-            .with_utilization(vec![0.9; g.link_count()]);
+        let hot = WanNetwork::new(&g, &tunnels, hosts).with_utilization(vec![0.9; g.link_count()]);
         let mut f1 = MegaTeFrameSpec::simple(tuple(), 1, None).build();
         let mut f2 = f1.clone();
         let a = cold.route_frame(&mut f1);

@@ -150,7 +150,11 @@ pub fn evaluate_app(
         volume += f.demand_mbps;
     }
     if volume <= 0.0 {
-        return AppOutcome { mean_latency_ms: 0.0, availability: 1.0, cost: 0.0 };
+        return AppOutcome {
+            mean_latency_ms: 0.0,
+            availability: 1.0,
+            cost: 0.0,
+        };
     }
     AppOutcome {
         mean_latency_ms: lat / volume,
@@ -174,7 +178,8 @@ pub fn app_flows(app: &AppProfile, pairs: &[SitePair], n: usize) -> Vec<AppFlow>
                     src_port: 1024 + (i as u16 % 50_000),
                     dst_port: 443,
                 },
-                demand_mbps: app.mean_demand_mbps * (0.75 + 0.5 * ((i * 7919 % 100) as f64) / 100.0),
+                demand_mbps: app.mean_demand_mbps
+                    * (0.75 + 0.5 * ((i * 7919 % 100) as f64) / 100.0),
             }
         })
         .collect()

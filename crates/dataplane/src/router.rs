@@ -65,17 +65,32 @@ mod tests {
     #[test]
     fn sr_frame_walks_hops_then_delivers() {
         let mut frame = MegaTeFrameSpec::simple(tuple(), 1, Some(vec![5, 9])).build();
-        assert_eq!(route_decision(&mut frame).unwrap(), RouterDecision::ForwardSr(SiteId(5)));
-        assert_eq!(route_decision(&mut frame).unwrap(), RouterDecision::ForwardSr(SiteId(9)));
-        assert_eq!(route_decision(&mut frame).unwrap(), RouterDecision::DeliverLocal);
+        assert_eq!(
+            route_decision(&mut frame).unwrap(),
+            RouterDecision::ForwardSr(SiteId(5))
+        );
+        assert_eq!(
+            route_decision(&mut frame).unwrap(),
+            RouterDecision::ForwardSr(SiteId(9))
+        );
+        assert_eq!(
+            route_decision(&mut frame).unwrap(),
+            RouterDecision::DeliverLocal
+        );
         // Idempotent once exhausted.
-        assert_eq!(route_decision(&mut frame).unwrap(), RouterDecision::DeliverLocal);
+        assert_eq!(
+            route_decision(&mut frame).unwrap(),
+            RouterDecision::DeliverLocal
+        );
     }
 
     #[test]
     fn plain_vxlan_is_conventional() {
         let mut frame = MegaTeFrameSpec::simple(tuple(), 1, None).build();
-        assert_eq!(route_decision(&mut frame).unwrap(), RouterDecision::Conventional);
+        assert_eq!(
+            route_decision(&mut frame).unwrap(),
+            RouterDecision::Conventional
+        );
     }
 
     #[test]

@@ -60,7 +60,12 @@ pub fn spsc_ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         head: AtomicUsize::new(0),
         tail: AtomicUsize::new(0),
     });
-    (Producer { ring: Arc::clone(&ring) }, Consumer { ring })
+    (
+        Producer {
+            ring: Arc::clone(&ring),
+        },
+        Consumer { ring },
+    )
 }
 
 impl<T> Producer<T> {
@@ -144,7 +149,12 @@ fn splitmix64(state: &mut u64) -> u64 {
 fn flow_tuple(i: usize) -> FiveTuple {
     FiveTuple {
         src_ip: [10, 1, (i >> 8) as u8, i as u8],
-        dst_ip: [10, 128 + ((i >> 10) & 0x3F) as u8, (i >> 4) as u8, (i & 0xF) as u8],
+        dst_ip: [
+            10,
+            128 + ((i >> 10) & 0x3F) as u8,
+            (i >> 4) as u8,
+            (i & 0xF) as u8,
+        ],
         proto: Proto::Udp,
         src_port: 10_000 + (i % 40_000) as u16,
         dst_port: 443,
@@ -156,8 +166,8 @@ fn flow_tuple(i: usize) -> FiveTuple {
 /// IP pair (not the full five-tuple) keeps every fragment of a datagram
 /// on the same worker — the ordering precondition of §5d.
 fn shard_key(t: &FiveTuple) -> u64 {
-    let mut h = u64::from(u32::from_be_bytes(t.src_ip)) << 32
-        | u64::from(u32::from_be_bytes(t.dst_ip));
+    let mut h =
+        u64::from(u32::from_be_bytes(t.src_ip)) << 32 | u64::from(u32::from_be_bytes(t.dst_ip));
     // One splitmix round to spread adjacent addresses across cores.
     splitmix64(&mut h)
 }
@@ -201,7 +211,11 @@ pub struct TrafficGen {
 impl TrafficGen {
     /// A generator for `profile` seeded with `seed`.
     pub fn new(seed: u64, profile: TrafficProfile) -> Self {
-        Self { rng: seed ^ 0xD6E8_FEB8_6659_FD93, profile, next_ipid: 1 }
+        Self {
+            rng: seed ^ 0xD6E8_FEB8_6659_FD93,
+            profile,
+            next_ipid: 1,
+        }
     }
 
     /// Generate a trace of at least `frames` frames (fragment pairs may
@@ -267,8 +281,12 @@ pub fn install_profile(kernel: &SimKernel, profile: &TrafficProfile) {
         let tuple = flow_tuple(flow);
         let instance = InstanceId(1 + (flow % profile.instances) as u64);
         let pid = Pid(1000 + flow as u32);
-        kernel.spawn_process(instance, pid).expect("env_map sized for profile");
-        kernel.open_connection(pid, tuple).expect("contk_map sized for profile");
+        kernel
+            .spawn_process(instance, pid)
+            .expect("env_map sized for profile");
+        kernel
+            .open_connection(pid, tuple)
+            .expect("contk_map sized for profile");
         if (flow as u32) % 1000 < profile.routed_per_mille {
             kernel
                 .maps()
@@ -349,7 +367,11 @@ fn report(
     RunReport {
         frames,
         elapsed,
-        frames_per_sec: if secs > 0.0 { frames as f64 / secs } else { f64::INFINITY },
+        frames_per_sec: if secs > 0.0 {
+            frames as f64 / secs
+        } else {
+            f64::INFINITY
+        },
         producer_busy,
         max_worker_busy,
         pipeline_frames_per_sec: if bottleneck > 0.0 {
@@ -391,7 +413,14 @@ pub fn run_single_frame(kernel: &SimKernel, trace: &Trace) -> RunReport {
     // The single-frame path is one stage on one thread: the whole loop
     // (frame copy included — the batched path's producer does the same
     // copy into the arena) is its busy time.
-    report(trace.len(), elapsed, busy, busy, samples, diff_stats(before, after))
+    report(
+        trace.len(),
+        elapsed,
+        busy,
+        busy,
+        samples,
+        diff_stats(before, after),
+    )
 }
 
 fn diff_stats(before: TcStats, after: TcStats) -> TcStats {
@@ -419,7 +448,12 @@ pub struct WorkerConfig {
 
 impl Default for WorkerConfig {
     fn default() -> Self {
-        Self { cores: 4, batch_size: 64, sync_every: 16, ring_depth: 64 }
+        Self {
+            cores: 4,
+            batch_size: 64,
+            sync_every: 16,
+            ring_depth: 64,
+        }
     }
 }
 
@@ -552,10 +586,12 @@ pub fn run_batched(kernel: &SimKernel, trace: &Trace, cfg: WorkerConfig) -> RunR
     let elapsed = start.elapsed();
     frames_ctr.add(trace.len() as u64);
     let after = kernel.stats();
-    let max_worker_busy = std::time::Duration::from_nanos(
-        results.iter().map(|(_, busy)| *busy).max().unwrap_or(0),
-    );
-    let merged: Vec<u64> = results.into_iter().flat_map(|(samples, _)| samples).collect();
+    let max_worker_busy =
+        std::time::Duration::from_nanos(results.iter().map(|(_, busy)| *busy).max().unwrap_or(0));
+    let merged: Vec<u64> = results
+        .into_iter()
+        .flat_map(|(samples, _)| samples)
+        .collect();
     report(
         trace.len(),
         elapsed,
@@ -650,7 +686,10 @@ mod tests {
 
     #[test]
     fn fragment_pairs_share_a_shard_key() {
-        let profile = TrafficProfile { frag_per_mille: 200, ..TrafficProfile::default() };
+        let profile = TrafficProfile {
+            frag_per_mille: 200,
+            ..TrafficProfile::default()
+        };
         let trace = TrafficGen::new(11, profile).generate(2000);
         for i in 0..trace.len() {
             if let Ok(p) = megate_packet::parse_megate_frame(&trace.frames[i]) {
@@ -667,7 +706,10 @@ mod tests {
 
     #[test]
     fn batched_driver_matches_serial_driver() {
-        let profile = TrafficProfile { flows: 256, ..TrafficProfile::default() };
+        let profile = TrafficProfile {
+            flows: 256,
+            ..TrafficProfile::default()
+        };
         let trace = TrafficGen::new(1234, profile).generate(5000);
 
         let serial = SimKernel::new();
@@ -676,7 +718,12 @@ mod tests {
 
         let batched = SimKernel::new();
         install_profile(&batched, &profile);
-        let cfg = WorkerConfig { cores: 3, batch_size: 32, sync_every: 4, ring_depth: 16 };
+        let cfg = WorkerConfig {
+            cores: 3,
+            batch_size: 32,
+            sync_every: 4,
+            ring_depth: 16,
+        };
         let batched_report = run_batched(&batched, &trace, cfg);
 
         let mut a = serial.maps().traffic_map.snapshot();
@@ -684,8 +731,14 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b, "traffic_map state must be identical");
-        assert_eq!(serial_report.stats, batched_report.stats, "TC counters must match");
-        assert!(batched_report.stats.sr_inserted > 0, "workload must exercise SR path");
+        assert_eq!(
+            serial_report.stats, batched_report.stats,
+            "TC counters must match"
+        );
+        assert!(
+            batched_report.stats.sr_inserted > 0,
+            "workload must exercise SR path"
+        );
         assert!(batched_report.stats.fragments_resolved > 0);
     }
 }

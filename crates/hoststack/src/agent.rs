@@ -47,12 +47,32 @@ pub struct EndpointAgent {
     maps: HostMaps,
     config_version: u64,
     degraded: bool,
+    /// Flight-recorder identity: the endpoint id this agent serves,
+    /// stamped on [`megate_obs::trace::Stage::Install`] events so a
+    /// propagation dump can follow one endpoint end to end. 0 (the
+    /// default) means "unidentified" — events still record.
+    ident: u64,
 }
 
 impl EndpointAgent {
     /// An agent sharing the host's eBPF maps.
     pub fn new(maps: HostMaps) -> Self {
-        Self { maps, config_version: 0, degraded: false }
+        Self {
+            maps,
+            config_version: 0,
+            degraded: false,
+            ident: 0,
+        }
+    }
+
+    /// Sets the agent's flight-recorder identity (its endpoint id).
+    pub fn set_identity(&mut self, endpoint: u64) {
+        self.ident = endpoint;
+    }
+
+    /// The agent's flight-recorder identity.
+    pub fn identity(&self) -> u64 {
+        self.ident
     }
 
     /// The TE configuration version currently installed.
@@ -88,7 +108,11 @@ impl EndpointAgent {
         let mut out = Vec::with_capacity(counters.len());
         for (tuple, bytes) in counters {
             if let Some(instance) = self.maps.inf_map.lookup(&tuple) {
-                out.push(FlowRecord { instance, tuple, bytes });
+                out.push(FlowRecord {
+                    instance,
+                    tuple,
+                    bytes,
+                });
             }
         }
         // Deterministic report order.
@@ -124,6 +148,12 @@ impl EndpointAgent {
         }
         self.config_version = version;
         self.degraded = false;
+        megate_obs::trace::record(
+            megate_obs::trace::Stage::Install,
+            version,
+            self.ident,
+            written as u64,
+        );
         written
     }
 
@@ -142,8 +172,7 @@ impl EndpointAgent {
         instance: InstanceId,
         paths: &[PathInstall],
     ) -> usize {
-        let keep: std::collections::HashSet<[u8; 4]> =
-            paths.iter().map(|p| p.dst_ip).collect();
+        let keep: std::collections::HashSet<[u8; 4]> = paths.iter().map(|p| p.dst_ip).collect();
         for (key, _) in self.maps.path_map.snapshot() {
             if key.0 == instance && !keep.contains(&key.1) {
                 let _ = self.maps.path_map.delete(&key);
@@ -271,7 +300,11 @@ mod tests {
         assert_eq!(agent.config_version(), 0);
         let n = agent.install_config(
             3,
-            &[PathInstall { instance: InstanceId(4), dst_ip: tuple(7).dst_ip, hops: vec![2, 6] }],
+            &[PathInstall {
+                instance: InstanceId(4),
+                dst_ip: tuple(7).dst_ip,
+                hops: vec![2, 6],
+            }],
         );
         assert_eq!(n, 1);
         assert_eq!(agent.config_version(), 3);
@@ -289,19 +322,35 @@ mod tests {
         agent.install_config(
             1,
             &[
-                PathInstall { instance: ins, dst_ip: [10, 0, 0, 1], hops: vec![2] },
-                PathInstall { instance: ins, dst_ip: [10, 0, 0, 2], hops: vec![3] },
+                PathInstall {
+                    instance: ins,
+                    dst_ip: [10, 0, 0, 1],
+                    hops: vec![2],
+                },
+                PathInstall {
+                    instance: ins,
+                    dst_ip: [10, 0, 0, 2],
+                    hops: vec![3],
+                },
             ],
         );
         // Another instance's entry must survive the snapshot install.
         agent.install_config(
             1,
-            &[PathInstall { instance: InstanceId(9), dst_ip: [10, 0, 0, 1], hops: vec![7] }],
+            &[PathInstall {
+                instance: InstanceId(9),
+                dst_ip: [10, 0, 0, 1],
+                hops: vec![7],
+            }],
         );
         let n = agent.install_snapshot(
             2,
             ins,
-            &[PathInstall { instance: ins, dst_ip: [10, 0, 0, 2], hops: vec![5] }],
+            &[PathInstall {
+                instance: ins,
+                dst_ip: [10, 0, 0, 2],
+                hops: vec![5],
+            }],
         );
         assert_eq!(n, 1);
         assert_eq!(agent.config_version(), 2);
@@ -321,12 +370,28 @@ mod tests {
         };
         let ins = InstanceId(4);
         let v1 = [
-            PathInstall { instance: ins, dst_ip: [10, 0, 0, 1], hops: vec![2] },
-            PathInstall { instance: ins, dst_ip: [10, 0, 0, 2], hops: vec![3, 4] },
+            PathInstall {
+                instance: ins,
+                dst_ip: [10, 0, 0, 1],
+                hops: vec![2],
+            },
+            PathInstall {
+                instance: ins,
+                dst_ip: [10, 0, 0, 2],
+                hops: vec![3, 4],
+            },
         ];
         let v2 = [
-            PathInstall { instance: ins, dst_ip: [10, 0, 0, 2], hops: vec![9] },
-            PathInstall { instance: ins, dst_ip: [10, 0, 0, 3], hops: vec![1] },
+            PathInstall {
+                instance: ins,
+                dst_ip: [10, 0, 0, 2],
+                hops: vec![9],
+            },
+            PathInstall {
+                instance: ins,
+                dst_ip: [10, 0, 0, 3],
+                hops: vec![1],
+            },
         ];
         // Agent A: full snapshot install of v2.
         let mut a = mk(&v1);
@@ -353,7 +418,11 @@ mod tests {
         bring_up_instance(&kernel, InstanceId(4), Pid(5), &[tuple(7)]).unwrap();
         agent.install_config(
             1,
-            &[PathInstall { instance: InstanceId(4), dst_ip: tuple(7).dst_ip, hops: vec![2] }],
+            &[PathInstall {
+                instance: InstanceId(4),
+                dst_ip: tuple(7).dst_ip,
+                hops: vec![2],
+            }],
         );
         agent.flush_paths();
         let mut f = MegaTeFrameSpec::simple(tuple(7), 1, None).build();
@@ -367,17 +436,28 @@ mod tests {
         bring_up_instance(&kernel, InstanceId(4), Pid(5), &[tuple(7)]).unwrap();
         agent.install_config(
             5,
-            &[PathInstall { instance: InstanceId(4), dst_ip: tuple(7).dst_ip, hops: vec![2] }],
+            &[PathInstall {
+                instance: InstanceId(4),
+                dst_ip: tuple(7).dst_ip,
+                hops: vec![2],
+            }],
         );
         assert!(!agent.is_degraded());
         agent.degrade();
         assert!(agent.is_degraded());
         assert_eq!(agent.config_version(), 0, "cold restart for the next pull");
-        assert!(agent.maps().path_map.snapshot().is_empty(), "no SR steering while degraded");
+        assert!(
+            agent.maps().path_map.snapshot().is_empty(),
+            "no SR steering while degraded"
+        );
         // A fresh install (any successful pull) clears degradation.
         agent.install_config(
             6,
-            &[PathInstall { instance: InstanceId(4), dst_ip: tuple(7).dst_ip, hops: vec![2] }],
+            &[PathInstall {
+                instance: InstanceId(4),
+                dst_ip: tuple(7).dst_ip,
+                hops: vec![2],
+            }],
         );
         assert!(!agent.is_degraded());
         assert_eq!(agent.config_version(), 6);

@@ -134,8 +134,7 @@ pub struct CpuShard {
     pub(crate) inf_cache: FxMap<FiveTuple, Option<crate::kernel::InstanceId>>,
     /// `(instance, dst) → SR hops` lookup cache, memoized across the
     /// sync epoch like `inf_cache`.
-    pub(crate) path_cache:
-        FxMap<(crate::kernel::InstanceId, [u8; 4]), Option<Vec<u32>>>,
+    pub(crate) path_cache: FxMap<(crate::kernel::InstanceId, [u8; 4]), Option<Vec<u32>>>,
     /// Per-batch scratch: resolved billing tuple per frame.
     pub(crate) tuples: Vec<Option<FiveTuple>>,
     /// Per-batch scratch: reusable descriptor array for
@@ -188,11 +187,9 @@ impl CpuShard {
         );
         self.stats.accounting_misses += rejected as u64;
         events.extend((0..rejected).map(|_| TelemetryEvent::AccountingMiss));
-        let frag_rejected = maps.frag_map.upsert_many_with(
-            self.frag.drain(),
-            |cur, tuple| *cur = tuple,
-            |_| {},
-        );
+        let frag_rejected =
+            maps.frag_map
+                .upsert_many_with(self.frag.drain(), |cur, tuple| *cur = tuple, |_| {});
         self.stats.accounting_misses += frag_rejected as u64;
         maps.telemetry.publish_all(self.events.drain(..));
         maps.tc_metrics.add_batch(&self.stats, self.frag_orphans);
@@ -229,7 +226,10 @@ mod tests {
         for k in [&serial, &batched] {
             k.spawn_process(InstanceId(7), Pid(1)).unwrap();
             k.open_connection(Pid(1), tuple(1)).unwrap();
-            k.maps().path_map.update((InstanceId(7), tuple(1).dst_ip), vec![3, 1]).unwrap();
+            k.maps()
+                .path_map
+                .update((InstanceId(7), tuple(1).dst_ip), vec![3, 1])
+                .unwrap();
         }
 
         let mut frames = Vec::new();

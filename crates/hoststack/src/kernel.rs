@@ -312,7 +312,10 @@ mod tests {
         let k = SimKernel::new();
         k.spawn_process(InstanceId(7), Pid(1)).unwrap();
         k.open_connection(Pid(1), tuple(1)).unwrap();
-        k.maps().path_map.update((InstanceId(7), tuple(1).dst_ip), vec![2]).unwrap();
+        k.maps()
+            .path_map
+            .update((InstanceId(7), tuple(1).dst_ip), vec![2])
+            .unwrap();
         let mut frame = MegaTeFrameSpec::simple(tuple(1), 1, None).build();
         k.tc_egress(&mut frame); // fills traffic_map
 
@@ -325,7 +328,10 @@ mod tests {
         assert_eq!(k.maps().env_map.lookup(&Pid(1)), None);
         assert_eq!(k.maps().inf_map.lookup(&tuple(1)), None);
         assert_eq!(k.maps().traffic_map.lookup(&tuple(1)), None);
-        assert_eq!(k.maps().path_map.lookup(&(InstanceId(7), tuple(1).dst_ip)), None);
+        assert_eq!(
+            k.maps().path_map.lookup(&(InstanceId(7), tuple(1).dst_ip)),
+            None
+        );
         // Instance 8 unaffected.
         assert_eq!(k.maps().inf_map.lookup(&tuple(2)), Some(InstanceId(8)));
     }

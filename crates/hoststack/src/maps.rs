@@ -97,7 +97,10 @@ impl<K: Eq + Hash + Clone, V: Clone> EbpfMap<K, V> {
             name,
             max_entries,
             kind,
-            inner: Arc::new(RwLock::new(MapInner { data: HashMap::new(), tick: 0 })),
+            inner: Arc::new(RwLock::new(MapInner {
+                data: HashMap::new(),
+                tick: 0,
+            })),
             occupancy: megate_obs::gauge(&format!("hoststack.map.{name}.occupancy")),
         }
     }
@@ -163,12 +166,7 @@ impl<K: Eq + Hash + Clone, V: Clone> EbpfMap<K, V> {
 
     /// Read-modify-write of one entry, inserting `default` first when
     /// absent (the common eBPF counter-update idiom).
-    pub fn upsert_with(
-        &self,
-        key: K,
-        default: V,
-        f: impl FnOnce(&mut V),
-    ) -> Result<(), MapError> {
+    pub fn upsert_with(&self, key: K, default: V, f: impl FnOnce(&mut V)) -> Result<(), MapError> {
         let mut g = self.inner.write();
         g.tick += 1;
         let tick = g.tick;

@@ -136,7 +136,11 @@ pub fn tc_egress_chain(
 
     // --- Flow collection ---
     let tuple = match parsed.inner_flow {
-        FlowKey::Tuple { tuple, first_fragment, ipid } => {
+        FlowKey::Tuple {
+            tuple,
+            first_fragment,
+            ipid,
+        } => {
             if first_fragment {
                 // Seed frag_map so follow-on fragments resolve. Best
                 // effort: on map pressure the fragment accounting is
@@ -171,7 +175,8 @@ pub fn tc_egress_chain(
         {
             stats.accounting_misses += 1;
             maps.tc_metrics.accounting_misses.inc();
-            maps.telemetry.publish(crate::ringbuf::TelemetryEvent::AccountingMiss);
+            maps.telemetry
+                .publish(crate::ringbuf::TelemetryEvent::AccountingMiss);
         } else if first_sighting {
             maps.telemetry
                 .publish(crate::ringbuf::TelemetryEvent::NewFlow { tuple: t });
@@ -195,10 +200,11 @@ pub fn tc_egress_chain(
     };
     insert_sr_header(frame, &hops)?;
     maps.tc_metrics.sr_inserted.inc();
-    maps.telemetry.publish(crate::ringbuf::TelemetryEvent::SrInserted {
-        instance,
-        hops: hops.len() as u8,
-    });
+    maps.telemetry
+        .publish(crate::ringbuf::TelemetryEvent::SrInserted {
+            instance,
+            hops: hops.len() as u8,
+        });
     Ok(TcVerdict::PassWithSr)
 }
 
@@ -235,8 +241,15 @@ pub fn process_batch(
     descs: &[FrameDescriptor],
     cpu: &mut CpuShard,
 ) -> BatchSummary {
-    debug_assert_eq!(batch.len(), descs.len(), "descriptor array must match batch");
-    let mut summary = BatchSummary { frames: descs.len(), ..BatchSummary::default() };
+    debug_assert_eq!(
+        batch.len(),
+        descs.len(),
+        "descriptor array must match batch"
+    );
+    let mut summary = BatchSummary {
+        frames: descs.len(),
+        ..BatchSummary::default()
+    };
     cpu.stats.frames += descs.len() as u64;
 
     // --- Stage 1: flow collection into the shard-local accumulators ---
@@ -249,7 +262,11 @@ pub fn process_batch(
         }
         summary.vxlan_frames += 1;
         let tuple = match desc.flow {
-            Some(FlowKey::Tuple { tuple, first_fragment, ipid }) => {
+            Some(FlowKey::Tuple {
+                tuple,
+                first_fragment,
+                ipid,
+            }) => {
                 if first_fragment {
                     // Seed the shard-local overlay; the shared frag_map
                     // gets it on the next sync tick.
@@ -261,7 +278,12 @@ pub fn process_batch(
                 // Overlay first: a first fragment seen earlier on this
                 // worker (even in this very batch) must resolve, just
                 // as it would frame-by-frame.
-                match cpu.frag.get(&ipid).copied().or_else(|| maps.frag_map.lookup(&ipid)) {
+                match cpu
+                    .frag
+                    .get(&ipid)
+                    .copied()
+                    .or_else(|| maps.frag_map.lookup(&ipid))
+                {
                     Some(t) => {
                         summary.fragments_resolved += 1;
                         cpu.stats.fragments_resolved += 1;
@@ -296,12 +318,18 @@ pub fn process_batch(
             // Already labelled — leave as is (same as the serial path).
             continue;
         }
-        let instance = *cpu.inf_cache.entry(t).or_insert_with(|| maps.inf_map.lookup(&t));
+        let instance = *cpu
+            .inf_cache
+            .entry(t)
+            .or_insert_with(|| maps.inf_map.lookup(&t));
         let Some(instance) = instance else { continue };
         summary.attributed += 1;
         cpu.stats.attributed += 1;
         let key = (instance, t.dst_ip);
-        let hops = cpu.path_cache.entry(key).or_insert_with(|| maps.path_map.lookup(&key));
+        let hops = cpu
+            .path_cache
+            .entry(key)
+            .or_insert_with(|| maps.path_map.lookup(&key));
         if hops.as_ref().is_some_and(|h| h.len() <= MAX_HOPS) {
             sr_keys[i] = Some(key);
         }
@@ -435,8 +463,14 @@ mod tests {
         t2.src_port = 1;
         let mut f1 = MegaTeFrameSpec::simple(tuple(), 3, None).build();
         let mut f2 = MegaTeFrameSpec::simple(t2, 3, None).build();
-        assert_eq!(tc_egress_chain(&maps, &mut f1, &mut stats).unwrap(), TcVerdict::Pass);
-        assert_eq!(tc_egress_chain(&maps, &mut f2, &mut stats).unwrap(), TcVerdict::Pass);
+        assert_eq!(
+            tc_egress_chain(&maps, &mut f1, &mut stats).unwrap(),
+            TcVerdict::Pass
+        );
+        assert_eq!(
+            tc_egress_chain(&maps, &mut f2, &mut stats).unwrap(),
+            TcVerdict::Pass
+        );
         assert_eq!(stats.accounting_misses, 1); // second flow not billed
     }
 
@@ -446,7 +480,9 @@ mod tests {
         let mut stats = TcStats::default();
         on_execve(&maps, Pid(5), InstanceId(99)).unwrap();
         on_conntrack(&maps, Pid(5), tuple()).unwrap();
-        maps.path_map.update((InstanceId(99), tuple().dst_ip), vec![1, 2]).unwrap();
+        maps.path_map
+            .update((InstanceId(99), tuple().dst_ip), vec![1, 2])
+            .unwrap();
 
         let mut f = MegaTeFrameSpec::simple(tuple(), 3, None).build();
         tc_egress_chain(&maps, &mut f, &mut stats).unwrap();
@@ -473,7 +509,9 @@ mod tests {
         let mut stats = TcStats::default();
         on_execve(&maps, Pid(5), InstanceId(99)).unwrap();
         on_conntrack(&maps, Pid(5), tuple()).unwrap();
-        maps.path_map.update((InstanceId(99), tuple().dst_ip), vec![1]).unwrap();
+        maps.path_map
+            .update((InstanceId(99), tuple().dst_ip), vec![1])
+            .unwrap();
         let mut f = MegaTeFrameSpec::simple(tuple(), 3, Some(vec![7, 8])).build();
         let v = tc_egress_chain(&maps, &mut f, &mut stats).unwrap();
         assert_eq!(v, TcVerdict::Pass);

@@ -51,7 +51,10 @@ impl RingBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ring needs capacity");
         Self {
-            inner: Arc::new(Mutex::new(Inner { queue: VecDeque::new(), dropped: 0 })),
+            inner: Arc::new(Mutex::new(Inner {
+                queue: VecDeque::new(),
+                dropped: 0,
+            })),
             capacity,
             drop_ctr: megate_obs::counter("hoststack.ringbuf.drops"),
         }
@@ -134,7 +137,12 @@ mod tests {
         let events = rb.drain();
         assert_eq!(events.len(), 5);
         for (i, e) in events.iter().enumerate() {
-            assert_eq!(e, &TelemetryEvent::NewFlow { tuple: tuple(i as u16) });
+            assert_eq!(
+                e,
+                &TelemetryEvent::NewFlow {
+                    tuple: tuple(i as u16)
+                }
+            );
         }
         assert!(rb.is_empty());
     }
@@ -160,7 +168,9 @@ mod tests {
                 let rb = rb.clone();
                 s.spawn(move || {
                     for i in 0..1000 {
-                        rb.publish(TelemetryEvent::NewFlow { tuple: tuple(t * 1000 + i) });
+                        rb.publish(TelemetryEvent::NewFlow {
+                            tuple: tuple(t * 1000 + i),
+                        });
                     }
                 });
             }

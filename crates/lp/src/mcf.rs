@@ -198,15 +198,25 @@ impl McfProblem {
         link_row: &[Option<usize>],
     ) -> McfSolution {
         debug_assert_eq!(s.status, LpStatus::Optimal, "MCF LPs are bounded");
-        let mut flows: Vec<Vec<f64>> =
-            self.commodities.iter().map(|c| vec![0.0; c.paths.len()]).collect();
+        let mut flows: Vec<Vec<f64>> = self
+            .commodities
+            .iter()
+            .map(|c| vec![0.0; c.paths.len()])
+            .collect();
         for (v, &(k, t)) in var_of.iter().enumerate() {
             flows[k][t] = s.x[v];
         }
         let total_flow = s.x.iter().sum();
-        let link_prices =
-            link_row.iter().map(|r| r.map_or(0.0, |row| s.duals[row])).collect();
-        McfSolution { flows, total_flow, objective: s.objective, link_prices }
+        let link_prices = link_row
+            .iter()
+            .map(|r| r.map_or(0.0, |row| s.duals[row]))
+            .collect();
+        McfSolution {
+            flows,
+            total_flow,
+            objective: s.objective,
+            link_prices,
+        }
     }
 
     /// Exact solve via the dense simplex. Fails with
@@ -230,7 +240,11 @@ impl McfProblem {
         let (lp, var_of, link_row) = self.build_lp();
         let w = lp.solve_warm(warm)?;
         let solution = self.unpack_lp_solution(&w.solution, &var_of, &link_row);
-        Ok(McfWarmSolve { solution, basis: w.basis, warm_used: w.warm_used })
+        Ok(McfWarmSolve {
+            solution,
+            basis: w.basis,
+            warm_used: w.warm_used,
+        })
     }
 
     /// Estimated working-set entries of [`solve_exact`]: `2m² + nnz`
@@ -260,7 +274,9 @@ impl McfProblem {
             }
         }
         rows += used_link.iter().filter(|&&u| u).count();
-        rows.saturating_mul(rows).saturating_mul(2).saturating_add(nnz)
+        rows.saturating_mul(rows)
+            .saturating_mul(2)
+            .saturating_add(nnz)
     }
 
     /// [`size_estimate`](McfProblem::size_estimate) plus the footprint
@@ -272,7 +288,8 @@ impl McfProblem {
     /// shape and latches the exact-vs-FPTAS choice, so a warm re-solve
     /// can never flip modes mid-stream.
     pub fn size_estimate_with_basis(&self, warm: Option<&LpBasis>) -> usize {
-        self.size_estimate().saturating_add(warm.map_or(0, |b| b.len()))
+        self.size_estimate()
+            .saturating_add(warm.map_or(0, |b| b.len()))
     }
 
     /// `(1−O(ε))`-optimal solve via Fleischer's round-robin variant of
@@ -301,8 +318,11 @@ impl McfProblem {
         let threads = threads.max(1);
         let n_links = self.link_capacity.len();
         let n_comm = self.commodities.len();
-        let mut flows: Vec<Vec<f64>> =
-            self.commodities.iter().map(|c| vec![0.0; c.paths.len()]).collect();
+        let mut flows: Vec<Vec<f64>> = self
+            .commodities
+            .iter()
+            .map(|c| vec![0.0; c.paths.len()])
+            .collect();
         if n_comm == 0 {
             return McfSolution {
                 flows,
@@ -406,8 +426,7 @@ impl McfProblem {
             }
             let mut t = best_t?;
             for c in 0..paths.len() {
-                if path_len[base + c] <= best_len * (1.0 + eps)
-                    && paths[c].weight < paths[t].weight
+                if path_len[base + c] <= best_len * (1.0 + eps) && paths[c].weight < paths[t].weight
                 {
                     t = c;
                 }
@@ -517,7 +536,12 @@ impl McfProblem {
             .iter()
             .map(|&l| if l.is_finite() { l / price_scale } else { 0.0 })
             .collect();
-        let mut sol = McfSolution { flows, total_flow: 0.0, objective: 0.0, link_prices };
+        let mut sol = McfSolution {
+            flows,
+            total_flow: 0.0,
+            objective: 0.0,
+            link_prices,
+        };
         let loads = sol.link_loads(self);
         let mut worst: f64 = 1.0;
         for (e, &load) in loads.iter().enumerate() {
@@ -601,7 +625,10 @@ mod tests {
             link_capacity: vec![cap],
             commodities: vec![Commodity {
                 demand,
-                paths: vec![PathSpec { links: vec![0], weight: 1.0 }],
+                paths: vec![PathSpec {
+                    links: vec![0],
+                    weight: 1.0,
+                }],
             }],
             epsilon_weight: 1e-4,
         }
@@ -643,7 +670,10 @@ mod tests {
         assert_eq!(p1.size_estimate(), p0.size_estimate());
         let warm = p1.solve_exact_warm(Some(&first.basis)).unwrap();
         let cold = p1.solve_exact().unwrap();
-        assert_eq!(warm.solution.flows, cold.flows, "warm must match cold bitwise here");
+        assert_eq!(
+            warm.solution.flows, cold.flows,
+            "warm must match cold bitwise here"
+        );
         assert!((warm.solution.total_flow - 55.0).abs() < 1e-6);
         assert!(p1.check_feasible(&warm.solution, 1e-9));
     }
@@ -656,11 +686,17 @@ mod tests {
             commodities: vec![
                 Commodity {
                     demand: 60.0,
-                    paths: vec![PathSpec { links: vec![0], weight: 1.0 }],
+                    paths: vec![PathSpec {
+                        links: vec![0],
+                        weight: 1.0,
+                    }],
                 },
                 Commodity {
                     demand: 60.0,
-                    paths: vec![PathSpec { links: vec![0], weight: 1.0 }],
+                    paths: vec![PathSpec {
+                        links: vec![0],
+                        weight: 1.0,
+                    }],
                 },
             ],
             epsilon_weight: 1e-4,
@@ -679,8 +715,14 @@ mod tests {
             commodities: vec![Commodity {
                 demand: 50.0,
                 paths: vec![
-                    PathSpec { links: vec![0], weight: 1.0 },
-                    PathSpec { links: vec![1], weight: 10.0 },
+                    PathSpec {
+                        links: vec![0],
+                        weight: 1.0,
+                    },
+                    PathSpec {
+                        links: vec![1],
+                        weight: 10.0,
+                    },
                 ],
             }],
             epsilon_weight: 1e-3,
@@ -700,8 +742,14 @@ mod tests {
             commodities: vec![Commodity {
                 demand: 50.0,
                 paths: vec![
-                    PathSpec { links: vec![0], weight: 1.0 },
-                    PathSpec { links: vec![1], weight: 10.0 },
+                    PathSpec {
+                        links: vec![0],
+                        weight: 1.0,
+                    },
+                    PathSpec {
+                        links: vec![1],
+                        weight: 10.0,
+                    },
                 ],
             }],
             epsilon_weight: 1e-3,
@@ -718,8 +766,11 @@ mod tests {
         // (one more unit of capacity = one more unit of flow).
         let p = one_link_instance(100.0, 40.0);
         let s = p.solve_exact().unwrap();
-        assert!((s.link_prices[0] - (1.0 - p.epsilon_weight)).abs() < 1e-6,
-            "price {:?}", s.link_prices);
+        assert!(
+            (s.link_prices[0] - (1.0 - p.epsilon_weight)).abs() < 1e-6,
+            "price {:?}",
+            s.link_prices
+        );
         // Demand-limited instance: the link is slack, price 0.
         let p = one_link_instance(30.0, 100.0);
         let s = p.solve_exact().unwrap();
@@ -732,7 +783,10 @@ mod tests {
             link_capacity: vec![40.0, 10_000.0],
             commodities: vec![Commodity {
                 demand: 100.0,
-                paths: vec![PathSpec { links: vec![0, 1], weight: 1.0 }],
+                paths: vec![PathSpec {
+                    links: vec![0, 1],
+                    weight: 1.0,
+                }],
             }],
             epsilon_weight: 1e-4,
         };
@@ -746,7 +800,11 @@ mod tests {
 
     #[test]
     fn empty_instance_is_trivial() {
-        let p = McfProblem { link_capacity: vec![], commodities: vec![], epsilon_weight: 0.0 };
+        let p = McfProblem {
+            link_capacity: vec![],
+            commodities: vec![],
+            epsilon_weight: 0.0,
+        };
         let s = p.solve_exact().unwrap();
         assert_eq!(s.total_flow, 0.0);
         let f = p.solve_fptas(0.1);
@@ -767,8 +825,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let n_links = rng.gen_range(2..6);
-        let link_capacity: Vec<f64> =
-            (0..n_links).map(|_| rng.gen_range(10.0..100.0)).collect();
+        let link_capacity: Vec<f64> = (0..n_links).map(|_| rng.gen_range(10.0..100.0)).collect();
         let n_comm = rng.gen_range(1..5);
         let commodities = (0..n_comm)
             .map(|_| {
@@ -782,13 +839,23 @@ mod tests {
                             links.swap(j, rng.gen_range(0..=j));
                         }
                         links.truncate(len);
-                        PathSpec { links, weight: 1.0 + i as f64 }
+                        PathSpec {
+                            links,
+                            weight: 1.0 + i as f64,
+                        }
                     })
                     .collect();
-                Commodity { demand: rng.gen_range(5.0..80.0), paths }
+                Commodity {
+                    demand: rng.gen_range(5.0..80.0),
+                    paths,
+                }
             })
             .collect();
-        McfProblem { link_capacity, commodities, epsilon_weight: 1e-4 }
+        McfProblem {
+            link_capacity,
+            commodities,
+            epsilon_weight: 1e-4,
+        }
     }
 
     proptest! {
@@ -841,21 +908,33 @@ mod tests {
                 Commodity {
                     demand: 5.0,
                     paths: vec![
-                        PathSpec { links: vec![0], weight: 1.0 },
-                        PathSpec { links: vec![0, 1], weight: 2.0 },
+                        PathSpec {
+                            links: vec![0],
+                            weight: 1.0,
+                        },
+                        PathSpec {
+                            links: vec![0, 1],
+                            weight: 2.0,
+                        },
                     ],
                 },
                 Commodity {
                     demand: 5.0,
-                    paths: vec![PathSpec { links: vec![1], weight: 1.0 }],
+                    paths: vec![PathSpec {
+                        links: vec![1],
+                        weight: 1.0,
+                    }],
                 },
             ],
             epsilon_weight: 1e-4,
         };
         assert_eq!(p.size_estimate(), 2 * 4 * 4 + 3 + 4);
         // Empty instance: no rows, no entries.
-        let empty =
-            McfProblem { link_capacity: vec![], commodities: vec![], epsilon_weight: 0.0 };
+        let empty = McfProblem {
+            link_capacity: vec![],
+            commodities: vec![],
+            epsilon_weight: 0.0,
+        };
         assert_eq!(empty.size_estimate(), 0);
     }
 
@@ -896,8 +975,14 @@ mod tests {
                 .map(|k| Commodity {
                     demand: 10.0 + k as f64,
                     paths: vec![
-                        PathSpec { links: vec![0, 1], weight: 1.0 },
-                        PathSpec { links: vec![2], weight: 2.0 + k as f64 * 0.1 },
+                        PathSpec {
+                            links: vec![0, 1],
+                            weight: 1.0,
+                        },
+                        PathSpec {
+                            links: vec![2],
+                            weight: 2.0 + k as f64 * 0.1,
+                        },
                     ],
                 })
                 .collect(),

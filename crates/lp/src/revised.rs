@@ -122,7 +122,11 @@ impl SparseCols {
                 cursor[j] += 1;
             }
         }
-        SparseCols { ptr: counts, rows, vals }
+        SparseCols {
+            ptr: counts,
+            rows,
+            vals,
+        }
     }
 
     fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
@@ -431,8 +435,16 @@ impl<'a> Revised<'a> {
         let objective = self.lp.objective_at(&x);
         // Slack j = n+i has reduced cost −y_i, so the duals fall out of
         // the final pricing vector (clamped like the dense solver).
-        let duals: Vec<f64> = (0..self.m).map(|i| (-self.d[self.n + i]).max(0.0)).collect();
-        LpSolution { status: LpStatus::Optimal, x, objective, pivots, duals }
+        let duals: Vec<f64> = (0..self.m)
+            .map(|i| (-self.d[self.n + i]).max(0.0))
+            .collect();
+        LpSolution {
+            status: LpStatus::Optimal,
+            x,
+            objective,
+            pivots,
+            duals,
+        }
     }
 
     fn unbounded(&self, pivots: usize) -> LpSolution {
@@ -478,7 +490,11 @@ pub fn solve_revised_warm(
                 pivots: 0,
                 duals: vec![0.0; m],
             },
-            basis: LpBasis { basis: (0..m).collect(), m, n },
+            basis: LpBasis {
+                basis: (0..m).collect(),
+                m,
+                n,
+            },
             warm_used: false,
         });
     }
@@ -505,8 +521,16 @@ pub fn solve_revised_warm(
         }
         Err(e) => return Err(e),
     };
-    let basis = LpBasis { basis: st.basis.clone(), m, n };
-    Ok(WarmLpSolve { solution, basis, warm_used })
+    let basis = LpBasis {
+        basis: st.basis.clone(),
+        m,
+        n,
+    };
+    Ok(WarmLpSolve {
+        solution,
+        basis,
+        warm_used,
+    })
 }
 
 /// The shared phase-2 pivot loop. `start_verified` marks the entry

@@ -50,7 +50,10 @@ impl LinearProgram {
     /// A program over `n_vars` variables with the given maximization
     /// objective.
     pub fn maximize(objective: Vec<f64>) -> Self {
-        Self { objective, rows: Vec::new() }
+        Self {
+            objective,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of structural variables.
@@ -92,7 +95,10 @@ impl LinearProgram {
     pub fn solve(&self) -> Result<LpSolution, LpError> {
         let entries = self.revised_entries();
         if entries > TABLEAU_ENTRY_CAP {
-            return Err(LpError::TooLarge { entries, cap: TABLEAU_ENTRY_CAP });
+            return Err(LpError::TooLarge {
+                entries,
+                cap: TABLEAU_ENTRY_CAP,
+            });
         }
         crate::revised::solve_revised(self)
     }
@@ -109,7 +115,10 @@ impl LinearProgram {
     ) -> Result<crate::revised::WarmLpSolve, LpError> {
         let entries = self.revised_entries();
         if entries > TABLEAU_ENTRY_CAP {
-            return Err(LpError::TooLarge { entries, cap: TABLEAU_ENTRY_CAP });
+            return Err(LpError::TooLarge {
+                entries,
+                cap: TABLEAU_ENTRY_CAP,
+            });
         }
         crate::revised::solve_revised_warm(self, warm)
     }
@@ -185,7 +194,10 @@ impl std::fmt::Display for LpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LpError::TooLarge { entries, cap } => {
-                write!(f, "LP working set needs {entries} entries (cap {cap}): out of memory")
+                write!(
+                    f,
+                    "LP working set needs {entries} entries (cap {cap}): out of memory"
+                )
             }
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
         }
@@ -203,7 +215,10 @@ fn solve_dense(lp: &LinearProgram) -> Result<LpSolution, LpError> {
     let n = lp.n_vars();
     let entries = lp.tableau_entries();
     if entries > TABLEAU_ENTRY_CAP {
-        return Err(LpError::TooLarge { entries, cap: TABLEAU_ENTRY_CAP });
+        return Err(LpError::TooLarge {
+            entries,
+            cap: TABLEAU_ENTRY_CAP,
+        });
     }
     if n == 0 {
         return Ok(LpSolution {
@@ -216,9 +231,9 @@ fn solve_dense(lp: &LinearProgram) -> Result<LpSolution, LpError> {
     }
 
     let width = n + m + 1; // structural + slack + rhs
-    // Tableau rows 0..m are constraints; row m is the objective row with
-    // reduced costs (stored negated-for-min convention avoided: we keep
-    // `z_j - c_j` so optimality is "all entries >= 0").
+                           // Tableau rows 0..m are constraints; row m is the objective row with
+                           // reduced costs (stored negated-for-min convention avoided: we keep
+                           // `z_j - c_j` so optimality is "all entries >= 0").
     let mut t = vec![0.0f64; (m + 1) * width];
     let idx = |r: usize, c: usize| r * width + c;
 
@@ -268,8 +283,7 @@ fn solve_dense(lp: &LinearProgram) -> Result<LpSolution, LpError> {
             if a > EPS {
                 let ratio = t[idx(i, width - 1)] / a;
                 if ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leave.is_none_or(|l| basis[i] < basis[l]))
+                    || (ratio < best_ratio + EPS && leave.is_none_or(|l| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leave = Some(i);
@@ -322,7 +336,13 @@ fn solve_dense(lp: &LinearProgram) -> Result<LpSolution, LpError> {
     // Duals: the reduced cost of constraint i's slack column in the
     // optimal objective row equals y_i (complementary slackness).
     let duals: Vec<f64> = (0..m).map(|i| t[idx(m, n + i)].max(0.0)).collect();
-    Ok(LpSolution { status: LpStatus::Optimal, x, objective, pivots, duals })
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        x,
+        objective,
+        pivots,
+        duals,
+    })
 }
 
 #[cfg(test)]

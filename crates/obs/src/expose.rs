@@ -21,7 +21,13 @@ use crate::registry::global;
 /// `[a-zA-Z0-9_:]`; everything else (notably `.` and `/`) becomes `_`.
 pub fn sanitize_name(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -126,13 +132,15 @@ impl Snapshot {
             } else if types.get(key) == Some(&Kind::Gauge) {
                 let v = value.parse().map_err(|_| err("bad gauge value"))?;
                 snap.gauges.insert(key.to_string(), v);
-            } else if let Some(base) =
-                key.strip_suffix("_sum").filter(|b| types.get(*b) == Some(&Kind::Histogram))
+            } else if let Some(base) = key
+                .strip_suffix("_sum")
+                .filter(|b| types.get(*b) == Some(&Kind::Histogram))
             {
                 let v = value.parse().map_err(|_| err("bad sum"))?;
                 snap.histograms.entry(base.to_string()).or_default().sum = v;
-            } else if let Some(base) =
-                key.strip_suffix("_count").filter(|b| types.get(*b) == Some(&Kind::Histogram))
+            } else if let Some(base) = key
+                .strip_suffix("_count")
+                .filter(|b| types.get(*b) == Some(&Kind::Histogram))
             {
                 let v = value.parse().map_err(|_| err("bad count"))?;
                 snap.histograms.entry(base.to_string()).or_default().count = v;
@@ -171,19 +179,31 @@ impl Snapshot {
             esc(k, &mut out);
             let _ = write!(out, ": {v}");
         }
-        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
         out.push_str("  \"gauges\": {");
         for (i, (k, v)) in self.gauges.iter().enumerate() {
             out.push_str(if i == 0 { "\n    " } else { ",\n    " });
             esc(k, &mut out);
             let _ = write!(out, ": {v}");
         }
-        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
         out.push_str("  \"histograms\": {");
         for (i, (k, h)) in self.histograms.iter().enumerate() {
             out.push_str(if i == 0 { "\n    " } else { ",\n    " });
             esc(k, &mut out);
-            let _ = write!(out, ": {{\"count\": {}, \"sum\": {}, \"buckets\": {{", h.count, h.sum);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"sum\": {}, \"buckets\": {{",
+                h.count, h.sum
+            );
             let mut first = true;
             for (idx, &b) in h.buckets.iter().enumerate() {
                 if b != 0 {
@@ -193,7 +213,11 @@ impl Snapshot {
             }
             out.push_str("}}");
         }
-        out.push_str(if self.histograms.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
         out.push('}');
         out
     }
@@ -204,7 +228,9 @@ impl Snapshot {
         let top = value.as_obj().ok_or("top level must be an object")?;
         let mut snap = Snapshot::default();
         for (key, val) in top {
-            let obj = val.as_obj().ok_or_else(|| format!("{key} must be an object"))?;
+            let obj = val
+                .as_obj()
+                .ok_or_else(|| format!("{key} must be an object"))?;
             match key.as_str() {
                 "counters" => {
                     for (k, v) in obj {
@@ -225,8 +251,7 @@ impl Snapshot {
                                 "count" => h.count = fv.as_u64()?,
                                 "sum" => h.sum = fv.as_u64()?,
                                 "buckets" => {
-                                    let buckets =
-                                        fv.as_obj().ok_or("buckets must be an object")?;
+                                    let buckets = fv.as_obj().ok_or("buckets must be an object")?;
                                     for (idx, n) in buckets {
                                         let i: usize = idx
                                             .parse()
@@ -291,7 +316,10 @@ mod json {
     }
 
     pub fn parse(text: &str) -> Result<Value, String> {
-        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
         let v = p.value()?;
         p.skip_ws();
         if p.i != p.b.len() {
@@ -380,9 +408,7 @@ mod json {
                                     16,
                                 )
                                 .map_err(|_| "bad \\u escape")?;
-                                out.push(
-                                    char::from_u32(code).ok_or("surrogate \\u unsupported")?,
-                                );
+                                out.push(char::from_u32(code).ok_or("surrogate \\u unsupported")?);
                                 self.i += 4;
                             }
                             other => return Err(format!("bad escape {other:?}")),
@@ -427,7 +453,6 @@ mod json {
                 }
             }
         }
-
     }
 }
 
@@ -440,7 +465,8 @@ mod tests {
         s.counters.insert("lp.pivots".into(), 42);
         s.counters.insert("tedb.set_bytes".into(), u64::MAX);
         s.gauges.insert("controller.config_staleness".into(), -7);
-        s.gauges.insert("hoststack.map.traffic_map.occupancy".into(), 123);
+        s.gauges
+            .insert("hoststack.map.traffic_map.occupancy".into(), 123);
         let mut h = HistogramSnapshot::default();
         for v in [0u64, 1, 2, 900, 1 << 41, u64::MAX] {
             h.buckets[crate::bucket_of(v)] += 1;
@@ -448,7 +474,8 @@ mod tests {
         }
         h.sum = 12345;
         s.histograms.insert("span.lp.solve/lp.pivot".into(), h);
-        s.histograms.insert("empty.hist".into(), HistogramSnapshot::default());
+        s.histograms
+            .insert("empty.hist".into(), HistogramSnapshot::default());
         s
     }
 
@@ -493,5 +520,120 @@ mod tests {
     #[test]
     fn prometheus_parser_rejects_untyped_series() {
         assert!(Snapshot::from_prometheus("loose_metric 5").is_err());
+    }
+
+    #[test]
+    fn empty_histogram_round_trips_through_prometheus() {
+        // An empty histogram still renders its +Inf bucket, _sum and
+        // _count lines, and comes back as exactly the default snapshot
+        // shape (no phantom bucket mass).
+        let mut s = Snapshot::default();
+        s.histograms
+            .insert("never_recorded".into(), HistogramSnapshot::default());
+        let text = s.to_prometheus();
+        assert!(text.contains("never_recorded_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("never_recorded_sum 0"));
+        assert!(text.contains("never_recorded_count 0"));
+        let parsed = Snapshot::from_prometheus(&text).unwrap();
+        assert_eq!(parsed, s.sanitized());
+        let h = &parsed.histograms["never_recorded"];
+        assert_eq!(h.count, 0);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 0);
+        // Quantiles of an empty histogram answer 0, not garbage.
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.999), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn overflow_bucket_has_no_upper_bound_and_saturates_quantiles() {
+        // Bucket 63 is the overflow bucket: it has no finite upper
+        // bound (bucket_upper_bound(62) = 2^63 - 1 is the last finite
+        // one), renders only as the +Inf line, and any quantile whose
+        // mass lands there answers the conservative u64::MAX rather
+        // than inventing a finite bound.
+        assert_eq!(
+            HistogramSnapshot::bucket_upper_bound(HIST_BUCKETS - 2),
+            Some(u64::MAX >> 1)
+        );
+        assert_eq!(
+            HistogramSnapshot::bucket_upper_bound(HIST_BUCKETS - 1),
+            None
+        );
+        assert_eq!(crate::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+
+        let mut h = HistogramSnapshot::default();
+        h.buckets[0] = 9; // nine fast samples...
+        h.buckets[HIST_BUCKETS - 1] = 1; // ...one in the overflow bucket
+        h.count = 10;
+        h.sum = u64::MAX;
+        assert_eq!(h.quantile(0.5), 1, "median stays in the finite buckets");
+        assert_eq!(
+            h.quantile(0.999),
+            u64::MAX,
+            "overflow-bucket quantiles must saturate, not fabricate a bound"
+        );
+
+        // And the whole shape survives the Prometheus round-trip: the
+        // overflow mass only ever appears on the +Inf line.
+        let mut s = Snapshot::default();
+        s.histograms.insert("overflowy".into(), h);
+        let text = s.to_prometheus();
+        assert!(text.contains("overflowy_bucket{le=\"1\"} 9"));
+        assert!(text.contains("overflowy_bucket{le=\"+Inf\"} 10"));
+        let parsed = Snapshot::from_prometheus(&text).unwrap();
+        assert_eq!(parsed, s.sanitized());
+        assert_eq!(parsed.histograms["overflowy"].quantile(0.999), u64::MAX);
+    }
+
+    #[test]
+    fn awkward_names_sanitize_and_round_trip_through_prometheus() {
+        // Dots, slashes, quotes, braces, spaces, unicode: everything
+        // outside [a-zA-Z0-9_:] maps to '_' on the way out, and the
+        // sanitized name parses straight back.
+        assert_eq!(sanitize_name("span.a/b"), "span_a_b");
+        assert_eq!(
+            sanitize_name("we\"ird{le=\"0\"} name"),
+            "we_ird_le__0___name"
+        );
+        assert_eq!(sanitize_name("ünïcode.°"), "_n_code__");
+        assert_eq!(sanitize_name("ok_name:42"), "ok_name:42");
+
+        let mut s = Snapshot::default();
+        s.counters.insert("we\"ird{} ctr".into(), 3);
+        s.gauges.insert("span.g/å".into(), -9);
+        let mut h = HistogramSnapshot::default();
+        h.buckets[crate::bucket_of(5)] = 1;
+        h.count = 1;
+        h.sum = 5;
+        s.histograms.insert("h.with/slash".into(), h);
+        let parsed = Snapshot::from_prometheus(&s.to_prometheus()).unwrap();
+        assert_eq!(parsed, s.sanitized());
+        assert_eq!(parsed.counters.get("we_ird___ctr").copied(), Some(3));
+        assert_eq!(parsed.gauges.get("span_g__").copied(), Some(-9));
+        assert_eq!(parsed.histograms["h_with_slash"].count, 1);
+    }
+
+    #[test]
+    fn sanitize_collisions_merge_deterministically() {
+        // "a.b" and "a/b" both sanitize to "a_b": the text exposition
+        // carries two series with one name. sanitized() resolves the
+        // collision by wrapping-summing (counters and gauges alike;
+        // histograms bucket-merge), while re-parsing the rendered text
+        // keeps whichever line came last — a documented lossy corner of
+        // the round-trip. Pin both behaviors so neither drifts.
+        let mut s = Snapshot::default();
+        s.counters.insert("a.b".into(), 1);
+        s.counters.insert("a/b".into(), 10);
+        let sanitized = s.sanitized();
+        assert_eq!(sanitized.counters.len(), 1, "collided names merge");
+        assert_eq!(sanitized.counters["a_b"], 11, "sanitized() sums collisions");
+        let text = s.to_prometheus();
+        // Both source series render under the collided name...
+        assert_eq!(text.matches("\na_b ").count(), 2);
+        // ...and the parser keeps the later line ("a.b" < "a/b" in the
+        // BTreeMap render order, so "a/b"'s value wins).
+        let parsed = Snapshot::from_prometheus(&text).unwrap();
+        assert_eq!(parsed.counters["a_b"], 10, "parse keeps the last line");
     }
 }

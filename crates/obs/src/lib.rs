@@ -10,6 +10,10 @@
 //! * **Exposition** — a named [`Registry`] rendering Prometheus text
 //!   and JSON snapshots; bench binaries persist the JSON as
 //!   `results/BENCH_<name>.json` via [`write_bench_snapshot`].
+//! * **Tracing** — the [`mod@trace`] flight recorder: fixed-size
+//!   config-propagation events in lock-free per-thread rings, with a
+//!   Chrome-trace (Perfetto) exporter covering events and spans
+//!   (DESIGN.md §5g).
 //!
 //! Plus a minimal RUST_LOG-style leveled [`logger`] (`info!`,
 //! `error!`, ...) so binaries do not hand-roll `eprintln!`.
@@ -35,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod logger;
+pub mod trace;
 
 mod expose;
 mod metrics;
@@ -118,7 +123,10 @@ pub fn thread_cpu_ns() -> u64 {
         fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
     }
     const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
-    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // Safety: Timespec matches the libc layout on 64-bit Linux and the
     // pointer is valid for the duration of the call.
     unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
@@ -131,7 +139,10 @@ pub fn thread_cpu_ns() -> u64 {
 pub fn thread_cpu_ns() -> u64 {
     use std::sync::OnceLock;
     static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
-    EPOCH.get_or_init(std::time::Instant::now).elapsed().as_nanos() as u64
+    EPOCH
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
 }
 
 /// Unit tests that flip [`set_enabled`] or assert on the global

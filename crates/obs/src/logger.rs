@@ -85,7 +85,10 @@ impl Filter {
             }
         }
         directives.sort_by_key(|(t, _)| std::cmp::Reverse(t.len()));
-        Filter { default, directives }
+        Filter {
+            default,
+            directives,
+        }
     }
 
     fn level_for(&self, target: &str) -> u8 {

@@ -216,7 +216,11 @@ pub struct HistogramSnapshot {
 
 impl Default for HistogramSnapshot {
     fn default() -> Self {
-        Self { count: 0, sum: 0, buckets: [0; HIST_BUCKETS] }
+        Self {
+            count: 0,
+            sum: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
     }
 }
 
@@ -313,7 +317,10 @@ impl Snapshot {
             *e = e.wrapping_add(*v);
         }
         for (k, v) in &self.histograms {
-            out.histograms.entry(crate::sanitize_name(k)).or_default().merge(v);
+            out.histograms
+                .entry(crate::sanitize_name(k))
+                .or_default()
+                .merge(v);
         }
         out
     }

@@ -62,13 +62,23 @@ impl Registry {
     /// (each individual atomic is read once; no cross-metric barrier).
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
-        for (k, v) in self.counters.read().unwrap_or_else(|e| e.into_inner()).iter() {
+        for (k, v) in self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
             snap.counters.insert(k.clone(), v.get());
         }
         for (k, v) in self.gauges.read().unwrap_or_else(|e| e.into_inner()).iter() {
             snap.gauges.insert(k.clone(), v.get());
         }
-        for (k, v) in self.histograms.read().unwrap_or_else(|e| e.into_inner()).iter() {
+        for (k, v) in self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
             snap.histograms.insert(k.clone(), v.snapshot());
         }
         snap

@@ -9,6 +9,20 @@
 //! spawned the pool. That is deliberate — per-thread stacks keep span
 //! entry lock-free and allocation is amortized by a thread-local
 //! handle cache keyed by path.
+//!
+//! Each span additionally records [`trace::Stage::SpanEnter`] /
+//! [`trace::Stage::SpanExit`] events into the flight recorder (the
+//! span path interned once per thread alongside the histogram handle),
+//! which is how the span tree shows up as nested slices in the
+//! Perfetto export ([`trace::to_chrome_trace`]).
+//!
+//! ## Unwind safety
+//!
+//! A panic inside a span unwinds through [`Span::drop`], which **pops
+//! the thread-local stack before anything else** — so even if a
+//! histogram record or trace write itself panicked, the stack stays
+//! balanced and later spans on the same thread get correct paths
+//! (pinned by the `panicking_span_keeps_the_stack_balanced` test).
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -16,19 +30,22 @@ use std::time::Instant;
 
 use crate::metrics::Histogram;
 use crate::registry::global;
+use crate::trace;
+
+/// (scratch path buffer, path -> (histogram handle, interned trace
+/// id)) — avoids a registry lock, a String allocation, *and* an
+/// intern-table lock on the span fast path.
+type SpanCache = RefCell<(String, HashMap<String, (Histogram, u64)>)>;
 
 thread_local! {
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
-    /// (scratch path buffer, path -> histogram handle) — avoids both a
-    /// registry lock and a String allocation on the span fast path.
-    static CACHE: RefCell<(String, HashMap<String, Histogram>)> =
-        RefCell::new((String::new(), HashMap::new()));
+    static CACHE: SpanCache = RefCell::new((String::new(), HashMap::new()));
 }
 
 /// RAII guard returned by [`span`]; records elapsed nanoseconds on
 /// drop. When metrics are disabled at span entry this is a no-op shell.
 pub struct Span {
-    inner: Option<(Histogram, Instant)>,
+    inner: Option<(Histogram, u64, Instant)>,
 }
 
 /// Open a phase timer. Static names keep the per-thread stack
@@ -39,7 +56,7 @@ pub fn span(name: &'static str) -> Span {
     if !crate::enabled() {
         return Span { inner: None };
     }
-    let hist = STACK.with(|stack| {
+    let (hist, path_id) = STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         stack.push(name);
         CACHE.with(|cache| {
@@ -52,25 +69,32 @@ pub fn span(name: &'static str) -> Span {
                 }
                 scratch.push_str(seg);
             }
-            if let Some(h) = handles.get(scratch.as_str()) {
-                h.clone()
+            if let Some(entry) = handles.get(scratch.as_str()) {
+                entry.clone()
             } else {
-                let h = global().histogram(scratch);
-                handles.insert(scratch.clone(), h.clone());
-                h
+                let entry = (global().histogram(scratch), trace::intern_name(scratch));
+                handles.insert(scratch.clone(), entry.clone());
+                entry
             }
         })
     });
-    Span { inner: Some((hist, Instant::now())) }
+    trace::record(trace::Stage::SpanEnter, 0, path_id, 0);
+    Span {
+        inner: Some((hist, path_id, Instant::now())),
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((hist, start)) = self.inner.take() {
-            hist.record(start.elapsed().as_nanos() as u64);
+        if let Some((hist, path_id, start)) = self.inner.take() {
+            // Pop before recording: if the record path ever panicked,
+            // the stack must already be balanced for this thread.
             STACK.with(|s| {
                 s.borrow_mut().pop();
             });
+            let elapsed = start.elapsed().as_nanos() as u64;
+            hist.record(elapsed);
+            trace::record(trace::Stage::SpanExit, 0, path_id, elapsed);
         }
     }
 }
@@ -92,10 +116,16 @@ mod tests {
         }
         let snap = global().snapshot();
         assert_eq!(snap.histograms["span.obs_test.outer"].count, 1);
-        assert_eq!(snap.histograms["span.obs_test.outer/obs_test.inner"].count, 1);
+        assert_eq!(
+            snap.histograms["span.obs_test.outer/obs_test.inner"].count,
+            1
+        );
         let outer = snap.histograms["span.obs_test.outer"].sum;
         let inner = snap.histograms["span.obs_test.outer/obs_test.inner"].sum;
-        assert!(outer >= inner, "outer span ({outer} ns) contains inner ({inner} ns)");
+        assert!(
+            outer >= inner,
+            "outer span ({outer} ns) contains inner ({inner} ns)"
+        );
     }
 
     #[test]
@@ -119,5 +149,64 @@ mod tests {
             .snapshot()
             .histograms
             .contains_key("span.obs_test.after_disabled"));
+    }
+
+    #[test]
+    fn panicking_span_keeps_the_stack_balanced() {
+        let _g = crate::test_lock();
+        // A panic unwinding through an open span must pop it: spans
+        // opened afterwards on this thread get top-level paths, not
+        // paths nested under the span the panic escaped from.
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("obs_test.unwind_outer");
+            let _inner = span("obs_test.unwind_inner");
+            panic!("boom inside nested spans");
+        });
+        assert!(result.is_err(), "the probe panic must propagate");
+        {
+            let _s = span("obs_test.after_unwind");
+        }
+        let snap = global().snapshot();
+        assert_eq!(
+            snap.histograms["span.obs_test.after_unwind"].count, 1,
+            "post-panic span path must be top-level (stack fully popped)"
+        );
+        assert!(
+            !snap
+                .histograms
+                .keys()
+                .any(|k| k.contains("unwind_outer/") && k.contains("after_unwind")),
+            "post-panic span leaked under the unwound span's path"
+        );
+        // Both unwound spans still recorded their durations on the way
+        // out (Drop ran during unwind).
+        assert_eq!(snap.histograms["span.obs_test.unwind_outer"].count, 1);
+        assert_eq!(
+            snap.histograms["span.obs_test.unwind_outer/obs_test.unwind_inner"].count,
+            1
+        );
+    }
+
+    #[test]
+    fn spans_emit_enter_exit_trace_events() {
+        let _g = crate::test_lock();
+        {
+            let _s = span("obs_test.traced");
+        }
+        let path_id = trace::intern_name("span.obs_test.traced");
+        let evs: Vec<_> = trace::snapshot()
+            .into_iter()
+            .filter(|e| e.entity == path_id)
+            .collect();
+        assert!(
+            evs.iter().any(|e| e.stage == trace::Stage::SpanEnter),
+            "span enter event recorded"
+        );
+        let exit = evs
+            .iter()
+            .rev()
+            .find(|e| e.stage == trace::Stage::SpanExit)
+            .expect("span exit event recorded");
+        assert!(exit.arg > 0, "exit carries elapsed ns");
     }
 }

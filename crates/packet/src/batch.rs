@@ -396,13 +396,8 @@ mod tests {
         let mut descs = Vec::new();
         parse_batch(&batch, &mut descs);
         let hops: Vec<Vec<u32>> = vec![vec![1], vec![], vec![2, 3, 4], vec![5, 6], vec![7]];
-        let plans: Vec<Option<&[u32]>> = vec![
-            Some(&hops[0]),
-            None,
-            Some(&hops[2]),
-            None,
-            Some(&hops[4]),
-        ];
+        let plans: Vec<Option<&[u32]>> =
+            vec![Some(&hops[0]), None, Some(&hops[2]), None, Some(&hops[4])];
         let n = batch.apply_sr(&descs, &plans).unwrap();
         assert_eq!(n, 3);
         for (i, f) in frames.iter().enumerate() {

@@ -193,21 +193,19 @@ pub fn parse_megate_frame(frame: &[u8]) -> Result<ParsedFrame> {
     }
     let vni = vxlan.vni();
 
-    let vxlan_payload_start =
-        ETH_LEN + ip_header_len + UDP_LEN + crate::vxlan::HEADER_LEN;
+    let vxlan_payload_start = ETH_LEN + ip_header_len + UDP_LEN + crate::vxlan::HEADER_LEN;
     type SrParts<'a> = (Option<(u8, Vec<u32>)>, Option<usize>, &'a [u8]);
-    let (sr, sr_byte_offset, inner_bytes): SrParts =
-        if vxlan.has_megate_sr() {
-            let sr = SrHeader::new_checked(vxlan.payload())?;
-            let hl = sr.header_len();
-            (
-                Some((sr.offset(), sr.hops())),
-                Some(vxlan_payload_start),
-                &vxlan.payload()[hl..],
-            )
-        } else {
-            (None, None, vxlan.payload())
-        };
+    let (sr, sr_byte_offset, inner_bytes): SrParts = if vxlan.has_megate_sr() {
+        let sr = SrHeader::new_checked(vxlan.payload())?;
+        let hl = sr.header_len();
+        (
+            Some((sr.offset(), sr.hops())),
+            Some(vxlan_payload_start),
+            &vxlan.payload()[hl..],
+        )
+    } else {
+        (None, None, vxlan.payload())
+    };
 
     let inner_eth = EthernetFrame::new_checked(inner_bytes)?;
     if inner_eth.ethertype() != ETHERTYPE_IPV4 {
@@ -390,13 +388,19 @@ mod tests {
         let p = parse_megate_frame(&frame).unwrap();
         assert_eq!(p.sr.unwrap().0, 2);
         // Path exhausted.
-        assert_eq!(advance_sr_offset(&mut frame).err(), Some(WireError::Malformed));
+        assert_eq!(
+            advance_sr_offset(&mut frame).err(),
+            Some(WireError::Malformed)
+        );
     }
 
     #[test]
     fn advance_without_sr_errors() {
         let mut frame = MegaTeFrameSpec::simple(tuple(), 1, None).build();
-        assert_eq!(advance_sr_offset(&mut frame).err(), Some(WireError::Malformed));
+        assert_eq!(
+            advance_sr_offset(&mut frame).err(),
+            Some(WireError::Malformed)
+        );
     }
 
     #[test]
@@ -417,7 +421,11 @@ mod tests {
         let frame = spec.build();
         let p = parse_megate_frame(&frame).unwrap();
         match p.inner_flow {
-            FlowKey::Tuple { first_fragment, ipid, tuple: t } => {
+            FlowKey::Tuple {
+                first_fragment,
+                ipid,
+                tuple: t,
+            } => {
                 assert!(first_fragment);
                 assert_eq!(ipid, 7);
                 assert_eq!(t.dst_port, 80);
@@ -466,7 +474,10 @@ mod tests {
     fn double_insert_rejected() {
         let mut f = MegaTeFrameSpec::simple(tuple(), 6, None).build();
         insert_sr_header(&mut f, &[1]).unwrap();
-        assert_eq!(insert_sr_header(&mut f, &[2]).err(), Some(WireError::Malformed));
+        assert_eq!(
+            insert_sr_header(&mut f, &[2]).err(),
+            Some(WireError::Malformed)
+        );
     }
 
     #[test]

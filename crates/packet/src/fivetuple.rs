@@ -183,7 +183,11 @@ mod tests {
         let buf = make_udp_packet(0, false);
         let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
         match classify_ipv4(&p).unwrap() {
-            FlowKey::Tuple { tuple, first_fragment, .. } => {
+            FlowKey::Tuple {
+                tuple,
+                first_fragment,
+                ..
+            } => {
                 assert_eq!(tuple.src_port, 1111);
                 assert_eq!(tuple.dst_port, 2222);
                 assert_eq!(tuple.proto, Proto::Udp);
@@ -198,7 +202,11 @@ mod tests {
         let buf = make_udp_packet(0, true);
         let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
         match classify_ipv4(&p).unwrap() {
-            FlowKey::Tuple { first_fragment, ipid, .. } => {
+            FlowKey::Tuple {
+                first_fragment,
+                ipid,
+                ..
+            } => {
                 assert!(first_fragment);
                 assert_eq!(ipid, 0x1234);
             }
@@ -210,7 +218,10 @@ mod tests {
     fn non_first_fragment_has_no_ports() {
         let buf = make_udp_packet(1480, true);
         let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
-        assert_eq!(classify_ipv4(&p).unwrap(), FlowKey::Fragment { ipid: 0x1234 });
+        assert_eq!(
+            classify_ipv4(&p).unwrap(),
+            FlowKey::Fragment { ipid: 0x1234 }
+        );
     }
 
     #[test]

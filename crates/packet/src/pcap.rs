@@ -48,7 +48,8 @@ impl PcapWriter {
         self.buf.extend_from_slice(&ts_secs.to_le_bytes());
         self.buf.extend_from_slice(&ts_micros.to_le_bytes());
         self.buf.extend_from_slice(&caplen.to_le_bytes());
-        self.buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&frame[..caplen as usize]);
         self.packets += 1;
     }
@@ -97,8 +98,7 @@ pub fn parse_pcap(data: &[u8]) -> Result<Vec<PcapRecord>> {
         }
         let ts_secs = u32::from_le_bytes(data[at..at + 4].try_into().expect("sized"));
         let ts_micros = u32::from_le_bytes(data[at + 4..at + 8].try_into().expect("sized"));
-        let caplen =
-            u32::from_le_bytes(data[at + 8..at + 12].try_into().expect("sized")) as usize;
+        let caplen = u32::from_le_bytes(data[at + 8..at + 12].try_into().expect("sized")) as usize;
         at += 16;
         if data.len() - at < caplen {
             return Err(WireError::Truncated);
@@ -166,6 +166,9 @@ mod tests {
         let mut w = PcapWriter::new();
         w.write_frame(0, 0, &[1, 2, 3, 4]);
         let bytes = w.into_bytes();
-        assert_eq!(parse_pcap(&bytes[..bytes.len() - 2]).err(), Some(WireError::Truncated));
+        assert_eq!(
+            parse_pcap(&bytes[..bytes.len() - 2]).err(),
+            Some(WireError::Truncated)
+        );
     }
 }

@@ -89,7 +89,9 @@ impl<T: AsRef<[u8]>> SrHeader<T> {
 
     /// All hops as a vector.
     pub fn hops(&self) -> Vec<u32> {
-        (0..self.hop_number() as usize).map(|i| self.hop(i)).collect()
+        (0..self.hop_number() as usize)
+            .map(|i| self.hop(i))
+            .collect()
     }
 
     /// The hop a router should forward to now, or `None` when the path
@@ -123,7 +125,11 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> SrHeader<T> {
         assert!(hops.len() <= MAX_HOPS, "too many hops");
         let need = len_for_hops(hops.len());
         let buf = self.buffer.as_mut();
-        assert!(buf.len() >= need, "buffer too small for {} hops", hops.len());
+        assert!(
+            buf.len() >= need,
+            "buffer too small for {} hops",
+            hops.len()
+        );
         buf[field::HOP_NUMBER] = hops.len() as u8;
         buf[field::OFFSET] = 0;
         write_u16(buf, field::RESERVED, 0);

@@ -167,10 +167,18 @@ mod tests {
         let mut demands = DemandSet::generate(
             &g,
             &cat,
-            &TrafficConfig { endpoint_pairs: 80, site_pairs: 12, ..Default::default() },
+            &TrafficConfig {
+                endpoint_pairs: 80,
+                site_pairs: 12,
+                ..Default::default()
+            },
         );
         demands.scale_to_load(&g, 0.4);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let scheme = MegaTeScheme::default();
         let a1 = solve_per_qos(&scheme, &p).unwrap();
         let a2 = solve_per_qos(&scheme, &p).unwrap();

@@ -101,12 +101,18 @@ pub struct DirtySet {
 impl DirtySet {
     /// An empty dirty set over a pair universe of `total` pairs.
     pub fn new(total: usize) -> Self {
-        Self { dirty: BTreeSet::new(), total }
+        Self {
+            dirty: BTreeSet::new(),
+            total,
+        }
     }
 
     /// A fully dirty set (every pair re-solves).
     pub fn all(pairs: &[SitePair]) -> Self {
-        Self { dirty: pairs.iter().copied().collect(), total: pairs.len() }
+        Self {
+            dirty: pairs.iter().copied().collect(),
+            total: pairs.len(),
+        }
     }
 
     /// Marks a pair dirty (idempotent).
@@ -250,7 +256,10 @@ impl Core {
         tunnels: &megate_topo::TunnelTable,
         caps: &[f64],
     ) -> Option<DirtySet> {
-        let st = self.state.as_ref().expect("dirty_set requires retained state");
+        let st = self
+            .state
+            .as_ref()
+            .expect("dirty_set requires retained state");
         let mut ds = DirtySet::new(st.pairs.len());
         let new = demands.demands();
         for pair in demands.pairs() {
@@ -330,7 +339,12 @@ impl Core {
 
         self.state = Some(CoreState {
             demands: problem.demands.clone(),
-            demand_values: problem.demands.demands().iter().map(|d| d.demand_mbps).collect(),
+            demand_values: problem
+                .demands
+                .demands()
+                .iter()
+                .map(|d| d.demand_mbps)
+                .collect(),
             caps,
             pairs,
             site_flows,
@@ -340,7 +354,12 @@ impl Core {
             mode,
             basis: None,
         });
-        Ok(CoreOutput { assignment, tunnel_flows, stage: Some(stage), carried_endpoints: 0 })
+        Ok(CoreOutput {
+            assignment,
+            tunnel_flows,
+            stage: Some(stage),
+            carried_endpoints: 0,
+        })
     }
 
     /// The warm pipeline: carry clean pairs' final picks forward,
@@ -352,7 +371,10 @@ impl Core {
         problem: &TeProblem,
         dirty: &DirtySet,
     ) -> Result<CoreOutput, SolveError> {
-        let st = self.state.as_mut().expect("solve_warm requires retained state");
+        let st = self
+            .state
+            .as_mut()
+            .expect("solve_warm requires retained state");
         let caps = problem.link_capacities();
         let demands = problem.demands;
 
@@ -369,12 +391,16 @@ impl Core {
         }
 
         debug_assert!(
-            aggregated_pairs(problem).iter().map(|&(p, _)| p).eq(st.pairs.iter().copied()),
+            aggregated_pairs(problem)
+                .iter()
+                .map(|&(p, _)| p)
+                .eq(st.pairs.iter().copied()),
             "shape-matched instance must aggregate to the same pair universe"
         );
         let npairs = st.pairs.len();
-        let dirty_pos: Vec<usize> =
-            (0..npairs).filter(|&k| dirty.contains(st.pairs[k])).collect();
+        let dirty_pos: Vec<usize> = (0..npairs)
+            .filter(|&k| dirty.contains(st.pairs[k]))
+            .collect();
 
         // Mark the dirty pairs' endpoints (endpoint index → pair);
         // every other endpoint carries last interval's final pick.
@@ -406,8 +432,11 @@ impl Core {
                 }
             }
         }
-        let residual: Vec<f64> =
-            caps.iter().zip(&clean_loads).map(|(&c, &l)| (c - l).max(0.0)).collect();
+        let residual: Vec<f64> = caps
+            .iter()
+            .zip(&clean_loads)
+            .map(|(&c, &l)| (c - l).max(0.0))
+            .collect();
 
         // Dirty-subset MaxSiteFlow on the residual, with the latched
         // mode. The retained simplex basis re-enters only when the
@@ -423,8 +452,11 @@ impl Core {
                 .iter()
                 .map(|&k| {
                     let pair = st.pairs[k];
-                    let total: f64 =
-                        demands.indices_for(pair).iter().map(|&i| new[i].demand_mbps).sum();
+                    let total: f64 = demands
+                        .indices_for(pair)
+                        .iter()
+                        .map(|&i| new[i].demand_mbps)
+                        .sum();
                     (pair, total)
                 })
                 .collect();
@@ -432,8 +464,7 @@ impl Core {
             mcf.link_capacity = residual;
             let sol = match st.mode {
                 ResolvedLpMode::Exact => {
-                    let key: Vec<SitePair> =
-                        dirty_demand.iter().map(|&(p, _)| p).collect();
+                    let key: Vec<SitePair> = dirty_demand.iter().map(|&(p, _)| p).collect();
                     let warm_basis = if dirty_pos.len() < npairs {
                         st.basis.as_ref().filter(|(k, _)| *k == key).map(|(_, b)| b)
                     } else {
@@ -442,8 +473,7 @@ impl Core {
                     let w = mcf
                         .solve_exact_warm(warm_basis)
                         .map_err(|e| SolveError::Lp(e.to_string()))?;
-                    st.basis =
-                        (dirty_pos.len() < npairs).then_some((key, w.basis));
+                    st.basis = (dirty_pos.len() < npairs).then_some((key, w.basis));
                     w.solution
                 }
                 ResolvedLpMode::Fptas(eps) => {
@@ -458,16 +488,13 @@ impl Core {
         // FastSSP stage 3 for the dirty pairs only, writing into the
         // assignment alongside the carried picks.
         let endpoint_span = megate_obs::span("solver.max_endpoint_flow");
-        let dirty_site_pairs: Vec<SitePair> =
-            dirty_pos.iter().map(|&k| st.pairs[k]).collect();
-        let dirty_flows: Vec<Vec<f64>> =
-            dirty_pos.iter().map(|&k| st.site_flows[k].clone()).collect();
-        let stage = scheme.max_endpoint_flow_all(
-            problem,
-            &dirty_site_pairs,
-            &dirty_flows,
-            &mut assignment,
-        );
+        let dirty_site_pairs: Vec<SitePair> = dirty_pos.iter().map(|&k| st.pairs[k]).collect();
+        let dirty_flows: Vec<Vec<f64>> = dirty_pos
+            .iter()
+            .map(|&k| st.site_flows[k].clone())
+            .collect();
+        let stage =
+            scheme.max_endpoint_flow_all(problem, &dirty_site_pairs, &dirty_flows, &mut assignment);
         drop(endpoint_span);
 
         // Repair only the dirty pairs' endpoints. The merged loads are
@@ -554,7 +581,10 @@ impl IncrementalEngine {
         megate_obs::counter("solver.cold_solves");
         megate_obs::counter("solver.dirty_pairs");
         let cores = if config.qos_sequential {
-            QosClass::IN_PRIORITY_ORDER.iter().map(|_| Core::default()).collect()
+            QosClass::IN_PRIORITY_ORDER
+                .iter()
+                .map(|_| Core::default())
+                .collect()
         } else {
             vec![Core::default()]
         };
@@ -615,8 +645,7 @@ impl IncrementalEngine {
             } else {
                 if self.cores[0].shape_matches(problem.demands, problem.graph.link_count()) {
                     let caps = problem.link_capacities();
-                    single_ds =
-                        self.cores[0].dirty_set(problem.demands, problem.tunnels, &caps);
+                    single_ds = self.cores[0].dirty_set(problem.demands, problem.tunnels, &caps);
                 }
                 match &single_ds {
                     Some(ds) => cold = ds.churn_ppm() > self.config.warm_churn_max_ppm,
@@ -773,8 +802,7 @@ impl IncrementalEngine {
                     None => self.cores[ci].solve_cold(&self.scheme, &sub)?,
                 }
             };
-            report.total_pairs +=
-                self.cores[ci].state.as_ref().map_or(0, |s| s.pairs.len());
+            report.total_pairs += self.cores[ci].state.as_ref().map_or(0, |s| s.pairs.len());
             report.carried_endpoints += out.carried_endpoints;
 
             for (t, f) in out.tunnel_flows.iter().enumerate() {
@@ -857,7 +885,11 @@ mod tests {
     #[test]
     fn cold_solve_is_bitwise_identical_to_stateless_scheme() {
         let (g, tunnels, demands) = fixture(0.8);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let stateless = MegaTeScheme::default().solve(&p).unwrap();
         let mut eng = engine(false);
         let (alloc, report) = eng.solve(&p, false).unwrap();
@@ -871,7 +903,11 @@ mod tests {
     #[test]
     fn cold_qos_solve_is_bitwise_identical_to_solve_per_qos() {
         let (g, tunnels, demands) = fixture(1.2);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let stateless = solve_per_qos(&MegaTeScheme::default(), &p).unwrap();
         let mut eng = engine(true);
         let (alloc, report) = eng.solve(&p, false).unwrap();
@@ -884,7 +920,11 @@ mod tests {
     #[test]
     fn zero_churn_returns_previous_allocation_verbatim() {
         let (g, tunnels, demands) = fixture(0.8);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let mut eng = engine(false);
         let (first, _) = eng.solve(&p, false).unwrap();
         let (second, report) = eng.solve(&p, false).unwrap();
@@ -893,14 +933,21 @@ mod tests {
         assert!(report.carried_endpoints > 0);
         assert_eq!(second.tunnel_flow_mbps, first.tunnel_flow_mbps);
         assert_eq!(second.endpoint_assignment, first.endpoint_assignment);
-        assert!(second.endpoint_stage.is_none(), "no stage-3 work on zero churn");
+        assert!(
+            second.endpoint_stage.is_none(),
+            "no stage-3 work on zero churn"
+        );
     }
 
     #[test]
     fn warm_solve_after_demand_churn_is_partial_and_feasible() {
         let (g, tunnels, mut demands) = fixture(0.8);
         {
-            let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+            let p = TeProblem {
+                graph: &g,
+                tunnels: &tunnels,
+                demands: &demands,
+            };
             let mut eng = engine(false);
             eng.solve(&p, false).unwrap();
             // Perturb one pair's demands: only that pair goes dirty.
@@ -910,7 +957,11 @@ mod tests {
                 let d = demands.demands()[i].demand_mbps;
                 demands.set_demand_mbps(i, d * 1.3);
             }
-            let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+            let p = TeProblem {
+                graph: &g,
+                tunnels: &tunnels,
+                demands: &demands,
+            };
             let (alloc, report) = eng.solve(&p, false).unwrap();
             assert!(!report.cold, "tiny churn must warm-solve");
             assert!(report.dirty_pairs >= 1);
@@ -928,23 +979,38 @@ mod tests {
     #[test]
     fn capacity_churn_dirties_only_pairs_on_the_link() {
         let (g, tunnels, demands) = fixture(0.8);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let mut eng = engine(false);
         eng.solve(&p, false).unwrap();
         let mut shrunk = g.clone();
         let link = megate_topo::LinkId(0);
         shrunk.link_mut(link).capacity_mbps *= 0.7;
-        let p2 = TeProblem { graph: &shrunk, tunnels: &tunnels, demands: &demands };
+        let p2 = TeProblem {
+            graph: &shrunk,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let (alloc, report) = eng.solve(&p2, false).unwrap();
         assert!(!report.cold);
         assert!(report.dirty_pairs >= 1, "someone traverses link 0");
-        assert!(alloc.check_feasible(&p2, 1e-6), "shrunk capacity must be respected");
+        assert!(
+            alloc.check_feasible(&p2, 1e-6),
+            "shrunk capacity must be respected"
+        );
     }
 
     #[test]
     fn cold_cadence_forces_periodic_full_solves() {
         let (g, tunnels, demands) = fixture(0.8);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let mut eng = IncrementalEngine::new(IncrementalConfig {
             cold_every: 3,
             ..Default::default()
@@ -963,7 +1029,11 @@ mod tests {
     #[test]
     fn invalidate_discards_warm_state() {
         let (g, tunnels, demands) = fixture(0.8);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let mut eng = engine(false);
         eng.solve(&p, false).unwrap();
         assert!(eng.has_warm_state());

@@ -23,11 +23,13 @@ pub mod qos;
 pub mod teal;
 pub mod types;
 
-pub use diff::{diff_endpoint_paths, endpoint_paths, AllocationDiff, AllocationPaths, EndpointPathSet};
+pub use diff::{
+    diff_endpoint_paths, endpoint_paths, AllocationDiff, AllocationPaths, EndpointPathSet,
+};
 pub use incremental::{DirtySet, IncrementalConfig, IncrementalEngine, IncrementalReport};
+pub use lp_all::LpAllScheme;
 pub use maxallflow::ExhaustiveScheme;
 pub use megate::{LpMode, MegaTeConfig, MegaTeScheme};
-pub use lp_all::LpAllScheme;
 pub use ncflow::NcFlowScheme;
 pub use qos::solve_per_qos;
 pub use teal::TealScheme;

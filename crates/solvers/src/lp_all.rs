@@ -20,7 +20,9 @@ pub struct LpAllScheme {
 
 impl Default for LpAllScheme {
     fn default() -> Self {
-        Self { epsilon_weight: 1e-4 }
+        Self {
+            epsilon_weight: 1e-4,
+        }
     }
 }
 
@@ -128,7 +130,11 @@ mod tests {
     #[test]
     fn optimal_and_feasible_on_small_instance() {
         let (g, tunnels, demands) = fixture(120, 1.5);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = LpAllScheme::default().solve(&p).unwrap();
         assert!(alloc.check_feasible(&p, 1e-6));
         assert!(alloc.satisfied_ratio(&p) > 0.3);
@@ -137,7 +143,11 @@ mod tests {
     #[test]
     fn upper_bounds_megate() {
         let (g, tunnels, demands) = fixture(150, 1.5);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let lp = LpAllScheme::default().solve(&p).unwrap();
         let mt = MegaTeScheme::default().solve(&p).unwrap();
         // Fractional optimum dominates any indivisible allocation
@@ -153,9 +163,19 @@ mod tests {
     #[test]
     fn megate_is_near_optimal_like_figure10() {
         let (g, tunnels, demands) = fixture(200, 1.0);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
-        let lp = LpAllScheme::default().solve(&p).unwrap().satisfied_ratio(&p);
-        let mt = MegaTeScheme::default().solve(&p).unwrap().satisfied_ratio(&p);
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
+        let lp = LpAllScheme::default()
+            .solve(&p)
+            .unwrap()
+            .satisfied_ratio(&p);
+        let mt = MegaTeScheme::default()
+            .solve(&p)
+            .unwrap()
+            .satisfied_ratio(&p);
         // Figure 10: MegaTE within a whisker of LP-all (88.1 vs 88.2%).
         assert!(mt > lp - 0.03, "MegaTE {mt} vs LP-all {lp}");
     }
@@ -168,9 +188,16 @@ mod tests {
         let demands = DemandSet::generate(
             &g,
             &cat,
-            &TrafficConfig { endpoint_pairs: 30_000, ..Default::default() },
+            &TrafficConfig {
+                endpoint_pairs: 30_000,
+                ..Default::default()
+            },
         );
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         match LpAllScheme::default().solve(&p) {
             Err(SolveError::OutOfMemory { .. }) => {}
             other => panic!("expected OOM, got {other:?}"),
@@ -182,7 +209,11 @@ mod tests {
         let g = b4();
         let tunnels = TunnelTable::for_all_pairs(&g, 2);
         let demands = DemandSet::default();
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = LpAllScheme::default().solve(&p).unwrap();
         assert_eq!(alloc.satisfied_mbps(), 0.0);
     }

@@ -29,7 +29,9 @@ pub struct ExhaustiveScheme {
 
 impl Default for ExhaustiveScheme {
     fn default() -> Self {
-        Self { epsilon_weight: 1e-4 }
+        Self {
+            epsilon_weight: 1e-4,
+        }
     }
 }
 
@@ -92,7 +94,18 @@ impl TeScheme for ExhaustiveScheme {
             let d = problem.demands.demands()[i].demand_mbps;
             // Option: reject the flow.
             current[i] = None;
-            dfs(i + 1, problem, options, caps, loads, current, obj, eps, best_obj, best);
+            dfs(
+                i + 1,
+                problem,
+                options,
+                caps,
+                loads,
+                current,
+                obj,
+                eps,
+                best_obj,
+                best,
+            );
             // Options: each tunnel, if it fits.
             for &t in options[i] {
                 let tun = problem.tunnels.tunnel(t);
@@ -192,13 +205,21 @@ mod tests {
         // so the integer optimum carries exactly two flows (120 Mbps) —
         // while the LP relaxation would split and carry 200/3 more.
         let (g, tunnels, demands) = tiny(&[60.0, 60.0, 60.0]);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = ExhaustiveScheme::default().solve(&p).unwrap();
         assert!(alloc.check_feasible(&p, 1e-9));
         assert!((alloc.satisfied_mbps() - 120.0).abs() < 1e-9);
         // And 40+40+60+60 fits fully: 40+60 on each path.
         let (g, tunnels, demands) = tiny(&[40.0, 40.0, 60.0, 60.0]);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = ExhaustiveScheme::default().solve(&p).unwrap();
         assert!((alloc.satisfied_mbps() - 200.0).abs() < 1e-9);
     }
@@ -206,7 +227,11 @@ mod tests {
     #[test]
     fn prefers_short_path_on_ties() {
         let (g, tunnels, demands) = tiny(&[50.0]);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = ExhaustiveScheme::default().solve(&p).unwrap();
         let t = alloc.endpoint_assignment.as_ref().unwrap()[0].unwrap();
         assert_eq!(tunnels.tunnel(t).weight, 1.0, "short path wins the ε term");
@@ -215,7 +240,11 @@ mod tests {
     #[test]
     fn oversize_instance_rejected() {
         let (g, tunnels, demands) = tiny(&[1.0; 30]);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         assert!(matches!(
             ExhaustiveScheme::default().solve(&p),
             Err(SolveError::OutOfMemory { .. })

@@ -91,7 +91,9 @@ impl Default for MegaTeConfig {
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// The MegaTE two-stage scheme.
@@ -187,9 +189,7 @@ impl MegaTeScheme {
     ) -> Result<megate_lp::McfSolution, SolveError> {
         let threads = self.config.threads.max(1);
         match mode {
-            ResolvedLpMode::Exact => {
-                mcf.solve_exact().map_err(|e| SolveError::Lp(e.to_string()))
-            }
+            ResolvedLpMode::Exact => mcf.solve_exact().map_err(|e| SolveError::Lp(e.to_string())),
             ResolvedLpMode::Fptas(eps) => Ok(mcf.solve_fptas_with(eps, threads)),
         }
     }
@@ -228,7 +228,9 @@ impl MegaTeScheme {
         order.sort_by(|&a, &b| kbps[b].cmp(&kbps[a]).then(a.cmp(&b)));
         let mut remaining_kbps: u64 = kbps.iter().sum();
         let mut picks = Vec::new();
-        let cfg = FastSspConfig { epsilon_prime: self.config.fastssp_epsilon };
+        let cfg = FastSspConfig {
+            epsilon_prime: self.config.fastssp_epsilon,
+        };
         for (t_idx, &t) in tunnels.iter().enumerate() {
             if unassigned.is_empty() {
                 break;
@@ -330,10 +332,11 @@ impl MegaTeScheme {
         let ranges: Vec<(usize, usize)> = (0..threads)
             .map(|w| (w * per, ((w + 1) * per).min(pairs.len())))
             .collect();
-        let cursors: Vec<AtomicUsize> =
-            ranges.iter().map(|&(s, _)| AtomicUsize::new(s)).collect();
+        let cursors: Vec<AtomicUsize> = ranges.iter().map(|&(s, _)| AtomicUsize::new(s)).collect();
 
-        let cfg = FastSspConfig { epsilon_prime: self.config.fastssp_epsilon };
+        let cfg = FastSspConfig {
+            epsilon_prime: self.config.fastssp_epsilon,
+        };
         let pair_endpoints = megate_obs::histogram("solver.pair_endpoints");
         let demands = problem.demands.demands();
 
@@ -353,7 +356,9 @@ impl MegaTeScheme {
                     let next = (0..threads)
                         .filter(|&v| v != victim)
                         .max_by_key(|&v| {
-                            ranges[v].1.saturating_sub(cursors[v].load(Ordering::Relaxed))
+                            ranges[v]
+                                .1
+                                .saturating_sub(cursors[v].load(Ordering::Relaxed))
                         })
                         .filter(|&v| cursors[v].load(Ordering::Relaxed) < ranges[v].1);
                     match next {
@@ -397,9 +402,13 @@ impl MegaTeScheme {
             vec![run_worker(0)]
         } else {
             crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> =
-                    (0..threads).map(|w| scope.spawn(move |_| run_worker(w))).collect();
-                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| scope.spawn(move |_| run_worker(w)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker"))
+                    .collect()
             })
             .expect("scope")
         };
@@ -558,7 +567,11 @@ mod tests {
     #[test]
     fn solves_underloaded_instance_nearly_fully() {
         let (g, tunnels, demands) = fixture(300, 0.3);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = MegaTeScheme::default().solve(&p).unwrap();
         assert!(alloc.check_feasible(&p, 1e-6));
         let ratio = alloc.satisfied_ratio(&p);
@@ -568,19 +581,30 @@ mod tests {
     #[test]
     fn respects_capacity_under_overload() {
         let (g, tunnels, demands) = fixture(300, 3.0);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = MegaTeScheme::default().solve(&p).unwrap();
         assert!(alloc.check_feasible(&p, 1e-6));
         let ratio = alloc.satisfied_ratio(&p);
         assert!(ratio < 1.0, "overloaded instance cannot be fully satisfied");
-        assert!(ratio > 0.1, "should still carry meaningful traffic: {ratio}");
+        assert!(
+            ratio > 0.1,
+            "should still carry meaningful traffic: {ratio}"
+        );
         assert!(alloc.max_link_utilization(&p) <= 1.0 + 1e-6);
     }
 
     #[test]
     fn every_flow_rides_one_tunnel_of_its_pair() {
         let (g, tunnels, demands) = fixture(200, 1.0);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = MegaTeScheme::default().solve(&p).unwrap();
         let assign = alloc.endpoint_assignment.as_ref().unwrap();
         for pair in demands.pairs() {
@@ -596,27 +620,46 @@ mod tests {
     #[test]
     fn parallel_and_serial_agree() {
         let (g, tunnels, demands) = fixture(250, 0.8);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
-        let serial = MegaTeScheme::new(MegaTeConfig { threads: 1, ..Default::default() })
-            .solve(&p)
-            .unwrap();
-        let parallel = MegaTeScheme::new(MegaTeConfig { threads: 8, ..Default::default() })
-            .solve(&p)
-            .unwrap();
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
+        let serial = MegaTeScheme::new(MegaTeConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .solve(&p)
+        .unwrap();
+        let parallel = MegaTeScheme::new(MegaTeConfig {
+            threads: 8,
+            ..Default::default()
+        })
+        .solve(&p)
+        .unwrap();
         assert_eq!(serial.endpoint_assignment, parallel.endpoint_assignment);
     }
 
     #[test]
     fn exact_and_fptas_modes_land_close() {
         let (g, tunnels, demands) = fixture(200, 1.2);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
-        let exact = MegaTeScheme::new(MegaTeConfig { lp_mode: LpMode::Exact, ..Default::default() })
-            .solve(&p)
-            .unwrap();
-        let fptas =
-            MegaTeScheme::new(MegaTeConfig { lp_mode: LpMode::Fptas(0.05), ..Default::default() })
-                .solve(&p)
-                .unwrap();
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
+        let exact = MegaTeScheme::new(MegaTeConfig {
+            lp_mode: LpMode::Exact,
+            ..Default::default()
+        })
+        .solve(&p)
+        .unwrap();
+        let fptas = MegaTeScheme::new(MegaTeConfig {
+            lp_mode: LpMode::Fptas(0.05),
+            ..Default::default()
+        })
+        .solve(&p)
+        .unwrap();
         assert!(fptas.check_feasible(&p, 1e-6));
         let re = exact.satisfied_ratio(&p);
         let rf = fptas.satisfied_ratio(&p);
@@ -626,7 +669,11 @@ mod tests {
     #[test]
     fn prefers_short_tunnels() {
         let (g, tunnels, demands) = fixture(200, 0.3);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = MegaTeScheme::default().solve(&p).unwrap();
         let assign = alloc.endpoint_assignment.as_ref().unwrap();
         // Under light load most flows should ride their pair's shortest
@@ -675,11 +722,17 @@ mod tests {
             },
         );
         demands.scale_to_load(&g, 0.9);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
 
         let pairs = crate::types::aggregated_pairs(&p);
-        let n_vars: usize =
-            pairs.iter().map(|&(pair, _)| tunnels.tunnels_for(pair).len()).sum();
+        let n_vars: usize = pairs
+            .iter()
+            .map(|&(pair, _)| tunnels.tunnels_for(pair).len())
+            .sum();
         let n_rows = pairs.len() + p.link_capacities().len();
         let dense_tableau = (n_rows + 1) * (n_vars + n_rows + 1);
         let cap = MegaTeConfig::default().auto_exact_entry_cap;
@@ -689,7 +742,10 @@ mod tests {
         );
 
         let auto = MegaTeScheme::default();
-        let exact = MegaTeScheme::new(MegaTeConfig { lp_mode: LpMode::Exact, ..Default::default() });
+        let exact = MegaTeScheme::new(MegaTeConfig {
+            lp_mode: LpMode::Exact,
+            ..Default::default()
+        });
         let (_, f_auto) = auto.max_site_flow(&p).unwrap();
         let (_, f_exact) = exact.max_site_flow(&p).unwrap();
         assert_eq!(f_auto, f_exact, "Auto must have taken the exact path");
@@ -700,7 +756,11 @@ mod tests {
         let g = b4();
         let tunnels = TunnelTable::for_all_pairs(&g, 2);
         let demands = DemandSet::default();
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = MegaTeScheme::default().solve(&p).unwrap();
         assert_eq!(alloc.satisfied_mbps(), 0.0);
         assert!(alloc.check_feasible(&p, 1e-9));

@@ -40,7 +40,9 @@ impl Default for NcFlowScheme {
     fn default() -> Self {
         Self {
             epsilon_weight: 1e-4,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             kmeans_iters: 12,
         }
     }
@@ -56,8 +58,9 @@ impl NcFlowScheme {
         }
         let k = ((n as f64).sqrt().ceil() as usize).clamp(1, n);
         // Deterministic init: spread seeds over the site list.
-        let mut centers: Vec<(f64, f64)> =
-            (0..k).map(|c| graph.site(SiteId((c * n / k) as u32)).pos).collect();
+        let mut centers: Vec<(f64, f64)> = (0..k)
+            .map(|c| graph.site(SiteId((c * n / k) as u32)).pos)
+            .collect();
         let mut assign = vec![0usize; n];
         for _ in 0..self.kmeans_iters {
             for (s, slot) in assign.iter_mut().enumerate() {
@@ -184,42 +187,44 @@ impl TeScheme for NcFlowScheme {
 
         // Solve each group's endpoint-granularity MCF in parallel.
         type GroupResult = Result<Vec<(TunnelId, f64)>, SolveError>;
-        let results: Vec<GroupResult> =
-            crossbeam::thread::scope(|scope| {
-                let threads = self.threads.max(1);
-                let groups_ref: &Vec<Group> = &groups;
-                let group_caps_ref = &group_link_caps;
-                let handles: Vec<_> = (0..threads)
-                    .map(|w| {
-                        scope.spawn(move |_| {
-                            let mut out: Vec<(usize, GroupResult)> = Vec::new();
-                            let mut gi = w;
-                            while gi < groups_ref.len() {
-                                out.push((
-                                    gi,
-                                    solve_group(
-                                        problem,
-                                        &groups_ref[gi],
-                                        &group_caps_ref[gi],
-                                        self.epsilon_weight,
-                                    ),
-                                ));
-                                gi += threads;
-                            }
-                            out
-                        })
+        let results: Vec<GroupResult> = crossbeam::thread::scope(|scope| {
+            let threads = self.threads.max(1);
+            let groups_ref: &Vec<Group> = &groups;
+            let group_caps_ref = &group_link_caps;
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move |_| {
+                        let mut out: Vec<(usize, GroupResult)> = Vec::new();
+                        let mut gi = w;
+                        while gi < groups_ref.len() {
+                            out.push((
+                                gi,
+                                solve_group(
+                                    problem,
+                                    &groups_ref[gi],
+                                    &group_caps_ref[gi],
+                                    self.epsilon_weight,
+                                ),
+                            ));
+                            gi += threads;
+                        }
+                        out
                     })
-                    .collect();
-                let mut merged: Vec<Option<GroupResult>> =
-                    (0..groups_ref.len()).map(|_| None).collect();
-                for h in handles {
-                    for (gi, r) in h.join().expect("worker") {
-                        merged[gi] = Some(r);
-                    }
+                })
+                .collect();
+            let mut merged: Vec<Option<GroupResult>> =
+                (0..groups_ref.len()).map(|_| None).collect();
+            for h in handles {
+                for (gi, r) in h.join().expect("worker") {
+                    merged[gi] = Some(r);
                 }
-                merged.into_iter().map(|r| r.expect("all groups solved")).collect()
-            })
-            .expect("scope");
+            }
+            merged
+                .into_iter()
+                .map(|r| r.expect("all groups solved"))
+                .collect()
+        })
+        .expect("scope");
         groups.clear();
 
         let mut tunnel_flow_mbps = vec![0.0; problem.tunnels.tunnel_count()];
@@ -333,7 +338,11 @@ mod tests {
     #[test]
     fn feasible_and_below_lp_all() {
         let (g, tunnels, demands) = fixture(200, 1.5);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let nc = NcFlowScheme::default().solve(&p).unwrap();
         assert!(nc.check_feasible(&p, 1e-6));
         let lp = LpAllScheme::default().solve(&p).unwrap();
@@ -350,7 +359,11 @@ mod tests {
     #[test]
     fn underload_nearly_fully_satisfied() {
         let (g, tunnels, demands) = fixture(150, 0.2);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let nc = NcFlowScheme::default().solve(&p).unwrap();
         assert!(nc.satisfied_ratio(&p) > 0.9, "{}", nc.satisfied_ratio(&p));
     }
@@ -358,9 +371,23 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let (g, tunnels, demands) = fixture(150, 1.0);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
-        let a = NcFlowScheme { threads: 1, ..Default::default() }.solve(&p).unwrap();
-        let b = NcFlowScheme { threads: 8, ..Default::default() }.solve(&p).unwrap();
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
+        let a = NcFlowScheme {
+            threads: 1,
+            ..Default::default()
+        }
+        .solve(&p)
+        .unwrap();
+        let b = NcFlowScheme {
+            threads: 8,
+            ..Default::default()
+        }
+        .solve(&p)
+        .unwrap();
         for (x, y) in a.tunnel_flow_mbps.iter().zip(&b.tunnel_flow_mbps) {
             assert!((x - y).abs() < 1e-9);
         }
@@ -371,7 +398,11 @@ mod tests {
         let g = b4();
         let tunnels = TunnelTable::for_all_pairs(&g, 2);
         let demands = DemandSet::default();
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = NcFlowScheme::default().solve(&p).unwrap();
         assert_eq!(alloc.satisfied_mbps(), 0.0);
     }

@@ -63,7 +63,9 @@ pub fn solve_per_qos<S: TeScheme>(
         // The interval's stage-3 profile is the sum over classes (each
         // class runs MaxEndpointFlow once on its sub-problem).
         if let Some(s) = &alloc.endpoint_stage {
-            endpoint_stage.get_or_insert_with(EndpointStageStats::default).merge(s);
+            endpoint_stage
+                .get_or_insert_with(EndpointStageStats::default)
+                .merge(s);
         }
 
         // Subtract this class's load from the residual capacities.
@@ -116,7 +118,11 @@ mod tests {
     #[test]
     fn merged_allocation_feasible_on_original_graph() {
         let (g, tunnels, demands) = fixture(1.5);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = solve_per_qos(&MegaTeScheme::default(), &p).unwrap();
         assert!(alloc.check_feasible(&p, 1e-6));
         assert!(alloc.endpoint_assignment.is_some());
@@ -125,7 +131,11 @@ mod tests {
     #[test]
     fn class1_gets_priority_under_overload() {
         let (g, tunnels, demands) = fixture(3.0);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = solve_per_qos(&MegaTeScheme::default(), &p).unwrap();
         let demand_of = |q| {
             demands
@@ -149,7 +159,11 @@ mod tests {
     #[test]
     fn class1_latency_beats_class3_with_megate() {
         let (g, tunnels, demands) = fixture(2.0);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = solve_per_qos(&MegaTeScheme::default(), &p).unwrap();
         // Normalized (per-pair) latency, as in Figure 11 — class 1
         // allocates first and lands on the shortest tunnels.
@@ -161,7 +175,11 @@ mod tests {
     #[test]
     fn fractional_scheme_merges_without_assignment() {
         let (g, tunnels, demands) = fixture(1.0);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = solve_per_qos(&TealScheme::default(), &p).unwrap();
         assert!(alloc.endpoint_assignment.is_none());
         assert!(alloc.check_feasible(&p, 1e-6));
@@ -171,7 +189,11 @@ mod tests {
     #[test]
     fn qos_split_total_close_to_single_shot() {
         let (g, tunnels, demands) = fixture(1.0);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let single = MegaTeScheme::default().solve(&p).unwrap();
         let per_qos = solve_per_qos(&MegaTeScheme::default(), &p).unwrap();
         // Sequential allocation sacrifices little total throughput.

@@ -215,7 +215,11 @@ mod tests {
     #[test]
     fn feasible_and_decent_quality() {
         let (g, tunnels, demands) = fixture(200, 1.5);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let teal = TealScheme::default().solve(&p).unwrap();
         assert!(teal.check_feasible(&p, 1e-6));
         let lp = LpAllScheme::default().solve(&p).unwrap();
@@ -228,7 +232,11 @@ mod tests {
     #[test]
     fn underload_fully_satisfied() {
         let (g, tunnels, demands) = fixture(150, 0.2);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let teal = TealScheme::default().solve(&p).unwrap();
         assert!(teal.satisfied_ratio(&p) > 0.99);
     }
@@ -236,8 +244,15 @@ mod tests {
     #[test]
     fn memory_wall_at_scale() {
         let (g, tunnels, demands) = fixture(100, 1.0);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
-        let tiny = TealScheme { memory_budget_bytes: 1024, ..Default::default() };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
+        let tiny = TealScheme {
+            memory_budget_bytes: 1024,
+            ..Default::default()
+        };
         match tiny.solve(&p) {
             Err(SolveError::OutOfMemory { .. }) => {}
             other => panic!("expected OOM, got {other:?}"),
@@ -247,7 +262,11 @@ mod tests {
     #[test]
     fn deterministic() {
         let (g, tunnels, demands) = fixture(120, 1.0);
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let a = TealScheme::default().solve(&p).unwrap();
         let b = TealScheme::default().solve(&p).unwrap();
         assert_eq!(a.tunnel_flow_mbps, b.tunnel_flow_mbps);

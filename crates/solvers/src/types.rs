@@ -51,7 +51,10 @@ pub enum SolveError {
 impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SolveError::OutOfMemory { estimated_bytes, budget_bytes } => write!(
+            SolveError::OutOfMemory {
+                estimated_bytes,
+                budget_bytes,
+            } => write!(
                 f,
                 "out of memory: needs ~{estimated_bytes} bytes, budget {budget_bytes}"
             ),
@@ -256,8 +259,10 @@ impl TeAllocation {
                         continue;
                     }
                     let tunnels = problem.tunnels.tunnels_for(pair);
-                    let pair_flow: f64 =
-                        tunnels.iter().map(|&t| self.tunnel_flow_mbps[t.index()]).sum();
+                    let pair_flow: f64 = tunnels
+                        .iter()
+                        .map(|&t| self.tunnel_flow_mbps[t.index()])
+                        .sum();
                     if pair_flow <= 0.0 {
                         continue;
                     }
@@ -303,8 +308,7 @@ impl TeAllocation {
                             continue;
                         }
                         if let Some(t) = assign[i] {
-                            weighted +=
-                                d.demand_mbps * problem.tunnels.tunnel(t).weight / base;
+                            weighted += d.demand_mbps * problem.tunnels.tunnel(t).weight / base;
                             volume += d.demand_mbps;
                         }
                     }
@@ -325,16 +329,17 @@ impl TeAllocation {
                         continue;
                     }
                     let tunnels = problem.tunnels.tunnels_for(pair);
-                    let pair_flow: f64 =
-                        tunnels.iter().map(|&t| self.tunnel_flow_mbps[t.index()]).sum();
+                    let pair_flow: f64 = tunnels
+                        .iter()
+                        .map(|&t| self.tunnel_flow_mbps[t.index()])
+                        .sum();
                     if pair_flow <= 0.0 {
                         continue;
                     }
                     let carried = class_demand.min(pair_flow);
                     for &t in tunnels {
                         let share = self.tunnel_flow_mbps[t.index()] / pair_flow;
-                        weighted +=
-                            carried * share * problem.tunnels.tunnel(t).weight / base;
+                        weighted += carried * share * problem.tunnels.tunnel(t).weight / base;
                     }
                     volume += carried;
                 }
@@ -408,7 +413,10 @@ mod tests {
         let demands = DemandSet::generate(
             &g,
             &cat,
-            &TrafficConfig { endpoint_pairs: 200, ..Default::default() },
+            &TrafficConfig {
+                endpoint_pairs: 200,
+                ..Default::default()
+            },
         );
         (g, tunnels, cat, demands)
     }
@@ -416,7 +424,11 @@ mod tests {
     #[test]
     fn empty_allocation_is_feasible_and_zero() {
         let (g, tunnels, _, demands) = fixture();
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = TeAllocation {
             scheme: "null".into(),
             tunnel_flow_mbps: vec![0.0; tunnels.tunnel_count()],
@@ -432,7 +444,11 @@ mod tests {
     #[test]
     fn assignment_to_foreign_tunnel_detected() {
         let (g, tunnels, _, demands) = fixture();
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         // Assign demand 0 to a tunnel of a *different* pair.
         let pair0 = demands.pairs().next().unwrap();
         let foreign = tunnels
@@ -458,7 +474,11 @@ mod tests {
     #[test]
     fn derived_flows_must_match_declared() {
         let (g, tunnels, _, demands) = fixture();
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let pair0 = demands.pairs().next().unwrap();
         let t0 = tunnels.tunnels_for(pair0)[0];
         let mut assign = vec![None; demands.len()];
@@ -479,7 +499,11 @@ mod tests {
     #[test]
     fn latency_prefers_assigned_short_tunnels() {
         let (g, tunnels, _, demands) = fixture();
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         // Assign everything to the shortest tunnel of its pair.
         let mut short = vec![None; demands.len()];
         let mut long = vec![None; demands.len()];
@@ -510,7 +534,11 @@ mod tests {
     #[test]
     fn aggregated_pairs_match_site_demands() {
         let (g, tunnels, _, demands) = fixture();
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let pairs = aggregated_pairs(&p);
         let total: f64 = pairs.iter().map(|(_, d)| d).sum();
         assert!((total - demands.total_mbps()).abs() < 1e-6);

@@ -99,7 +99,11 @@ pub fn dp_subset_sum_with(
     // Bits of the last word at positions > cap % 64 would stand for sums
     // beyond the capacity; the transition masks them off.
     let top = cap % 64;
-    let top_mask = if top == 63 { u64::MAX } else { (1u64 << (top + 1)) - 1 };
+    let top_mask = if top == 63 {
+        u64::MAX
+    } else {
+        (1u64 << (top + 1)) - 1
+    };
 
     for (i, &item) in items.iter().enumerate() {
         if item == 0 || item > capacity {
@@ -178,7 +182,11 @@ pub fn dp_best_total(items: &[u64], capacity: u64) -> u64 {
         // Mask stray bits beyond cap.
         let top = cap % 64;
         let last = words - 1;
-        bits[last] &= if top == 63 { u64::MAX } else { (1u64 << (top + 1)) - 1 };
+        bits[last] &= if top == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (top + 1)) - 1
+        };
     }
     for s in (0..=cap).rev() {
         if bits[s / 64] >> (s % 64) & 1 == 1 {
@@ -281,7 +289,10 @@ mod tests {
             s -= items[i as usize] as usize;
         }
         selected.sort_unstable();
-        SspSolution { selected, total: best as u64 }
+        SspSolution {
+            selected,
+            total: best as u64,
+        }
     }
 
     #[test]

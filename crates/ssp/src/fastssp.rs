@@ -99,7 +99,9 @@ pub fn fast_ssp(items: &[u64], capacity: u64, config: FastSspConfig) -> FastSspS
     // accumulating clusters until each reaches M; the trailing partial
     // cluster joins the residual set handled by the greedy step.
     let cluster_span = megate_obs::span("ssp.cluster");
-    let threshold_m = ((config.epsilon_prime * capacity as f64) / 3.0).ceil().max(1.0) as u64;
+    let threshold_m = ((config.epsilon_prime * capacity as f64) / 3.0)
+        .ceil()
+        .max(1.0) as u64;
     let mut order = eligible.clone();
     order.sort_unstable_by(|&a, &b| items[b].cmp(&items[a]).then(a.cmp(&b)));
 
@@ -119,7 +121,9 @@ pub fn fast_ssp(items: &[u64], capacity: u64, config: FastSspConfig) -> FastSspS
 
     // Step 2: normalization. δ = ε′·M/3; ceil items, floor capacity.
     let normalize_span = megate_obs::span("ssp.normalize");
-    let delta = ((config.epsilon_prime * threshold_m as f64) / 3.0).ceil().max(1.0) as u64;
+    let delta = ((config.epsilon_prime * threshold_m as f64) / 3.0)
+        .ceil()
+        .max(1.0) as u64;
     let normalized: Vec<u64> = clusters.iter().map(|(_, s)| s.div_ceil(delta)).collect();
     let normalized_capacity = capacity / delta;
     drop(normalize_span);
@@ -242,7 +246,10 @@ mod tests {
         let fine = fast_ssp(&items, capacity, cfg(0.02)).solution.total;
         // Both must land within the paper's error character; fine should
         // be at least as good up to greedy noise.
-        assert!(fine as f64 >= coarse as f64 * 0.99, "fine {fine} coarse {coarse}");
+        assert!(
+            fine as f64 >= coarse as f64 * 0.99,
+            "fine {fine} coarse {coarse}"
+        );
     }
 
     #[test]

@@ -194,8 +194,9 @@ impl SolverScratch {
         // order is a filter of the maintained pair order — no sort. The
         // walk cuts it into contiguous clusters of sum >= M; the
         // trailing partial cluster joins the residual pool.
-        let threshold_m =
-            ((config.epsilon_prime * capacity as f64) / 3.0).ceil().max(1.0) as u64;
+        let threshold_m = ((config.epsilon_prime * capacity as f64) / 3.0)
+            .ceil()
+            .max(1.0) as u64;
         self.elig.clear();
         for &u in &self.order {
             let v = self.items[u as usize];
@@ -220,10 +221,12 @@ impl SolverScratch {
         let tail = self.cluster_start[m] as usize;
 
         // Step 2: normalization. δ = ε′·M/3; ceil items, floor capacity.
-        let delta =
-            ((config.epsilon_prime * threshold_m as f64) / 3.0).ceil().max(1.0) as u64;
+        let delta = ((config.epsilon_prime * threshold_m as f64) / 3.0)
+            .ceil()
+            .max(1.0) as u64;
         self.normalized.clear();
-        self.normalized.extend(self.cluster_sum.iter().map(|s| s.div_ceil(delta)));
+        self.normalized
+            .extend(self.cluster_sum.iter().map(|s| s.div_ceil(delta)));
         let normalized_capacity = capacity / delta;
 
         // Step 3: exact DP on the normalized super-demands, in the
@@ -243,8 +246,10 @@ impl SolverScratch {
         for &c in &self.dp_selected {
             self.chosen_cluster[c as usize] = true;
             total += self.cluster_sum[c as usize];
-            let (start, end) =
-                (self.cluster_start[c as usize] as usize, self.cluster_start[c as usize + 1] as usize);
+            let (start, end) = (
+                self.cluster_start[c as usize] as usize,
+                self.cluster_start[c as usize + 1] as usize,
+            );
             for &u in &self.elig[start..end] {
                 self.mark[u as usize] = true;
                 self.marked.push(u);
@@ -266,7 +271,7 @@ impl SolverScratch {
         let mut s1 = tail; // cursor into elig[tail..]: trailing partial
         let mut s2_cluster = 0usize; // cursor over unselected clusters
         let mut s2 = 0usize; // cursor within the current cluster span
-        // Advance s2 to the first unselected cluster's first member.
+                             // Advance s2 to the first unselected cluster's first member.
         while s2_cluster < m
             && (self.chosen_cluster[s2_cluster]
                 || self.cluster_start[s2_cluster] == self.cluster_start[s2_cluster + 1])
@@ -307,8 +312,7 @@ impl SolverScratch {
                     s2_cluster += 1;
                     while s2_cluster < m
                         && (self.chosen_cluster[s2_cluster]
-                            || self.cluster_start[s2_cluster]
-                                == self.cluster_start[s2_cluster + 1])
+                            || self.cluster_start[s2_cluster] == self.cluster_start[s2_cluster + 1])
                     {
                         s2_cluster += 1;
                     }

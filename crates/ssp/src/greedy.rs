@@ -35,7 +35,10 @@ fn first_fit(items: &[u64], capacity: u64, order: &[usize]) -> SspSolution {
         }
     }
     selected.sort_unstable();
-    SspSolution { selected, total: capacity - remaining }
+    SspSolution {
+        selected,
+        total: capacity - remaining,
+    }
 }
 
 #[cfg(test)]

@@ -56,7 +56,10 @@ pub struct SspSolution {
 impl SspSolution {
     /// The empty selection.
     pub fn empty() -> Self {
-        Self { selected: Vec::new(), total: 0 }
+        Self {
+            selected: Vec::new(),
+            total: 0,
+        }
     }
 
     /// Verifies internal consistency against the originating instance.
@@ -89,7 +92,10 @@ mod tests {
     #[test]
     fn validate_accepts_consistent_solution() {
         let items = [3, 5, 7];
-        let sol = SspSolution { selected: vec![0, 2], total: 10 };
+        let sol = SspSolution {
+            selected: vec![0, 2],
+            total: 10,
+        };
         assert!(sol.validate(&items, 10));
         assert!(!sol.validate(&items, 9)); // exceeds capacity
     }
@@ -97,14 +103,30 @@ mod tests {
     #[test]
     fn validate_rejects_bad_indices_and_dupes() {
         let items = [3, 5];
-        assert!(!SspSolution { selected: vec![5], total: 0 }.validate(&items, 100));
-        assert!(!SspSolution { selected: vec![1, 1], total: 10 }.validate(&items, 100));
-        assert!(!SspSolution { selected: vec![1, 0], total: 8 }.validate(&items, 100));
+        assert!(!SspSolution {
+            selected: vec![5],
+            total: 0
+        }
+        .validate(&items, 100));
+        assert!(!SspSolution {
+            selected: vec![1, 1],
+            total: 10
+        }
+        .validate(&items, 100));
+        assert!(!SspSolution {
+            selected: vec![1, 0],
+            total: 8
+        }
+        .validate(&items, 100));
     }
 
     #[test]
     fn validate_rejects_wrong_total() {
         let items = [3, 5];
-        assert!(!SspSolution { selected: vec![0], total: 5 }.validate(&items, 100));
+        assert!(!SspSolution {
+            selected: vec![0],
+            total: 5
+        }
+        .validate(&items, 100));
     }
 }

@@ -86,7 +86,10 @@ pub fn meet_in_the_middle(items: &[u64], capacity: u64) -> SspSolution {
             selected.push(left.len() + i);
         }
     }
-    SspSolution { selected, total: best_total }
+    SspSolution {
+        selected,
+        total: best_total,
+    }
 }
 
 #[cfg(test)]

@@ -155,15 +155,18 @@ impl FaultPlan {
         // One independent deterministic stream per (tick, shard, kind).
         let roll = |tick: u64, shard: usize, kind: u64| -> f64 {
             let x = splitmix64(
-                spec.seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     ^ (tick << 20)
                     ^ ((shard as u64) << 8)
                     ^ kind,
             );
             (x >> 11) as f64 / (1u64 << 53) as f64
         };
-        let faultable = if n_shards > 1 { 1..n_shards } else { 0..n_shards };
+        let faultable = if n_shards > 1 {
+            1..n_shards
+        } else {
+            0..n_shards
+        };
         for tick in 0..spec.horizon {
             for shard in faultable.clone() {
                 let b = &mut busy[shard];
@@ -186,7 +189,14 @@ impl FaultPlan {
                     }
                 }
                 if tick >= b.slow_until && roll(tick, shard, 2) < spec.slow_rate {
-                    push(&mut events, tick, FaultEvent::Slow { shard, ns: spec.slow_ns });
+                    push(
+                        &mut events,
+                        tick,
+                        FaultEvent::Slow {
+                            shard,
+                            ns: spec.slow_ns,
+                        },
+                    );
                     push(
                         &mut events,
                         tick + spec.spell_ticks.max(1),
@@ -195,7 +205,14 @@ impl FaultPlan {
                     b.slow_until = tick + spec.spell_ticks.max(1) + 1;
                 }
                 if tick >= b.loss_until && roll(tick, shard, 3) < spec.loss_rate {
-                    push(&mut events, tick, FaultEvent::Lossy { shard, ppm: spec.loss_ppm });
+                    push(
+                        &mut events,
+                        tick,
+                        FaultEvent::Lossy {
+                            shard,
+                            ppm: spec.loss_ppm,
+                        },
+                    );
                     push(
                         &mut events,
                         tick + spec.spell_ticks.max(1),
@@ -207,7 +224,10 @@ impl FaultPlan {
                     push(
                         &mut events,
                         tick,
-                        FaultEvent::Corrupt { shard, ppm: spec.corrupt_ppm },
+                        FaultEvent::Corrupt {
+                            shard,
+                            ppm: spec.corrupt_ppm,
+                        },
                     );
                     push(
                         &mut events,
@@ -263,7 +283,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn spec(seed: u64) -> FaultSpec {
-        FaultSpec { seed, ..FaultSpec::default() }
+        FaultSpec {
+            seed,
+            ..FaultSpec::default()
+        }
     }
 
     #[test]
@@ -273,7 +296,10 @@ mod tests {
         let c = FaultPlan::generate(&spec(12), 4);
         assert_eq!(a, b);
         assert_ne!(a, c, "distinct seeds should almost surely differ");
-        assert!(a.event_count() > 0, "default rates should schedule something");
+        assert!(
+            a.event_count() > 0,
+            "default rates should schedule something"
+        );
     }
 
     #[test]
@@ -292,7 +318,10 @@ mod tests {
                 }
             }
         }
-        assert!(depth.iter().all(|&d| d == 0), "unbalanced outages: {depth:?}");
+        assert!(
+            depth.iter().all(|&d| d == 0),
+            "unbalanced outages: {depth:?}"
+        );
     }
 
     #[test]
@@ -303,7 +332,10 @@ mod tests {
         for tick in 0..=plan.clear_tick {
             plan.apply_tick(tick, &db);
         }
-        assert!(!db.any_fault_active(), "all faults must clear by clear_tick");
+        assert!(
+            !db.any_fault_active(),
+            "all faults must clear by clear_tick"
+        );
         assert!(plan.clear_tick >= s.horizon.min(1), "faults do occur first");
     }
 

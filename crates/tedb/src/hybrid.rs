@@ -29,7 +29,10 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        Self { persistent_fraction: 0.01, spread_seconds: 10.0 }
+        Self {
+            persistent_fraction: 0.01,
+            spread_seconds: 10.0,
+        }
     }
 }
 
@@ -95,7 +98,9 @@ pub fn heavy_tailed_volumes(n: usize, seed: u64) -> Vec<f64> {
     // Deterministic pseudo-random Pareto(α≈1.2) via a splitmix walk.
     let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         // Map to (0, 1).
         ((state >> 11) as f64 / (1u64 << 53) as f64).clamp(f64::MIN_POSITIVE, 1.0)
     };
@@ -109,12 +114,24 @@ mod tests {
     #[test]
     fn extremes_match_pure_designs() {
         let v = heavy_tailed_volumes(10_000, 1);
-        let pull = evaluate_hybrid(&v, HybridConfig { persistent_fraction: 0.0, spread_seconds: 10.0 });
+        let pull = evaluate_hybrid(
+            &v,
+            HybridConfig {
+                persistent_fraction: 0.0,
+                spread_seconds: 10.0,
+            },
+        );
         assert_eq!(pull.persistent_endpoints, 0);
         assert_eq!(pull.push_cores, 0);
         assert!((pull.traffic_weighted_sync_s - 5.0).abs() < 1e-9);
 
-        let push = evaluate_hybrid(&v, HybridConfig { persistent_fraction: 1.0, spread_seconds: 10.0 });
+        let push = evaluate_hybrid(
+            &v,
+            HybridConfig {
+                persistent_fraction: 1.0,
+                spread_seconds: 10.0,
+            },
+        );
         assert_eq!(push.persistent_endpoints, 10_000);
         assert!(push.traffic_weighted_sync_s.abs() < 1e-9);
         assert!(push.push_cores >= 2); // 10k conns need >1 core
@@ -123,7 +140,13 @@ mod tests {
     #[test]
     fn heavy_tail_means_small_fraction_covers_most_traffic() {
         let v = heavy_tailed_volumes(100_000, 7);
-        let out = evaluate_hybrid(&v, HybridConfig { persistent_fraction: 0.01, spread_seconds: 10.0 });
+        let out = evaluate_hybrid(
+            &v,
+            HybridConfig {
+                persistent_fraction: 0.01,
+                spread_seconds: 10.0,
+            },
+        );
         // The §8 observation: 1% of endpoints cover a large share.
         assert!(
             out.covered_traffic_fraction > 0.25,
@@ -139,7 +162,13 @@ mod tests {
         let v = heavy_tailed_volumes(50_000, 3);
         let mut last = -1.0;
         for f in [0.0, 0.001, 0.01, 0.1, 0.5, 1.0] {
-            let out = evaluate_hybrid(&v, HybridConfig { persistent_fraction: f, spread_seconds: 10.0 });
+            let out = evaluate_hybrid(
+                &v,
+                HybridConfig {
+                    persistent_fraction: f,
+                    spread_seconds: 10.0,
+                },
+            );
             assert!(out.covered_traffic_fraction >= last);
             last = out.covered_traffic_fraction;
         }
@@ -149,8 +178,20 @@ mod tests {
     #[test]
     fn sync_delay_shrinks_with_coverage() {
         let v = heavy_tailed_volumes(50_000, 3);
-        let a = evaluate_hybrid(&v, HybridConfig { persistent_fraction: 0.001, spread_seconds: 10.0 });
-        let b = evaluate_hybrid(&v, HybridConfig { persistent_fraction: 0.05, spread_seconds: 10.0 });
+        let a = evaluate_hybrid(
+            &v,
+            HybridConfig {
+                persistent_fraction: 0.001,
+                spread_seconds: 10.0,
+            },
+        );
+        let b = evaluate_hybrid(
+            &v,
+            HybridConfig {
+                persistent_fraction: 0.05,
+                spread_seconds: 10.0,
+            },
+        );
         assert!(b.traffic_weighted_sync_s < a.traffic_weighted_sync_s);
     }
 
@@ -164,6 +205,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "fraction")]
     fn bad_fraction_rejected() {
-        evaluate_hybrid(&[1.0], HybridConfig { persistent_fraction: 1.5, spread_seconds: 10.0 });
+        evaluate_hybrid(
+            &[1.0],
+            HybridConfig {
+                persistent_fraction: 1.5,
+                spread_seconds: 10.0,
+            },
+        );
     }
 }

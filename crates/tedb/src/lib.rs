@@ -34,8 +34,6 @@ pub mod topdown;
 
 pub use faults::{FaultEvent, FaultPlan, FaultSpec};
 pub use hybrid::{evaluate_hybrid, heavy_tailed_volumes, HybridConfig, HybridOutcome};
-pub use store::{
-    Changelog, ReadOutcome, ShardOutage, TeDatabase, TeKey, CONFIG_VERSION_KEY,
-};
+pub use store::{Changelog, ReadOutcome, ShardOutage, TeDatabase, TeKey, CONFIG_VERSION_KEY};
 pub use sync::{simulate_pull_sync, SyncConfig, SyncMode, SyncOutcome};
 pub use topdown::{BottomUpModel, TopDownModel};

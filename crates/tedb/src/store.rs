@@ -47,6 +47,7 @@
 //! these knobs on a schedule.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use megate_obs::trace;
 use parking_lot::Mutex;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -144,7 +145,10 @@ impl Changelog {
             let at = 12 + i * 8;
             versions.push(u64::from_be_bytes(bytes.get(at..at + 8)?.try_into().ok()?));
         }
-        Some(Self { complete_since, versions })
+        Some(Self {
+            complete_since,
+            versions,
+        })
     }
 }
 
@@ -342,9 +346,13 @@ impl TeDatabase {
             if s.is_down() {
                 continue;
             }
-            s.data
-                .write()
-                .insert(key.to_string(), Stored { seq, value: value.clone() });
+            s.data.write().insert(
+                key.to_string(),
+                Stored {
+                    seq,
+                    value: value.clone(),
+                },
+            );
             s.latency.record_elapsed(t);
             landed = true;
         }
@@ -439,9 +447,28 @@ impl TeDatabase {
         self.set(&key.wire(), value);
     }
 
-    /// Typed SET with full-outage reporting.
+    /// Typed SET with full-outage reporting. Records a
+    /// [`trace::Stage::ShardWrite`] flight-recorder event stamped with
+    /// the config version the record carries (the delta key's version,
+    /// a snapshot value's 8-byte stamp prefix, 0 for versionless
+    /// records) so a propagation dump shows when each endpoint's bytes
+    /// actually reached the database.
     pub fn put_checked(&self, key: &TeKey, value: Vec<u8>) -> Result<(), ShardOutage> {
-        self.set_checked(&key.wire(), value)
+        let version = match key {
+            TeKey::Delta { version, .. } => *version,
+            TeKey::Snapshot { .. } if value.len() >= 8 => {
+                u64::from_be_bytes(value[..8].try_into().unwrap())
+            }
+            _ => 0,
+        };
+        let wire = key.wire();
+        trace::record(
+            trace::Stage::ShardWrite,
+            version,
+            self.shard_of(&wire) as u64,
+            value.len() as u64,
+        );
+        self.set_checked(&wire, value)
     }
 
     /// Typed GET.
@@ -470,7 +497,14 @@ impl TeDatabase {
     /// new version to persistent watchers (§8 hybrid); disconnected
     /// channels are pruned here.
     pub fn publish_version(&self, version: u64) {
-        self.put(&TeKey::Version, version.to_be_bytes().to_vec());
+        let wire = TeKey::Version.wire();
+        trace::record(
+            trace::Stage::VersionBump,
+            version,
+            self.shard_of(&wire) as u64,
+            0,
+        );
+        self.set(&wire, version.to_be_bytes().to_vec());
         self.watchers.lock().retain(|w| w.send(version).is_ok());
     }
 
@@ -485,7 +519,9 @@ impl TeDatabase {
         if outcome.corrupted {
             // Unreadable history: retry next interval instead of
             // overwriting it with a guess.
-            return Err(ShardOutage { shard: outcome.served_by });
+            return Err(ShardOutage {
+                shard: outcome.served_by,
+            });
         }
         let mut log = outcome
             .value
@@ -523,7 +559,10 @@ impl TeDatabase {
         let mut removed = 0;
         log.versions.retain(|&v| {
             if v <= floor {
-                if self.remove(&TeKey::Delta { endpoint, version: v }) {
+                if self.remove(&TeKey::Delta {
+                    endpoint,
+                    version: v,
+                }) {
                     removed += 1;
                 }
                 false
@@ -565,7 +604,9 @@ impl TeDatabase {
     /// Makes `ppm` out of every million reads on the shard fail
     /// transiently (0 restores reliability).
     pub fn set_shard_loss(&self, shard: usize, ppm: u32) {
-        self.shards[shard].loss_ppm.store(ppm.min(1_000_000), Ordering::Relaxed);
+        self.shards[shard]
+            .loss_ppm
+            .store(ppm.min(1_000_000), Ordering::Relaxed);
     }
 
     /// Makes `ppm` out of every million reads on the shard return a
@@ -663,22 +704,34 @@ impl TeDatabase {
 
     /// Total queries served across shards.
     pub fn total_queries(&self) -> u64 {
-        self.shards.iter().map(|s| s.queries.load(Ordering::Relaxed)).sum()
+        self.shards
+            .iter()
+            .map(|s| s.queries.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Per-shard query counts.
     pub fn per_shard_queries(&self) -> Vec<u64> {
-        self.shards.iter().map(|s| s.queries.load(Ordering::Relaxed)).collect()
+        self.shards
+            .iter()
+            .map(|s| s.queries.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Total bytes moved across all shards (keys + values).
     pub fn total_bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.bytes.load(Ordering::Relaxed)).sum()
+        self.shards
+            .iter()
+            .map(|s| s.bytes.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Per-shard byte counts.
     pub fn per_shard_bytes(&self) -> Vec<u64> {
-        self.shards.iter().map(|s| s.bytes.load(Ordering::Relaxed)).collect()
+        self.shards
+            .iter()
+            .map(|s| s.bytes.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Resets query and byte counters (between measurement windows).
@@ -721,7 +774,9 @@ impl TeDatabase {
     pub fn latest_version_checked(&self) -> Result<Option<u64>, ShardOutage> {
         let outcome = self.fetch_outcome(&TeKey::Version)?;
         if outcome.corrupted {
-            return Err(ShardOutage { shard: outcome.served_by });
+            return Err(ShardOutage {
+                shard: outcome.served_by,
+            });
         }
         match outcome.value {
             None => Ok(None),
@@ -729,7 +784,11 @@ impl TeDatabase {
                 let bytes: [u8; 8] = match v.try_into() {
                     Ok(b) => b,
                     // Malformed record: treat as unreadable, retry.
-                    Err(_) => return Err(ShardOutage { shard: outcome.served_by }),
+                    Err(_) => {
+                        return Err(ShardOutage {
+                            shard: outcome.served_by,
+                        })
+                    }
                 };
                 Ok(Some(u64::from_be_bytes(bytes)))
             }
@@ -848,20 +907,31 @@ mod tests {
         let keys = [
             TeKey::Version,
             TeKey::Snapshot { endpoint: 7 },
-            TeKey::Delta { endpoint: 7, version: 3 },
-            TeKey::Delta { endpoint: 7, version: 4 },
-            TeKey::Delta { endpoint: 73, version: 4 },
+            TeKey::Delta {
+                endpoint: 7,
+                version: 3,
+            },
+            TeKey::Delta {
+                endpoint: 7,
+                version: 4,
+            },
+            TeKey::Delta {
+                endpoint: 73,
+                version: 4,
+            },
             TeKey::Changelog { endpoint: 7 },
         ];
-        let wires: std::collections::HashSet<String> =
-            keys.iter().map(TeKey::wire).collect();
+        let wires: std::collections::HashSet<String> = keys.iter().map(TeKey::wire).collect();
         assert_eq!(wires.len(), keys.len());
     }
 
     #[test]
     fn typed_put_fetch_remove_roundtrip() {
         let db = TeDatabase::new(2);
-        let k = TeKey::Delta { endpoint: 9, version: 2 };
+        let k = TeKey::Delta {
+            endpoint: 9,
+            version: 2,
+        };
         db.put(&k, vec![1, 2]);
         assert_eq!(db.fetch(&k), Some(vec![1, 2]));
         assert_eq!(db.fetch_checked(&k), Ok(Some(vec![1, 2])));
@@ -871,7 +941,10 @@ mod tests {
 
     #[test]
     fn changelog_encode_decode_roundtrip_and_rejects_garbage() {
-        let log = Changelog { complete_since: 4, versions: vec![5, 7, 11] };
+        let log = Changelog {
+            complete_since: 4,
+            versions: vec![5, 7, 11],
+        };
         assert_eq!(Changelog::decode(&log.encode()), Some(log.clone()));
         let bytes = log.encode();
         for cut in 0..bytes.len() {
@@ -899,7 +972,10 @@ mod tests {
         let db = TeDatabase::new(1);
         db.record_change(3, 1).unwrap();
         db.set_shard_down(0, true);
-        assert!(db.record_change(3, 2).is_err(), "unreachable log must error");
+        assert!(
+            db.record_change(3, 2).is_err(),
+            "unreachable log must error"
+        );
         db.set_shard_down(0, false);
         db.record_change(3, 2).unwrap();
         assert_eq!(db.changelog(3).unwrap().versions, vec![1, 2]);
@@ -909,13 +985,31 @@ mod tests {
     fn gc_prunes_deltas_and_raises_watermark() {
         let db = TeDatabase::new(2);
         for v in [1u64, 3, 5, 9] {
-            db.put(&TeKey::Delta { endpoint: 2, version: v }, vec![v as u8]);
+            db.put(
+                &TeKey::Delta {
+                    endpoint: 2,
+                    version: v,
+                },
+                vec![v as u8],
+            );
             db.record_change(2, v).unwrap();
         }
         let removed = db.gc_endpoint_before(2, 5);
         assert_eq!(removed, 3);
-        assert_eq!(db.fetch(&TeKey::Delta { endpoint: 2, version: 3 }), None);
-        assert_eq!(db.fetch(&TeKey::Delta { endpoint: 2, version: 9 }), Some(vec![9]));
+        assert_eq!(
+            db.fetch(&TeKey::Delta {
+                endpoint: 2,
+                version: 3
+            }),
+            None
+        );
+        assert_eq!(
+            db.fetch(&TeKey::Delta {
+                endpoint: 2,
+                version: 9
+            }),
+            Some(vec![9])
+        );
         let log = db.changelog(2).unwrap();
         assert_eq!(log.versions, vec![9]);
         assert_eq!(log.complete_since, 5);
@@ -1027,11 +1121,15 @@ mod tests {
         // Written while the primary is dark: lands on the replica only.
         db.set("k", vec![2]);
         db.set_shard_down(primary, false); // auto-repair
-        // Take the replica down: the repaired primary must serve the
-        // *newer* value, not its stale pre-outage copy.
+                                           // Take the replica down: the repaired primary must serve the
+                                           // *newer* value, not its stale pre-outage copy.
         let replicas: Vec<usize> = db.replicas_of("k").collect();
         db.set_shard_down(replicas[1], true);
-        assert_eq!(db.get("k"), Some(vec![2]), "repair must copy the newer write");
+        assert_eq!(
+            db.get("k"),
+            Some(vec![2]),
+            "repair must copy the newer write"
+        );
     }
 
     #[test]
@@ -1128,9 +1226,15 @@ mod tests {
         let db = TeDatabase::with_replication(2, 2);
         assert!(db.set_checked("k", vec![1]).is_ok());
         db.set_shard_down(0, true);
-        assert!(db.set_checked("k", vec![2]).is_ok(), "one replica is enough");
+        assert!(
+            db.set_checked("k", vec![2]).is_ok(),
+            "one replica is enough"
+        );
         db.set_shard_down(1, true);
-        assert!(db.set_checked("k", vec![3]).is_err(), "write lost everywhere");
+        assert!(
+            db.set_checked("k", vec![3]).is_err(),
+            "write lost everywhere"
+        );
     }
 
     #[test]

@@ -115,8 +115,7 @@ pub fn simulate_pull_sync(cfg: &SyncConfig) -> SyncOutcome {
     assert!((0.0..=1.0).contains(&cfg.changed_fraction));
     let ticks = cfg.poll_interval_ticks;
     let tick_seconds = cfg.tick_ms as f64 / 1000.0;
-    let changed_total =
-        ((cfg.n_endpoints as f64) * cfg.changed_fraction).round() as usize;
+    let changed_total = ((cfg.n_endpoints as f64) * cfg.changed_fraction).round() as usize;
 
     // Queries/bytes per tick: every endpoint polls exactly once per
     // interval, in its slot. The first `changed_total` endpoints are
@@ -130,14 +129,15 @@ pub fn simulate_pull_sync(cfg: &SyncConfig) -> SyncOutcome {
         let changed = ep < changed_total;
         let (queries, bytes) = match cfg.mode {
             // Version poll + full config fetch for everyone.
-            SyncMode::FullRepublish => {
-                (2, cfg.version_poll_bytes + cfg.snapshot_bytes)
-            }
+            SyncMode::FullRepublish => (2, cfg.version_poll_bytes + cfg.snapshot_bytes),
             // Version poll + changelog probe for everyone; only changed
             // endpoints fetch their (delta-sized) config.
             SyncMode::DeltaVersioned => {
                 if changed {
-                    (3, cfg.version_poll_bytes + cfg.probe_bytes + cfg.delta_bytes)
+                    (
+                        3,
+                        cfg.version_poll_bytes + cfg.probe_bytes + cfg.delta_bytes,
+                    )
                 } else {
                     (2, cfg.version_poll_bytes + cfg.probe_bytes)
                 }
@@ -153,9 +153,7 @@ pub fn simulate_pull_sync(cfg: &SyncConfig) -> SyncOutcome {
         // Per changed endpoint: the delta record plus its changelog
         // rewrite. (Snapshot-cadence flushes amortize to
         // changed/snapshot_every per interval and are not modelled.)
-        SyncMode::DeltaVersioned => {
-            (changed_total * (cfg.delta_bytes + cfg.probe_bytes)) as u64
-        }
+        SyncMode::DeltaVersioned => (changed_total * (cfg.delta_bytes + cfg.probe_bytes)) as u64,
     };
 
     let peak = *queries_per_tick.iter().max().expect("non-empty") as f64 / tick_seconds;
@@ -189,7 +187,10 @@ mod tests {
 
     #[test]
     fn spreading_flattens_load_exactly() {
-        let cfg = SyncConfig { n_endpoints: 1_000_000, ..Default::default() };
+        let cfg = SyncConfig {
+            n_endpoints: 1_000_000,
+            ..Default::default()
+        };
         let out = simulate_pull_sync(&cfg);
         // 1M endpoints over 10 one-second slots = 100k polls+fetches/s.
         assert_eq!(out.peak_qps, 200_000.0);
@@ -223,14 +224,23 @@ mod tests {
         assert_eq!(out.convergence_ticks, 10);
         assert_eq!(out.convergence_ms, 10_000);
         // Without spreading everyone updates in the first tick.
-        let burst = simulate_pull_sync(&SyncConfig { spreading: false, ..Default::default() });
+        let burst = simulate_pull_sync(&SyncConfig {
+            spreading: false,
+            ..Default::default()
+        });
         assert_eq!(burst.convergence_ticks, 1);
     }
 
     #[test]
     fn more_shards_scale_linearly() {
-        let two = simulate_pull_sync(&SyncConfig { n_shards: 2, ..Default::default() });
-        let four = simulate_pull_sync(&SyncConfig { n_shards: 4, ..Default::default() });
+        let two = simulate_pull_sync(&SyncConfig {
+            n_shards: 2,
+            ..Default::default()
+        });
+        let four = simulate_pull_sync(&SyncConfig {
+            n_shards: 4,
+            ..Default::default()
+        });
         assert!((two.per_shard_peak_qps / four.per_shard_peak_qps - 2.0).abs() < 1e-9);
     }
 

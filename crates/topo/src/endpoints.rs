@@ -161,7 +161,10 @@ mod tests {
     #[test]
     fn weibull_inverse_cdf_matches_mean() {
         // Mean of Weibull(k=1, λ) is λ (it degenerates to Exp(1/λ)).
-        let d = WeibullEndpoints { shape: 1.0, scale: 100.0 };
+        let d = WeibullEndpoints {
+            shape: 1.0,
+            scale: 100.0,
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
@@ -183,8 +186,7 @@ mod tests {
     fn generate_hits_exact_total() {
         let g = b4();
         for total in [12, 120, 1200, 120_000] {
-            let cat =
-                EndpointCatalog::generate(&g, total, WeibullEndpoints::with_scale(100.0), 42);
+            let cat = EndpointCatalog::generate(&g, total, WeibullEndpoints::with_scale(100.0), 42);
             assert_eq!(cat.len(), total);
             assert!(cat.counts_per_site().iter().all(|&c| c >= 1));
         }

@@ -29,7 +29,10 @@ pub fn to_dot(graph: &Graph, name: &str, opts: &DotOptions) -> String {
         let _ = writeln!(
             out,
             "  {} [label=\"{}\" pos=\"{:.1},{:.1}!\"];",
-            s.0, site.name, site.pos.0 * 100.0, site.pos.1 * 100.0
+            s.0,
+            site.name,
+            site.pos.0 * 100.0,
+            site.pos.1 * 100.0
         );
     }
     for l in graph.link_ids() {
@@ -68,7 +71,14 @@ mod tests {
     #[test]
     fn dot_contains_every_site_and_collapsed_edges() {
         let g = b4();
-        let dot = to_dot(&g, "b4", &DotOptions { collapse_bidi: true, ..Default::default() });
+        let dot = to_dot(
+            &g,
+            "b4",
+            &DotOptions {
+                collapse_bidi: true,
+                ..Default::default()
+            },
+        );
         for s in g.site_ids() {
             assert!(dot.contains(&format!("label=\"{}\"", g.site(s).name)));
         }
@@ -84,7 +94,10 @@ mod tests {
         let dot = to_dot(
             &g,
             "b4",
-            &DotOptions { highlight_links: vec![LinkId(0)], collapse_bidi: false },
+            &DotOptions {
+                highlight_links: vec![LinkId(0)],
+                collapse_bidi: false,
+            },
         );
         assert_eq!(dot.matches("color=red").count(), 1);
         assert_eq!(dot.matches(" -- ").count(), g.link_count());

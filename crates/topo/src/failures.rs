@@ -37,13 +37,14 @@ impl FailureScenario {
         for _ in 0..200 {
             let chosen: Vec<&(LinkId, LinkId)> =
                 fibers.choose_multiple(&mut rng, n_fibers).collect();
-            let failed: Vec<LinkId> =
-                chosen.iter().flat_map(|&&(a, b)| [a, b]).collect();
+            let failed: Vec<LinkId> = chosen.iter().flat_map(|&&(a, b)| [a, b]).collect();
             let g = graph.with_failed_links(&failed);
             // `with_failed_links` keeps edges with ~0 capacity; emulate
             // removal for the connectivity check by rebuilding.
             if Self::connected_without(&g, &failed) {
-                return Some(Self { failed_links: failed });
+                return Some(Self {
+                    failed_links: failed,
+                });
             }
         }
         None

@@ -87,7 +87,10 @@ impl Graph {
     /// Adds a site and returns its id.
     pub fn add_site(&mut self, name: impl Into<String>, pos: (f64, f64)) -> SiteId {
         let id = SiteId(self.sites.len() as u32);
-        self.sites.push(Site { name: name.into(), pos });
+        self.sites.push(Site {
+            name: name.into(),
+            pos,
+        });
         self.out_links.push(Vec::new());
         id
     }
@@ -110,7 +113,12 @@ impl Graph {
         assert!(capacity_mbps > 0.0, "link capacity must be positive");
         assert!(latency_ms >= 0.0, "link latency must be non-negative");
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link { src, dst, capacity_mbps, latency_ms });
+        self.links.push(Link {
+            src,
+            dst,
+            capacity_mbps,
+            latency_ms,
+        });
         self.out_links[src.index()].push(id);
         id
     }

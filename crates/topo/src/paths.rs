@@ -86,7 +86,10 @@ where
     let mut prev: Vec<Option<LinkId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, site: src });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        site: src,
+    });
 
     while let Some(HeapEntry { dist: d, site }) = heap.pop() {
         if d > dist[site.index()] {
@@ -106,7 +109,10 @@ where
             if nd < dist[next.index()] {
                 dist[next.index()] = nd;
                 prev[next.index()] = Some(lid);
-                heap.push(HeapEntry { dist: nd, site: next });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    site: next,
+                });
             }
         }
     }
@@ -129,7 +135,11 @@ where
         sites.push(graph.link(l).dst);
     }
     let latency_ms = links.iter().map(|&l| graph.link(l).latency_ms).sum();
-    Some(Path { links, sites, latency_ms })
+    Some(Path {
+        links,
+        sites,
+        latency_ms,
+    })
 }
 
 /// Dijkstra's shortest path by link latency.
@@ -147,7 +157,10 @@ where
     let mut dist = vec![f64::INFINITY; n];
     let mut heap = BinaryHeap::new();
     dist[src.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, site: src });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        site: src,
+    });
     while let Some(HeapEntry { dist: d, site }) = heap.pop() {
         if d > dist[site.index()] {
             continue;
@@ -161,7 +174,10 @@ where
             let nd = d + w;
             if nd < dist[next.index()] {
                 dist[next.index()] = nd;
-                heap.push(HeapEntry { dist: nd, site: next });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    site: next,
+                });
             }
         }
     }
@@ -254,7 +270,11 @@ pub fn yen_k_shortest(graph: &Graph, src: SiteId, dst: SiteId, k: usize) -> Vec<
                 let mut sites = last.sites[..=i].to_vec();
                 sites.extend_from_slice(&spur_path.sites[1..]);
                 let latency_ms = links.iter().map(|&l| graph.link(l).latency_ms).sum();
-                let cand = Path { links, sites, latency_ms };
+                let cand = Path {
+                    links,
+                    sites,
+                    latency_ms,
+                };
                 if cand.is_simple()
                     && !candidates.iter().any(|p| p.links == cand.links)
                     && !result.iter().any(|p| p.links == cand.links)

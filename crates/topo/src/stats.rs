@@ -98,7 +98,11 @@ mod tests {
         assert_eq!(s.sites, 12);
         assert_eq!(s.fibers, 19);
         assert!((s.mean_degree - 2.0 * 19.0 / 12.0).abs() < 1e-9);
-        assert!(s.diameter_hops >= 2 && s.diameter_hops <= 6, "{}", s.diameter_hops);
+        assert!(
+            s.diameter_hops >= 2 && s.diameter_hops <= 6,
+            "{}",
+            s.diameter_hops
+        );
         assert!(s.diameter_ms > 0.0);
     }
 
@@ -107,7 +111,11 @@ mod tests {
         for g in [deltacom(), cogentco()] {
             let s = topology_stats(&g);
             // ISP backbones: mean degree 2-4, no mega-hubs.
-            assert!(s.mean_degree >= 2.0 && s.mean_degree <= 4.5, "{}", s.mean_degree);
+            assert!(
+                s.mean_degree >= 2.0 && s.mean_degree <= 4.5,
+                "{}",
+                s.mean_degree
+            );
             assert!(s.max_degree <= 12, "{}", s.max_degree);
             // Sparse ⇒ large diameter relative to size.
             assert!(s.diameter_hops >= 8, "{}", s.diameter_hops);

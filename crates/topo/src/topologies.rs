@@ -215,7 +215,11 @@ fn geometric_isp(name: &str, nodes: usize, target_edges: usize, seed: u64) -> Gr
 
     for (a, b) in edges {
         let d = g.site_distance(ids[a], ids[b]);
-        let cap = if degree[a] >= 4 && degree[b] >= 4 { CAP_CORE } else { CAP_METRO };
+        let cap = if degree[a] >= 4 && degree[b] >= 4 {
+            CAP_CORE
+        } else {
+            CAP_METRO
+        };
         g.add_bidi_link(ids[a], ids[b], cap, dist_to_latency_ms(d));
     }
     debug_assert!(g.is_strongly_connected());
@@ -274,7 +278,10 @@ mod tests {
         let d = deltacom();
         let t_deg = t.link_count() as f64 / t.site_count() as f64;
         let d_deg = d.link_count() as f64 / d.site_count() as f64;
-        assert!(t_deg > d_deg, "TWAN mean degree {t_deg} vs Deltacom {d_deg}");
+        assert!(
+            t_deg > d_deg,
+            "TWAN mean degree {t_deg} vs Deltacom {d_deg}"
+        );
         assert!(t.is_strongly_connected());
     }
 

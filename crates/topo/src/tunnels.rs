@@ -286,6 +286,8 @@ mod tests {
         let pair = SitePair::new(SiteId(0), SiteId(2));
         let t = TunnelTable::for_pairs(&g, &[pair], 2);
         assert_eq!(t.pairs(), &[pair]);
-        assert!(t.tunnels_for(SitePair::new(SiteId(1), SiteId(3))).is_empty());
+        assert!(t
+            .tunnels_for(SitePair::new(SiteId(1), SiteId(3)))
+            .is_empty());
     }
 }

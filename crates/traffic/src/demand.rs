@@ -140,7 +140,15 @@ impl DemandSet {
                 cursor_dst[pair.dst.index()] += 1;
                 let demand_mbps = log_normal(&mut rng, cfg.median_demand_mbps, cfg.sigma);
                 let qos = sample_qos(&mut rng, cfg.qos_mix);
-                set.push(pair, EndpointDemand { src: s, dst: d, demand_mbps, qos });
+                set.push(
+                    pair,
+                    EndpointDemand {
+                        src: s,
+                        dst: d,
+                        demand_mbps,
+                        qos,
+                    },
+                );
             }
         }
         set
@@ -301,7 +309,10 @@ mod tests {
     fn setup(pairs: usize) -> (Graph, EndpointCatalog, DemandSet) {
         let g = b4();
         let cat = EndpointCatalog::generate(&g, 1200, WeibullEndpoints::with_scale(100.0), 7);
-        let cfg = TrafficConfig { endpoint_pairs: pairs, ..Default::default() };
+        let cfg = TrafficConfig {
+            endpoint_pairs: pairs,
+            ..Default::default()
+        };
         let set = DemandSet::generate(&g, &cat, &cfg);
         (g, cat, set)
     }
@@ -393,7 +404,10 @@ mod tests {
     fn bad_mix_rejected() {
         let g = b4();
         let cat = EndpointCatalog::generate(&g, 120, WeibullEndpoints::with_scale(10.0), 1);
-        let cfg = TrafficConfig { qos_mix: [0.5, 0.5, 0.5], ..Default::default() };
+        let cfg = TrafficConfig {
+            qos_mix: [0.5, 0.5, 0.5],
+            ..Default::default()
+        };
         DemandSet::generate(&g, &cat, &cfg);
     }
 }

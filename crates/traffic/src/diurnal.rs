@@ -22,7 +22,10 @@ pub fn diurnal_multiplier(i: usize, n: usize) -> f64 {
     let daytime = 0.6 * (-((frac - 0.583) * 2.0 * PI).powi(2) / 1.4).exp();
     let trough = 0.45;
     // Deterministic small jitter so intervals are not perfectly smooth.
-    let jitter = 0.02 * (((i % n) as f64 * 12.9898).sin() * 43758.5453).fract().abs();
+    let jitter = 0.02
+        * (((i % n) as f64 * 12.9898).sin() * 43758.5453)
+            .fract()
+            .abs();
     (trough + (1.0 - trough) * (evening + daytime).min(1.0) + jitter).min(1.0)
 }
 

@@ -43,7 +43,10 @@ impl Predictor {
         match *self {
             Predictor::LastInterval => *history.last().expect("non-empty"),
             Predictor::Ewma { alpha } => {
-                assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1]");
+                assert!(
+                    (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+                    "alpha in (0,1]"
+                );
                 let mut est = history[0];
                 for &x in &history[1..] {
                     est = alpha * x + (1.0 - alpha) * est;
@@ -113,7 +116,9 @@ pub fn diurnal_series(base_mbps: f64, noise: f64, seed: u64, intervals: usize) -
     let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
     (0..intervals)
         .map(|i| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (state >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
             let jitter = 1.0 + noise * (2.0 * u - 1.0);
             base_mbps * crate::diurnal::diurnal_multiplier(i, intervals.max(1)) * jitter
@@ -180,7 +185,12 @@ mod tests {
             .collect();
         let ewma = evaluate_predictor(Predictor::Ewma { alpha: 0.2 }, &series, 8);
         let last = evaluate_predictor(Predictor::LastInterval, &series, 8);
-        assert!(ewma.mape < last.mape, "ewma {} vs last {}", ewma.mape, last.mape);
+        assert!(
+            ewma.mape < last.mape,
+            "ewma {} vs last {}",
+            ewma.mape,
+            last.mape
+        );
     }
 
     #[test]

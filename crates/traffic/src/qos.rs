@@ -60,8 +60,10 @@ mod tests {
 
     #[test]
     fn priority_order_is_1_2_3() {
-        let nums: Vec<u8> =
-            QosClass::IN_PRIORITY_ORDER.iter().map(|q| q.number()).collect();
+        let nums: Vec<u8> = QosClass::IN_PRIORITY_ORDER
+            .iter()
+            .map(|q| q.number())
+            .collect();
         assert_eq!(nums, vec![1, 2, 3]);
     }
 

@@ -15,7 +15,7 @@
 
 use crate::demand::{DemandSet, EndpointDemand};
 use crate::qos::QosClass;
-use megate_topo::{EndpointId, SitePair, SiteId};
+use megate_topo::{EndpointId, SiteId, SitePair};
 
 /// Header line identifying the format.
 pub const TRACE_HEADER: &str = "# megate-trace v1";
@@ -112,7 +112,10 @@ mod tests {
         DemandSet::generate(
             &g,
             &cat,
-            &TrafficConfig { endpoint_pairs: 120, ..Default::default() },
+            &TrafficConfig {
+                endpoint_pairs: 120,
+                ..Default::default()
+            },
         )
     }
 
@@ -138,7 +141,10 @@ mod tests {
 
     #[test]
     fn missing_header_rejected() {
-        assert_eq!(read_trace("1 2 3 4 5 1\n").unwrap_err(), TraceError::BadHeader);
+        assert_eq!(
+            read_trace("1 2 3 4 5 1\n").unwrap_err(),
+            TraceError::BadHeader
+        );
         assert_eq!(read_trace("").unwrap_err(), TraceError::BadHeader);
     }
 

@@ -83,7 +83,11 @@ fn main() {
         ep += 2;
     }
 
-    let problem = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let problem = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let alloc = solve_per_qos(&MegaTeScheme::default(), &problem).expect("solvable");
     let assign = alloc.endpoint_assignment.as_ref().unwrap();
 
@@ -112,7 +116,10 @@ fn main() {
     println!("\nMegaTE placement:");
     println!("  gaming sessions on the short path: {gaming_on_short}/{gaming_total}");
     println!("  log shippers on the detour:        {logs_on_detour}/{logs_total}");
-    assert_eq!(gaming_on_short, gaming_total, "every session gets the short path");
+    assert_eq!(
+        gaming_on_short, gaming_total,
+        "every session gets the short path"
+    );
 
     // Conventional hashing for comparison: sessions spread across both.
     let mut hashed_short = 0;

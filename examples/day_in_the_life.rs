@@ -20,7 +20,11 @@ fn main() {
         let mut d = DemandSet::generate(
             &graph,
             &catalog,
-            &TrafficConfig { endpoint_pairs: 800, site_pairs: 30, ..Default::default() },
+            &TrafficConfig {
+                endpoint_pairs: 800,
+                site_pairs: 30,
+                ..Default::default()
+            },
         );
         d.scale_to_load(&graph, 1.2); // peak-hour provisioning point
         d
@@ -37,7 +41,11 @@ fn main() {
         let mult = diurnal_multiplier(interval, INTERVALS_PER_DAY);
         let mut demands = base.clone();
         demands.scale(mult);
-        let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &graph,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = solve_per_qos(&scheme, &p).expect("solvable");
         assert!(alloc.check_feasible(&p, 1e-6));
         let satisfied = alloc.satisfied_ratio(&p);
@@ -66,7 +74,11 @@ fn main() {
     peak_demands.scale(diurnal_multiplier(252, INTERVALS_PER_DAY));
     let scenario = FailureScenario::sample_connected(&graph, 2, 99).expect("scenario");
     let degraded = scenario.apply(&graph);
-    let p = TeProblem { graph: &degraded, tunnels: &tunnels, demands: &peak_demands };
+    let p = TeProblem {
+        graph: &degraded,
+        tunnels: &tunnels,
+        demands: &peak_demands,
+    };
     let alloc = solve_per_qos(&scheme, &p).expect("recompute");
     println!(
         "\nfiber cut at the peak: recomputed in {:?}, {:.1}% satisfied on the \

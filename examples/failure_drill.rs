@@ -18,7 +18,11 @@ fn main() {
     let mut demands = DemandSet::generate(
         &graph,
         &catalog,
-        &TrafficConfig { endpoint_pairs: 120, site_pairs: 18, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs: 120,
+            site_pairs: 18,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&graph, 0.6);
     let mut system = MegaTeSystem::new(

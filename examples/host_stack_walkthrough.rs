@@ -63,13 +63,19 @@ fn main() {
         "traffic_map[{tuple}] = {} bytes over 3 packets (1 fragmented)",
         kernel.maps().traffic_map.lookup(&tuple).unwrap()
     );
-    println!("fragments resolved via frag_map: {}", kernel.stats().fragments_resolved);
+    println!(
+        "fragments resolved via frag_map: {}",
+        kernel.stats().fragments_resolved
+    );
 
     // The endpoint agent reads and resets the counters once per TE
     // interval and reports (ins_id, volume) upstream.
     let records = agent.collect_flows();
     let volumes = EndpointAgent::per_instance_volume(&records);
-    println!("agent report: {:?} bytes for {instance}", volumes[&instance]);
+    println!(
+        "agent report: {:?} bytes for {instance}",
+        volumes[&instance]
+    );
 
     // --- SR insertion (§5.2) ----------------------------------------
     // The TE controller decided this instance's flow to 10.0.7.7 rides
@@ -77,12 +83,19 @@ fn main() {
     // path_map; from now on the TC program labels every packet.
     agent.install_config(
         1,
-        &[PathInstall { instance, dst_ip: tuple.dst_ip, hops: vec![3, 8, 5] }],
+        &[PathInstall {
+            instance,
+            dst_ip: tuple.dst_ip,
+            hops: vec![3, 8, 5],
+        }],
     );
     let mut labelled = MegaTeFrameSpec::simple(tuple, 9, None).build();
     let before_len = labelled.len();
     let verdict = kernel.tc_egress(&mut labelled);
-    println!("\nTC egress verdict: {verdict:?} (+{} bytes)", labelled.len() - before_len);
+    println!(
+        "\nTC egress verdict: {verdict:?} (+{} bytes)",
+        labelled.len() - before_len
+    );
 
     let parsed = parse_megate_frame(&labelled).unwrap();
     let (offset, hops) = parsed.sr.expect("SR header present");

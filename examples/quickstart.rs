@@ -28,7 +28,11 @@ fn main() {
     let mut demands = DemandSet::generate(
         &graph,
         &catalog,
-        &TrafficConfig { endpoint_pairs: 1_500, site_pairs: 40, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs: 1_500,
+            site_pairs: 40,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&graph, 1.0);
     println!(
@@ -39,7 +43,11 @@ fn main() {
 
     // 4. Solve per QoS class (class 1 first, then 2, then 3 on the
     //    residual capacity — §4.1 of the paper).
-    let problem = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let problem = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let alloc = solve_per_qos(&MegaTeScheme::default(), &problem).expect("solvable");
     assert!(alloc.check_feasible(&problem, 1e-6));
 

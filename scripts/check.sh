@@ -4,6 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
 cargo build --release
 cargo test -q
 # The observability substrate in both configurations: live metrics and
@@ -28,6 +29,12 @@ cargo run -q -p megate-bench --release --bin fig_solver_scale -- --scale quick
 # A reduced fig_incremental run: steady-state warm intervals must keep the
 # >=10x speedup and <=1% satisfied-demand gates even at quick scale.
 cargo run -q -p megate-bench --release --bin fig_incremental -- --scale quick
+# A reduced fig_propagation run: all three delivery paths must record
+# solve-to-install latencies with p99 inside one 10 s sync period.
+cargo run -q -p megate-bench --release --bin fig_propagation -- --scale quick
+# Perf drift report vs the committed baselines — informational, never
+# a gate failure (timing jitter is machine-dependent).
+./scripts/bench_diff || true
 cargo clippy --workspace -- -D warnings
 # Rustdoc is part of the deliverable: broken intra-doc links or missing
 # docs in `#![warn(missing_docs)]` crates fail the gate.

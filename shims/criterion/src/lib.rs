@@ -50,12 +50,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` identifier.
     pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// Identifier that is just the parameter.
     pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -73,7 +77,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new() -> Self {
-        Bencher { iters: 0, total: Duration::ZERO }
+        Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        }
     }
 
     /// Times `routine` repeatedly within the measurement window.
@@ -129,7 +136,11 @@ fn human_time(d: Duration) -> String {
 }
 
 fn report(group: &str, id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
-    let name = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
     if bencher.iters == 0 {
         println!("{name:<50} no iterations completed");
         return;
@@ -143,7 +154,10 @@ fn report(group: &str, id: &str, bencher: &Bencher, throughput: Option<Throughpu
                 line.push_str(&format!("  thrpt: {:>14.0} elem/s", n as f64 / secs));
             }
             Throughput::Bytes(n) => {
-                line.push_str(&format!("  thrpt: {:>11.2} MiB/s", n as f64 / secs / (1 << 20) as f64));
+                line.push_str(&format!(
+                    "  thrpt: {:>11.2} MiB/s",
+                    n as f64 / secs / (1 << 20) as f64
+                ));
             }
         }
     }
@@ -187,7 +201,12 @@ impl<'a> BenchmarkGroup<'a> {
     }
 
     /// Runs a benchmark over a borrowed input.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -214,7 +233,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("== {name}");
-        BenchmarkGroup { name, throughput: None, _parent: &mut self.unit }
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _parent: &mut self.unit,
+        }
     }
 
     /// Runs a stand-alone benchmark.

@@ -76,7 +76,9 @@ pub mod test_runner {
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
             let seed = h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-            TestRng { inner: rand::SeedableRng::seed_from_u64(seed) }
+            TestRng {
+                inner: rand::SeedableRng::seed_from_u64(seed),
+            }
         }
     }
 
@@ -140,7 +142,11 @@ pub mod strategy {
     impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
         type Value = (A::Value, B::Value, C::Value);
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
         }
     }
 
@@ -162,7 +168,9 @@ pub mod strategy {
 
     impl<T> Any<T> {
         pub(crate) fn new() -> Self {
-            Any { _marker: std::marker::PhantomData }
+            Any {
+                _marker: std::marker::PhantomData,
+            }
         }
     }
 
@@ -234,7 +242,11 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            let len = if self.size.is_empty() { 0 } else { rng.gen_range(self.size.clone()) };
+            let len = if self.size.is_empty() {
+                0
+            } else {
+                rng.gen_range(self.size.clone())
+            };
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }

@@ -154,21 +154,31 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
 impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
 impl<K: ToString, V: Serialize> Serialize for std::collections::HashMap<K, V> {
     fn to_value(&self) -> Value {
         // Deterministic output: sort keys.
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
     }
@@ -199,7 +209,10 @@ mod tests {
         let v = vec![(1.0f64, 2.0f64)];
         assert_eq!(
             v.to_value(),
-            Value::Array(vec![Value::Array(vec![Value::Float(1.0), Value::Float(2.0)])])
+            Value::Array(vec![Value::Array(vec![
+                Value::Float(1.0),
+                Value::Float(2.0)
+            ])])
         );
     }
 }

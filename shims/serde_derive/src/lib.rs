@@ -106,7 +106,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     let next = it.next();
     if let Some(TokenTree::Punct(p)) = next {
         if p.as_char() == '<' {
-            return Err(format!("serde shim derive: generic type `{name}` unsupported"));
+            return Err(format!(
+                "serde shim derive: generic type `{name}` unsupported"
+            ));
         }
     }
 
@@ -122,10 +124,15 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                     }
                     match &seg[0] {
                         TokenTree::Ident(id) => fields.push(id.to_string()),
-                        other => return Err(format!("unexpected field token `{other}` in `{name}`")),
+                        other => {
+                            return Err(format!("unexpected field token `{other}` in `{name}`"))
+                        }
                     }
                 }
-                Ok(Item { name, shape: Shape::Named(fields) })
+                Ok(Item {
+                    name,
+                    shape: Shape::Named(fields),
+                })
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 let inner: Vec<TokenTree> = g.stream().into_iter().collect();
@@ -133,12 +140,19 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                     .into_iter()
                     .filter(|s| !s.is_empty())
                     .count();
-                Ok(Item { name, shape: Shape::Tuple(n) })
+                Ok(Item {
+                    name,
+                    shape: Shape::Tuple(n),
+                })
             }
-            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
-                Ok(Item { name, shape: Shape::Unit })
-            }
-            None => Ok(Item { name, shape: Shape::Unit }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                shape: Shape::Unit,
+            }),
+            None => Ok(Item {
+                name,
+                shape: Shape::Unit,
+            }),
             other => Err(format!("unexpected token after `struct {name}`: {other:?}")),
         }
     } else {
@@ -169,7 +183,10 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                         }
                     }
                 }
-                Ok(Item { name, shape: Shape::UnitEnum(variants) })
+                Ok(Item {
+                    name,
+                    shape: Shape::UnitEnum(variants),
+                })
             }
             other => Err(format!("unexpected token after `enum {name}`: {other:?}")),
         }
@@ -194,7 +211,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     )
                 })
                 .collect();
-            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
         }
         Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::Tuple(n) => {
@@ -207,7 +227,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::UnitEnum(variants) => {
             let arms: Vec<String> = variants
                 .iter()
-                .map(|v| format!("Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"))
+                .map(|v| {
+                    format!("Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))")
+                })
                 .collect();
             format!("match self {{ {} }}", arms.join(", "))
         }
@@ -226,5 +248,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Ok(i) => i,
         Err(e) => return compile_error(&e),
     };
-    format!("impl ::serde::Deserialize for {} {{}}", item.name).parse().unwrap()
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .unwrap()
 }

@@ -19,6 +19,10 @@ use megate::prelude::*;
 use megate_tedb::TeKey;
 use megate_topo::b4;
 
+/// Flight-recorder events printed per offending endpoint when a
+/// staleness or blackholing invariant trips.
+const DUMP_EVENTS: usize = 40;
+
 /// Everything observable about one tick, compared bitwise across runs.
 #[derive(Debug, Clone, PartialEq)]
 struct Tick {
@@ -39,13 +43,20 @@ fn build(db_shards: usize, db_replication: usize, stale_ttl: u64) -> (MegaTeSyst
     let mut demands = DemandSet::generate(
         &g,
         &catalog,
-        &TrafficConfig { endpoint_pairs: 60, site_pairs: 12, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs: 60,
+            site_pairs: 12,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&g, 0.4);
     let config = SystemConfig {
         db_shards,
         db_replication,
-        pull: PullPolicy { stale_ttl_periods: stale_ttl, ..PullPolicy::default() },
+        pull: PullPolicy {
+            stale_ttl_periods: stale_ttl,
+            ..PullPolicy::default()
+        },
         ..SystemConfig::default()
     };
     let sys = MegaTeSystem::new(g, tunnels, catalog, config);
@@ -82,15 +93,23 @@ fn run_tick(
     if let Some(plan) = plan {
         plan.apply_tick(tick, sys.database());
     }
-    let report = sys.run_controller_interval(demands).expect("interval solves");
+    let report = sys
+        .run_controller_interval(demands)
+        .expect("interval solves");
     let round = sys.pull_round();
     // The bounded-staleness invariant, checked at every single tick:
-    // staler than the TTL implies degraded.
+    // staler than the TTL implies degraded. On violation, dump the
+    // offender's flight-recorder tail — the causal pull/install path
+    // that should have kept it fresh.
     for (i, (behind, degraded)) in sys.host_health().iter().enumerate() {
         assert!(
             *behind <= stale_ttl || *degraded,
             "tick {tick}: host {i} is {behind} periods behind (TTL {stale_ttl}) yet \
-             still steering on stale SR paths"
+             still steering on stale SR paths\n{}",
+            megate_obs::trace::dump_entity(
+                sys.endpoint_of_host(i).map_or(u64::MAX, |ep| ep.0),
+                DUMP_EVENTS,
+            )
         );
     }
     let traffic = sys.send_demand_packets(demands);
@@ -106,7 +125,11 @@ fn run_tick(
         degraded: round.degraded,
         retries: round.retries,
         sr_labelled: traffic.sr_labelled,
-        delivered: traffic.per_demand_latency.iter().map(Option::is_some).collect(),
+        delivered: traffic
+            .per_demand_latency
+            .iter()
+            .map(Option::is_some)
+            .collect(),
     }
 }
 
@@ -118,7 +141,10 @@ fn chaos_trace(seed: u64) -> Vec<Tick> {
     sys.bring_up(&demands).expect("hosts come up");
     sys.database().set_fault_seed(seed);
     let plan = FaultPlan::generate(&fault_spec(seed), sys.database().shard_count());
-    assert!(plan.event_count() > 0, "the plan must actually schedule faults");
+    assert!(
+        plan.event_count() > 0,
+        "the plan must actually schedule faults"
+    );
 
     // Fault-free twin: same topology, demands and tick count — the
     // blackholing reference.
@@ -131,11 +157,13 @@ fn chaos_trace(seed: u64) -> Vec<Tick> {
         let chaos = run_tick(&mut sys, &demands, Some(&plan), tick, stale_ttl);
         let healthy = run_tick(&mut baseline, &demands, None, tick, stale_ttl);
         // Zero blackholing: anything the healthy system delivers, the
-        // faulted one delivers too (possibly over degraded paths).
+        // faulted one delivers too (possibly over degraded paths). On
+        // violation, dump the source endpoint's flight-recorder tail.
         for (i, (c, h)) in chaos.delivered.iter().zip(&healthy.delivered).enumerate() {
             assert!(
                 *c || !*h,
-                "tick {tick}: demand {i} blackholed under faults"
+                "tick {tick}: demand {i} blackholed under faults\n{}",
+                megate_obs::trace::dump_entity(demands.demands()[i].src.0, DUMP_EVENTS)
             );
         }
         trace.push(chaos);
@@ -156,8 +184,14 @@ fn chaos_run_keeps_invariants_and_reconverges() {
     let trace = chaos_trace(7);
     // The run must have actually been eventful: faults caused retries
     // and at least one tick left someone stale.
-    assert!(trace.iter().map(|t| t.retries).sum::<u64>() > 0, "no retry ever fired");
-    assert!(trace.iter().any(|t| t.stale > 0), "no tick ever saw staleness");
+    assert!(
+        trace.iter().map(|t| t.retries).sum::<u64>() > 0,
+        "no retry ever fired"
+    );
+    assert!(
+        trace.iter().any(|t| t.stale > 0),
+        "no tick ever saw staleness"
+    );
     // Versions advance monotonically through the whole storm.
     for w in trace.windows(2) {
         assert_eq!(w[1].version, w[0].version + 1);
@@ -170,7 +204,11 @@ fn identical_seeds_produce_identical_chaos_outcomes() {
     // jitter, failover order and the solver are all seeded/ordered, so
     // a chaos failure is replayable from its seed alone.
     assert_eq!(chaos_trace(7), chaos_trace(7));
-    assert_ne!(chaos_trace(7), chaos_trace(8), "distinct seeds must diverge");
+    assert_ne!(
+        chaos_trace(7),
+        chaos_trace(8),
+        "distinct seeds must diverge"
+    );
 }
 
 #[test]
@@ -220,10 +258,16 @@ fn stale_agents_degrade_to_ecmp_and_recover() {
     sys.run_controller_interval(&demands).expect("interval");
     let round = sys.pull_round();
     assert_eq!(round.stale, 0, "everyone reconverges in one round");
-    assert_eq!(round.degraded, 0, "degradation clears on the next good pull");
+    assert_eq!(
+        round.degraded, 0,
+        "degradation clears on the next good pull"
+    );
     assert_eq!(sys.degraded_count(), 0);
     let after = sys.send_demand_packets(&demands);
-    assert!(after.sr_labelled >= healthy.sr_labelled, "SR steering restored");
+    assert!(
+        after.sr_labelled >= healthy.sr_labelled,
+        "SR steering restored"
+    );
 }
 
 #[test]
@@ -235,7 +279,10 @@ fn deadline_fallback_discards_warm_state_then_warm_solving_resumes() {
     let (mut sys, demands) = build(2, 1, 3);
     sys.bring_up(&demands).expect("hosts come up");
     let r1 = sys.run_controller_interval(&demands).expect("interval");
-    assert!(r1.incremental.as_ref().is_some_and(|r| r.cold), "first solve is cold");
+    assert!(
+        r1.incremental.as_ref().is_some_and(|r| r.cold),
+        "first solve is cold"
+    );
     let r2 = sys.run_controller_interval(&demands).expect("interval");
     assert!(
         r2.incremental.as_ref().is_some_and(|r| !r.cold),
@@ -244,8 +291,13 @@ fn deadline_fallback_discards_warm_state_then_warm_solving_resumes() {
     assert!(sys.controller_mut().has_warm_state());
 
     sys.controller_mut().config_mut().solve_deadline = Some(std::time::Duration::ZERO);
-    let r3 = sys.run_controller_interval(&demands).expect("fallback publishes");
-    assert!(r3.incremental.is_none(), "a fallback interval reports no solve");
+    let r3 = sys
+        .run_controller_interval(&demands)
+        .expect("fallback publishes");
+    assert!(
+        r3.incremental.is_none(),
+        "a fallback interval reports no solve"
+    );
     assert!(
         !sys.controller_mut().has_warm_state(),
         "the stale basis must not survive a fallback publish"
@@ -258,7 +310,10 @@ fn deadline_fallback_discards_warm_state_then_warm_solving_resumes() {
         "the first post-fallback solve re-seeds cold"
     );
     let r5 = sys.run_controller_interval(&demands).expect("interval");
-    assert!(r5.incremental.as_ref().is_some_and(|r| !r.cold), "warm solving resumes");
+    assert!(
+        r5.incremental.as_ref().is_some_and(|r| !r.cold),
+        "warm solving resumes"
+    );
 }
 
 #[test]

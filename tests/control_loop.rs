@@ -13,7 +13,11 @@ fn controller_fixture() -> (Controller, DemandSet, TeDatabase) {
     let mut demands = DemandSet::generate(
         &graph,
         &catalog,
-        &TrafficConfig { endpoint_pairs: 100, site_pairs: 15, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs: 100,
+            site_pairs: 15,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&graph, 0.5);
     let db = TeDatabase::new(2);
@@ -22,7 +26,10 @@ fn controller_fixture() -> (Controller, DemandSet, TeDatabase) {
         tunnels,
         catalog,
         db.clone(),
-        megate::ControllerConfig { qos_sequential: true, ..Default::default() },
+        megate::ControllerConfig {
+            qos_sequential: true,
+            ..Default::default()
+        },
     );
     (ctl, demands, db)
 }
@@ -62,7 +69,10 @@ fn write_then_publish_ordering_holds_under_concurrency() {
                     for &logged in log.versions.iter().filter(|lv| **lv <= v) {
                         assert!(
                             reader_db
-                                .fetch(&TeKey::Delta { endpoint: endpoint.0, version: logged })
+                                .fetch(&TeKey::Delta {
+                                    endpoint: endpoint.0,
+                                    version: logged
+                                })
                                 .is_some(),
                             "version {v} visible but delta {logged} missing"
                         );
@@ -81,7 +91,11 @@ fn stale_agents_catch_up_on_next_poll() {
     let mut demands = DemandSet::generate(
         &graph,
         &catalog,
-        &TrafficConfig { endpoint_pairs: 60, site_pairs: 12, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs: 60,
+            site_pairs: 12,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&graph, 0.5);
     let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
@@ -141,7 +155,11 @@ fn shard_outage_stalls_then_agents_converge_on_recovery() {
     let mut demands = DemandSet::generate(
         &graph,
         &catalog,
-        &TrafficConfig { endpoint_pairs: 60, site_pairs: 12, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs: 60,
+            site_pairs: 12,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&graph, 0.5);
     let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
@@ -172,7 +190,11 @@ fn corrupted_delta_records_keep_old_paths() {
     let graph = megate_topo::b4();
     let tunnels = TunnelTable::for_all_pairs(&graph, 3);
     let catalog = EndpointCatalog::generate(&graph, 100, WeibullEndpoints::with_scale(10.0), 4);
-    let traffic = TrafficConfig { endpoint_pairs: 60, site_pairs: 12, ..Default::default() };
+    let traffic = TrafficConfig {
+        endpoint_pairs: 60,
+        site_pairs: 12,
+        ..Default::default()
+    };
     let mut demands = DemandSet::generate(&graph, &catalog, &traffic);
     demands.scale_to_load(&graph, 0.5);
     let n_endpoints = catalog.len() as u64;
@@ -190,15 +212,27 @@ fn corrupted_delta_records_keep_old_paths() {
 
     // A different demand set forces real churn at v2, then every v2
     // delta (and any snapshot) is corrupted before the agents pull.
-    let mut shifted =
-        DemandSet::generate(&graph, &catalog, &TrafficConfig { seed: 43, ..traffic });
+    let mut shifted = DemandSet::generate(
+        &graph,
+        &catalog,
+        &TrafficConfig {
+            seed: 43,
+            ..traffic
+        },
+    );
     shifted.scale_to_load(&graph, 0.5);
     let r2 = sys.run_controller_interval(&shifted).unwrap();
-    assert!(r2.changed_endpoints + r2.removed_endpoints > 0, "no churn to corrupt");
+    assert!(
+        r2.changed_endpoints + r2.removed_endpoints > 0,
+        "no churn to corrupt"
+    );
     let db = sys.database().clone();
     for ep in 0..n_endpoints {
         for key in [
-            TeKey::Delta { endpoint: ep, version: r2.version },
+            TeKey::Delta {
+                endpoint: ep,
+                version: r2.version,
+            },
             TeKey::Snapshot { endpoint: ep },
         ] {
             if db.fetch(&key).is_some() {
@@ -227,7 +261,11 @@ fn steady_state_delta_publishing_cuts_published_bytes_5x() {
     let mut demands = DemandSet::generate(
         &graph,
         &catalog,
-        &TrafficConfig { endpoint_pairs: 60, site_pairs: 12, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs: 60,
+            site_pairs: 12,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&graph, 0.5);
     let mut sys = MegaTeSystem::new(graph, tunnels, catalog, megate::SystemConfig::default());
@@ -286,7 +324,11 @@ fn delta_chain_reproduces_snapshot_install_bit_for_bit() {
     let graph = megate_topo::b4();
     let tunnels = TunnelTable::for_all_pairs(&graph, 3);
     let catalog = EndpointCatalog::generate(&graph, 100, WeibullEndpoints::with_scale(10.0), 4);
-    let traffic = TrafficConfig { endpoint_pairs: 60, site_pairs: 12, ..Default::default() };
+    let traffic = TrafficConfig {
+        endpoint_pairs: 60,
+        site_pairs: 12,
+        ..Default::default()
+    };
     // Flush snapshots every version so the reference state exists at
     // the same version the agents reach via deltas.
     let mut config = megate::SystemConfig::default();
@@ -298,7 +340,10 @@ fn delta_chain_reproduces_snapshot_install_bit_for_bit() {
         let mut demands = DemandSet::generate(
             &graph,
             &catalog,
-            &TrafficConfig { seed: 42 + round, ..traffic },
+            &TrafficConfig {
+                seed: 42 + round,
+                ..traffic
+            },
         );
         demands.scale_to_load(&graph, 0.5);
         let r = sys.run_controller_interval(&demands).unwrap();

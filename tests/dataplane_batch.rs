@@ -9,8 +9,7 @@
 //! map-pressure corner cases.
 
 use megate_dataplane::workers::{
-    install_profile, run_batched, run_single_frame, Trace, TrafficGen, TrafficProfile,
-    WorkerConfig,
+    install_profile, run_batched, run_single_frame, Trace, TrafficGen, TrafficProfile, WorkerConfig,
 };
 use megate_hoststack::SimKernel;
 use megate_packet::FiveTuple;
@@ -65,13 +64,32 @@ fn batched_accounting_is_bitwise_identical_across_geometries() {
     let profile = TrafficProfile::default();
     let trace = TrafficGen::new(99, profile).generate(20_000);
     for cfg in [
-        WorkerConfig { cores: 1, batch_size: 1, sync_every: 1, ring_depth: 4 },
-        WorkerConfig { cores: 2, batch_size: 32, sync_every: 4, ring_depth: 16 },
-        WorkerConfig { cores: 4, batch_size: 256, sync_every: 16, ring_depth: 64 },
-        WorkerConfig { cores: 7, batch_size: 17, sync_every: 3, ring_depth: 8 },
+        WorkerConfig {
+            cores: 1,
+            batch_size: 1,
+            sync_every: 1,
+            ring_depth: 4,
+        },
+        WorkerConfig {
+            cores: 2,
+            batch_size: 32,
+            sync_every: 4,
+            ring_depth: 16,
+        },
+        WorkerConfig {
+            cores: 4,
+            batch_size: 256,
+            sync_every: 16,
+            ring_depth: 64,
+        },
+        WorkerConfig {
+            cores: 7,
+            batch_size: 17,
+            sync_every: 3,
+            ring_depth: 8,
+        },
     ] {
-        let (serial, batched, serial_stats, batched_stats) =
-            replay_both(&trace, &profile, cfg);
+        let (serial, batched, serial_stats, batched_stats) = replay_both(&trace, &profile, cfg);
         assert_eq!(
             serial, batched,
             "traffic_map diverged at cores={} batch={} sync={}",
@@ -96,12 +114,20 @@ fn batched_path_exercises_every_frame_kind() {
         ..TrafficProfile::default()
     };
     let trace = TrafficGen::new(7, profile).generate(10_000);
-    let cfg = WorkerConfig { cores: 3, batch_size: 64, sync_every: 8, ring_depth: 16 };
+    let cfg = WorkerConfig {
+        cores: 3,
+        batch_size: 64,
+        sync_every: 8,
+        ring_depth: 16,
+    };
     let (serial, batched, serial_stats, batched_stats) = replay_both(&trace, &profile, cfg);
     assert_eq!(serial, batched);
     assert_eq!(serial_stats, batched_stats);
     assert!(batched_stats.sr_inserted > 0, "SR insertion not exercised");
-    assert!(batched_stats.fragments_resolved > 0, "fragment path not exercised");
+    assert!(
+        batched_stats.fragments_resolved > 0,
+        "fragment path not exercised"
+    );
     assert!(
         batched_stats.frames > batched_stats.sr_inserted,
         "trace must include frames that pass unlabelled"
@@ -111,7 +137,10 @@ fn batched_path_exercises_every_frame_kind() {
 #[test]
 fn telemetry_event_counts_match_between_paths() {
     use megate_hoststack::TelemetryEvent;
-    let profile = TrafficProfile { flows: 256, ..TrafficProfile::default() };
+    let profile = TrafficProfile {
+        flows: 256,
+        ..TrafficProfile::default()
+    };
     let trace = TrafficGen::new(31, profile).generate(5_000);
 
     let count = |events: &[TelemetryEvent]| {
@@ -133,7 +162,12 @@ fn telemetry_event_counts_match_between_paths() {
 
     let batched = SimKernel::new();
     install_profile(&batched, &profile);
-    let cfg = WorkerConfig { cores: 2, batch_size: 128, sync_every: 4, ring_depth: 16 };
+    let cfg = WorkerConfig {
+        cores: 2,
+        batch_size: 128,
+        sync_every: 4,
+        ring_depth: 16,
+    };
     run_batched(&batched, &trace, cfg);
     let batched_counts = count(&batched.maps().telemetry.drain());
 

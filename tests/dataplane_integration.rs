@@ -35,15 +35,20 @@ fn figure2_ecmp_produces_multimodal_latency_sr_does_not() {
     let pair = SitePair::new(SiteId(0), SiteId(7));
     let tunnels = TunnelTable::for_pairs(&graph, &[pair], 3);
     let mut hosts = HostRegistry::new();
-    hosts.register(Controller::endpoint_ip(megate_topo::EndpointId(1)), pair.src);
-    hosts.register(Controller::endpoint_ip(megate_topo::EndpointId(2)), pair.dst);
+    hosts.register(
+        Controller::endpoint_ip(megate_topo::EndpointId(1)),
+        pair.src,
+    );
+    hosts.register(
+        Controller::endpoint_ip(megate_topo::EndpointId(2)),
+        pair.dst,
+    );
     let net = WanNetwork::new(&graph, &tunnels, hosts);
 
     // Conventional: 40 connections (ports differ) — multiple latencies.
     let mut ecmp_latencies = std::collections::BTreeSet::new();
     for port in 0..40u16 {
-        let mut frame =
-            frame_spec(tuple(1, 2, 1000 + port), 1, None).build();
+        let mut frame = frame_spec(tuple(1, 2, 1000 + port), 1, None).build();
         let out = net.route_frame(&mut frame);
         assert!(out.delivered);
         ecmp_latencies.insert((out.latency_ms * 1000.0) as u64);
@@ -58,13 +63,16 @@ fn figure2_ecmp_produces_multimodal_latency_sr_does_not() {
     let hops: Vec<u32> = t0.sites.iter().skip(1).map(|s| s.0).collect();
     let mut sr_latencies = std::collections::BTreeSet::new();
     for port in 0..40u16 {
-        let mut frame =
-            frame_spec(tuple(1, 2, 1000 + port), 1, Some(hops.clone())).build();
+        let mut frame = frame_spec(tuple(1, 2, 1000 + port), 1, Some(hops.clone())).build();
         let out = net.route_frame(&mut frame);
         assert!(out.delivered, "{:?}", out.drop_reason);
         sr_latencies.insert((out.latency_ms * 1000.0) as u64);
     }
-    assert_eq!(sr_latencies.len(), 1, "SR pins every connection to one path");
+    assert_eq!(
+        sr_latencies.len(),
+        1,
+        "SR pins every connection to one path"
+    );
     assert_eq!(
         *sr_latencies.iter().next().unwrap(),
         (t0.weight * 1000.0) as u64
@@ -104,7 +112,10 @@ fn host_stack_accounts_exactly_what_the_wire_carries() {
         total_inner_bytes += parsed.inner_ip_len as u64;
         kernel.tc_egress(&mut frame);
     }
-    assert_eq!(kernel.maps().traffic_map.lookup(&t), Some(total_inner_bytes));
+    assert_eq!(
+        kernel.maps().traffic_map.lookup(&t),
+        Some(total_inner_bytes)
+    );
 }
 
 #[test]
@@ -134,14 +145,21 @@ fn sr_insertion_survives_the_full_router_walk() {
     let net = WanNetwork::new(&graph, &tunnels, hostsreg);
 
     let mut frame = frame_spec(t, 9, None).build();
-    assert_eq!(kernel.tc_egress(&mut frame), megate_hoststack::TcVerdict::PassWithSr);
+    assert_eq!(
+        kernel.tc_egress(&mut frame),
+        megate_hoststack::TcVerdict::PassWithSr
+    );
     let out = net.route_frame(&mut frame);
     assert!(out.delivered, "{:?}", out.drop_reason);
     assert_eq!(out.path, tun.sites);
 
     let parsed = megate_packet::parse_megate_frame(&frame).unwrap();
     let (offset, parsed_hops) = parsed.sr.unwrap();
-    assert_eq!(offset as usize, parsed_hops.len(), "offset walked to the end");
+    assert_eq!(
+        offset as usize,
+        parsed_hops.len(),
+        "offset walked to the end"
+    );
 
     // The destination host strips the SR header before handing the
     // frame to the guest.

@@ -11,7 +11,11 @@ fn build_system(load: f64) -> (MegaTeSystem, DemandSet, Graph, TunnelTable) {
     let mut demands = DemandSet::generate(
         &graph,
         &catalog,
-        &TrafficConfig { endpoint_pairs: 100, site_pairs: 15, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs: 100,
+            site_pairs: 15,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&graph, load);
     let sys = MegaTeSystem::new(
@@ -48,7 +52,10 @@ fn delivered_latency_matches_assigned_tunnel() {
         );
         checked += 1;
     }
-    assert!(checked > 20, "enough assigned+delivered flows to be meaningful: {checked}");
+    assert!(
+        checked > 20,
+        "enough assigned+delivered flows to be meaningful: {checked}"
+    );
 }
 
 #[test]
@@ -64,7 +71,11 @@ fn unassigned_flows_still_delivered_by_ecmp_fallback() {
     let assign = report.allocation.endpoint_assignment.as_ref().unwrap();
     let rejected = assign.iter().filter(|c| c.is_none()).count();
     assert!(rejected > 0, "overload must reject some flows");
-    assert_eq!(traffic.delivered, demands.len(), "best-effort delivery for all");
+    assert_eq!(
+        traffic.delivered,
+        demands.len(),
+        "best-effort delivery for all"
+    );
     assert!(traffic.sr_labelled < demands.len());
     assert!(traffic.sr_labelled > 0);
 }
@@ -118,9 +129,7 @@ fn closed_loop_measured_demands_feed_the_next_interval() {
     sys.bring_up(&demands).unwrap();
     sys.send_demand_packets(&demands);
 
-    let measured = sys.measure_demands(std::time::Duration::from_secs(300), |_| {
-        QosClass::Class2
-    });
+    let measured = sys.measure_demands(std::time::Duration::from_secs(300), |_| QosClass::Class2);
     assert!(!measured.is_empty(), "measurement must see the traffic");
     // Every measured pair corresponds to a generated demand pair.
     let generated: std::collections::HashSet<_> = demands.pairs().collect();
@@ -138,9 +147,7 @@ fn closed_loop_measured_demands_feed_the_next_interval() {
     assert!(report.configured_endpoints > 0);
 
     // Counters were drained: a second measurement sees nothing.
-    let empty = sys.measure_demands(std::time::Duration::from_secs(300), |_| {
-        QosClass::Class2
-    });
+    let empty = sys.measure_demands(std::time::Duration::from_secs(300), |_| QosClass::Class2);
     assert!(empty.is_empty());
 }
 

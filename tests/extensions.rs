@@ -16,7 +16,12 @@ fn instance(load: f64) -> (Graph, TunnelTable, DemandSet) {
     let mut demands = DemandSet::generate(
         &graph,
         &catalog,
-        &TrafficConfig { endpoint_pairs: 600, site_pairs: 20, sigma: 0.8, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs: 600,
+            site_pairs: 20,
+            sigma: 0.8,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&graph, load);
     (graph, tunnels, demands)
@@ -29,7 +34,11 @@ fn queueing_penalizes_hot_allocations_end_to_end() {
     use megate_packet::MegaTeFrameSpec;
 
     let (graph, tunnels, demands) = instance(1.5);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let alloc = MegaTeScheme::default().solve(&p).unwrap();
 
     // Utilization from the real allocation feeds the queueing model.
@@ -104,7 +113,11 @@ fn interval_replay_with_the_real_solver_over_a_half_day() {
         } else {
             graph.with_failed_links(input.failing_links)
         };
-        let p = TeProblem { graph: &g, tunnels: &tunnels, demands: &demands };
+        let p = TeProblem {
+            graph: &g,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let alloc = scheme.solve(&p).expect("solvable");
         IntervalSolve {
             tunnel_flow_mbps: alloc.tunnel_flow_mbps,
@@ -144,7 +157,10 @@ fn hybrid_push_channel_delivers_while_tail_polls() {
     let volumes = heavy_tailed_volumes(100_000, 11);
     let out = evaluate_hybrid(
         &volumes,
-        HybridConfig { persistent_fraction: 0.01, spread_seconds: 10.0 },
+        HybridConfig {
+            persistent_fraction: 0.01,
+            spread_seconds: 10.0,
+        },
     );
     assert!(out.covered_traffic_fraction > 0.2);
     assert!(out.traffic_weighted_sync_s < 5.0);

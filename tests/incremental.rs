@@ -34,7 +34,13 @@ fn instance(
     let mut demands = DemandSet::generate(
         &graph,
         &catalog,
-        &TrafficConfig { endpoint_pairs, site_pairs, sigma: 0.8, seed, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs,
+            site_pairs,
+            sigma: 0.8,
+            seed,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&graph, load);
     (graph, tunnels, demands)
@@ -64,14 +70,25 @@ fn perturb_pair(demands: &mut DemandSet, pair: SitePair, factor: f64) {
 fn full_dirty_warm_solve_is_bitwise_identical_to_cold() {
     let (graph, tunnels, mut demands) = instance(500, 18, 0.9, 41);
     let mut eng = always_warm(false);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let (_, seed_report) = eng.solve(&p, false).unwrap();
     assert!(seed_report.cold);
 
     demands.scale(1.02); // every demand changes bitwise → every pair dirty
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let (warm, report) = eng.solve(&p, false).unwrap();
-    assert!(!report.cold, "churn threshold of 100% must still warm-solve");
+    assert!(
+        !report.cold,
+        "churn threshold of 100% must still warm-solve"
+    );
     assert_eq!(report.dirty_pairs, report.total_pairs);
 
     let cold = MegaTeScheme::default().solve(&p).unwrap();
@@ -83,12 +100,20 @@ fn full_dirty_warm_solve_is_bitwise_identical_to_cold() {
 fn full_dirty_qos_warm_solve_matches_solve_per_qos() {
     let (graph, tunnels, mut demands) = instance(500, 18, 1.1, 43);
     let mut eng = always_warm(true);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let (_, seed_report) = eng.solve(&p, false).unwrap();
     assert!(seed_report.cold);
 
     demands.scale(0.98);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let (warm, report) = eng.solve(&p, false).unwrap();
     assert!(!report.cold);
 
@@ -102,7 +127,11 @@ fn full_dirty_qos_warm_solve_matches_solve_per_qos() {
 #[test]
 fn zero_churn_warm_solve_publishes_an_empty_diff() {
     let (graph, tunnels, demands) = instance(400, 16, 0.8, 47);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let mut eng = always_warm(false);
     let (first, _) = eng.solve(&p, false).unwrap();
     let (second, report) = eng.solve(&p, false).unwrap();
@@ -111,8 +140,16 @@ fn zero_churn_warm_solve_publishes_an_empty_diff() {
 
     // The allocation is carried verbatim, so the per-endpoint path diff
     // — what the controller would publish — is empty.
-    let prev = endpoint_paths(&demands, &tunnels, first.endpoint_assignment.as_ref().unwrap());
-    let next = endpoint_paths(&demands, &tunnels, second.endpoint_assignment.as_ref().unwrap());
+    let prev = endpoint_paths(
+        &demands,
+        &tunnels,
+        first.endpoint_assignment.as_ref().unwrap(),
+    );
+    let next = endpoint_paths(
+        &demands,
+        &tunnels,
+        second.endpoint_assignment.as_ref().unwrap(),
+    );
     let diff = diff_endpoint_paths(&prev, &next);
     assert!(diff.changed.is_empty(), "zero churn must publish nothing");
     assert!(diff.removed.is_empty());
@@ -122,7 +159,11 @@ fn zero_churn_warm_solve_publishes_an_empty_diff() {
 #[test]
 fn capacity_shrink_is_respected_by_the_warm_path() {
     let (graph, tunnels, demands) = instance(500, 18, 1.3, 53);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let mut eng = always_warm(false);
     eng.solve(&p, false).unwrap();
 
@@ -132,7 +173,11 @@ fn capacity_shrink_is_respected_by_the_warm_path() {
     for e in [0u32, 3, 7] {
         shrunk.link_mut(megate_topo::LinkId(e)).capacity_mbps *= 0.5;
     }
-    let p2 = TeProblem { graph: &shrunk, tunnels: &tunnels, demands: &demands };
+    let p2 = TeProblem {
+        graph: &shrunk,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let (alloc, report) = eng.solve(&p2, false).unwrap();
     assert!(!report.cold);
     assert!(report.dirty_pairs >= 1);
@@ -140,20 +185,35 @@ fn capacity_shrink_is_respected_by_the_warm_path() {
         report.dirty_pairs < report.total_pairs,
         "a 3-link shrink must not dirty the whole B4 pair set"
     );
-    assert!(alloc.check_feasible(&p2, 1e-6), "halved links must not be overfilled");
+    assert!(
+        alloc.check_feasible(&p2, 1e-6),
+        "halved links must not be overfilled"
+    );
 }
 
 #[test]
 fn warm_solves_recover_after_forced_cold_interleaving() {
     let (graph, tunnels, mut demands) = instance(400, 16, 0.8, 59);
     let mut eng = always_warm(false);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     eng.solve(&p, false).unwrap();
 
     let pair = demands.pairs().next().unwrap();
     for round in 0..4 {
-        perturb_pair(&mut demands, pair, if round % 2 == 0 { 1.2 } else { 1.0 / 1.2 });
-        let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+        perturb_pair(
+            &mut demands,
+            pair,
+            if round % 2 == 0 { 1.2 } else { 1.0 / 1.2 },
+        );
+        let p = TeProblem {
+            graph: &graph,
+            tunnels: &tunnels,
+            demands: &demands,
+        };
         let force_cold = round == 1;
         let (alloc, report) = eng.solve(&p, force_cold).unwrap();
         assert_eq!(report.cold, force_cold, "round {round}");

@@ -20,17 +20,21 @@ fn obs_lock() -> MutexGuard<'static, ()> {
 fn run_probe() {
     let graph = megate_topo::b4();
     let tunnels = TunnelTable::for_all_pairs(&graph, 3);
-    let catalog =
-        EndpointCatalog::generate(&graph, 120, WeibullEndpoints::with_scale(10.0), 2);
+    let catalog = EndpointCatalog::generate(&graph, 120, WeibullEndpoints::with_scale(10.0), 2);
     let mut demands = DemandSet::generate(
         &graph,
         &catalog,
-        &TrafficConfig { endpoint_pairs: 80, site_pairs: 15, ..Default::default() },
+        &TrafficConfig {
+            endpoint_pairs: 80,
+            site_pairs: 15,
+            ..Default::default()
+        },
     );
     demands.scale_to_load(&graph, 0.4);
     let mut sys = MegaTeSystem::new(graph, tunnels, catalog, SystemConfig::default());
     sys.bring_up(&demands).unwrap();
-    sys.run_controller_interval(&demands).expect("probe interval solves");
+    sys.run_controller_interval(&demands)
+        .expect("probe interval solves");
     assert!(sys.agents_pull() > 0);
     let traffic = sys.send_demand_packets(&demands);
     assert!(traffic.delivered > 0);
@@ -44,9 +48,15 @@ fn end_to_end_cycle_populates_every_layer() {
     let snap = megate_obs::global().snapshot();
 
     // Per-phase solver timings, nested under the controller interval.
-    for phase in ["controller.solve", "controller.publish", "solver.max_site_flow"] {
+    for phase in [
+        "controller.solve",
+        "controller.publish",
+        "solver.max_site_flow",
+    ] {
         assert!(
-            snap.histograms.keys().any(|k| k.starts_with("span.") && k.contains(phase)),
+            snap.histograms
+                .keys()
+                .any(|k| k.starts_with("span.") && k.contains(phase)),
             "missing span for {phase}; have: {:?}",
             snap.histograms.keys().collect::<Vec<_>>()
         );
@@ -73,21 +83,32 @@ fn end_to_end_cycle_populates_every_layer() {
         .histograms
         .get("solver.pair_endpoints")
         .expect("per-pair endpoint-count histogram must exist");
-    assert!(pair_hist.count > 0, "every solved pair records its endpoint count");
+    assert!(
+        pair_hist.count > 0,
+        "every solved pair records its endpoint count"
+    );
 
     // Incremental-engine series (DESIGN.md §5f): the warm/cold solve
     // counters and the dirty-pair counter are registered when the
     // controller builds its engine, and a cold-start interval must
     // have recorded at least one cold solve. The diff churn gauge is
     // set by the publish path's allocation diff.
-    for ctr in ["solver.warm_solves", "solver.cold_solves", "solver.dirty_pairs"] {
+    for ctr in [
+        "solver.warm_solves",
+        "solver.cold_solves",
+        "solver.dirty_pairs",
+    ] {
         assert!(
             snap.counters.contains_key(ctr),
             "incremental-engine counter {ctr} must be registered up front"
         );
     }
     assert!(
-        snap.counters.get("solver.cold_solves").copied().unwrap_or(0) > 0,
+        snap.counters
+            .get("solver.cold_solves")
+            .copied()
+            .unwrap_or(0)
+            > 0,
         "a cold-start interval runs at least one cold solve"
     );
     assert!(
@@ -112,19 +133,42 @@ fn end_to_end_cycle_populates_every_layer() {
     // Host-stack series: the ring never dropped here, but the counter
     // must exist (registered at construction); SR insertion did happen.
     assert!(snap.counters.contains_key("hoststack.ringbuf.drops"));
-    assert!(snap.counters.get("hoststack.sr_inserted").copied().unwrap_or(0) > 0);
     assert!(
-        snap.gauges.get("hoststack.map.traffic_map.occupancy").copied().unwrap_or(0) > 0
+        snap.counters
+            .get("hoststack.sr_inserted")
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
+    assert!(
+        snap.gauges
+            .get("hoststack.map.traffic_map.occupancy")
+            .copied()
+            .unwrap_or(0)
+            > 0
     );
 
     // Data plane delivered frames; the fleet converged after the pull.
-    assert!(snap.counters.get("dataplane.frames_delivered").copied().unwrap_or(0) > 0);
-    assert_eq!(snap.gauges.get("controller.config_staleness").copied(), Some(0));
+    assert!(
+        snap.counters
+            .get("dataplane.frames_delivered")
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
+    assert_eq!(
+        snap.gauges.get("controller.config_staleness").copied(),
+        Some(0)
+    );
 
     // Resilience series are registered at construction, so they must
     // be present (at zero) even on a fault-free probe — a chaos run
     // only moves them.
-    for ctr in ["tedb.failover_reads", "agent.retries", "controller.fallback_publishes"] {
+    for ctr in [
+        "tedb.failover_reads",
+        "agent.retries",
+        "controller.fallback_publishes",
+    ] {
         assert!(
             snap.counters.contains_key(ctr),
             "resilience counter {ctr} must be registered up front"
@@ -139,6 +183,77 @@ fn end_to_end_cycle_populates_every_layer() {
         Some(0),
         "nobody degrades on a healthy probe"
     );
+
+    // Propagation-tracing series (DESIGN.md §5g): the per-path
+    // solve-to-install latency histograms are registered at system
+    // construction, and a converged probe lands every agent's first
+    // pull in the delta bucket (never-configured adoption counts as the
+    // delta path).
+    for h in [
+        "propagation.latency.delta",
+        "propagation.latency.snapshot",
+        "propagation.latency.degraded",
+    ] {
+        assert!(
+            snap.histograms.contains_key(h),
+            "propagation histogram {h} must be registered up front"
+        );
+    }
+    let delta_lat = &snap.histograms["propagation.latency.delta"];
+    assert!(
+        delta_lat.count > 0,
+        "a converged probe records delta-path install latencies"
+    );
+    assert!(
+        delta_lat.quantile(0.99) < 10_000_000_000,
+        "even a debug-build probe installs well inside one 10 s sync period"
+    );
+
+    // The flight recorder itself: events flowed and its own meta
+    // series moved.
+    assert!(
+        snap.counters.get("trace.events").copied().unwrap_or(0) > 0,
+        "the probe must have recorded flight-recorder events"
+    );
+    assert!(
+        snap.gauges.get("trace.threads").copied().unwrap_or(0) > 0,
+        "at least one thread registered a trace ring"
+    );
+    let events = megate_obs::trace::snapshot();
+    use megate_obs::trace::Stage;
+    for stage in [
+        Stage::SolveStart,
+        Stage::SolveEnd,
+        Stage::Encode,
+        Stage::Publish,
+        Stage::ShardWrite,
+        Stage::VersionBump,
+        Stage::ChangelogPull,
+        Stage::Install,
+        Stage::PullDone,
+        Stage::SpanEnter,
+        Stage::SpanExit,
+    ] {
+        assert!(
+            events.iter().any(|e| e.stage == stage),
+            "probe cycle must record a {} event",
+            stage.name()
+        );
+    }
+    // One endpoint's causal path is reconstructible: its PullDone cites
+    // the version the controller published.
+    let done = events
+        .iter()
+        .find(|e| e.stage == Stage::PullDone)
+        .expect("a PullDone event exists");
+    assert!(done.version > 0, "PullDone carries the achieved version");
+    assert!(
+        !megate_obs::trace::events_for(done.entity, 16).is_empty(),
+        "the endpoint's events are filterable by entity"
+    );
+    // And the whole thing exports as a Chrome trace.
+    let chrome = megate_obs::trace::to_chrome_trace(&events);
+    assert!(chrome.contains("\"ph\":\"B\"") && chrome.contains("\"name\":\"install\""));
 }
 
 #[test]
@@ -149,8 +264,8 @@ fn expositions_round_trip_after_real_traffic() {
     let snap = megate_obs::global().snapshot();
 
     let text = snap.to_prometheus();
-    let parsed = megate_obs::Snapshot::from_prometheus(&text)
-        .expect("our own exposition must parse");
+    let parsed =
+        megate_obs::Snapshot::from_prometheus(&text).expect("our own exposition must parse");
     assert_eq!(parsed, snap.sanitized(), "Prometheus text must round-trip");
 
     let json = snap.to_json();
@@ -175,9 +290,18 @@ fn disabled_lp_pivot_loop_records_nothing() {
     let _g = obs_lock();
     megate_obs::set_enabled(false);
     let before = megate_obs::global().snapshot();
+    let trace_before = megate_obs::trace::snapshot().len();
     run_probe();
     let after = megate_obs::global().snapshot();
+    let trace_after = megate_obs::trace::snapshot().len();
     megate_obs::set_enabled(true);
+
+    // The flight recorder honors the same kill switch: a full cycle
+    // recorded not one event.
+    assert_eq!(
+        trace_before, trace_after,
+        "disabled run must record no flight-recorder events"
+    );
 
     // A full solve ran, yet no counter moved — the pivot loop's
     // `inc()` calls were pure branch-not-taken.
@@ -205,9 +329,20 @@ fn disabled_record_path_is_near_free() {
         hist.record(i);
     }
     let elapsed = started.elapsed();
+    let trace_events = megate_obs::trace::snapshot().len();
+    let trace_started = std::time::Instant::now();
+    for i in 0..10_000_000u64 {
+        megate_obs::trace::record(megate_obs::trace::Stage::Install, 1, 2, i);
+    }
+    let trace_elapsed = trace_started.elapsed();
     megate_obs::set_enabled(true);
     assert_eq!(ctr.get(), 0);
     assert_eq!(hist.snapshot().count, 0);
+    assert_eq!(
+        megate_obs::trace::snapshot().len(),
+        trace_events,
+        "disabled trace::record must write nothing"
+    );
     // 20M disabled record calls. Each is one relaxed load + branch
     // (single-digit ns even unoptimized); the bound is generous enough
     // for debug builds and loaded CI, while still catching a record
@@ -215,5 +350,10 @@ fn disabled_record_path_is_near_free() {
     assert!(
         elapsed < std::time::Duration::from_secs(4),
         "disabled record path too slow: {elapsed:?}"
+    );
+    // Same bound for the flight recorder's record path (10M calls).
+    assert!(
+        trace_elapsed < std::time::Duration::from_secs(2),
+        "disabled trace record path too slow: {trace_elapsed:?}"
     );
 }

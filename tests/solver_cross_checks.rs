@@ -12,8 +12,12 @@ fn instance(
     seed: u64,
 ) -> (TunnelTable, DemandSet) {
     let tunnels = TunnelTable::for_all_pairs(graph, 4);
-    let catalog =
-        EndpointCatalog::generate(graph, endpoint_pairs * 2, WeibullEndpoints::with_scale(50.0), seed);
+    let catalog = EndpointCatalog::generate(
+        graph,
+        endpoint_pairs * 2,
+        WeibullEndpoints::with_scale(50.0),
+        seed,
+    );
     let mut demands = DemandSet::generate(
         graph,
         &catalog,
@@ -35,7 +39,11 @@ fn satisfied_demand_ordering_matches_figure10() {
     // feasible and below LP-all.
     let graph = megate_topo::b4();
     let (tunnels, demands) = instance(&graph, 800, 25, 0.8, 11);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
 
     let lp = LpAllScheme::default().solve(&p).unwrap();
     let mega = MegaTeScheme::default().solve(&p).unwrap();
@@ -50,11 +58,17 @@ fn satisfied_demand_ordering_matches_figure10() {
     let r_nc = nc.satisfied_ratio(&p);
     let r_teal = teal.satisfied_ratio(&p);
 
-    assert!(r_lp >= r_mega - 1e-6, "LP-all bounds MegaTE: {r_lp} vs {r_mega}");
+    assert!(
+        r_lp >= r_mega - 1e-6,
+        "LP-all bounds MegaTE: {r_lp} vs {r_mega}"
+    );
     assert!(r_lp >= r_nc - 1e-6);
     assert!(r_lp >= r_teal - 1e-6);
     // Figure 10's shape: MegaTE within a few percent of optimal.
-    assert!(r_mega > r_lp - 0.05, "MegaTE near-optimal: {r_mega} vs {r_lp}");
+    assert!(
+        r_mega > r_lp - 0.05,
+        "MegaTE near-optimal: {r_mega} vs {r_lp}"
+    );
     // Baselines are feasible but lossier (Figure 10's ordering: TEAL
     // loses a little, NCFlow loses the most).
     assert!(r_teal > r_nc, "TEAL {r_teal} should beat NCFlow {r_nc}");
@@ -68,7 +82,11 @@ fn megate_scales_past_lp_all_memory_wall() {
     // where LP-all's dense tableau no longer fits, MegaTE still solves.
     let graph = megate_topo::b4();
     let (tunnels, demands) = instance(&graph, 30_000, 60, 1.0, 3);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
 
     match LpAllScheme::default().solve(&p) {
         Err(SolveError::OutOfMemory { .. }) => {}
@@ -83,7 +101,11 @@ fn megate_scales_past_lp_all_memory_wall() {
 fn megate_runtime_beats_lp_all_at_medium_scale() {
     let graph = megate_topo::b4();
     let (tunnels, demands) = instance(&graph, 1500, 30, 1.0, 7);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let lp = LpAllScheme::default().solve(&p).unwrap();
     let mega = MegaTeScheme::default().solve(&p).unwrap();
     assert!(
@@ -100,7 +122,11 @@ fn qos1_latency_ordering_matches_figure11() {
     // normalized latency than the class-blind aggregated baselines.
     let graph = megate_topo::deltacom();
     let (tunnels, demands) = instance(&graph, 1000, 40, 1.5, 19);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
 
     let mega = solve_per_qos(&MegaTeScheme::default(), &p).unwrap();
     let teal = TealScheme::default().solve(&p).unwrap();
@@ -119,18 +145,28 @@ fn failure_recompute_ordering_matches_figure12() {
 
     let graph = megate_topo::deltacom();
     let (tunnels, demands) = instance(&graph, 1200, 40, 1.0, 19);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let before = MegaTeScheme::default().solve(&p).unwrap();
     // Fail the most-loaded fiber so the failure actually hits traffic.
     let loads = before.link_loads(&p);
     let busiest = megate_topo::LinkId(
-        (0..loads.len()).max_by(|&a, &b| loads[a].total_cmp(&loads[b])).unwrap() as u32,
+        (0..loads.len())
+            .max_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+            .unwrap() as u32,
     );
     let link = graph.link(busiest);
     let reverse = graph.find_link(link.dst, link.src).unwrap();
     let scenario = FailureScenario::from_links(vec![busiest, reverse]);
     let degraded = scenario.apply(&graph);
-    let p_after = TeProblem { graph: &degraded, tunnels: &tunnels, demands: &demands };
+    let p_after = TeProblem {
+        graph: &degraded,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let after = MegaTeScheme::default().solve(&p_after).unwrap();
 
     // MegaTE recomputes in <1s; a slow scheme leaves flows dark ~100s.
@@ -163,7 +199,11 @@ fn failure_recompute_ordering_matches_figure12() {
 fn deterministic_across_runs() {
     let graph = megate_topo::b4();
     let (tunnels, demands) = instance(&graph, 500, 20, 1.0, 31);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
     let a = MegaTeScheme::default().solve(&p).unwrap();
     let b = MegaTeScheme::default().solve(&p).unwrap();
     assert_eq!(a.endpoint_assignment, b.endpoint_assignment);

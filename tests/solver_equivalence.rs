@@ -69,7 +69,10 @@ fn flat_stage3(
     site_flows: &[Vec<f64>],
     threads: usize,
 ) -> Vec<Option<TunnelId>> {
-    let scheme = MegaTeScheme::new(MegaTeConfig { threads, ..Default::default() });
+    let scheme = MegaTeScheme::new(MegaTeConfig {
+        threads,
+        ..Default::default()
+    });
     let mut assignment = vec![None; p.demands.len()];
     let stats = scheme.max_endpoint_flow_all(p, pairs, site_flows, &mut assignment);
     assert_eq!(stats.pairs, pairs.len());
@@ -78,7 +81,11 @@ fn flat_stage3(
 
 /// Both paths, all thread counts, one instance.
 fn assert_equivalent(graph: &Graph, tunnels: &TunnelTable, demands: &DemandSet) {
-    let p = TeProblem { graph, tunnels, demands };
+    let p = TeProblem {
+        graph,
+        tunnels,
+        demands,
+    };
     let scheme = MegaTeScheme::default();
     let (pairs, site_flows) = scheme.max_site_flow(&p).expect("stage 1+2");
     let reference = scalar_stage3(&scheme, &p, &pairs, &site_flows);
@@ -113,21 +120,33 @@ fn full_solve_is_thread_count_invariant() {
     // every thread count must produce the identical allocation.
     let graph = megate_topo::b4();
     let (tunnels, demands) = instance(&graph, 600, 20, 1.5, 23);
-    let p = TeProblem { graph: &graph, tunnels: &tunnels, demands: &demands };
-    let reference = MegaTeScheme::new(MegaTeConfig { threads: 1, ..Default::default() })
+    let p = TeProblem {
+        graph: &graph,
+        tunnels: &tunnels,
+        demands: &demands,
+    };
+    let reference = MegaTeScheme::new(MegaTeConfig {
+        threads: 1,
+        ..Default::default()
+    })
+    .solve(&p)
+    .unwrap();
+    for threads in [2usize, 4, 8] {
+        let alloc = MegaTeScheme::new(MegaTeConfig {
+            threads,
+            ..Default::default()
+        })
         .solve(&p)
         .unwrap();
-    for threads in [2usize, 4, 8] {
-        let alloc = MegaTeScheme::new(MegaTeConfig { threads, ..Default::default() })
-            .solve(&p)
-            .unwrap();
         assert_eq!(
             reference.endpoint_assignment, alloc.endpoint_assignment,
             "solve() diverged at {threads} threads"
         );
         assert_eq!(reference.tunnel_flow_mbps, alloc.tunnel_flow_mbps);
     }
-    let stage = reference.endpoint_stage.expect("MegaTE records stage-3 stats");
+    let stage = reference
+        .endpoint_stage
+        .expect("MegaTE records stage-3 stats");
     assert_eq!(stage.threads, 1);
     assert!(stage.pairs > 0);
     assert!(stage.total_busy >= stage.max_worker_busy);
