@@ -2,13 +2,20 @@
 //! `results/BENCH_*.json` metric snapshots against the committed
 //! baselines in `baselines/` and prints per-metric deltas.
 //!
-//! The report is informational — it always exits 0 — so `check.sh`
+//! By default the report is informational — it exits 0 — so `check.sh`
 //! can surface perf drift without turning noisy machines into gate
 //! failures. Counters and gauges compare by value; histograms compare
 //! by sample count, mean and p50/p99. Only metrics whose relative
 //! change exceeds the threshold (default 25%) are printed; pass
 //! `--threshold 0` to see everything, `--current`/`--baseline` to
 //! point at other directories.
+//!
+//! Pass `--strict <pct>` to turn the report into a gate: any metric
+//! drifting beyond `<pct>` (in either direction — a counter falling
+//! off a cliff is as suspicious as one exploding) makes the run exit
+//! non-zero after printing every offender. Missing baselines still
+//! skip — a freshly added bench must be able to land its baseline in
+//! the same change.
 
 use megate_obs::Snapshot;
 use std::path::{Path, PathBuf};
@@ -18,6 +25,8 @@ struct Options {
     baseline: PathBuf,
     /// Minimum relative change (percent) worth printing.
     threshold: f64,
+    /// When set, drift beyond this many percent fails the run.
+    strict: Option<f64>,
 }
 
 fn parse_args() -> Options {
@@ -25,6 +34,7 @@ fn parse_args() -> Options {
         current: PathBuf::from("results"),
         baseline: PathBuf::from("baselines"),
         threshold: 25.0,
+        strict: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -40,6 +50,19 @@ fn parse_args() -> Options {
             }
             "--threshold" if i + 1 < args.len() => {
                 opts.threshold = args[i + 1].parse().unwrap_or(25.0);
+                i += 2;
+            }
+            "--strict" if i + 1 < args.len() => {
+                match args[i + 1].parse::<f64>() {
+                    Ok(pct) if pct >= 0.0 => opts.strict = Some(pct),
+                    _ => {
+                        eprintln!(
+                            "bench_diff: --strict needs a non-negative percent, got {:?}",
+                            args[i + 1]
+                        );
+                        std::process::exit(2);
+                    }
+                }
                 i += 2;
             }
             other => {
@@ -158,12 +181,22 @@ fn main() {
         );
         return;
     }
+    // In strict mode print down to the gate threshold too, so every
+    // metric that can fail the run is visible in the report.
+    let print_threshold = match opts.strict {
+        Some(pct) => opts.threshold.min(pct),
+        None => opts.threshold,
+    };
     println!(
-        "== bench_diff: {} vs baseline {} (reporting |change| >= {}%) ==",
+        "== bench_diff: {} vs baseline {} (reporting |change| >= {print_threshold}%{}) ==",
         opts.current.display(),
         opts.baseline.display(),
-        opts.threshold
+        match opts.strict {
+            Some(pct) => format!(", failing beyond {pct}%"),
+            None => String::new(),
+        }
     );
+    let mut regressions = 0usize;
     for name in names {
         let cur_path = opts.current.join(&name);
         let base_path = opts.baseline.join(&name);
@@ -174,16 +207,32 @@ fn main() {
         let (Some(base), Some(cur)) = (load(&base_path), load(&cur_path)) else {
             continue;
         };
-        let (compared, deltas) = compare(&base, &cur, opts.threshold);
+        let (compared, deltas) = compare(&base, &cur, print_threshold);
         println!(
             "{name}: {compared} metrics compared, {} drifted",
             deltas.len()
         );
         for d in &deltas {
+            // Brand-new metrics ("new") never fail strict mode — a
+            // bench gaining a series must be able to land in one change.
+            let failing = matches!(opts.strict, Some(pct)
+                if d.magnitude.is_finite() && d.magnitude >= pct);
             println!(
-                "  {:<44} {:>14} -> {:<14} {}",
-                d.name, d.base, d.cur, d.change
+                "  {:<44} {:>14} -> {:<14} {}{}",
+                d.name,
+                d.base,
+                d.cur,
+                d.change,
+                if failing { "  [REGRESSION]" } else { "" }
             );
+            regressions += failing as usize;
         }
+    }
+    if let Some(pct) = opts.strict {
+        if regressions > 0 {
+            eprintln!("bench_diff: {regressions} metric(s) drifted beyond {pct}% — failing");
+            std::process::exit(1);
+        }
+        println!("bench_diff: strict gate clean (no drift beyond {pct}%)");
     }
 }

@@ -1,0 +1,329 @@
+//! Partitioned-control figure — Concord-style controller slices under
+//! seeded control-plane chaos, gated against the single-controller
+//! fault-free twin.
+//!
+//! For each (partitions, intensity, seed) cell the harness replays a
+//! deterministic [`ControllerFaultPlan`] — crashes, restarts mid-solve,
+//! missed publishes, one partition split — against the partitioned
+//! closed loop and reports what slicing the control plane costs:
+//! satisfied-demand loss versus one centralized controller solving the
+//! same problem fault-free, degraded/stale host-periods while slices
+//! were dead, the quota reconciler's border-link adjustments and
+//! endpoint withdrawals, and reconvergence after the last fault clears.
+//!
+//! The acceptance bars (asserted per cell):
+//!
+//! * **zero blackholing** — every demand the twin delivers arrives;
+//! * **no double-booking** — the union of all partitions' published
+//!   paths fits every link, border links included, at every tick;
+//! * **satisfied-demand loss ≤ 2%** — delivered demand-Mbps under the
+//!   storm stays within 2% of the single-controller twin's;
+//! * **reconvergence ≤ 2 sync periods** after all-clear.
+
+use megate::prelude::*;
+use megate_bench::{print_table, scale_from_args, write_json, Scale};
+use megate_topo::b4;
+use serde::Serialize;
+
+/// Delivered demand-Mbps may lag the centralized twin by at most this.
+const MAX_SATISFIED_LOSS_PCT: f64 = 2.0;
+
+#[derive(Serialize)]
+struct PartitionRow {
+    partitions: u32,
+    intensity: &'static str,
+    seed: u64,
+    ctl_events: usize,
+    ticks: u64,
+    final_partitions: u32,
+    /// Delivered demand-Mbps under the storm / twin's, in percent.
+    satisfied_pct: f64,
+    /// The gated headline: 100 − satisfied_pct.
+    satisfied_loss_pct: f64,
+    /// Mean solver-assigned Mbps across the storm / twin's (dips while
+    /// a slice is dead and its last allocation carries the traffic).
+    solver_satisfied_pct: f64,
+    degraded_host_periods: usize,
+    stale_host_periods: usize,
+    withdrawn_endpoints: usize,
+    reconciled_links: usize,
+    max_overbooked_mbps: f64,
+    reconverge_ticks: u64,
+    blackholed_demands: usize,
+}
+
+struct Intensity {
+    name: &'static str,
+    spec: ControllerFaultSpec,
+}
+
+fn intensities(scale: Scale) -> Vec<Intensity> {
+    let full = vec![
+        Intensity {
+            name: "moderate",
+            spec: ControllerFaultSpec {
+                horizon: 8,
+                crash_rate: 0.12,
+                max_down_ticks: 4,
+                restart_rate: 0.06,
+                miss_rate: 0.08,
+                split_at: Some(3),
+                ..ControllerFaultSpec::default()
+            },
+        },
+        Intensity {
+            name: "storm",
+            spec: ControllerFaultSpec {
+                horizon: 8,
+                crash_rate: 0.20,
+                // Longer than the stale-TTL: dead slices ride the
+                // ladder all the way to ECMP degradation.
+                max_down_ticks: 6,
+                restart_rate: 0.10,
+                miss_rate: 0.12,
+                split_at: Some(3),
+                ..ControllerFaultSpec::default()
+            },
+        },
+    ];
+    match scale {
+        Scale::Full => full,
+        Scale::Quick => full.into_iter().filter(|i| i.name == "storm").collect(),
+    }
+}
+
+fn demands_for(g: &Graph, catalog: &EndpointCatalog) -> DemandSet {
+    let mut demands = DemandSet::generate(
+        g,
+        catalog,
+        &TrafficConfig {
+            endpoint_pairs: 60,
+            site_pairs: 12,
+            ..Default::default()
+        },
+    );
+    demands.scale_to_load(g, 0.4);
+    demands
+}
+
+fn build_partitioned(partitions: u32) -> (MegaTeSystem, DemandSet) {
+    let g = b4();
+    let tunnels = TunnelTable::for_all_pairs(&g, 3);
+    let catalog = EndpointCatalog::generate(&g, 100, WeibullEndpoints::with_scale(10.0), 2);
+    let demands = demands_for(&g, &catalog);
+    let config = SystemConfig {
+        db_shards: 4,
+        db_replication: 2,
+        ..SystemConfig::default()
+    };
+    let cluster = ClusterConfig {
+        partitions,
+        controller: ControllerConfig {
+            qos_sequential: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let sys = MegaTeSystem::new_partitioned(g, tunnels, catalog, config, cluster);
+    (sys, demands)
+}
+
+fn build_single() -> MegaTeSystem {
+    let g = b4();
+    let tunnels = TunnelTable::for_all_pairs(&g, 3);
+    let catalog = EndpointCatalog::generate(&g, 100, WeibullEndpoints::with_scale(10.0), 2);
+    let config = SystemConfig {
+        db_shards: 4,
+        db_replication: 2,
+        ..SystemConfig::default()
+    };
+    MegaTeSystem::new(g, tunnels, catalog, config)
+}
+
+fn run_cell(partitions: u32, intensity: &Intensity, seed: u64) -> PartitionRow {
+    let (mut sys, demands) = build_partitioned(partitions);
+    sys.bring_up(&demands).expect("hosts come up");
+    sys.database().set_fault_seed(seed);
+    let spec = ControllerFaultSpec {
+        seed,
+        ..intensity.spec
+    };
+    let plan = ControllerFaultPlan::generate(&spec, partitions);
+
+    // The fault-free *single-controller* twin: both the blackholing
+    // reference and the satisfied-demand denominator.
+    let mut twin = build_single();
+    twin.bring_up(&demands).expect("hosts come up");
+
+    let last_tick = plan.clear_tick + 2;
+    let mut row = PartitionRow {
+        partitions,
+        intensity: intensity.name,
+        seed,
+        ctl_events: plan.event_count(),
+        ticks: last_tick + 1,
+        final_partitions: partitions,
+        satisfied_pct: 100.0,
+        satisfied_loss_pct: 0.0,
+        solver_satisfied_pct: 100.0,
+        degraded_host_periods: 0,
+        stale_host_periods: 0,
+        withdrawn_endpoints: 0,
+        reconciled_links: 0,
+        max_overbooked_mbps: 0.0,
+        reconverge_ticks: 0,
+        blackholed_demands: 0,
+    };
+    let (mut storm_mbps, mut twin_mbps) = (0.0f64, 0.0f64);
+    let (mut storm_solver, mut twin_solver) = (0.0f64, 0.0f64);
+    let mut reconverged_at = None;
+    for t in 0..=last_tick {
+        sys.apply_controller_tick(&plan, t);
+        let report = sys
+            .run_partitioned_interval(&demands)
+            .expect("partitioned interval solves");
+        row.withdrawn_endpoints += report.withdrawn_endpoints;
+        row.reconciled_links += report.reconciled_links;
+        storm_solver += report
+            .reports
+            .iter()
+            .map(|(_, r)| r.allocation.satisfied_mbps())
+            .sum::<f64>();
+        let round = sys.pull_round();
+        row.degraded_host_periods += round.degraded;
+        row.stale_host_periods += round.stale;
+        // No link — border links included — may be double-booked by the
+        // union of all partitions' published paths.
+        let over = sys.cluster().unwrap().max_overbooked_mbps(&demands);
+        row.max_overbooked_mbps = row.max_overbooked_mbps.max(over);
+        assert!(
+            over <= 1e-6,
+            "partitions {partitions} {} seed {seed} tick {t}: \
+             published paths over-book a link by {over} Mbps",
+            intensity.name
+        );
+        let storm_traffic = sys.send_demand_packets(&demands);
+
+        let twin_report = twin
+            .run_controller_interval(&demands)
+            .expect("twin interval solves");
+        twin_solver += twin_report.allocation.satisfied_mbps();
+        twin.pull_round();
+        let twin_traffic = twin.send_demand_packets(&demands);
+
+        for (i, d) in demands.demands().iter().enumerate() {
+            let twin_got = twin_traffic.per_demand_latency[i].is_some();
+            let storm_got = storm_traffic.per_demand_latency[i].is_some();
+            if twin_got {
+                twin_mbps += d.demand_mbps;
+                if storm_got {
+                    storm_mbps += d.demand_mbps;
+                } else {
+                    row.blackholed_demands += 1;
+                }
+            }
+        }
+        if t > plan.clear_tick
+            && reconverged_at.is_none()
+            && round.stale == 0
+            && round.degraded == 0
+        {
+            reconverged_at = Some(t);
+        }
+    }
+    row.final_partitions = sys.cluster().unwrap().partition_count();
+    row.satisfied_pct = if twin_mbps <= 0.0 {
+        100.0
+    } else {
+        100.0 * storm_mbps / twin_mbps
+    };
+    row.satisfied_loss_pct = 100.0 - row.satisfied_pct;
+    row.solver_satisfied_pct = if twin_solver <= 0.0 {
+        100.0
+    } else {
+        100.0 * storm_solver / twin_solver
+    };
+    row.reconverge_ticks =
+        reconverged_at.expect("fleet reconverges within two ticks of all-clear") - plan.clear_tick;
+    row
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let seeds: &[u64] = match scale {
+        Scale::Quick => &[7],
+        Scale::Full => &[7, 21, 42],
+    };
+    let partition_counts: &[u32] = match scale {
+        Scale::Quick => &[2],
+        Scale::Full => &[2, 4],
+    };
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &partitions in partition_counts {
+        for intensity in &intensities(scale) {
+            for &seed in seeds {
+                let row = run_cell(partitions, intensity, seed);
+                assert_eq!(
+                    row.blackholed_demands, 0,
+                    "partitions {partitions} {} seed {seed}: blackholed demands",
+                    intensity.name
+                );
+                assert!(
+                    row.satisfied_loss_pct <= MAX_SATISFIED_LOSS_PCT,
+                    "partitions {partitions} {} seed {seed}: satisfied-demand loss \
+                     {:.2}% exceeds {MAX_SATISFIED_LOSS_PCT}%",
+                    intensity.name,
+                    row.satisfied_loss_pct
+                );
+                assert!(
+                    row.reconverge_ticks <= 2,
+                    "partitions {partitions} {} seed {seed}: reconvergence took {} ticks",
+                    intensity.name,
+                    row.reconverge_ticks
+                );
+                rows.push(vec![
+                    partitions.to_string(),
+                    intensity.name.to_string(),
+                    seed.to_string(),
+                    row.ctl_events.to_string(),
+                    row.final_partitions.to_string(),
+                    format!("{:.2}%", row.satisfied_pct),
+                    format!("{:.1}%", row.solver_satisfied_pct),
+                    row.degraded_host_periods.to_string(),
+                    row.stale_host_periods.to_string(),
+                    row.withdrawn_endpoints.to_string(),
+                    row.reconciled_links.to_string(),
+                    row.reconverge_ticks.to_string(),
+                ]);
+                json.push(row);
+            }
+        }
+    }
+    print_table(
+        "Partitioned controllers under control-plane chaos vs the \
+         single-controller fault-free twin (zero blackholing, no \
+         double-booked links, satisfied loss <= 2%, reconvergence <= 2 \
+         periods)",
+        &[
+            "parts",
+            "intensity",
+            "seed",
+            "faults",
+            "final",
+            "satisfied",
+            "solver·sat",
+            "degraded·p",
+            "stale·p",
+            "withdrawn",
+            "reconciled",
+            "reconv",
+        ],
+        &rows,
+    );
+    write_json("fig_partition", &json);
+    match megate_obs::write_bench_snapshot("partition") {
+        Ok(path) => println!("metrics snapshot: {}", path.display()),
+        Err(e) => println!("metrics snapshot skipped: {e}"),
+    }
+}

@@ -18,13 +18,16 @@
 //! are garbage-collected each interval, so database footprint is
 //! bounded by `retention_versions`, not by controller uptime.
 
-use crate::config::{diff_configs, encode_delta, encode_paths, ConfigError, EndpointConfig};
+use crate::config::{
+    decode_delta, decode_paths, diff_configs, encode_delta, encode_paths, ConfigError,
+    EndpointConfig,
+};
 use megate_obs::trace;
 use megate_solvers::{
     diff_endpoint_paths, endpoint_paths, AllocationPaths, IncrementalConfig, IncrementalEngine,
     IncrementalReport, MegaTeConfig, SolveError, TeAllocation, TeProblem,
 };
-use megate_tedb::{TeDatabase, TeKey};
+use megate_tedb::{Changelog, ShardOutage, TeDatabase, TeKey};
 use megate_topo::{EndpointCatalog, EndpointId, FailureScenario, Graph, TunnelTable};
 use megate_traffic::DemandSet;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -63,6 +66,12 @@ pub struct ControllerConfig {
     /// published-path churn (the `solver.diff_churn_ppm` gauge) above
     /// this threshold also forces the next solve cold.
     pub warm_churn_max_ppm: i64,
+    /// Which controller partition this instance owns. Partition 0 is
+    /// the single-controller default and publishes under the legacy
+    /// version key; a partitioned control plane gives each controller
+    /// its own id, version clock and disjoint endpoint set (see
+    /// `cluster`).
+    pub partition: u32,
 }
 
 impl Default for ControllerConfig {
@@ -75,6 +84,7 @@ impl Default for ControllerConfig {
             solve_deadline: None,
             cold_every: 32,
             warm_churn_max_ppm: 250_000,
+            partition: 0,
         }
     }
 }
@@ -166,6 +176,20 @@ pub struct IntervalReport {
     /// dirty-pair counts). `None` on fallback publishes — the engine's
     /// result was discarded, so its report would be misleading.
     pub incremental: Option<IncrementalReport>,
+}
+
+/// Outcome of a post-restart state rebuild
+/// ([`Controller::recover_from_db`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether the published diff base was fully rebuilt from the
+    /// database (`true`) or dropped for a cold restart with a forced
+    /// snapshot flush (`false`).
+    pub warm: bool,
+    /// The version clock adopted from the partition's version record.
+    pub version: u64,
+    /// Endpoints whose path sets were reconstructed.
+    pub recovered_endpoints: usize,
 }
 
 /// Outcome of a between-solve admission pass
@@ -339,6 +363,20 @@ impl Controller {
         self.version
     }
 
+    /// The controller partition this instance owns (0 = the
+    /// single-controller default).
+    pub fn partition(&self) -> u32 {
+        self.config.partition
+    }
+
+    /// The endpoints currently holding published path configuration,
+    /// with their per-destination path sets — the diff base. The
+    /// cluster's quota negotiation and reconciliation passes read this
+    /// to account border-link load from what agents actually install.
+    pub fn published_paths(&self) -> &AllocationPaths {
+        &self.last_paths
+    }
+
     /// Mutable access to the interval configuration — drills and tests
     /// adjust deadlines or the warm/cold cadence mid-run.
     pub fn config_mut(&mut self) -> &mut ControllerConfig {
@@ -367,6 +405,34 @@ impl Controller {
         self.solve_and_publish(&graph, demands, false)
     }
 
+    /// Runs one TE interval against **overridden link capacities** —
+    /// the partitioned control plane's quota mechanism: each controller
+    /// solves its own demands against a graph whose border links carry
+    /// only this partition's negotiated share, so the sum of all
+    /// partitions' plans can never oversubscribe a physical link.
+    /// `caps` must have one entry per link (Mbps); entries are clamped
+    /// to a tiny positive floor because the graph rejects zero
+    /// capacities.
+    ///
+    /// # Panics
+    /// Panics when `caps.len()` differs from the graph's link count.
+    pub fn run_interval_with_capacities(
+        &mut self,
+        demands: &DemandSet,
+        caps: &[f64],
+    ) -> Result<IntervalReport, ControllerError> {
+        assert_eq!(
+            caps.len(),
+            self.graph.link_count(),
+            "one capacity override per link"
+        );
+        let mut graph = self.graph.clone();
+        for (i, &c) in caps.iter().enumerate() {
+            graph.link_mut(megate_topo::LinkId(i as u32)).capacity_mbps = c.max(f64::MIN_POSITIVE);
+        }
+        self.solve_and_publish(&graph, demands, false)
+    }
+
     /// Reacts to link failures: re-solve on the degraded topology and
     /// publish immediately (the paper's §6.3 fast-recompute path), with
     /// a forced full-snapshot flush so every agent — however stale —
@@ -378,6 +444,178 @@ impl Controller {
     ) -> Result<IntervalReport, ControllerError> {
         let degraded = scenario.apply(&self.graph);
         self.solve_and_publish(&degraded, demands, true)
+    }
+
+    /// Rebuilds published state from the TE database after a restart.
+    ///
+    /// A restarted controller must not publish version 1 over a fleet
+    /// that is already at version N, and ideally should not re-announce
+    /// every path as "changed". This walks the database the same way a
+    /// recovering agent does — snapshot, then the changelog's delta
+    /// chain up to the published version — for every endpoint in
+    /// `endpoints` (the partition's source endpoints), and adopts the
+    /// result as the new diff base:
+    ///
+    /// * **warm**: every record was readable and decodable — the diff
+    ///   base and version clock are fully rebuilt; the next interval
+    ///   diffs against real published state and publishes only genuine
+    ///   changes. The solve engine still starts cold (its basis died
+    ///   with the process), and the retention ring starts empty, so
+    ///   pre-crash deltas are never garbage-collected — they age out of
+    ///   relevance but not out of the store (bounded by the pre-crash
+    ///   retention window).
+    /// * **cold** (`warm: false`): some record was unreadable, torn or
+    ///   undecodable — the diff base is dropped, `heal_flush` is set so
+    ///   the first post-restart publish flushes full snapshots, and the
+    ///   fleet converges on the fresh solve in one fetch.
+    ///
+    /// `Err` means the partition's version record itself was
+    /// unreachable: the controller cannot safely rejoin (it would
+    /// restart its version clock under the fleet) — the caller keeps it
+    /// down and retries next tick, exactly like a DB outage.
+    pub fn recover_from_db(
+        &mut self,
+        endpoints: &[EndpointId],
+    ) -> Result<RecoveryReport, ShardOutage> {
+        let partition = self.config.partition;
+        let target = match self.db.latest_partition_version_checked(partition)? {
+            Some(v) => v,
+            None => {
+                // Nothing ever published: a fresh start *is* the
+                // published state.
+                self.version = 0;
+                trace::record(trace::Stage::CtlRestart, 0, partition as u64, 1);
+                return Ok(RecoveryReport {
+                    warm: true,
+                    version: 0,
+                    recovered_endpoints: 0,
+                });
+            }
+        };
+
+        let recovered = self.rebuild_paths(endpoints, target);
+        self.version = target;
+        self.dirty_snapshots.clear();
+        self.delta_ring.clear();
+        self.last_good = None;
+        self.engine.invalidate();
+        self.churn_hint_ppm = 0;
+        match recovered {
+            Some(paths) => {
+                let n = paths.len();
+                self.last_paths = paths;
+                self.heal_flush = false;
+                trace::record(trace::Stage::CtlRestart, target, partition as u64, 1);
+                Ok(RecoveryReport {
+                    warm: true,
+                    version: target,
+                    recovered_endpoints: n,
+                })
+            }
+            None => {
+                self.last_paths = AllocationPaths::new();
+                self.heal_flush = true;
+                trace::record(trace::Stage::CtlRestart, target, partition as u64, 0);
+                Ok(RecoveryReport {
+                    warm: false,
+                    version: target,
+                    recovered_endpoints: 0,
+                })
+            }
+        }
+    }
+
+    /// The snapshot → delta-chain replay behind
+    /// [`recover_from_db`](Self::recover_from_db); `None` as soon as
+    /// any record is unreachable or undecodable (→ cold recovery).
+    fn rebuild_paths(&self, endpoints: &[EndpointId], target: u64) -> Option<AllocationPaths> {
+        let mut out = AllocationPaths::new();
+        for &ep in endpoints {
+            // Snapshot first: the stamped base state.
+            let (stamp, mut paths) =
+                match self.db.fetch_checked(&TeKey::Snapshot { endpoint: ep.0 }) {
+                    Err(_) => return None,
+                    Ok(None) => (0u64, megate_solvers::EndpointPathSet::new()),
+                    Ok(Some(bytes)) => {
+                        if bytes.len() < 8 {
+                            return None;
+                        }
+                        let stamp = u64::from_be_bytes(bytes[..8].try_into().unwrap());
+                        let cfg = decode_paths(&bytes[8..])?;
+                        let mut paths = megate_solvers::EndpointPathSet::new();
+                        for (ip, hops) in cfg.paths {
+                            paths.insert(Self::endpoint_from_ip(ip)?, hops);
+                        }
+                        (stamp, paths)
+                    }
+                };
+            // Then the changelog's delta chain above the stamp.
+            let log = match self.db.fetch_checked(&TeKey::Changelog { endpoint: ep.0 }) {
+                Err(_) => return None,
+                Ok(None) => Changelog::default(),
+                Ok(Some(bytes)) => Changelog::decode(&bytes)?,
+            };
+            if stamp < log.complete_since {
+                // Deltas between the snapshot and the watermark were
+                // garbage-collected: the chain cannot be replayed.
+                return None;
+            }
+            for &v in log.versions.iter().filter(|&&v| v > stamp && v <= target) {
+                let raw = match self.db.fetch_checked(&TeKey::Delta {
+                    endpoint: ep.0,
+                    version: v,
+                }) {
+                    Ok(Some(r)) => r,
+                    _ => return None,
+                };
+                let delta = decode_delta(&raw)?;
+                for (ip, hops) in delta.changed {
+                    paths.insert(Self::endpoint_from_ip(ip)?, hops);
+                }
+                for ip in delta.removed {
+                    paths.remove(&Self::endpoint_from_ip(ip)?);
+                }
+            }
+            if !paths.is_empty() {
+                out.insert(ep, paths);
+            }
+        }
+        Some(out)
+    }
+
+    /// Publishes a version that withdraws the given endpoints'
+    /// configurations (their agents fall back to site-level/ECMP on the
+    /// next pull) — the reconciliation pass's trim primitive when a
+    /// border link is found oversubscribed. Endpoints without published
+    /// state are skipped; returns the new version, or `None` when
+    /// nothing was withdrawn (no version is burned).
+    pub fn withdraw_endpoints(
+        &mut self,
+        endpoints: &[EndpointId],
+    ) -> Result<Option<u64>, ControllerError> {
+        let trace_t0 = trace::now_ns();
+        let mut next = self.last_paths.clone();
+        let mut withdrew = false;
+        for ep in endpoints {
+            withdrew |= next.remove(ep).is_some();
+        }
+        if !withdrew {
+            return Ok(None);
+        }
+        let outcome = self.publish_paths(next, false, false, trace_t0)?;
+        Ok(Some(outcome.version))
+    }
+
+    /// Silently forgets the given endpoints: they leave the diff base
+    /// and the dirty set with **no withdrawal published** — ownership
+    /// transfer during a partition split, where the new partition's
+    /// controller adopts the endpoints' existing database records as
+    /// its own diff base.
+    pub fn release_endpoints(&mut self, endpoints: &[EndpointId]) {
+        for ep in endpoints {
+            self.last_paths.remove(ep);
+            self.dirty_snapshots.remove(ep);
+        }
     }
 
     /// The snapshot-codec form of one endpoint's path set, addresses
@@ -755,7 +993,8 @@ impl Controller {
         megate_obs::counter("controller.gc_reclaimed").add(reclaimed);
         drop(gc_span);
 
-        self.db.publish_version(version);
+        self.db
+            .publish_partition_version(self.config.partition, version);
         published_bytes += 8;
         self.version = version;
         trace::record(
@@ -1178,6 +1417,147 @@ mod tests {
 
         // The control loop keeps running over the admission.
         ctl.run_interval(&demands).unwrap();
+    }
+
+    #[test]
+    fn partitioned_controller_publishes_its_own_version_clock() {
+        let (mut ctl, demands) = fixture_with(ControllerConfig {
+            qos_sequential: true,
+            partition: 3,
+            ..Default::default()
+        });
+        let db = ctl.db.clone();
+        let r = ctl.run_interval(&demands).unwrap();
+        assert_eq!(ctl.partition(), 3);
+        assert_eq!(db.latest_partition_version_checked(3), Ok(Some(r.version)));
+        assert_eq!(
+            db.latest_version(),
+            None,
+            "partition 3 must not touch partition 0's clock"
+        );
+    }
+
+    #[test]
+    fn capacity_overrides_bound_the_solve() {
+        let (mut ctl, demands) = fixture();
+        // Starve every link: the plan must fit in (almost) nothing, so
+        // total allocated tunnel flow collapses versus the full graph.
+        let full = ctl.run_interval(&demands).unwrap();
+        let full_flow: f64 = full.allocation.tunnel_flow_mbps.iter().sum();
+        let caps = vec![1e-6; ctl.graph().link_count()];
+        let starved = ctl.run_interval_with_capacities(&demands, &caps).unwrap();
+        let starved_flow: f64 = starved.allocation.tunnel_flow_mbps.iter().sum();
+        assert!(
+            starved_flow < full_flow * 0.01,
+            "starved caps must strangle the allocation: {starved_flow} vs {full_flow}"
+        );
+    }
+
+    #[test]
+    fn restart_recovers_warm_state_from_the_database() {
+        let (mut ctl, demands) = fixture_with(ControllerConfig {
+            qos_sequential: true,
+            snapshot_every: 2, // get snapshots + deltas into the store
+            ..Default::default()
+        });
+        let db = ctl.db.clone();
+        for _ in 0..3 {
+            ctl.run_interval(&demands).unwrap();
+        }
+        let published = ctl.last_paths.clone();
+        let endpoints: Vec<EndpointId> = (0..ctl.catalog.len() as u64).map(EndpointId).collect();
+
+        // "Restart": a brand-new controller over the same database.
+        let (mut fresh, _) = fixture_with(ControllerConfig {
+            qos_sequential: true,
+            snapshot_every: 2,
+            ..Default::default()
+        });
+        fresh.db = db;
+        let rep = fresh.recover_from_db(&endpoints).unwrap();
+        assert!(rep.warm, "healthy database → warm rebuild");
+        assert_eq!(rep.version, 3);
+        assert_eq!(fresh.version(), 3);
+        assert_eq!(
+            fresh.last_paths, published,
+            "the rebuilt diff base matches what was published"
+        );
+        assert!(!fresh.has_warm_state(), "the solve engine restarts cold");
+
+        // The next interval continues the version sequence and, with
+        // unchanged demands, re-announces nothing.
+        let r4 = fresh.run_interval(&demands).unwrap();
+        assert_eq!(r4.version, 4);
+        assert_eq!(r4.changed_endpoints, 0, "recovered base diffs clean");
+    }
+
+    #[test]
+    fn restart_with_unreadable_records_goes_cold() {
+        let (mut ctl, demands) = fixture();
+        let db = ctl.db.clone();
+        ctl.run_interval(&demands).unwrap();
+        let endpoints: Vec<EndpointId> = (0..ctl.catalog.len() as u64).map(EndpointId).collect();
+
+        // Corrupt one endpoint's snapshot record in place (shorter than
+        // the 8-byte stamp): rebuild must refuse it and go cold.
+        let victim = ctl.last_paths.keys().next().copied().unwrap();
+        db.put(&TeKey::Snapshot { endpoint: victim.0 }, vec![1, 2, 3]);
+
+        let (mut fresh, _) = fixture();
+        fresh.db = db.clone();
+        let rep = fresh.recover_from_db(&endpoints).unwrap();
+        assert!(!rep.warm, "torn snapshot → cold restart");
+        assert_eq!(rep.version, 1, "the version clock is still adopted");
+        assert!(fresh.last_paths.is_empty());
+        assert!(fresh.heal_flush, "first post-restart publish flushes");
+        let r2 = fresh.run_interval(&demands).unwrap();
+        assert_eq!(r2.version, 2);
+        assert!(r2.snapshot_flush, "cold restart catches the fleet up");
+
+        // And with the version record unreachable, recovery refuses
+        // entirely — the controller must not rejoin blind.
+        for s in 0..db.shard_count() {
+            db.set_shard_down(s, true);
+        }
+        let (mut blind, _) = fixture();
+        blind.db = db.clone();
+        assert!(blind.recover_from_db(&endpoints).is_err());
+        for s in 0..db.shard_count() {
+            db.set_shard_down(s, false);
+        }
+    }
+
+    #[test]
+    fn withdraw_publishes_removals_and_release_is_silent() {
+        let (mut ctl, demands) = fixture();
+        let db = ctl.db.clone();
+        let r1 = ctl.run_interval(&demands).unwrap();
+        let victims: Vec<EndpointId> = ctl.last_paths.keys().take(2).copied().collect();
+
+        let v = ctl.withdraw_endpoints(&victims).unwrap();
+        assert_eq!(v, Some(r1.version + 1));
+        for ep in &victims {
+            assert!(!ctl.last_paths.contains_key(ep));
+            // The withdrawal went out as a delta at the new version.
+            assert!(db
+                .fetch(&TeKey::Delta {
+                    endpoint: ep.0,
+                    version: r1.version + 1,
+                })
+                .is_some());
+        }
+        // Withdrawing endpoints with no state burns no version.
+        assert_eq!(ctl.withdraw_endpoints(&victims).unwrap(), None);
+        assert_eq!(ctl.version(), r1.version + 1);
+
+        // Release: forgotten without any publication.
+        let released: Vec<EndpointId> = ctl.last_paths.keys().take(2).copied().collect();
+        let version_before = ctl.version();
+        ctl.release_endpoints(&released);
+        assert_eq!(ctl.version(), version_before, "release publishes nothing");
+        for ep in &released {
+            assert!(!ctl.last_paths.contains_key(ep));
+        }
     }
 
     #[test]

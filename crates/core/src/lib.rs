@@ -26,6 +26,11 @@
 //!   run the two-stage optimization per QoS class, diff the allocation
 //!   against the previous interval and publish versioned deltas (full
 //!   snapshots on a cadence or after failures), react to failures;
+//! * [`cluster`] — the partitioned control plane: Concord-style slices
+//!   of the site graph each owned by an independent controller, a
+//!   deterministic capacity-quota reconciliation for cross-partition
+//!   tunnels, and a seeded controller-fault plan (crashes, restarts
+//!   mid-solve, missed publishes, splits);
 //! * [`system`] — an end-to-end simulation harness: hosts with
 //!   simulated kernels and agents, the TE database, the controller and
 //!   the WAN data plane, exercised packet-by-packet;
@@ -55,6 +60,7 @@
 //! println!("satisfied {:.1}%", 100.0 * alloc.satisfied_ratio(&problem));
 //! ```
 
+pub mod cluster;
 pub mod config;
 pub mod controller;
 pub mod resilience;
@@ -62,12 +68,17 @@ pub mod system;
 
 /// One-stop imports for examples, tests and downstream users.
 pub mod prelude {
+    pub use crate::cluster::{
+        ClusterConfig, ClusterReport, ControllerCluster, ControllerFaultEvent, ControllerFaultPlan,
+        ControllerFaultSpec,
+    };
     pub use crate::config::{
         decode_delta, decode_paths, diff_configs, encode_delta, encode_paths, ConfigDelta,
         ConfigError, EndpointConfig,
     };
     pub use crate::controller::{
         AdmissionReport, Controller, ControllerConfig, ControllerError, IntervalReport,
+        RecoveryReport,
     };
     pub use crate::resilience::{BackoffPolicy, PullPolicy};
     pub use crate::system::{MegaTeSystem, PullRound, SystemConfig, SystemError, TrafficReport};
@@ -79,18 +90,22 @@ pub mod prelude {
     };
     pub use megate_tedb::{Changelog, FaultPlan, FaultSpec, TeDatabase, TeKey};
     pub use megate_topo::{
-        EndpointCatalog, EndpointId, FailureScenario, Graph, SitePair, TopologySpec, TunnelTable,
-        WeibullEndpoints,
+        EndpointCatalog, EndpointId, FailureScenario, Graph, PartitionId, Partitioning, SitePair,
+        TopologySpec, TunnelTable, WeibullEndpoints,
     };
     pub use megate_traffic::{DemandSet, QosClass, TrafficConfig};
 }
 
+pub use cluster::{
+    ClusterConfig, ClusterReport, ControllerCluster, ControllerFaultEvent, ControllerFaultPlan,
+    ControllerFaultSpec,
+};
 pub use config::{
     decode_delta, decode_paths, diff_configs, encode_delta, encode_paths, ConfigDelta, ConfigError,
     EndpointConfig,
 };
 pub use controller::{
-    AdmissionReport, Controller, ControllerConfig, ControllerError, IntervalReport,
+    AdmissionReport, Controller, ControllerConfig, ControllerError, IntervalReport, RecoveryReport,
 };
 pub use resilience::{BackoffPolicy, PullPolicy};
 pub use system::{MegaTeSystem, PullRound, SystemConfig, SystemError, TrafficReport};

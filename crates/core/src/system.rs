@@ -19,6 +19,7 @@
 //! examples drive; solver-scale experiments use `megate-solvers`
 //! directly without per-host state.
 
+use crate::cluster::{ClusterConfig, ClusterReport, ControllerCluster, ControllerFaultPlan};
 use crate::config::{decode_delta, decode_paths, ConfigDelta};
 use crate::controller::{Controller, ControllerConfig, ControllerError, IntervalReport};
 use crate::resilience::PullPolicy;
@@ -127,6 +128,17 @@ pub struct TrafficReport {
     pub per_demand_latency: Vec<Option<f64>>,
 }
 
+/// One partition's staleness bookkeeping in partitioned mode.
+#[derive(Debug, Clone, Copy, Default)]
+struct PartitionClock {
+    /// Highest version ever observed on this partition's version wire.
+    last_target: u64,
+    /// Consecutive pull rounds the wire failed to advance — the
+    /// partition-liveness clock. A publisher going silent ages its
+    /// whole slice even for agents sitting at the last version.
+    stall: u64,
+}
+
 /// The full MegaTE system over a simulated WAN.
 pub struct MegaTeSystem {
     graph: Graph,
@@ -142,6 +154,16 @@ pub struct MegaTeSystem {
     /// Highest version any round ever observed — the staleness anchor
     /// when the version record itself becomes unreadable.
     last_known_target: u64,
+    /// The partitioned control plane, when built with
+    /// [`new_partitioned`](Self::new_partitioned). `None` keeps the
+    /// single-controller pull path byte-for-byte unchanged.
+    cluster: Option<ControllerCluster>,
+    /// Per-host owning partition (parallel to `hosts`); empty in
+    /// single-controller mode.
+    partition_of_host: Vec<u32>,
+    /// Per-partition version targets and stall clocks, indexed by
+    /// partition id; empty in single-controller mode.
+    partition_clocks: Vec<PartitionClock>,
 }
 
 impl MegaTeSystem {
@@ -204,7 +226,102 @@ impl MegaTeSystem {
             config,
             pull_rounds: 0,
             last_known_target: 0,
+            cluster: None,
+            partition_of_host: Vec::new(),
+            partition_clocks: Vec::new(),
         }
+    }
+
+    /// Builds the system in **partitioned** mode: the site graph is
+    /// sliced into `cluster.partitions` controller partitions, each
+    /// endpoint's host follows its own partition's version clock, and
+    /// TE intervals run through
+    /// [`run_partitioned_interval`](Self::run_partitioned_interval)
+    /// instead of [`run_controller_interval`](Self::run_controller_interval)
+    /// (the embedded single controller is left idle — do not mix the
+    /// two interval entry points on one system).
+    pub fn new_partitioned(
+        graph: Graph,
+        tunnels: TunnelTable,
+        catalog: EndpointCatalog,
+        config: SystemConfig,
+        cluster: ClusterConfig,
+    ) -> Self {
+        let mut sys = Self::new(graph, tunnels, catalog.clone(), config);
+        let cluster = ControllerCluster::new(
+            sys.graph.clone(),
+            sys.tunnels.clone(),
+            catalog,
+            sys.db.clone(),
+            cluster,
+        );
+        sys.cluster = Some(cluster);
+        sys.refresh_partition_map();
+        sys
+    }
+
+    /// The partitioned control plane, when built with
+    /// [`new_partitioned`](Self::new_partitioned).
+    pub fn cluster(&self) -> Option<&ControllerCluster> {
+        self.cluster.as_ref()
+    }
+
+    /// Mutable access to the partitioned control plane (for direct
+    /// fault injection in tests).
+    pub fn cluster_mut(&mut self) -> Option<&mut ControllerCluster> {
+        self.cluster.as_mut()
+    }
+
+    /// The partition owning an endpoint's host, in partitioned mode.
+    pub fn partition_of_endpoint(&self, ep: EndpointId) -> Option<u32> {
+        let cluster = self.cluster.as_ref()?;
+        Some(cluster.partition_of_endpoint(ep))
+    }
+
+    /// One cluster-wide TE interval: quota reconciliation, then every
+    /// live partition's solve+publish. Panics unless the system was
+    /// built with [`new_partitioned`](Self::new_partitioned).
+    pub fn run_partitioned_interval(
+        &mut self,
+        demands: &DemandSet,
+    ) -> Result<ClusterReport, ControllerError> {
+        self.cluster
+            .as_mut()
+            .expect("run_partitioned_interval needs new_partitioned")
+            .run_interval(demands)
+    }
+
+    /// Applies one tick of a controller-fault plan (retrying pending
+    /// heals first) and refreshes the host→partition map if a split
+    /// changed the slicing. Panics unless the system was built with
+    /// [`new_partitioned`](Self::new_partitioned).
+    pub fn apply_controller_tick(&mut self, plan: &ControllerFaultPlan, tick: u64) {
+        self.cluster
+            .as_mut()
+            .expect("apply_controller_tick needs new_partitioned")
+            .apply_tick(plan, tick);
+        if self.cluster.as_ref().unwrap().partition_count() as usize != self.partition_clocks.len()
+        {
+            self.refresh_partition_map();
+        }
+    }
+
+    /// Recomputes each host's owning partition and sizes the partition
+    /// clocks to the current slicing. Existing clocks are preserved —
+    /// a split only appends a fresh clock for the new slice. Public so
+    /// harnesses that drive [`Self::cluster_mut`] directly (rather than
+    /// through a fault plan) can re-sync after a split.
+    pub fn refresh_partition_map(&mut self) {
+        let cluster = self.cluster.as_ref().expect("partitioned mode");
+        self.partition_of_host = self
+            .hosts
+            .iter()
+            .map(|h| cluster.partition_of_endpoint(h.endpoint))
+            .collect();
+        self.partition_clocks.resize(
+            cluster.partition_count() as usize,
+            PartitionClock::default(),
+        );
     }
 
     /// The controller (for failure injection etc.).
@@ -287,6 +404,9 @@ impl MegaTeSystem {
     /// site-level/ECMP forwarding instead of steering on stale paths,
     /// and recovers (clearing degradation) on its next successful pull.
     pub fn pull_round(&mut self) -> PullRound {
+        if self.cluster.is_some() {
+            return self.pull_round_partitioned();
+        }
         self.pull_rounds += 1;
         let round = self.pull_rounds;
         let _span = megate_obs::span("controller.agents_pull");
@@ -394,6 +514,145 @@ impl MegaTeSystem {
             megate_obs::gauge("controller.config_staleness")
                 .set(target.saturating_sub(min_installed) as i64);
         }
+        out
+    }
+
+    /// The partitioned twin of [`pull_round`](Self::pull_round): each
+    /// host follows its *own partition's* version clock. Two extra
+    /// behaviors fall out of per-partition publishing:
+    ///
+    /// * **Partition stall aging.** A healthy controller bumps its
+    ///   version every interval, so a wire that stops advancing means
+    ///   the publisher is dead (or missed its publish). Hosts of a
+    ///   stalled partition age their staleness clocks even when they
+    ///   sit at the last published version — riding the same stale-TTL
+    ///   → ECMP ladder a database outage triggers — and recover on the
+    ///   first post-heal publish.
+    /// * **Degraded hosts don't re-pull stale state.** While the
+    ///   partition is stalled, a degraded host skips pulling: a
+    ///   successful pull would reinstall the dead controller's paths
+    ///   and clear degradation, only for the stall clock to re-degrade
+    ///   it next round (flapping).
+    fn pull_round_partitioned(&mut self) -> PullRound {
+        self.pull_rounds += 1;
+        let round = self.pull_rounds;
+        let _span = megate_obs::span("controller.agents_pull");
+        let policy = self.config.pull;
+        let retries_counter = megate_obs::counter("agent.retries");
+        let mut out = PullRound::default();
+        if self
+            .cluster
+            .as_ref()
+            .expect("partitioned mode")
+            .partition_count() as usize
+            != self.partition_clocks.len()
+        {
+            self.refresh_partition_map();
+        }
+
+        // Poll every partition's version wire under its own retry
+        // budget; a wire that fails to advance (unreadable, or same
+        // version re-observed) ages that partition's stall clock.
+        let mut targets: Vec<Option<(u64, bool)>> = Vec::with_capacity(self.partition_clocks.len());
+        for (p, clock) in self.partition_clocks.iter_mut().enumerate() {
+            let mut budget = policy.deadline_ns;
+            let mut polled = None;
+            for attempt in 0..policy.max_attempts {
+                if attempt > 0 {
+                    let delay = policy
+                        .backoff
+                        .delay_ns(attempt - 1, policy.seed ^ round ^ ((p as u64) << 48));
+                    if delay > budget {
+                        break;
+                    }
+                    budget -= delay;
+                    out.retries += 1;
+                    retries_counter.inc();
+                }
+                match self.db.latest_partition_version_checked(p as u32) {
+                    Ok(v) => {
+                        polled = v;
+                        break;
+                    }
+                    Err(_) => continue,
+                }
+            }
+            match polled {
+                Some(v) if v > clock.last_target => {
+                    clock.last_target = v;
+                    clock.stall = 0;
+                }
+                // Nothing new on a wire that has published before: the
+                // partition's controller went silent (crash or missed
+                // publish) or the wire is unreadable — age the slice.
+                _ if clock.last_target > 0 => clock.stall += 1,
+                _ => {}
+            }
+            targets.push((clock.last_target > 0).then_some((clock.last_target, clock.stall > 0)));
+        }
+        out.target = targets.iter().flatten().map(|&(t, _)| t).max();
+
+        let mut max_lag = 0u64;
+        for (host, &p) in self.hosts.iter_mut().zip(&self.partition_of_host) {
+            let Some((target, stalled)) = targets[p as usize] else {
+                continue; // nothing ever published for this slice
+            };
+            let local = host.agent.config_version();
+            if local < target && !(stalled && host.agent.is_degraded()) {
+                let seed = policy.seed ^ host.endpoint.0.wrapping_mul(0x9E37) ^ (round << 24);
+                let mut budget = policy.deadline_ns;
+                let mut advanced = false;
+                for attempt in 0..policy.max_attempts {
+                    if attempt > 0 {
+                        let delay = policy.backoff.delay_ns(attempt - 1, seed);
+                        if delay > budget {
+                            break;
+                        }
+                        budget -= delay;
+                        out.retries += 1;
+                        retries_counter.inc();
+                    }
+                    let local = host.agent.config_version();
+                    let (ok, injected_ns) = Self::pull_host(&self.db, host, local, target);
+                    budget = budget.saturating_sub(injected_ns);
+                    if ok {
+                        advanced = true;
+                    }
+                    if host.agent.config_version() >= target || budget == 0 {
+                        break;
+                    }
+                }
+                if advanced {
+                    out.updated += 1;
+                }
+            }
+            if host.agent.config_version() >= target && !stalled {
+                if host.periods_behind > 0 {
+                    megate_obs::histogram("agent.reconverge_periods").record(host.periods_behind);
+                }
+                host.periods_behind = 0;
+            } else {
+                // Behind the published version, or the publisher itself
+                // went silent: the staleness clock ticks either way.
+                host.periods_behind += 1;
+                out.stale += 1;
+                if host.periods_behind > policy.stale_ttl_periods && !host.agent.is_degraded() {
+                    trace::record(
+                        trace::Stage::Degrade,
+                        host.agent.config_version(),
+                        host.endpoint.0,
+                        host.periods_behind,
+                    );
+                    host.agent.degrade();
+                }
+            }
+            if host.agent.is_degraded() {
+                out.degraded += 1;
+            }
+            max_lag = max_lag.max(target.saturating_sub(host.agent.config_version()));
+        }
+        megate_obs::gauge("agent.degraded_endpoints").set(out.degraded as i64);
+        megate_obs::gauge("controller.config_staleness").set(max_lag as i64);
         out
     }
 
@@ -780,6 +1039,99 @@ mod tests {
         demands.scale_to_load(&g, 0.4);
         let sys = MegaTeSystem::new(g, tunnels, catalog, SystemConfig::default());
         (sys, demands)
+    }
+
+    fn partitioned_system(parts: u32) -> (MegaTeSystem, DemandSet) {
+        let g = b4();
+        let tunnels = TunnelTable::for_all_pairs(&g, 3);
+        let catalog = EndpointCatalog::generate(&g, 120, WeibullEndpoints::with_scale(10.0), 2);
+        let mut demands = DemandSet::generate(
+            &g,
+            &catalog,
+            &TrafficConfig {
+                endpoint_pairs: 80,
+                site_pairs: 15,
+                ..Default::default()
+            },
+        );
+        demands.scale_to_load(&g, 0.4);
+        let sys = MegaTeSystem::new_partitioned(
+            g,
+            tunnels,
+            catalog,
+            SystemConfig::default(),
+            ClusterConfig {
+                partitions: parts,
+                controller: ControllerConfig {
+                    qos_sequential: true,
+                    snapshot_every: 2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        (sys, demands)
+    }
+
+    #[test]
+    fn partitioned_full_cycle_converges_per_partition() {
+        let (mut sys, demands) = partitioned_system(2);
+        sys.bring_up(&demands).unwrap();
+        let report = sys.run_partitioned_interval(&demands).unwrap();
+        assert_eq!(report.live, 2);
+        assert_eq!(report.reports.len(), 2);
+        let round = sys.pull_round();
+        assert!(
+            round.updated > 0,
+            "agents must pull their partition's version"
+        );
+        assert_eq!(round.stale, 0, "healthy cluster converges in one round");
+        let traffic = sys.send_demand_packets(&demands);
+        assert!(traffic.delivered > 0);
+        assert!(traffic.sr_labelled > 0, "partitioned config still steers");
+    }
+
+    #[test]
+    fn dead_partitions_agents_degrade_then_reconverge_after_heal() {
+        let (mut sys, demands) = partitioned_system(2);
+        sys.bring_up(&demands).unwrap();
+        sys.run_partitioned_interval(&demands).unwrap();
+        sys.pull_round();
+        sys.cluster_mut().unwrap().crash(1);
+        let ttl = sys.config.pull.stale_ttl_periods;
+        for _ in 0..ttl + 2 {
+            sys.run_partitioned_interval(&demands).unwrap();
+            sys.pull_round();
+        }
+        assert!(sys.degraded_count() > 0, "the dead slice must degrade");
+        for (idx, &(_, degraded)) in sys.host_health().iter().enumerate() {
+            let ep = sys.endpoint_of_host(idx).unwrap();
+            let p = sys.partition_of_endpoint(ep).unwrap();
+            assert_eq!(
+                degraded,
+                p == 1,
+                "exactly the dead partition's agents ride the ECMP ladder (host {idx})"
+            );
+        }
+        // ECMP still delivers the degraded slice's traffic.
+        let traffic = sys.send_demand_packets(&demands);
+        assert_eq!(traffic.delivered + traffic.dropped, demands.len());
+        assert!(traffic.delivered > 0);
+
+        assert!(sys.cluster_mut().unwrap().heal(1));
+        let mut rounds = 0;
+        loop {
+            sys.run_partitioned_interval(&demands).unwrap();
+            let round = sys.pull_round();
+            rounds += 1;
+            if round.stale == 0 && round.degraded == 0 {
+                break;
+            }
+            assert!(
+                rounds < 2,
+                "must reconverge within two sync periods of the heal"
+            );
+        }
     }
 
     #[test]

@@ -98,11 +98,21 @@ pub enum Stage {
     /// An `obs::span` closed. `entity` = interned span-path id,
     /// `arg` = elapsed ns.
     SpanExit = 14,
+    /// A partition's controller crashed (stops publishing). `entity` =
+    /// partition id, `version` = its last published version.
+    CtlCrash = 15,
+    /// A partition's controller restarted. `entity` = partition id,
+    /// `arg` = 1 when it rebuilt warm state from the TE-DB, 0 when it
+    /// came back cold.
+    CtlRestart = 16,
+    /// A cross-partition reconciliation pass ran. `entity` = partition
+    /// id, `arg` = number of border links whose quota was adjusted.
+    Reconcile = 17,
 }
 
 impl Stage {
     /// Every stage, in causal order.
-    pub const ALL: [Stage; 15] = [
+    pub const ALL: [Stage; 18] = [
         Stage::SolveStart,
         Stage::SolveEnd,
         Stage::Encode,
@@ -118,6 +128,9 @@ impl Stage {
         Stage::Degrade,
         Stage::SpanEnter,
         Stage::SpanExit,
+        Stage::CtlCrash,
+        Stage::CtlRestart,
+        Stage::Reconcile,
     ];
 
     /// Dot-separated stable name (`trace.<stage>` in dumps/exports).
@@ -138,6 +151,9 @@ impl Stage {
             Stage::Degrade => "degrade",
             Stage::SpanEnter => "span.enter",
             Stage::SpanExit => "span.exit",
+            Stage::CtlCrash => "ctl.crash",
+            Stage::CtlRestart => "ctl.restart",
+            Stage::Reconcile => "reconcile",
         }
     }
 

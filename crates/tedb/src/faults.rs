@@ -356,6 +356,44 @@ mod tests {
         }
     }
 
+    /// FNV-1a over the plan's Debug form — a cheap structural
+    /// fingerprint for the pin test below.
+    fn plan_fingerprint(spec: &FaultSpec, shards: usize) -> u64 {
+        let plan = FaultPlan::generate(spec, shards);
+        let text = format!("{plan:?}");
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Seed-stability pin: the per-(tick, shard, kind) splitmix64
+    /// streams behind `FaultPlan::generate` are part of the repo's
+    /// reproducibility contract — chaos failures are filed by seed, and
+    /// the controller-fault layer added later draws from its *own*
+    /// salted streams precisely so these fingerprints never move. If
+    /// this test fails, generation changed byte-for-byte and every
+    /// recorded chaos seed is invalidated: revert, don't repin.
+    #[test]
+    fn generate_output_is_pinned_for_historical_seeds() {
+        let expected: [(u64, usize, u64); 4] = [
+            (1, 4, 0x42893675548bbbf3),
+            (7, 4, 0x9b1b0d4158655431),
+            (42, 2, 0x10dcc2a39b78d292),
+            (9001, 6, 0x9b78248718113f79),
+        ];
+        for (seed, shards, want) in expected {
+            let got = plan_fingerprint(&spec(seed), shards);
+            assert_eq!(
+                got, want,
+                "FaultPlan::generate(seed {seed}, {shards} shards) drifted: \
+                 fingerprint {got:#018x}, pinned {want:#018x}"
+            );
+        }
+    }
+
     proptest! {
         #[test]
         fn plans_are_deterministic_per_seed(seed in 0u64..10_000, shards in 1usize..6) {

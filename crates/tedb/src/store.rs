@@ -55,6 +55,10 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Key under which the current TE configuration version is stored.
+///
+/// This is partition 0's version record; partitioned control planes
+/// publish additional per-partition records under
+/// `te:config:version:p<N>` (see [`TeKey::Version`]).
 pub const CONFIG_VERSION_KEY: &str = "te:config:version";
 
 /// Queries per second one shard sustains (paper: 160k qps on 2 shards).
@@ -66,8 +70,15 @@ pub const SHARD_QPS_CAPACITY: u64 = 80_000;
 /// `megate-core` maps them from `EndpointId`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TeKey {
-    /// The global configuration version record (8-byte big-endian u64).
-    Version,
+    /// A partition's configuration version record (8-byte big-endian
+    /// u64). Partition 0 is the legacy single-controller record and
+    /// keeps the historical wire form [`CONFIG_VERSION_KEY`]; a
+    /// partitioned control plane gives each controller its own version
+    /// clock under `te:config:version:p<N>`.
+    Version {
+        /// The controller partition owning this version clock.
+        partition: u32,
+    },
     /// An endpoint's latest full snapshot: `u64 stamp | snapshot body`,
     /// where `stamp` is the version whose state the body reflects.
     Snapshot {
@@ -94,7 +105,8 @@ impl TeKey {
     /// The wire (string) form the shards hash and store.
     pub fn wire(&self) -> String {
         match self {
-            TeKey::Version => CONFIG_VERSION_KEY.to_string(),
+            TeKey::Version { partition: 0 } => CONFIG_VERSION_KEY.to_string(),
+            TeKey::Version { partition } => format!("{CONFIG_VERSION_KEY}:p{partition}"),
             TeKey::Snapshot { endpoint } => format!("te:snap:{endpoint}"),
             TeKey::Delta { endpoint, version } => format!("te:delta:{endpoint}:{version}"),
             TeKey::Changelog { endpoint } => format!("te:log:{endpoint}"),
@@ -245,6 +257,13 @@ pub struct TeDatabase {
     /// (`tedb.wire_bytes`), so bench snapshots see DB traffic without
     /// holding a database handle.
     wire_bytes: megate_obs::Counter,
+    /// Which controller partition this handle's traffic is attributed
+    /// to (see [`for_partition`](Self::for_partition)); default 0.
+    account_partition: u32,
+    /// Per-partition mirror of the wire-byte accounting
+    /// (`tedb.partition<N>.bytes`) — how much DB traffic each
+    /// controller partition generated through its own handles.
+    partition_bytes: megate_obs::Counter,
     /// Reads served by a replica because the primary was unreachable.
     failover_reads: megate_obs::Counter,
     /// Keys copied back onto a shard by post-recovery repair passes.
@@ -277,9 +296,28 @@ impl TeDatabase {
             write_seq: Arc::new(AtomicU64::new(1)),
             fault_seed: Arc::new(AtomicU64::new(0)),
             wire_bytes: megate_obs::counter("tedb.wire_bytes"),
+            account_partition: 0,
+            partition_bytes: megate_obs::counter("tedb.partition0.bytes"),
             failover_reads: megate_obs::counter("tedb.failover_reads"),
             repaired_keys: megate_obs::counter("tedb.repaired_keys"),
         }
+    }
+
+    /// A clone of this handle whose wire traffic is additionally
+    /// attributed to `tedb.partition<N>.bytes` — a partitioned control
+    /// plane hands each controller (and each partition's pull loop) its
+    /// own accounting handle so per-partition DB load is measurable.
+    /// Storage is shared with the parent, like any clone.
+    pub fn for_partition(&self, partition: u32) -> TeDatabase {
+        let mut db = self.clone();
+        db.account_partition = partition;
+        db.partition_bytes = megate_obs::counter(&format!("tedb.partition{partition}.bytes"));
+        db
+    }
+
+    /// The partition this handle attributes its traffic to.
+    pub fn account_partition(&self) -> u32 {
+        self.account_partition
     }
 
     /// Subscribes to configuration-version publications — the *push*
@@ -343,6 +381,7 @@ impl TeDatabase {
             s.bytes
                 .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
             self.wire_bytes.add((key.len() + value.len()) as u64);
+            self.partition_bytes.add((key.len() + value.len()) as u64);
             if s.is_down() {
                 continue;
             }
@@ -398,6 +437,7 @@ impl TeDatabase {
                 // Failed connection: the key still crossed the wire.
                 s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
                 self.wire_bytes.add(key.len() as u64);
+                self.partition_bytes.add(key.len() as u64);
                 continue;
             }
             let loss = s.loss_ppm.load(Ordering::Relaxed);
@@ -406,6 +446,7 @@ impl TeDatabase {
                 // brief outage to the client.
                 s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
                 self.wire_bytes.add(key.len() as u64);
+                self.partition_bytes.add(key.len() as u64);
                 continue;
             }
             let mut hit = s.data.read().get(key).map(|st| st.value.clone());
@@ -425,6 +466,7 @@ impl TeDatabase {
             s.bytes
                 .fetch_add((key.len() + response) as u64, Ordering::Relaxed);
             self.wire_bytes.add((key.len() + response) as u64);
+            self.partition_bytes.add((key.len() + response) as u64);
             s.latency.record_elapsed(t);
             if attempt > 0 {
                 self.failover_reads.inc();
@@ -495,14 +537,25 @@ impl TeDatabase {
     /// Bumps the version record *after* all of the version's entries
     /// were written (write-then-publish ordering, §3.2) and pushes the
     /// new version to persistent watchers (§8 hybrid); disconnected
-    /// channels are pruned here.
+    /// channels are pruned here. Equivalent to
+    /// [`publish_partition_version`](Self::publish_partition_version)
+    /// on partition 0 (the single-controller clock).
     pub fn publish_version(&self, version: u64) {
-        let wire = TeKey::Version.wire();
+        self.publish_partition_version(0, version);
+    }
+
+    /// Bumps one controller partition's version record. Partition 0 is
+    /// the legacy record under [`CONFIG_VERSION_KEY`]; other partitions
+    /// get their own key so independent controllers never contend on
+    /// one clock. Watchers receive every publish regardless of
+    /// partition (the §8 hybrid push is deployed single-partition).
+    pub fn publish_partition_version(&self, partition: u32, version: u64) {
+        let wire = TeKey::Version { partition }.wire();
         trace::record(
             trace::Stage::VersionBump,
             version,
             self.shard_of(&wire) as u64,
-            0,
+            partition as u64,
         );
         self.set(&wire, version.to_be_bytes().to_vec());
         self.watchers.lock().retain(|w| w.send(version).is_ok());
@@ -693,6 +746,7 @@ impl TeDatabase {
             s.queries.fetch_add(1, Ordering::Relaxed);
             s.bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
             self.wire_bytes.add(key.len() as u64);
+            self.partition_bytes.add(key.len() as u64);
             if s.is_down() {
                 continue;
             }
@@ -760,9 +814,9 @@ impl TeDatabase {
     }
 
     /// The latest published configuration version (the endpoint's cheap
-    /// poll query).
+    /// poll query). Partition 0's clock.
     pub fn latest_version(&self) -> Option<u64> {
-        let v = self.fetch(&TeKey::Version)?;
+        let v = self.fetch(&TeKey::Version { partition: 0 })?;
         let bytes: [u8; 8] = v.try_into().ok()?;
         Some(u64::from_be_bytes(bytes))
     }
@@ -772,7 +826,16 @@ impl TeDatabase {
     /// a resilient poll loop retries the latter instead of concluding
     /// nothing was published.
     pub fn latest_version_checked(&self) -> Result<Option<u64>, ShardOutage> {
-        let outcome = self.fetch_outcome(&TeKey::Version)?;
+        self.latest_partition_version_checked(0)
+    }
+
+    /// One partition's version clock, with the same outage/corruption
+    /// discrimination as [`latest_version_checked`](Self::latest_version_checked).
+    pub fn latest_partition_version_checked(
+        &self,
+        partition: u32,
+    ) -> Result<Option<u64>, ShardOutage> {
+        let outcome = self.fetch_outcome(&TeKey::Version { partition })?;
         if outcome.corrupted {
             return Err(ShardOutage {
                 shard: outcome.served_by,
@@ -905,7 +968,9 @@ mod tests {
     #[test]
     fn typed_keys_have_distinct_wires() {
         let keys = [
-            TeKey::Version,
+            TeKey::Version { partition: 0 },
+            TeKey::Version { partition: 1 },
+            TeKey::Version { partition: 12 },
             TeKey::Snapshot { endpoint: 7 },
             TeKey::Delta {
                 endpoint: 7,
@@ -923,6 +988,40 @@ mod tests {
         ];
         let wires: std::collections::HashSet<String> = keys.iter().map(TeKey::wire).collect();
         assert_eq!(wires.len(), keys.len());
+    }
+
+    #[test]
+    fn partition_zero_keeps_the_legacy_version_wire() {
+        assert_eq!(TeKey::Version { partition: 0 }.wire(), CONFIG_VERSION_KEY);
+        assert_eq!(
+            TeKey::Version { partition: 3 }.wire(),
+            "te:config:version:p3"
+        );
+    }
+
+    #[test]
+    fn partition_version_clocks_are_independent() {
+        let db = TeDatabase::new(2);
+        db.publish_partition_version(0, 5);
+        db.publish_partition_version(1, 9);
+        assert_eq!(db.latest_version(), Some(5));
+        assert_eq!(db.latest_partition_version_checked(0), Ok(Some(5)));
+        assert_eq!(db.latest_partition_version_checked(1), Ok(Some(9)));
+        assert_eq!(db.latest_partition_version_checked(2), Ok(None));
+    }
+
+    #[test]
+    fn partition_handles_attribute_wire_bytes() {
+        let db = TeDatabase::new(1);
+        let h1 = db.for_partition(1);
+        assert_eq!(h1.account_partition(), 1);
+        let before = megate_obs::counter("tedb.partition1.bytes").get();
+        h1.set("ab", vec![0; 10]); // 2 + 10
+        h1.get("ab"); // 2 + 10
+        let after = megate_obs::counter("tedb.partition1.bytes").get();
+        assert_eq!(after - before, 24);
+        // Storage is shared with the parent handle.
+        assert_eq!(db.get("ab"), Some(vec![0; 10]));
     }
 
     #[test]

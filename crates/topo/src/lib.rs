@@ -19,13 +19,16 @@
 //!   `B4*`, `Deltacom*`, `Cogentco*`, and a synthetic `TWAN`;
 //! * [`endpoints`] — Weibull-distributed endpoint attachment reproducing
 //!   Figure 8;
-//! * [`failures`] — link-failure scenarios used by §6.3.
+//! * [`failures`] — link-failure scenarios used by §6.3;
+//! * [`partition`] — Concord-style balanced edge-cut slicing of the site
+//!   graph into contiguous controller partitions with seeded tie-breaks.
 
 pub mod endpoints;
 pub mod export;
 pub mod failures;
 pub mod generators;
 pub mod graph;
+pub mod partition;
 pub mod paths;
 pub mod stats;
 pub mod topologies;
@@ -36,6 +39,7 @@ pub use export::{to_dot, DotOptions};
 pub use failures::FailureScenario;
 pub use generators::{grid, line, ring, star};
 pub use graph::{Graph, Link, LinkId, Site, SiteId};
+pub use partition::{PartitionId, Partitioning};
 pub use paths::{dijkstra, k_shortest_paths, yen_k_shortest, Path};
 pub use stats::{degree_histogram, topology_stats, TopologyStats};
 pub use topologies::{b4, cogentco, deltacom, twan, TopologySpec};

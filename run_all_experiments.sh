@@ -34,6 +34,7 @@ Figure binary -> output mapping (all JSON lands in results/):
   fig_solver_scale   results/fig_solver_scale.json   flat stage-3 endpoints x threads sweep (+ BENCH_solver_scale.json)
   fig_incremental    results/fig_incremental.json    warm-started dirty-set solves vs cold (+ BENCH_incremental.json)
   fig_propagation    results/fig_propagation.json    solve-to-install latency per delivery path (+ BENCH_propagation.json)
+  fig_partition      results/fig_partition.json      partitioned controllers under chaos vs the single-controller twin (+ BENCH_partition.json)
   ablations          results/ablations.json          component ablations
   ext_hybrid_sync    results/ext_hybrid_sync.json    §8 hybrid sync extension
   ext_prediction     results/ext_prediction.json     §8 demand-prediction extension
@@ -52,6 +53,9 @@ if [[ "$SCALE" == "--quick" ]]; then
   cargo test -q -p megate-obs
   cargo test -q --test observability
   cargo test -q --test chaos
+  # Partitioned-controller chaos: no double-booked links, dead slices
+  # ride the DB-outage ladder, per-seed determinism.
+  cargo test -q --test partition
   # Batched fast path must keep accounting bitwise-identical before its
   # throughput figure means anything.
   cargo test -q --test dataplane_batch
@@ -65,12 +69,14 @@ if [[ "$SCALE" == "--quick" ]]; then
   cargo run -q -p megate-bench --release --bin fig_solver_scale -- --scale quick
   cargo run -q -p megate-bench --release --bin fig_incremental -- --scale quick
   cargo run -q -p megate-bench --release --bin fig_propagation -- --scale quick
+  cargo run -q -p megate-bench --release --bin fig_partition -- --scale quick
   # Perf drift vs the committed baselines/ — informational only.
   ./scripts/bench_diff || true
   echo "================================================================"
   echo "Smoke run done. JSON in results/ (incl. BENCH_fig09.json,"
   echo "BENCH_resilience.json, BENCH_dataplane.json, BENCH_solver_scale.json,"
-  echo "BENCH_incremental.json and BENCH_propagation.json metrics)."
+  echo "BENCH_incremental.json, BENCH_propagation.json and BENCH_partition.json"
+  echo "metrics)."
   exit 0
 fi
 
@@ -85,7 +91,7 @@ BINS=(
   fig13_connections fig14_sync_scale
   fig15_app_latency fig16_availability fig17_cost
   fig_resilience fig_dataplane fig_solver_scale fig_incremental
-  fig_propagation
+  fig_propagation fig_partition
   ablations ext_hybrid_sync ext_prediction
 )
 cargo build -p megate-bench --release --bins

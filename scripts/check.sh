@@ -14,6 +14,10 @@ cargo test -q -p megate-obs --features disabled
 # The chaos harness: seeded fault storms against the full control loop
 # (bounded staleness, zero blackholing, replayable by seed).
 cargo test -q --test chaos
+# The partitioned-controller chaos harness: controller crashes, restarts
+# mid-solve, missed publishes and splits layered on database faults
+# (no double-booked links, the DB-outage ladder for dead slices).
+cargo test -q --test partition
 # The batched fast-path equivalence gate: batched multi-core accounting
 # must stay bitwise-identical to the frame-at-a-time chain.
 cargo test -q --test dataplane_batch
@@ -32,8 +36,13 @@ cargo run -q -p megate-bench --release --bin fig_incremental -- --scale quick
 # A reduced fig_propagation run: all three delivery paths must record
 # solve-to-install latencies with p99 inside one 10 s sync period.
 cargo run -q -p megate-bench --release --bin fig_propagation -- --scale quick
+# A reduced fig_partition run: partitioned controllers under control-plane
+# chaos must keep zero blackholing, no double-booked links and <=2%
+# satisfied-demand loss vs the single-controller twin.
+cargo run -q -p megate-bench --release --bin fig_partition -- --scale quick
 # Perf drift report vs the committed baselines — informational, never
-# a gate failure (timing jitter is machine-dependent).
+# a gate failure here (timing jitter is machine-dependent); pass
+# `--strict PCT` when a hard perf gate is wanted.
 ./scripts/bench_diff || true
 cargo clippy --workspace -- -D warnings
 # Rustdoc is part of the deliverable: broken intra-doc links or missing

@@ -256,6 +256,116 @@ fn end_to_end_cycle_populates_every_layer() {
     assert!(chrome.contains("\"ph\":\"B\"") && chrome.contains("\"name\":\"install\""));
 }
 
+/// One partitioned control-plane cycle with every fault flavor — the
+/// cluster's own series (DESIGN.md §5h) must all be present, and the
+/// ones the faults touched must have moved.
+#[test]
+fn partitioned_cycle_populates_cluster_series() {
+    let _g = obs_lock();
+    megate_obs::set_enabled(true);
+    let graph = megate_topo::b4();
+    let tunnels = TunnelTable::for_all_pairs(&graph, 3);
+    let catalog = EndpointCatalog::generate(&graph, 120, WeibullEndpoints::with_scale(10.0), 2);
+    let mut demands = DemandSet::generate(
+        &graph,
+        &catalog,
+        &TrafficConfig {
+            endpoint_pairs: 80,
+            site_pairs: 15,
+            ..Default::default()
+        },
+    );
+    demands.scale_to_load(&graph, 0.4);
+    let cluster = ClusterConfig {
+        partitions: 2,
+        controller: ControllerConfig {
+            qos_sequential: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut sys =
+        MegaTeSystem::new_partitioned(graph, tunnels, catalog, SystemConfig::default(), cluster);
+    sys.bring_up(&demands).unwrap();
+    let before = megate_obs::global().snapshot();
+    sys.run_partitioned_interval(&demands).unwrap();
+    sys.pull_round();
+    // Exercise every controller-fault flavor once.
+    sys.cluster_mut().unwrap().miss_publish(1);
+    sys.run_partitioned_interval(&demands).unwrap();
+    sys.cluster_mut().unwrap().crash(1);
+    sys.run_partitioned_interval(&demands).unwrap();
+    assert!(sys.cluster_mut().unwrap().heal(1));
+    sys.cluster_mut().unwrap().restart_mid_solve(1);
+    sys.run_partitioned_interval(&demands).unwrap();
+    let split_seed = 0xfeed;
+    assert!(sys.cluster_mut().unwrap().split(1, split_seed).is_some());
+    sys.refresh_partition_map();
+    sys.run_partitioned_interval(&demands).unwrap();
+    sys.pull_round();
+    let snap = megate_obs::global().snapshot();
+
+    // Counters: registered up front, and each moved under its fault.
+    for ctr in [
+        "controller.partition.crashes",
+        "controller.partition.restarts",
+        "controller.partition.missed_publishes",
+        "controller.partition.splits",
+        "controller.partition.reconciles",
+    ] {
+        let delta = snap.counters.get(ctr).copied().unwrap_or(0)
+            - before.counters.get(ctr).copied().unwrap_or(0);
+        assert!(delta > 0, "cluster counter {ctr} must move under its fault");
+    }
+    // Withdrawals only fire on a genuinely over-booked link; register-only.
+    assert!(
+        snap.counters
+            .contains_key("controller.partition.withdrawals"),
+        "withdrawal counter must be registered up front"
+    );
+
+    // Gauges reflect the post-split cluster shape.
+    assert_eq!(
+        snap.gauges.get("controller.partition.count").copied(),
+        Some(3),
+        "the split grew the cluster to three partitions"
+    );
+    assert_eq!(
+        snap.gauges.get("controller.partition.live").copied(),
+        Some(3),
+        "every controller is up at the end"
+    );
+    assert!(
+        snap.gauges
+            .get("controller.partition.border_links")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "a 3-way slice of B4 has border links"
+    );
+
+    // Per-partition DB attribution: each partition's controller writes
+    // through its own `for_partition` handle.
+    for p in 0..2u32 {
+        let name = format!("tedb.partition{p}.bytes");
+        assert!(
+            snap.counters.get(&name).copied().unwrap_or(0) > 0,
+            "{name} must attribute that partition's publish traffic"
+        );
+    }
+
+    // The flight recorder holds the control-plane lifecycle.
+    use megate_obs::trace::Stage;
+    let events = megate_obs::trace::snapshot();
+    for stage in [Stage::CtlCrash, Stage::CtlRestart, Stage::Reconcile] {
+        assert!(
+            events.iter().any(|e| e.stage == stage),
+            "partitioned cycle must record a {} event",
+            stage.name()
+        );
+    }
+}
+
 #[test]
 fn expositions_round_trip_after_real_traffic() {
     let _g = obs_lock();
