@@ -1,0 +1,242 @@
+//! Service figure — agent fan-out over real sockets.
+//!
+//! Every other figure drives the control loop in-process; this one
+//! pays for the wire. A TE-DB server ([`megate_net::server::Server`])
+//! listens on localhost TCP, a [`SimPublisher`] plays the controller
+//! (§3.2 publish ordering: deltas + changelog first, snapshots on
+//! cadence, partition version last), and a fleet of async agents
+//! pulls through the length-prefixed binary protocol over a pool of
+//! multiplexed connections.
+//!
+//! Per cell the harness runs one cold round (every agent bootstraps
+//! from nothing — the worst-case fan-out) and several steady churn
+//! rounds, and reports:
+//!
+//! * **pull latency** — each agent's own pull start → config install,
+//!   wall-clock (so server-side queueing and transport time are in);
+//!   the acceptance bar is p99 inside one 10 s sync period;
+//! * **connection concurrency** — pooled conns vs accepted sockets;
+//! * **fan-out bytes** — controller-side egress per agent per round.
+//!
+//! Fleet sizes run 1k–10k under `--scale quick` and 10k–1M under
+//! `--scale full`; pulls are dispatched in bounded cohorts so a
+//! million agents never need a million in-flight tasks.
+
+use megate::resilience::PullPolicy;
+use megate_bench::{print_table, scale_from_args, write_json, Scale};
+use megate_net::agent::Agent;
+use megate_net::publish::SimPublisher;
+use megate_net::server::{Server, ServerState};
+use megate_net::{Endpoint, Executor, NetClient};
+use megate_tedb::TeDatabase;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One sync period (10 s) in nanoseconds — the p99 acceptance bar.
+const SYNC_PERIOD_NS: u64 = 10_000_000_000;
+
+/// In-flight pulls per cohort wave: bounds task memory and keeps the
+/// single-core reactor's run queue sane at million-agent scale.
+const COHORT: usize = 2_048;
+
+/// Steady-state churn per round (ppm of endpoints republished).
+const CHURN_PPM: u32 = 20_000;
+
+#[derive(Serialize)]
+struct ServiceRow {
+    agents: usize,
+    conns: usize,
+    rounds: usize,
+    pulls: u64,
+    refreshed: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    cold_round_s: f64,
+    steady_round_s: f64,
+    fanout_bytes: u64,
+    bytes_per_agent_round: u64,
+    accepted_conns: u64,
+    requests: u64,
+}
+
+/// Runs every agent's pull for one sync period, in bounded cohorts.
+/// Returns (refreshed count, per-pull latencies ns).
+fn pull_all(
+    exec: &Executor,
+    client: &Arc<NetClient>,
+    fleet: &[Arc<Mutex<Option<Agent>>>],
+    latencies: &Arc<Mutex<Vec<u64>>>,
+) -> u64 {
+    let refreshed = Arc::new(AtomicU64::new(0));
+    for wave in fleet.chunks(COHORT) {
+        let done = Arc::new(AtomicU64::new(0));
+        for slot in wave {
+            let slot = slot.clone();
+            let client = client.clone();
+            let (refreshed, latencies, done) = (refreshed.clone(), latencies.clone(), done.clone());
+            exec.spawn(async move {
+                let Some(mut a) = slot.lock().unwrap().take() else {
+                    return;
+                };
+                let report = a.sync_period_pull(&client).await;
+                *slot.lock().unwrap() = Some(a);
+                if report.refreshed {
+                    refreshed.fetch_add(1, Ordering::Relaxed);
+                    latencies
+                        .lock()
+                        .unwrap()
+                        .push(report.elapsed.as_nanos() as u64);
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        while (done.load(Ordering::Relaxed) as usize) < wave.len() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    refreshed.load(Ordering::Relaxed)
+}
+
+fn run_cell(agents: usize, conns: usize, steady_rounds: usize) -> ServiceRow {
+    let exec = Executor::new(3);
+    let db = TeDatabase::with_replication(8, 2);
+    let state = ServerState::new(db);
+    let server = Server::start(
+        state.clone(),
+        &Endpoint::Tcp("127.0.0.1:0".parse().unwrap()),
+        &exec,
+    )
+    .expect("bind service socket");
+    let client = NetClient::new(server.local().clone(), conns, exec.clone());
+
+    let fleet: Vec<Arc<Mutex<Option<Agent>>>> = (0..agents as u64)
+        .map(|e| Arc::new(Mutex::new(Some(Agent::new(e, 0, PullPolicy::default())))))
+        .collect();
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(agents * (steady_rounds + 1))));
+    let mut publisher = SimPublisher::new(agents as u64, 4, 0x5345_5256);
+
+    let accepted0 = megate_obs::counter("net.accepted_conns").get();
+    let requests0 = megate_obs::counter("net.requests").get();
+    let bytes0 = state.bytes_out();
+
+    // Cold round: everyone bootstraps from version 0 — the full
+    // fan-out a freshly restarted fleet would cost the controller.
+    publisher.publish_round(state.db(), CHURN_PPM);
+    let t0 = Instant::now();
+    let mut refreshed = pull_all(&exec, &client, &fleet, &latencies);
+    let cold_round_s = t0.elapsed().as_secs_f64();
+
+    // Steady rounds: version poll for the unchanged, delta catch-up
+    // for the churned.
+    let t1 = Instant::now();
+    for _ in 0..steady_rounds {
+        publisher.publish_round(state.db(), CHURN_PPM);
+        refreshed += pull_all(&exec, &client, &fleet, &latencies);
+    }
+    let steady_round_s = t1.elapsed().as_secs_f64() / steady_rounds.max(1) as f64;
+
+    let mut lat = std::mem::take(&mut *latencies.lock().unwrap());
+    lat.sort_unstable();
+    let q = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        lat[((lat.len() - 1) as f64 * p) as usize]
+    };
+    let (p50, p99, max) = (q(0.50), q(0.99), lat.last().copied().unwrap_or(0));
+    megate_obs::gauge("net.pull_p99").set(p99 as i64);
+
+    let fanout_bytes = state.bytes_out() - bytes0;
+    let pulls = (agents * (steady_rounds + 1)) as u64;
+    let row = ServiceRow {
+        agents,
+        conns,
+        rounds: steady_rounds + 1,
+        pulls,
+        refreshed,
+        p50_ms: p50 as f64 / 1e6,
+        p99_ms: p99 as f64 / 1e6,
+        max_ms: max as f64 / 1e6,
+        cold_round_s,
+        steady_round_s,
+        fanout_bytes,
+        bytes_per_agent_round: fanout_bytes / pulls.max(1),
+        accepted_conns: megate_obs::counter("net.accepted_conns").get() - accepted0,
+        requests: megate_obs::counter("net.requests").get() - requests0,
+    };
+    client.close();
+    state.shutdown();
+    row
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let (fleet_sizes, steady_rounds): (&[usize], usize) = match scale {
+        Scale::Quick => (&[1_000, 10_000], 2),
+        Scale::Full => (&[10_000, 100_000, 1_000_000], 2),
+    };
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &agents in fleet_sizes {
+        // Connection pool sized like a per-rack aggregator: ~1 conn
+        // per 256 agents, clamped to a sane range.
+        let conns = (agents / 256).clamp(8, 128);
+        let row = run_cell(agents, conns, steady_rounds);
+        // Clean service must refresh every pull — anything else means
+        // the wire path dropped agents the in-process loop would have
+        // served (blackholed bootstraps, lost responses).
+        assert_eq!(
+            row.refreshed,
+            row.pulls,
+            "{agents} agents: {} of {} pulls failed on a fault-free service",
+            row.pulls - row.refreshed,
+            row.pulls
+        );
+        // The acceptance bar: p99 pull latency inside one sync period.
+        assert!(
+            (row.p99_ms * 1e6) as u64 <= SYNC_PERIOD_NS,
+            "{agents} agents: p99 pull latency {:.1} ms exceeds one 10 s sync period",
+            row.p99_ms
+        );
+        rows.push(vec![
+            row.agents.to_string(),
+            row.conns.to_string(),
+            row.pulls.to_string(),
+            format!("{:.2}", row.p50_ms),
+            format!("{:.2}", row.p99_ms),
+            format!("{:.2}", row.max_ms),
+            format!("{:.2}", row.cold_round_s),
+            format!("{:.2}", row.steady_round_s),
+            row.bytes_per_agent_round.to_string(),
+            row.accepted_conns.to_string(),
+            row.requests.to_string(),
+        ]);
+        json.push(row);
+    }
+    print_table(
+        "Service: socket fan-out (p99 pull latency <= one 10 s sync period)",
+        &[
+            "agents",
+            "conns",
+            "pulls",
+            "p50 ms",
+            "p99 ms",
+            "max ms",
+            "cold s",
+            "steady s",
+            "B/agent·rnd",
+            "accepted",
+            "requests",
+        ],
+        &rows,
+    );
+    write_json("fig_service", &json);
+    match megate_obs::write_bench_snapshot("service") {
+        Ok(path) => println!("metrics snapshot: {}", path.display()),
+        Err(e) => println!("metrics snapshot skipped: {e}"),
+    }
+}

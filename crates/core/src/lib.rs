@@ -60,6 +60,8 @@
 //! println!("satisfied {:.1}%", 100.0 * alloc.satisfied_ratio(&problem));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cluster;
 pub mod config;
 pub mod controller;

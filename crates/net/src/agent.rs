@@ -1,0 +1,353 @@
+//! The endpoint agent as an async task: the §3.2 delta-aware pull
+//! ladder driven over real sockets.
+//!
+//! [`Agent`] holds one endpoint's installed state (version + path
+//! config) and runs one pull per 10 s sync period through a shared
+//! [`NetClient`]. The ladder is the same one the in-process harness
+//! runs — poll the partition version, read the changelog, catch up
+//! from deltas when the log is complete back to the installed version,
+//! otherwise fall back to snapshot-plus-replay, always
+//! fetch-then-apply — and it is budgeted by the same
+//! [`PullPolicy`]/`BackoffPolicy` ladder: jittered exponential
+//! backoff between attempts, a per-period deadline, and degradation to
+//! site-level/ECMP paths (config flushed) after
+//! `stale_ttl_periods` consecutive periods without a refresh.
+//!
+//! Two things change when the transport is real:
+//!
+//! * the deadline budget is charged with **wall-clock time** — injected
+//!   shard latency arrives as actual service delay, and transport
+//!   stalls (slow-loris) burn budget exactly like slow shards;
+//! * every network read is capped by the budget's remaining time via
+//!   [`timeout`], so a stalled response can cost at most the rest of
+//!   this period's budget, never block the agent across periods.
+
+use crate::client::NetClient;
+use crate::frame::{Request, Response};
+use crate::reactor::timeout;
+use megate::config::{decode_delta, decode_paths, EndpointConfig};
+use megate::resilience::PullPolicy;
+use megate_tedb::Changelog;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What one sync period's pull accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PullReport {
+    /// The agent holds a configuration no older than the published
+    /// version it observed (it advanced, or was already fresh).
+    pub refreshed: bool,
+    /// The agent advanced its installed version this period.
+    pub advanced: bool,
+    /// Network attempts spent (0 when the first try succeeded... 1-based).
+    pub attempts: u32,
+    /// Wall-clock time from pull start to outcome.
+    pub elapsed: Duration,
+    /// The refresh went through the snapshot fallback.
+    pub via_snapshot: bool,
+    /// The agent is degraded (ECMP) after this period.
+    pub degraded: bool,
+}
+
+/// One endpoint's agent: installed config state plus the pull policy
+/// driving its retry ladder.
+pub struct Agent {
+    /// This agent's endpoint id (the `TeKey` keyspace index).
+    pub endpoint: u64,
+    /// The controller partition whose version clock it polls.
+    pub partition: u32,
+    /// Retry/backoff/staleness policy.
+    pub policy: PullPolicy,
+    version: u64,
+    config: EndpointConfig,
+    periods_behind: u64,
+    degraded: bool,
+}
+
+/// A retryable pull failure (outage, corruption, transport error or
+/// budget-capped stall) — the ladder backs off and tries again.
+struct Retry;
+
+impl Agent {
+    /// A fresh agent with no installed configuration.
+    pub fn new(endpoint: u64, partition: u32, policy: PullPolicy) -> Self {
+        Self {
+            endpoint,
+            partition,
+            policy,
+            version: 0,
+            config: EndpointConfig::default(),
+            periods_behind: 0,
+            degraded: false,
+        }
+    }
+
+    /// The installed config version (0 = never configured).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The installed path configuration.
+    pub fn config(&self) -> &EndpointConfig {
+        &self.config
+    }
+
+    /// Whether the agent has degraded to site-level/ECMP forwarding.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Consecutive sync periods without a successful refresh.
+    pub fn periods_behind(&self) -> u64 {
+        self.periods_behind
+    }
+
+    /// Runs one sync period's pull: retry ladder within the period's
+    /// deadline budget, then staleness/degradation bookkeeping.
+    pub async fn sync_period_pull(&mut self, client: &Arc<NetClient>) -> PullReport {
+        let start = Instant::now();
+        let deadline = start + Duration::from_nanos(self.policy.deadline_ns);
+        let seed = self.policy.seed ^ self.endpoint.rotate_left(17);
+        let mut attempts = 0u32;
+        let mut outcome: Option<(bool, bool)> = None; // (advanced, via_snapshot)
+        while attempts < self.policy.max_attempts && Instant::now() < deadline {
+            attempts += 1;
+            match self.attempt_pull(client, deadline).await {
+                Ok(step) => {
+                    outcome = Some(step);
+                    break;
+                }
+                Err(Retry) => {
+                    let delay = self.policy.backoff.delay_ns(attempts - 1, seed);
+                    let now = Instant::now();
+                    if now + Duration::from_nanos(delay) >= deadline {
+                        break; // budget spent; next period
+                    }
+                    crate::reactor::Sleep::after(Duration::from_nanos(delay)).await;
+                }
+            }
+        }
+        let elapsed = start.elapsed();
+        let refreshed = outcome.is_some();
+        let (advanced, via_snapshot) = outcome.unwrap_or((false, false));
+        if refreshed {
+            self.periods_behind = 0;
+            if self.degraded {
+                megate_obs::counter("net.agent_recoveries").inc();
+                self.degraded = false;
+            }
+            megate_obs::histogram("net.pull_latency_ns").record(elapsed.as_nanos() as u64);
+        } else {
+            self.periods_behind += 1;
+            megate_obs::counter("net.pull_stale_periods").inc();
+            if self.periods_behind >= self.policy.stale_ttl_periods && !self.degraded {
+                // Stale past the TTL: stop steering on arbitrarily old
+                // paths, flush to ECMP until a fresh config lands. The
+                // version resets with the config (as the in-process
+                // host agent does) so recovery rebuilds from a
+                // snapshot rather than replaying deltas onto the
+                // flushed state.
+                self.degraded = true;
+                self.config = EndpointConfig::default();
+                self.version = 0;
+                megate_obs::counter("net.agent_degraded").inc();
+            }
+        }
+        PullReport {
+            refreshed,
+            advanced,
+            attempts,
+            elapsed,
+            via_snapshot,
+            degraded: self.degraded,
+        }
+    }
+
+    /// One attempt: version poll, then the catch-up ladder when the
+    /// published version is ahead. `Ok((advanced, via_snapshot))`.
+    async fn attempt_pull(
+        &mut self,
+        client: &Arc<NetClient>,
+        deadline: Instant,
+    ) -> Result<(bool, bool), Retry> {
+        let target = match self.read_version(client, deadline).await? {
+            Some(v) => v,
+            None => return Ok((false, false)), // nothing published yet
+        };
+        if target <= self.version {
+            return Ok((false, false)); // already fresh
+        }
+        self.ladder(client, target, deadline).await
+    }
+
+    /// The delta/snapshot catch-up ladder, mirroring the in-process
+    /// pull: fetch-then-apply, never adopt a version whose records
+    /// were unreadable, keep the working config on any failure.
+    async fn ladder(
+        &mut self,
+        client: &Arc<NetClient>,
+        target: u64,
+        deadline: Instant,
+    ) -> Result<(bool, bool), Retry> {
+        let endpoint = self.endpoint;
+        let local = self.version;
+        let log = match self
+            .read_record(client, Request::GetChangelog { endpoint }, deadline)
+            .await?
+        {
+            Some(raw) => Changelog::decode(&raw).ok_or(Retry)?,
+            None => {
+                // Never configured: adopt the version with no paths.
+                self.version = target;
+                return Ok((true, false));
+            }
+        };
+
+        // Incremental path: the log is complete for everything after
+        // `complete_since`, so an agent at least that fresh catches up
+        // from deltas alone.
+        if local >= log.complete_since {
+            let mut deltas = Vec::new();
+            let mut complete = true;
+            for &v in log.versions.iter().filter(|v| **v > local && **v <= target) {
+                let read = self
+                    .read_record(
+                        client,
+                        Request::GetDelta {
+                            endpoint,
+                            version: v,
+                        },
+                        deadline,
+                    )
+                    .await;
+                match read {
+                    Ok(Some(raw)) => match decode_delta(&raw) {
+                        Some(d) => deltas.push(d),
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    },
+                    // Missing (raced with GC), outage, corruption or
+                    // transport failure: fall back to snapshot.
+                    _ => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                for d in &deltas {
+                    d.apply(&mut self.config);
+                }
+                self.version = target;
+                return Ok((true, false));
+            }
+        }
+
+        // Snapshot fallback: `u64 stamp | body`, then replay retained
+        // deltas newer than the stamp.
+        let raw = match self
+            .read_record(client, Request::GetSnapshot { endpoint }, deadline)
+            .await?
+        {
+            Some(raw) if raw.len() >= 8 => raw,
+            _ => return Err(Retry),
+        };
+        let stamp = u64::from_be_bytes(raw[..8].try_into().map_err(|_| Retry)?);
+        let cfg = decode_paths(&raw[8..]).ok_or(Retry)?;
+        let mut deltas = Vec::new();
+        let mut achieved = target;
+        for &v in log.versions.iter().filter(|v| **v > stamp && **v <= target) {
+            let read = self
+                .read_record(
+                    client,
+                    Request::GetDelta {
+                        endpoint,
+                        version: v,
+                    },
+                    deadline,
+                )
+                .await;
+            match read {
+                Ok(Some(raw)) => match decode_delta(&raw) {
+                    Some(d) => deltas.push((v, d)),
+                    None => {
+                        achieved = deltas.last().map_or(stamp, |(v, _)| *v);
+                        break;
+                    }
+                },
+                _ => {
+                    achieved = deltas.last().map_or(stamp, |(v, _)| *v);
+                    break;
+                }
+            }
+        }
+        if achieved <= local {
+            // The reachable state is no newer than what is installed.
+            return Err(Retry);
+        }
+        self.config = cfg;
+        for (_, d) in &deltas {
+            d.apply(&mut self.config);
+        }
+        self.version = achieved;
+        Ok((true, true))
+    }
+
+    async fn read_version(
+        &self,
+        client: &Arc<NetClient>,
+        deadline: Instant,
+    ) -> Result<Option<u64>, Retry> {
+        match self
+            .bounded_request(
+                client,
+                Request::GetVersion {
+                    partition: self.partition,
+                },
+                deadline,
+            )
+            .await?
+        {
+            Response::VersionIs { version } => Ok(version),
+            _ => Err(Retry),
+        }
+    }
+
+    async fn read_record(
+        &self,
+        client: &Arc<NetClient>,
+        req: Request,
+        deadline: Instant,
+    ) -> Result<Option<Vec<u8>>, Retry> {
+        match self.bounded_request(client, req, deadline).await? {
+            Response::Record { value, .. } => Ok(value),
+            _ => Err(Retry),
+        }
+    }
+
+    /// One request capped by the period budget's remaining time. Every
+    /// failure class — outage error, CRC failure, connection break,
+    /// timeout — lands in the same retryable bucket.
+    async fn bounded_request(
+        &self,
+        client: &Arc<NetClient>,
+        req: Request,
+        deadline: Instant,
+    ) -> Result<Response, Retry> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(Retry);
+        }
+        match timeout(remaining, client.request(&req)).await {
+            Some(Ok(Response::Error { .. })) => Err(Retry),
+            Some(Ok(resp)) => Ok(resp),
+            Some(Err(_)) => Err(Retry),
+            None => {
+                megate_obs::counter("net.pull_timeouts").inc();
+                Err(Retry)
+            }
+        }
+    }
+}

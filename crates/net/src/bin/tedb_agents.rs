@@ -1,0 +1,118 @@
+//! Attach a fleet of async endpoint agents to a running TE-DB server.
+//!
+//! ```text
+//! tedb_agents [--connect tcp://127.0.0.1:7070] [--agents 1000]
+//!             [--conns 32] [--period-secs 10] [--rounds 5]
+//! ```
+//!
+//! Spawns `--agents` agents as async tasks sharing a pool of
+//! `--conns` multiplexed connections. Each sync period every agent
+//! runs one pull (polls spread across the first half of the period so
+//! the fleet doesn't stampede), then a round summary is printed:
+//! refreshed/degraded counts and pull-latency quantiles.
+
+use megate::resilience::PullPolicy;
+use megate_net::agent::Agent;
+use megate_net::{Endpoint, Executor, NetClient};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match args.iter().position(|a| a == name) {
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<T>()) {
+            Some(Ok(v)) => v,
+            Some(Err(e)) => {
+                eprintln!("bad value for {name}: {e}");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            }
+        },
+        None => default,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let connect: Endpoint = arg(&args, "--connect", "tcp://127.0.0.1:7070".parse().unwrap());
+    let agents: u64 = arg(&args, "--agents", 1000);
+    let conns: usize = arg(&args, "--conns", 32);
+    let period_secs: u64 = arg(&args, "--period-secs", 10);
+    let rounds: u64 = arg(&args, "--rounds", 5);
+
+    let exec = Executor::new(4);
+    let client = NetClient::new(connect.clone(), conns, exec.clone());
+    println!("agents: {agents} agents over {conns} conns to {connect}");
+
+    let period = Duration::from_secs(period_secs);
+    // Agents are taken out of their slot for the pull and put back
+    // after (a guard can't be held across an await point).
+    let fleet: Vec<Arc<Mutex<Option<Agent>>>> = (0..agents)
+        .map(|i| Arc::new(Mutex::new(Some(Agent::new(i, 0, PullPolicy::default())))))
+        .collect();
+    for round in 1..=rounds {
+        let refreshed = Arc::new(AtomicU64::new(0));
+        let degraded = Arc::new(AtomicU64::new(0));
+        let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let done = Arc::new(AtomicU64::new(0));
+        for (i, agent) in fleet.iter().enumerate() {
+            let client = client.clone();
+            let agent = agent.clone();
+            let (refreshed, degraded, latencies, done) = (
+                refreshed.clone(),
+                degraded.clone(),
+                latencies.clone(),
+                done.clone(),
+            );
+            // Spread polls across the first half of the sync period.
+            let offset = period.mul_f64(0.5) * (i as u32 % 1000) / 1000;
+            exec.spawn(async move {
+                megate_net::reactor::Sleep::after(offset).await;
+                let Some(mut a) = agent.lock().unwrap().take() else {
+                    return;
+                };
+                let report = a.sync_period_pull(&client).await;
+                *agent.lock().unwrap() = Some(a);
+                if report.refreshed {
+                    refreshed.fetch_add(1, Ordering::Relaxed);
+                    latencies
+                        .lock()
+                        .unwrap()
+                        .push(report.elapsed.as_nanos() as u64);
+                }
+                if report.degraded {
+                    degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        while done.load(Ordering::Relaxed) < agents {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let mut lat = latencies.lock().unwrap().clone();
+        lat.sort_unstable();
+        let q = |p: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let i = ((lat.len() - 1) as f64 * p) as usize;
+            lat[i] as f64 / 1e6
+        };
+        println!(
+            "round {round}: {}/{agents} refreshed, {} degraded, pull p50 {:.2} ms p99 {:.2} ms",
+            refreshed.load(Ordering::Relaxed),
+            degraded.load(Ordering::Relaxed),
+            q(0.50),
+            q(0.99),
+        );
+        if round < rounds {
+            std::thread::sleep(period);
+        }
+    }
+}

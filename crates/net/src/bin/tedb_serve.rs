@@ -1,0 +1,95 @@
+//! Serve the TE-DB over real sockets, with a synthetic publisher
+//! driving the config clock.
+//!
+//! ```text
+//! tedb_serve [--listen tcp://127.0.0.1:7070] [--uds /tmp/tedb.sock]
+//!            [--metrics tcp://127.0.0.1:9100] [--endpoints 1000]
+//!            [--period-secs 10] [--churn-ppm 20000] [--rounds 0]
+//! ```
+//!
+//! Binds the wire-protocol server on `--listen` (and optionally a Unix
+//! socket), the `/metrics` HTTP exporter on `--metrics`, then
+//! publishes one synthetic config round per `--period-secs` until
+//! `--rounds` rounds are done (0 = run forever). Attach agents with
+//! `tedb_agents --connect tcp://127.0.0.1:7070`.
+
+use megate_net::publish::SimPublisher;
+use megate_net::{Endpoint, Executor, Server, ServerState};
+use megate_tedb::TeDatabase;
+use std::time::Duration;
+
+fn arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match args.iter().position(|a| a == name) {
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<T>()) {
+            Some(Ok(v)) => v,
+            Some(Err(e)) => {
+                eprintln!("bad value for {name}: {e}");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            }
+        },
+        None => default,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let listen: Endpoint = arg(&args, "--listen", "tcp://127.0.0.1:7070".parse().unwrap());
+    let metrics: Endpoint = arg(&args, "--metrics", "tcp://127.0.0.1:9100".parse().unwrap());
+    let endpoints: u64 = arg(&args, "--endpoints", 1000);
+    let period_secs: u64 = arg(&args, "--period-secs", 10);
+    let churn_ppm: u32 = arg(&args, "--churn-ppm", 20_000);
+    let rounds: u64 = arg(&args, "--rounds", 0);
+    let uds = args
+        .iter()
+        .position(|a| a == "--uds")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| Endpoint::Unix(p.into()));
+
+    let exec = Executor::new(4);
+    let db = TeDatabase::with_replication(8, 2);
+    let state = ServerState::new(db);
+
+    let server = Server::start(state.clone(), &listen, &exec).unwrap_or_else(|e| {
+        eprintln!("bind {listen} failed: {e}");
+        std::process::exit(1);
+    });
+    println!("tedb: serving on {}", server.local());
+    if let Some(uds) = uds {
+        let s = Server::start(state.clone(), &uds, &exec).unwrap_or_else(|e| {
+            eprintln!("bind {uds} failed: {e}");
+            std::process::exit(1);
+        });
+        println!("tedb: serving on {}", s.local());
+    }
+    let metrics_server =
+        megate_net::http::MetricsServer::start(&metrics, &exec).unwrap_or_else(|e| {
+            eprintln!("bind metrics {metrics} failed: {e}");
+            std::process::exit(1);
+        });
+    println!("tedb: metrics on {} (GET /metrics)", metrics_server.local());
+
+    let mut publisher = SimPublisher::new(endpoints, 4, 0x7365_7276);
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        let version = publisher.publish_round(state.db(), churn_ppm);
+        println!(
+            "tedb: published v{version} ({} conns active, {} accepted, {} bytes out)",
+            state.active_conns(),
+            state.accepted_conns(),
+            state.bytes_out(),
+        );
+        if rounds != 0 && round >= rounds {
+            break;
+        }
+        std::thread::sleep(Duration::from_secs(period_secs));
+    }
+    state.shutdown();
+}

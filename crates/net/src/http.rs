@@ -1,0 +1,133 @@
+//! A minimal HTTP/1.1 exporter for the megate-obs registry.
+//!
+//! Serves `GET /metrics` (Prometheus text exposition) and
+//! `GET /metrics.json` (the registry's JSON snapshot) with
+//! `Connection: close` semantics — one request per connection, which
+//! is all a scraper needs and keeps the parser to a request line and
+//! a header skip. Anything else gets a 404.
+
+use crate::exec::Executor;
+use crate::io::{AsyncListener, AsyncStream, Endpoint};
+use std::io;
+
+/// Largest request head (request line + headers) accepted.
+const MAX_HEAD: usize = 8192;
+
+/// A running metrics exporter.
+pub struct MetricsServer {
+    local: Endpoint,
+}
+
+impl MetricsServer {
+    /// Binds `ep` and serves the registry snapshot on every request.
+    pub fn start(ep: &Endpoint, exec: &Executor) -> io::Result<MetricsServer> {
+        let listener = match ep {
+            Endpoint::Tcp(addr) => AsyncListener::bind_tcp(*addr)?,
+            Endpoint::Unix(path) => AsyncListener::bind_unix(path)?,
+        };
+        let local = listener.local().clone();
+        let ex = exec.clone();
+        exec.spawn(async move {
+            loop {
+                let Ok(conn) = listener.accept().await else {
+                    return;
+                };
+                ex.spawn(async move {
+                    let _ = serve_one(&conn).await;
+                });
+            }
+        });
+        Ok(MetricsServer { local })
+    }
+
+    /// The bound endpoint (TCP port resolved).
+    pub fn local(&self) -> &Endpoint {
+        &self.local
+    }
+}
+
+async fn serve_one(conn: &AsyncStream) -> io::Result<()> {
+    let head = read_head(conn).await?;
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            megate_obs::global().snapshot().to_prometheus(),
+        ),
+        ("GET", "/metrics.json") => (
+            "200 OK",
+            "application/json",
+            megate_obs::global().snapshot().to_json(),
+        ),
+        ("GET", _) => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET\n".to_string(),
+        ),
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(resp.as_bytes()).await?;
+    conn.shutdown_write();
+    Ok(())
+}
+
+/// Reads until the blank line ending the request head (or EOF/cap).
+async fn read_head(conn: &AsyncStream) -> io::Result<String> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        let n = conn.read(&mut buf).await?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > MAX_HEAD {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_endpoint_speaks_prometheus() {
+        let exec = Executor::new(2);
+        megate_obs::counter("net.http_test_marker").inc();
+        let server = MetricsServer::start(&Endpoint::Tcp("127.0.0.1:0".parse().unwrap()), &exec)
+            .expect("bind");
+        let ep = server.local().clone();
+        let body = exec.block_on(async move {
+            let conn = AsyncStream::connect(&ep).await.unwrap();
+            conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .await
+                .unwrap();
+            let mut out = Vec::new();
+            loop {
+                let mut buf = [0u8; 1024];
+                let n = conn.read(&mut buf).await.unwrap();
+                if n == 0 {
+                    break;
+                }
+                out.extend_from_slice(&buf[..n]);
+            }
+            String::from_utf8_lossy(&out).into_owned()
+        });
+        assert!(body.starts_with("HTTP/1.1 200 OK"), "got: {body}");
+        assert!(
+            body.contains("net_http_test_marker") || body.contains("net.http_test_marker"),
+            "metric missing from exposition: {body}"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! A minimal standalone publisher: the controller side of the TE-DB
+//! keyspace, for service demos, chaos tests and benches.
+//!
+//! The real controller (megate-core) solves an LP and publishes diffs
+//! of the solution; this publisher skips the solving and writes
+//! synthetic-but-faithful records with the same keyspace discipline:
+//! per-endpoint deltas plus changelog appends first, snapshots on the
+//! flush cadence, and the partition version record **last** (§3.2
+//! ordering — agents must never observe a version whose records
+//! aren't readable yet).
+//!
+//! It also keeps the ground truth needed to prove service invariants
+//! end to end: for every endpoint it records the `(version,
+//! fingerprint)` history of published configurations, so a checker
+//! can ask "an agent claiming version `v` for endpoint `e` — what
+//! exactly must it have installed?" ([`expected_fingerprint`]).
+//!
+//! [`expected_fingerprint`]: SimPublisher::expected_fingerprint
+
+use megate::config::{diff_configs, encode_delta, encode_paths, EndpointConfig};
+use megate_tedb::{TeDatabase, TeKey};
+use std::collections::HashMap;
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a/64 over a config's canonical encoding — the identity used
+/// to compare what an agent installed against what was published.
+pub fn config_fingerprint(cfg: &EndpointConfig) -> u64 {
+    let bytes = encode_paths(cfg).expect("synthetic configs always encode");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A deterministic per-round publisher over `endpoints` endpoints.
+pub struct SimPublisher {
+    endpoints: u64,
+    snapshot_every: u64,
+    seed: u64,
+    version: u64,
+    configs: HashMap<u64, EndpointConfig>,
+    dirty: Vec<u64>,
+    history: HashMap<u64, Vec<(u64, u64)>>,
+}
+
+impl SimPublisher {
+    /// A publisher for endpoints `0..endpoints`, flushing snapshots
+    /// every `snapshot_every` versions.
+    pub fn new(endpoints: u64, snapshot_every: u64, seed: u64) -> Self {
+        Self {
+            endpoints,
+            snapshot_every: snapshot_every.max(1),
+            seed,
+            version: 0,
+            configs: HashMap::new(),
+            dirty: Vec::new(),
+            history: HashMap::new(),
+        }
+    }
+
+    /// The last published version (0 = nothing published).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The synthetic configuration endpoint `e` gets at `version`:
+    /// four SR paths keyed on `(endpoint, version)` so every change is
+    /// observable.
+    fn gen_config(&self, e: u64, version: u64) -> EndpointConfig {
+        let paths = (0..4u8)
+            .map(|i| {
+                (
+                    [10, (e >> 8) as u8, e as u8, i],
+                    vec![(e % 97) as u32, (version % 53) as u32 + 100, i as u32 + 200],
+                )
+            })
+            .collect();
+        EndpointConfig { paths }
+    }
+
+    /// Publishes one round: roughly `churn_ppm` of endpoints change.
+    /// Writes deltas + changelog appends, then due snapshots, then the
+    /// version record. Returns the new version.
+    pub fn publish_round(&mut self, db: &TeDatabase, churn_ppm: u32) -> u64 {
+        let version = self.version + 1;
+        for e in 0..self.endpoints {
+            let roll = splitmix64(self.seed ^ (version << 24) ^ e) % 1_000_000;
+            // First round configures everyone, so every agent has real
+            // paths to protect from then on.
+            if version > 1 && roll >= churn_ppm as u64 {
+                continue;
+            }
+            let next = self.gen_config(e, version);
+            let prev = self.configs.get(&e).cloned().unwrap_or_default();
+            let delta = diff_configs(&prev, &next);
+            let bytes = encode_delta(&delta).expect("synthetic deltas always encode");
+            let _ = db.put_checked(
+                &TeKey::Delta {
+                    endpoint: e,
+                    version,
+                },
+                bytes,
+            );
+            let _ = db.record_change(e, version);
+            self.configs.insert(e, next.clone());
+            self.dirty.push(e);
+            self.history
+                .entry(e)
+                .or_default()
+                .push((version, config_fingerprint(&next)));
+        }
+        if version.is_multiple_of(self.snapshot_every) {
+            self.dirty.sort_unstable();
+            self.dirty.dedup();
+            for e in self.dirty.drain(..) {
+                let cfg = self.configs.get(&e).cloned().unwrap_or_default();
+                let body = encode_paths(&cfg).expect("synthetic configs always encode");
+                let mut value = Vec::with_capacity(8 + body.len());
+                value.extend_from_slice(&version.to_be_bytes());
+                value.extend_from_slice(&body);
+                let _ = db.put_checked(&TeKey::Snapshot { endpoint: e }, value);
+            }
+        }
+        db.publish_partition_version(0, version);
+        self.version = version;
+        version
+    }
+
+    /// The fingerprint an agent holding `(endpoint, version)` must
+    /// have installed: the latest published change at or before
+    /// `version` (the empty config's fingerprint when the endpoint was
+    /// never configured by then).
+    pub fn expected_fingerprint(&self, endpoint: u64, version: u64) -> u64 {
+        self.history
+            .get(&endpoint)
+            .and_then(|h| {
+                h.iter()
+                    .rev()
+                    .find(|(v, _)| *v <= version)
+                    .map(|(_, fp)| *fp)
+            })
+            .unwrap_or_else(|| config_fingerprint(&EndpointConfig::default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_one_configures_every_endpoint() {
+        let db = TeDatabase::new(4);
+        let mut p = SimPublisher::new(10, 4, 1);
+        assert_eq!(p.publish_round(&db, 0), 1);
+        for e in 0..10 {
+            assert!(
+                db.fetch(&TeKey::Delta {
+                    endpoint: e,
+                    version: 1
+                })
+                .is_some(),
+                "endpoint {e} missing its initial delta"
+            );
+        }
+        assert_eq!(db.latest_partition_version_checked(0), Ok(Some(1)));
+    }
+
+    #[test]
+    fn expected_fingerprint_tracks_latest_change() {
+        let db = TeDatabase::new(4);
+        let mut p = SimPublisher::new(4, 100, 7);
+        p.publish_round(&db, 1_000_000);
+        p.publish_round(&db, 1_000_000);
+        let fp1 = config_fingerprint(&p.gen_config(2, 1));
+        let fp2 = config_fingerprint(&p.gen_config(2, 2));
+        assert_eq!(p.expected_fingerprint(2, 1), fp1);
+        assert_eq!(p.expected_fingerprint(2, 2), fp2);
+        assert_ne!(fp1, fp2);
+    }
+}

@@ -1,0 +1,481 @@
+//! The TE-DB socket server: accepts agent connections on TCP and/or
+//! Unix sockets and serves the wire protocol against a shared
+//! [`TeDatabase`].
+//!
+//! Each accepted connection becomes one async task running a
+//! read-dispatch-write loop. The server is a thin shim: every data op
+//! is one [`TeDatabase::fetch_outcome`] call, so all of the store's
+//! semantics — replica failover, injected latency, loss, corruption —
+//! flow through unchanged:
+//!
+//! * injected shard latency (`ReadOutcome::injected_ns`) becomes a
+//!   real async sleep before the response is written, so clients
+//!   measure it as wall-clock service time;
+//! * a corrupted read is forwarded verbatim under a deliberately
+//!   wrong `body_crc`, so the client's transport checksum catches it
+//!   exactly like the in-process model;
+//! * a [`ShardOutage`] becomes an [`ErrorCode::Unreachable`] error
+//!   response (retryable).
+//!
+//! On top of the store faults, [`TransportFaults`] injects
+//! transport-level failure: connection resets, truncated frames, and
+//! slow-loris responses (chunked writes with delays), each rolled
+//! per-response from a seeded counter so runs are reproducible.
+
+use crate::frame::{
+    self, encode_response, read_frame_unchecked, ErrorCode, FrameError, Request, Response,
+    DEFAULT_MAX_BODY, PROTOCOL_VERSION,
+};
+use crate::io::{AsyncListener, AsyncStream, Endpoint};
+use crate::reactor::Sleep;
+use megate_tedb::{ShardOutage, TeDatabase};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Transport-level fault injection, applied per response frame.
+///
+/// Rates are parts-per-million, rolled from a seeded splitmix64
+/// counter so a given `(seed, response sequence)` always fails the
+/// same way. Faults compose with the TE-DB's own shard faults: a
+/// request can survive the store only to lose its response to a
+/// reset.
+#[derive(Debug, Clone)]
+pub struct TransportFaults {
+    /// Probability (ppm) of resetting the connection instead of
+    /// responding — the agent sees a broken pipe / EOF mid-stream.
+    pub reset_ppm: u32,
+    /// Probability (ppm) of writing only a prefix of the response
+    /// frame and then closing — the agent sees a truncated frame.
+    pub truncate_ppm: u32,
+    /// Probability (ppm) of a slow-loris response: the frame is
+    /// dribbled out in small chunks with [`stall_chunk_delay`]
+    /// between them.
+    ///
+    /// [`stall_chunk_delay`]: TransportFaults::stall_chunk_delay
+    pub stall_ppm: u32,
+    /// Delay between slow-loris chunks.
+    pub stall_chunk_delay: Duration,
+    /// Seed for the fault roll sequence.
+    pub seed: u64,
+}
+
+impl Default for TransportFaults {
+    fn default() -> Self {
+        Self {
+            reset_ppm: 0,
+            truncate_ppm: 0,
+            stall_ppm: 0,
+            stall_chunk_delay: Duration::from_millis(5),
+            seed: 0x6d67_7465_5f6e_6574,
+        }
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+enum FaultRoll {
+    None,
+    Reset,
+    Truncate,
+    Stall,
+}
+
+/// Shared server state: database handle, fault knobs, metrics.
+pub struct ServerState {
+    db: TeDatabase,
+    faults: parking_lot::RwLock<TransportFaults>,
+    fault_seq: AtomicU64,
+    shutdown: AtomicBool,
+    accepted: AtomicU64,
+    active: AtomicU64,
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+}
+
+impl ServerState {
+    /// Wraps a database for serving.
+    pub fn new(db: TeDatabase) -> Arc<Self> {
+        Arc::new(Self {
+            db,
+            faults: parking_lot::RwLock::new(TransportFaults::default()),
+            fault_seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+        })
+    }
+
+    /// The served database (for fault injection and publishing from
+    /// tests and benches).
+    pub fn db(&self) -> &TeDatabase {
+        &self.db
+    }
+
+    /// Replaces the transport fault configuration.
+    pub fn set_transport_faults(&self, f: TransportFaults) {
+        *self.faults.write() = f;
+    }
+
+    /// Asks accept loops and connection tasks to wind down.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown was requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Connections accepted over the server's lifetime.
+    pub fn accepted_conns(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    pub fn active_conns(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Total response bytes written (controller-side fan-out bytes).
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Total request bytes read.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    fn roll_fault(&self) -> FaultRoll {
+        let f = self.faults.read();
+        if f.reset_ppm == 0 && f.truncate_ppm == 0 && f.stall_ppm == 0 {
+            return FaultRoll::None;
+        }
+        let seq = self.fault_seq.fetch_add(1, Ordering::Relaxed);
+        let roll = splitmix64(f.seed.wrapping_add(seq)) % 1_000_000;
+        if roll < f.reset_ppm as u64 {
+            FaultRoll::Reset
+        } else if roll < (f.reset_ppm + f.truncate_ppm) as u64 {
+            FaultRoll::Truncate
+        } else if roll < (f.reset_ppm + f.truncate_ppm + f.stall_ppm) as u64 {
+            FaultRoll::Stall
+        } else {
+            FaultRoll::None
+        }
+    }
+}
+
+/// A running accept loop bound to one endpoint.
+pub struct Server {
+    state: Arc<ServerState>,
+    local: Endpoint,
+}
+
+impl Server {
+    /// Binds `ep` and spawns the accept loop plus one task per
+    /// connection onto `exec`. Returns immediately; the resolved
+    /// endpoint (OS-assigned TCP port included) is in
+    /// [`local`](Self::local).
+    pub fn start(
+        state: Arc<ServerState>,
+        ep: &Endpoint,
+        exec: &crate::exec::Executor,
+    ) -> std::io::Result<Server> {
+        let listener = match ep {
+            Endpoint::Tcp(addr) => AsyncListener::bind_tcp(*addr)?,
+            Endpoint::Unix(path) => AsyncListener::bind_unix(path)?,
+        };
+        let local = listener.local().clone();
+        let st = state.clone();
+        let ex = exec.clone();
+        exec.spawn(async move {
+            loop {
+                if st.is_shutdown() {
+                    return;
+                }
+                match listener.accept().await {
+                    Ok(conn) => {
+                        st.accepted.fetch_add(1, Ordering::Relaxed);
+                        megate_obs::counter("net.accepted_conns").inc();
+                        let st2 = st.clone();
+                        ex.spawn(async move {
+                            st2.active.fetch_add(1, Ordering::Relaxed);
+                            megate_obs::gauge("net.active_conns").add(1);
+                            serve_conn(&st2, conn).await;
+                            st2.active.fetch_sub(1, Ordering::Relaxed);
+                            megate_obs::gauge("net.active_conns").sub(1);
+                        });
+                    }
+                    Err(_) => {
+                        if st.is_shutdown() {
+                            return;
+                        }
+                        Sleep::after(Duration::from_millis(10)).await;
+                    }
+                }
+            }
+        });
+        Ok(Server { state, local })
+    }
+
+    /// The bound endpoint (TCP port resolved).
+    pub fn local(&self) -> &Endpoint {
+        &self.local
+    }
+
+    /// The shared server state.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+}
+
+/// Evaluates one request against the database. Returns the response,
+/// whether the read came back corrupted (the response is then sent
+/// under a broken checksum), and the injected shard latency the read
+/// accumulated (the serving task sleeps it before responding).
+pub fn dispatch(db: &TeDatabase, req: &Request) -> (Response, bool, u64) {
+    let key = match req {
+        Request::Hello {
+            min_version,
+            max_version,
+        } => {
+            let resp = if *min_version <= PROTOCOL_VERSION && PROTOCOL_VERSION <= *max_version {
+                Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                }
+            } else {
+                Response::Error {
+                    code: ErrorCode::UnsupportedVersion,
+                    detail: format!(
+                        "server speaks only v{PROTOCOL_VERSION}, client offered \
+                         {min_version}..={max_version}"
+                    ),
+                }
+            };
+            return (resp, false, 0);
+        }
+        Request::Ping => return (Response::Pong, false, 0),
+        _ => req.te_key().expect("data ops address a TeKey"),
+    };
+    match db.fetch_outcome(&key) {
+        Err(o) => (outage_response(o), false, 0),
+        Ok(out) => {
+            let resp = match req {
+                Request::GetVersion { .. } => Response::VersionIs {
+                    version: out
+                        .value
+                        .as_deref()
+                        .filter(|v| v.len() == 8)
+                        .map(|v| u64::from_be_bytes(v.try_into().unwrap())),
+                },
+                _ => Response::Record {
+                    for_op: req.op(),
+                    value: out.value,
+                },
+            };
+            (resp, out.corrupted, out.injected_ns)
+        }
+    }
+}
+
+fn outage_response(o: ShardOutage) -> Response {
+    Response::Error {
+        code: ErrorCode::Unreachable,
+        detail: o.to_string(),
+    }
+}
+
+async fn serve_conn(state: &Arc<ServerState>, conn: AsyncStream) {
+    loop {
+        if state.is_shutdown() {
+            return;
+        }
+        let (hdr, body) = match read_frame_unchecked(&conn, DEFAULT_MAX_BODY).await {
+            Ok((hdr, Some(body))) => (hdr, body),
+            Ok((hdr, None)) => {
+                // Body checksum failed; the stream is still aligned, so
+                // fail just this request and keep serving.
+                megate_obs::counter("net.bad_frames").inc();
+                let resp = Response::Error {
+                    code: ErrorCode::BadCrc,
+                    detail: "request body checksum failed".into(),
+                };
+                if write_response(state, &conn, &resp, hdr.request_id, false)
+                    .await
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Truncated) | Err(FrameError::Io(_)) => return,
+            Err(FrameError::BadMagic) => {
+                megate_obs::counter("net.bad_frames").inc();
+                return; // not our protocol; hang up
+            }
+            Err(FrameError::BadVersion(v)) => {
+                megate_obs::counter("net.bad_frames").inc();
+                let resp = Response::Error {
+                    code: ErrorCode::UnsupportedVersion,
+                    detail: format!("frame version {v} unsupported"),
+                };
+                let _ = write_response(state, &conn, &resp, 0, false).await;
+                return;
+            }
+            Err(FrameError::Oversized(n)) => {
+                megate_obs::counter("net.bad_frames").inc();
+                let resp = Response::Error {
+                    code: ErrorCode::Oversized,
+                    detail: format!("body of {n} bytes exceeds cap"),
+                };
+                let _ = write_response(state, &conn, &resp, 0, false).await;
+                return; // stream is desynchronized; hang up
+            }
+            Err(FrameError::BadCrc) | Err(FrameError::Malformed) => {
+                // read_frame_unchecked never returns these.
+                megate_obs::counter("net.bad_frames").inc();
+                return;
+            }
+        };
+        state
+            .bytes_in
+            .fetch_add((frame::HEADER_LEN + body.len()) as u64, Ordering::Relaxed);
+        let (resp, corrupt) = match Request::decode(hdr.op, &body) {
+            Some(req) => {
+                megate_obs::counter("net.requests").inc();
+                let (resp, corrupt, injected_ns) = dispatch(&state.db, &req);
+                if injected_ns > 0 {
+                    // Injected shard latency becomes real service time.
+                    Sleep::after(Duration::from_nanos(injected_ns)).await;
+                }
+                (resp, corrupt)
+            }
+            None => (
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: format!("op {:#04x} body did not decode", hdr.op),
+                },
+                false,
+            ),
+        };
+        if write_response(state, &conn, &resp, hdr.request_id, corrupt)
+            .await
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Writes a response frame, applying any transport fault rolled for
+/// this response. `Err(())` means the connection is done.
+async fn write_response(
+    state: &Arc<ServerState>,
+    conn: &AsyncStream,
+    resp: &Response,
+    request_id: u64,
+    corrupt: bool,
+) -> Result<(), ()> {
+    let bytes = encode_response(resp, request_id, corrupt);
+    match state.roll_fault() {
+        FaultRoll::None => {
+            state
+                .bytes_out
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            megate_obs::counter("net.fanout_bytes").add(bytes.len() as u64);
+            conn.write_all(&bytes).await.map_err(|_| ())
+        }
+        FaultRoll::Reset => {
+            megate_obs::counter("net.faults.reset").inc();
+            // Drop without responding; closing the stream resets the
+            // agent's pending read.
+            Err(())
+        }
+        FaultRoll::Truncate => {
+            megate_obs::counter("net.faults.truncate").inc();
+            let cut = bytes.len() / 2;
+            let _ = conn.write_all(&bytes[..cut]).await;
+            conn.shutdown_write();
+            Err(())
+        }
+        FaultRoll::Stall => {
+            megate_obs::counter("net.faults.stall").inc();
+            let delay = state.faults.read().stall_chunk_delay;
+            for chunk in bytes.chunks(7) {
+                if conn.write_all(chunk).await.is_err() {
+                    return Err(());
+                }
+                Sleep::after(delay).await;
+            }
+            state
+                .bytes_out
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            megate_obs::counter("net.fanout_bytes").add(bytes.len() as u64);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use megate_tedb::TeKey;
+
+    fn test_db() -> TeDatabase {
+        let db = TeDatabase::new(4);
+        db.publish_version(7);
+        db.put(&TeKey::Snapshot { endpoint: 1 }, vec![1, 2, 3]);
+        db
+    }
+
+    #[test]
+    fn serves_version_and_snapshot_over_tcp() {
+        let exec = Executor::new(2);
+        let state = ServerState::new(test_db());
+        let server = Server::start(state, &Endpoint::Tcp("127.0.0.1:0".parse().unwrap()), &exec)
+            .expect("bind");
+        let ep = server.local().clone();
+        let (ver, snap) = exec.block_on(async move {
+            let conn = AsyncStream::connect(&ep).await.unwrap();
+            let hello = frame::encode_request(
+                &Request::Hello {
+                    min_version: 1,
+                    max_version: 1,
+                },
+                1,
+            );
+            conn.write_all(&hello).await.unwrap();
+            let (_, body) = frame::read_frame(&conn, DEFAULT_MAX_BODY).await.unwrap();
+            assert_eq!(
+                Response::decode(frame::op::HELLO | frame::op::RESPONSE_BIT, &body),
+                Some(Response::HelloOk { version: 1 })
+            );
+            let req = frame::encode_request(&Request::GetVersion { partition: 0 }, 2);
+            conn.write_all(&req).await.unwrap();
+            let (h, body) = frame::read_frame(&conn, DEFAULT_MAX_BODY).await.unwrap();
+            let ver = Response::decode(h.op, &body).unwrap();
+            let req = frame::encode_request(&Request::GetSnapshot { endpoint: 1 }, 3);
+            conn.write_all(&req).await.unwrap();
+            let (h, body) = frame::read_frame(&conn, DEFAULT_MAX_BODY).await.unwrap();
+            let snap = Response::decode(h.op, &body).unwrap();
+            (ver, snap)
+        });
+        assert_eq!(ver, Response::VersionIs { version: Some(7) });
+        assert_eq!(
+            snap,
+            Response::Record {
+                for_op: frame::op::GET_SNAPSHOT,
+                value: Some(vec![1, 2, 3]),
+            }
+        );
+    }
+}

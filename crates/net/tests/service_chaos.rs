@@ -1,0 +1,200 @@
+//! Chaos invariants with real sockets in the loop: the §3.2 pull
+//! ladder's guarantees — bounded staleness, zero blackholing,
+//! reconvergence — re-proven against the wire-protocol service under
+//! combined shard outages and transport faults (connection resets,
+//! truncated frames, slow-loris stalls).
+//!
+//! Ground truth comes from [`SimPublisher`]'s `(version, fingerprint)`
+//! history: an agent claiming version `v` for endpoint `e` must hold
+//! exactly the configuration published at the latest change ≤ `v` —
+//! anything else is a silent blackhole / misroute.
+
+use megate::config::EndpointConfig;
+use megate::resilience::PullPolicy;
+use megate_net::agent::Agent;
+use megate_net::publish::{config_fingerprint, SimPublisher};
+use megate_net::server::{Server, ServerState, TransportFaults};
+use megate_net::{Endpoint, Executor, NetClient};
+use megate_tedb::TeDatabase;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const AGENTS: u64 = 32;
+const STALE_TTL: u64 = 2;
+
+/// A compressed sync period so chaos rounds stay test-sized: the
+/// 2 s/period retry budget shrinks to 400 ms, the degrade TTL to 2
+/// periods. Ratios (budget ≪ period, TTL ≥ outage length) match the
+/// production defaults.
+fn quick_policy() -> PullPolicy {
+    PullPolicy {
+        deadline_ns: 400_000_000,
+        max_attempts: 6,
+        stale_ttl_periods: STALE_TTL,
+        ..PullPolicy::default()
+    }
+}
+
+struct Harness {
+    exec: Executor,
+    state: Arc<ServerState>,
+    client: Arc<NetClient>,
+    publisher: SimPublisher,
+    fleet: Vec<Arc<Mutex<Option<Agent>>>>,
+}
+
+impl Harness {
+    fn start() -> Self {
+        let exec = Executor::new(3);
+        let db = TeDatabase::with_replication(8, 2);
+        db.set_fault_seed(0x51ab);
+        let state = ServerState::new(db);
+        let server = Server::start(
+            state.clone(),
+            &Endpoint::Tcp("127.0.0.1:0".parse().unwrap()),
+            &exec,
+        )
+        .expect("bind");
+        let client = NetClient::new(server.local().clone(), 4, exec.clone());
+        let fleet = (0..AGENTS)
+            .map(|e| Arc::new(Mutex::new(Some(Agent::new(e, 0, quick_policy())))))
+            .collect();
+        Self {
+            exec,
+            state,
+            client,
+            publisher: SimPublisher::new(AGENTS, 4, 0xc4a05),
+            fleet,
+        }
+    }
+
+    /// One sync period: publish a round, then every agent pulls
+    /// concurrently (one async task each, all multiplexed over the
+    /// pooled client).
+    fn run_period(&mut self, churn_ppm: u32) {
+        self.publisher.publish_round(self.state.db(), churn_ppm);
+        let done = Arc::new(AtomicU64::new(0));
+        for agent in &self.fleet {
+            let agent = agent.clone();
+            let client = self.client.clone();
+            let done = done.clone();
+            self.exec.spawn(async move {
+                let Some(mut a) = agent.lock().unwrap().take() else {
+                    return;
+                };
+                a.sync_period_pull(&client).await;
+                *agent.lock().unwrap() = Some(a);
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        while done.load(Ordering::Relaxed) < AGENTS {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// The invariants every period must uphold, chaos or not.
+    fn check_invariants(&self, phase: &str) {
+        let empty_fp = config_fingerprint(&EndpointConfig::default());
+        for slot in &self.fleet {
+            let guard = slot.lock().unwrap();
+            let a = guard.as_ref().expect("agent is home between periods");
+            // Bounded staleness: past the TTL an agent must have
+            // stopped steering on its stale paths.
+            if a.periods_behind() >= STALE_TTL {
+                assert!(
+                    a.is_degraded(),
+                    "[{phase}] endpoint {} is {} periods behind but still \
+                     steering on stale paths",
+                    a.endpoint,
+                    a.periods_behind(),
+                );
+            }
+            // Zero blackholing: whatever version an agent claims, its
+            // installed paths are exactly what was published at that
+            // version; degraded agents hold the flushed (ECMP) config.
+            let fp = config_fingerprint(a.config());
+            if a.is_degraded() {
+                assert_eq!(
+                    fp, empty_fp,
+                    "[{phase}] degraded endpoint {} still holds paths",
+                    a.endpoint,
+                );
+            } else {
+                let want = self.publisher.expected_fingerprint(a.endpoint, a.version());
+                assert_eq!(
+                    fp,
+                    want,
+                    "[{phase}] endpoint {} claims v{} but holds a config that \
+                     was never published at that version",
+                    a.endpoint,
+                    a.version(),
+                );
+            }
+        }
+    }
+
+    fn fresh_count(&self) -> usize {
+        let target = self.publisher.version();
+        self.fleet
+            .iter()
+            .filter(|s| {
+                let g = s.lock().unwrap();
+                let a = g.as_ref().unwrap();
+                a.version() == target && !a.is_degraded()
+            })
+            .count()
+    }
+}
+
+#[test]
+fn socket_chaos_preserves_staleness_and_blackholing_invariants() {
+    let mut h = Harness::start();
+
+    // Phase 1 — clean service: everyone converges immediately.
+    for round in 1..=2u32 {
+        h.run_period(250_000);
+        h.check_invariants("clean");
+        assert_eq!(
+            h.fresh_count(),
+            AGENTS as usize,
+            "round {round}: clean service must converge every agent",
+        );
+    }
+
+    // Phase 2 — chaos: one TE-DB shard down (replication covers it
+    // with failover) plus transport faults on the wire: resets,
+    // truncated frames and slow-loris responses.
+    h.state.db().set_shard_down(0, true);
+    h.state.db().set_shard_slow(3, 20_000_000); // 20 ms per read
+    h.state.set_transport_faults(TransportFaults {
+        reset_ppm: 120_000,
+        truncate_ppm: 80_000,
+        stall_ppm: 40_000,
+        stall_chunk_delay: Duration::from_millis(2),
+        seed: 0xbad,
+    });
+    for _ in 0..3 {
+        h.run_period(250_000);
+        h.check_invariants("chaos");
+    }
+
+    // Phase 3 — heal, then reconverge. An agent that degraded during
+    // chaos rebuilds from snapshot; everyone must be fresh within two
+    // clean periods.
+    h.state.db().set_shard_down(0, false);
+    h.state.db().set_shard_slow(3, 0);
+    h.state.set_transport_faults(TransportFaults::default());
+    for _ in 0..2 {
+        h.run_period(250_000);
+        h.check_invariants("heal");
+    }
+    assert_eq!(
+        h.fresh_count(),
+        AGENTS as usize,
+        "fleet must reconverge within two clean periods of the heal",
+    );
+
+    h.client.close();
+    h.state.shutdown();
+}

@@ -13,6 +13,8 @@
 //! bench harness can sweep them interchangeably. QoS-sequential
 //! allocation (§4.1) wraps any scheme via [`qos::solve_per_qos`].
 
+#![warn(missing_docs)]
+
 pub mod diff;
 pub mod incremental;
 pub mod lp_all;

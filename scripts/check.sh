@@ -40,6 +40,13 @@ cargo run -q -p megate-bench --release --bin fig_propagation -- --scale quick
 # chaos must keep zero blackholing, no double-booked links and <=2%
 # satisfied-demand loss vs the single-controller twin.
 cargo run -q -p megate-bench --release --bin fig_partition -- --scale quick
+# The socket-service suites: wire-protocol edge cases + the PROTOCOL.md
+# codec-fingerprint pin, and the chaos invariants re-proven over real TCP.
+cargo test -q -p megate-net --test protocol
+cargo test -q -p megate-net --test service_chaos
+# A reduced fig_service run: agent fan-out over real sockets must keep
+# every clean-service pull refreshed with p99 inside one 10 s sync period.
+cargo run -q -p megate-bench --release --bin fig_service -- --scale quick
 # Perf drift report vs the committed baselines — informational, never
 # a gate failure here (timing jitter is machine-dependent); pass
 # `--strict PCT` when a hard perf gate is wanted.
